@@ -1,0 +1,55 @@
+//! Criterion bench: checker scaling on real interconnected histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cmi_bench::pair_world;
+use cmi_checker::{cache, causal, pram, screen, sequential};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_types::History;
+
+fn history_of(ops_per_proc: u32) -> History {
+    let mut world = pair_world(ProtocolKind::Ahamad, 3, Duration::from_millis(5), 11);
+    let report = world.run(&WorkloadSpec::small().with_ops(ops_per_proc));
+    report.global_history()
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(10);
+    for ops in [10u32, 20, 40] {
+        let history = history_of(ops);
+        group.bench_with_input(
+            BenchmarkId::new("screen", history.len()),
+            &history,
+            |b, h| b.iter(|| black_box(screen::screen(h).is_clean())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", history.len()),
+            &history,
+            |b, h| b.iter(|| black_box(causal::check(h).is_causal())),
+        );
+        group.bench_with_input(BenchmarkId::new("pram", history.len()), &history, |b, h| {
+            b.iter(|| black_box(pram::check(h).is_pram()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cache", history.len()),
+            &history,
+            |b, h| b.iter(|| black_box(cache::check(h).is_cache_consistent())),
+        );
+        if ops == 10 {
+            // Exhaustive SC search explodes on large concurrent
+            // histories; bench it on the small one only.
+            group.bench_with_input(
+                BenchmarkId::new("sequential", history.len()),
+                &history,
+                |b, h| b.iter(|| black_box(sequential::check(h).is_sequential())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

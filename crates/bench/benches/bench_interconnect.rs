@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end cost of interconnected runs, by topology
+//! size and IS allocation mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cmi_bench::interconnected_world;
+use cmi_core::IsTopology;
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+
+fn bench_interconnect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interconnect_run");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        for topology in [IsTopology::Pairwise, IsTopology::Shared] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{topology}"), m),
+                &(m, topology),
+                |b, &(m, topology)| {
+                    b.iter(|| {
+                        let mut world = interconnected_world(
+                            ProtocolKind::Ahamad,
+                            m,
+                            3,
+                            Duration::from_millis(5),
+                            topology,
+                            black_box(3),
+                        );
+                        let report = world.run(&WorkloadSpec::small().with_ops(20));
+                        black_box(report.stats().total_messages())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interconnect);
+criterion_main!(benches);

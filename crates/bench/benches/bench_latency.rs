@@ -1,0 +1,36 @@
+//! Criterion bench: timed variant of experiment X4 (the 3l+2d star),
+//! plus a correctness assertion on each sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cmi_bench::experiments::x04_latency;
+use cmi_core::IsTopology;
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x4_latency");
+    group.sample_size(10);
+    for topology in [IsTopology::Pairwise, IsTopology::Shared] {
+        group.bench_with_input(
+            BenchmarkId::new("star3_leaf_to_leaf", format!("{topology}")),
+            &topology,
+            |b, &topology| {
+                b.iter(|| {
+                    let latency = x04_latency::leaf_to_leaf_latency(
+                        Duration::from_millis(1),
+                        Duration::from_millis(10),
+                        topology,
+                        black_box(1),
+                    );
+                    assert!(latency >= Duration::from_millis(20));
+                    black_box(latency)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: raw discrete-event engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::any::Any;
+use std::hint::black_box;
+use std::time::Duration;
+
+use cmi_sim::{Actor, ActorId, ChannelSpec, Ctx, NetworkTag, RunLimit, SimBuilder};
+
+/// Ping-pong actor: echoes each message back until a hop budget runs out.
+struct PingPong;
+
+impl Actor<u64> for PingPong {
+    fn on_message(&mut self, from: ActorId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if msg > 0 {
+            ctx.send(from, msg - 1);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Kickoff actor: starts the ping-pong with a hop budget.
+struct Kickoff {
+    hops: u64,
+}
+
+impl Actor<u64> for Kickoff {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ActorId(1), self.hops);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if msg > 0 {
+            ctx.send(from, msg - 1);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    for hops in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("ping_pong", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut builder = SimBuilder::new(1);
+                let a0 = builder.add_actor(Box::new(Kickoff { hops }), NetworkTag(0));
+                let a1 = builder.add_actor(Box::new(PingPong), NetworkTag(0));
+                builder.connect_bidi(a0, a1, ChannelSpec::fixed(Duration::from_micros(10)));
+                let mut sim = builder.build();
+                sim.run(RunLimit::unlimited());
+                black_box(sim.events_processed())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

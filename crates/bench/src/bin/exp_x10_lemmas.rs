@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x10_lemmas`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x10_lemmas::run());
+}

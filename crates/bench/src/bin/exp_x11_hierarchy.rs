@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x11_hierarchy`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x11_hierarchy::run());
+}

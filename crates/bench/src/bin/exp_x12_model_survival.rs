@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x12_model_survival`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x12_model_survival::run());
+}

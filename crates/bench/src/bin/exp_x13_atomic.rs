@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x13_atomic`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x13_atomic::run());
+}

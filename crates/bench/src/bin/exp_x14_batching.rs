@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x14_batching`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x14_batching::run());
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x15_topology`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x15_topology::run());
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x01_trace`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x01_trace::run());
+}

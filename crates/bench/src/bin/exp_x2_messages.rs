@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x02_messages`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x02_messages::run());
+}

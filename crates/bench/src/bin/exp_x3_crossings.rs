@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x03_crossings`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x03_crossings::run());
+}

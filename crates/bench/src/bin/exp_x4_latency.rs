@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x04_latency`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x04_latency::run());
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x05_response`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x05_response::run());
+}

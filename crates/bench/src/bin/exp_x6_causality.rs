@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x06_causality`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x06_causality::run());
+}

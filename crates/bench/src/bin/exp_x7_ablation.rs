@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x07_ablation`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x07_ablation::run());
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x08_sequential`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x08_sequential::run());
+}

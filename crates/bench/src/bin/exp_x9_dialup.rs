@@ -1,0 +1,5 @@
+//! Experiment binary: see `cmi_bench::experiments::x09_dialup`.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x09_dialup::run());
+}

@@ -1,0 +1,6 @@
+//! Runs every experiment in the suite and prints all reports
+//! (the source of the numbers quoted in EXPERIMENTS.md).
+
+fn main() {
+    print!("{}", cmi_bench::experiments::run_all());
+}

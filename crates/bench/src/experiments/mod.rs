@@ -1,0 +1,54 @@
+//! The experiment suite: one module per row of the experiment index in
+//! `DESIGN.md` §6. Each module's `run()` returns the formatted report
+//! its binary prints, so `run_all` and the test-suite can reuse them.
+
+pub mod x01_trace;
+pub mod x02_messages;
+pub mod x03_crossings;
+pub mod x04_latency;
+pub mod x05_response;
+pub mod x06_causality;
+pub mod x07_ablation;
+pub mod x08_sequential;
+pub mod x09_dialup;
+pub mod x10_lemmas;
+pub mod x11_hierarchy;
+pub mod x12_model_survival;
+pub mod x13_atomic;
+pub mod x14_batching;
+pub mod x15_topology;
+
+/// An experiment entry: display id + runner.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Runs every experiment and concatenates the reports (the `run_all`
+/// binary's payload).
+pub fn run_all() -> String {
+    let mut out = String::new();
+    for (name, f) in registry() {
+        out.push_str(&format!("\n######## {name} ########\n"));
+        out.push_str(&f());
+    }
+    out
+}
+
+/// Experiment registry: `(id, runner)`.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        ("X1 protocol trace (Figs. 1-3)", x01_trace::run),
+        ("X2 messages per write (Section 6)", x02_messages::run),
+        ("X3 link crossings (Section 6)", x03_crossings::run),
+        ("X4 latency 3l+2d (Section 6)", x04_latency::run),
+        ("X5 response time (Section 6)", x05_response::run),
+        ("X6 Theorem 1 / Corollary 1", x06_causality::run),
+        ("X7 ablations (Section 3)", x07_ablation::run),
+        ("X8 sequential interconnection (Section 1.1)", x08_sequential::run),
+        ("X9 dial-up link (Section 1.1)", x09_dialup::run),
+        ("X10 lemma trace checks (Lemmas 1-6)", x10_lemmas::run),
+        ("X11 consistency hierarchy (extension)", x11_hierarchy::run),
+        ("X12 model survival under interconnection (extension)", x12_model_survival::run),
+        ("X13 atomic memory interconnection (extension)", x13_atomic::run),
+        ("X14 link batching (extension)", x14_batching::run),
+        ("X15 tree shapes (extension)", x15_topology::run),
+    ]
+}

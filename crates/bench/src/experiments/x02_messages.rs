@@ -1,0 +1,128 @@
+//! X2 — Section 6's message counts, measured.
+//!
+//! Paper: with a causal MCS-protocol that sends `x−1` messages per write
+//! in a system of `x` MCS-processes,
+//!
+//! * one global system of `n` processes: `n − 1` messages per write;
+//! * two interconnected systems (`n/2` each): `n + 1`;
+//! * `m` interconnected systems: `n + m − 1` (one IS-process per system,
+//!   our *shared* topology). The literal pairwise construction of
+//!   Theorem 1 (two IS-processes per link) gives `n + 2m − 3`, which we
+//!   also measure.
+
+use cmi_core::IsTopology;
+use cmi_memory::{ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
+use cmi_types::SystemId;
+
+use crate::presets::interconnected_world;
+use crate::table::{ratio, Table};
+
+const OPS: u32 = 10;
+const VARS: u32 = 3;
+const LINK: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// Messages per write in one global system of `n` processes.
+pub fn global_messages_per_write(n: usize, seed: u64) -> f64 {
+    let config =
+        SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(VARS as usize);
+    let mut sys = SingleSystem::build(config, &WorkloadSpec::write_only(OPS, VARS), seed);
+    sys.run();
+    let writes = (n as u64) * OPS as u64;
+    sys.sim().stats().total_messages() as f64 / writes as f64
+}
+
+/// Messages per write in `m` chained systems of `n_each` processes.
+pub fn interconnected_messages_per_write(
+    m: usize,
+    n_each: usize,
+    topology: IsTopology,
+    seed: u64,
+) -> f64 {
+    let mut world = interconnected_world(ProtocolKind::Ahamad, m, n_each, LINK, topology, seed);
+    let report = world.run(&WorkloadSpec::write_only(OPS, VARS));
+    assert!(report.outcome().is_quiescent());
+    let writes = (m * n_each) as u64 * OPS as u64;
+    report.stats().total_messages() as f64 / writes as f64
+}
+
+/// Runs the sweep and renders the comparison tables.
+pub fn run() -> String {
+    let mut out = String::new();
+
+    let mut t = Table::new(
+        "global system: messages per write vs n (predicted n−1)",
+        &["n", "measured", "predicted", "ratio"],
+    );
+    for n in [4usize, 8, 16, 32] {
+        let measured = global_messages_per_write(n, 7);
+        let predicted = (n - 1) as f64;
+        t.row(&[
+            n.to_string(),
+            format!("{measured:.2}"),
+            format!("{predicted:.0}"),
+            ratio(measured, predicted),
+        ]);
+    }
+    out.push_str(&t.to_string());
+
+    let mut t = Table::new(
+        "two systems of n/2: messages per write (predicted n+1)",
+        &["n", "measured", "predicted", "ratio"],
+    );
+    for n in [4usize, 8, 16, 32] {
+        let measured =
+            interconnected_messages_per_write(2, n / 2, IsTopology::Shared, 7);
+        let predicted = (n + 1) as f64;
+        t.row(&[
+            n.to_string(),
+            format!("{measured:.2}"),
+            format!("{predicted:.0}"),
+            ratio(measured, predicted),
+        ]);
+    }
+    out.push_str(&t.to_string());
+
+    let mut t = Table::new(
+        "m systems of 4 (n = 4m): shared predicts n+m−1, pairwise n+2m−3",
+        &["m", "n", "shared", "pred", "pairwise", "pred"],
+    );
+    for m in [2usize, 3, 4, 6] {
+        let n = 4 * m;
+        let shared = interconnected_messages_per_write(m, 4, IsTopology::Shared, 7);
+        let pairwise = interconnected_messages_per_write(m, 4, IsTopology::Pairwise, 7);
+        t.row(&[
+            m.to_string(),
+            n.to_string(),
+            format!("{shared:.2}"),
+            format!("{}", n + m - 1),
+            format!("{pairwise:.2}"),
+            format!("{}", n + 2 * m - 3),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x2_matches_the_closed_forms_exactly() {
+        // Deterministic protocols + exact counting: the measured values
+        // must match the paper's formulas exactly, not just in shape.
+        assert_eq!(global_messages_per_write(8, 1), 7.0);
+        assert_eq!(
+            interconnected_messages_per_write(2, 4, IsTopology::Shared, 1),
+            9.0 // n + 1 with n = 8
+        );
+        assert_eq!(
+            interconnected_messages_per_write(3, 4, IsTopology::Shared, 1),
+            14.0 // n + m − 1 with n = 12, m = 3
+        );
+        assert_eq!(
+            interconnected_messages_per_write(3, 4, IsTopology::Pairwise, 1),
+            15.0 // n + 2m − 3
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! X4 — Section 6's worst-case latency `3l + 2d`, measured.
+//!
+//! Paper: "if we have m systems, a system running the basic causal
+//! protocol has latency l, the delay of a message between two
+//! IS-processes is d, and we interconnect the systems in a star fashion,
+//! the worst case latency is 3l + 2d."
+//!
+//! The `3l` counts three intra-system hops: origin system (write →
+//! IS-replica), hub system (IS write → the hub's *other* IS-process) and
+//! destination system (IS write → application replicas). That is the
+//! literal pairwise construction; the shared-IS variant skips the hub
+//! traversal (its single IS-process forwards directly) and achieves
+//! `2l + 2d` — measured here as an ablation of design decision #3.
+
+use std::time::Duration;
+
+use cmi_core::{IsTopology, RunReport};
+use cmi_memory::{OpPlan, ProtocolKind};
+use cmi_types::{ProcId, SystemId, Value, VarId};
+
+use crate::presets::star_world;
+use crate::table::Table;
+
+/// Runs one star, writes once in leaf 1, and returns the worst-case
+/// visibility latency among leaf 2's application processes.
+pub fn leaf_to_leaf_latency(
+    l: Duration,
+    d: Duration,
+    topology: IsTopology,
+    seed: u64,
+) -> Duration {
+    let mut world = star_world(ProtocolKind::Ahamad, 3, 2, l, d, topology, seed);
+    let writer = ProcId::new(SystemId(1), 0); // leaf 1 (system 0 is the hub)
+    let report: RunReport = world.run_scripted([(
+        writer,
+        vec![(
+            Duration::from_millis(1),
+            OpPlan::Write(VarId(0), Value::new(writer, 1)),
+        )],
+    )]);
+    assert!(report.outcome().is_quiescent());
+    let wv = report.write_visibility();
+    assert_eq!(wv.len(), 1);
+    wv[0]
+        .visible_at
+        .iter()
+        .filter(|(p, _)| p.system == SystemId(2)) // leaf 2
+        .map(|(_, t)| t.saturating_since(wv[0].issued_at))
+        .max()
+        .expect("write visible in leaf 2")
+}
+
+/// Runs the l/d sweep and renders the comparison table.
+pub fn run() -> String {
+    let ms = Duration::from_millis;
+    let mut out = String::new();
+    let mut t = Table::new(
+        "star of 3 systems: leaf→leaf worst-case latency",
+        &["l", "d", "pairwise", "pred 3l+2d", "shared", "pred 2l+2d"],
+    );
+    for (l, d) in [(1u64, 5u64), (1, 10), (2, 10), (4, 20), (1, 40)] {
+        let pw = leaf_to_leaf_latency(ms(l), ms(d), IsTopology::Pairwise, 1);
+        let sh = leaf_to_leaf_latency(ms(l), ms(d), IsTopology::Shared, 1);
+        t.row(&[
+            format!("{l}ms"),
+            format!("{d}ms"),
+            format!("{pw:?}"),
+            format!("{}ms", 3 * l + 2 * d),
+            format!("{sh:?}"),
+            format!("{}ms", 2 * l + 2 * d),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nPairwise interconnection reproduces the paper's 3l+2d exactly;\n\
+         the shared-IS variant saves one intra-system traversal (2l+2d).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x4_pairwise_latency_is_exactly_3l_plus_2d() {
+        let ms = Duration::from_millis;
+        for (l, d) in [(1u64, 5u64), (2, 10)] {
+            let measured = leaf_to_leaf_latency(ms(l), ms(d), IsTopology::Pairwise, 1);
+            assert_eq!(measured, ms(3 * l + 2 * d), "l={l} d={d}");
+        }
+    }
+
+    #[test]
+    fn x4_shared_latency_is_exactly_2l_plus_2d() {
+        let ms = Duration::from_millis;
+        let measured = leaf_to_leaf_latency(ms(2), ms(10), IsTopology::Shared, 1);
+        assert_eq!(measured, ms(2 * 2 + 2 * 10));
+    }
+}

@@ -1,0 +1,106 @@
+//! X9 — Section 1.1's dial-up tolerance, quantified.
+//!
+//! The link's availability duty cycle is swept from always-up down to
+//! 5%; for each setting the run must stay causal and complete, while the
+//! cross-system visibility latency shows the queue-and-flush cost.
+
+use std::time::Duration;
+
+use cmi_checker::causal;
+use cmi_core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_sim::{Availability, ChannelSpec};
+
+use crate::table::Table;
+
+/// Runs one duty-cycle setting (`up_ms` out of every `period_ms`).
+pub fn dialup_run(up_ms: u64, period_ms: u64, seed: u64) -> RunReport {
+    let channel = if up_ms >= period_ms {
+        ChannelSpec::fixed(Duration::from_millis(2))
+    } else {
+        ChannelSpec::fixed(Duration::from_millis(2)).with_availability(Availability::DutyCycle {
+            period: Duration::from_millis(period_ms),
+            up: Duration::from_millis(up_ms),
+        })
+    };
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+    b.link(a, c, LinkSpec::new(Duration::ZERO).with_channel(channel));
+    let mut world = b.build(seed).expect("valid pair");
+    world.run(&WorkloadSpec::small().with_ops(25).with_write_fraction(0.5))
+}
+
+/// `(median, max)` cross-system visibility latency of a report.
+pub fn cross_latency(report: &RunReport) -> (Duration, Duration) {
+    let mut lats: Vec<Duration> = report
+        .write_visibility()
+        .iter()
+        .filter_map(|wv| {
+            let origin = wv.val.origin().system;
+            wv.visible_at
+                .iter()
+                .filter(|(p, _)| p.system != origin)
+                .map(|(_, t)| t.saturating_since(wv.issued_at))
+                .max()
+        })
+        .collect();
+    lats.sort();
+    if lats.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    (lats[lats.len() / 2], *lats.last().unwrap())
+}
+
+/// Runs the duty-cycle sweep and renders the table.
+pub fn run() -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "dial-up link: duty cycle vs cross-system visibility latency",
+        &["uptime", "causal", "median latency", "max latency"],
+    );
+    for (up, period, label) in [
+        (100u64, 100u64, "100%"),
+        (50, 100, "50%"),
+        (20, 100, "20%"),
+        (10, 100, "10%"),
+        (10, 200, "5%"),
+    ] {
+        let report = dialup_run(up, period, 7);
+        assert!(report.outcome().is_quiescent());
+        let causal = causal::check(&report.global_history()).is_causal();
+        let (median, max) = cross_latency(&report);
+        t.row(&[
+            label.to_string(),
+            causal.to_string(),
+            format!("{median:?}"),
+            format!("{max:?}"),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nCausality survives arbitrarily low uptime — updates queue in FIFO\n\
+         order and flush at the next window (Section 1.1's dial-up claim);\n\
+         only the visibility latency degrades.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x9_low_duty_cycles_remain_causal_with_higher_latency() {
+        let always = dialup_run(100, 100, 7);
+        let scarce = dialup_run(10, 200, 7);
+        assert!(causal::check(&always.global_history()).is_causal());
+        assert!(causal::check(&scarce.global_history()).is_causal());
+        let (_, max_always) = cross_latency(&always);
+        let (_, max_scarce) = cross_latency(&scarce);
+        assert!(
+            max_scarce > max_always,
+            "queued delivery must cost latency ({max_scarce:?} vs {max_always:?})"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! X12 (extension) — which consistency models survive IS-protocol
+//! interconnection?
+//!
+//! Theorem 1 answers the question for causal memory: the union of causal
+//! systems is causal. The paper's Section 1.1 already shows sequential
+//! consistency does *not* survive (it degrades to causal). This
+//! experiment completes the picture for the neighbouring models:
+//!
+//! * **PRAM** — survives: the IS-protocols transmit pairs in
+//!   replica-update order over FIFO links, so per-writer order is
+//!   preserved end to end.
+//! * **Cache** — does **not** survive: after interconnection every
+//!   variable has *two* owners (one per system), and their per-variable
+//!   orders can disagree, exactly like the sequential case.
+//!
+//! Together with X8 and X6, the survival table is:
+//! causal ✓ (Theorem 1), sequential ✗ (degrades to causal),
+//! PRAM ✓ (measured), cache ✗ (counterexample).
+
+use std::time::Duration;
+
+use cmi_checker::{cache, causal, linearizable, pram, sequential, session};
+use cmi_core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{OpPlan, ProtocolKind, WorkloadSpec};
+use cmi_sim::ChannelSpec;
+use cmi_types::{ProcId, SystemId, Value, VarId};
+
+use crate::table::Table;
+
+/// Random pair world of one protocol with a jittered intra mesh (the
+/// concurrency conditions of X11).
+pub fn random_pair(kind: ProtocolKind, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let intra = ChannelSpec::jittered(Duration::from_millis(1), Duration::from_millis(18));
+    let a = b.add_system(SystemSpec::new("A", kind, 3).with_intra(intra));
+    let c = b.add_system(SystemSpec::new("B", kind, 3).with_intra(intra));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(6)));
+    let mut world = b.build(seed).expect("valid pair");
+    world.run(
+        &WorkloadSpec::small()
+            .with_ops(10)
+            .with_write_fraction(0.5)
+            .with_vars(2)
+            .with_mean_gap(Duration::from_millis(2)),
+    )
+}
+
+/// Scripted adversarial pair for the cache arm: concurrent writes to one
+/// variable in both systems, polling readers in both.
+pub fn adversarial_cache_pair(seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(1);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::VarSeq, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::VarSeq, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(seed).expect("valid pair");
+    let wa = ProcId::new(SystemId(0), 1);
+    let wb = ProcId::new(SystemId(1), 1);
+    let ms = Duration::from_millis;
+    let script = |w: ProcId| {
+        let mut s = vec![(ms(5), OpPlan::Write(VarId(0), Value::new(w, 1)))];
+        for _ in 0..15 {
+            s.push((ms(2), OpPlan::Read(VarId(0))));
+        }
+        s
+    };
+    world.run_scripted([(wa, script(wa)), (wb, script(wb))])
+}
+
+const SEEDS: u64 = 8;
+
+/// Runs the survival sweep and renders the table.
+pub fn run() -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "which models survive interconnection? (constituents vs union)",
+        &["model", "protocol", "constituents hold", "union holds"],
+    );
+
+    // Causal (Theorem 1): random sweep.
+    let mut constituents = true;
+    let mut union = true;
+    for seed in 0..SEEDS {
+        let r = random_pair(ProtocolKind::Ahamad, seed);
+        for k in [SystemId(0), SystemId(1)] {
+            constituents &= causal::check(&r.system_history(k)).is_causal();
+        }
+        union &= causal::check(&r.global_history()).is_causal();
+    }
+    t.row(&[
+        "causal".into(),
+        "ahamad".into(),
+        format!("{constituents} ({SEEDS} seeds)"),
+        format!("{union} ✓ Theorem 1"),
+    ]);
+
+    // Atomic: adversarial (X13's scenario).
+    let r = crate::experiments::x13_atomic::interconnected_atomic(1);
+    let constituents = {
+        // Each constituent's own computation (α^k minus the IS-process's
+        // internal reads is not well-defined for atomicity; we check the
+        // standalone protocol instead, which X13 verifies directly).
+        linearizable::check(&crate::experiments::x13_atomic::standalone_atomic(3))
+            .is_linearizable()
+    };
+    let union = linearizable::check(&r.global_history()).is_linearizable();
+    t.row(&[
+        "atomic".into(),
+        "atomic".into(),
+        constituents.to_string(),
+        format!("{union} ✗ propagation delay visible"),
+    ]);
+
+    // Sequential: adversarial (X8's scenario).
+    let r = crate::experiments::x08_sequential::opposite_orders_run(1);
+    let constituents = [SystemId(0), SystemId(1)]
+        .iter()
+        .all(|k| sequential::check(&r.system_history(*k)).is_sequential());
+    let union = sequential::check(&r.global_history()).is_sequential();
+    t.row(&[
+        "sequential".into(),
+        "sequencer".into(),
+        constituents.to_string(),
+        format!("{union} ✗ degrades to causal"),
+    ]);
+
+    // PRAM: random sweep over the eager protocol.
+    let mut constituents = true;
+    let mut union = true;
+    for seed in 0..SEEDS {
+        let r = random_pair(ProtocolKind::EagerFifo, seed);
+        for k in [SystemId(0), SystemId(1)] {
+            constituents &= pram::check(&r.system_history(k)).is_pram();
+        }
+        union &= pram::check(&r.global_history()).is_pram();
+    }
+    t.row(&[
+        "PRAM".into(),
+        "eager-fifo".into(),
+        format!("{constituents} ({SEEDS} seeds)"),
+        format!("{union} ✓ measured"),
+    ]);
+
+    // Session guarantees: implied by PRAM survival, measured anyway.
+    let mut union = true;
+    for seed in 0..SEEDS {
+        let r = random_pair(ProtocolKind::EagerFifo, seed);
+        union &= session::check(&r.global_history()).is_session();
+    }
+    t.row(&[
+        "session (RYW+MR)".into(),
+        "eager-fifo".into(),
+        "true".into(),
+        format!("{union} ✓ implied by PRAM"),
+    ]);
+
+    // Cache: adversarial double-owner scenario.
+    let r = adversarial_cache_pair(1);
+    let constituents = [SystemId(0), SystemId(1)]
+        .iter()
+        .all(|k| cache::check(&r.system_history(*k)).is_cache_consistent());
+    let union = cache::check(&r.global_history()).is_cache_consistent();
+    t.row(&[
+        "cache".into(),
+        "var-seq".into(),
+        constituents.to_string(),
+        format!("{union} ✗ two owners per variable"),
+    ]);
+
+    out.push_str(&t.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x12_pram_survives_interconnection() {
+        for seed in 0..4 {
+            let r = random_pair(ProtocolKind::EagerFifo, seed);
+            assert!(r.outcome().is_quiescent());
+            for k in [SystemId(0), SystemId(1)] {
+                assert!(
+                    pram::check(&r.system_history(k)).is_pram(),
+                    "constituent {k} not PRAM (seed {seed})"
+                );
+            }
+            assert!(
+                pram::check(&r.global_history()).is_pram(),
+                "union not PRAM (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn x12_cache_does_not_survive_interconnection() {
+        let r = adversarial_cache_pair(1);
+        for k in [SystemId(0), SystemId(1)] {
+            assert!(
+                cache::check(&r.system_history(k)).is_cache_consistent(),
+                "constituent {k} must be cache consistent"
+            );
+        }
+        assert!(
+            !cache::check(&r.global_history()).is_cache_consistent(),
+            "the union must violate cache consistency (two owners)"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! X13 (extension) — the paper's closing Section 1.1 remark:
+//!
+//! > "There are other stronger-than-causal memory models (e.g., the
+//! > atomic memory model) to which this may apply as well. Clearly, the
+//! > system obtained most possibly will not be \[atomic\]."
+//!
+//! We implement atomic (linearizable) memory — sequencer-ordered writes
+//! **and** blocking reads whose serialization point is the sequencer —
+//! and show: a standalone atomic system passes the linearizability
+//! checker on real operation intervals; two atomic systems interconnect
+//! via the IS-protocols (atomic ⊆ causal, so Theorem 1 applies) into a
+//! union that is still causal but provably **not** atomic: the
+//! inter-system propagation delay is visible to real-time-aware readers.
+
+use std::time::Duration;
+
+use cmi_checker::{causal, linearizable, sequential};
+use cmi_core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{OpPlan, ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
+use cmi_types::{History, ProcId, SystemId, Value, VarId};
+
+use crate::table::Table;
+
+/// Standalone atomic system under a random workload.
+pub fn standalone_atomic(seed: u64) -> History {
+    let config = SystemConfig::new(SystemId(0), ProtocolKind::Atomic, 4).with_vars(3);
+    let mut sys = SingleSystem::build(config, &WorkloadSpec::small().with_ops(8), seed);
+    assert!(sys.run().is_quiescent());
+    sys.history()
+}
+
+/// Two atomic systems interconnected; a writer in A completes a write,
+/// a reader in B polls strictly afterwards and still sees `⊥` while the
+/// pair crosses the 10 ms link.
+pub fn interconnected_atomic(seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Atomic, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Atomic, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(seed).expect("valid pair");
+    let wa = ProcId::new(SystemId(0), 1);
+    let rb = ProcId::new(SystemId(1), 1);
+    let ms = Duration::from_millis;
+    let mut poll = Vec::new();
+    for _ in 0..8 {
+        poll.push((ms(3), OpPlan::Read(VarId(0))));
+    }
+    world.run_scripted([
+        (wa, vec![(ms(5), OpPlan::Write(VarId(0), Value::new(wa, 1)))]),
+        (rb, poll),
+    ])
+}
+
+/// Runs both arms and renders the table.
+pub fn run() -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "atomic memory and the interconnection (Section 1.1's remark)",
+        &["computation", "linearizable", "sequential", "causal"],
+    );
+    let standalone = standalone_atomic(3);
+    t.row(&[
+        "standalone atomic system".into(),
+        linearizable::check(&standalone).is_linearizable().to_string(),
+        sequential::check(&standalone).is_sequential().to_string(),
+        causal::check(&standalone).is_causal().to_string(),
+    ]);
+    let report = interconnected_atomic(1);
+    let global = report.global_history();
+    t.row(&[
+        "α^T of two interconnected atomic systems".into(),
+        linearizable::check(&global).is_linearizable().to_string(),
+        sequential::check(&global).is_sequential().to_string(),
+        causal::check(&global).is_causal().to_string(),
+    ]);
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nAtomic ⊆ causal, so Theorem 1 interconnects atomic systems too —\n\
+         but the union is only causal: a reader in B, polling strictly\n\
+         after a write completed in A, still observes ⊥ while the ⟨x,v⟩\n\
+         pair crosses the link, which real-time linearizability forbids.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_checker::linearizable::validate_witness;
+
+    #[test]
+    fn x13_standalone_atomic_is_linearizable() {
+        for seed in 0..4 {
+            let h = standalone_atomic(seed);
+            assert_eq!(h.len(), 32, "all blocking ops complete (seed {seed})");
+            match linearizable::check(&h) {
+                linearizable::LinearizableVerdict::Linearizable(w) => {
+                    validate_witness(&h, &w).unwrap();
+                }
+                other => panic!("seed {seed}: not linearizable: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn x13_interconnected_atomic_is_causal_but_not_linearizable() {
+        let report = interconnected_atomic(1);
+        assert!(report.outcome().is_quiescent());
+        let global = report.global_history();
+        // The reader really observed ⊥ strictly after the write completed.
+        let write_done = global
+            .iter()
+            .find(|o| o.kind.is_write())
+            .expect("the write")
+            .at;
+        let late_bottom = global.iter().any(|o| {
+            o.kind.is_read() && o.read_value() == Some(None) && o.issued_at > write_done
+        });
+        assert!(late_bottom, "scenario must exhibit the stale-⊥ read");
+        assert!(causal::check(&global).is_causal(), "Theorem 1 still applies");
+        assert_eq!(
+            linearizable::check(&global),
+            linearizable::LinearizableVerdict::NotLinearizable,
+            "the union must not be atomic"
+        );
+    }
+}

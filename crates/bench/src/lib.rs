@@ -1,0 +1,16 @@
+//! Shared harness utilities for the experiment binaries and Criterion
+//! benches: table rendering, world presets and result capture.
+//!
+//! Each binary in `src/bin/` regenerates one experiment from the
+//! paper's evaluation (see `DESIGN.md` §6 and `EXPERIMENTS.md` for the
+//! index); this library keeps their output format uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod presets;
+pub mod table;
+
+pub use presets::{interconnected_world, pair_world, star_world};
+pub use table::Table;

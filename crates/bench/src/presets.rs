@@ -1,0 +1,101 @@
+//! World presets shared by experiment binaries and benches.
+
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, IsTopology, LinkSpec, SystemSpec, World};
+use cmi_memory::ProtocolKind;
+use cmi_sim::ChannelSpec;
+
+/// Two systems of `n_each` processes linked by one FIFO channel of
+/// `link_delay` — the paper's canonical configuration (Sections 3–4).
+pub fn pair_world(
+    protocol: ProtocolKind,
+    n_each: usize,
+    link_delay: Duration,
+    seed: u64,
+) -> World {
+    let mut b = InterconnectBuilder::new();
+    let a = b.add_system(SystemSpec::new("A", protocol, n_each));
+    let c = b.add_system(SystemSpec::new("B", protocol, n_each));
+    b.link(a, c, LinkSpec::new(link_delay));
+    b.build(seed).expect("pair topology is valid")
+}
+
+/// `m` systems of `n_each` processes interconnected in a star around
+/// system 0 — Section 6's worst-case-latency configuration (`3l + 2d`).
+pub fn star_world(
+    protocol: ProtocolKind,
+    m: usize,
+    n_each: usize,
+    intra_delay: Duration,
+    link_delay: Duration,
+    topology: IsTopology,
+    seed: u64,
+) -> World {
+    assert!(m >= 2, "a star needs at least two systems");
+    let mut b = InterconnectBuilder::new().with_topology(topology);
+    let hub = b.add_system(
+        SystemSpec::new("hub", protocol, n_each).with_intra(ChannelSpec::fixed(intra_delay)),
+    );
+    for i in 1..m {
+        let leaf = b.add_system(
+            SystemSpec::new(format!("leaf{i}"), protocol, n_each)
+                .with_intra(ChannelSpec::fixed(intra_delay)),
+        );
+        b.link(hub, leaf, LinkSpec::new(link_delay));
+    }
+    b.build(seed).expect("star topology is valid")
+}
+
+/// `m` systems of `n_each` processes in a chain (path graph) — the
+/// deepest tree, stressing Corollary 1's inductive construction.
+pub fn interconnected_world(
+    protocol: ProtocolKind,
+    m: usize,
+    n_each: usize,
+    link_delay: Duration,
+    topology: IsTopology,
+    seed: u64,
+) -> World {
+    assert!(m >= 1);
+    let mut b = InterconnectBuilder::new().with_topology(topology);
+    let handles: Vec<_> = (0..m)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), protocol, n_each)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(w[0], w[1], LinkSpec::new(link_delay));
+    }
+    b.build(seed).expect("chain topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        let p = pair_world(ProtocolKind::Ahamad, 3, Duration::from_millis(10), 1);
+        assert_eq!(p.systems().len(), 2);
+        assert_eq!(p.total_mcs_processes(), 8);
+        let s = star_world(
+            ProtocolKind::Ahamad,
+            4,
+            2,
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            IsTopology::Shared,
+            1,
+        );
+        assert_eq!(s.systems().len(), 4);
+        assert_eq!(s.links().len(), 3);
+        let c = interconnected_world(
+            ProtocolKind::Frontier,
+            5,
+            2,
+            Duration::from_millis(5),
+            IsTopology::Pairwise,
+            1,
+        );
+        assert_eq!(c.links().len(), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Cache consistency checker.
+//!
+//! Cache consistency (Goodman; see the paper's references \[6\] and
+//! \[9\]) requires, **for each variable separately**, a single legal
+//! total order of all operations on that variable consistent with
+//! program order — i.e. sequential consistency per variable, with no
+//! ordering constraints *across* variables. The parametrized protocol of
+//! the paper's reference \[6\] can be instantiated to provide exactly
+//! this model; `cmi-memory`'s per-variable-sequencer protocol does so.
+//!
+//! Cache consistency is incomparable with causal memory: causal
+//! histories can violate it (two processes may order concurrent writes
+//! to one variable differently) and cache-consistent histories can
+//! violate causality (no cross-variable ordering at all).
+
+use cmi_types::{History, VarId};
+
+use crate::sequential::{self, SequentialVerdict};
+
+/// Outcome of a cache-consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// Every per-variable sub-history is sequentially consistent.
+    CacheConsistent,
+    /// Some variable's operations admit no legal total order.
+    NotCacheConsistent {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// Search budget exhausted on some variable.
+    Unknown {
+        /// The variable whose check ran out of budget.
+        var: VarId,
+    },
+}
+
+impl CacheVerdict {
+    /// `true` only for a proven cache-consistent verdict.
+    pub fn is_cache_consistent(&self) -> bool {
+        matches!(self, CacheVerdict::CacheConsistent)
+    }
+}
+
+/// Default per-variable search budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Checks cache consistency with the default budget.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{cache, litmus};
+///
+/// // Cross-variable inversions are fine for cache consistency…
+/// assert!(cache::check(&litmus::cross_variable_inversion()).is_cache_consistent());
+/// // …opposite per-variable orders are not.
+/// assert!(!cache::check(&litmus::opposite_orders()).is_cache_consistent());
+/// ```
+pub fn check(history: &History) -> CacheVerdict {
+    check_with_budget(history, DEFAULT_BUDGET)
+}
+
+/// Checks cache consistency with an explicit per-variable budget.
+pub fn check_with_budget(history: &History, budget: u64) -> CacheVerdict {
+    for var in history.vars() {
+        let sub = history.filtered(|op| op.var == var);
+        match sequential::check_with_budget(&sub, budget) {
+            SequentialVerdict::Sequential(_) => {}
+            SequentialVerdict::NotSequential => {
+                return CacheVerdict::NotCacheConsistent { var };
+            }
+            SequentialVerdict::Unknown => return CacheVerdict::Unknown { var },
+        }
+    }
+    CacheVerdict::CacheConsistent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn w(h: &mut History, proc: ProcId, var: u32, val: Value, at: u64) {
+        h.record(OpRecord::write(proc, VarId(var), val, t(at)));
+    }
+
+    fn r(h: &mut History, proc: ProcId, var: u32, val: Option<Value>, at: u64) {
+        h.record(OpRecord::read(proc, VarId(var), val, t(at)));
+    }
+
+    #[test]
+    fn empty_history_is_cache_consistent() {
+        assert!(check(&History::new()).is_cache_consistent());
+    }
+
+    /// Causal but NOT cache consistent: two readers order the same
+    /// variable's concurrent writes differently.
+    #[test]
+    fn opposite_orders_on_one_variable_violate_cache() {
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, a, 1);
+        w(&mut h, p(1), 0, b, 1);
+        r(&mut h, p(2), 0, Some(a), 2);
+        r(&mut h, p(2), 0, Some(b), 3);
+        r(&mut h, p(3), 0, Some(b), 2);
+        r(&mut h, p(3), 0, Some(a), 3);
+        assert!(causal::check(&h).is_causal(), "causal…");
+        assert_eq!(
+            check(&h),
+            CacheVerdict::NotCacheConsistent { var: VarId(0) },
+            "…but not cache consistent"
+        );
+    }
+
+    /// Cache consistent but NOT causal: the causality litmus violates
+    /// only a cross-variable constraint, which cache ignores.
+    #[test]
+    fn causality_litmus_is_cache_consistent() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        w(&mut h, p(1), 1, u, 3);
+        r(&mut h, p(2), 1, Some(u), 4);
+        r(&mut h, p(2), 0, None, 5);
+        assert!(!causal::check(&h).is_causal());
+        assert!(check(&h).is_cache_consistent());
+    }
+
+    #[test]
+    fn per_variable_program_order_still_binds() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        w(&mut h, p(0), 0, v1, 1);
+        w(&mut h, p(0), 0, v2, 2);
+        r(&mut h, p(1), 0, Some(v2), 3);
+        r(&mut h, p(1), 0, Some(v1), 4);
+        assert_eq!(
+            check(&h),
+            CacheVerdict::NotCacheConsistent { var: VarId(0) }
+        );
+    }
+
+    #[test]
+    fn sequential_histories_are_cache_consistent() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        r(&mut h, p(1), 1, None, 3);
+        assert!(check(&h).is_cache_consistent());
+    }
+
+    #[test]
+    fn zero_budget_is_unknown() {
+        let mut h = History::new();
+        w(&mut h, p(0), 0, Value::new(p(0), 1), 1);
+        assert!(matches!(
+            check_with_budget(&h, 0),
+            CacheVerdict::Unknown { .. }
+        ));
+    }
+}

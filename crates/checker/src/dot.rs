@@ -1,0 +1,120 @@
+//! Graphviz DOT export of computations and their causal order.
+//!
+//! Debugging aid: `cmi run … --dump-dot out.dot` renders the history
+//! with program-order chains per process (solid), writes-into edges
+//! (dashed) and any operations named in `highlight` in red — typically
+//! the operations of a checker violation.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use cmi_types::{History, OpId, OpKind, ReadSource};
+
+/// Renders `history` as a DOT digraph.
+///
+/// Nodes are grouped into one cluster per process; edges are the
+/// *direct* causal edges of Definition 2 (program order and
+/// writes-into), not the transitive closure.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{dot, litmus};
+///
+/// let rendered = dot::to_dot(&litmus::serial(), &[]);
+/// assert!(rendered.starts_with("digraph"));
+/// ```
+pub fn to_dot(history: &History, highlight: &[OpId]) -> String {
+    let highlighted: HashSet<OpId> = highlight.iter().copied().collect();
+    let mut out = String::from("digraph computation {\n  rankdir=TB;\n  node [fontsize=10];\n");
+
+    for (proc, ops) in history.by_process() {
+        let _ = writeln!(
+            out,
+            "  subgraph \"cluster_{proc}\" {{\n    label=\"{proc}\";\n    style=dashed;"
+        );
+        for id in &ops {
+            let op = history.op(*id);
+            let (shape, fill) = match op.kind {
+                OpKind::Write { .. } => ("box", "lightblue"),
+                OpKind::Read { .. } => ("ellipse", "white"),
+            };
+            let color = if highlighted.contains(id) {
+                "red"
+            } else {
+                "black"
+            };
+            let _ = writeln!(
+                out,
+                "    \"{id}\" [label=\"{op}\\n{at}\", shape={shape}, style=filled, fillcolor={fill}, color={color}];",
+                at = op.at
+            );
+        }
+        // Program order chain.
+        for w in ops.windows(2) {
+            let _ = writeln!(out, "    \"{}\" -> \"{}\";", w[0], w[1]);
+        }
+        out.push_str("  }\n");
+    }
+
+    // Writes-into edges (dashed, across clusters).
+    for (i, src) in history.reads_from().iter().enumerate() {
+        if let Some(ReadSource::Write(w)) = src {
+            let _ = writeln!(
+                out,
+                "  \"{w}\" -> \"op{i}\" [style=dashed, color=gray40, constraint=false];"
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+    fn sample() -> History {
+        let p0 = ProcId::new(SystemId(0), 0);
+        let p1 = ProcId::new(SystemId(0), 1);
+        let v = Value::new(p0, 1);
+        let mut h = History::new();
+        h.record(OpRecord::write(p0, VarId(0), v, SimTime::from_millis(1)));
+        h.record(OpRecord::read(p1, VarId(0), Some(v), SimTime::from_millis(2)));
+        h.record(OpRecord::read(p1, VarId(1), None, SimTime::from_millis(3)));
+        h
+    }
+
+    #[test]
+    fn dot_contains_clusters_nodes_and_edges() {
+        let dot = to_dot(&sample(), &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_S0.p0"));
+        assert!(dot.contains("cluster_S0.p1"));
+        // Writes-into edge from op0 to op1.
+        assert!(dot.contains("\"op0\" -> \"op1\" [style=dashed"));
+        // Program order edge within p1.
+        assert!(dot.contains("\"op1\" -> \"op2\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlighted_ops_are_red() {
+        let dot = to_dot(&sample(), &[cmi_types::OpId(1)]);
+        let line = dot
+            .lines()
+            .find(|l| l.contains("\"op1\" [label"))
+            .expect("op1 node");
+        assert!(line.contains("color=red"));
+    }
+
+    #[test]
+    fn writes_are_boxes_reads_are_ellipses() {
+        let dot = to_dot(&sample(), &[]);
+        let w = dot.lines().find(|l| l.contains("\"op0\" [label")).unwrap();
+        assert!(w.contains("shape=box"));
+        let r = dot.lines().find(|l| l.contains("\"op2\" [label")).unwrap();
+        assert!(r.contains("shape=ellipse"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Atomicity (linearizability) checker over operation intervals.
+//!
+//! Atomic memory — the "stronger-than-causal" model the paper's
+//! Section 1.1 mentions — demands a single legal total order of all
+//! operations that respects **real time**: if operation `a` completed
+//! before operation `b` was issued (their intervals `[issued_at, at]`
+//! do not overlap), `a` must come first. Overlapping operations may be
+//! ordered either way.
+//!
+//! The search reuses the scheduler pattern of the other exhaustive
+//! checkers (greedy legal reads, dead-read pruning, memoization) with
+//! the interval order ∪ program order as the precedence. Interval
+//! orders are transitively closed by construction, so the direct edges
+//! are already the full relation.
+//!
+//! Experiment X13 uses this checker for the Section 1.1 remark: two
+//! atomic systems interconnect (atomic ⊆ causal, Theorem 1 applies)
+//! into a union that is causal but **not** atomic.
+
+use std::collections::{HashMap, HashSet};
+
+use cmi_types::{History, OpId, OpKind, Value, VarId};
+
+/// Outcome of an atomicity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearizableVerdict {
+    /// A legal, real-time-respecting total order exists (the witness).
+    Linearizable(Vec<OpId>),
+    /// No such order exists.
+    NotLinearizable,
+    /// Search budget exhausted.
+    Unknown,
+}
+
+impl LinearizableVerdict {
+    /// `true` only when a witness was found.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinearizableVerdict::Linearizable(_))
+    }
+}
+
+/// Default backtracking budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Checks linearizability with the default budget.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::linearizable;
+/// use cmi_types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+///
+/// let p0 = ProcId::new(SystemId(0), 0);
+/// let p1 = ProcId::new(SystemId(0), 1);
+/// let v = Value::new(p0, 1);
+/// let mut h = History::new();
+/// // Write completes at 2 ms…
+/// h.record(OpRecord::write(p0, VarId(0), v, SimTime::from_millis(2))
+///     .with_issued_at(SimTime::from_millis(1)));
+/// // …a read issued at 5 ms still returns ⊥: stale in real time.
+/// h.record(OpRecord::read(p1, VarId(0), None, SimTime::from_millis(6))
+///     .with_issued_at(SimTime::from_millis(5)));
+/// assert!(!linearizable::check(&h).is_linearizable());
+/// ```
+pub fn check(history: &History) -> LinearizableVerdict {
+    check_with_budget(history, DEFAULT_BUDGET)
+}
+
+/// Checks linearizability with an explicit budget.
+pub fn check_with_budget(history: &History, budget: u64) -> LinearizableVerdict {
+    let n = history.len();
+    // Precedence: real-time (a.at < b.issued_at) ∪ program order.
+    // Count unmet predecessors per op.
+    let recs = history.as_slice();
+    let mut unmet = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut last_of: HashMap<_, usize> = HashMap::new();
+    for (i, r) in recs.iter().enumerate() {
+        if let Some(&prev) = last_of.get(&r.proc) {
+            succs[prev].push(i);
+            unmet[i] += 1;
+        }
+        last_of.insert(r.proc, i);
+    }
+    for (i, a) in recs.iter().enumerate() {
+        for (j, b) in recs.iter().enumerate() {
+            if i != j && a.at < b.issued_at && a.proc != b.proc {
+                succs[i].push(j);
+                unmet[j] += 1;
+            }
+        }
+    }
+    let mut var_ix: HashMap<VarId, usize> = HashMap::new();
+    for r in recs {
+        let next = var_ix.len();
+        var_ix.entry(r.var).or_insert(next);
+    }
+    let n_vars = var_ix.len();
+    let mut search = Search {
+        history,
+        succs,
+        var_ix,
+        n,
+        budget,
+        steps: 0,
+        scheduled: vec![false; n],
+        unmet,
+        last_write: vec![None; n_vars],
+        writes_done: vec![HashSet::new(); n_vars],
+        order: Vec::with_capacity(n),
+        memo: HashSet::new(),
+    };
+    match search.dfs() {
+        Dfs::Done => LinearizableVerdict::Linearizable(
+            search.order.iter().map(|&i| OpId(i as u64)).collect(),
+        ),
+        Dfs::Fail => LinearizableVerdict::NotLinearizable,
+        Dfs::Budget => LinearizableVerdict::Unknown,
+    }
+}
+
+struct Search<'a> {
+    history: &'a History,
+    succs: Vec<Vec<usize>>,
+    var_ix: HashMap<VarId, usize>,
+    n: usize,
+    budget: u64,
+    steps: u64,
+    scheduled: Vec<bool>,
+    unmet: Vec<usize>,
+    last_write: Vec<Option<Value>>,
+    writes_done: Vec<HashSet<Value>>,
+    order: Vec<usize>,
+    memo: HashSet<(Vec<u64>, Vec<Option<Value>>)>,
+}
+
+enum Dfs {
+    Done,
+    Fail,
+    Budget,
+}
+
+impl Search<'_> {
+    fn enabled(&self, i: usize) -> bool {
+        !self.scheduled[i] && self.unmet[i] == 0
+    }
+
+    fn var_of(&self, i: usize) -> usize {
+        self.var_ix[&self.history.as_slice()[i].var]
+    }
+
+    fn read_legal(&self, i: usize) -> bool {
+        let op = &self.history.as_slice()[i];
+        let OpKind::Read { value } = op.kind else {
+            return false;
+        };
+        self.last_write[self.var_of(i)] == value
+    }
+
+    fn read_dead(&self, i: usize) -> bool {
+        let op = &self.history.as_slice()[i];
+        let OpKind::Read { value } = op.kind else {
+            return false;
+        };
+        let v = self.var_of(i);
+        match value {
+            None => !self.writes_done[v].is_empty(),
+            Some(val) => self.writes_done[v].contains(&val) && self.last_write[v] != Some(val),
+        }
+    }
+
+    fn schedule(&mut self, i: usize) {
+        self.scheduled[i] = true;
+        self.order.push(i);
+        for k in 0..self.succs[i].len() {
+            let j = self.succs[i][k];
+            self.unmet[j] -= 1;
+        }
+        if let OpKind::Write { value } = self.history.as_slice()[i].kind {
+            let v = self.var_of(i);
+            self.last_write[v] = Some(value);
+            self.writes_done[v].insert(value);
+        }
+    }
+
+    fn unschedule(&mut self, i: usize, saved: Option<Value>) {
+        debug_assert_eq!(self.order.last(), Some(&i));
+        self.order.pop();
+        self.scheduled[i] = false;
+        for k in 0..self.succs[i].len() {
+            let j = self.succs[i][k];
+            self.unmet[j] += 1;
+        }
+        if let OpKind::Write { value } = self.history.as_slice()[i].kind {
+            let v = self.var_of(i);
+            self.writes_done[v].remove(&value);
+            self.last_write[v] = saved;
+        }
+    }
+
+    fn dfs(&mut self) -> Dfs {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Dfs::Budget;
+        }
+        let mut greedy = Vec::new();
+        loop {
+            let mut progressed = false;
+            for i in 0..self.n {
+                if self.enabled(i)
+                    && self.history.as_slice()[i].kind.is_read()
+                    && self.read_legal(i)
+                {
+                    self.schedule(i);
+                    greedy.push(i);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let result = self.dfs_inner();
+        if !matches!(result, Dfs::Done) {
+            for &i in greedy.iter().rev() {
+                self.unschedule(i, None);
+            }
+        }
+        result
+    }
+
+    fn dfs_inner(&mut self) -> Dfs {
+        if self.order.len() == self.n {
+            return Dfs::Done;
+        }
+        for i in 0..self.n {
+            if !self.scheduled[i] && self.read_dead(i) {
+                return Dfs::Fail;
+            }
+        }
+        let key = (self.pack(), self.last_write.clone());
+        if !self.memo.insert(key) {
+            return Dfs::Fail;
+        }
+        let candidates: Vec<usize> = (0..self.n)
+            .filter(|&i| self.enabled(i) && self.history.as_slice()[i].kind.is_write())
+            .collect();
+        if candidates.is_empty() {
+            return Dfs::Fail;
+        }
+        for i in candidates {
+            let saved = self.last_write[self.var_of(i)];
+            self.schedule(i);
+            match self.dfs() {
+                Dfs::Done => return Dfs::Done,
+                Dfs::Budget => {
+                    self.unschedule(i, saved);
+                    return Dfs::Budget;
+                }
+                Dfs::Fail => self.unschedule(i, saved),
+            }
+        }
+        Dfs::Fail
+    }
+
+    fn pack(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.n.div_ceil(64)];
+        for (i, &s) in self.scheduled.iter().enumerate() {
+            if s {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+}
+
+/// Validates a linearizability witness (test helper).
+pub fn validate_witness(history: &History, order: &[OpId]) -> Result<(), String> {
+    if order.len() != history.len() {
+        return Err("witness is not a permutation".into());
+    }
+    let mut pos = vec![usize::MAX; history.len()];
+    for (p, id) in order.iter().enumerate() {
+        pos[id.index()] = p;
+    }
+    // Legality.
+    let mut replicas: HashMap<VarId, Value> = HashMap::new();
+    for &id in order {
+        let op = history.op(id);
+        match op.kind {
+            OpKind::Write { value } => {
+                replicas.insert(op.var, value);
+            }
+            OpKind::Read { value } => {
+                if replicas.get(&op.var).copied() != value {
+                    return Err(format!("illegal read {op}"));
+                }
+            }
+        }
+    }
+    // Real-time order.
+    for a in history.iter() {
+        for b in history.iter() {
+            if a.id != b.id && a.at < b.issued_at && pos[a.id.index()] > pos[b.id.index()] {
+                return Err(format!("witness inverts real time: {} before {}", b.id, a.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(&History::new()).is_linearizable());
+    }
+
+    #[test]
+    fn serial_run_is_linearizable_with_valid_witness() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        match check(&h) {
+            LinearizableVerdict::Linearizable(w) => validate_witness(&h, &w).unwrap(),
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    /// A stale read strictly after a completed write is the canonical
+    /// atomicity violation — sequentially consistent, not linearizable.
+    #[test]
+    fn stale_read_after_completed_write_is_not_linearizable() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        // Write completes at 2ms.
+        h.record(
+            OpRecord::write(p(0), VarId(0), v, t(2)).with_issued_at(t(1)),
+        );
+        // Read issued at 5ms (after completion) still returns ⊥.
+        h.record(OpRecord::read(p(1), VarId(0), None, t(6)).with_issued_at(t(5)));
+        assert_eq!(check(&h), LinearizableVerdict::NotLinearizable);
+        // But it is sequentially consistent: the read may be ordered first.
+        assert!(crate::sequential::check(&h).is_sequential());
+    }
+
+    /// The same stale read is fine if the operations overlap in time.
+    #[test]
+    fn overlapping_stale_read_is_linearizable() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(4)).with_issued_at(t(1)));
+        // Read overlaps the write's interval.
+        h.record(OpRecord::read(p(1), VarId(0), None, t(3)).with_issued_at(t(2)));
+        assert!(check(&h).is_linearizable());
+    }
+
+    #[test]
+    fn program_order_binds_even_with_equal_times() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        h.record(OpRecord::write(p(0), VarId(0), v1, t(1)));
+        h.record(OpRecord::write(p(0), VarId(0), v2, t(1)));
+        // Same instant: real time doesn't order them, program order does.
+        h.record(OpRecord::read(p(1), VarId(0), Some(v2), t(3)).with_issued_at(t(2)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v1), t(5)).with_issued_at(t(4)));
+        assert_eq!(check(&h), LinearizableVerdict::NotLinearizable);
+    }
+
+    #[test]
+    fn linearizable_implies_sequential_on_litmus() {
+        for (name, h) in crate::litmus::all() {
+            if check(&h).is_linearizable() {
+                assert!(
+                    crate::sequential::check(&h).is_sequential(),
+                    "{name}: linearizable but not sequential?!"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_unknown() {
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), 1), t(1)));
+        assert_eq!(check_with_budget(&h, 0), LinearizableVerdict::Unknown);
+    }
+}

@@ -1,0 +1,229 @@
+//! Canonical litmus histories for the consistency models.
+//!
+//! Each constructor returns a small, hand-built computation whose
+//! verdict under every checker is known and documented — the shared
+//! vocabulary of the memory-model literature the paper builds on. They
+//! serve as executable documentation, as fixtures for the test-suites,
+//! and as a quick way for downstream users to sanity-check a custom
+//! checker configuration (see `examples/litmus_zoo.rs`).
+//!
+//! All histories are differentiated (every value written once), as the
+//! paper assumes.
+
+use cmi_types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+fn p(i: u16) -> ProcId {
+    ProcId::new(SystemId(0), i)
+}
+
+fn t(n: u64) -> SimTime {
+    SimTime::from_nanos(n)
+}
+
+fn w(h: &mut History, proc: ProcId, var: u32, val: Value, at: u64) {
+    h.record(OpRecord::write(proc, VarId(var), val, t(at)));
+}
+
+fn r(h: &mut History, proc: ProcId, var: u32, val: Option<Value>, at: u64) {
+    h.record(OpRecord::read(proc, VarId(var), val, t(at)));
+}
+
+/// A trivially serial history: one writer, one reader.
+///
+/// Verdicts: sequential ✓, causal ✓, PRAM ✓, cache ✓.
+pub fn serial() -> History {
+    let mut h = History::new();
+    let v = Value::new(p(0), 1);
+    w(&mut h, p(0), 0, v, 1);
+    r(&mut h, p(1), 0, Some(v), 2);
+    h
+}
+
+/// **Store buffering (SB)**: two processes each write one variable then
+/// read the other's, both reading `⊥`.
+///
+/// Verdicts: sequential ✗ (somebody's write must come first), causal ✓,
+/// PRAM ✓, cache ✓.
+pub fn store_buffering() -> History {
+    let mut h = History::new();
+    let a = Value::new(p(0), 1);
+    let b = Value::new(p(1), 1);
+    w(&mut h, p(0), 0, a, 1);
+    r(&mut h, p(0), 1, None, 2);
+    w(&mut h, p(1), 1, b, 1);
+    r(&mut h, p(1), 0, None, 2);
+    h
+}
+
+/// **IRIW** (independent reads of independent writes): two concurrent
+/// writes to different variables; two readers observe them in opposite
+/// orders (each sees one write and misses the other).
+///
+/// Verdicts: sequential ✗, causal ✓ (the writes are concurrent),
+/// PRAM ✓, cache ✓.
+pub fn iriw() -> History {
+    let mut h = History::new();
+    let a = Value::new(p(0), 1);
+    let b = Value::new(p(1), 1);
+    w(&mut h, p(0), 0, a, 1);
+    w(&mut h, p(1), 1, b, 1);
+    // Reader 2: sees a, not yet b.
+    r(&mut h, p(2), 0, Some(a), 2);
+    r(&mut h, p(2), 1, None, 3);
+    // Reader 3: sees b, not yet a.
+    r(&mut h, p(3), 1, Some(b), 2);
+    r(&mut h, p(3), 0, None, 3);
+    h
+}
+
+/// **Opposite orders of same-variable concurrent writes**: the classic
+/// "causal but not sequential" history (also the X8 scenario).
+///
+/// Verdicts: sequential ✗, causal ✓, PRAM ✓, cache ✗ (cache demands one
+/// per-variable order).
+pub fn opposite_orders() -> History {
+    let mut h = History::new();
+    let a = Value::new(p(0), 1);
+    let b = Value::new(p(1), 1);
+    w(&mut h, p(0), 0, a, 1);
+    w(&mut h, p(1), 0, b, 1);
+    r(&mut h, p(2), 0, Some(a), 2);
+    r(&mut h, p(2), 0, Some(b), 3);
+    r(&mut h, p(3), 0, Some(b), 2);
+    r(&mut h, p(3), 0, Some(a), 3);
+    h
+}
+
+/// **Causality violation (WRC — write/read causality)**: `p1` reads
+/// `p0`'s write and reacts with its own; `p2` sees the reaction but
+/// misses the cause. The paper's Section 3 is about preventing exactly
+/// this across an interconnection.
+///
+/// Verdicts: sequential ✗, causal ✗, PRAM ✓ (no per-writer order is
+/// broken), cache ✓ (different variables).
+pub fn causality_violation() -> History {
+    let mut h = History::new();
+    let v = Value::new(p(0), 1);
+    let u = Value::new(p(1), 1);
+    w(&mut h, p(0), 0, v, 1);
+    r(&mut h, p(1), 0, Some(v), 2);
+    w(&mut h, p(1), 1, u, 3);
+    r(&mut h, p(2), 1, Some(u), 4);
+    r(&mut h, p(2), 0, None, 5);
+    h
+}
+
+/// **Per-writer order violation**: one writer's two writes observed
+/// inverted — below even PRAM.
+///
+/// Verdicts: sequential ✗, causal ✗, PRAM ✗, cache ✗ (same variable).
+pub fn fifo_violation() -> History {
+    let mut h = History::new();
+    let v1 = Value::new(p(0), 1);
+    let v2 = Value::new(p(0), 2);
+    w(&mut h, p(0), 0, v1, 1);
+    w(&mut h, p(0), 0, v2, 2);
+    r(&mut h, p(1), 0, Some(v2), 3);
+    r(&mut h, p(1), 0, Some(v1), 4);
+    h
+}
+
+/// **Cross-variable per-writer inversion**: one writer's writes to two
+/// *different* variables observed inverted (`y` new, `x` still `⊥`).
+///
+/// Verdicts: sequential ✗, causal ✗, PRAM ✗, cache ✓ (each variable
+/// alone is fine) — separates cache from PRAM.
+pub fn cross_variable_inversion() -> History {
+    let mut h = History::new();
+    let v1 = Value::new(p(0), 1);
+    let v2 = Value::new(p(0), 2);
+    w(&mut h, p(0), 0, v1, 1);
+    w(&mut h, p(0), 1, v2, 2);
+    r(&mut h, p(1), 1, Some(v2), 3);
+    r(&mut h, p(1), 0, None, 4);
+    h
+}
+
+/// **Same-session oscillation**: one process reads `a`, then `b`, then
+/// `a` again on the same variable — no single write sequence can move
+/// forward through that, so even the weakest session guarantee
+/// (monotonic reads) fails.
+///
+/// Verdicts: everything ✗ except cache? — also ✗ (one variable), and
+/// session ✗.
+pub fn opposite_reads_same_session() -> History {
+    let mut h = History::new();
+    let a = Value::new(p(0), 1);
+    let b = Value::new(p(1), 1);
+    w(&mut h, p(0), 0, a, 1);
+    w(&mut h, p(1), 0, b, 1);
+    r(&mut h, p(2), 0, Some(a), 2);
+    r(&mut h, p(2), 0, Some(b), 3);
+    r(&mut h, p(2), 0, Some(a), 4);
+    h
+}
+
+/// The full zoo with display names, for table-driven tests and the
+/// example binary.
+pub fn all() -> Vec<(&'static str, History)> {
+    vec![
+        ("serial", serial()),
+        ("store buffering (SB)", store_buffering()),
+        ("IRIW", iriw()),
+        ("opposite orders", opposite_orders()),
+        ("causality violation (WRC)", causality_violation()),
+        ("FIFO violation", fifo_violation()),
+        ("cross-variable inversion", cross_variable_inversion()),
+        ("same-session oscillation", opposite_reads_same_session()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cache, causal, pram, sequential};
+
+    /// The documented verdict table, asserted in full. Litmus operations
+    /// are instantaneous points, so linearizability here means "the
+    /// timestamp order itself is legal".
+    #[test]
+    fn litmus_verdicts_match_their_documentation() {
+        // (name, linearizable, sequential, causal, pram, cache)
+        let expected = [
+            ("serial", true, true, true, true, true),
+            ("store buffering (SB)", false, false, true, true, true),
+            ("IRIW", false, false, true, true, true),
+            ("opposite orders", false, false, true, true, false),
+            ("causality violation (WRC)", false, false, false, true, true),
+            ("FIFO violation", false, false, false, false, false),
+            ("cross-variable inversion", false, false, false, false, true),
+            ("same-session oscillation", false, false, false, false, false),
+        ];
+        for ((name, h), (ename, lin, seq, cau, pr, ca)) in all().into_iter().zip(expected) {
+            assert_eq!(name, ename, "zoo order drifted");
+            assert!(h.validate_differentiated().is_ok(), "{name}");
+            assert_eq!(
+                crate::linearizable::check(&h).is_linearizable(),
+                lin,
+                "{name}: linearizable"
+            );
+            assert_eq!(sequential::check(&h).is_sequential(), seq, "{name}: sequential");
+            assert_eq!(causal::check(&h).is_causal(), cau, "{name}: causal");
+            assert_eq!(pram::check(&h).is_pram(), pr, "{name}: pram");
+            assert_eq!(cache::check(&h).is_cache_consistent(), ca, "{name}: cache");
+        }
+    }
+
+    /// Every litmus history also exercises the exhaustive path (no
+    /// screen shortcut) with the same verdicts.
+    #[test]
+    fn exhaustive_agrees_on_every_litmus() {
+        for (name, h) in all() {
+            assert_eq!(
+                causal::check(&h).is_causal(),
+                causal::check_exhaustive(&h).is_causal(),
+                "{name}"
+            );
+        }
+    }
+}

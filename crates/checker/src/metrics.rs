@@ -1,0 +1,161 @@
+//! Workload-characterization metrics over computations.
+//!
+//! The experiments quote these to show the checked histories are not
+//! trivially serial: a history where everything is causally ordered
+//! would make Theorem 1 vacuous, so X6 and the property suites want
+//! genuine concurrency in their inputs.
+
+use serde::{Deserialize, Serialize};
+
+use cmi_types::{History, OpId};
+
+use crate::order::CausalOrder;
+
+/// Summary metrics of one computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryMetrics {
+    /// Total operations.
+    pub ops: usize,
+    /// Write operations.
+    pub writes: usize,
+    /// Read operations.
+    pub reads: usize,
+    /// Participating processes.
+    pub procs: usize,
+    /// Variables touched.
+    pub vars: usize,
+    /// Fraction of distinct write pairs that are causally *concurrent*
+    /// (`0.0` = totally ordered, higher = more parallelism).
+    pub write_concurrency: f64,
+    /// Length (in edges) of the longest causal chain among writes.
+    pub longest_write_chain: usize,
+    /// Reads that returned the initial value `⊥`.
+    pub initial_reads: usize,
+}
+
+/// Computes the metrics for `history`.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{litmus, metrics};
+///
+/// let m = metrics::measure(&litmus::iriw());
+/// assert_eq!(m.writes, 2);
+/// assert_eq!(m.write_concurrency, 1.0); // the two writes are concurrent
+/// ```
+pub fn measure(history: &History) -> HistoryMetrics {
+    let co = CausalOrder::build(history);
+    let writes = history.writes();
+    let mut concurrent = 0usize;
+    let mut pairs = 0usize;
+    for (i, &a) in writes.iter().enumerate() {
+        for &b in &writes[i + 1..] {
+            pairs += 1;
+            if co.concurrent(a, b) {
+                concurrent += 1;
+            }
+        }
+    }
+    HistoryMetrics {
+        ops: history.len(),
+        writes: writes.len(),
+        reads: history.reads().len(),
+        procs: history.procs().len(),
+        vars: history.vars().len(),
+        write_concurrency: if pairs == 0 {
+            0.0
+        } else {
+            concurrent as f64 / pairs as f64
+        },
+        longest_write_chain: longest_chain(&co, &writes),
+        initial_reads: history
+            .reads_from()
+            .iter()
+            .filter(|s| matches!(s, Some(cmi_types::ReadSource::Initial)))
+            .count(),
+    }
+}
+
+/// Longest path (in edges) in the causal order restricted to `ops`,
+/// by dynamic programming over a topological iteration.
+fn longest_chain(co: &CausalOrder, ops: &[OpId]) -> usize {
+    // `ops` in a history are recorded in a linear extension of `→→`
+    // (time moves forward), so a single left-to-right DP pass suffices.
+    let mut depth = vec![0usize; ops.len()];
+    let mut best = 0;
+    for i in 0..ops.len() {
+        for j in 0..i {
+            if co.precedes(ops[j], ops[i]) {
+                depth[i] = depth[i].max(depth[j] + 1);
+            }
+        }
+        best = best.max(depth[i]);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn empty_history_measures_zero() {
+        let m = measure(&History::new());
+        assert_eq!(m.ops, 0);
+        assert_eq!(m.write_concurrency, 0.0);
+        assert_eq!(m.longest_write_chain, 0);
+    }
+
+    #[test]
+    fn fully_concurrent_writes() {
+        let mut h = History::new();
+        for i in 0..4u16 {
+            h.record(OpRecord::write(p(i), VarId(0), Value::new(p(i), 1), t(1)));
+        }
+        let m = measure(&h);
+        assert_eq!(m.writes, 4);
+        assert_eq!(m.write_concurrency, 1.0);
+        assert_eq!(m.longest_write_chain, 0);
+    }
+
+    #[test]
+    fn fully_serial_writes() {
+        let mut h = History::new();
+        for i in 0..4u32 {
+            h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), i), t(i as u64)));
+        }
+        let m = measure(&h);
+        assert_eq!(m.write_concurrency, 0.0);
+        assert_eq!(m.longest_write_chain, 3);
+    }
+
+    #[test]
+    fn mixed_history_counts_everything() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(1), VarId(1), Value::new(p(1), 1), t(3)));
+        h.record(OpRecord::read(p(2), VarId(1), None, t(1)));
+        let m = measure(&h);
+        assert_eq!(m.ops, 4);
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.reads, 2);
+        assert_eq!(m.procs, 3);
+        assert_eq!(m.vars, 2);
+        assert_eq!(m.initial_reads, 1);
+        // w0 →→ w1 through p1's read.
+        assert_eq!(m.write_concurrency, 0.0);
+        assert_eq!(m.longest_write_chain, 1);
+    }
+}

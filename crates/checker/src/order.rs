@@ -1,0 +1,292 @@
+//! The causal order `→→` of Definition 2.
+//!
+//! `op →^{α} op'` holds if (1) both are operations of the same process
+//! and `op` precedes `op'` in program order, or (2) `op = w(x)v` and
+//! `op' = r(x)v` (writes-into). The causal order `→→^{α}` is the
+//! transitive closure. This module materializes the closure as per-node
+//! reachability bitsets, computed in one reverse-topological sweep —
+//! `O(|ops|·|edges|/64)`, comfortably fast for the history sizes the
+//! experiments check.
+//!
+//! The closure is always computed on the **full** computation before
+//! being consulted for a projection: causality may flow through read
+//! operations of processes that the projection removes (the paper's
+//! causal views must preserve the order of the full `α^q`).
+
+use std::collections::HashMap;
+
+use cmi_types::{History, OpId, ReadSource};
+
+/// Dense bitset over operation indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    pub(crate) fn new(n: usize) -> Self {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    pub(crate) fn union_with(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// The materialized causal order of one computation.
+#[derive(Debug, Clone)]
+pub struct CausalOrder {
+    n: usize,
+    /// `reach[i]` = set of ops strictly causally after op `i`.
+    reach: Vec<Bits>,
+    /// Direct edges (program order + writes-into), for diagnostics.
+    edges: Vec<Vec<usize>>,
+    cyclic: bool,
+}
+
+impl CausalOrder {
+    /// Builds `→→` for `history`.
+    ///
+    /// A cyclic order (impossible for simulator-produced computations,
+    /// possible for hand-built adversarial ones) is reported through
+    /// [`is_cyclic`](Self::is_cyclic); reachability is then only the
+    /// partial closure and callers should treat the history as
+    /// non-causal immediately.
+    pub fn build(history: &History) -> Self {
+        Self::build_with(history, true)
+    }
+
+    /// Builds the **program order only** (no writes-into edges): the
+    /// precedence the PRAM (FIFO/pipelined-RAM) model constrains views
+    /// with. Always acyclic.
+    pub fn build_program_order(history: &History) -> Self {
+        Self::build_with(history, false)
+    }
+
+    /// Builds the program order of **one process only** — the precedence
+    /// of the session-guarantee (read-your-writes + monotonic-reads)
+    /// checker: process `proc`'s view must interleave its own operations
+    /// in issue order but owes nothing to anyone else's order.
+    pub fn build_single_process_order(history: &History, proc: cmi_types::ProcId) -> Self {
+        let n = history.len();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last: Option<usize> = None;
+        for (i, r) in history.iter().enumerate() {
+            if r.proc == proc {
+                if let Some(prev) = last {
+                    edges[prev].push(i);
+                }
+                last = Some(i);
+            }
+        }
+        Self::from_edge_lists(n, edges)
+    }
+
+    /// Builds the closure of an explicit edge list (must be acyclic for
+    /// full reachability; cycles are reported like in [`build`](Self::build)).
+    fn from_edge_lists(n: usize, edges: Vec<Vec<usize>>) -> Self {
+        let mut indegree = vec![0usize; n];
+        for targets in &edges {
+            for &t in targets {
+                indegree[t] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(v) = stack.pop() {
+            topo.push(v);
+            for &w in &edges[v] {
+                indegree[w] -= 1;
+                if indegree[w] == 0 {
+                    stack.push(w);
+                }
+            }
+        }
+        let cyclic = topo.len() != n;
+        let mut reach = vec![Bits::new(n); n];
+        for &v in topo.iter().rev() {
+            let mut acc = Bits::new(n);
+            for &w in &edges[v] {
+                acc.set(w);
+                acc.union_with(&reach[w]);
+            }
+            reach[v] = acc;
+        }
+        CausalOrder {
+            n,
+            reach,
+            edges,
+            cyclic,
+        }
+    }
+
+    fn build_with(history: &History, with_writes_into: bool) -> Self {
+        let n = history.len();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // (1) Program order: chain each process's consecutive ops.
+        let mut last_of: HashMap<_, usize> = HashMap::new();
+        for (i, r) in history.iter().enumerate() {
+            if let Some(&prev) = last_of.get(&r.proc) {
+                edges[prev].push(i);
+            }
+            last_of.insert(r.proc, i);
+        }
+
+        // (2) Writes-into: w(x)v → r(x)v.
+        if with_writes_into {
+            for (i, src) in history.reads_from().iter().enumerate() {
+                if let Some(ReadSource::Write(w)) = src {
+                    edges[w.index()].push(i);
+                }
+            }
+        }
+
+        Self::from_edge_lists(n, edges)
+    }
+
+    /// Number of operations covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the order covers no operations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` if `a →→ b` (strictly).
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        self.reach[a.index()].get(b.index())
+    }
+
+    /// `true` if neither precedes the other.
+    pub fn concurrent(&self, a: OpId, b: OpId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Direct (non-transitive) successors of `a`.
+    pub fn direct_successors(&self, a: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.edges[a.index()].iter().map(|&i| OpId(i as u64))
+    }
+
+    /// `true` if the "order" contained a cycle (malformed history).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    /// The paper's Section 3 scenario: w0(x)v; r1(x)v; w1(y)u.
+    fn chain_history() -> History {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1))); // op0
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2))); // op1
+        h.record(OpRecord::write(p(1), VarId(1), u, t(3))); // op2
+        h
+    }
+
+    #[test]
+    fn program_order_and_writes_into_are_direct_edges() {
+        let co = CausalOrder::build(&chain_history());
+        assert!(co.precedes(OpId(0), OpId(1)), "writes-into");
+        assert!(co.precedes(OpId(1), OpId(2)), "program order");
+        assert!(!co.precedes(OpId(1), OpId(0)));
+        assert!(!co.is_cyclic());
+        assert_eq!(co.len(), 3);
+    }
+
+    #[test]
+    fn transitivity_closes_the_chain() {
+        let co = CausalOrder::build(&chain_history());
+        assert!(co.precedes(OpId(0), OpId(2)), "w(x)v →→ w(y)u transitively");
+    }
+
+    #[test]
+    fn unrelated_ops_are_concurrent() {
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), 1), t(1)));
+        h.record(OpRecord::write(p(1), VarId(1), Value::new(p(1), 1), t(1)));
+        let co = CausalOrder::build(&h);
+        assert!(co.concurrent(OpId(0), OpId(1)));
+        assert!(!co.concurrent(OpId(0), OpId(0)));
+    }
+
+    #[test]
+    fn causality_flows_through_other_processes_reads() {
+        // w0(x)v → r2(x)v → w2(y)u → r1(y)u: op0 →→ op3 even though the
+        // intermediate ops belong to process 2.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(2), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(2), VarId(1), u, t(3)));
+        h.record(OpRecord::read(p(1), VarId(1), Some(u), t(4)));
+        let co = CausalOrder::build(&h);
+        assert!(co.precedes(OpId(0), OpId(3)));
+    }
+
+    #[test]
+    fn thin_air_reads_create_no_edge() {
+        let mut h = History::new();
+        h.record(OpRecord::read(p(0), VarId(0), Some(Value::new(p(9), 9)), t(1)));
+        let co = CausalOrder::build(&h);
+        assert_eq!(co.len(), 1);
+        assert!(!co.is_cyclic());
+    }
+
+    #[test]
+    fn direct_successors_enumerate_edges() {
+        let co = CausalOrder::build(&chain_history());
+        let succ: Vec<OpId> = co.direct_successors(OpId(0)).collect();
+        assert_eq!(succ, vec![OpId(1)]);
+    }
+
+    #[test]
+    fn empty_history_is_fine() {
+        let co = CausalOrder::build(&History::new());
+        assert!(co.is_empty());
+        assert!(!co.is_cyclic());
+    }
+
+    #[test]
+    fn bits_basic_ops() {
+        let mut b = Bits::new(130);
+        b.set(0);
+        b.set(129);
+        assert!(b.get(0));
+        assert!(b.get(129));
+        assert!(!b.get(64));
+        let mut c = Bits::new(130);
+        c.set(64);
+        b.union_with(&c);
+        assert!(b.get(64));
+    }
+}

@@ -1,0 +1,227 @@
+//! PRAM (pipelined-RAM / FIFO) consistency checker.
+//!
+//! PRAM is the weakest model in the hierarchy the paper's context draws
+//! on (its references \[5\] and \[9\] map that "jungle"): for each
+//! process `i` there must be a legal serialization of *all writes plus
+//! `i`'s reads* that preserves **every process's program order** — but,
+//! unlike causal memory, not the transitive reads-from relation.
+//! Causal ⇒ PRAM, so every history this crate's causal checker accepts
+//! passes here too; the converse fails (the litmus test below).
+//!
+//! The checker reuses the causal checker's backtracking view search with
+//! the program order in place of the causal order.
+
+use std::collections::BTreeMap;
+
+use cmi_types::{History, OpId, ProcId};
+
+use crate::causal::{find_view_with_order, SearchResult};
+use crate::order::CausalOrder;
+
+/// Outcome of a PRAM check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramVerdict {
+    /// Every process has a PRAM view (witnesses in the report).
+    Pram,
+    /// Some process provably has none.
+    NotPram {
+        /// The process whose projection has no PRAM view.
+        proc: ProcId,
+    },
+    /// Search budget exhausted.
+    Unknown,
+}
+
+impl PramVerdict {
+    /// `true` only for a proven-PRAM verdict.
+    pub fn is_pram(&self) -> bool {
+        matches!(self, PramVerdict::Pram)
+    }
+}
+
+/// Full result of a PRAM check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PramReport {
+    /// The verdict.
+    pub verdict: PramVerdict,
+    /// Witness views per process (populated when PRAM).
+    pub views: BTreeMap<ProcId, Vec<OpId>>,
+    /// Search steps spent.
+    pub steps: u64,
+}
+
+impl PramReport {
+    /// `true` only for a proven-PRAM verdict.
+    pub fn is_pram(&self) -> bool {
+        self.verdict.is_pram()
+    }
+}
+
+/// Default search budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Checks PRAM consistency with the default budget.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{litmus, pram};
+///
+/// // The causality violation is invisible to PRAM (no per-writer order
+/// // is broken)…
+/// assert!(pram::check(&litmus::causality_violation()).is_pram());
+/// // …but inverting one writer's writes is not.
+/// assert!(!pram::check(&litmus::fifo_violation()).is_pram());
+/// ```
+pub fn check(history: &History) -> PramReport {
+    check_with_budget(history, DEFAULT_BUDGET)
+}
+
+/// Checks PRAM consistency with an explicit budget.
+pub fn check_with_budget(history: &History, budget: u64) -> PramReport {
+    let po = CausalOrder::build_program_order(history);
+    debug_assert!(!po.is_cyclic(), "program order is always acyclic");
+    let mut views = BTreeMap::new();
+    let mut steps_total = 0u64;
+    for proc in history.procs() {
+        let (result, steps) =
+            find_view_with_order(history, &po, proc, budget.saturating_sub(steps_total));
+        steps_total += steps;
+        match result {
+            SearchResult::Found(view) => {
+                views.insert(proc, view);
+            }
+            SearchResult::Impossible => {
+                return PramReport {
+                    verdict: PramVerdict::NotPram { proc },
+                    views: BTreeMap::new(),
+                    steps: steps_total,
+                };
+            }
+            SearchResult::Budget => {
+                return PramReport {
+                    verdict: PramVerdict::Unknown,
+                    views: BTreeMap::new(),
+                    steps: steps_total,
+                };
+            }
+        }
+    }
+    PramReport {
+        verdict: PramVerdict::Pram,
+        views,
+        steps: steps_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal;
+    use cmi_types::{OpRecord, SimTime, SystemId, Value, VarId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn w(h: &mut History, proc: ProcId, var: u32, val: Value, at: u64) {
+        h.record(OpRecord::write(proc, VarId(var), val, t(at)));
+    }
+
+    fn r(h: &mut History, proc: ProcId, var: u32, val: Option<Value>, at: u64) {
+        h.record(OpRecord::read(proc, VarId(var), val, t(at)));
+    }
+
+    #[test]
+    fn empty_history_is_pram() {
+        assert!(check(&History::new()).is_pram());
+    }
+
+    #[test]
+    fn per_writer_order_violation_is_not_pram() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        w(&mut h, p(0), 0, v1, 1);
+        w(&mut h, p(0), 0, v2, 2);
+        // p1 reads them inverted: violates even PRAM.
+        r(&mut h, p(1), 0, Some(v2), 3);
+        r(&mut h, p(1), 0, Some(v1), 4);
+        assert!(!check(&h).is_pram());
+    }
+
+    /// The classic PRAM-but-not-causal litmus: p1's write of `u` is
+    /// causally after reading `v`, and p2 observes `u` without `v`'s
+    /// effect (reads x as ⊥). PRAM allows it — the cross-process
+    /// dependency w(x)v → w(y)u is invisible to PRAM — but causal memory
+    /// does not.
+    #[test]
+    fn pram_accepts_the_causality_litmus_that_causal_rejects() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, v, 1); // w0(x)v
+        r(&mut h, p(1), 0, Some(v), 2); // r1(x)v
+        w(&mut h, p(1), 1, u, 3); // w1(y)u  (causally after w0(x)v)
+        r(&mut h, p(2), 1, Some(u), 4); // r2(y)u
+        r(&mut h, p(2), 0, None, 5); // r2(x)⊥  — misses the cause
+        let pram = check(&h);
+        assert!(pram.is_pram(), "PRAM must accept: {:?}", pram.verdict);
+        assert!(
+            !causal::check(&h).is_causal(),
+            "causal memory must reject the same history"
+        );
+    }
+
+    #[test]
+    fn causal_histories_are_always_pram() {
+        // Concurrent writes read in different orders: causal, hence PRAM.
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, a, 1);
+        w(&mut h, p(1), 0, b, 1);
+        r(&mut h, p(2), 0, Some(a), 2);
+        r(&mut h, p(2), 0, Some(b), 3);
+        r(&mut h, p(3), 0, Some(b), 2);
+        r(&mut h, p(3), 0, Some(a), 3);
+        assert!(causal::check(&h).is_causal());
+        assert!(check(&h).is_pram());
+    }
+
+    #[test]
+    fn own_program_order_binds_the_reader() {
+        // p0 writes v1 then reads its own overwritten... a process's own
+        // reads must respect its own program order interleaved with all
+        // writes.
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        w(&mut h, p(0), 0, v1, 1);
+        w(&mut h, p(0), 0, v2, 2);
+        r(&mut h, p(0), 0, Some(v1), 3); // own stale read: impossible
+        assert!(!check(&h).is_pram());
+    }
+
+    #[test]
+    fn zero_budget_is_unknown() {
+        let mut h = History::new();
+        w(&mut h, p(0), 0, Value::new(p(0), 1), 1);
+        assert_eq!(check_with_budget(&h, 0).verdict, PramVerdict::Unknown);
+    }
+
+    #[test]
+    fn witnesses_only_constrain_program_order() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        let report = check(&h);
+        assert!(report.is_pram());
+        assert_eq!(report.views.len(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Polynomial necessary-condition screen for causal consistency.
+//!
+//! The exhaustive checker in [`crate::causal`] is complete but
+//! worst-case exponential. For differentiated histories, a handful of
+//! **bad patterns** are necessary conditions for any causal(-memory)
+//! semantics; scanning for them is polynomial and catches almost every
+//! real violation instantly (the patterns follow Bouajjani, Enea,
+//! Guerraoui & Hamza, *"On verifying causal consistency"*, POPL 2017):
+//!
+//! * [`BadPattern::ThinAirRead`] — a read returns a value no write
+//!   produced;
+//! * [`BadPattern::CyclicCausalOrder`] — `→→` has a cycle;
+//! * [`BadPattern::WriteCoInitRead`] — a read returns the initial value
+//!   `⊥` although a write to the same variable is causally before it;
+//! * [`BadPattern::WriteCoRead`] — a read returns a value that was
+//!   causally overwritten: `w₁(x)v →→ w₂(x)u →→ r(x)v`.
+//!
+//! A clean screen is **not** a proof of causality — the exhaustive
+//! search still runs afterwards — but a dirty screen is a proof of
+//! violation, and the property tests cross-validate both directions.
+
+use std::fmt;
+
+use cmi_types::{History, OpId, ReadSource};
+
+use crate::order::CausalOrder;
+
+/// One detected necessary-condition violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BadPattern {
+    /// A read of a never-written value.
+    ThinAirRead {
+        /// The offending read.
+        read: OpId,
+    },
+    /// The causal order has a cycle.
+    CyclicCausalOrder,
+    /// `w(x)· →→ r(x)⊥`.
+    WriteCoInitRead {
+        /// A write to the read's variable that is causally before it.
+        write: OpId,
+        /// The offending initial-value read.
+        read: OpId,
+    },
+    /// `w₁(x)v →→ w₂(x)u →→ r(x)v`.
+    WriteCoRead {
+        /// The write whose value the read returns.
+        write: OpId,
+        /// The causally intervening write to the same variable.
+        interposed: OpId,
+        /// The offending read.
+        read: OpId,
+    },
+}
+
+impl fmt::Display for BadPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BadPattern::ThinAirRead { read } => write!(f, "thin-air read at {read}"),
+            BadPattern::CyclicCausalOrder => write!(f, "cyclic causal order"),
+            BadPattern::WriteCoInitRead { write, read } => {
+                write!(f, "read of ⊥ at {read} despite causally earlier write {write}")
+            }
+            BadPattern::WriteCoRead { write, interposed, read } => write!(
+                f,
+                "stale read at {read}: {write} causally overwritten by {interposed}"
+            ),
+        }
+    }
+}
+
+/// Result of screening one history.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScreenReport {
+    violations: Vec<BadPattern>,
+}
+
+impl ScreenReport {
+    /// All detected patterns (empty = clean).
+    pub fn violations(&self) -> &[BadPattern] {
+        &self.violations
+    }
+
+    /// The first violation, if any.
+    pub fn first_violation(&self) -> Option<&BadPattern> {
+        self.violations.first()
+    }
+
+    /// `true` if no necessary condition is violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Screens `history` for the bad patterns.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{litmus, screen};
+///
+/// assert!(screen::screen(&litmus::serial()).is_clean());
+/// let report = screen::screen(&litmus::fifo_violation());
+/// assert!(!report.is_clean());
+/// println!("{}", report.first_violation().unwrap());
+/// ```
+pub fn screen(history: &History) -> ScreenReport {
+    let mut violations = Vec::new();
+    let reads_from = history.reads_from();
+
+    for (i, src) in reads_from.iter().enumerate() {
+        if matches!(src, Some(ReadSource::ThinAir)) {
+            violations.push(BadPattern::ThinAirRead { read: OpId(i as u64) });
+        }
+    }
+    if !violations.is_empty() {
+        // Thin-air reads make further causal reasoning moot.
+        return ScreenReport { violations };
+    }
+
+    let co = CausalOrder::build(history);
+    if co.is_cyclic() {
+        violations.push(BadPattern::CyclicCausalOrder);
+        return ScreenReport { violations };
+    }
+
+    let writes = history.writes();
+    for (i, src) in reads_from.iter().enumerate() {
+        let read = OpId(i as u64);
+        let rec = history.op(read);
+        match src {
+            Some(ReadSource::Initial) => {
+                // Any causally earlier write to the same variable forbids ⊥.
+                for &w in &writes {
+                    if history.op(w).var == rec.var && co.precedes(w, read) {
+                        violations.push(BadPattern::WriteCoInitRead { write: w, read });
+                        break;
+                    }
+                }
+            }
+            Some(ReadSource::Write(w0)) => {
+                // An intervening write w0 →→ w' →→ r to the same variable
+                // makes the read stale in every causal view.
+                for &w in &writes {
+                    if w != *w0
+                        && history.op(w).var == rec.var
+                        && co.precedes(*w0, w)
+                        && co.precedes(w, read)
+                    {
+                        violations.push(BadPattern::WriteCoRead {
+                            write: *w0,
+                            interposed: w,
+                            read,
+                        });
+                        break;
+                    }
+                }
+            }
+            Some(ReadSource::ThinAir) | None => {}
+        }
+    }
+    ScreenReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn clean_history_screens_clean() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        let report = screen(&h);
+        assert!(report.is_clean());
+        assert!(report.first_violation().is_none());
+    }
+
+    #[test]
+    fn thin_air_read_is_flagged() {
+        let mut h = History::new();
+        h.record(OpRecord::read(p(0), VarId(0), Some(Value::new(p(9), 9)), t(1)));
+        let report = screen(&h);
+        assert_eq!(report.violations().len(), 1);
+        assert!(matches!(report.violations()[0], BadPattern::ThinAirRead { .. }));
+    }
+
+    #[test]
+    fn write_co_init_read_is_flagged() {
+        // p0: w(x)v; p1: r(x)v then r(x)⊥ — second read is causally
+        // after the write (via the first read + program order).
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::read(p(1), VarId(0), None, t(3)));
+        let report = screen(&h);
+        assert!(matches!(
+            report.first_violation(),
+            Some(BadPattern::WriteCoInitRead { .. })
+        ));
+    }
+
+    #[test]
+    fn unrelated_init_read_is_clean() {
+        // A concurrent write elsewhere does not forbid reading ⊥.
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), 1), t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), None, t(1)));
+        assert!(screen(&h).is_clean());
+    }
+
+    #[test]
+    fn write_co_read_flags_the_section3_counterexample() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(1), VarId(0), u, t(3)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(u), t(4)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(v), t(5)));
+        let report = screen(&h);
+        match report.first_violation() {
+            Some(BadPattern::WriteCoRead { write, interposed, read }) => {
+                assert_eq!(*write, cmi_types::OpId(0));
+                assert_eq!(*interposed, cmi_types::OpId(2));
+                assert_eq!(*read, cmi_types::OpId(4));
+            }
+            other => panic!("expected WriteCoRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_overwrite_is_not_flagged() {
+        // w(x)v and w(x)u concurrent: reading v after applying u locally
+        // is a causal-memory-allowed stale read only if u was read first
+        // — here p2 reads only v, clean.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::write(p(1), VarId(0), u, t(1)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(v), t(2)));
+        assert!(screen(&h).is_clean());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = BadPattern::ThinAirRead { read: cmi_types::OpId(3) };
+        assert!(b.to_string().contains("op3"));
+        assert!(BadPattern::CyclicCausalOrder.to_string().contains("cyclic"));
+    }
+}

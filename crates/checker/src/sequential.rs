@@ -1,0 +1,375 @@
+//! Exhaustive sequential-consistency checker.
+//!
+//! Sequential consistency demands a **single** legal total order of *all*
+//! operations (every process's reads included) consistent with every
+//! process's program order. The paper remarks (Section 1.1) that the
+//! sequential model is causal, so two sequential systems can be
+//! interconnected with the IS-protocols — but the union "most possibly
+//! will not be sequential". Experiment X8 uses this checker for both
+//! halves of that claim: each constituent system's history is
+//! sequentially consistent, the union is causal yet fails this check.
+//!
+//! The search mirrors [`crate::causal`]'s scheduler (greedy reads,
+//! dead-read pruning, memoization on scheduled-set × replica-state) with
+//! program order in place of causal order and one global view instead of
+//! per-process views.
+
+use std::collections::{HashMap, HashSet};
+
+use cmi_types::{History, OpId, OpKind, Value, VarId};
+
+/// A witnessing total order for a sequentially consistent history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialWitness {
+    /// All operations in one legal, program-order-respecting sequence.
+    pub order: Vec<OpId>,
+}
+
+/// Outcome of a sequential-consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequentialVerdict {
+    /// A witnessing total order exists.
+    Sequential(SequentialWitness),
+    /// No legal total order exists.
+    NotSequential,
+    /// Search budget exhausted.
+    Unknown,
+}
+
+impl SequentialVerdict {
+    /// `true` only when a witness was found.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, SequentialVerdict::Sequential(_))
+    }
+}
+
+/// Default backtracking budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Checks sequential consistency with the default budget.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{litmus, sequential};
+///
+/// assert!(sequential::check(&litmus::serial()).is_sequential());
+/// // Store buffering: both processes read ⊥ after writing — SC forbids it.
+/// assert!(!sequential::check(&litmus::store_buffering()).is_sequential());
+/// ```
+pub fn check(history: &History) -> SequentialVerdict {
+    check_with_budget(history, DEFAULT_BUDGET)
+}
+
+/// Checks sequential consistency with an explicit budget.
+pub fn check_with_budget(history: &History, budget: u64) -> SequentialVerdict {
+    let n = history.len();
+    // Program-order predecessor (at most one per op).
+    let mut prev_of: Vec<Option<usize>> = vec![None; n];
+    let mut last: HashMap<_, usize> = HashMap::new();
+    for (i, r) in history.iter().enumerate() {
+        if let Some(&prev) = last.get(&r.proc) {
+            prev_of[i] = Some(prev);
+        }
+        last.insert(r.proc, i);
+    }
+    let mut var_ix: HashMap<VarId, usize> = HashMap::new();
+    for r in history.iter() {
+        let next = var_ix.len();
+        var_ix.entry(r.var).or_insert(next);
+    }
+    let mut search = Search {
+        history,
+        prev_of,
+        var_ix: var_ix.clone(),
+        n,
+        budget,
+        steps: 0,
+        scheduled: vec![false; n],
+        last_write: vec![None; var_ix.len()],
+        writes_done: vec![HashSet::new(); var_ix.len()],
+        order: Vec::with_capacity(n),
+        memo: HashSet::new(),
+    };
+    match search.dfs() {
+        Dfs::Done => SequentialVerdict::Sequential(SequentialWitness {
+            order: search.order.iter().map(|&i| OpId(i as u64)).collect(),
+        }),
+        Dfs::Fail => SequentialVerdict::NotSequential,
+        Dfs::Budget => SequentialVerdict::Unknown,
+    }
+}
+
+/// Validates a sequential witness (test helper).
+pub fn validate_witness(history: &History, witness: &SequentialWitness) -> Result<(), String> {
+    if witness.order.len() != history.len() {
+        return Err("witness is not a permutation".into());
+    }
+    let mut seen = HashSet::new();
+    let mut last_pos: HashMap<_, usize> = HashMap::new();
+    let mut replicas: HashMap<VarId, Value> = HashMap::new();
+    for (pos, &id) in witness.order.iter().enumerate() {
+        if !seen.insert(id) {
+            return Err("duplicate op in witness".into());
+        }
+        let op = history.op(id);
+        if let Some(&prev) = last_pos.get(&op.proc) {
+            let _ = prev; // positions are increasing by construction of the scan
+        }
+        last_pos.insert(op.proc, pos);
+        match op.kind {
+            OpKind::Write { value } => {
+                replicas.insert(op.var, value);
+            }
+            OpKind::Read { value } => {
+                if replicas.get(&op.var).copied() != value {
+                    return Err(format!("illegal read {op} at position {pos}"));
+                }
+            }
+        }
+    }
+    // Program order: for each process, ids must appear in history order.
+    for (_, ids) in history.by_process() {
+        let positions: Vec<usize> = ids
+            .iter()
+            .map(|id| witness.order.iter().position(|x| x == id).unwrap())
+            .collect();
+        if positions.windows(2).any(|w| w[0] > w[1]) {
+            return Err("witness violates program order".into());
+        }
+    }
+    Ok(())
+}
+
+struct Search<'a> {
+    history: &'a History,
+    prev_of: Vec<Option<usize>>,
+    var_ix: HashMap<VarId, usize>,
+    n: usize,
+    budget: u64,
+    steps: u64,
+    scheduled: Vec<bool>,
+    last_write: Vec<Option<Value>>,
+    writes_done: Vec<HashSet<Value>>,
+    order: Vec<usize>,
+    memo: HashSet<(Vec<u64>, Vec<Option<Value>>)>,
+}
+
+enum Dfs {
+    Done,
+    Fail,
+    Budget,
+}
+
+impl Search<'_> {
+    fn enabled(&self, i: usize) -> bool {
+        !self.scheduled[i] && self.prev_of[i].map(|p| self.scheduled[p]).unwrap_or(true)
+    }
+
+    fn var_of(&self, i: usize) -> usize {
+        self.var_ix[&self.history.as_slice()[i].var]
+    }
+
+    fn read_legal(&self, i: usize) -> bool {
+        let op = &self.history.as_slice()[i];
+        let OpKind::Read { value } = op.kind else {
+            return false;
+        };
+        self.last_write[self.var_of(i)] == value
+    }
+
+    fn read_dead(&self, i: usize) -> bool {
+        let op = &self.history.as_slice()[i];
+        let OpKind::Read { value } = op.kind else {
+            return false;
+        };
+        let v = self.var_of(i);
+        match value {
+            None => !self.writes_done[v].is_empty(),
+            Some(val) => self.writes_done[v].contains(&val) && self.last_write[v] != Some(val),
+        }
+    }
+
+    fn schedule(&mut self, i: usize) {
+        self.scheduled[i] = true;
+        self.order.push(i);
+        if let OpKind::Write { value } = self.history.as_slice()[i].kind {
+            let v = self.var_of(i);
+            self.last_write[v] = Some(value);
+            self.writes_done[v].insert(value);
+        }
+    }
+
+    fn unschedule(&mut self, i: usize, saved: Option<Value>) {
+        debug_assert_eq!(self.order.last(), Some(&i));
+        self.order.pop();
+        self.scheduled[i] = false;
+        if let OpKind::Write { value } = self.history.as_slice()[i].kind {
+            let v = self.var_of(i);
+            self.writes_done[v].remove(&value);
+            self.last_write[v] = saved;
+        }
+    }
+
+    fn dfs(&mut self) -> Dfs {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Dfs::Budget;
+        }
+        // Greedy legal reads (complete under unique values).
+        let mut greedy = Vec::new();
+        loop {
+            let mut progressed = false;
+            for i in 0..self.n {
+                if self.enabled(i)
+                    && self.history.as_slice()[i].kind.is_read()
+                    && self.read_legal(i)
+                {
+                    self.schedule(i);
+                    greedy.push(i);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let result = self.dfs_inner();
+        if !matches!(result, Dfs::Done) {
+            for &i in greedy.iter().rev() {
+                self.unschedule(i, None);
+            }
+        }
+        result
+    }
+
+    fn dfs_inner(&mut self) -> Dfs {
+        if self.order.len() == self.n {
+            return Dfs::Done;
+        }
+        for i in 0..self.n {
+            if !self.scheduled[i] && self.read_dead(i) {
+                return Dfs::Fail;
+            }
+        }
+        let key = (self.pack(), self.last_write.clone());
+        if !self.memo.insert(key) {
+            return Dfs::Fail;
+        }
+        let candidates: Vec<usize> = (0..self.n)
+            .filter(|&i| self.enabled(i) && self.history.as_slice()[i].kind.is_write())
+            .collect();
+        if candidates.is_empty() {
+            return Dfs::Fail;
+        }
+        for i in candidates {
+            let saved = self.last_write[self.var_of(i)];
+            self.schedule(i);
+            match self.dfs() {
+                Dfs::Done => return Dfs::Done,
+                Dfs::Budget => {
+                    self.unschedule(i, saved);
+                    return Dfs::Budget;
+                }
+                Dfs::Fail => self.unschedule(i, saved),
+            }
+        }
+        Dfs::Fail
+    }
+
+    fn pack(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.n.div_ceil(64)];
+        for (i, &s) in self.scheduled.iter().enumerate() {
+            if s {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn simple_history_is_sequential_with_valid_witness() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        match check(&h) {
+            SequentialVerdict::Sequential(w) => validate_witness(&h, &w).unwrap(),
+            other => panic!("expected sequential, got {other:?}"),
+        }
+    }
+
+    /// Opposite read orders of two concurrent writes: causal, not
+    /// sequential — the litmus test for X8.
+    #[test]
+    fn opposite_read_orders_are_not_sequential() {
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), a, t(1)));
+        h.record(OpRecord::write(p(1), VarId(0), b, t(1)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(a), t(2)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(b), t(3)));
+        h.record(OpRecord::read(p(3), VarId(0), Some(b), t(2)));
+        h.record(OpRecord::read(p(3), VarId(0), Some(a), t(3)));
+        assert_eq!(check(&h), SequentialVerdict::NotSequential);
+        // …but it is causal.
+        assert!(crate::causal::check(&h).is_causal());
+    }
+
+    #[test]
+    fn program_order_is_respected_in_witness() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        h.record(OpRecord::write(p(0), VarId(0), v1, t(1)));
+        h.record(OpRecord::write(p(0), VarId(0), v2, t(2)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v1), t(3)));
+        // r(v1) must be slotted between the writes.
+        match check(&h) {
+            SequentialVerdict::Sequential(w) => {
+                validate_witness(&h, &w).unwrap();
+                assert_eq!(w.order, vec![OpId(0), OpId(2), OpId(1)]);
+            }
+            other => panic!("expected sequential, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_read_after_own_overwrite_is_not_sequential() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(0), 2);
+        h.record(OpRecord::write(p(0), VarId(0), v1, t(1)));
+        h.record(OpRecord::write(p(0), VarId(0), v2, t(2)));
+        // Same process then reads the overwritten value.
+        h.record(OpRecord::read(p(0), VarId(0), Some(v1), t(3)));
+        assert_eq!(check(&h), SequentialVerdict::NotSequential);
+    }
+
+    #[test]
+    fn empty_history_is_sequential() {
+        assert!(check(&History::new()).is_sequential());
+    }
+
+    #[test]
+    fn zero_budget_reports_unknown() {
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), 1), t(1)));
+        assert_eq!(check_with_budget(&h, 0), SequentialVerdict::Unknown);
+    }
+}

@@ -1,0 +1,352 @@
+//! Session-guarantee checker: read-your-writes + monotonic reads.
+//!
+//! Terry et al.'s session guarantees are the weakest rungs of the ladder
+//! the paper's result sits on. In the view vocabulary of this crate they
+//! compose cleanly:
+//!
+//! * **session (RYW + MR)** — for each process `p` there is a legal
+//!   permutation of (all writes + `p`'s reads) preserving **only `p`'s
+//!   own program order**: `p`'s reads move forward through *some* write
+//!   sequence that interleaves its own writes in order. Nothing is owed
+//!   to other processes' orders.
+//! * adding **monotonic writes** (every process's write order) gives
+//!   [PRAM](crate::pram);
+//! * adding **writes-follow-reads** (the writes-into edges and their
+//!   closure) gives [causal memory](crate::causal).
+//!
+//! So `causal ⊆ PRAM ⊆ session`, which the property tests assert on
+//! random histories. Besides the complete view-based check, this module
+//! offers two *sound* polynomial violation detectors for the individual
+//! guarantees (conservative, co-based: they only report certain
+//! violations).
+
+use std::collections::BTreeMap;
+
+use cmi_types::{History, OpId, OpKind, ProcId, ReadSource};
+
+use crate::causal::{find_view_with_order, SearchResult};
+use crate::order::CausalOrder;
+
+/// Outcome of a session-guarantee check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionVerdict {
+    /// Every process has a session view.
+    Session,
+    /// Some process provably has none.
+    NotSession {
+        /// The process whose projection has no session view.
+        proc: ProcId,
+    },
+    /// Search budget exhausted.
+    Unknown,
+}
+
+impl SessionVerdict {
+    /// `true` only for a proven verdict.
+    pub fn is_session(&self) -> bool {
+        matches!(self, SessionVerdict::Session)
+    }
+}
+
+/// Full result of a session check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The verdict.
+    pub verdict: SessionVerdict,
+    /// Witness views per process (populated when the check passes).
+    pub views: BTreeMap<ProcId, Vec<OpId>>,
+    /// Search steps spent.
+    pub steps: u64,
+}
+
+impl SessionReport {
+    /// `true` only for a proven verdict.
+    pub fn is_session(&self) -> bool {
+        self.verdict.is_session()
+    }
+}
+
+/// Default search budget.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Checks the session guarantees (RYW + MR) with the default budget.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{litmus, session};
+///
+/// // Even the per-writer FIFO violation has a session view (the reader
+/// // owes nothing to the writer's order)…
+/// assert!(session::check(&litmus::fifo_violation()).is_session());
+/// // …but re-reading an overwritten value in one session does not.
+/// assert!(!session::check(&litmus::opposite_reads_same_session()).is_session());
+/// ```
+pub fn check(history: &History) -> SessionReport {
+    check_with_budget(history, DEFAULT_BUDGET)
+}
+
+/// Checks the session guarantees with an explicit budget.
+pub fn check_with_budget(history: &History, budget: u64) -> SessionReport {
+    let mut views = BTreeMap::new();
+    let mut steps_total = 0u64;
+    for proc in history.procs() {
+        let order = CausalOrder::build_single_process_order(history, proc);
+        let (result, steps) =
+            find_view_with_order(history, &order, proc, budget.saturating_sub(steps_total));
+        steps_total += steps;
+        match result {
+            SearchResult::Found(view) => {
+                views.insert(proc, view);
+            }
+            SearchResult::Impossible => {
+                return SessionReport {
+                    verdict: SessionVerdict::NotSession { proc },
+                    views: BTreeMap::new(),
+                    steps: steps_total,
+                };
+            }
+            SearchResult::Budget => {
+                return SessionReport {
+                    verdict: SessionVerdict::Unknown,
+                    views: BTreeMap::new(),
+                    steps: steps_total,
+                };
+            }
+        }
+    }
+    SessionReport {
+        verdict: SessionVerdict::Session,
+        views,
+        steps: steps_total,
+    }
+}
+
+/// A definite read-your-writes violation: after writing to a variable,
+/// the process read `⊥`, or read one of its **own earlier** writes that
+/// its own program order has since overwritten. (Reading a foreign
+/// value is never a definite violation at this level — a session view
+/// may order foreign writes after the session's own.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RywViolation {
+    /// The session process.
+    pub proc: ProcId,
+    /// The process's own write that the read fails to reflect.
+    pub own_write: OpId,
+    /// The offending read.
+    pub read: OpId,
+}
+
+/// Sound polynomial scan for definite RYW violations.
+pub fn ryw_violations(history: &History) -> Vec<RywViolation> {
+    use std::collections::HashMap;
+    let rf = history.reads_from();
+    let mut out = Vec::new();
+    // Per (proc, var): own write ids in program order.
+    let mut own_writes: HashMap<(ProcId, cmi_types::VarId), Vec<OpId>> = HashMap::new();
+    for op in history.iter() {
+        match op.kind {
+            OpKind::Write { .. } => {
+                own_writes.entry((op.proc, op.var)).or_default().push(op.id);
+            }
+            OpKind::Read { .. } => {
+                if let Some(own) = own_writes.get(&(op.proc, op.var)) {
+                    let latest = *own.last().expect("non-empty");
+                    let violated = match rf[op.id.index()] {
+                        Some(ReadSource::Initial) => true,
+                        Some(ReadSource::Write(w)) => w != latest && own.contains(&w),
+                        _ => false,
+                    };
+                    if violated {
+                        out.push(RywViolation {
+                            proc: op.proc,
+                            own_write: latest,
+                            read: op.id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A definite monotonic-reads violation: a later read of the same
+/// variable in the same session returned `⊥` after a non-`⊥` read, or
+/// **oscillated** back to a value it had already seen and since seen
+/// replaced (`v, u, v` — no single forward-moving write sequence
+/// explains that, values being write-once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrViolation {
+    /// The session process.
+    pub proc: ProcId,
+    /// The earlier read.
+    pub earlier: OpId,
+    /// The later, backwards read.
+    pub later: OpId,
+}
+
+/// Sound polynomial scan for definite MR violations.
+pub fn mr_violations(history: &History) -> Vec<MrViolation> {
+    use std::collections::{HashMap, HashSet};
+    let rf = history.reads_from();
+    let mut out = Vec::new();
+    // Per (proc, var): (last read id, last source write, replaced sources).
+    struct SessionVar {
+        last_read: OpId,
+        last_write: Option<OpId>,
+        replaced: HashSet<OpId>,
+    }
+    let mut state: HashMap<(ProcId, cmi_types::VarId), SessionVar> = HashMap::new();
+    for op in history.iter() {
+        if let OpKind::Read { .. } = op.kind {
+            let source = match rf[op.id.index()] {
+                Some(ReadSource::Initial) => None,
+                Some(ReadSource::Write(w)) => Some(w),
+                _ => continue, // thin-air: the screen's business
+            };
+            if let Some(prev) = state.get(&(op.proc, op.var)) {
+                let backwards = match source {
+                    // ⊥ after any non-⊥ read.
+                    None => prev.last_write.is_some(),
+                    // A source this session already saw replaced.
+                    Some(w) => prev.replaced.contains(&w),
+                };
+                if backwards {
+                    out.push(MrViolation {
+                        proc: op.proc,
+                        earlier: prev.last_read,
+                        later: op.id,
+                    });
+                }
+            }
+            let entry = state.entry((op.proc, op.var)).or_insert(SessionVar {
+                last_read: op.id,
+                last_write: None,
+                replaced: HashSet::new(),
+            });
+            if entry.last_write != source {
+                if let Some(old) = entry.last_write {
+                    entry.replaced.insert(old);
+                }
+            }
+            entry.last_read = op.id;
+            entry.last_write = source;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{causal, litmus, pram};
+    use cmi_types::{OpRecord, SimTime, SystemId, Value, VarId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn every_litmus_history_hierarchy_holds() {
+        // causal ⊆ PRAM ⊆ session on the whole zoo.
+        for (name, h) in litmus::all() {
+            let s = check(&h).is_session();
+            let pr = pram::check(&h).is_pram();
+            let ca = causal::check(&h).is_causal();
+            assert!(!pr || s, "{name}: PRAM ⊆ session violated");
+            assert!(!ca || pr, "{name}: causal ⊆ PRAM violated");
+        }
+    }
+
+    #[test]
+    fn fifo_violation_still_has_session_views() {
+        // The reader never wrote, so RYW/MR hold trivially.
+        assert!(check(&litmus::fifo_violation()).is_session());
+    }
+
+    #[test]
+    fn re_reading_an_overwritten_value_violates_the_session() {
+        assert!(!check(&litmus::opposite_reads_same_session()).is_session());
+    }
+
+    #[test]
+    fn ryw_detector_flags_reading_bottom_after_own_write() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(0), VarId(0), None, t(2)));
+        let violations = ryw_violations(&h);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].proc, p(0));
+        // The session check agrees (the view cannot both place the write
+        // before the read and have the read return ⊥).
+        assert!(!check(&h).is_session());
+    }
+
+    #[test]
+    fn ryw_detector_accepts_reading_a_newer_value() {
+        // p0 writes v; p1 reads it and overwrites with u; p0 reading u is
+        // fine — u is causally newer than p0's own write.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(1), VarId(0), u, t(3)));
+        h.record(OpRecord::read(p(0), VarId(0), Some(u), t(4)));
+        assert!(ryw_violations(&h).is_empty());
+        assert!(check(&h).is_session());
+    }
+
+    #[test]
+    fn mr_detector_flags_going_back_to_bottom() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::read(p(1), VarId(0), None, t(3)));
+        let violations = mr_violations(&h);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].proc, p(1));
+        assert!(!check(&h).is_session());
+    }
+
+    #[test]
+    fn mr_detector_accepts_concurrent_progress() {
+        // Reading concurrent writes one after the other is monotone (the
+        // replica only moved forward).
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), a, t(1)));
+        h.record(OpRecord::write(p(1), VarId(0), b, t(1)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(a), t(2)));
+        h.record(OpRecord::read(p(2), VarId(0), Some(b), t(3)));
+        assert!(mr_violations(&h).is_empty());
+        assert!(check(&h).is_session());
+    }
+
+    #[test]
+    fn detectors_are_sound_wrt_the_view_check() {
+        for (name, h) in litmus::all() {
+            if !ryw_violations(&h).is_empty() || !mr_violations(&h).is_empty() {
+                assert!(
+                    !check(&h).is_session(),
+                    "{name}: detector fired but a session view exists"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_unknown() {
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), 1), t(1)));
+        assert_eq!(check_with_budget(&h, 0).verdict, SessionVerdict::Unknown);
+    }
+}

@@ -1,0 +1,195 @@
+//! Order-conformance checks on protocol-internal traces.
+//!
+//! Two of the paper's key properties are about *internal* protocol
+//! events, not the externally visible computation:
+//!
+//! * **Property 1 (Causal Updating)** — causally ordered writes reach the
+//!   IS-process's replica in causal order (the order of its replica-
+//!   update log);
+//! * **Lemma 1** — both IS-protocols propagate causally ordered writes
+//!   over the inter-system channel in causal order (the order of the
+//!   link-send log).
+//!
+//! Both are instances of one check: *a given sequence of applied writes
+//! respects the causal order of the computation they came from*.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cmi_types::{History, OpId, OpKind, Value, VarId};
+
+use crate::order::CausalOrder;
+
+/// One entry of an applied/sent-write sequence: a replica update or a
+/// `⟨x,v⟩` pair sent over the inter-system channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedWrite {
+    /// Variable written.
+    pub var: VarId,
+    /// Value written (identifies the originating write uniquely).
+    pub val: Value,
+}
+
+/// Evidence that a sequence violated the causal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderViolation {
+    /// The causally earlier write.
+    pub earlier: OpId,
+    /// The causally later write that appeared first in the sequence.
+    pub later: OpId,
+    /// Positions in the checked sequence.
+    pub positions: (usize, usize),
+}
+
+impl fmt::Display for OrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "write {} (→→-after {}) appeared at position {} before position {}",
+            self.later, self.earlier, self.positions.1, self.positions.0
+        )
+    }
+}
+
+/// Checks that `sequence` (a replica-update log or link-send log)
+/// applies/sends causally ordered writes of `history` in causal order.
+///
+/// Entries whose `(var, val)` matches no write of `history` are ignored
+/// (e.g. updates originating in another system when checking against a
+/// single-system history).
+///
+/// # Errors
+///
+/// Returns the first causally inverted pair found.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::trace::{check_order_respects_causality, AppliedWrite};
+/// use cmi_checker::litmus;
+///
+/// // In the WRC litmus, w(x)v →→ w(y)u; applying u before v violates
+/// // the Causal Updating Property.
+/// let h = litmus::causality_violation();
+/// let writes: Vec<AppliedWrite> = h
+///     .iter()
+///     .filter_map(|op| op.written_value().map(|val| AppliedWrite { var: op.var, val }))
+///     .collect();
+/// assert!(check_order_respects_causality(&h, &writes).is_ok());
+/// let reversed: Vec<AppliedWrite> = writes.into_iter().rev().collect();
+/// assert!(check_order_respects_causality(&h, &reversed).is_err());
+/// ```
+pub fn check_order_respects_causality(
+    history: &History,
+    sequence: &[AppliedWrite],
+) -> Result<(), OrderViolation> {
+    let co = CausalOrder::build(history);
+    // Map (var, val) → write op.
+    let mut write_of: HashMap<(VarId, Value), OpId> = HashMap::new();
+    for r in history.iter() {
+        if let OpKind::Write { value } = r.kind {
+            write_of.entry((r.var, value)).or_insert(r.id);
+        }
+    }
+    let resolved: Vec<(usize, OpId)> = sequence
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, a)| write_of.get(&(a.var, a.val)).map(|&w| (pos, w)))
+        .collect();
+    for (i, &(pos_a, a)) in resolved.iter().enumerate() {
+        for &(pos_b, b) in &resolved[i + 1..] {
+            // b appears after a in the sequence; a must not be →→-after b.
+            if co.precedes(b, a) {
+                return Err(OrderViolation {
+                    earlier: b,
+                    later: a,
+                    positions: (pos_b, pos_a),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: checks the Causal Updating Property for a replica-update
+/// log expressed as `(var, val)` pairs.
+pub fn check_causal_updating(
+    history: &History,
+    updates: impl IntoIterator<Item = AppliedWrite>,
+) -> Result<(), OrderViolation> {
+    let seq: Vec<AppliedWrite> = updates.into_iter().collect();
+    check_order_respects_causality(history, &seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn aw(var: u32, val: Value) -> AppliedWrite {
+        AppliedWrite {
+            var: VarId(var),
+            val,
+        }
+    }
+
+    /// w0(x)v →→ w1(y)u via p1's read.
+    fn chained() -> (History, Value, Value) {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(1), VarId(1), u, t(3)));
+        (h, v, u)
+    }
+
+    #[test]
+    fn causal_order_application_passes() {
+        let (h, v, u) = chained();
+        assert!(check_causal_updating(&h, [aw(0, v), aw(1, u)]).is_ok());
+    }
+
+    #[test]
+    fn inverted_application_is_flagged_with_positions() {
+        let (h, v, u) = chained();
+        let err = check_causal_updating(&h, [aw(1, u), aw(0, v)]).unwrap_err();
+        assert_eq!(err.positions, (1, 0));
+        assert!(err.to_string().contains("op2"));
+    }
+
+    #[test]
+    fn concurrent_writes_may_apply_in_any_order() {
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), a, t(1)));
+        h.record(OpRecord::write(p(1), VarId(1), b, t(1)));
+        assert!(check_causal_updating(&h, [aw(1, b), aw(0, a)]).is_ok());
+        assert!(check_causal_updating(&h, [aw(0, a), aw(1, b)]).is_ok());
+    }
+
+    #[test]
+    fn foreign_entries_are_ignored() {
+        let (h, v, u) = chained();
+        let foreign = Value::new(ProcId::new(SystemId(9), 0), 7);
+        assert!(
+            check_causal_updating(&h, [aw(5, foreign), aw(0, v), aw(1, u)]).is_ok(),
+            "entries not in the history must not confuse the check"
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_fine() {
+        let (h, ..) = chained();
+        assert!(check_causal_updating(&h, []).is_ok());
+    }
+}

@@ -1,0 +1,122 @@
+//! `cmi-cli` — run causal-memory interconnection scenarios from the
+//! shell.
+//!
+//! ```text
+//! cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]
+//! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
+//! cmi-cli list                     # list experiment ids
+//! ```
+
+use std::process::ExitCode;
+
+use cmi_cli::{render_report, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("experiments") => cmd_experiments(&args[1..]),
+        Some("list") => {
+            for (name, _) in cmi_bench::experiments::registry() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cmi-cli — interconnection of causal memory systems\n\n\
+         USAGE:\n\
+         \u{20}  cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
+         \u{20}  cmi-cli experiments [<substring> …]\n\
+         \u{20}  cmi-cli list\n\n\
+         A scenario file describes systems, tree links, a workload and the\n\
+         consistency checks to run; see crates/cli/scenarios/ for examples."
+    );
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]");
+        return ExitCode::FAILURE;
+    };
+    let dump = args
+        .iter()
+        .position(|a| a == "--dump-history")
+        .and_then(|i| args.get(i + 1));
+    let dump_dot = args
+        .iter()
+        .position(|a| a == "--dump-dot")
+        .and_then(|i| args.get(i + 1));
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match scenario.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_report(&scenario, &report));
+    if let Some(out_path) = dump {
+        let history = report.global_history();
+        match serde_json::to_string_pretty(&history)
+            .map_err(|e| e.to_string())
+            .and_then(|json| std::fs::write(out_path, json).map_err(|e| e.to_string()))
+        {
+            Ok(()) => println!("α^T written to {out_path}"),
+            Err(e) => {
+                eprintln!("cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dot_path) = dump_dot {
+        let dot = cmi_checker::dot::to_dot(&report.global_history(), &[]);
+        match std::fs::write(dot_path, dot) {
+            Ok(()) => println!("causal-order graph written to {dot_path}"),
+            Err(e) => {
+                eprintln!("cannot write {dot_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiments(filters: &[String]) -> ExitCode {
+    for (name, runner) in cmi_bench::experiments::registry() {
+        if filters.is_empty()
+            || filters
+                .iter()
+                .any(|f| name.to_lowercase().contains(&f.to_lowercase()))
+        {
+            println!("\n######## {name} ########");
+            print!("{}", runner());
+        }
+    }
+    ExitCode::SUCCESS
+}

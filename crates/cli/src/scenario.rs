@@ -1,0 +1,376 @@
+//! Scenario files: a JSON description of an interconnected world, its
+//! workload and the consistency checks to run.
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "vars": 4,
+//!   "topology": "pairwise",
+//!   "systems": [
+//!     { "name": "A", "protocol": "ahamad", "processes": 3 },
+//!     { "name": "B", "protocol": "frontier", "processes": 2 }
+//!   ],
+//!   "links": [ { "a": 0, "b": 1, "delay_ms": 10 } ],
+//!   "workload": { "ops_per_proc": 20, "write_fraction": 0.5, "mean_gap_ms": 5 },
+//!   "checks": ["causal", "sequential"]
+//! }
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use cmi_core::{BuildError, InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec, World};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_sim::{Availability, ChannelSpec};
+use serde::{Deserialize, Serialize};
+
+/// Errors loading or validating a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// JSON syntax / shape error.
+    Parse(serde_json::Error),
+    /// Semantically invalid scenario.
+    Invalid(String),
+    /// Topology rejected by the builder.
+    Build(BuildError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Build(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<serde_json::Error> for ScenarioError {
+    fn from(e: serde_json::Error) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
+
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Build(e)
+    }
+}
+
+/// One system in a scenario file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemEntry {
+    /// Display name.
+    pub name: String,
+    /// Protocol: `ahamad` | `frontier` | `sequencer` | `eager-fifo` |
+    /// `var-seq`.
+    pub protocol: String,
+    /// Application process count.
+    pub processes: usize,
+    /// Intra-system mesh delay (default 1 ms).
+    #[serde(default = "default_intra_ms")]
+    pub intra_delay_ms: u64,
+}
+
+fn default_intra_ms() -> u64 {
+    1
+}
+
+/// Dial-up availability window of a link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DialupEntry {
+    /// Full period.
+    pub period_ms: u64,
+    /// Up time at the start of each period.
+    pub up_ms: u64,
+}
+
+/// One link in a scenario file (indices into `systems`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkEntry {
+    /// First system index.
+    pub a: usize,
+    /// Second system index.
+    pub b: usize,
+    /// Base delay.
+    #[serde(default)]
+    pub delay_ms: u64,
+    /// Uniform jitter bound (FIFO preserved).
+    #[serde(default)]
+    pub jitter_ms: u64,
+    /// Optional dial-up schedule.
+    #[serde(default)]
+    pub dialup: Option<DialupEntry>,
+    /// Optional X14 batching window (pairs per flush).
+    #[serde(default)]
+    pub batch_ms: Option<u64>,
+}
+
+/// Workload section.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadEntry {
+    /// Operations per application process.
+    pub ops_per_proc: u32,
+    /// Fraction of writes.
+    #[serde(default = "default_write_fraction")]
+    pub write_fraction: f64,
+    /// Mean think time.
+    #[serde(default = "default_gap_ms")]
+    pub mean_gap_ms: u64,
+}
+
+fn default_write_fraction() -> f64 {
+    0.5
+}
+
+fn default_gap_ms() -> u64 {
+    5
+}
+
+/// A full scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// World seed (determinism).
+    #[serde(default)]
+    pub seed: u64,
+    /// Shared variable count.
+    #[serde(default = "default_vars")]
+    pub vars: usize,
+    /// `pairwise` (default) or `shared` IS allocation.
+    #[serde(default)]
+    pub topology: Option<String>,
+    /// Systems to interconnect.
+    pub systems: Vec<SystemEntry>,
+    /// Tree links between them.
+    #[serde(default)]
+    pub links: Vec<LinkEntry>,
+    /// Workload to run.
+    pub workload: WorkloadEntry,
+    /// Checks: any of `causal`, `sequential`, `pram`, `cache`,
+    /// `linearizable`, `session` (default: `causal`).
+    #[serde(default = "default_checks")]
+    pub checks: Vec<String>,
+    /// Record the simulator trace.
+    #[serde(default)]
+    pub trace: bool,
+}
+
+fn default_vars() -> usize {
+    4
+}
+
+fn default_checks() -> Vec<String> {
+    vec!["causal".into()]
+}
+
+fn parse_protocol(name: &str) -> Result<ProtocolKind, ScenarioError> {
+    Ok(match name {
+        "ahamad" => ProtocolKind::Ahamad,
+        "frontier" => ProtocolKind::Frontier,
+        "sequencer" => ProtocolKind::Sequencer,
+        "atomic" => ProtocolKind::Atomic,
+        "eager-fifo" => ProtocolKind::EagerFifo,
+        "var-seq" => ProtocolKind::VarSeq,
+        other => {
+            return Err(ScenarioError::Invalid(format!(
+                "unknown protocol '{other}' (expected ahamad | frontier | sequencer | atomic | eager-fifo | var-seq)"
+            )))
+        }
+    })
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] for malformed JSON and
+    /// [`ScenarioError::Invalid`] for semantic problems.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        let scenario: Scenario = serde_json::from_str(text)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if self.systems.is_empty() {
+            return Err(ScenarioError::Invalid("no systems".into()));
+        }
+        for s in &self.systems {
+            parse_protocol(&s.protocol)?;
+        }
+        for l in &self.links {
+            if l.a >= self.systems.len() || l.b >= self.systems.len() {
+                return Err(ScenarioError::Invalid(format!(
+                    "link {}–{} references an unknown system",
+                    l.a, l.b
+                )));
+            }
+        }
+        if let Some(t) = &self.topology {
+            if t != "pairwise" && t != "shared" {
+                return Err(ScenarioError::Invalid(format!(
+                    "unknown topology '{t}' (expected pairwise | shared)"
+                )));
+            }
+        }
+        for c in &self.checks {
+            if !matches!(
+                c.as_str(),
+                "causal" | "sequential" | "pram" | "cache" | "linearizable" | "session"
+            ) {
+                return Err(ScenarioError::Invalid(format!("unknown check '{c}'")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the world this scenario describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Build`] if the topology is rejected
+    /// (cycles, duplicate links, …).
+    pub fn build(&self) -> Result<World, ScenarioError> {
+        let topology = match self.topology.as_deref() {
+            Some("shared") => IsTopology::Shared,
+            _ => IsTopology::Pairwise,
+        };
+        let mut b = InterconnectBuilder::new()
+            .with_vars(self.vars)
+            .with_topology(topology);
+        if self.trace {
+            b.enable_trace();
+        }
+        let mut handles = Vec::new();
+        for s in &self.systems {
+            let spec = SystemSpec::new(&*s.name, parse_protocol(&s.protocol)?, s.processes)
+                .with_intra(ChannelSpec::fixed(Duration::from_millis(s.intra_delay_ms)));
+            handles.push(b.add_system(spec));
+        }
+        for l in &self.links {
+            let mut channel = ChannelSpec::jittered(
+                Duration::from_millis(l.delay_ms),
+                Duration::from_millis(l.jitter_ms),
+            );
+            if let Some(d) = l.dialup {
+                channel = channel.with_availability(Availability::DutyCycle {
+                    period: Duration::from_millis(d.period_ms),
+                    up: Duration::from_millis(d.up_ms),
+                });
+            }
+            let mut link = LinkSpec::new(Duration::ZERO).with_channel(channel);
+            if let Some(batch_ms) = l.batch_ms {
+                link = link.with_batching(Duration::from_millis(batch_ms));
+            }
+            b.link(handles[l.a], handles[l.b], link);
+        }
+        Ok(b.build(self.seed)?)
+    }
+
+    /// Builds and runs the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors from [`Scenario::build`].
+    pub fn run(&self) -> Result<RunReport, ScenarioError> {
+        let mut world = self.build()?;
+        let workload = WorkloadSpec {
+            ops_per_proc: self.workload.ops_per_proc,
+            write_fraction: self.workload.write_fraction,
+            n_vars: self.vars as u32,
+            mean_gap: Duration::from_millis(self.workload.mean_gap_ms),
+            pattern: cmi_memory::VarPattern::Uniform,
+        };
+        Ok(world.run(&workload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+        "systems": [
+            { "name": "A", "protocol": "ahamad", "processes": 2 },
+            { "name": "B", "protocol": "frontier", "processes": 2 }
+        ],
+        "links": [ { "a": 0, "b": 1, "delay_ms": 5 } ],
+        "workload": { "ops_per_proc": 4 }
+    }"#;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        assert_eq!(s.vars, 4);
+        assert_eq!(s.checks, vec!["causal"]);
+        assert_eq!(s.workload.write_fraction, 0.5);
+        assert_eq!(s.systems[0].intra_delay_ms, 1);
+    }
+
+    #[test]
+    fn minimal_scenario_builds_and_runs() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.outcome().is_quiescent());
+        assert_eq!(report.global_history().len(), 16);
+    }
+
+    #[test]
+    fn unknown_protocol_is_rejected() {
+        let bad = MINIMAL.replace("ahamad", "paxos");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("paxos"));
+    }
+
+    #[test]
+    fn unknown_check_is_rejected() {
+        let bad = MINIMAL.replace(
+            "\"workload\"",
+            "\"checks\": [\"serializable\"], \"workload\"",
+        );
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("serializable"));
+    }
+
+    #[test]
+    fn link_to_unknown_system_is_rejected() {
+        let bad = MINIMAL.replace("\"b\": 1", "\"b\": 7");
+        assert!(Scenario::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn cyclic_topology_fails_at_build() {
+        let cyclic = r#"{
+            "systems": [
+                { "name": "A", "protocol": "ahamad", "processes": 2 },
+                { "name": "B", "protocol": "ahamad", "processes": 2 },
+                { "name": "C", "protocol": "ahamad", "processes": 2 }
+            ],
+            "links": [
+                { "a": 0, "b": 1 }, { "a": 1, "b": 2 }, { "a": 2, "b": 0 }
+            ],
+            "workload": { "ops_per_proc": 2 }
+        }"#;
+        let s = Scenario::from_json(cyclic).unwrap();
+        assert!(matches!(s.build(), Err(ScenarioError::Build(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(matches!(
+            Scenario::from_json("{ nope"),
+            Err(ScenarioError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn scenario_round_trips_through_serde() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.systems.len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! The scenario files shipped in `scenarios/` must always parse, build
+//! and run — they are the CLI's documentation by example.
+
+use cmi_checker::causal;
+use cmi_cli::Scenario;
+
+fn load(name: &str) -> Scenario {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Scenario::from_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn islands_scenario_runs_and_is_causal() {
+    let scenario = load("islands.json");
+    let report = scenario.run().expect("valid scenario");
+    assert!(report.outcome().is_quiescent());
+    assert!(causal::check(&report.global_history()).is_causal());
+}
+
+#[test]
+fn dialup_tree_scenario_runs_and_is_causal() {
+    let scenario = load("dialup_tree.json");
+    let report = scenario.run().expect("valid scenario");
+    assert!(report.outcome().is_quiescent());
+    assert!(causal::check(&report.global_history()).is_causal());
+}

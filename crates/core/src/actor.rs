@@ -1,0 +1,449 @@
+//! The simulator actor of an interconnected world: one MCS-process, its
+//! attached application or IS-process, and the plumbing between them.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cmi_memory::{Driver, HostSink, McsMsg, NoUpcalls, NodeHost, OpPlan};
+use cmi_sim::{Actor, ActorId, Ctx};
+use cmi_types::{ProcId, SimTime, Value, VarId};
+
+use crate::isp::{IsFault, IsProcess};
+use crate::msg::WorldMsg;
+
+/// Timer token: workload driver tick.
+pub(crate) const OP_TIMER: u64 = 0;
+/// Timer token: reorder-fault flush.
+pub(crate) const FLUSH_TIMER: u64 = 1;
+/// Timer token: X14 batching flush.
+pub(crate) const BATCH_TIMER: u64 = 2;
+
+/// Bidirectional process ↔ actor address book, shared by every actor of
+/// a world.
+#[derive(Debug, Default)]
+pub struct AddressBook {
+    by_proc: HashMap<ProcId, ActorId>,
+    by_actor: HashMap<ActorId, ProcId>,
+}
+
+impl AddressBook {
+    /// Registers a pair.
+    pub fn insert(&mut self, proc: ProcId, actor: ActorId) {
+        self.by_proc.insert(proc, actor);
+        self.by_actor.insert(actor, proc);
+    }
+
+    /// Actor hosting `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` was never registered (harness bug).
+    pub fn actor_of(&self, proc: ProcId) -> ActorId {
+        *self
+            .by_proc
+            .get(&proc)
+            .unwrap_or_else(|| panic!("no actor registered for {proc}"))
+    }
+
+    /// Process hosted by `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` was never registered (harness bug).
+    pub fn proc_of(&self, actor: ActorId) -> ProcId {
+        *self
+            .by_actor
+            .get(&actor)
+            .unwrap_or_else(|| panic!("no process registered for {actor}"))
+    }
+}
+
+/// [`HostSink`] over a simulator context and the shared address book.
+struct WorldSink<'a, 'b> {
+    ctx: &'a mut Ctx<'b, WorldMsg>,
+    addr: &'a AddressBook,
+}
+
+impl HostSink for WorldSink<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn send_mcs(&mut self, to: ProcId, msg: McsMsg) {
+        let actor = self.addr.actor_of(to);
+        self.ctx.send(actor, WorldMsg::Mcs(msg));
+    }
+
+    fn note(&mut self, text: String) {
+        self.ctx.note(text);
+    }
+}
+
+/// One node of an interconnected world.
+pub struct WorldActor {
+    host: NodeHost,
+    driver: Option<Driver>,
+    /// The op fetched from the driver, waiting for its think-time timer.
+    pending_plan: Option<OpPlan>,
+    /// A blocking write call is outstanding; the driver resumes when the
+    /// protocol completes it.
+    waiting_completion: bool,
+    /// A reorder-fault flush timer is armed.
+    flush_scheduled: bool,
+    /// An X14 batch-flush timer is armed.
+    batch_scheduled: bool,
+    addr: Rc<AddressBook>,
+    isp: Option<IsProcess>,
+}
+
+impl WorldActor {
+    /// Creates an application node (`isp: None`) or an IS-process node.
+    pub fn new(host: NodeHost, addr: Rc<AddressBook>, isp: Option<IsProcess>) -> Self {
+        WorldActor {
+            host,
+            driver: None,
+            pending_plan: None,
+            waiting_completion: false,
+            flush_scheduled: false,
+            batch_scheduled: false,
+            addr,
+            isp,
+        }
+    }
+
+    /// Installs the workload driver (before the first `run`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on IS-process nodes — IS-processes only propagate.
+    pub fn set_driver(&mut self, driver: Driver) {
+        assert!(self.isp.is_none(), "IS-processes do not run workloads");
+        self.driver = Some(driver);
+    }
+
+    /// The hosted MCS-process + bookkeeping.
+    pub fn host(&self) -> &NodeHost {
+        &self.host
+    }
+
+    /// Mutable host access (history extraction).
+    pub fn host_mut(&mut self) -> &mut NodeHost {
+        &mut self.host
+    }
+
+    /// The IS-process state, if this node hosts one.
+    pub fn isp(&self) -> Option<&IsProcess> {
+        self.isp.as_ref()
+    }
+
+    fn fetch_and_schedule(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        let Some(driver) = self.driver.as_mut() else {
+            return;
+        };
+        if let Some((gap, plan)) = driver.next() {
+            self.pending_plan = Some(plan);
+            ctx.schedule(gap, OP_TIMER);
+        }
+    }
+
+    fn issue_plan(&mut self, plan: OpPlan, ctx: &mut Ctx<'_, WorldMsg>) {
+        let mut sink = WorldSink {
+            ctx,
+            addr: &self.addr,
+        };
+        match plan {
+            OpPlan::Read(var) => match self.isp.as_mut() {
+                Some(isp) => {
+                    self.host.issue_read(var, &mut sink, isp);
+                }
+                None => {
+                    self.host.issue_read(var, &mut sink, &mut NoUpcalls);
+                }
+            },
+            OpPlan::Write(var, val) => match self.isp.as_mut() {
+                Some(isp) => self.host.issue_write(var, val, &mut sink, isp),
+                None => self.host.issue_write(var, val, &mut sink, &mut NoUpcalls),
+            },
+        }
+    }
+
+    /// Transmits each pair on every link except the pair's source link,
+    /// and logs it. With X14 batching the pairs accumulate per link and
+    /// go out together at the next batch flush.
+    fn send_pairs(&mut self, pairs: &[crate::isp::OutPair], ctx: &mut Ctx<'_, WorldMsg>) {
+        let Some(isp) = self.isp.as_mut() else {
+            return;
+        };
+        let links: Vec<_> = isp.links().to_vec();
+        let batching = isp.batch_window();
+        for pair in pairs {
+            for (i, l) in links.iter().enumerate() {
+                if Some(i) == pair.except {
+                    continue;
+                }
+                if batching.is_some() {
+                    isp.enqueue_batch(i, pair.var, pair.val);
+                } else {
+                    ctx.send(
+                        l.peer_actor,
+                        WorldMsg::Link {
+                            var: pair.var,
+                            val: pair.val,
+                        },
+                    );
+                    isp.log_sent(l.peer_isp, pair.var, pair.val, ctx.now());
+                }
+            }
+        }
+        if let Some(window) = batching {
+            if self.isp.as_ref().unwrap().batches_pending() && !self.batch_scheduled {
+                self.batch_scheduled = true;
+                ctx.schedule(window, BATCH_TIMER);
+            }
+        }
+    }
+
+    /// Flushes every non-empty per-link batch as one `LinkBatch` message.
+    fn flush_batches(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        let Some(isp) = self.isp.as_mut() else {
+            return;
+        };
+        let links: Vec<_> = isp.links().to_vec();
+        for (i, l) in links.iter().enumerate() {
+            let batch = isp.take_batch(i);
+            if batch.is_empty() {
+                continue;
+            }
+            for &(var, val) in &batch {
+                isp.log_sent(l.peer_isp, var, val, ctx.now());
+            }
+            ctx.send(l.peer_actor, WorldMsg::LinkBatch(batch));
+        }
+    }
+
+    /// Propagate_in: issues the local causal write for a received pair.
+    /// The forward to the other links (shared topology) is released when
+    /// the write *applies* — see [`IsProcess::begin_forward`] — so the
+    /// wire order equals the replica-update order (Lemma 1).
+    fn propagate_in(&mut self, link: usize, var: VarId, val: Value, ctx: &mut Ctx<'_, WorldMsg>) {
+        ctx.note(format!("Propagate_in({var},{val})"));
+        let mut sink = WorldSink {
+            ctx,
+            addr: &self.addr,
+        };
+        let isp = self.isp.as_mut().expect("propagate_in on non-isp node");
+        isp.begin_forward(link, var, val);
+        self.host.issue_write(var, val, &mut sink, isp);
+    }
+
+    /// Drains `Propagate_out` pairs produced during the last host call
+    /// and arms the reorder-fault flush timer if needed.
+    fn flush_ready(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        let Some(isp) = self.isp.as_mut() else {
+            return;
+        };
+        let ready = isp.take_ready();
+        if !ready.is_empty() {
+            self.send_pairs(&ready, ctx);
+        }
+        let isp = self.isp.as_ref().unwrap();
+        if let IsFault::ReorderBatch { window } = isp.fault() {
+            if isp.stash_len() > 0 && !self.flush_scheduled {
+                self.flush_scheduled = true;
+                ctx.schedule(window, FLUSH_TIMER);
+            }
+        }
+    }
+
+    /// Everything that must happen after the host processed an event:
+    /// flush Propagate_out pairs, drain deferred incoming pairs, resume
+    /// the workload driver after a write completion.
+    fn post_actions(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        if self.isp.is_some() {
+            self.flush_ready(ctx);
+            while !self.host.write_in_flight() {
+                let Some((link, var, val)) = self.isp.as_mut().unwrap().next_deferred() else {
+                    break;
+                };
+                self.propagate_in(link, var, val, ctx);
+                self.flush_ready(ctx);
+            }
+        }
+        if self.waiting_completion && !self.host.op_in_flight() {
+            self.waiting_completion = false;
+            self.fetch_and_schedule(ctx);
+        }
+    }
+}
+
+impl Actor<WorldMsg> for WorldActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        self.fetch_and_schedule(ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: WorldMsg, ctx: &mut Ctx<'_, WorldMsg>) {
+        match msg {
+            WorldMsg::Mcs(m) => {
+                let from_proc = self.addr.proc_of(from);
+                let addr = Rc::clone(&self.addr);
+                let mut sink = WorldSink { ctx, addr: &addr };
+                match self.isp.as_mut() {
+                    Some(isp) => self.host.on_mcs_message(from_proc, m, &mut sink, isp),
+                    None => self
+                        .host
+                        .on_mcs_message(from_proc, m, &mut sink, &mut NoUpcalls),
+                }
+                self.post_actions(ctx);
+            }
+            WorldMsg::Link { var, val } => {
+                let link = self
+                    .isp
+                    .as_ref()
+                    .and_then(|isp| isp.link_from_actor(from))
+                    .unwrap_or_else(|| panic!("link pair from unknown actor {from}"));
+                if self.host.write_in_flight() {
+                    // The IS-process is blocked in a write call; the pair
+                    // waits its turn (FIFO order preserved).
+                    self.isp.as_mut().unwrap().defer_incoming(link, var, val);
+                } else {
+                    self.propagate_in(link, var, val, ctx);
+                    self.post_actions(ctx);
+                }
+            }
+            WorldMsg::LinkBatch(pairs) => {
+                let link = self
+                    .isp
+                    .as_ref()
+                    .and_then(|isp| isp.link_from_actor(from))
+                    .unwrap_or_else(|| panic!("link batch from unknown actor {from}"));
+                // Process in batch order; once a Propagate_in write
+                // blocks, the rest defer behind it (order preserved).
+                for (var, val) in pairs {
+                    if self.host.write_in_flight() {
+                        self.isp.as_mut().unwrap().defer_incoming(link, var, val);
+                    } else {
+                        self.propagate_in(link, var, val, ctx);
+                    }
+                }
+                self.post_actions(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, WorldMsg>) {
+        match token {
+            OP_TIMER => {
+                if let Some(plan) = self.pending_plan.take() {
+                    self.issue_plan(plan, ctx);
+                    if self.host.op_in_flight() {
+                        self.waiting_completion = true;
+                    } else {
+                        self.fetch_and_schedule(ctx);
+                    }
+                    self.post_actions(ctx);
+                }
+            }
+            BATCH_TIMER => {
+                self.batch_scheduled = false;
+                self.flush_batches(ctx);
+                if let Some(isp) = self.isp.as_ref() {
+                    if let Some(window) = isp.batch_window() {
+                        if isp.batches_pending() {
+                            self.batch_scheduled = true;
+                            ctx.schedule(window, BATCH_TIMER);
+                        }
+                    }
+                }
+            }
+            FLUSH_TIMER => {
+                self.flush_scheduled = false;
+                if let Some(isp) = self.isp.as_mut() {
+                    if let Some(pair) = isp.flush_reordered() {
+                        ctx.note("reorder-fault send (newest-first)".to_string());
+                        self.send_pairs(&[pair], ctx);
+                    }
+                    let isp = self.isp.as_ref().unwrap();
+                    if let IsFault::ReorderBatch { window } = isp.fault() {
+                        if isp.stash_len() > 0 {
+                            self.flush_scheduled = true;
+                            ctx.schedule(window, FLUSH_TIMER);
+                        }
+                    }
+                }
+            }
+            other => panic!("unknown timer token {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp::{IsFault, IsVariant, LinkEnd};
+    use cmi_memory::ProtocolKind;
+    use cmi_types::SystemId;
+
+    fn book() -> AddressBook {
+        let mut b = AddressBook::default();
+        b.insert(ProcId::new(SystemId(0), 0), ActorId(0));
+        b.insert(ProcId::new(SystemId(1), 0), ActorId(1));
+        b
+    }
+
+    #[test]
+    fn address_book_round_trips() {
+        let b = book();
+        let p = ProcId::new(SystemId(1), 0);
+        assert_eq!(b.actor_of(p), ActorId(1));
+        assert_eq!(b.proc_of(ActorId(0)), ProcId::new(SystemId(0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no actor registered")]
+    fn unknown_proc_panics() {
+        book().actor_of(ProcId::new(SystemId(9), 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no process registered")]
+    fn unknown_actor_panics() {
+        book().proc_of(ActorId(42));
+    }
+
+    fn isp_actor() -> WorldActor {
+        let host = NodeHost::new(ProtocolKind::Ahamad.instantiate(SystemId(0), 1, 2, 2));
+        let isp = IsProcess::new(
+            IsVariant::PostOnly,
+            IsFault::None,
+            vec![LinkEnd {
+                peer_isp: ProcId::new(SystemId(1), 1),
+                peer_actor: ActorId(3),
+            }],
+        );
+        WorldActor::new(host, Rc::new(book()), Some(isp))
+    }
+
+    #[test]
+    #[should_panic(expected = "IS-processes do not run workloads")]
+    fn driver_on_isp_panics() {
+        let mut actor = isp_actor();
+        actor.set_driver(Driver::Scripted(cmi_memory::ScriptedDriver::new([])));
+    }
+
+    #[test]
+    fn isp_accessors_expose_state() {
+        let actor = isp_actor();
+        assert!(actor.isp().is_some());
+        assert_eq!(actor.isp().unwrap().links().len(), 1);
+        assert_eq!(actor.host().proc(), ProcId::new(SystemId(0), 1));
+    }
+}

@@ -1,0 +1,558 @@
+//! Assembly of interconnected worlds.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use cmi_memory::{Driver, NodeHost, OpPlan, ScriptedDriver, WorkloadDriver, WorkloadSpec};
+use cmi_sim::rng::derive_rng;
+use cmi_sim::{NetworkTag, RunLimit, Sim, SimBuilder};
+use cmi_types::{ProcId, SystemId};
+
+use crate::actor::{AddressBook, WorldActor};
+use crate::isp::{IsProcess, IsVariant, LinkEnd};
+use crate::msg::WorldMsg;
+use crate::report::{LinkTraffic, RunReport};
+use crate::spec::{BuildError, IsTopology, LinkSpec, SystemHandle, SystemSpec};
+
+/// A system as realized in a built world.
+#[derive(Debug, Clone)]
+pub struct SystemInfo {
+    /// System identity.
+    pub id: SystemId,
+    /// Name from the spec.
+    pub name: String,
+    /// Protocol from the spec.
+    pub protocol: cmi_memory::ProtocolKind,
+    /// Application processes (slots `0..n_app`).
+    pub app_procs: Vec<ProcId>,
+    /// IS-processes hosted by this system (slots after the apps).
+    pub isp_procs: Vec<ProcId>,
+}
+
+impl SystemInfo {
+    /// Total MCS-processes of this system (apps + IS-processes).
+    pub fn mcs_count(&self) -> usize {
+        self.app_procs.len() + self.isp_procs.len()
+    }
+}
+
+/// A link as realized in a built world.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkInfo {
+    /// IS-process on the first system.
+    pub a_isp: ProcId,
+    /// IS-process on the second system.
+    pub b_isp: ProcId,
+}
+
+/// Builder for an interconnected world of causal DSM systems.
+///
+/// See the crate-level example. Validation happens in
+/// [`build`](Self::build): the link graph must be a forest (Corollary 1
+/// interconnects "in pairs avoiding the creation of cycles").
+#[derive(Debug)]
+pub struct InterconnectBuilder {
+    systems: Vec<SystemSpec>,
+    links: Vec<(usize, usize, LinkSpec)>,
+    topology: IsTopology,
+    n_vars: usize,
+    trace: bool,
+    force_variant2: bool,
+}
+
+impl Default for InterconnectBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InterconnectBuilder {
+    /// Creates an empty builder (pairwise topology, 4 shared variables).
+    pub fn new() -> Self {
+        InterconnectBuilder {
+            systems: Vec::new(),
+            links: Vec::new(),
+            topology: IsTopology::Pairwise,
+            n_vars: 4,
+            trace: false,
+            force_variant2: false,
+        }
+    }
+
+    /// Adds a system.
+    pub fn add_system(&mut self, spec: SystemSpec) -> SystemHandle {
+        self.systems.push(spec);
+        SystemHandle(self.systems.len() - 1)
+    }
+
+    /// Interconnects two systems with a bidirectional FIFO link.
+    pub fn link(&mut self, a: SystemHandle, b: SystemHandle, spec: LinkSpec) {
+        self.links.push((a.0, b.0, spec));
+    }
+
+    /// Selects the IS-process allocation mode.
+    pub fn with_topology(mut self, topology: IsTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the number of shared variables (shared by all systems — the
+    /// paper requires the IS-process MCS to replicate *every* variable).
+    pub fn with_vars(mut self, n_vars: usize) -> Self {
+        assert!(n_vars > 0, "at least one shared variable");
+        self.n_vars = n_vars;
+        self
+    }
+
+    /// Enables the simulator trace (X1 protocol traces).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Forces IS-protocol variant 2 (`Pre_Propagate_out` enabled) even
+    /// for protocols that satisfy Causal Updating. Variant 2 is correct
+    /// for every causal MCS protocol; this switch exists to exercise it.
+    pub fn force_pre_propagate(mut self) -> Self {
+        self.force_variant2 = true;
+        self
+    }
+
+    /// Validates the topology and constructs the world.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for an empty world, empty systems,
+    /// unknown handles, self-links, duplicate links or cycles.
+    pub fn build(self, seed: u64) -> Result<World, BuildError> {
+        if self.systems.is_empty() {
+            return Err(BuildError::NoSystems);
+        }
+        for (i, s) in self.systems.iter().enumerate() {
+            if s.n_app_procs == 0 {
+                return Err(BuildError::EmptySystem { system: i });
+            }
+        }
+        // Union-find cycle check.
+        let mut parent: Vec<usize> = (0..self.systems.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut seen_pairs = std::collections::HashSet::new();
+        for &(a, b, _) in &self.links {
+            for h in [a, b] {
+                if h >= self.systems.len() {
+                    return Err(BuildError::UnknownSystem { handle: h });
+                }
+            }
+            if a == b {
+                return Err(BuildError::SelfLink { system: a });
+            }
+            if !seen_pairs.insert((a.min(b), a.max(b))) {
+                return Err(BuildError::DuplicateLink {
+                    systems: (a.min(b), a.max(b)),
+                });
+            }
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                return Err(BuildError::CyclicTopology);
+            }
+            parent[ra] = rb;
+        }
+
+        // Layout: per system, incident links and IS slots.
+        let n_sys = self.systems.len();
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n_sys];
+        for (l, &(a, b, _)) in self.links.iter().enumerate() {
+            incident[a].push(l);
+            incident[b].push(l);
+        }
+        let isp_slots: Vec<usize> = (0..n_sys)
+            .map(|s| match self.topology {
+                IsTopology::Pairwise => incident[s].len(),
+                IsTopology::Shared => usize::from(!incident[s].is_empty()),
+            })
+            .collect();
+
+        // Process ids and the address book (actor ids dense in creation
+        // order: system by system, slot by slot).
+        let mut addr = AddressBook::default();
+        let mut next_actor = 0u32;
+        let mut proc_ids: Vec<Vec<ProcId>> = Vec::with_capacity(n_sys);
+        for (s, spec) in self.systems.iter().enumerate() {
+            let id = SystemId(s as u16);
+            let total = spec.n_app_procs + isp_slots[s];
+            let procs: Vec<ProcId> = (0..total).map(|k| ProcId::new(id, k as u16)).collect();
+            for p in &procs {
+                addr.insert(*p, cmi_sim::ActorId(next_actor));
+                next_actor += 1;
+            }
+            proc_ids.push(procs);
+        }
+        let addr = Rc::new(addr);
+
+        // IS-process proc per (system, link).
+        let isp_of = |sys: usize, link: usize| -> ProcId {
+            let base = self.systems[sys].n_app_procs;
+            let offset = match self.topology {
+                IsTopology::Pairwise => incident[sys]
+                    .iter()
+                    .position(|&l| l == link)
+                    .expect("link not incident"),
+                IsTopology::Shared => 0,
+            };
+            proc_ids[sys][base + offset]
+        };
+
+        // Instantiate actors.
+        let mut b = SimBuilder::new(seed);
+        if self.trace {
+            b.enable_trace();
+        }
+        let mut systems_info = Vec::with_capacity(n_sys);
+        for (s, spec) in self.systems.iter().enumerate() {
+            let id = SystemId(s as u16);
+            let total = spec.n_app_procs + isp_slots[s];
+            let variant = if self.force_variant2 || !spec.causal_updating() {
+                IsVariant::PrePost
+            } else {
+                IsVariant::PostOnly
+            };
+            for k in 0..total {
+                let host = NodeHost::new(spec.make_protocol(id, k as u16, total, self.n_vars));
+                let isp = if k >= spec.n_app_procs {
+                    // Which links does this IS slot serve?
+                    let serving: Vec<usize> = match self.topology {
+                        IsTopology::Pairwise => vec![incident[s][k - spec.n_app_procs]],
+                        IsTopology::Shared => incident[s].clone(),
+                    };
+                    let ends: Vec<LinkEnd> = serving
+                        .iter()
+                        .map(|&l| {
+                            let (la, lb, _) = self.links[l];
+                            let peer_sys = if la == s { lb } else { la };
+                            let peer_isp = isp_of(peer_sys, l);
+                            LinkEnd {
+                                peer_isp,
+                                peer_actor: addr.actor_of(peer_isp),
+                            }
+                        })
+                        .collect();
+                    let fault = serving
+                        .iter()
+                        .map(|&l| self.links[l].2.fault)
+                        .find(|f| *f != crate::isp::IsFault::None)
+                        .unwrap_or(crate::isp::IsFault::None);
+                    let batch = serving.iter().find_map(|&l| self.links[l].2.batch);
+                    let mut isp = IsProcess::new(variant, fault, ends);
+                    if let Some(window) = batch {
+                        isp = isp.with_batching(window);
+                    }
+                    Some(isp)
+                } else {
+                    None
+                };
+                let actor = WorldActor::new(host, Rc::clone(&addr), isp);
+                b.add_actor(Box::new(actor), NetworkTag(s as u16));
+            }
+            systems_info.push(SystemInfo {
+                id,
+                name: spec.name.clone(),
+                protocol: spec.protocol,
+                app_procs: proc_ids[s][..spec.n_app_procs].to_vec(),
+                isp_procs: proc_ids[s][spec.n_app_procs..].to_vec(),
+            });
+        }
+
+        // Intra-system full meshes.
+        for procs in &proc_ids {
+            for i in 0..procs.len() {
+                for j in 0..procs.len() {
+                    if i != j {
+                        b.connect(
+                            addr.actor_of(procs[i]),
+                            addr.actor_of(procs[j]),
+                            self.systems[procs[i].system.index()].intra,
+                        );
+                    }
+                }
+            }
+        }
+        // Inter-system links.
+        let mut links_info = Vec::with_capacity(self.links.len());
+        for (l, &(la, lb, spec)) in self.links.iter().enumerate() {
+            let a_isp = isp_of(la, l);
+            let b_isp = isp_of(lb, l);
+            b.connect_bidi(addr.actor_of(a_isp), addr.actor_of(b_isp), spec.channel);
+            links_info.push(LinkInfo { a_isp, b_isp });
+        }
+
+        Ok(World {
+            sim: b.build(),
+            systems: systems_info,
+            links: links_info,
+            addr,
+            n_vars: self.n_vars,
+            seed,
+            ran: false,
+        })
+    }
+}
+
+/// A built, runnable interconnected world.
+pub struct World {
+    sim: Sim<WorldMsg>,
+    systems: Vec<SystemInfo>,
+    links: Vec<LinkInfo>,
+    addr: Rc<AddressBook>,
+    n_vars: usize,
+    seed: u64,
+    ran: bool,
+}
+
+impl World {
+    /// Runs a randomized workload on every application process and
+    /// returns the report. A world can be run once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second run (histories were already extracted).
+    pub fn run(&mut self, workload: &WorkloadSpec) -> RunReport {
+        let mut label = 0u64;
+        for s in 0..self.systems.len() {
+            for p in self.systems[s].app_procs.clone() {
+                let driver = Driver::Random(WorkloadDriver::new(
+                    p,
+                    workload.clone().with_vars(self.n_vars as u32),
+                    derive_rng(self.seed, 0x9000 + label),
+                ));
+                self.set_driver(p, driver);
+                label += 1;
+            }
+        }
+        self.finish()
+    }
+
+    /// Runs explicit per-process scripts (adversarial scenarios);
+    /// processes without a script stay passive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second run or on scripts for unknown/IS processes.
+    pub fn run_scripted(
+        &mut self,
+        scripts: impl IntoIterator<Item = (ProcId, Vec<(Duration, OpPlan)>)>,
+    ) -> RunReport {
+        for (p, steps) in scripts {
+            self.set_driver(p, Driver::Scripted(ScriptedDriver::new(steps)));
+        }
+        self.finish()
+    }
+
+    fn set_driver(&mut self, p: ProcId, driver: Driver) {
+        let actor = self.addr.actor_of(p);
+        self.sim
+            .actor_mut::<WorldActor>(actor)
+            .expect("world actors are WorldActor")
+            .set_driver(driver);
+    }
+
+    fn finish(&mut self) -> RunReport {
+        assert!(!self.ran, "a world can be run once");
+        self.ran = true;
+        let outcome = self.sim.run(RunLimit::unlimited());
+
+        // Extraction.
+        let mut streams: Vec<Vec<cmi_types::OpRecord>> = Vec::new();
+        let mut updates = std::collections::BTreeMap::new();
+        let mut responses = std::collections::BTreeMap::new();
+        let mut system_of = HashMap::new();
+        let mut isps = std::collections::BTreeSet::new();
+        let mut link_sends: Vec<LinkTraffic> = Vec::new();
+        for sys in &self.systems {
+            for p in sys.app_procs.iter().chain(&sys.isp_procs) {
+                system_of.insert(*p, sys.id);
+                let actor_id = self.addr.actor_of(*p);
+                let actor = self
+                    .sim
+                    .actor_mut::<WorldActor>(actor_id)
+                    .expect("world actors are WorldActor");
+                streams.push(actor.host_mut().take_ops());
+                updates.insert(*p, actor.host().updates().to_vec());
+                responses.insert(*p, actor.host().write_responses().to_vec());
+                if let Some(isp) = actor.isp() {
+                    isps.insert(*p);
+                    // Group the send log per destination.
+                    for end in isp.links() {
+                        let pairs: Vec<_> = isp
+                            .sent_log()
+                            .iter()
+                            .filter(|sp| sp.to_isp == end.peer_isp)
+                            .copied()
+                            .collect();
+                        link_sends.push(LinkTraffic {
+                            from_isp: *p,
+                            to_isp: end.peer_isp,
+                            pairs,
+                        });
+                    }
+                }
+            }
+        }
+        let full = cmi_types::History::merge_streams(streams);
+
+        RunReport::new(
+            full,
+            outcome,
+            self.sim.stats().clone(),
+            system_of,
+            self.systems.iter().map(|s| s.name.clone()).collect(),
+            isps,
+            updates,
+            responses,
+            link_sends,
+            self.sim.trace().to_vec(),
+        )
+    }
+
+    /// The systems of this world.
+    pub fn systems(&self) -> &[SystemInfo] {
+        &self.systems
+    }
+
+    /// The links of this world.
+    pub fn links(&self) -> &[LinkInfo] {
+        &self.links
+    }
+
+    /// Total number of MCS-processes (apps + IS-processes) — the `n + …`
+    /// of Section 6's message counts.
+    pub fn total_mcs_processes(&self) -> usize {
+        self.systems.iter().map(|s| s.mcs_count()).sum()
+    }
+
+    /// Number of shared variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Sim<WorldMsg> {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_memory::ProtocolKind;
+
+    fn spec(name: &str, n: usize) -> SystemSpec {
+        SystemSpec::new(name, ProtocolKind::Ahamad, n)
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert_eq!(
+            InterconnectBuilder::new().build(0).err(),
+            Some(BuildError::NoSystems)
+        );
+    }
+
+    #[test]
+    fn empty_system_fails() {
+        let mut b = InterconnectBuilder::new();
+        b.add_system(spec("A", 0));
+        assert_eq!(b.build(0).err(), Some(BuildError::EmptySystem { system: 0 }));
+    }
+
+    #[test]
+    fn self_link_fails() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(spec("A", 2));
+        b.link(a, a, LinkSpec::new(Duration::from_millis(1)));
+        assert_eq!(b.build(0).err(), Some(BuildError::SelfLink { system: 0 }));
+    }
+
+    #[test]
+    fn duplicate_link_fails() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(spec("A", 2));
+        let c = b.add_system(spec("B", 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        b.link(c, a, LinkSpec::new(Duration::from_millis(1)));
+        assert_eq!(
+            b.build(0).err(),
+            Some(BuildError::DuplicateLink { systems: (0, 1) })
+        );
+    }
+
+    #[test]
+    fn cyclic_topology_fails() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(spec("A", 2));
+        let c = b.add_system(spec("B", 2));
+        let d = b.add_system(spec("C", 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        b.link(c, d, LinkSpec::new(Duration::from_millis(1)));
+        b.link(d, a, LinkSpec::new(Duration::from_millis(1)));
+        assert_eq!(b.build(0).err(), Some(BuildError::CyclicTopology));
+    }
+
+    #[test]
+    fn pairwise_layout_adds_one_isp_per_link_end() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(spec("A", 3));
+        let c = b.add_system(spec("B", 2));
+        let d = b.add_system(spec("C", 2));
+        // Chain A – B – C: B hosts two IS-processes in pairwise mode.
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        b.link(c, d, LinkSpec::new(Duration::from_millis(1)));
+        let world = b.build(1).unwrap();
+        assert_eq!(world.systems()[0].isp_procs.len(), 1);
+        assert_eq!(world.systems()[1].isp_procs.len(), 2);
+        assert_eq!(world.systems()[2].isp_procs.len(), 1);
+        // n + 2(m−1) MCS processes: 7 apps + 4 isps.
+        assert_eq!(world.total_mcs_processes(), 11);
+        assert_eq!(world.links().len(), 2);
+    }
+
+    #[test]
+    fn shared_layout_adds_one_isp_per_system() {
+        let mut b = InterconnectBuilder::new().with_topology(IsTopology::Shared);
+        let a = b.add_system(spec("A", 3));
+        let c = b.add_system(spec("B", 2));
+        let d = b.add_system(spec("C", 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        b.link(c, d, LinkSpec::new(Duration::from_millis(1)));
+        let world = b.build(1).unwrap();
+        for s in world.systems() {
+            assert_eq!(s.isp_procs.len(), 1);
+        }
+        // n + m: 7 apps + 3 isps.
+        assert_eq!(world.total_mcs_processes(), 10);
+    }
+
+    #[test]
+    fn standalone_system_has_no_isps() {
+        let mut b = InterconnectBuilder::new();
+        b.add_system(spec("solo", 4));
+        let world = b.build(1).unwrap();
+        assert!(world.systems()[0].isp_procs.is_empty());
+        assert_eq!(world.total_mcs_processes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "run once")]
+    fn double_run_panics() {
+        let mut b = InterconnectBuilder::new();
+        b.add_system(spec("A", 2));
+        let mut world = b.build(1).unwrap();
+        let _ = world.run(&WorkloadSpec::small());
+        let _ = world.run(&WorkloadSpec::small());
+    }
+}

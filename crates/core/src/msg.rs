@@ -1,0 +1,73 @@
+//! Messages of an interconnected world.
+
+use std::fmt;
+
+use cmi_memory::McsMsg;
+use cmi_types::{Value, VarId};
+use serde::{Deserialize, Serialize};
+
+/// A message in an interconnected world: either an intra-system MCS
+/// protocol message, or IS-protocol traffic on the inter-system channel
+/// between two IS-processes — a single `⟨x,v⟩` pair (the paper's
+/// protocol) or an ordered batch of pairs (the X14 batching
+/// optimization; order within the batch preserves the Lemma 1 send
+/// order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorldMsg {
+    /// Intra-system MCS protocol traffic.
+    Mcs(McsMsg),
+    /// IS-protocol pair `⟨x,v⟩`: "variable `var` was updated with `val`".
+    Link {
+        /// Variable.
+        var: VarId,
+        /// Value (carries its original writer, so the receiving system
+        /// writes the *same* value — `prop(op)` writes what `orig(op)`
+        /// wrote).
+        val: Value,
+    },
+    /// An ordered batch of `⟨x,v⟩` pairs sent as one channel message.
+    LinkBatch(Vec<(VarId, Value)>),
+}
+
+impl fmt::Display for WorldMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldMsg::Mcs(m) => write!(f, "{m}"),
+            WorldMsg::Link { var, val } => write!(f, "⟨{var},{val}⟩"),
+            WorldMsg::LinkBatch(pairs) => write!(f, "batch of {} pairs", pairs.len()),
+        }
+    }
+}
+
+impl From<McsMsg> for WorldMsg {
+    fn from(m: McsMsg) -> Self {
+        WorldMsg::Mcs(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{ProcId, SystemId};
+
+    #[test]
+    fn link_pairs_render_like_the_paper() {
+        let p = ProcId::new(SystemId(0), 0);
+        let m = WorldMsg::Link {
+            var: VarId(2),
+            val: Value::new(p, 3),
+        };
+        assert_eq!(m.to_string(), "⟨x2,v(S0.p0#3)⟩");
+    }
+
+    #[test]
+    fn mcs_messages_wrap_transparently() {
+        let p = ProcId::new(SystemId(0), 0);
+        let inner = McsMsg::EagerUpdate {
+            var: VarId(0),
+            val: Value::new(p, 1),
+        };
+        let m: WorldMsg = inner.clone().into();
+        assert_eq!(m, WorldMsg::Mcs(inner));
+    }
+}

@@ -1,0 +1,250 @@
+//! Run reports: the computations and protocol-internal logs of one run.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cmi_memory::ReplicaUpdate;
+use cmi_sim::{RunOutcome, TraceEntry, TrafficStats};
+use cmi_types::{History, ProcId, SimTime, SystemId, Value, VarId};
+
+use crate::isp::SentPair;
+
+/// The `⟨x,v⟩` pairs one IS-process sent to one peer, in send order.
+#[derive(Debug, Clone)]
+pub struct LinkTraffic {
+    /// Sending IS-process.
+    pub from_isp: ProcId,
+    /// Receiving IS-process.
+    pub to_isp: ProcId,
+    /// Pairs in send order.
+    pub pairs: Vec<SentPair>,
+}
+
+/// Visibility data for one write: when it was issued and when each
+/// MCS-process applied it — the paper's Section 6 "latency … the time
+/// until a value written is visible in any other process".
+#[derive(Debug, Clone)]
+pub struct WriteVisibility {
+    /// Variable written.
+    pub var: VarId,
+    /// Value written.
+    pub val: Value,
+    /// Completion instant of the originating write call.
+    pub issued_at: SimTime,
+    /// Application instant at every MCS-process that applied it.
+    pub visible_at: BTreeMap<ProcId, SimTime>,
+}
+
+impl WriteVisibility {
+    /// Worst-case visibility latency across all processes.
+    pub fn max_latency(&self) -> std::time::Duration {
+        self.visible_at
+            .values()
+            .map(|t| t.saturating_since(self.issued_at))
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+/// Everything observable from one world run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    full: History,
+    outcome: RunOutcome,
+    stats: TrafficStats,
+    system_of: HashMap<ProcId, SystemId>,
+    system_names: Vec<String>,
+    isps: BTreeSet<ProcId>,
+    updates: BTreeMap<ProcId, Vec<ReplicaUpdate>>,
+    responses: BTreeMap<ProcId, Vec<std::time::Duration>>,
+    link_sends: Vec<LinkTraffic>,
+    trace: Vec<TraceEntry>,
+}
+
+impl RunReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        full: History,
+        outcome: RunOutcome,
+        stats: TrafficStats,
+        system_of: HashMap<ProcId, SystemId>,
+        system_names: Vec<String>,
+        isps: BTreeSet<ProcId>,
+        updates: BTreeMap<ProcId, Vec<ReplicaUpdate>>,
+        responses: BTreeMap<ProcId, Vec<std::time::Duration>>,
+        link_sends: Vec<LinkTraffic>,
+        trace: Vec<TraceEntry>,
+    ) -> Self {
+        RunReport {
+            full,
+            outcome,
+            stats,
+            system_of,
+            system_names,
+            isps,
+            updates,
+            responses,
+            link_sends,
+            trace,
+        }
+    }
+
+    /// How the run ended (quiescent for complete workloads).
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    /// Message statistics of the run.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Every recorded operation, IS-process operations included.
+    pub fn full_history(&self) -> &History {
+        &self.full
+    }
+
+    /// The computation `α^T` of the interconnected system `S^T`: all
+    /// operations of application processes, **excluding** IS-processes
+    /// ("the set of processes of `S^T` includes all the processes in
+    /// `S^0` and `S^1` except `isp^0` and `isp^1`"). Because an
+    /// IS-process writes the same value its original write wrote, each
+    /// value still has exactly one write here.
+    pub fn global_history(&self) -> History {
+        self.full.filtered(|op| !self.isps.contains(&op.proc))
+    }
+
+    /// The computation `α^k` of system `k`: operations of the system's
+    /// application processes *and* its IS-processes (whose writes are
+    /// the propagations `prop(op)` of remote writes).
+    pub fn system_history(&self, system: SystemId) -> History {
+        self.full
+            .filtered(|op| self.system_of.get(&op.proc) == Some(&system))
+    }
+
+    /// `true` if `proc` is an IS-process.
+    pub fn is_isp(&self, proc: ProcId) -> bool {
+        self.isps.contains(&proc)
+    }
+
+    /// All IS-processes.
+    pub fn isp_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.isps.iter().copied()
+    }
+
+    /// The system a process belongs to.
+    pub fn system_of(&self, proc: ProcId) -> Option<SystemId> {
+        self.system_of.get(&proc).copied()
+    }
+
+    /// Name of a system.
+    pub fn system_name(&self, system: SystemId) -> &str {
+        &self.system_names[system.index()]
+    }
+
+    /// Replica-update log of one MCS-process (Property 1 checks).
+    pub fn updates_of(&self, proc: ProcId) -> &[ReplicaUpdate] {
+        self.updates
+            .get(&proc)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Per-direction IS-protocol link traffic (Lemma 1 checks, X2/X3
+    /// counts).
+    pub fn link_traffic(&self) -> &[LinkTraffic] {
+        &self.link_sends
+    }
+
+    /// Write-call response times of one process, in issue order
+    /// (Section 6: "our IS-protocols should not affect the response
+    /// time a process observes").
+    pub fn responses_of(&self, proc: ProcId) -> &[std::time::Duration] {
+        self.responses
+            .get(&proc)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The simulator trace, if tracing was enabled at build time.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Visibility analysis of every write in `α^T` (Section 6 latency).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cmi_core::{InterconnectBuilder, LinkSpec, SystemSpec};
+    /// use cmi_memory::{ProtocolKind, WorkloadSpec};
+    /// use std::time::Duration;
+    ///
+    /// let mut b = InterconnectBuilder::new().with_vars(2);
+    /// let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    /// let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    /// b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    /// let mut world = b.build(1)?;
+    /// let report = world.run(&WorkloadSpec::small().with_write_fraction(1.0));
+    /// for wv in report.write_visibility() {
+    ///     // Every write becomes visible at every MCS-process (4 apps + 2 ISs).
+    ///     assert_eq!(wv.visible_at.len(), 6);
+    /// }
+    /// # Ok::<(), cmi_core::BuildError>(())
+    /// ```
+    pub fn write_visibility(&self) -> Vec<WriteVisibility> {
+        let global = self.global_history();
+        let mut out = Vec::new();
+        for id in global.writes() {
+            let op = global.op(id);
+            let val = op.written_value().expect("writes() returns writes");
+            let mut visible_at = BTreeMap::new();
+            for (proc, log) in &self.updates {
+                if let Some(u) = log.iter().find(|u| u.var == op.var && u.val == val) {
+                    visible_at.insert(*proc, u.at);
+                }
+            }
+            out.push(WriteVisibility {
+                var: op.var,
+                val,
+                issued_at: op.at,
+                visible_at,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn write_visibility_latency_math() {
+        let origin = ProcId::new(SystemId(0), 0);
+        let val = Value::new(origin, 1);
+        let mut visible_at = BTreeMap::new();
+        visible_at.insert(origin, SimTime::from_millis(10));
+        visible_at.insert(ProcId::new(SystemId(0), 1), SimTime::from_millis(14));
+        visible_at.insert(ProcId::new(SystemId(1), 0), SimTime::from_millis(25));
+        let wv = WriteVisibility {
+            var: VarId(0),
+            val,
+            issued_at: SimTime::from_millis(10),
+            visible_at,
+        };
+        assert_eq!(wv.max_latency(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn empty_visibility_has_zero_latency() {
+        let origin = ProcId::new(SystemId(0), 0);
+        let wv = WriteVisibility {
+            var: VarId(0),
+            val: Value::new(origin, 1),
+            issued_at: SimTime::from_millis(10),
+            visible_at: BTreeMap::new(),
+        };
+        assert_eq!(wv.max_latency(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the interconnection: Theorem 1 / Corollary 1 /
+//! Lemma 1 under randomized topologies, protocol mixes, link conditions
+//! and seeds.
+
+use std::time::Duration;
+
+use cmi_checker::trace::check_order_respects_causality;
+use cmi_checker::{causal, AppliedWrite};
+use cmi_core::{InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_sim::{Availability, ChannelSpec};
+use cmi_types::SystemId;
+use proptest::prelude::*;
+
+fn protocol() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Ahamad),
+        Just(ProtocolKind::Frontier),
+        Just(ProtocolKind::Sequencer),
+        Just(ProtocolKind::Atomic),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct WorldPlan {
+    protocols: Vec<ProtocolKind>,
+    /// Tree edges: system `i+1` attaches to `parents[i] % (i+1)` — a
+    /// uniformly random labelled tree (Prüfer-free construction).
+    parents: Vec<u64>,
+    topology: IsTopology,
+    variant2: bool,
+    link_ms: u64,
+    jitter_ms: u64,
+    dialup: bool,
+    batch_ms: Option<u64>,
+    ops: u32,
+    seed: u64,
+}
+
+impl WorldPlan {
+    fn edges(&self) -> Vec<(usize, usize)> {
+        (1..self.protocols.len())
+            .map(|i| ((self.parents[i - 1] as usize) % i.max(1), i))
+            .collect()
+    }
+}
+
+fn world_plan() -> impl Strategy<Value = WorldPlan> {
+    (
+        proptest::collection::vec(protocol(), 2..5),
+        proptest::collection::vec(0u64..100, 4),
+        prop_oneof![Just(IsTopology::Pairwise), Just(IsTopology::Shared)],
+        prop::bool::ANY,
+        1u64..15,
+        0u64..6,
+        prop::bool::ANY,
+        prop::option::of(2u64..30),
+        3u32..8,
+        0u64..100_000,
+    )
+        .prop_map(
+            |(
+                protocols,
+                parents,
+                topology,
+                variant2,
+                link_ms,
+                jitter_ms,
+                dialup,
+                batch_ms,
+                ops,
+                seed,
+            )| {
+                WorldPlan {
+                    protocols,
+                    parents,
+                    topology,
+                    variant2,
+                    link_ms,
+                    jitter_ms,
+                    dialup,
+                    batch_ms,
+                    ops,
+                    seed,
+                }
+            },
+        )
+}
+
+fn run_plan(plan: &WorldPlan) -> RunReport {
+    let mut b = InterconnectBuilder::new()
+        .with_vars(3)
+        .with_topology(plan.topology);
+    if plan.variant2 {
+        b = b.force_pre_propagate();
+    }
+    let handles: Vec<_> = plan
+        .protocols
+        .iter()
+        .enumerate()
+        .map(|(i, p)| b.add_system(SystemSpec::new(format!("S{i}"), *p, 2)))
+        .collect();
+    let mut channel = ChannelSpec::jittered(
+        Duration::from_millis(plan.link_ms),
+        Duration::from_millis(plan.jitter_ms),
+    );
+    if plan.dialup {
+        channel = channel.with_availability(Availability::DutyCycle {
+            period: Duration::from_millis(60),
+            up: Duration::from_millis(15),
+        });
+    }
+    for (parent, child) in plan.edges() {
+        let mut link = LinkSpec::new(Duration::ZERO).with_channel(channel);
+        if let Some(batch_ms) = plan.batch_ms {
+            link = link.with_batching(Duration::from_millis(batch_ms));
+        }
+        b.link(handles[parent], handles[child], link);
+    }
+    let mut world = b.build(plan.seed).expect("random trees are acyclic by construction");
+    world.run(&WorkloadSpec::small().with_ops(plan.ops).with_write_fraction(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem1_alpha_t_is_always_causal(plan in world_plan()) {
+        let report = run_plan(&plan);
+        prop_assert!(report.outcome().is_quiescent());
+        let alpha_t = report.global_history();
+        prop_assert!(alpha_t.validate_differentiated().is_ok());
+        let verdict = causal::check(&alpha_t);
+        prop_assert!(verdict.is_causal(), "{:?} with plan {:?}", verdict.verdict, plan);
+    }
+
+    #[test]
+    fn each_alpha_k_is_causal_too(plan in world_plan()) {
+        let report = run_plan(&plan);
+        for (k, _) in plan.protocols.iter().enumerate() {
+            let alpha_k = report.system_history(SystemId(k as u16));
+            let verdict = causal::check(&alpha_k);
+            prop_assert!(verdict.is_causal(), "α^{k}: {:?}", verdict.verdict);
+        }
+    }
+
+    #[test]
+    fn lemma1_holds_on_every_link(plan in world_plan()) {
+        let report = run_plan(&plan);
+        for traffic in report.link_traffic() {
+            let sys = report.system_of(traffic.from_isp).unwrap();
+            let alpha_k = report.system_history(sys);
+            let seq: Vec<AppliedWrite> = traffic
+                .pairs
+                .iter()
+                .map(|p| AppliedWrite { var: p.var, val: p.val })
+                .collect();
+            prop_assert!(
+                check_order_respects_causality(&alpha_k, &seq).is_ok(),
+                "Lemma 1 violated on {} → {}",
+                traffic.from_isp,
+                traffic.to_isp
+            );
+        }
+    }
+
+    #[test]
+    fn worlds_are_reproducible(plan in world_plan()) {
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        prop_assert_eq!(a.full_history(), b.full_history());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,302 @@
+//! Vector-clock causal memory — Ahamad, Neiger, Burns, Kohli & Hutto,
+//! *"Causal memory: definitions, implementation and programming"*,
+//! Distributed Computing 9(1), 1995 (the paper's reference \[2\]).
+//!
+//! Writes are applied to the local replica immediately and broadcast,
+//! stamped with the writer's vector clock; a receiver buffers an update
+//! until it is *causally deliverable* (it is the writer's next write and
+//! every write it causally depends on has been applied). Applying updates
+//! in causal-delivery order at every replica gives causal memory and, at
+//! the IS-process's MCS-process, the paper's **Causal Updating Property**.
+
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId, VectorClock};
+
+use crate::msg::McsMsg;
+use crate::protocol::{McsProtocol, Outbox, PendingUpdate, Replicas, UpdateMeta, WriteOutcome};
+
+/// One MCS-process of the Ahamad et al. causal memory protocol.
+pub struct AhamadCausal {
+    me: ProcId,
+    n_procs: usize,
+    replicas: Replicas,
+    /// `vc[k]` = number of writes by in-system slot `k` applied locally
+    /// (own writes included).
+    vc: VectorClock,
+    /// Updates received but not yet causally deliverable.
+    buffer: Vec<BufferedUpdate>,
+}
+
+struct BufferedUpdate {
+    writer: ProcId,
+    var: VarId,
+    val: Value,
+    vc: VectorClock,
+}
+
+impl AhamadCausal {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        AhamadCausal {
+            me,
+            n_procs,
+            replicas: Replicas::new(n_vars),
+            vc: VectorClock::new(n_procs),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The current vector clock (for trace-level assertions in tests).
+    pub fn clock(&self) -> &VectorClock {
+        &self.vc
+    }
+
+    /// Number of buffered (received, undeliverable) updates.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn peers(&self) -> impl Iterator<Item = ProcId> + '_ {
+        let me = self.me;
+        (0..self.n_procs)
+            .map(move |k| ProcId::new(me.system, k as u16))
+            .filter(move |p| *p != me)
+    }
+}
+
+impl fmt::Debug for AhamadCausal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AhamadCausal")
+            .field("me", &self.me)
+            .field("vc", &self.vc)
+            .field("buffered", &self.buffer.len())
+            .finish()
+    }
+}
+
+impl McsProtocol for AhamadCausal {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.replicas.read(var)
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        self.vc.tick(self.me.slot());
+        self.replicas.store(var, val);
+        for peer in self.peers().collect::<Vec<_>>() {
+            out.send(
+                peer,
+                McsMsg::AhamadUpdate {
+                    var,
+                    val,
+                    vc: self.vc.clone(),
+                },
+            );
+        }
+        WriteOutcome::Done
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, _out: &mut Outbox) {
+        match msg {
+            McsMsg::AhamadUpdate { var, val, vc } => {
+                assert_eq!(
+                    from.system, self.me.system,
+                    "Ahamad update from foreign system"
+                );
+                self.buffer.push(BufferedUpdate {
+                    writer: from,
+                    var,
+                    val,
+                    vc,
+                });
+            }
+            other => panic!("AhamadCausal received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        let pos = self
+            .buffer
+            .iter()
+            .position(|b| self.vc.deliverable_from(b.writer.slot(), &b.vc))?;
+        let b = self.buffer.remove(pos);
+        Some(PendingUpdate {
+            var: b.var,
+            val: b.val,
+            writer: b.writer,
+            meta: UpdateMeta::Ahamad {
+                slot: b.writer.slot(),
+                count: b.vc.get(b.writer.slot()),
+            },
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, _out: &mut Outbox) {
+        let UpdateMeta::Ahamad { slot, count } = update.meta else {
+            panic!("AhamadCausal asked to apply foreign update {update:?}");
+        };
+        debug_assert_eq!(
+            self.vc.get(slot) + 1,
+            count,
+            "update applied out of causal-delivery order"
+        );
+        let new = self.vc.tick(slot);
+        debug_assert_eq!(new, count);
+        self.replicas.store(update.var, update.val);
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    /// Drains and applies every deliverable update; returns applied
+    /// `(var, val, writer)` triples in application order.
+    fn drain(p: &mut AhamadCausal) -> Vec<(VarId, Value, ProcId)> {
+        let mut out = Outbox::new();
+        let mut applied = Vec::new();
+        while let Some(u) = p.next_applicable() {
+            p.apply(&u, &mut out);
+            applied.push((u.var, u.val, u.writer));
+        }
+        applied
+    }
+
+    #[test]
+    fn write_updates_local_replica_and_broadcasts() {
+        let mut p = AhamadCausal::new(proc(0), 3, 2);
+        let mut out = Outbox::new();
+        let v = Value::new(proc(0), 1);
+        assert_eq!(p.write(VarId(0), v, &mut out), WriteOutcome::Done);
+        assert_eq!(p.read(VarId(0)), Some(v));
+        assert_eq!(out.sends.len(), 2, "one message per peer (x-1 messages)");
+        assert_eq!(p.clock().get(0), 1);
+    }
+
+    #[test]
+    fn in_order_update_is_immediately_deliverable() {
+        let mut writer = AhamadCausal::new(proc(0), 2, 1);
+        let mut reader = AhamadCausal::new(proc(1), 2, 1);
+        let mut out = Outbox::new();
+        let v = Value::new(proc(0), 1);
+        writer.write(VarId(0), v, &mut out);
+        let (to, msg) = out.sends.pop().unwrap();
+        assert_eq!(to, proc(1));
+        reader.on_message(proc(0), msg, &mut Outbox::new());
+        let applied = drain(&mut reader);
+        assert_eq!(applied, vec![(VarId(0), v, proc(0))]);
+        assert_eq!(reader.read(VarId(0)), Some(v));
+    }
+
+    #[test]
+    fn out_of_order_updates_are_buffered_until_causally_deliverable() {
+        // p0 writes v1 then v2; p2 receives v2 first (slow channel).
+        let mut p0 = AhamadCausal::new(proc(0), 3, 1);
+        let mut p2 = AhamadCausal::new(proc(2), 3, 1);
+        let mut out = Outbox::new();
+        let v1 = Value::new(proc(0), 1);
+        let v2 = Value::new(proc(0), 2);
+        p0.write(VarId(0), v1, &mut out);
+        let m1 = out.sends[1].1.clone(); // to p2
+        out.sends.clear();
+        p0.write(VarId(0), v2, &mut out);
+        let m2 = out.sends[1].1.clone();
+
+        p2.on_message(proc(0), m2, &mut Outbox::new());
+        assert_eq!(p2.buffered(), 1);
+        assert!(drain(&mut p2).is_empty(), "v2 must wait for v1");
+        assert_eq!(p2.read(VarId(0)), None);
+
+        p2.on_message(proc(0), m1, &mut Outbox::new());
+        let applied = drain(&mut p2);
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].1, v1);
+        assert_eq!(applied[1].1, v2);
+        assert_eq!(p2.read(VarId(0)), Some(v2));
+    }
+
+    #[test]
+    fn transitive_dependency_gates_delivery() {
+        // p0 writes x=v; p1 applies it and writes y=u (causally after);
+        // p2 receives u before v and must delay it.
+        let mut p0 = AhamadCausal::new(proc(0), 3, 2);
+        let mut p1 = AhamadCausal::new(proc(1), 3, 2);
+        let mut p2 = AhamadCausal::new(proc(2), 3, 2);
+        let v = Value::new(proc(0), 1);
+        let u = Value::new(proc(1), 1);
+
+        let mut out = Outbox::new();
+        p0.write(VarId(0), v, &mut out);
+        let to_p1 = out.sends[0].1.clone();
+        let to_p2 = out.sends[1].1.clone();
+
+        p1.on_message(proc(0), to_p1, &mut Outbox::new());
+        drain(&mut p1);
+        let mut out1 = Outbox::new();
+        p1.write(VarId(1), u, &mut out1);
+        let u_to_p2 = out1.sends[1].1.clone();
+
+        // u arrives at p2 first.
+        p2.on_message(proc(1), u_to_p2, &mut Outbox::new());
+        assert!(drain(&mut p2).is_empty(), "u depends on v transitively");
+        p2.on_message(proc(0), to_p2, &mut Outbox::new());
+        let applied = drain(&mut p2);
+        assert_eq!(applied[0].1, v);
+        assert_eq!(applied[1].1, u);
+    }
+
+    #[test]
+    fn concurrent_writes_apply_in_arrival_order() {
+        let mut p0 = AhamadCausal::new(proc(0), 3, 1);
+        let mut p1 = AhamadCausal::new(proc(1), 3, 1);
+        let mut p2 = AhamadCausal::new(proc(2), 3, 1);
+        let v = Value::new(proc(0), 1);
+        let u = Value::new(proc(1), 1);
+        let mut o0 = Outbox::new();
+        let mut o1 = Outbox::new();
+        p0.write(VarId(0), v, &mut o0);
+        p1.write(VarId(0), u, &mut o1);
+        // Both concurrent; either arrival order is deliverable at once.
+        p2.on_message(proc(1), o1.sends[1].1.clone(), &mut Outbox::new());
+        p2.on_message(proc(0), o0.sends[1].1.clone(), &mut Outbox::new());
+        let applied = drain(&mut p2);
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].1, u, "buffer scanned in arrival order");
+    }
+
+    #[test]
+    fn reports_causal_updating() {
+        let p = AhamadCausal::new(proc(0), 2, 1);
+        assert!(p.satisfies_causal_updating());
+        assert!(p.is_causal());
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign message")]
+    fn foreign_message_panics() {
+        let mut p = AhamadCausal::new(proc(0), 2, 1);
+        p.on_message(
+            proc(1),
+            McsMsg::EagerUpdate {
+                var: VarId(0),
+                val: Value::new(proc(1), 1),
+            },
+            &mut Outbox::new(),
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Atomic (linearizable) memory — the "stronger-than-causal" model of
+//! the paper's closing Section 1.1 remark: *"There are other
+//! stronger-than-causal memory models (e.g., the atomic memory model) to
+//! which this may apply as well."*
+//!
+//! Implementation: the [`Sequencer`](crate::sequencer::Sequencer)
+//! write path (all writes totally ordered by the process with in-system
+//! index 0, writers block until their ordered write applies locally)
+//! plus **blocking reads**: a read round-trips to the sequencer, whose
+//! processing instant is the read's serialization point. Every operation
+//! thus has a linearization point inside its `[issued, completed]`
+//! interval at the single serialization site — the textbook
+//! single-serializer construction of atomic memory.
+//!
+//! The local replicas are still maintained at every process (the
+//! ordered writes are broadcast and applied in order), so the
+//! IS-process upcall reads stay local and immediate, as the paper's
+//! conditions (a)–(c) require. Experiment X13 interconnects two atomic
+//! systems and shows the union is causal (Theorem 1 applies: atomic ⊆
+//! causal) but **not** atomic — the propagation delay is visible to
+//! real-time-aware readers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId};
+
+use crate::msg::McsMsg;
+use crate::protocol::{
+    McsProtocol, Outbox, PendingUpdate, ReadOutcome, Replicas, UpdateMeta, WriteOutcome,
+};
+use crate::sequencer::SEQUENCER_SLOT;
+
+/// One MCS-process of the atomic memory protocol.
+pub struct Atomic {
+    me: ProcId,
+    n_procs: usize,
+    replicas: Replicas,
+    next_order: u64,
+    applied_seq: u64,
+    buffer: BTreeMap<u64, (VarId, Value, ProcId)>,
+}
+
+impl Atomic {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        Atomic {
+            me,
+            n_procs,
+            replicas: Replicas::new(n_vars),
+            next_order: 0,
+            applied_seq: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if this process is the serialization point.
+    pub fn is_sequencer(&self) -> bool {
+        self.me.index == SEQUENCER_SLOT
+    }
+
+    fn sequencer_proc(&self) -> ProcId {
+        ProcId::new(self.me.system, SEQUENCER_SLOT)
+    }
+
+    fn order(&mut self, var: VarId, val: Value, writer: ProcId, out: &mut Outbox) {
+        debug_assert!(self.is_sequencer());
+        self.next_order += 1;
+        let seq = self.next_order;
+        for k in 0..self.n_procs {
+            let peer = ProcId::new(self.me.system, k as u16);
+            if peer != self.me {
+                out.send(peer, McsMsg::SeqOrdered { var, val, writer, seq });
+            }
+        }
+        self.buffer.insert(seq, (var, val, writer));
+    }
+
+    /// The sequencer's authoritative current value: everything it has
+    /// ordered so far is applied locally before any later event, so its
+    /// replica *is* the linearized state — but only after draining its
+    /// own pending queue, which the host does eagerly after every event.
+    fn authoritative(&self, var: VarId) -> Option<Value> {
+        debug_assert!(self.is_sequencer());
+        debug_assert_eq!(self.applied_seq, self.next_order, "sequencer lagging itself");
+        self.replicas.read(var)
+    }
+}
+
+impl fmt::Debug for Atomic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Atomic")
+            .field("me", &self.me)
+            .field("applied_seq", &self.applied_seq)
+            .finish()
+    }
+}
+
+impl McsProtocol for Atomic {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        // Local replica peek — used by IS-process upcalls only;
+        // application reads go through `read_call`.
+        self.replicas.read(var)
+    }
+
+    fn read_call(&mut self, var: VarId, out: &mut Outbox) -> ReadOutcome {
+        if self.is_sequencer() {
+            ReadOutcome::Done(self.authoritative(var))
+        } else {
+            out.send(self.sequencer_proc(), McsMsg::AtomicReadRequest { var });
+            ReadOutcome::Pending
+        }
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        if self.is_sequencer() {
+            self.order(var, val, self.me, out);
+        } else {
+            out.send(self.sequencer_proc(), McsMsg::SeqRequest { var, val });
+        }
+        WriteOutcome::Pending
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, out: &mut Outbox) {
+        match msg {
+            McsMsg::SeqRequest { var, val } => {
+                assert!(self.is_sequencer(), "SeqRequest sent to non-sequencer");
+                self.order(var, val, from, out);
+            }
+            McsMsg::SeqOrdered { var, val, writer, seq } => {
+                assert!(!self.is_sequencer() || writer == self.me);
+                self.buffer.insert(seq, (var, val, writer));
+            }
+            McsMsg::AtomicReadRequest { var } => {
+                assert!(self.is_sequencer(), "read request sent to non-sequencer");
+                // This instant is the read's serialization point.
+                let val = self.authoritative(var);
+                out.send(from, McsMsg::AtomicReadReply { var, val });
+            }
+            McsMsg::AtomicReadReply { var, val } => {
+                out.complete_read(var, val);
+            }
+            other => panic!("Atomic received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        let next = self.applied_seq + 1;
+        let (var, val, writer) = self.buffer.remove(&next)?;
+        Some(PendingUpdate {
+            var,
+            val,
+            writer,
+            meta: UpdateMeta::Seq { seq: next },
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, out: &mut Outbox) {
+        let UpdateMeta::Seq { seq } = update.meta else {
+            panic!("Atomic asked to apply foreign update {update:?}");
+        };
+        debug_assert_eq!(self.applied_seq + 1, seq, "applied out of total order");
+        self.applied_seq = seq;
+        self.replicas.store(update.var, update.val);
+        if update.writer == self.me {
+            out.complete_write(update.var, update.val);
+        }
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn drain(p: &mut Atomic) -> Vec<Outbox> {
+        let mut outs = Vec::new();
+        while let Some(u) = p.next_applicable() {
+            let mut out = Outbox::new();
+            p.apply(&u, &mut out);
+            outs.push(out);
+        }
+        outs
+    }
+
+    #[test]
+    fn sequencer_reads_are_local_and_authoritative() {
+        let mut s = Atomic::new(proc(0), 2, 1);
+        let mut out = Outbox::new();
+        assert_eq!(s.read_call(VarId(0), &mut out), ReadOutcome::Done(None));
+        let v = Value::new(proc(0), 1);
+        s.write(VarId(0), v, &mut out);
+        drain(&mut s);
+        let mut out = Outbox::new();
+        assert_eq!(s.read_call(VarId(0), &mut out), ReadOutcome::Done(Some(v)));
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn non_sequencer_read_round_trips() {
+        let mut s0 = Atomic::new(proc(0), 2, 1);
+        let mut s1 = Atomic::new(proc(1), 2, 1);
+        // Write v through the sequencer first.
+        let v = Value::new(proc(0), 1);
+        let mut out = Outbox::new();
+        s0.write(VarId(0), v, &mut out);
+        drain(&mut s0);
+        // s1 issues a blocking read.
+        let mut out1 = Outbox::new();
+        assert_eq!(s1.read_call(VarId(0), &mut out1), ReadOutcome::Pending);
+        let (to, req) = out1.sends.remove(0);
+        assert_eq!(to, proc(0));
+        let mut out0 = Outbox::new();
+        s0.on_message(proc(1), req, &mut out0);
+        let (_, reply) = out0.sends.remove(0);
+        let mut out1 = Outbox::new();
+        s1.on_message(proc(0), reply, &mut out1);
+        assert_eq!(out1.completed_read, Some((VarId(0), Some(v))));
+    }
+
+    #[test]
+    fn read_sees_ordered_write_even_before_local_apply() {
+        // The point of atomic reads: s1 has not applied v yet, but its
+        // read goes to the sequencer and returns v anyway.
+        let mut s0 = Atomic::new(proc(0), 2, 1);
+        let mut s1 = Atomic::new(proc(1), 2, 1);
+        let v = Value::new(proc(0), 1);
+        let mut out = Outbox::new();
+        s0.write(VarId(0), v, &mut out);
+        drain(&mut s0);
+        assert_eq!(s1.read(VarId(0)), None, "local replica still stale");
+        let mut out1 = Outbox::new();
+        s1.read_call(VarId(0), &mut out1);
+        let (_, req) = out1.sends.remove(0);
+        let mut out0 = Outbox::new();
+        s0.on_message(proc(1), req, &mut out0);
+        match &out0.sends[0].1 {
+            McsMsg::AtomicReadReply { val, .. } => assert_eq!(*val, Some(v)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_path_matches_the_sequencer_protocol() {
+        let mut s1 = Atomic::new(proc(1), 2, 1);
+        let v = Value::new(proc(1), 1);
+        let mut out = Outbox::new();
+        assert_eq!(s1.write(VarId(0), v, &mut out), WriteOutcome::Pending);
+        assert!(matches!(out.sends[0].1, McsMsg::SeqRequest { .. }));
+        assert!(s1.satisfies_causal_updating());
+        assert!(s1.is_causal());
+    }
+}

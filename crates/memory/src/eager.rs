@@ -1,0 +1,143 @@
+//! Deliberately faulty eager protocol — **not** causal memory.
+//!
+//! Writes are applied locally and broadcast; receivers apply updates in
+//! arrival order with no causal gating, so only per-sender FIFO holds
+//! (from the FIFO channels). When update routes have asymmetric delays,
+//! a process can apply a causally *later* write before an earlier one and
+//! its reads violate causality.
+//!
+//! This protocol exists for **negative testing only**: it is the fixture
+//! with which the test-suite proves that `cmi-checker` actually detects
+//! non-causal histories, and it grounds the ablation experiment X7.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId};
+
+use crate::msg::McsMsg;
+use crate::protocol::{McsProtocol, Outbox, PendingUpdate, Replicas, UpdateMeta, WriteOutcome};
+
+/// One MCS-process of the faulty eager protocol.
+pub struct EagerFifo {
+    me: ProcId,
+    n_procs: usize,
+    replicas: Replicas,
+    inbox: VecDeque<(ProcId, VarId, Value)>,
+}
+
+impl EagerFifo {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        EagerFifo {
+            me,
+            n_procs,
+            replicas: Replicas::new(n_vars),
+            inbox: VecDeque::new(),
+        }
+    }
+}
+
+impl fmt::Debug for EagerFifo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EagerFifo")
+            .field("me", &self.me)
+            .field("queued", &self.inbox.len())
+            .finish()
+    }
+}
+
+impl McsProtocol for EagerFifo {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.replicas.read(var)
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        self.replicas.store(var, val);
+        for k in 0..self.n_procs {
+            let peer = ProcId::new(self.me.system, k as u16);
+            if peer != self.me {
+                out.send(peer, McsMsg::EagerUpdate { var, val });
+            }
+        }
+        WriteOutcome::Done
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, _out: &mut Outbox) {
+        match msg {
+            McsMsg::EagerUpdate { var, val } => self.inbox.push_back((from, var, val)),
+            other => panic!("EagerFifo received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        let (writer, var, val) = self.inbox.pop_front()?;
+        Some(PendingUpdate {
+            var,
+            val,
+            writer,
+            meta: UpdateMeta::None,
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, _out: &mut Outbox) {
+        self.replicas.store(update.var, update.val);
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        false
+    }
+
+    fn is_causal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    #[test]
+    fn applies_in_arrival_order_without_gating() {
+        let mut p = EagerFifo::new(proc(2), 3, 2);
+        // A causally later write (u after v) arriving first is applied
+        // first — the defect this fixture exists to exhibit.
+        let v = Value::new(proc(0), 1);
+        let u = Value::new(proc(1), 1);
+        p.on_message(proc(1), McsMsg::EagerUpdate { var: VarId(1), val: u }, &mut Outbox::new());
+        p.on_message(proc(0), McsMsg::EagerUpdate { var: VarId(0), val: v }, &mut Outbox::new());
+        let first = p.next_applicable().unwrap();
+        assert_eq!(first.val, u);
+        p.apply(&first, &mut Outbox::new());
+        assert_eq!(p.read(VarId(1)), Some(u));
+        assert_eq!(p.read(VarId(0)), None, "v not applied yet");
+    }
+
+    #[test]
+    fn write_is_local_and_broadcast() {
+        let mut p = EagerFifo::new(proc(0), 4, 1);
+        let mut out = Outbox::new();
+        let v = Value::new(proc(0), 1);
+        assert_eq!(p.write(VarId(0), v, &mut out), WriteOutcome::Done);
+        assert_eq!(out.sends.len(), 3);
+        assert_eq!(p.read(VarId(0)), Some(v));
+    }
+
+    #[test]
+    fn honestly_reports_its_defects() {
+        let p = EagerFifo::new(proc(0), 2, 1);
+        assert!(!p.satisfies_causal_updating());
+        assert!(!p.is_causal());
+    }
+}

@@ -1,0 +1,306 @@
+//! Dependency-frontier causal memory.
+//!
+//! A second propagation-based causal protocol, wire-incompatible with
+//! [`AhamadCausal`](crate::ahamad::AhamadCausal), in the spirit of the
+//! parametrized protocol of Jiménez, Fernández & Cholvi (the paper's
+//! reference \[6\]): instead of stamping updates with a full vector
+//! clock, each update names its causal **dependency frontier** — for
+//! every process, the latest of its writes the writer had applied — and a
+//! receiver buffers the update until every named `(process, seq)` pair
+//! has been applied locally.
+//!
+//! The protocol exists so the repository can demonstrate the paper's
+//! headline flexibility: interconnecting systems that run *different*
+//! causal MCS protocols. Delivery is causal, so the Causal Updating
+//! Property holds.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId};
+
+use crate::msg::McsMsg;
+use crate::protocol::{McsProtocol, Outbox, PendingUpdate, Replicas, UpdateMeta, WriteOutcome};
+
+/// One MCS-process of the dependency-frontier causal protocol.
+pub struct DepFrontier {
+    me: ProcId,
+    n_procs: usize,
+    replicas: Replicas,
+    /// Contiguous count of applied writes per process (own included).
+    applied: HashMap<ProcId, u64>,
+    /// Latest applied write per process — the frontier piggybacked on the
+    /// next outgoing update.
+    frontier: HashMap<ProcId, u64>,
+    /// Number of writes issued locally.
+    my_seq: u64,
+    /// Received, not yet deliverable updates.
+    buffer: Vec<BufferedUpdate>,
+}
+
+struct BufferedUpdate {
+    writer: ProcId,
+    var: VarId,
+    val: Value,
+    seq: u64,
+    deps: Vec<(ProcId, u64)>,
+}
+
+impl DepFrontier {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        DepFrontier {
+            me,
+            n_procs,
+            replicas: Replicas::new(n_vars),
+            applied: HashMap::new(),
+            frontier: HashMap::new(),
+            my_seq: 0,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Number of buffered (received, undeliverable) updates.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn deps_satisfied(&self, deps: &[(ProcId, u64)]) -> bool {
+        deps.iter()
+            .all(|(p, s)| self.applied.get(p).copied().unwrap_or(0) >= *s)
+    }
+
+    fn snapshot_frontier(&self) -> Vec<(ProcId, u64)> {
+        let mut deps: Vec<_> = self.frontier.iter().map(|(p, s)| (*p, *s)).collect();
+        deps.sort_unstable();
+        deps
+    }
+
+    fn peers(&self) -> impl Iterator<Item = ProcId> + '_ {
+        let me = self.me;
+        (0..self.n_procs)
+            .map(move |k| ProcId::new(me.system, k as u16))
+            .filter(move |p| *p != me)
+    }
+}
+
+impl fmt::Debug for DepFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DepFrontier")
+            .field("me", &self.me)
+            .field("my_seq", &self.my_seq)
+            .field("buffered", &self.buffer.len())
+            .finish()
+    }
+}
+
+impl McsProtocol for DepFrontier {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.replicas.read(var)
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        let deps = self.snapshot_frontier();
+        self.my_seq += 1;
+        self.applied.insert(self.me, self.my_seq);
+        self.frontier.insert(self.me, self.my_seq);
+        self.replicas.store(var, val);
+        for peer in self.peers().collect::<Vec<_>>() {
+            out.send(
+                peer,
+                McsMsg::FrontierUpdate {
+                    var,
+                    val,
+                    seq: self.my_seq,
+                    deps: deps.clone(),
+                },
+            );
+        }
+        WriteOutcome::Done
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, _out: &mut Outbox) {
+        match msg {
+            McsMsg::FrontierUpdate { var, val, seq, deps } => {
+                assert_eq!(
+                    from.system, self.me.system,
+                    "frontier update from foreign system"
+                );
+                self.buffer.push(BufferedUpdate {
+                    writer: from,
+                    var,
+                    val,
+                    seq,
+                    deps,
+                });
+            }
+            other => panic!("DepFrontier received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        let pos = self.buffer.iter().position(|b| {
+            // The writer's previous write is always in `deps` (its own
+            // frontier entry), so satisfying deps implies per-writer
+            // order; the explicit check keeps the invariant local.
+            self.deps_satisfied(&b.deps)
+                && self.applied.get(&b.writer).copied().unwrap_or(0) + 1 == b.seq
+        })?;
+        let b = self.buffer.remove(pos);
+        Some(PendingUpdate {
+            var: b.var,
+            val: b.val,
+            writer: b.writer,
+            meta: UpdateMeta::Frontier { seq: b.seq },
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, _out: &mut Outbox) {
+        let UpdateMeta::Frontier { seq } = update.meta else {
+            panic!("DepFrontier asked to apply foreign update {update:?}");
+        };
+        let prev = self.applied.get(&update.writer).copied().unwrap_or(0);
+        debug_assert_eq!(prev + 1, seq, "update applied out of order");
+        self.applied.insert(update.writer, seq);
+        let f = self.frontier.entry(update.writer).or_insert(0);
+        *f = (*f).max(seq);
+        self.replicas.store(update.var, update.val);
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn drain(p: &mut DepFrontier) -> Vec<Value> {
+        let mut out = Outbox::new();
+        let mut vals = Vec::new();
+        while let Some(u) = p.next_applicable() {
+            p.apply(&u, &mut out);
+            vals.push(u.val);
+        }
+        vals
+    }
+
+    #[test]
+    fn first_write_has_empty_deps() {
+        let mut p = DepFrontier::new(proc(0), 2, 1);
+        let mut out = Outbox::new();
+        p.write(VarId(0), Value::new(proc(0), 1), &mut out);
+        match &out.sends[0].1 {
+            McsMsg::FrontierUpdate { seq, deps, .. } => {
+                assert_eq!(*seq, 1);
+                assert!(deps.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_write_depends_on_first() {
+        let mut p = DepFrontier::new(proc(0), 2, 1);
+        let mut out = Outbox::new();
+        p.write(VarId(0), Value::new(proc(0), 1), &mut out);
+        out.sends.clear();
+        p.write(VarId(0), Value::new(proc(0), 2), &mut out);
+        match &out.sends[0].1 {
+            McsMsg::FrontierUpdate { seq, deps, .. } => {
+                assert_eq!(*seq, 2);
+                assert_eq!(deps, &[(proc(0), 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_process_dependency_gates_delivery() {
+        // p0 writes v; p1 applies it, writes u (dep on v); p2 gets u
+        // before v.
+        let mut p0 = DepFrontier::new(proc(0), 3, 2);
+        let mut p1 = DepFrontier::new(proc(1), 3, 2);
+        let mut p2 = DepFrontier::new(proc(2), 3, 2);
+        let v = Value::new(proc(0), 1);
+        let u = Value::new(proc(1), 1);
+
+        let mut out = Outbox::new();
+        p0.write(VarId(0), v, &mut out);
+        let v_to_p1 = out.sends[0].1.clone();
+        let v_to_p2 = out.sends[1].1.clone();
+
+        p1.on_message(proc(0), v_to_p1, &mut Outbox::new());
+        drain(&mut p1);
+        let mut out1 = Outbox::new();
+        p1.write(VarId(1), u, &mut out1);
+        match &out1.sends[0].1 {
+            McsMsg::FrontierUpdate { deps, .. } => {
+                assert!(deps.contains(&(proc(0), 1)), "u must depend on v");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let u_to_p2 = out1.sends[1].1.clone();
+
+        p2.on_message(proc(1), u_to_p2, &mut Outbox::new());
+        assert!(drain(&mut p2).is_empty());
+        assert_eq!(p2.buffered(), 1);
+        p2.on_message(proc(0), v_to_p2, &mut Outbox::new());
+        assert_eq!(drain(&mut p2), vec![v, u]);
+        assert_eq!(p2.read(VarId(0)), Some(v));
+        assert_eq!(p2.read(VarId(1)), Some(u));
+    }
+
+    #[test]
+    fn per_writer_fifo_is_enforced() {
+        let mut p0 = DepFrontier::new(proc(0), 2, 1);
+        let mut p1 = DepFrontier::new(proc(1), 2, 1);
+        let v1 = Value::new(proc(0), 1);
+        let v2 = Value::new(proc(0), 2);
+        let mut o = Outbox::new();
+        p0.write(VarId(0), v1, &mut o);
+        let m1 = o.sends[0].1.clone();
+        o.sends.clear();
+        p0.write(VarId(0), v2, &mut o);
+        let m2 = o.sends[0].1.clone();
+        p1.on_message(proc(0), m2, &mut Outbox::new());
+        assert!(drain(&mut p1).is_empty());
+        p1.on_message(proc(0), m1, &mut Outbox::new());
+        assert_eq!(drain(&mut p1), vec![v1, v2]);
+    }
+
+    #[test]
+    fn concurrent_updates_deliver_in_arrival_order() {
+        let mut p0 = DepFrontier::new(proc(0), 3, 1);
+        let mut p1 = DepFrontier::new(proc(1), 3, 1);
+        let mut p2 = DepFrontier::new(proc(2), 3, 1);
+        let v = Value::new(proc(0), 1);
+        let u = Value::new(proc(1), 1);
+        let mut o0 = Outbox::new();
+        let mut o1 = Outbox::new();
+        p0.write(VarId(0), v, &mut o0);
+        p1.write(VarId(0), u, &mut o1);
+        p2.on_message(proc(1), o1.sends[1].1.clone(), &mut Outbox::new());
+        p2.on_message(proc(0), o0.sends[1].1.clone(), &mut Outbox::new());
+        assert_eq!(drain(&mut p2), vec![u, v]);
+    }
+
+    #[test]
+    fn reports_causal_updating() {
+        let p = DepFrontier::new(proc(0), 2, 1);
+        assert!(p.satisfies_causal_updating());
+        assert!(p.is_causal());
+    }
+}

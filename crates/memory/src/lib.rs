@@ -1,0 +1,61 @@
+//! Propagation-based memory consistency system (MCS) protocols.
+//!
+//! The paper interconnects *existing* causal DSM systems, "possibly
+//! implemented with different propagation-based protocols". This crate
+//! provides those systems:
+//!
+//! * [`AhamadCausal`](ahamad::AhamadCausal) — the classic vector-clock
+//!   causal memory of Ahamad, Neiger, Burns, Kohli & Hutto (paper's
+//!   reference \[2\]): writes are applied locally and broadcast; receivers
+//!   delay application until causally deliverable.
+//! * [`DepFrontier`](frontier::DepFrontier) — a second, wire-incompatible
+//!   causal protocol gating on explicit dependency frontiers (in the
+//!   spirit of the parametrized protocol of the paper's reference \[6\]);
+//!   used to demonstrate interconnection of *heterogeneous* systems.
+//! * [`Sequencer`](sequencer::Sequencer) — an Attiya–Welch style
+//!   local-read protocol (paper's reference \[3\]): writes are totally
+//!   ordered by a sequencer and block until ordered, reads are local.
+//!   It implements *sequential* consistency, which is stronger than (and
+//!   in particular is) causal, backing the paper's Section 1.1 remark
+//!   that two sequential systems can be interconnected into a causal one.
+//! * [`EagerFifo`](eager::EagerFifo) — a deliberately **non-causal**
+//!   protocol (applies updates in arrival order with only per-sender
+//!   FIFO); exists so the test-suite can prove the consistency checker
+//!   actually detects violations.
+//!
+//! All protocols satisfy the paper's architecture (Attiya & Welch MCS
+//! model): every MCS-process holds a replica of every variable, reads are
+//! local, and every write is eventually propagated to every replica. The
+//! first three satisfy the **Causal Updating Property** (Property 1 of
+//! the paper); each protocol reports this via
+//! [`McsProtocol::satisfies_causal_updating`], which the IS-process uses
+//! to choose between the paper's two IS-protocol variants.
+//!
+//! [`NodeHost`] hosts one MCS-process together with its
+//! attached application (or IS-) process and implements the paper's
+//! upcall contract: `pre_update(x)` / `post_update(x,v)` fire
+//! synchronously around replica updates caused by *other* processes'
+//! writes, never for the attached process's own writes, and reads issued
+//! while processing an upcall are local and return exactly the pre-/post-
+//! image (conditions (a)–(c) of Section 2 hold by construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ahamad;
+pub mod atomic;
+pub mod eager;
+pub mod frontier;
+pub mod msg;
+pub mod node;
+pub mod protocol;
+pub mod sequencer;
+pub mod system;
+pub mod varseq;
+pub mod workload;
+
+pub use msg::McsMsg;
+pub use node::{HostSink, NoUpcalls, NodeHost, ReplicaUpdate, UpcallHandler};
+pub use protocol::{McsProtocol, Outbox, PendingUpdate, ProtocolKind, ReadOutcome, WriteOutcome};
+pub use system::{SingleSystem, SystemConfig};
+pub use workload::{Driver, OpPlan, ScriptedDriver, VarPattern, WorkloadDriver, WorkloadSpec};

@@ -1,0 +1,167 @@
+//! The wire format shared by all MCS protocols.
+
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId, VectorClock};
+use serde::{Deserialize, Serialize};
+
+/// Union of the messages of every MCS protocol in this crate.
+///
+/// A single enum (rather than one message type per protocol) lets a
+/// simulated world host systems running *different* protocols — the
+/// heterogeneity the paper's interconnection is designed for. A protocol
+/// must only ever receive its own variants; receiving a foreign variant
+/// indicates mis-wiring and panics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum McsMsg {
+    /// Ahamad-style causal update: the sender applied `val` to `var` and
+    /// its vector clock became `vc`.
+    AhamadUpdate {
+        /// Variable written.
+        var: VarId,
+        /// Value written (globally unique).
+        val: Value,
+        /// Sender's vector clock *after* the write.
+        vc: VectorClock,
+    },
+    /// Dependency-frontier causal update: deliverable once, for every
+    /// `(proc, seq)` in `deps`, the receiver has applied that process's
+    /// `seq`-th write.
+    FrontierUpdate {
+        /// Variable written.
+        var: VarId,
+        /// Value written.
+        val: Value,
+        /// Per-writer sequence number of this write (1-based).
+        seq: u64,
+        /// Causal dependency frontier at the writer.
+        deps: Vec<(ProcId, u64)>,
+    },
+    /// Sequencer protocol: a non-sequencer process asks the sequencer to
+    /// order its write.
+    SeqRequest {
+        /// Variable to write.
+        var: VarId,
+        /// Value to write.
+        val: Value,
+    },
+    /// Sequencer protocol: write `⟨var,val⟩` by `writer` received global
+    /// order number `seq`; applied by every process in `seq` order.
+    SeqOrdered {
+        /// Variable written.
+        var: VarId,
+        /// Value written.
+        val: Value,
+        /// Process that issued the write.
+        writer: ProcId,
+        /// Global total-order position (1-based, dense).
+        seq: u64,
+    },
+    /// Faulty eager protocol: apply on receipt, no causal gating.
+    EagerUpdate {
+        /// Variable written.
+        var: VarId,
+        /// Value written.
+        val: Value,
+    },
+    /// Atomic memory: a non-sequencer process asks the sequencer for the
+    /// current value of `var` (the read's serialization point).
+    AtomicReadRequest {
+        /// Variable to read.
+        var: VarId,
+    },
+    /// Atomic memory: the sequencer's reply with `var`'s value at the
+    /// serialization point (`None` = still `⊥`).
+    AtomicReadReply {
+        /// Variable read.
+        var: VarId,
+        /// The value at the serialization point.
+        val: Option<Value>,
+    },
+    /// Per-variable sequencer protocol: a non-owner asks the variable's
+    /// owner to order its write.
+    VarSeqRequest {
+        /// Variable to write.
+        var: VarId,
+        /// Value to write.
+        val: Value,
+    },
+    /// Per-variable sequencer protocol: write `⟨var,val⟩` by `writer`
+    /// received order `seq` among the writes **to `var`**.
+    VarSeqOrdered {
+        /// Variable written.
+        var: VarId,
+        /// Value written.
+        val: Value,
+        /// Process that issued the write.
+        writer: ProcId,
+        /// Per-variable total-order position (1-based, dense).
+        seq: u64,
+    },
+}
+
+impl McsMsg {
+    /// Short human-readable label used in protocol traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            McsMsg::AhamadUpdate { .. } => "ahamad-update",
+            McsMsg::FrontierUpdate { .. } => "frontier-update",
+            McsMsg::SeqRequest { .. } => "seq-request",
+            McsMsg::SeqOrdered { .. } => "seq-ordered",
+            McsMsg::EagerUpdate { .. } => "eager-update",
+            McsMsg::AtomicReadRequest { .. } => "atomic-read-request",
+            McsMsg::AtomicReadReply { .. } => "atomic-read-reply",
+            McsMsg::VarSeqRequest { .. } => "varseq-request",
+            McsMsg::VarSeqOrdered { .. } => "varseq-ordered",
+        }
+    }
+}
+
+impl fmt::Display for McsMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsMsg::AhamadUpdate { var, val, vc } => write!(f, "upd({var},{val},{vc})"),
+            McsMsg::FrontierUpdate { var, val, seq, deps } => {
+                write!(f, "upd({var},{val},#{seq},deps={})", deps.len())
+            }
+            McsMsg::SeqRequest { var, val } => write!(f, "req({var},{val})"),
+            McsMsg::SeqOrdered { var, val, writer, seq } => {
+                write!(f, "ord({var},{val},{writer},#{seq})")
+            }
+            McsMsg::EagerUpdate { var, val } => write!(f, "eager({var},{val})"),
+            McsMsg::AtomicReadRequest { var } => write!(f, "aread({var})"),
+            McsMsg::AtomicReadReply { var, val: Some(v) } => write!(f, "areply({var},{v})"),
+            McsMsg::AtomicReadReply { var, val: None } => write!(f, "areply({var},⊥)"),
+            McsMsg::VarSeqRequest { var, val } => write!(f, "vreq({var},{val})"),
+            McsMsg::VarSeqOrdered { var, val, writer, seq } => {
+                write!(f, "vord({var},{val},{writer},#{seq})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    #[test]
+    fn labels_and_display_are_stable() {
+        let p = ProcId::new(SystemId(0), 0);
+        let m = McsMsg::SeqOrdered {
+            var: VarId(1),
+            val: Value::new(p, 2),
+            writer: p,
+            seq: 9,
+        };
+        assert_eq!(m.label(), "seq-ordered");
+        assert!(m.to_string().contains("#9"));
+        let a = McsMsg::AhamadUpdate {
+            var: VarId(0),
+            val: Value::new(p, 1),
+            vc: VectorClock::new(2),
+        };
+        assert_eq!(a.label(), "ahamad-update");
+        assert!(a.to_string().contains("⟨0,0⟩"));
+    }
+}

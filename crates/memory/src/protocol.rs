@@ -1,0 +1,392 @@
+//! The MCS protocol abstraction shared by all memory implementations.
+
+use std::fmt;
+
+use cmi_types::{ProcId, SystemId, Value, VarId};
+use serde::{Deserialize, Serialize};
+
+use crate::msg::McsMsg;
+
+/// Result of issuing a write call to an MCS-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write was applied locally and acknowledged immediately
+    /// (fast-write protocols: Ahamad, frontier, eager).
+    Done,
+    /// The write is in flight; the protocol will report its application
+    /// through [`Outbox::completed_write`] once it is ordered
+    /// (sequencer protocol). The issuing process blocks until then.
+    Pending,
+}
+
+/// Result of issuing a read call to an MCS-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read was served from the local replica immediately (every
+    /// protocol except atomic memory).
+    Done(Option<Value>),
+    /// The read is in flight; the protocol will report its value through
+    /// [`Outbox::complete_read`]. The issuing process blocks until then
+    /// (atomic memory's reads round-trip to the serialization point).
+    Pending,
+}
+
+/// A remote write the protocol is ready to apply to the local replica.
+///
+/// The host drains these via [`McsProtocol::next_applicable`] and calls
+/// [`McsProtocol::apply`] for each, firing the paper's
+/// `pre_update`/`post_update` upcalls around the application when an
+/// IS-process is attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingUpdate {
+    /// Variable to update.
+    pub var: VarId,
+    /// Value to store.
+    pub val: Value,
+    /// The process whose *write call* caused this update. Upcalls fire
+    /// exactly when this differs from the host's attached process.
+    pub writer: ProcId,
+    /// Protocol-private bookkeeping carried from gating to application.
+    pub meta: UpdateMeta,
+}
+
+/// Protocol-private metadata of a pending update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateMeta {
+    /// No metadata.
+    None,
+    /// Ahamad: the writer's slot and clock component to adopt.
+    Ahamad {
+        /// In-system slot of the writer.
+        slot: usize,
+        /// Writer's clock component after the write.
+        count: u32,
+    },
+    /// Frontier: the writer's per-writer sequence number.
+    Frontier {
+        /// 1-based per-writer write counter.
+        seq: u64,
+    },
+    /// Sequencer: global order position.
+    Seq {
+        /// 1-based dense global order.
+        seq: u64,
+    },
+}
+
+/// Messages and signals produced while handling one protocol event.
+///
+/// The host drains the outbox after each call: `sends` become simulator
+/// messages, `completed_write` completes the attached process's blocked
+/// write call.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Messages to transmit, in order.
+    pub sends: Vec<(ProcId, McsMsg)>,
+    /// A previously [`Pending`](WriteOutcome::Pending) write call of the
+    /// attached process that has now taken effect.
+    pub completed_write: Option<(VarId, Value)>,
+    /// A previously [`Pending`](ReadOutcome::Pending) read call of the
+    /// attached process whose value has arrived.
+    pub completed_read: Option<(VarId, Option<Value>)>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a message to `to`.
+    pub fn send(&mut self, to: ProcId, msg: McsMsg) {
+        self.sends.push((to, msg));
+    }
+
+    /// Signals completion of the attached process's blocked write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completion is already queued — at most one write of
+    /// the attached process can be in flight.
+    pub fn complete_write(&mut self, var: VarId, val: Value) {
+        assert!(
+            self.completed_write.is_none(),
+            "two write completions in one protocol event"
+        );
+        self.completed_write = Some((var, val));
+    }
+
+    /// Signals completion of the attached process's blocked read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read completion is already queued.
+    pub fn complete_read(&mut self, var: VarId, val: Option<Value>) {
+        assert!(
+            self.completed_read.is_none(),
+            "two read completions in one protocol event"
+        );
+        self.completed_read = Some((var, val));
+    }
+
+    /// `true` if nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.completed_write.is_none() && self.completed_read.is_none()
+    }
+}
+
+/// One MCS-process: the per-process half of a propagation-based memory
+/// consistency protocol (Attiya–Welch architecture, paper Section 2).
+///
+/// Invariants every implementation upholds:
+///
+/// * it holds a local replica of **every** shared variable, so
+///   [`read`](McsProtocol::read) is local and immediate (required for the
+///   IS-process reads during upcalls to terminate — condition (b));
+/// * every write issued anywhere in the system is eventually surfaced
+///   through [`next_applicable`](McsProtocol::next_applicable) at every
+///   other process (propagation, not invalidation);
+/// * the *local* process's own writes are applied inside
+///   [`write`](McsProtocol::write) (fast-write protocols) or surfaced as
+///   a pending update whose `writer` is the local process (sequencer) —
+///   the host uses `writer` to suppress upcalls for own writes.
+pub trait McsProtocol: fmt::Debug {
+    /// The process this MCS-process serves.
+    fn proc(&self) -> ProcId;
+
+    /// Current local replica value of `var` (`None` = initial `⊥`).
+    fn read(&self, var: VarId) -> Option<Value>;
+
+    /// Issues a write call `w(var)val` by the attached process.
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome;
+
+    /// Issues a read call by the attached process. Defaults to the local
+    /// replica ([`read`](McsProtocol::read)); atomic memory overrides
+    /// this with a blocking round-trip. The IS-process upcall reads
+    /// always use the local [`read`](McsProtocol::read), which every
+    /// protocol must keep immediate (the paper's condition (b)).
+    fn read_call(&mut self, var: VarId, out: &mut Outbox) -> ReadOutcome {
+        let _ = out;
+        ReadOutcome::Done(self.read(var))
+    }
+
+    /// Handles a protocol message from `from`.
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, out: &mut Outbox);
+
+    /// Pops the next update that may be applied to the local replicas,
+    /// if any. The host calls this in a loop after `write`/`on_message`.
+    fn next_applicable(&mut self) -> Option<PendingUpdate>;
+
+    /// Applies a popped update to the local replica (and performs any
+    /// clock bookkeeping). Must be called exactly once per popped update,
+    /// in pop order.
+    fn apply(&mut self, update: &PendingUpdate, out: &mut Outbox);
+
+    /// Whether this protocol guarantees the paper's Causal Updating
+    /// Property (Property 1). Decides which IS-protocol variant the
+    /// IS-process runs: `true` → Fig. 1 (no `pre_update` upcalls),
+    /// `false` → Fig. 1 + Fig. 2 (`Pre_Propagate_out`).
+    fn satisfies_causal_updating(&self) -> bool;
+
+    /// Whether the protocol implements a causal (or stronger) memory.
+    /// `false` only for deliberately faulty test protocols.
+    fn is_causal(&self) -> bool {
+        true
+    }
+}
+
+/// Protocol selector used by system builders and experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Vector-clock causal memory (paper ref \[2\]).
+    Ahamad,
+    /// Dependency-frontier causal memory (in the spirit of ref \[6\]).
+    Frontier,
+    /// Sequencer-ordered local-read protocol — sequential consistency
+    /// (paper ref \[3\]). Process with in-system index 0 is the sequencer.
+    Sequencer,
+    /// Sequencer-ordered protocol with blocking reads — atomic
+    /// (linearizable) memory, the "stronger-than-causal" model of the
+    /// paper's Section 1.1 remark.
+    Atomic,
+    /// Eager apply-on-receipt protocol — PRAM (pipelined-RAM / FIFO)
+    /// consistency, **not** causal; used as the PRAM representative in
+    /// the model-hierarchy experiments and as a checker fixture.
+    EagerFifo,
+    /// Per-variable sequencer — cache consistency (the cache
+    /// instantiation of the paper's ref \[6\]), **not** causal.
+    VarSeq,
+}
+
+impl ProtocolKind {
+    /// All causal (or stronger) protocol kinds.
+    pub const CAUSAL_KINDS: [ProtocolKind; 4] = [
+        ProtocolKind::Ahamad,
+        ProtocolKind::Frontier,
+        ProtocolKind::Sequencer,
+        ProtocolKind::Atomic,
+    ];
+
+    /// Instantiates the MCS-process for slot `index` of a system with
+    /// `n_procs` MCS-processes and `n_vars` shared variables.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cmi_memory::{McsProtocol, ProtocolKind};
+    /// use cmi_types::{SystemId, VarId};
+    ///
+    /// let mcs = ProtocolKind::Ahamad.instantiate(SystemId(0), 1, 3, 4);
+    /// assert_eq!(mcs.read(VarId(0)), None); // all replicas start at ⊥
+    /// assert!(mcs.satisfies_causal_updating());
+    /// ```
+    pub fn instantiate(
+        self,
+        system: SystemId,
+        index: u16,
+        n_procs: usize,
+        n_vars: usize,
+    ) -> Box<dyn McsProtocol> {
+        let me = ProcId::new(system, index);
+        match self {
+            ProtocolKind::Ahamad => {
+                Box::new(crate::ahamad::AhamadCausal::new(me, n_procs, n_vars))
+            }
+            ProtocolKind::Frontier => {
+                Box::new(crate::frontier::DepFrontier::new(me, n_procs, n_vars))
+            }
+            ProtocolKind::Sequencer => {
+                Box::new(crate::sequencer::Sequencer::new(me, n_procs, n_vars))
+            }
+            ProtocolKind::Atomic => Box::new(crate::atomic::Atomic::new(me, n_procs, n_vars)),
+            ProtocolKind::EagerFifo => Box::new(crate::eager::EagerFifo::new(me, n_procs, n_vars)),
+            ProtocolKind::VarSeq => Box::new(crate::varseq::VarSeq::new(me, n_procs, n_vars)),
+        }
+    }
+
+    /// `true` for protocols implementing causal (or stronger) memory.
+    pub fn is_causal(self) -> bool {
+        !matches!(self, ProtocolKind::EagerFifo | ProtocolKind::VarSeq)
+    }
+
+    /// Whether the protocol guarantees the Causal Updating Property
+    /// (mirrors [`McsProtocol::satisfies_causal_updating`]).
+    pub fn satisfies_causal_updating(self) -> bool {
+        self.is_causal()
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ProtocolKind::Ahamad => "ahamad",
+            ProtocolKind::Frontier => "frontier",
+            ProtocolKind::Sequencer => "sequencer",
+            ProtocolKind::Atomic => "atomic",
+            ProtocolKind::EagerFifo => "eager-fifo",
+            ProtocolKind::VarSeq => "var-seq",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Local replica array shared by the protocol implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Replicas {
+    slots: Vec<Option<Value>>,
+}
+
+impl Replicas {
+    pub(crate) fn new(n_vars: usize) -> Self {
+        Replicas {
+            slots: vec![None; n_vars],
+        }
+    }
+
+    pub(crate) fn read(&self, var: VarId) -> Option<Value> {
+        self.slots
+            .get(var.index())
+            .copied()
+            .unwrap_or_else(|| panic!("variable {var} out of range"))
+    }
+
+    pub(crate) fn store(&mut self, var: VarId, val: Value) {
+        let slot = self
+            .slots
+            .get_mut(var.index())
+            .unwrap_or_else(|| panic!("variable {var} out of range"));
+        *slot = Some(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_start_at_bottom_and_store_values() {
+        let p = ProcId::new(SystemId(0), 0);
+        let mut r = Replicas::new(2);
+        assert_eq!(r.read(VarId(0)), None);
+        let v = Value::new(p, 1);
+        r.store(VarId(1), v);
+        assert_eq!(r.read(VarId(1)), Some(v));
+        assert_eq!(r.read(VarId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_variable_panics() {
+        let r = Replicas::new(1);
+        let _ = r.read(VarId(5));
+    }
+
+    #[test]
+    fn outbox_collects_sends_and_completion() {
+        let p = ProcId::new(SystemId(0), 1);
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.send(
+            p,
+            McsMsg::EagerUpdate {
+                var: VarId(0),
+                val: Value::new(p, 1),
+            },
+        );
+        out.complete_write(VarId(0), Value::new(p, 1));
+        assert!(!out.is_empty());
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.completed_write.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "two write completions")]
+    fn double_completion_panics() {
+        let p = ProcId::new(SystemId(0), 1);
+        let mut out = Outbox::new();
+        out.complete_write(VarId(0), Value::new(p, 1));
+        out.complete_write(VarId(0), Value::new(p, 2));
+    }
+
+    #[test]
+    fn kind_factory_builds_each_protocol() {
+        for kind in [
+            ProtocolKind::Ahamad,
+            ProtocolKind::Frontier,
+            ProtocolKind::Sequencer,
+            ProtocolKind::EagerFifo,
+            ProtocolKind::VarSeq,
+        ] {
+            let p = kind.instantiate(SystemId(0), 1, 3, 4);
+            assert_eq!(p.proc(), ProcId::new(SystemId(0), 1));
+            assert_eq!(p.read(VarId(0)), None);
+            assert_eq!(kind.is_causal(), p.is_causal());
+        }
+    }
+
+    #[test]
+    fn causal_kinds_exclude_the_faulty_protocol() {
+        assert!(!ProtocolKind::CAUSAL_KINDS.contains(&ProtocolKind::EagerFifo));
+        assert!(ProtocolKind::EagerFifo.to_string().contains("eager"));
+    }
+}

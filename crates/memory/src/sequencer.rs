@@ -1,0 +1,245 @@
+//! Sequencer-ordered local-read protocol — *sequential* consistency in
+//! the style of Attiya & Welch's local-read algorithm (the paper's
+//! reference \[3\]).
+//!
+//! All writes are funnelled through the MCS-process with in-system index
+//! 0 (the *sequencer*), which assigns a dense global order; every process
+//! applies writes in that order. A write call blocks until the writer
+//! applies its own ordered write; reads are local. The resulting memory
+//! is sequentially consistent — in particular causal — so the paper's
+//! IS-protocols can interconnect two such systems (Section 1.1), although
+//! the union is only guaranteed to be *causal*, which experiment X8
+//! demonstrates.
+//!
+//! The total order extends the causal order (a causally later write can
+//! only be requested after its predecessor was applied at the requester),
+//! so applying writes in sequence order satisfies the Causal Updating
+//! Property.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId};
+
+use crate::msg::McsMsg;
+use crate::protocol::{McsProtocol, Outbox, PendingUpdate, Replicas, UpdateMeta, WriteOutcome};
+
+/// In-system index of the sequencer MCS-process.
+pub const SEQUENCER_SLOT: u16 = 0;
+
+/// One MCS-process of the sequencer protocol.
+pub struct Sequencer {
+    me: ProcId,
+    n_procs: usize,
+    replicas: Replicas,
+    /// Next order number to assign (sequencer only).
+    next_order: u64,
+    /// Highest order number applied locally.
+    applied_seq: u64,
+    /// Ordered writes waiting for their predecessors, keyed by order.
+    buffer: BTreeMap<u64, (VarId, Value, ProcId)>,
+}
+
+impl Sequencer {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        Sequencer {
+            me,
+            n_procs,
+            replicas: Replicas::new(n_vars),
+            next_order: 0,
+            applied_seq: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if this process is the system's sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.me.index == SEQUENCER_SLOT
+    }
+
+    /// Highest order number applied locally (test hook).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    fn sequencer_proc(&self) -> ProcId {
+        ProcId::new(self.me.system, SEQUENCER_SLOT)
+    }
+
+    /// Assigns the next order number to `⟨var,val⟩` by `writer`,
+    /// broadcasts it to every other process and enqueues it locally.
+    fn order(&mut self, var: VarId, val: Value, writer: ProcId, out: &mut Outbox) {
+        debug_assert!(self.is_sequencer());
+        self.next_order += 1;
+        let seq = self.next_order;
+        for k in 0..self.n_procs {
+            let peer = ProcId::new(self.me.system, k as u16);
+            if peer != self.me {
+                out.send(peer, McsMsg::SeqOrdered { var, val, writer, seq });
+            }
+        }
+        self.buffer.insert(seq, (var, val, writer));
+    }
+}
+
+impl fmt::Debug for Sequencer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sequencer")
+            .field("me", &self.me)
+            .field("applied_seq", &self.applied_seq)
+            .field("buffered", &self.buffer.len())
+            .finish()
+    }
+}
+
+impl McsProtocol for Sequencer {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.replicas.read(var)
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        if self.is_sequencer() {
+            self.order(var, val, self.me, out);
+        } else {
+            out.send(self.sequencer_proc(), McsMsg::SeqRequest { var, val });
+        }
+        WriteOutcome::Pending
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, out: &mut Outbox) {
+        match msg {
+            McsMsg::SeqRequest { var, val } => {
+                assert!(self.is_sequencer(), "SeqRequest sent to non-sequencer");
+                self.order(var, val, from, out);
+            }
+            McsMsg::SeqOrdered { var, val, writer, seq } => {
+                assert!(!self.is_sequencer() || writer == self.me);
+                self.buffer.insert(seq, (var, val, writer));
+            }
+            other => panic!("Sequencer received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        let next = self.applied_seq + 1;
+        let (var, val, writer) = self.buffer.remove(&next)?;
+        Some(PendingUpdate {
+            var,
+            val,
+            writer,
+            meta: UpdateMeta::Seq { seq: next },
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, out: &mut Outbox) {
+        let UpdateMeta::Seq { seq } = update.meta else {
+            panic!("Sequencer asked to apply foreign update {update:?}");
+        };
+        debug_assert_eq!(self.applied_seq + 1, seq, "applied out of total order");
+        self.applied_seq = seq;
+        self.replicas.store(update.var, update.val);
+        if update.writer == self.me {
+            out.complete_write(update.var, update.val);
+        }
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn drain(p: &mut Sequencer) -> (Vec<Value>, Vec<(VarId, Value)>) {
+        let mut vals = Vec::new();
+        let mut completions = Vec::new();
+        while let Some(u) = p.next_applicable() {
+            let mut out = Outbox::new();
+            p.apply(&u, &mut out);
+            vals.push(u.val);
+            if let Some(c) = out.completed_write {
+                completions.push(c);
+            }
+        }
+        (vals, completions)
+    }
+
+    #[test]
+    fn sequencer_write_orders_broadcasts_and_completes() {
+        let mut s = Sequencer::new(proc(0), 3, 1);
+        let mut out = Outbox::new();
+        let v = Value::new(proc(0), 1);
+        assert_eq!(s.write(VarId(0), v, &mut out), WriteOutcome::Pending);
+        assert_eq!(out.sends.len(), 2);
+        assert!(matches!(
+            out.sends[0].1,
+            McsMsg::SeqOrdered { seq: 1, .. }
+        ));
+        // The write completes when the sequencer applies its own order.
+        let (vals, completions) = drain(&mut s);
+        assert_eq!(vals, vec![v]);
+        assert_eq!(completions, vec![(VarId(0), v)]);
+        assert_eq!(s.read(VarId(0)), Some(v));
+    }
+
+    #[test]
+    fn non_sequencer_write_round_trips_through_sequencer() {
+        let mut s0 = Sequencer::new(proc(0), 2, 1);
+        let mut s1 = Sequencer::new(proc(1), 2, 1);
+        let v = Value::new(proc(1), 1);
+        let mut out = Outbox::new();
+        assert_eq!(s1.write(VarId(0), v, &mut out), WriteOutcome::Pending);
+        assert_eq!(s1.read(VarId(0)), None, "blocked write not yet visible");
+        let (to, req) = out.sends.remove(0);
+        assert_eq!(to, proc(0));
+        let mut out0 = Outbox::new();
+        s0.on_message(proc(1), req, &mut out0);
+        // Sequencer applies and relays the ordered write.
+        let (vals0, comp0) = drain(&mut s0);
+        assert_eq!(vals0, vec![v]);
+        assert!(comp0.is_empty(), "not the writer");
+        let (_, ordered) = out0.sends.remove(0);
+        s1.on_message(proc(0), ordered, &mut Outbox::new());
+        let (vals1, comp1) = drain(&mut s1);
+        assert_eq!(vals1, vec![v]);
+        assert_eq!(comp1, vec![(VarId(0), v)], "writer's call completes");
+        assert_eq!(s1.read(VarId(0)), Some(v));
+    }
+
+    #[test]
+    fn ordered_writes_apply_in_sequence_even_if_reordered() {
+        let mut s1 = Sequencer::new(proc(1), 3, 1);
+        let a = Value::new(proc(0), 1);
+        let b = Value::new(proc(2), 1);
+        let m1 = McsMsg::SeqOrdered { var: VarId(0), val: a, writer: proc(0), seq: 1 };
+        let m2 = McsMsg::SeqOrdered { var: VarId(0), val: b, writer: proc(2), seq: 2 };
+        s1.on_message(proc(0), m2, &mut Outbox::new());
+        assert!(drain(&mut s1).0.is_empty(), "seq 2 waits for seq 1");
+        s1.on_message(proc(0), m1, &mut Outbox::new());
+        assert_eq!(drain(&mut s1).0, vec![a, b]);
+        assert_eq!(s1.applied_seq(), 2);
+    }
+
+    #[test]
+    fn reports_causal_updating_and_causality() {
+        let s = Sequencer::new(proc(1), 2, 1);
+        assert!(s.satisfies_causal_updating());
+        assert!(s.is_causal());
+        assert!(!s.is_sequencer());
+        assert!(Sequencer::new(proc(0), 2, 1).is_sequencer());
+    }
+}

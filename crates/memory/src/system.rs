@@ -1,0 +1,404 @@
+//! Assembly of one standalone DSM system in the simulator.
+//!
+//! [`SingleSystem`] wires `n` MCS-processes of one protocol into a full
+//! mesh of FIFO channels, attaches a workload driver to each, runs the
+//! simulation to quiescence and extracts the observed computation. It is
+//! the baseline configuration of the paper's Section 6 (one global
+//! system running a single causal MCS-protocol) and the building block
+//! the interconnection harness in `cmi-core` mirrors.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cmi_sim::rng::derive_rng;
+use cmi_sim::{Actor, ActorId, ChannelSpec, Ctx, NetworkTag, RunLimit, RunOutcome, Sim, SimBuilder};
+use cmi_types::{History, ProcId, SystemId};
+
+use crate::msg::McsMsg;
+use crate::node::{HostSink, NoUpcalls, NodeHost};
+use crate::protocol::ProtocolKind;
+use crate::workload::{Driver, OpPlan, WorkloadDriver, WorkloadSpec};
+
+/// Static description of one DSM system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// System identity.
+    pub id: SystemId,
+    /// MCS protocol every process of this system runs.
+    pub protocol: ProtocolKind,
+    /// Number of application processes (= MCS-processes in a standalone
+    /// system; the interconnection adds IS-process slots on top).
+    pub n_procs: usize,
+    /// Number of shared variables.
+    pub n_vars: usize,
+    /// Channel spec of the full mesh between the system's MCS-processes.
+    pub intra: ChannelSpec,
+}
+
+impl SystemConfig {
+    /// A system with `n_procs` processes of `protocol`, 4 variables and a
+    /// 1 ms intra-system delay.
+    pub fn new(id: SystemId, protocol: ProtocolKind, n_procs: usize) -> Self {
+        SystemConfig {
+            id,
+            protocol,
+            n_procs,
+            n_vars: 4,
+            intra: ChannelSpec::fixed(Duration::from_millis(1)),
+        }
+    }
+
+    /// Sets the variable count.
+    pub fn with_vars(mut self, n_vars: usize) -> Self {
+        self.n_vars = n_vars;
+        self
+    }
+
+    /// Sets the intra-system channel spec.
+    pub fn with_intra(mut self, intra: ChannelSpec) -> Self {
+        self.intra = intra;
+        self
+    }
+}
+
+/// Timer token used by workload drivers.
+const OP_TIMER: u64 = 0;
+
+/// [`HostSink`] adapter translating process ids to actor ids over the
+/// simulator context.
+pub(crate) struct CtxSink<'a, 'b> {
+    pub(crate) ctx: &'a mut Ctx<'b, McsMsg>,
+    pub(crate) addr: &'a HashMap<ProcId, ActorId>,
+}
+
+impl HostSink for CtxSink<'_, '_> {
+    fn now(&self) -> cmi_types::SimTime {
+        self.ctx.now()
+    }
+
+    fn send_mcs(&mut self, to: ProcId, msg: McsMsg) {
+        let actor = *self
+            .addr
+            .get(&to)
+            .unwrap_or_else(|| panic!("no actor registered for {to}"));
+        self.ctx.send(actor, msg);
+    }
+
+    fn note(&mut self, text: String) {
+        self.ctx.note(text);
+    }
+}
+
+/// Simulator actor hosting one MCS-process and its application workload
+/// (randomized or scripted).
+pub struct McsActor {
+    host: NodeHost,
+    driver: Option<Driver>,
+    pending_plan: Option<OpPlan>,
+    addr: HashMap<ProcId, ActorId>,
+    waiting_completion: bool,
+}
+
+impl McsActor {
+    /// Creates an actor around `host`; `driver` is `None` for passive
+    /// processes.
+    pub fn new(host: NodeHost, driver: Option<Driver>, addr: HashMap<ProcId, ActorId>) -> Self {
+        McsActor {
+            host,
+            driver,
+            pending_plan: None,
+            addr,
+            waiting_completion: false,
+        }
+    }
+
+    /// The hosted node (history extraction).
+    pub fn host(&self) -> &NodeHost {
+        &self.host
+    }
+
+    /// Mutable access to the hosted node (history extraction).
+    pub fn host_mut(&mut self) -> &mut NodeHost {
+        &mut self.host
+    }
+
+    fn fetch_and_schedule(&mut self, ctx: &mut Ctx<'_, McsMsg>) {
+        let Some(driver) = self.driver.as_mut() else {
+            return;
+        };
+        if let Some((gap, plan)) = driver.next() {
+            self.pending_plan = Some(plan);
+            ctx.schedule(gap, OP_TIMER);
+        }
+    }
+}
+
+impl Actor<McsMsg> for McsActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, McsMsg>) {
+        self.fetch_and_schedule(ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: McsMsg, ctx: &mut Ctx<'_, McsMsg>) {
+        let from_proc = *self
+            .addr
+            .iter()
+            .find(|(_, a)| **a == from)
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| panic!("message from unknown actor {from}"));
+        let mut sink = CtxSink {
+            ctx,
+            addr: &self.addr,
+        };
+        self.host
+            .on_mcs_message(from_proc, msg, &mut sink, &mut NoUpcalls);
+        if self.waiting_completion && !self.host.op_in_flight() {
+            self.waiting_completion = false;
+            self.fetch_and_schedule(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, McsMsg>) {
+        debug_assert_eq!(token, OP_TIMER);
+        let Some(plan) = self.pending_plan.take() else {
+            return;
+        };
+        let mut sink = CtxSink {
+            ctx,
+            addr: &self.addr,
+        };
+        match plan {
+            OpPlan::Read(var) => {
+                self.host.issue_read(var, &mut sink, &mut NoUpcalls);
+            }
+            OpPlan::Write(var, val) => {
+                self.host.issue_write(var, val, &mut sink, &mut NoUpcalls);
+            }
+        }
+        if self.host.op_in_flight() {
+            // Blocking call: resume when the protocol completes it.
+            self.waiting_completion = true;
+        } else {
+            self.fetch_and_schedule(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One standalone DSM system, ready to run.
+pub struct SingleSystem {
+    sim: Sim<McsMsg>,
+    actors: Vec<ActorId>,
+    config: SystemConfig,
+}
+
+impl SingleSystem {
+    /// Builds the system: one actor per process, full-mesh channels, a
+    /// workload driver on every process.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cmi_memory::{ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
+    /// use cmi_types::SystemId;
+    ///
+    /// let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, 3);
+    /// let mut sys = SingleSystem::build(config, &WorkloadSpec::small(), 7);
+    /// assert!(sys.run().is_quiescent());
+    /// let history = sys.history();
+    /// assert_eq!(history.len(), 3 * 8); // every op completed and recorded
+    /// ```
+    pub fn build(config: SystemConfig, workload: &WorkloadSpec, seed: u64) -> Self {
+        let mut b = SimBuilder::new(seed);
+        let tag = NetworkTag(config.id.0);
+        // Pre-compute the address map (actor ids are dense from 0).
+        let addr: HashMap<ProcId, ActorId> = (0..config.n_procs)
+            .map(|k| (ProcId::new(config.id, k as u16), ActorId(k as u32)))
+            .collect();
+        let mut actors = Vec::new();
+        for k in 0..config.n_procs {
+            let proc = ProcId::new(config.id, k as u16);
+            let host = NodeHost::new(config.protocol.instantiate(
+                config.id,
+                k as u16,
+                config.n_procs,
+                config.n_vars,
+            ));
+            let driver = Driver::Random(WorkloadDriver::new(
+                proc,
+                workload.clone().with_vars(config.n_vars as u32),
+                derive_rng(seed, 0x1000 + k as u64),
+            ));
+            let id = b.add_actor(Box::new(McsActor::new(host, Some(driver), addr.clone())), tag);
+            actors.push(id);
+        }
+        for i in 0..actors.len() {
+            for j in 0..actors.len() {
+                if i != j {
+                    b.connect(actors[i], actors[j], config.intra);
+                }
+            }
+        }
+        SingleSystem {
+            sim: b.build(),
+            actors,
+            config,
+        }
+    }
+
+    /// Runs the workload to quiescence.
+    pub fn run(&mut self) -> RunOutcome {
+        self.sim.run(RunLimit::unlimited())
+    }
+
+    /// Extracts the observed computation, merged across processes in
+    /// completion-time order (program order preserved per process).
+    pub fn history(&mut self) -> History {
+        let streams = self
+            .actors
+            .clone()
+            .into_iter()
+            .map(|id| {
+                self.sim
+                    .actor_mut::<McsActor>(id)
+                    .expect("actor type is McsActor")
+                    .host_mut()
+                    .take_ops()
+            })
+            .collect();
+        History::merge_streams(streams)
+    }
+
+    /// The underlying simulator (stats, trace).
+    pub fn sim(&self) -> &Sim<McsMsg> {
+        &self.sim
+    }
+
+    /// Mutable simulator access.
+    pub fn sim_mut(&mut self) -> &mut Sim<McsMsg> {
+        &mut self.sim
+    }
+
+    /// The system's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Replica-update log of process `slot` (trace-level checks).
+    pub fn updates_of(&self, slot: usize) -> Vec<crate::node::ReplicaUpdate> {
+        let actor = self
+            .sim
+            .actor::<McsActor>(self.actors[slot])
+            .expect("actor type is McsActor");
+        actor.host().updates().to_vec()
+    }
+
+    /// Write-call response times of process `slot`, in issue order.
+    pub fn responses_of(&self, slot: usize) -> Vec<Duration> {
+        let actor = self
+            .sim
+            .actor::<McsActor>(self.actors[slot])
+            .expect("actor type is McsActor");
+        actor.host().write_responses().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_system(kind: ProtocolKind, n: usize, seed: u64) -> History {
+        let config = SystemConfig::new(SystemId(0), kind, n).with_vars(3);
+        let mut sys = SingleSystem::build(config, &WorkloadSpec::small(), seed);
+        assert!(sys.run().is_quiescent());
+        sys.history()
+    }
+
+    #[test]
+    fn ahamad_system_runs_and_records_all_ops() {
+        let h = run_system(ProtocolKind::Ahamad, 3, 1);
+        // 3 procs × 8 ops.
+        assert_eq!(h.len(), 24);
+        assert!(h.validate_differentiated().is_ok());
+    }
+
+    #[test]
+    fn frontier_system_runs_to_quiescence() {
+        let h = run_system(ProtocolKind::Frontier, 4, 2);
+        assert_eq!(h.len(), 32);
+        assert!(h.validate_differentiated().is_ok());
+    }
+
+    #[test]
+    fn sequencer_system_completes_blocking_writes() {
+        let h = run_system(ProtocolKind::Sequencer, 3, 3);
+        assert_eq!(h.len(), 24, "every blocked write eventually completes");
+        assert!(h.validate_differentiated().is_ok());
+    }
+
+    #[test]
+    fn histories_are_reproducible_per_seed() {
+        let a = run_system(ProtocolKind::Ahamad, 3, 9);
+        let b = run_system(ProtocolKind::Ahamad, 3, 9);
+        assert_eq!(a, b);
+        let c = run_system(ProtocolKind::Ahamad, 3, 10);
+        assert_ne!(a, c, "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn ahamad_message_count_matches_section6_model() {
+        // Section 6 assumes x−1 messages per write in a system with x
+        // MCS-processes and none per read.
+        for n in [2usize, 4, 6] {
+            let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(2);
+            let spec = WorkloadSpec::write_only(5, 2);
+            let mut sys = SingleSystem::build(config, &spec, 7);
+            sys.run();
+            let writes = (n * 5) as u64;
+            assert_eq!(
+                sys.sim().stats().total_messages(),
+                writes * (n as u64 - 1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_generate_no_messages_in_propagation_protocols() {
+        let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, 3);
+        let spec = WorkloadSpec::small().with_write_fraction(0.0);
+        let mut sys = SingleSystem::build(config, &spec, 4);
+        sys.run();
+        assert_eq!(sys.sim().stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn update_logs_cover_every_write_everywhere() {
+        let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, 3).with_vars(2);
+        let spec = WorkloadSpec::write_only(4, 2);
+        let mut sys = SingleSystem::build(config, &spec, 5);
+        sys.run();
+        for slot in 0..3 {
+            assert_eq!(
+                sys.updates_of(slot).len(),
+                12,
+                "each process applies all 12 writes"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_system_also_runs_but_is_not_causal_memory() {
+        // It runs fine mechanically; its histories are checked (and
+        // rejected) in the checker's tests.
+        let h = run_system(ProtocolKind::EagerFifo, 3, 6);
+        assert_eq!(h.len(), 24);
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-variable sequencer protocol — **cache** consistency.
+//!
+//! The parametrized protocol of the paper's reference \[6\] can be
+//! instantiated for sequential, causal or cache consistency; this module
+//! is the cache instantiation: each variable has an *owner* process
+//! (`var mod n_procs`) that totally orders the writes **to that
+//! variable**; every process applies each variable's writes in its
+//! owner's order; reads are local; writes block until the writer applies
+//! its own ordered write.
+//!
+//! The result is sequentially consistent *per variable* (Goodman's cache
+//! consistency) but makes **no promise across variables** — it is
+//! neither causal nor PRAM. It exists for the extension experiments that
+//! map which consistency models survive IS-protocol interconnection
+//! (X11/X12); Theorem 1's causality hypothesis is not satisfied by this
+//! protocol, and the experiments show what breaks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmi_types::{ProcId, Value, VarId};
+
+use crate::msg::McsMsg;
+use crate::protocol::{McsProtocol, Outbox, PendingUpdate, Replicas, UpdateMeta, WriteOutcome};
+
+/// One MCS-process of the per-variable sequencer protocol.
+pub struct VarSeq {
+    me: ProcId,
+    n_procs: usize,
+    n_vars: usize,
+    replicas: Replicas,
+    /// Next order number per owned variable.
+    next_order: BTreeMap<VarId, u64>,
+    /// Highest applied order per variable.
+    applied: BTreeMap<VarId, u64>,
+    /// Ordered writes waiting for their per-variable predecessors.
+    buffer: BTreeMap<(VarId, u64), (Value, ProcId)>,
+}
+
+impl VarSeq {
+    /// Creates the MCS-process `me` of a system with `n_procs`
+    /// MCS-processes and `n_vars` shared variables.
+    pub fn new(me: ProcId, n_procs: usize, n_vars: usize) -> Self {
+        assert!(me.slot() < n_procs, "process slot out of range");
+        VarSeq {
+            me,
+            n_procs,
+            n_vars,
+            replicas: Replicas::new(n_vars),
+            next_order: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// The owner of `var` in this system.
+    pub fn owner_of(&self, var: VarId) -> ProcId {
+        assert!(var.index() < self.n_vars, "variable out of range");
+        ProcId::new(self.me.system, (var.index() % self.n_procs) as u16)
+    }
+
+    fn order(&mut self, var: VarId, val: Value, writer: ProcId, out: &mut Outbox) {
+        debug_assert_eq!(self.owner_of(var), self.me);
+        let seq = self.next_order.entry(var).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        for k in 0..self.n_procs {
+            let peer = ProcId::new(self.me.system, k as u16);
+            if peer != self.me {
+                out.send(peer, McsMsg::VarSeqOrdered { var, val, writer, seq });
+            }
+        }
+        self.buffer.insert((var, seq), (val, writer));
+    }
+}
+
+impl fmt::Debug for VarSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarSeq")
+            .field("me", &self.me)
+            .field("buffered", &self.buffer.len())
+            .finish()
+    }
+}
+
+impl McsProtocol for VarSeq {
+    fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.replicas.read(var)
+    }
+
+    fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
+        let owner = self.owner_of(var);
+        if owner == self.me {
+            self.order(var, val, self.me, out);
+        } else {
+            out.send(owner, McsMsg::VarSeqRequest { var, val });
+        }
+        WriteOutcome::Pending
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: McsMsg, out: &mut Outbox) {
+        match msg {
+            McsMsg::VarSeqRequest { var, val } => {
+                assert_eq!(self.owner_of(var), self.me, "request sent to non-owner");
+                self.order(var, val, from, out);
+            }
+            McsMsg::VarSeqOrdered { var, val, writer, seq } => {
+                self.buffer.insert((var, seq), (val, writer));
+            }
+            other => panic!("VarSeq received foreign message {other:?}"),
+        }
+    }
+
+    fn next_applicable(&mut self) -> Option<PendingUpdate> {
+        // Any variable whose next ordered write has arrived; scan in
+        // variable order for determinism.
+        let key = self
+            .buffer
+            .keys()
+            .find(|(var, seq)| self.applied.get(var).copied().unwrap_or(0) + 1 == *seq)
+            .copied()?;
+        let (val, writer) = self.buffer.remove(&key).expect("key just found");
+        Some(PendingUpdate {
+            var: key.0,
+            val,
+            writer,
+            meta: UpdateMeta::Seq { seq: key.1 },
+        })
+    }
+
+    fn apply(&mut self, update: &PendingUpdate, out: &mut Outbox) {
+        let UpdateMeta::Seq { seq } = update.meta else {
+            panic!("VarSeq asked to apply foreign update {update:?}");
+        };
+        let prev = self.applied.get(&update.var).copied().unwrap_or(0);
+        debug_assert_eq!(prev + 1, seq, "applied out of per-variable order");
+        self.applied.insert(update.var, seq);
+        self.replicas.store(update.var, update.val);
+        if update.writer == self.me {
+            out.complete_write(update.var, update.val);
+        }
+    }
+
+    fn satisfies_causal_updating(&self) -> bool {
+        false
+    }
+
+    fn is_causal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::SystemId;
+
+    fn proc(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    type Drained = (Vec<(VarId, Value)>, Vec<(VarId, Value)>);
+
+    fn drain(p: &mut VarSeq) -> Drained {
+        let mut applied = Vec::new();
+        let mut completed = Vec::new();
+        while let Some(u) = p.next_applicable() {
+            let mut out = Outbox::new();
+            p.apply(&u, &mut out);
+            applied.push((u.var, u.val));
+            if let Some(c) = out.completed_write {
+                completed.push(c);
+            }
+        }
+        (applied, completed)
+    }
+
+    #[test]
+    fn ownership_is_round_robin() {
+        let p0 = VarSeq::new(proc(0), 3, 6);
+        assert_eq!(p0.owner_of(VarId(0)), proc(0));
+        assert_eq!(p0.owner_of(VarId(1)), proc(1));
+        assert_eq!(p0.owner_of(VarId(2)), proc(2));
+        assert_eq!(p0.owner_of(VarId(3)), proc(0));
+    }
+
+    #[test]
+    fn owner_write_orders_and_completes_locally() {
+        let mut p0 = VarSeq::new(proc(0), 2, 2);
+        let mut out = Outbox::new();
+        let v = Value::new(proc(0), 1);
+        assert_eq!(p0.write(VarId(0), v, &mut out), WriteOutcome::Pending);
+        assert_eq!(out.sends.len(), 1);
+        let (applied, completed) = drain(&mut p0);
+        assert_eq!(applied, vec![(VarId(0), v)]);
+        assert_eq!(completed, vec![(VarId(0), v)]);
+        assert_eq!(p0.read(VarId(0)), Some(v));
+    }
+
+    #[test]
+    fn non_owner_write_round_trips_through_owner() {
+        let mut p0 = VarSeq::new(proc(0), 2, 2);
+        let mut p1 = VarSeq::new(proc(1), 2, 2);
+        let v = Value::new(proc(1), 1);
+        let mut out = Outbox::new();
+        // Var 0 is owned by p0; p1 must request.
+        p1.write(VarId(0), v, &mut out);
+        let (to, req) = out.sends.remove(0);
+        assert_eq!(to, proc(0));
+        let mut out0 = Outbox::new();
+        p0.on_message(proc(1), req, &mut out0);
+        drain(&mut p0);
+        assert_eq!(p0.read(VarId(0)), Some(v));
+        let (_, ordered) = out0.sends.remove(0);
+        p1.on_message(proc(0), ordered, &mut Outbox::new());
+        let (_, completed) = drain(&mut p1);
+        assert_eq!(completed, vec![(VarId(0), v)]);
+    }
+
+    #[test]
+    fn per_variable_order_is_enforced_independently() {
+        let mut p1 = VarSeq::new(proc(1), 2, 2);
+        let a2 = Value::new(proc(0), 2);
+        let b1 = Value::new(proc(0), 3);
+        // Var 0 seq 2 arrives before seq 1: must wait. Var 1 seq 1 is
+        // independent and applies immediately.
+        p1.on_message(
+            proc(0),
+            McsMsg::VarSeqOrdered { var: VarId(0), val: a2, writer: proc(0), seq: 2 },
+            &mut Outbox::new(),
+        );
+        p1.on_message(
+            proc(0),
+            McsMsg::VarSeqOrdered { var: VarId(1), val: b1, writer: proc(0), seq: 1 },
+            &mut Outbox::new(),
+        );
+        let (applied, _) = drain(&mut p1);
+        assert_eq!(applied, vec![(VarId(1), b1)], "var0 seq2 must wait for seq1");
+        let a1 = Value::new(proc(0), 1);
+        p1.on_message(
+            proc(0),
+            McsMsg::VarSeqOrdered { var: VarId(0), val: a1, writer: proc(0), seq: 1 },
+            &mut Outbox::new(),
+        );
+        let (applied, _) = drain(&mut p1);
+        assert_eq!(applied, vec![(VarId(0), a1), (VarId(0), a2)]);
+    }
+
+    #[test]
+    fn honestly_reports_no_causal_guarantees() {
+        let p = VarSeq::new(proc(0), 2, 1);
+        assert!(!p.satisfies_causal_updating());
+        assert!(!p.is_causal());
+    }
+}

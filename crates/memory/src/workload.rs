@@ -1,0 +1,433 @@
+//! Randomized application workloads.
+//!
+//! Each application process runs a [`WorkloadDriver`]: a deterministic,
+//! per-process stream of read/write operations with think-time gaps.
+//! Written values are minted as `(process, sequence)` pairs, so every
+//! workload automatically satisfies the paper's differentiated-history
+//! assumption (each value written at most once per variable — in fact at
+//! most once globally).
+
+use std::time::Duration;
+
+use cmi_types::{ProcId, Value, VarId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a workload picks the variable of each operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VarPattern {
+    /// Uniform over all variables.
+    #[default]
+    Uniform,
+    /// Hot-spot: variable 0 with the given percentage, the rest uniform
+    /// — models the contended-variable workloads the paper's
+    /// consistency-islands motivation implies.
+    HotSpot {
+        /// Probability (percent, `1..=100`) of touching variable 0.
+        hot_percent: u8,
+    },
+    /// Zipf-like: probability of variable `i` proportional to
+    /// `1/(i+1)` — a skewed but not degenerate access pattern.
+    Zipf,
+}
+
+/// Parameters of a randomized workload, shared by all processes of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Operations each application process issues.
+    pub ops_per_proc: u32,
+    /// Fraction of operations that are writes (`0.0 ..= 1.0`).
+    pub write_fraction: f64,
+    /// Number of shared variables.
+    pub n_vars: u32,
+    /// Mean think time between an operation's completion and the next
+    /// issue; actual gaps are uniform in `[mean/2, 3*mean/2)`.
+    pub mean_gap: Duration,
+    /// Variable-selection pattern.
+    #[serde(default)]
+    pub pattern: VarPattern,
+}
+
+impl WorkloadSpec {
+    /// A small smoke-test workload (checker-friendly sizes).
+    pub fn small() -> Self {
+        WorkloadSpec {
+            ops_per_proc: 8,
+            write_fraction: 0.5,
+            n_vars: 3,
+            mean_gap: Duration::from_millis(5),
+            pattern: VarPattern::Uniform,
+        }
+    }
+
+    /// A medium workload for correctness sweeps.
+    pub fn medium() -> Self {
+        WorkloadSpec {
+            ops_per_proc: 60,
+            write_fraction: 0.4,
+            n_vars: 8,
+            mean_gap: Duration::from_millis(3),
+            pattern: VarPattern::Uniform,
+        }
+    }
+
+    /// A write-only workload, used by the Section 6 message-counting
+    /// experiments (reads generate no messages in these protocols, so
+    /// messages-per-write is cleanest with writes only).
+    pub fn write_only(ops_per_proc: u32, n_vars: u32) -> Self {
+        WorkloadSpec {
+            ops_per_proc,
+            write_fraction: 1.0,
+            n_vars,
+            mean_gap: Duration::from_millis(2),
+            pattern: VarPattern::Uniform,
+        }
+    }
+
+    /// Sets the number of operations per process.
+    pub fn with_ops(mut self, ops: u32) -> Self {
+        self.ops_per_proc = ops;
+        self
+    }
+
+    /// Sets the write fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not within `0.0..=1.0`.
+    pub fn with_write_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "write fraction must be in [0,1]");
+        self.write_fraction = f;
+        self
+    }
+
+    /// Sets the mean think time.
+    pub fn with_mean_gap(mut self, gap: Duration) -> Self {
+        self.mean_gap = gap;
+        self
+    }
+
+    /// Sets the variable count.
+    pub fn with_vars(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one variable");
+        self.n_vars = n;
+        self
+    }
+
+    /// Sets the variable-selection pattern.
+    pub fn with_pattern(mut self, pattern: VarPattern) -> Self {
+        if let VarPattern::HotSpot { hot_percent } = pattern {
+            assert!(
+                (1..=100).contains(&hot_percent),
+                "hot percentage must be in 1..=100"
+            );
+        }
+        self.pattern = pattern;
+        self
+    }
+}
+
+/// One operation the driver wants to issue next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpPlan {
+    /// Read the variable.
+    Read(VarId),
+    /// Write the (freshly minted, globally unique) value.
+    Write(VarId, Value),
+}
+
+/// Deterministic per-process operation stream.
+#[derive(Debug)]
+pub struct WorkloadDriver {
+    proc: ProcId,
+    spec: WorkloadSpec,
+    issued: u32,
+    next_seq: u32,
+    rng: SmallRng,
+}
+
+impl WorkloadDriver {
+    /// Creates the driver for `proc` with its own derived RNG stream.
+    pub fn new(proc: ProcId, spec: WorkloadSpec, rng: SmallRng) -> Self {
+        assert!(spec.n_vars > 0, "workload needs at least one variable");
+        WorkloadDriver {
+            proc,
+            spec,
+            issued: 0,
+            next_seq: 0,
+            rng,
+        }
+    }
+
+    /// The driving process.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// `true` once every planned operation has been issued.
+    pub fn done(&self) -> bool {
+        self.issued >= self.spec.ops_per_proc
+    }
+
+    /// Plans the next operation, or `None` when the stream is exhausted.
+    pub fn next_op(&mut self) -> Option<OpPlan> {
+        if self.done() {
+            return None;
+        }
+        self.issued += 1;
+        let var = self.pick_var();
+        if self.rng.gen_bool(self.spec.write_fraction) {
+            self.next_seq += 1;
+            Some(OpPlan::Write(var, Value::new(self.proc, self.next_seq)))
+        } else {
+            Some(OpPlan::Read(var))
+        }
+    }
+
+    fn pick_var(&mut self) -> VarId {
+        let n = self.spec.n_vars;
+        match self.spec.pattern {
+            VarPattern::Uniform => VarId(self.rng.gen_range(0..n)),
+            VarPattern::HotSpot { hot_percent } => {
+                if self.rng.gen_range(0..100) < u32::from(hot_percent) || n == 1 {
+                    VarId(0)
+                } else {
+                    VarId(self.rng.gen_range(1..n))
+                }
+            }
+            VarPattern::Zipf => {
+                // Weights 1/(i+1); sample by cumulative sum.
+                let total: f64 = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).sum();
+                let mut x = self.rng.gen_range(0.0..total);
+                for i in 0..n {
+                    let w = 1.0 / (i as f64 + 1.0);
+                    if x < w {
+                        return VarId(i);
+                    }
+                    x -= w;
+                }
+                VarId(n - 1)
+            }
+        }
+    }
+
+    /// Think time before the next operation.
+    pub fn gap(&mut self) -> Duration {
+        let mean = self.spec.mean_gap.as_nanos() as u64;
+        if mean == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.rng.gen_range(mean / 2..mean + mean / 2))
+    }
+}
+
+/// A fully scripted operation stream: explicit `(delay, op)` pairs, used
+/// by adversarial experiment scenarios (X7, X8) where the schedule must
+/// be exact.
+#[derive(Debug, Clone)]
+pub struct ScriptedDriver {
+    steps: std::collections::VecDeque<(Duration, OpPlan)>,
+}
+
+impl ScriptedDriver {
+    /// Creates a driver that issues each op `delay` after the previous
+    /// op's completion (the first relative to the start of the run).
+    pub fn new(steps: impl IntoIterator<Item = (Duration, OpPlan)>) -> Self {
+        ScriptedDriver {
+            steps: steps.into_iter().collect(),
+        }
+    }
+
+    /// Remaining steps.
+    pub fn remaining(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Either a randomized or a scripted operation stream.
+#[derive(Debug)]
+pub enum Driver {
+    /// Randomized workload.
+    Random(WorkloadDriver),
+    /// Exact scripted schedule.
+    Scripted(ScriptedDriver),
+}
+
+impl Driver {
+    /// The next `(think-time, op)` pair, or `None` when exhausted.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self + side effects by design
+    pub fn next(&mut self) -> Option<(Duration, OpPlan)> {
+        match self {
+            Driver::Random(d) => {
+                let gap = d.gap();
+                d.next_op().map(|op| (gap, op))
+            }
+            Driver::Scripted(s) => s.steps.pop_front(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_sim::rng::derive_rng;
+    use cmi_types::SystemId;
+
+    fn driver(write_fraction: f64, ops: u32, seed: u64) -> WorkloadDriver {
+        let proc = ProcId::new(SystemId(0), 1);
+        let spec = WorkloadSpec {
+            ops_per_proc: ops,
+            write_fraction,
+            n_vars: 4,
+            mean_gap: Duration::from_millis(2),
+            pattern: VarPattern::Uniform,
+        };
+        WorkloadDriver::new(proc, spec, derive_rng(seed, 0))
+    }
+
+    #[test]
+    fn issues_exactly_the_planned_number_of_ops() {
+        let mut d = driver(0.5, 10, 1);
+        let mut n = 0;
+        while d.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert!(d.done());
+        assert!(d.next_op().is_none());
+    }
+
+    #[test]
+    fn write_only_stream_mints_unique_values() {
+        let mut d = driver(1.0, 20, 2);
+        let mut values = Vec::new();
+        while let Some(op) = d.next_op() {
+            match op {
+                OpPlan::Write(_, v) => values.push(v),
+                OpPlan::Read(_) => panic!("write-only workload read"),
+            }
+        }
+        let mut dedup = values.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), values.len(), "values must be unique");
+    }
+
+    #[test]
+    fn read_only_stream_never_writes() {
+        let mut d = driver(0.0, 20, 3);
+        while let Some(op) = d.next_op() {
+            assert!(matches!(op, OpPlan::Read(_)));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = driver(0.5, 20, 7);
+        let mut b = driver(0.5, 20, 7);
+        loop {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert_eq!(oa, ob);
+            if oa.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_cluster_around_the_mean() {
+        let mut d = driver(0.5, 1, 5);
+        for _ in 0..100 {
+            let g = d.gap();
+            assert!(g >= Duration::from_millis(1), "gap {g:?} below mean/2");
+            assert!(g < Duration::from_millis(3), "gap {g:?} above 3*mean/2");
+        }
+    }
+
+    #[test]
+    fn spec_builders_validate() {
+        let s = WorkloadSpec::small()
+            .with_ops(5)
+            .with_write_fraction(0.7)
+            .with_vars(2)
+            .with_mean_gap(Duration::from_millis(1));
+        assert_eq!(s.ops_per_proc, 5);
+        assert_eq!(s.n_vars, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn invalid_write_fraction_panics() {
+        let _ = WorkloadSpec::small().with_write_fraction(1.5);
+    }
+
+    #[test]
+    fn hot_spot_pattern_skews_toward_variable_zero() {
+        let proc = ProcId::new(SystemId(0), 1);
+        let spec = WorkloadSpec::small()
+            .with_ops(200)
+            .with_write_fraction(0.0)
+            .with_pattern(VarPattern::HotSpot { hot_percent: 90 });
+        let mut d = WorkloadDriver::new(proc, spec, derive_rng(5, 0));
+        let mut hot = 0;
+        let mut total = 0;
+        while let Some(OpPlan::Read(var)) = d.next_op() {
+            total += 1;
+            if var == VarId(0) {
+                hot += 1;
+            }
+        }
+        assert_eq!(total, 200);
+        assert!(hot > 150, "expected ~90% hot hits, got {hot}/200");
+    }
+
+    #[test]
+    fn zipf_pattern_is_skewed_but_covers_all_vars() {
+        let proc = ProcId::new(SystemId(0), 1);
+        let spec = WorkloadSpec::small()
+            .with_ops(400)
+            .with_write_fraction(0.0)
+            .with_vars(4)
+            .with_pattern(VarPattern::Zipf);
+        let mut d = WorkloadDriver::new(proc, spec, derive_rng(6, 0));
+        let mut counts = [0u32; 4];
+        while let Some(OpPlan::Read(var)) = d.next_op() {
+            counts[var.index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all vars touched: {counts:?}");
+        assert!(counts[0] > counts[3], "skew toward low vars: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot percentage")]
+    fn invalid_hot_percentage_panics() {
+        let _ = WorkloadSpec::small().with_pattern(VarPattern::HotSpot { hot_percent: 0 });
+    }
+
+    #[test]
+    fn scripted_driver_replays_exactly() {
+        let p0 = ProcId::new(SystemId(0), 0);
+        let v = Value::new(p0, 1);
+        let steps = vec![
+            (Duration::from_millis(1), OpPlan::Write(VarId(0), v)),
+            (Duration::from_millis(2), OpPlan::Read(VarId(0))),
+        ];
+        let mut d = Driver::Scripted(ScriptedDriver::new(steps.clone()));
+        assert_eq!(d.next(), Some(steps[0]));
+        assert_eq!(d.next(), Some(steps[1]));
+        assert_eq!(d.next(), None);
+    }
+
+    #[test]
+    fn random_driver_through_unified_interface() {
+        let mut d = Driver::Random(driver(1.0, 3, 11));
+        let mut n = 0;
+        while let Some((gap, op)) = d.next() {
+            assert!(gap > Duration::ZERO);
+            assert!(matches!(op, OpPlan::Write(..)));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

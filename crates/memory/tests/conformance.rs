@@ -1,0 +1,195 @@
+//! Protocol conformance suite: every `McsProtocol` implementation must
+//! uphold the contract the host and the IS-protocols rely on
+//! (the invariants documented on the trait). Run against every
+//! [`ProtocolKind`], current and future.
+
+use cmi_memory::{McsProtocol, Outbox, ProtocolKind, ReadOutcome, WriteOutcome};
+use cmi_types::{ProcId, SystemId, Value, VarId};
+
+const ALL_KINDS: [ProtocolKind; 6] = [
+    ProtocolKind::Ahamad,
+    ProtocolKind::Frontier,
+    ProtocolKind::Sequencer,
+    ProtocolKind::Atomic,
+    ProtocolKind::EagerFifo,
+    ProtocolKind::VarSeq,
+];
+
+const N: usize = 3;
+const VARS: usize = 3;
+
+fn fleet(kind: ProtocolKind) -> Vec<Box<dyn McsProtocol>> {
+    (0..N)
+        .map(|k| kind.instantiate(SystemId(0), k as u16, N, VARS))
+        .collect()
+}
+
+fn proc(i: u16) -> ProcId {
+    ProcId::new(SystemId(0), i)
+}
+
+/// Routes every outbox message to its destination until the whole fleet
+/// quiesces, applying deliverable updates at each step. Returns the
+/// completed `(var, val)` write calls per process.
+fn settle(fleet: &mut [Box<dyn McsProtocol>], mut pending: Vec<(ProcId, ProcId, cmi_memory::McsMsg)>) -> Vec<Vec<(VarId, Value)>> {
+    let mut completed = vec![Vec::new(); fleet.len()];
+    while !pending.is_empty() {
+        let mut next = Vec::new();
+        for (from, to, msg) in pending.drain(..) {
+            let mut out = Outbox::new();
+            fleet[to.slot()].on_message(from, msg, &mut out);
+            for (dest, m) in out.sends {
+                next.push((to, dest, m));
+            }
+            assert!(out.completed_write.is_none(), "completion outside apply");
+            // Drain applicable updates.
+            while let Some(u) = fleet[to.slot()].next_applicable() {
+                let mut out = Outbox::new();
+                fleet[to.slot()].apply(&u, &mut out);
+                if let Some(c) = out.completed_write {
+                    completed[to.slot()].push(c);
+                }
+                for (dest, m) in out.sends {
+                    next.push((to, dest, m));
+                }
+            }
+        }
+        pending = next;
+    }
+    completed
+}
+
+#[test]
+fn replicas_start_at_bottom_everywhere() {
+    for kind in ALL_KINDS {
+        for p in fleet(kind) {
+            for v in 0..VARS {
+                assert_eq!(p.read(VarId(v as u32)), None, "{kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_write_eventually_reaches_every_replica() {
+    for kind in ALL_KINDS {
+        let mut fleet = fleet(kind);
+        let v = Value::new(proc(1), 1);
+        let mut out = Outbox::new();
+        let outcome = fleet[1].write(VarId(0), v, &mut out);
+        // Fast-write protocols apply locally at once.
+        if outcome == WriteOutcome::Done {
+            assert_eq!(fleet[1].read(VarId(0)), Some(v), "{kind}");
+        }
+        let pending: Vec<_> = out
+            .sends
+            .into_iter()
+            .map(|(to, m)| (proc(1), to, m))
+            .collect();
+        let completed = settle(&mut fleet, pending);
+        for (k, p) in fleet.iter().enumerate() {
+            assert_eq!(
+                p.read(VarId(0)),
+                Some(v),
+                "{kind}: replica {k} missed the write"
+            );
+        }
+        if outcome == WriteOutcome::Pending {
+            assert_eq!(completed[1], vec![(VarId(0), v)], "{kind}: blocked write completes");
+        }
+    }
+}
+
+#[test]
+fn local_peek_read_is_always_immediate() {
+    // The IS-process upcall reads use `read()`, which must never block —
+    // condition (b) of the paper.
+    for kind in ALL_KINDS {
+        let fleet = fleet(kind);
+        // `read` has no outbox: by signature it cannot send or block.
+        let _ = fleet[2].read(VarId(1));
+    }
+}
+
+#[test]
+fn read_call_blocks_only_for_atomic_memory() {
+    for kind in ALL_KINDS {
+        let mut fleet = fleet(kind);
+        let mut out = Outbox::new();
+        let outcome = fleet[1].read_call(VarId(0), &mut out);
+        match kind {
+            ProtocolKind::Atomic => {
+                assert_eq!(outcome, ReadOutcome::Pending, "{kind}");
+                assert_eq!(out.sends.len(), 1, "{kind}: one request to the sequencer");
+            }
+            _ => {
+                assert_eq!(outcome, ReadOutcome::Done(None), "{kind}");
+                assert!(out.is_empty(), "{kind}: local reads are silent");
+            }
+        }
+    }
+}
+
+#[test]
+fn causal_updating_flag_matches_causality_flag() {
+    for kind in ALL_KINDS {
+        let p = kind.instantiate(SystemId(0), 0, N, VARS);
+        assert_eq!(p.is_causal(), kind.is_causal(), "{kind}");
+        assert_eq!(
+            p.satisfies_causal_updating(),
+            kind.satisfies_causal_updating(),
+            "{kind}"
+        );
+        // In this protocol zoo the two properties coincide.
+        assert_eq!(p.is_causal(), p.satisfies_causal_updating(), "{kind}");
+    }
+}
+
+#[test]
+fn two_writes_from_one_process_arrive_in_order_everywhere() {
+    for kind in ALL_KINDS {
+        if kind == ProtocolKind::VarSeq {
+            // Blocking per-variable writes: a second write cannot be
+            // issued before the first completes; exercised in the
+            // simulator tests instead.
+            continue;
+        }
+        let mut fleet = fleet(kind);
+        let v1 = Value::new(proc(0), 1);
+        let v2 = Value::new(proc(0), 2);
+        let mut pending = Vec::new();
+        for v in [v1, v2] {
+            let mut out = Outbox::new();
+            fleet[0].write(VarId(0), v, &mut out);
+            // Drain own applicable updates (sequencer-style protocols).
+            while let Some(u) = fleet[0].next_applicable() {
+                let mut out2 = Outbox::new();
+                fleet[0].apply(&u, &mut out2);
+                pending.extend(out2.sends.into_iter().map(|(to, m)| (proc(0), to, m)));
+            }
+            pending.extend(out.sends.into_iter().map(|(to, m)| (proc(0), to, m)));
+        }
+        settle(&mut fleet, pending);
+        for (k, p) in fleet.iter().enumerate() {
+            assert_eq!(
+                p.read(VarId(0)),
+                Some(v2),
+                "{kind}: replica {k} must end on the later write"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "foreign message")]
+fn foreign_messages_are_rejected() {
+    let mut p = ProtocolKind::Ahamad.instantiate(SystemId(0), 0, N, VARS);
+    p.on_message(
+        proc(1),
+        cmi_memory::McsMsg::SeqRequest {
+            var: VarId(0),
+            val: Value::new(proc(1), 1),
+        },
+        &mut Outbox::new(),
+    );
+}

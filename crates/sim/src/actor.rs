@@ -1,0 +1,132 @@
+//! The actor abstraction: protocol state machines driven by events.
+
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+use cmi_types::SimTime;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+
+/// Dense identifier of an actor within one [`Sim`](crate::Sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// Index of this actor as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A protocol state machine hosted by the simulator.
+///
+/// Actors never share memory: all interaction happens through messages
+/// sent over the channels registered in the
+/// [`SimBuilder`](crate::SimBuilder) topology, which keeps the simulation
+/// deterministic and mirrors the paper's message-passing MCS model.
+///
+/// The `as_any`/`as_any_mut` methods allow the harness to recover the
+/// concrete actor type after a run (e.g. to extract a recorded history);
+/// implementations are always the two one-liners shown in the crate-level
+/// example.
+pub trait Actor<M>: Any {
+    /// Called once before any event is delivered, at virtual time zero.
+    /// A typical implementation schedules the actor's first timer.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message arrives on an incoming channel.
+    fn on_message(&mut self, from: ActorId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Called when a timer scheduled with [`Ctx::schedule`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, M>) {
+        let _ = (token, ctx);
+    }
+
+    /// Upcast for post-run extraction of the concrete actor state.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run extraction.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The capabilities an actor can use while handling an event: sending
+/// messages, scheduling timers, reading the clock and drawing randomness.
+///
+/// A `Ctx` is only valid for the duration of one callback.
+pub struct Ctx<'a, M> {
+    pub(crate) engine: &'a mut Engine<M>,
+    pub(crate) me: ActorId,
+}
+
+impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
+    /// The id of the actor handling the current event.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// Sends `msg` to `to` over the channel registered from this actor.
+    ///
+    /// Delivery is reliable and FIFO per channel; the delivery instant is
+    /// derived from the channel's delay, jitter and availability schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no channel `self.me() → to` was registered — that is a
+    /// topology bug in the harness, not a runtime condition.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        self.engine.send(self.me, to, msg);
+    }
+
+    /// Schedules `on_timer(token)` for this actor after `delay`.
+    pub fn schedule(&mut self, delay: Duration, token: u64) {
+        self.engine.schedule_timer(self.me, delay, token);
+    }
+
+    /// Deterministic per-actor random number generator.
+    ///
+    /// Each actor's RNG stream is derived from the world seed and the
+    /// actor id, so adding an actor does not perturb the streams of the
+    /// others.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.engine.actor_rngs[self.me.index()]
+    }
+
+    /// `true` if a channel `self.me() → to` exists.
+    pub fn has_channel_to(&self, to: ActorId) -> bool {
+        self.engine.has_channel(self.me, to)
+    }
+
+    /// Appends a custom annotation to the simulation trace (no-op when
+    /// tracing is disabled). Used by protocol code to make X1-style
+    /// protocol traces readable.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.engine.note(self.me, text.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_id_display_and_index() {
+        assert_eq!(ActorId(3).to_string(), "a3");
+        assert_eq!(ActorId(3).index(), 3);
+    }
+}

@@ -1,0 +1,658 @@
+//! The discrete-event engine: event queue, scheduler and world assembly.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+use cmi_types::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::actor::{Actor, ActorId, Ctx};
+use crate::channel::{ChannelSpec, ChannelState};
+use crate::rng::derive_rng;
+use crate::stats::{NetworkTag, TrafficStats};
+use crate::trace::{TraceEntry, TraceKind};
+
+/// What should stop a [`Sim::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Do not process events scheduled after this instant.
+    pub max_time: Option<SimTime>,
+    /// Process at most this many events in this call.
+    pub max_events: Option<u64>,
+}
+
+impl RunLimit {
+    /// Run until no events remain (quiescence).
+    pub fn unlimited() -> Self {
+        RunLimit {
+            max_time: None,
+            max_events: None,
+        }
+    }
+
+    /// Run until quiescent or until the next event would be after `t`.
+    pub fn until(t: SimTime) -> Self {
+        RunLimit {
+            max_time: Some(t),
+            max_events: None,
+        }
+    }
+
+    /// Run until quiescent or until `n` events have been processed.
+    pub fn events(n: u64) -> Self {
+        RunLimit {
+            max_time: None,
+            max_events: Some(n),
+        }
+    }
+}
+
+/// Why a [`Sim::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent {
+        /// Events processed during this call.
+        events: u64,
+    },
+    /// The next pending event lies beyond the time limit.
+    TimeLimit {
+        /// Events processed during this call.
+        events: u64,
+    },
+    /// The per-call event budget was exhausted.
+    EventLimit {
+        /// Events processed during this call.
+        events: u64,
+    },
+}
+
+impl RunOutcome {
+    /// `true` if the run drained the queue.
+    pub fn is_quiescent(self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+
+    /// Events processed during the call.
+    pub fn events(self) -> u64 {
+        match self {
+            RunOutcome::Quiescent { events }
+            | RunOutcome::TimeLimit { events }
+            | RunOutcome::EventLimit { events } => events,
+        }
+    }
+}
+
+enum EventPayload<M> {
+    Message { from: ActorId, to: ActorId, msg: M },
+    Timer { actor: ActorId, token: u64 },
+}
+
+struct QueuedEvent<M> {
+    at: SimTime,
+    seq: u64,
+    payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest*
+    /// event; ties broken by insertion sequence for determinism and
+    /// same-instant FIFO.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Engine internals shared with [`Ctx`]; not part of the public API.
+pub(crate) struct Engine<M> {
+    pub(crate) now: SimTime,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    seq: u64,
+    channels: HashMap<(ActorId, ActorId), ChannelState>,
+    tags: Vec<NetworkTag>,
+    pub(crate) actor_rngs: Vec<SmallRng>,
+    jitter_rng: SmallRng,
+    stats: TrafficStats,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl<M: fmt::Debug + Clone> Engine<M> {
+    fn push(&mut self, at: SimTime, payload: EventPayload<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { at, seq, payload });
+    }
+
+    pub(crate) fn send(&mut self, from: ActorId, to: ActorId, msg: M) {
+        let channel = self
+            .channels
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no channel {from} → {to} registered in the topology"));
+        let jitter = if channel.spec.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let max = u64::try_from(channel.spec.jitter.as_nanos()).expect("jitter too large");
+            Duration::from_nanos(self.jitter_rng.gen_range(0..max))
+        };
+        let delivery = channel.schedule(self.now, jitter);
+        let duplicate = channel.spec.duplicate.then(|| channel.schedule(self.now, jitter));
+        self.stats
+            .on_send(from, to, self.tags[from.index()], self.tags[to.index()]);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                at: self.now,
+                kind: TraceKind::Sent {
+                    from,
+                    to,
+                    delivery,
+                    msg: format!("{msg:?}"),
+                },
+            });
+        }
+        if let Some(dup_at) = duplicate {
+            self.stats
+                .on_send(from, to, self.tags[from.index()], self.tags[to.index()]);
+            self.push(dup_at, EventPayload::Message { from, to, msg: msg.clone() });
+        }
+        self.push(delivery, EventPayload::Message { from, to, msg });
+    }
+
+    pub(crate) fn schedule_timer(&mut self, actor: ActorId, delay: Duration, token: u64) {
+        let at = self.now + delay;
+        self.push(at, EventPayload::Timer { actor, token });
+    }
+
+    pub(crate) fn has_channel(&self, from: ActorId, to: ActorId) -> bool {
+        self.channels.contains_key(&(from, to))
+    }
+
+    pub(crate) fn note(&mut self, actor: ActorId, text: String) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                at: self.now,
+                kind: TraceKind::Note { actor, text },
+            });
+        }
+    }
+}
+
+/// Builder assembling actors and channels into a [`Sim`].
+pub struct SimBuilder<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    tags: Vec<NetworkTag>,
+    channels: HashMap<(ActorId, ActorId), ChannelState>,
+    seed: u64,
+    trace: bool,
+}
+
+impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
+    /// Creates a builder whose world is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            actors: Vec::new(),
+            tags: Vec::new(),
+            channels: HashMap::new(),
+            seed,
+            trace: false,
+        }
+    }
+
+    /// Registers an actor on network `tag` and returns its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>, tag: NetworkTag) -> ActorId {
+        let id = ActorId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(actor);
+        self.tags.push(tag);
+        id
+    }
+
+    /// Registers a unidirectional channel `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel already exists or either endpoint is
+    /// unknown — both are harness bugs.
+    pub fn connect(&mut self, from: ActorId, to: ActorId, spec: ChannelSpec) {
+        assert!(from.index() < self.actors.len(), "unknown sender {from}");
+        assert!(to.index() < self.actors.len(), "unknown receiver {to}");
+        assert_ne!(from, to, "self-channels are not allowed");
+        let prev = self.channels.insert((from, to), ChannelState::new(spec));
+        assert!(prev.is_none(), "duplicate channel {from} → {to}");
+    }
+
+    /// Registers channels in both directions with the same spec.
+    pub fn connect_bidi(&mut self, a: ActorId, b: ActorId, spec: ChannelSpec) {
+        self.connect(a, b, spec);
+        self.connect(b, a, spec);
+    }
+
+    /// Enables the human-readable event trace (off by default; tracing
+    /// every event costs memory proportional to the run).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Number of actors registered so far.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Finalizes the world.
+    pub fn build(self) -> Sim<M> {
+        let actor_rngs = (0..self.actors.len())
+            .map(|i| derive_rng(self.seed, i as u64))
+            .collect();
+        Sim {
+            engine: Engine {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                channels: self.channels,
+                tags: self.tags,
+                actor_rngs,
+                jitter_rng: derive_rng(self.seed, u64::MAX),
+                stats: TrafficStats::new(),
+                trace: if self.trace { Some(Vec::new()) } else { None },
+            },
+            actors: self.actors,
+            started: false,
+            events_processed: 0,
+        }
+    }
+}
+
+/// A runnable simulated world.
+pub struct Sim<M> {
+    engine: Engine<M>,
+    actors: Vec<Box<dyn Actor<M>>>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<M: fmt::Debug + Clone + 'static> Sim<M> {
+    /// Processes events until the limit is reached or the queue drains.
+    ///
+    /// The first call also delivers `on_start` to every actor (in id
+    /// order, at time zero). `run` can be called repeatedly with
+    /// different limits; virtual time never goes backwards.
+    pub fn run(&mut self, limit: RunLimit) -> RunOutcome {
+        let mut events_this_call = 0u64;
+        if !self.started {
+            self.started = true;
+            for i in 0..self.actors.len() {
+                let me = ActorId(i as u32);
+                let mut ctx = Ctx {
+                    engine: &mut self.engine,
+                    me,
+                };
+                self.actors[i].on_start(&mut ctx);
+            }
+        }
+        loop {
+            let Some(head) = self.engine.queue.peek() else {
+                return RunOutcome::Quiescent {
+                    events: events_this_call,
+                };
+            };
+            if let Some(max_time) = limit.max_time {
+                if head.at > max_time {
+                    return RunOutcome::TimeLimit {
+                        events: events_this_call,
+                    };
+                }
+            }
+            if let Some(max_events) = limit.max_events {
+                if events_this_call >= max_events {
+                    return RunOutcome::EventLimit {
+                        events: events_this_call,
+                    };
+                }
+            }
+            let ev = self.engine.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.at >= self.engine.now, "time went backwards");
+            self.engine.now = ev.at;
+            events_this_call += 1;
+            self.events_processed += 1;
+            match ev.payload {
+                EventPayload::Message { from, to, msg } => {
+                    if let Some(trace) = &mut self.engine.trace {
+                        trace.push(TraceEntry {
+                            at: ev.at,
+                            kind: TraceKind::Delivered {
+                                from,
+                                to,
+                                msg: format!("{msg:?}"),
+                            },
+                        });
+                    }
+                    let mut ctx = Ctx {
+                        engine: &mut self.engine,
+                        me: to,
+                    };
+                    self.actors[to.index()].on_message(from, msg, &mut ctx);
+                }
+                EventPayload::Timer { actor, token } => {
+                    self.engine.stats.on_timer();
+                    if let Some(trace) = &mut self.engine.trace {
+                        trace.push(TraceEntry {
+                            at: ev.at,
+                            kind: TraceKind::Timer { actor, token },
+                        });
+                    }
+                    let mut ctx = Ctx {
+                        engine: &mut self.engine,
+                        me: actor,
+                    };
+                    self.actors[actor.index()].on_timer(token, &mut ctx);
+                }
+            }
+        }
+    }
+
+    /// Current virtual time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// Total events processed across all `run` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.engine.stats
+    }
+
+    /// Mutable statistics, e.g. to [`reset`](TrafficStats::reset) after a
+    /// warm-up phase.
+    pub fn stats_mut(&mut self) -> &mut TrafficStats {
+        &mut self.engine.stats
+    }
+
+    /// The recorded trace (empty unless
+    /// [`SimBuilder::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.engine.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Downcasts the actor `id` to its concrete type.
+    pub fn actor<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors.get(id.index())?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of the actor `id`.
+    pub fn actor_mut<T: 'static>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors
+            .get_mut(id.index())?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Number of actors in the world.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Availability;
+    use std::any::Any;
+
+    /// Test actor: floods `count` messages to a peer at start, records
+    /// received payloads and timer tokens.
+    struct Flood {
+        peer: Option<ActorId>,
+        count: u32,
+        received: Vec<u32>,
+        timers: Vec<u64>,
+    }
+
+    impl Flood {
+        fn sender(peer: ActorId, count: u32) -> Box<Self> {
+            Box::new(Flood {
+                peer: Some(peer),
+                count,
+                received: Vec::new(),
+                timers: Vec::new(),
+            })
+        }
+
+        fn sink() -> Box<Self> {
+            Box::new(Flood {
+                peer: None,
+                count: 0,
+                received: Vec::new(),
+                timers: Vec::new(),
+            })
+        }
+    }
+
+    impl Actor<u32> for Flood {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if let Some(peer) = self.peer {
+                for i in 0..self.count {
+                    ctx.send(peer, i);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: ActorId, msg: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.received.push(msg);
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_, u32>) {
+            self.timers.push(token);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn two_actor_world(spec: ChannelSpec, count: u32, seed: u64) -> (Sim<u32>, ActorId, ActorId) {
+        let mut b = SimBuilder::new(seed);
+        let sink_id = ActorId(1);
+        let a0 = b.add_actor(Flood::sender(sink_id, count), NetworkTag(0));
+        let a1 = b.add_actor(Flood::sink(), NetworkTag(1));
+        b.connect(a0, a1, spec);
+        (b.build(), a0, a1)
+    }
+
+    #[test]
+    fn messages_arrive_in_fifo_order() {
+        let (mut sim, _a0, a1) = two_actor_world(ChannelSpec::fixed(ms(5)), 100, 7);
+        let outcome = sim.run(RunLimit::unlimited());
+        assert!(outcome.is_quiescent());
+        let sink = sim.actor::<Flood>(a1).unwrap();
+        assert_eq!(sink.received, (0..100).collect::<Vec<_>>());
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn fifo_holds_under_jitter() {
+        for seed in 0..20 {
+            let (mut sim, _a0, a1) = two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, seed);
+            sim.run(RunLimit::unlimited());
+            let sink = sim.actor::<Flood>(a1).unwrap();
+            assert_eq!(sink.received, (0..50).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let (mut s1, ..) = two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, 3);
+        let (mut s2, ..) = two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, 3);
+        s1.run(RunLimit::unlimited());
+        s2.run(RunLimit::unlimited());
+        assert_eq!(s1.now(), s2.now());
+        assert_eq!(s1.stats(), s2.stats());
+    }
+
+    #[test]
+    fn down_channel_queues_until_up() {
+        let spec = ChannelSpec::fixed(ms(1))
+            .with_availability(Availability::UpFrom(SimTime::from_millis(50)));
+        let (mut sim, _a0, a1) = two_actor_world(spec, 3, 1);
+        sim.run(RunLimit::unlimited());
+        let sink = sim.actor::<Flood>(a1).unwrap();
+        assert_eq!(sink.received, vec![0, 1, 2]);
+        assert_eq!(sim.now(), SimTime::from_millis(51));
+    }
+
+    #[test]
+    fn stats_count_sends_and_crossings() {
+        let (mut sim, a0, a1) = two_actor_world(ChannelSpec::fixed(ms(1)), 10, 1);
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.stats().total_messages(), 10);
+        assert_eq!(sim.stats().channel_messages(a0, a1), 10);
+        assert_eq!(sim.stats().crossings(), 10); // actors on different nets
+    }
+
+    #[test]
+    fn time_limit_stops_before_late_events() {
+        let (mut sim, ..) = two_actor_world(ChannelSpec::fixed(ms(10)), 5, 1);
+        let outcome = sim.run(RunLimit::until(SimTime::from_millis(5)));
+        assert_eq!(outcome, RunOutcome::TimeLimit { events: 0 });
+        // Resume to quiescence.
+        let outcome = sim.run(RunLimit::unlimited());
+        assert_eq!(outcome, RunOutcome::Quiescent { events: 5 });
+    }
+
+    #[test]
+    fn event_limit_is_resumable() {
+        let (mut sim, _a0, a1) = two_actor_world(ChannelSpec::fixed(ms(10)), 5, 1);
+        let outcome = sim.run(RunLimit::events(2));
+        assert_eq!(outcome, RunOutcome::EventLimit { events: 2 });
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.actor::<Flood>(a1).unwrap().received.len(), 5);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    /// An actor that schedules timers and checks firing order.
+    struct Clockwork {
+        fired: Vec<u64>,
+    }
+
+    impl Actor<u32> for Clockwork {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.schedule(ms(30), 3);
+            ctx.schedule(ms(10), 1);
+            ctx.schedule(ms(20), 2);
+            ctx.schedule(ms(10), 11); // same instant as token 1; FIFO by insertion
+        }
+
+        fn on_message(&mut self, _from: ActorId, _msg: u32, _ctx: &mut Ctx<'_, u32>) {}
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_, u32>) {
+            self.fired.push(token);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_then_insertion_order() {
+        let mut b = SimBuilder::new(0);
+        let id = b.add_actor(Box::new(Clockwork { fired: vec![] }), NetworkTag(0));
+        let mut sim = b.build();
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.actor::<Clockwork>(id).unwrap().fired, vec![1, 11, 2, 3]);
+        assert_eq!(sim.stats().timer_events(), 4);
+    }
+
+    #[test]
+    fn trace_records_send_delivery_and_notes() {
+        let mut b = SimBuilder::new(0);
+        b.enable_trace();
+        let a1 = ActorId(1);
+        let a0 = b.add_actor(Flood::sender(a1, 1), NetworkTag(0));
+        b.add_actor(Flood::sink(), NetworkTag(0));
+        b.connect(a0, a1, ChannelSpec::fixed(ms(2)));
+        let mut sim = b.build();
+        sim.run(RunLimit::unlimited());
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 2);
+        assert!(matches!(trace[0].kind, TraceKind::Sent { .. }));
+        assert!(matches!(trace[1].kind, TraceKind::Delivered { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel")]
+    fn sending_without_channel_panics() {
+        let mut b = SimBuilder::new(0);
+        b.add_actor(Flood::sender(ActorId(1), 1), NetworkTag(0));
+        b.add_actor(Flood::sink(), NetworkTag(0));
+        // No connect() call.
+        b.build().run(RunLimit::unlimited());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel")]
+    fn duplicate_channel_panics() {
+        let mut b = SimBuilder::new(0);
+        let a0 = b.add_actor(Flood::sink(), NetworkTag(0));
+        let a1 = b.add_actor(Flood::sink(), NetworkTag(0));
+        b.connect(a0, a1, ChannelSpec::fixed(ms(1)));
+        b.connect(a0, a1, ChannelSpec::fixed(ms(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channels")]
+    fn self_channel_panics() {
+        let mut b = SimBuilder::new(0);
+        let a0 = b.add_actor(Flood::sink(), NetworkTag(0));
+        b.connect(a0, a0, ChannelSpec::fixed(ms(1)));
+    }
+
+    #[test]
+    fn duplicating_channel_delivers_twice_and_counts_twice() {
+        let spec = ChannelSpec::fixed(ms(2)).duplicating();
+        let (mut sim, a0, a1) = two_actor_world(spec, 3, 1);
+        sim.run(RunLimit::unlimited());
+        let sink = sim.actor::<Flood>(a1).unwrap();
+        assert_eq!(sink.received.len(), 6, "every message delivered twice");
+        assert_eq!(sim.stats().channel_messages(a0, a1), 6);
+    }
+
+    #[test]
+    fn downcast_to_wrong_type_returns_none() {
+        let mut b = SimBuilder::new(0);
+        let a0 = b.add_actor(Flood::sink(), NetworkTag(0));
+        let sim = b.build();
+        assert!(sim.actor::<Clockwork>(a0).is_none());
+        assert!(sim.actor::<Flood>(a0).is_some());
+    }
+}

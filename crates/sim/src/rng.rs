@@ -1,0 +1,71 @@
+//! Deterministic seed derivation.
+//!
+//! Every random stream in a run (per-actor workload choices, per-channel
+//! jitter) is derived from the single world seed with a SplitMix64 hash of
+//! a stream label, so that adding or removing one stream never perturbs
+//! the others and every experiment is reproducible from its seed alone.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step: a fast, well-distributed 64-bit mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a 64-bit subseed from `(world_seed, label)`.
+pub fn derive_seed(world_seed: u64, label: u64) -> u64 {
+    let mut state = world_seed ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+    let a = splitmix64(&mut state);
+    let b = splitmix64(&mut state);
+    a ^ b.rotate_left(17)
+}
+
+/// Constructs the deterministic RNG for `(world_seed, label)`.
+pub fn derive_rng(world_seed: u64, label: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(world_seed, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_different_streams() {
+        let mut a = derive_rng(42, 0);
+        let mut b = derive_rng(42, 1);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 2, "streams should be practically independent");
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = derive_rng(1, 0);
+        let mut b = derive_rng(2, 0);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn derive_seed_spreads_consecutive_labels() {
+        let s0 = derive_seed(9, 0);
+        let s1 = derive_seed(9, 1);
+        assert_ne!(s0, s1);
+        // Hamming distance should be substantial for a good mixer.
+        assert!((s0 ^ s1).count_ones() > 8);
+    }
+}

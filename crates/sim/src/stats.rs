@@ -1,0 +1,164 @@
+//! Traffic accounting: the measurement substrate of the paper's Section 6.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::actor::ActorId;
+
+/// Tag identifying the physical network an actor sits on.
+///
+/// Section 6's bottleneck argument counts messages *crossing* between
+/// networks ("two local area networks connected with a low-speed
+/// point-to-point link"); tagging each actor with its network lets the
+/// stats separate intra-network traffic from crossings.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NetworkTag(pub u16);
+
+impl fmt::Display for NetworkTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// Exact message counts accumulated during a run.
+///
+/// Counters can be [`reset`](TrafficStats::reset) between phases so that
+/// an experiment can, e.g., exclude warm-up traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    total_messages: u64,
+    per_channel: BTreeMap<(ActorId, ActorId), u64>,
+    per_crossing: BTreeMap<(NetworkTag, NetworkTag), u64>,
+    timer_events: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    pub(crate) fn on_send(&mut self, from: ActorId, to: ActorId, from_tag: NetworkTag, to_tag: NetworkTag) {
+        self.total_messages += 1;
+        *self.per_channel.entry((from, to)).or_insert(0) += 1;
+        if from_tag != to_tag {
+            *self.per_crossing.entry((from_tag, to_tag)).or_insert(0) += 1;
+        }
+    }
+
+    pub(crate) fn on_timer(&mut self) {
+        self.timer_events += 1;
+    }
+
+    /// Total messages sent since the last reset.
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Messages sent on the channel `from → to` since the last reset.
+    pub fn channel_messages(&self, from: ActorId, to: ActorId) -> u64 {
+        self.per_channel.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Messages that crossed between two different networks (in either
+    /// direction) since the last reset.
+    pub fn crossings(&self) -> u64 {
+        self.per_crossing.values().sum()
+    }
+
+    /// Messages that crossed from network `a` to network `b` (directed).
+    pub fn crossings_between(&self, a: NetworkTag, b: NetworkTag) -> u64 {
+        self.per_crossing.get(&(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Directed crossing table `(from, to) → count`.
+    pub fn crossing_table(&self) -> &BTreeMap<(NetworkTag, NetworkTag), u64> {
+        &self.per_crossing
+    }
+
+    /// Per-channel table `(from, to) → count`.
+    pub fn channel_table(&self) -> &BTreeMap<(ActorId, ActorId), u64> {
+        &self.per_channel
+    }
+
+    /// Timer events fired since the last reset.
+    pub fn timer_events(&self) -> u64 {
+        self.timer_events
+    }
+
+    /// Zeroes all counters (e.g. at the end of a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = TrafficStats::default();
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "traffic: {} messages, {} crossings, {} timers",
+            self.total_messages,
+            self.crossings(),
+            self.timer_events
+        )?;
+        for ((a, b), n) in &self.per_crossing {
+            writeln!(f, "  {a} → {b}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_totals_channels_and_crossings() {
+        let mut s = TrafficStats::new();
+        let (a, b, c) = (ActorId(0), ActorId(1), ActorId(2));
+        let (n0, n1) = (NetworkTag(0), NetworkTag(1));
+        s.on_send(a, b, n0, n0);
+        s.on_send(a, c, n0, n1);
+        s.on_send(c, a, n1, n0);
+        s.on_send(a, c, n0, n1);
+        assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.channel_messages(a, c), 2);
+        assert_eq!(s.channel_messages(b, a), 0);
+        assert_eq!(s.crossings(), 3);
+        assert_eq!(s.crossings_between(n0, n1), 2);
+        assert_eq!(s.crossings_between(n1, n0), 1);
+    }
+
+    #[test]
+    fn same_network_sends_are_not_crossings() {
+        let mut s = TrafficStats::new();
+        s.on_send(ActorId(0), ActorId(1), NetworkTag(3), NetworkTag(3));
+        assert_eq!(s.total_messages(), 1);
+        assert_eq!(s.crossings(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = TrafficStats::new();
+        s.on_send(ActorId(0), ActorId(1), NetworkTag(0), NetworkTag(1));
+        s.on_timer();
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.crossings(), 0);
+        assert_eq!(s.timer_events(), 0);
+        assert!(s.channel_table().is_empty());
+    }
+
+    #[test]
+    fn display_summarizes_counters() {
+        let mut s = TrafficStats::new();
+        s.on_send(ActorId(0), ActorId(1), NetworkTag(0), NetworkTag(1));
+        let text = s.to_string();
+        assert!(text.contains("1 messages"));
+        assert!(text.contains("net0 → net1: 1"));
+    }
+}

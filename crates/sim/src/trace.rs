@@ -1,0 +1,114 @@
+//! Optional human-readable event trace.
+//!
+//! When enabled, the engine records one entry per send, delivery, timer
+//! and protocol annotation. Experiment X1 uses this to regenerate the
+//! paper's Fig. 3 task-interaction diagram as an executable trace.
+
+use std::fmt;
+
+use cmi_types::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::actor::ActorId;
+
+/// What kind of event a trace entry records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was handed to a channel.
+    Sent {
+        /// Sender.
+        from: ActorId,
+        /// Receiver.
+        to: ActorId,
+        /// Scheduled delivery instant.
+        delivery: SimTime,
+        /// Debug rendering of the message.
+        msg: String,
+    },
+    /// A message was delivered to its receiver.
+    Delivered {
+        /// Sender.
+        from: ActorId,
+        /// Receiver.
+        to: ActorId,
+        /// Debug rendering of the message.
+        msg: String,
+    },
+    /// A timer fired.
+    Timer {
+        /// Owning actor.
+        actor: ActorId,
+        /// Token passed at scheduling time.
+        token: u64,
+    },
+    /// A protocol-level annotation emitted with
+    /// [`Ctx::note`](crate::Ctx::note).
+    Note {
+        /// Annotating actor.
+        actor: ActorId,
+        /// Free-form text.
+        text: String,
+    },
+}
+
+/// One timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Event payload.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceKind::Sent {
+                from,
+                to,
+                delivery,
+                msg,
+            } => write!(f, "{} {from} ⇒ {to} (arrives {delivery}): {msg}", self.at),
+            TraceKind::Delivered { from, to, msg } => {
+                write!(f, "{} {to} ⇐ {from}: {msg}", self.at)
+            }
+            TraceKind::Timer { actor, token } => {
+                write!(f, "{} {actor} timer({token})", self.at)
+            }
+            TraceKind::Note { actor, text } => write!(f, "{} {actor}: {text}", self.at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_render_compactly() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(1),
+            kind: TraceKind::Note {
+                actor: ActorId(2),
+                text: "post_update(x0)".into(),
+            },
+        };
+        assert_eq!(e.to_string(), "t=1ms a2: post_update(x0)");
+    }
+
+    #[test]
+    fn sent_entries_show_delivery_time() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(1),
+            kind: TraceKind::Sent {
+                from: ActorId(0),
+                to: ActorId(1),
+                delivery: SimTime::from_millis(3),
+                msg: "⟨x,v⟩".into(),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("a0 ⇒ a1"));
+        assert!(s.contains("t=3ms"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the simulator: FIFO delivery under arbitrary
+//! jitter and availability schedules, and bit-exact determinism.
+
+use std::any::Any;
+use std::time::Duration;
+
+use cmi_sim::{
+    Actor, ActorId, Availability, ChannelSpec, Ctx, NetworkTag, RunLimit, SimBuilder,
+};
+use cmi_types::SimTime;
+use proptest::prelude::*;
+
+/// Sends `count` numbered messages at randomized issue times.
+struct Burst {
+    peer: ActorId,
+    sends: Vec<u64>, // delays in µs; message payload = index
+}
+
+impl Actor<u32> for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for (i, &delay) in self.sends.iter().enumerate() {
+            ctx.schedule(Duration::from_micros(delay), i as u64);
+        }
+    }
+
+    fn on_message(&mut self, _from: ActorId, _msg: u32, _ctx: &mut Ctx<'_, u32>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, u32>) {
+        ctx.send(self.peer, token as u32);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<u32>,
+}
+
+impl Actor<u32> for Sink {
+    fn on_message(&mut self, _from: ActorId, msg: u32, _ctx: &mut Ctx<'_, u32>) {
+        self.got.push(msg);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn availability() -> impl Strategy<Value = Availability> {
+    prop_oneof![
+        Just(Availability::AlwaysUp),
+        (1u64..50).prop_map(|ms| Availability::UpFrom(SimTime::from_millis(ms))),
+        (1u64..20, 1u64..10).prop_map(|(period, up)| Availability::DutyCycle {
+            period: Duration::from_millis(period + up),
+            up: Duration::from_millis(up),
+        }),
+    ]
+}
+
+fn run_burst(
+    sends: Vec<u64>,
+    delay_us: u64,
+    jitter_us: u64,
+    avail: Availability,
+    seed: u64,
+) -> (Vec<u32>, SimTime) {
+    // Timer ties: issue order of equal-time sends follows token insertion,
+    // which matches index order only if delays are sorted — so sort and
+    // dedup to make "send order" well-defined for the FIFO assertion.
+    let mut sends = sends;
+    sends.sort();
+    sends.dedup();
+    let n = sends.len();
+    let mut b = SimBuilder::new(seed);
+    let sink_id = ActorId(1);
+    let a0 = b.add_actor(
+        Box::new(Burst {
+            peer: sink_id,
+            sends,
+        }),
+        NetworkTag(0),
+    );
+    let a1 = b.add_actor(Box::new(Sink::default()), NetworkTag(1));
+    let spec = ChannelSpec::jittered(
+        Duration::from_micros(delay_us),
+        Duration::from_micros(jitter_us),
+    )
+    .with_availability(avail);
+    b.connect(a0, a1, spec);
+    let mut sim = b.build();
+    let outcome = sim.run(RunLimit::unlimited());
+    assert!(outcome.is_quiescent());
+    let got = sim.actor::<Sink>(a1).unwrap().got.clone();
+    assert_eq!(got.len(), n, "reliable channel loses nothing");
+    (got, sim.now())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_order_holds_under_jitter_and_outages(
+        sends in proptest::collection::vec(0u64..5_000, 1..40),
+        delay_us in 1u64..2_000,
+        jitter_us in 1u64..5_000,
+        avail in availability(),
+        seed in 0u64..1_000,
+    ) {
+        let (got, _) = run_burst(sends, delay_us, jitter_us, avail, seed);
+        let mut sorted = got.clone();
+        sorted.sort();
+        prop_assert_eq!(got, sorted, "delivery must follow send order");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed(
+        sends in proptest::collection::vec(0u64..2_000, 1..20),
+        jitter_us in 1u64..3_000,
+        seed in 0u64..1_000,
+    ) {
+        let a = run_burst(sends.clone(), 100, jitter_us, Availability::AlwaysUp, seed);
+        let b = run_burst(sends, 100, jitter_us, Availability::AlwaysUp, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn availability_never_delivers_during_downtime(
+        period_ms in 2u64..30,
+        up_ms in 1u64..2,
+        t_ms in 0u64..200,
+    ) {
+        let avail = Availability::DutyCycle {
+            period: Duration::from_millis(period_ms + up_ms),
+            up: Duration::from_millis(up_ms),
+        };
+        let t = SimTime::from_millis(t_ms);
+        let start = avail.next_transmit(t);
+        prop_assert!(start >= t);
+        prop_assert!(avail.is_up(start), "transmission must start in an up window");
+    }
+}

@@ -1,0 +1,475 @@
+//! Computations (histories) of a DSM execution.
+//!
+//! A [`History`] is the paper's *computation* `α^q`: the sequence of read
+//! and write operations observed in some execution of a system (or of the
+//! interconnected system `S^T`). The insertion order of records is the
+//! observation order; the per-process subsequences give the program order
+//! `→^{α}` of Definition 2(1).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{OpId, ProcId, VarId};
+use crate::op::{OpKind, OpRecord};
+use crate::value::Value;
+
+/// Why a history fails the paper's differentiated-history assumption.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DifferentiatedError {
+    /// The same value was written twice to the same variable — the paper
+    /// assumes "a given value is written at most once in any given
+    /// variable".
+    DuplicateWrite {
+        /// Variable written.
+        var: VarId,
+        /// Value written twice.
+        value: Value,
+        /// First write of the pair.
+        first: OpId,
+        /// Second write of the pair.
+        second: OpId,
+    },
+}
+
+impl fmt::Display for DifferentiatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifferentiatedError::DuplicateWrite {
+                var,
+                value,
+                first,
+                second,
+            } => write!(
+                f,
+                "value {value} written twice to {var} (by {first} and {second})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DifferentiatedError {}
+
+/// Where a read operation got its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadSource {
+    /// The read returned the initial value `⊥`.
+    Initial,
+    /// The read returned the value written by this write operation.
+    Write(OpId),
+    /// The read returned a value that no write in the history produced —
+    /// a "thin-air" read, always a consistency violation.
+    ThinAir,
+}
+
+/// The projection `α_i^q` of a history for one process: all write
+/// operations of the history plus the read operations of process `i`
+/// (Section 2 of the paper: "the computation obtained by removing from
+/// `α^q` all read operations from processes other than `i`").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessProjection {
+    /// The process whose reads are retained.
+    pub proc: ProcId,
+    /// Operation ids, in the observation order of the parent history.
+    pub ops: Vec<OpId>,
+}
+
+/// A computation: an ordered sequence of recorded memory operations.
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+///
+/// let p = ProcId::new(SystemId(0), 0);
+/// let q = ProcId::new(SystemId(0), 1);
+/// let x = VarId(0);
+/// let v = Value::new(p, 1);
+///
+/// let mut h = History::new();
+/// let w = h.record(OpRecord::write(p, x, v, SimTime::from_nanos(1)));
+/// let r = h.record(OpRecord::read(q, x, Some(v), SimTime::from_nanos(2)));
+/// assert_eq!(h.reads_from()[r.index()], Some(cmi_types::history::ReadSource::Write(w)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends a record, assigning and returning its dense [`OpId`].
+    ///
+    /// Records must be appended in observation order; the per-process
+    /// subsequences of that order are taken as program order.
+    pub fn record(&mut self, mut rec: OpRecord) -> OpId {
+        let id = OpId(self.records.len() as u64);
+        rec.id = id;
+        self.records.push(rec);
+        id
+    }
+
+    /// Number of operations recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no operation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this history.
+    pub fn op(&self, id: OpId) -> &OpRecord {
+        &self.records[id.index()]
+    }
+
+    /// All records in observation order.
+    pub fn iter(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records.iter()
+    }
+
+    /// All records as a slice.
+    pub fn as_slice(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// The set of processes that issued at least one operation.
+    pub fn procs(&self) -> BTreeSet<ProcId> {
+        self.records.iter().map(|r| r.proc).collect()
+    }
+
+    /// The set of variables touched by at least one operation.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.records.iter().map(|r| r.var).collect()
+    }
+
+    /// Operation ids of `proc`, in program order.
+    pub fn ops_of(&self, proc: ProcId) -> Vec<OpId> {
+        self.records
+            .iter()
+            .filter(|r| r.proc == proc)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Ids of all write operations, in observation order.
+    pub fn writes(&self) -> Vec<OpId> {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_write())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Ids of all read operations, in observation order.
+    pub fn reads(&self) -> Vec<OpId> {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_read())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// The projection `α_i`: all writes plus the reads of `proc`
+    /// (Section 2; input to Definitions 3–4).
+    pub fn project_for(&self, proc: ProcId) -> ProcessProjection {
+        let ops = self
+            .records
+            .iter()
+            .filter(|r| r.kind.is_write() || r.proc == proc)
+            .map(|r| r.id)
+            .collect();
+        ProcessProjection { proc, ops }
+    }
+
+    /// A new, independent history containing only the records accepted by
+    /// `keep`, with freshly assigned dense ids (observation order is
+    /// preserved).
+    ///
+    /// Used to form per-system computations `α^k` and the interconnected
+    /// computation `α^T` (which excludes IS-process operations) from one
+    /// world-wide recording.
+    pub fn filtered(&self, mut keep: impl FnMut(&OpRecord) -> bool) -> History {
+        let mut out = History::new();
+        for r in &self.records {
+            if keep(r) {
+                out.record(*r);
+            }
+        }
+        out
+    }
+
+    /// Checks the paper's assumption that each value is written at most
+    /// once per variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DifferentiatedError::DuplicateWrite`] found.
+    pub fn validate_differentiated(&self) -> Result<(), DifferentiatedError> {
+        let mut seen: HashMap<(VarId, Value), OpId> = HashMap::new();
+        for r in &self.records {
+            if let OpKind::Write { value } = r.kind {
+                if let Some(&first) = seen.get(&(r.var, value)) {
+                    return Err(DifferentiatedError::DuplicateWrite {
+                        var: r.var,
+                        value,
+                        first,
+                        second: r.id,
+                    });
+                }
+                seen.insert((r.var, value), r.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves, for every operation, where its value came from: entry `i`
+    /// is `Some(source)` if operation `i` is a read, `None` if it is a
+    /// write.
+    ///
+    /// Requires a differentiated history for the result to be meaningful
+    /// (duplicate writes resolve to the first writer).
+    pub fn reads_from(&self) -> Vec<Option<ReadSource>> {
+        let mut writer_of: HashMap<(VarId, Value), OpId> = HashMap::new();
+        for r in &self.records {
+            if let OpKind::Write { value } = r.kind {
+                writer_of.entry((r.var, value)).or_insert(r.id);
+            }
+        }
+        self.records
+            .iter()
+            .map(|r| match r.kind {
+                OpKind::Write { .. } => None,
+                OpKind::Read { value: None } => Some(ReadSource::Initial),
+                OpKind::Read { value: Some(v) } => Some(
+                    writer_of
+                        .get(&(r.var, v))
+                        .map(|&w| ReadSource::Write(w))
+                        .unwrap_or(ReadSource::ThinAir),
+                ),
+            })
+            .collect()
+    }
+
+    /// Groups operation ids by issuing process, each in program order.
+    pub fn by_process(&self) -> BTreeMap<ProcId, Vec<OpId>> {
+        let mut map: BTreeMap<ProcId, Vec<OpId>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry(r.proc).or_default().push(r.id);
+        }
+        map
+    }
+
+    /// Merges per-process recording streams into one observation-ordered
+    /// computation.
+    ///
+    /// Each stream must be in its own recording order (which the hosts
+    /// guarantee: completion times never decrease within one process).
+    /// Records are interleaved by completion time; ties are broken by
+    /// stream index, then by position within the stream, so program
+    /// order is preserved and the merge is deterministic. This is the
+    /// extraction step every simulation harness ends with.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cmi_types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+    ///
+    /// let p0 = ProcId::new(SystemId(0), 0);
+    /// let p1 = ProcId::new(SystemId(0), 1);
+    /// let v = Value::new(p0, 1);
+    /// let h = History::merge_streams(vec![
+    ///     vec![OpRecord::write(p0, VarId(0), v, SimTime::from_millis(1))],
+    ///     vec![OpRecord::read(p1, VarId(0), Some(v), SimTime::from_millis(2))],
+    /// ]);
+    /// assert_eq!(h.len(), 2);
+    /// assert!(h.op(cmi_types::OpId(0)).kind.is_write());
+    /// ```
+    pub fn merge_streams(streams: Vec<Vec<OpRecord>>) -> History {
+        let mut all: Vec<(crate::SimTime, usize, usize, OpRecord)> = Vec::new();
+        for (k, stream) in streams.into_iter().enumerate() {
+            for (i, op) in stream.into_iter().enumerate() {
+                all.push((op.at, k, i, op));
+            }
+        }
+        all.sort_by_key(|(at, k, i, _)| (*at, *k, *i));
+        all.into_iter().map(|(_, _, _, op)| op).collect()
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "history of {} ops:", self.len())?;
+        for r in &self.records {
+            writeln!(f, "  {} {} {}", r.id, r.at, r)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a OpRecord;
+    type IntoIter = std::slice::Iter<'a, OpRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<OpRecord> for History {
+    fn from_iter<T: IntoIterator<Item = OpRecord>>(iter: T) -> Self {
+        let mut h = History::new();
+        for r in iter {
+            h.record(r);
+        }
+        h
+    }
+}
+
+impl Extend<OpRecord> for History {
+    fn extend<T: IntoIterator<Item = OpRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.record(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SystemId;
+    use crate::time::SimTime;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn sample() -> History {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(1), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v1, t(1)));
+        h.record(OpRecord::write(p(1), VarId(0), v2, t(2)));
+        h.record(OpRecord::read(p(1), VarId(0), Some(v1), t(3)));
+        h.record(OpRecord::read(p(0), VarId(1), None, t(4)));
+        h
+    }
+
+    #[test]
+    fn record_assigns_dense_ids() {
+        let h = sample();
+        for (i, r) in h.iter().enumerate() {
+            assert_eq!(r.id, OpId(i as u64));
+        }
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn per_process_preserves_program_order() {
+        let h = sample();
+        assert_eq!(h.ops_of(p(0)), vec![OpId(0), OpId(3)]);
+        assert_eq!(h.ops_of(p(1)), vec![OpId(1), OpId(2)]);
+        let by = h.by_process();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[&p(1)], vec![OpId(1), OpId(2)]);
+    }
+
+    #[test]
+    fn projection_keeps_all_writes_and_own_reads() {
+        let h = sample();
+        let proj = h.project_for(p(0));
+        assert_eq!(proj.ops, vec![OpId(0), OpId(1), OpId(3)]);
+        let proj1 = h.project_for(p(1));
+        assert_eq!(proj1.ops, vec![OpId(0), OpId(1), OpId(2)]);
+    }
+
+    #[test]
+    fn reads_from_resolves_writers_initial_and_thin_air() {
+        let mut h = sample();
+        // Read of a value nobody wrote.
+        let ghost = Value::new(p(7), 99);
+        h.record(OpRecord::read(p(0), VarId(0), Some(ghost), t(5)));
+        let rf = h.reads_from();
+        assert_eq!(rf[0], None);
+        assert_eq!(rf[1], None);
+        assert_eq!(rf[2], Some(ReadSource::Write(OpId(0))));
+        assert_eq!(rf[3], Some(ReadSource::Initial));
+        assert_eq!(rf[4], Some(ReadSource::ThinAir));
+    }
+
+    #[test]
+    fn duplicate_write_is_rejected() {
+        let mut h = sample();
+        assert!(h.validate_differentiated().is_ok());
+        // Same value to the same variable again.
+        h.record(OpRecord::write(p(2), VarId(0), Value::new(p(0), 1), t(9)));
+        let err = h.validate_differentiated().unwrap_err();
+        match err {
+            DifferentiatedError::DuplicateWrite { var, first, second, .. } => {
+                assert_eq!(var, VarId(0));
+                assert_eq!(first, OpId(0));
+                assert_eq!(second, OpId(4));
+            }
+        }
+    }
+
+    #[test]
+    fn same_value_to_different_vars_is_allowed() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        h.record(OpRecord::write(p(0), VarId(0), v, t(1)));
+        h.record(OpRecord::write(p(0), VarId(1), v, t(2)));
+        assert!(h.validate_differentiated().is_ok());
+    }
+
+    #[test]
+    fn filtered_reassigns_ids_and_preserves_order() {
+        let h = sample();
+        let writes_only = h.filtered(|r| r.kind.is_write());
+        assert_eq!(writes_only.len(), 2);
+        assert_eq!(writes_only.op(OpId(0)).proc, p(0));
+        assert_eq!(writes_only.op(OpId(1)).proc, p(1));
+    }
+
+    #[test]
+    fn procs_and_vars_enumerate_participants() {
+        let h = sample();
+        assert_eq!(h.procs().len(), 2);
+        assert!(h.vars().contains(&VarId(0)));
+        assert!(h.vars().contains(&VarId(1)));
+    }
+
+    #[test]
+    fn collect_and_extend_build_histories() {
+        let recs: Vec<OpRecord> = sample().iter().copied().collect();
+        let h: History = recs.iter().copied().collect();
+        assert_eq!(h.len(), 4);
+        let mut h2 = History::new();
+        h2.extend(recs);
+        assert_eq!(h2, h);
+    }
+
+    #[test]
+    fn display_lists_every_op() {
+        let h = sample();
+        let s = h.to_string();
+        assert!(s.contains("history of 4 ops"));
+        assert!(s.contains("op0"));
+        assert!(s.contains("op3"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Identifiers for systems, processes, variables and operations.
+//!
+//! The paper's model has a set of DSM systems `S^0, S^1, …`, each with its
+//! own application processes and MCS-processes. Identifiers here are plain
+//! newtypes ([C-NEWTYPE]) so that a process index can never be confused
+//! with a variable index at compile time.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one DSM system (`S^q` in the paper).
+///
+/// Systems are numbered densely from zero within a world.
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::SystemId;
+/// let s = SystemId(2);
+/// assert_eq!(s.to_string(), "S2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SystemId(pub u16);
+
+impl SystemId {
+    /// Index of this system as a `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of one process, unique across the whole interconnected world.
+///
+/// A process belongs to exactly one system and has a dense index within
+/// it. Both application processes and IS-processes are processes; whether
+/// a given process is an IS-process is recorded by the world topology, not
+/// by the identifier (the paper treats an IS-process as "a special kind of
+/// application process").
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::{ProcId, SystemId};
+/// let p = ProcId::new(SystemId(0), 3);
+/// assert_eq!(p.system, SystemId(0));
+/// assert_eq!(p.index, 3);
+/// assert_eq!(p.to_string(), "S0.p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId {
+    /// System this process belongs to.
+    pub system: SystemId,
+    /// Dense index of the process within its system (MCS-process slot).
+    pub index: u16,
+}
+
+impl ProcId {
+    /// Creates a process identifier from a system and an in-system index.
+    pub fn new(system: SystemId, index: u16) -> Self {
+        ProcId { system, index }
+    }
+
+    /// In-system index as `usize`, for vector-clock component lookups.
+    pub fn slot(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.p{}", self.system, self.index)
+    }
+}
+
+/// Identifier of one shared variable (`x`, `y`, … in the paper).
+///
+/// All systems being interconnected share the same variable namespace:
+/// the paper requires the MCS-process attached to each IS-process to hold
+/// "a local replica of each of the variables of the shared memory".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index of this variable as a `usize`, for replica-array lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Globally unique identifier of one recorded memory operation.
+///
+/// Assigned densely by [`History::record`](crate::History::record) in
+/// recording order; useful as a stable key when building causal-order
+/// graphs over a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// Index of this operation in its history's record vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_compact_and_distinct() {
+        assert_eq!(SystemId(0).to_string(), "S0");
+        assert_eq!(ProcId::new(SystemId(1), 2).to_string(), "S1.p2");
+        assert_eq!(VarId(7).to_string(), "x7");
+        assert_eq!(OpId(42).to_string(), "op42");
+    }
+
+    #[test]
+    fn proc_ids_order_by_system_then_index() {
+        let a = ProcId::new(SystemId(0), 9);
+        let b = ProcId::new(SystemId(1), 0);
+        assert!(a < b);
+        let c = ProcId::new(SystemId(1), 1);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn ids_round_trip_through_serde() {
+        let p = ProcId::new(SystemId(3), 4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProcId = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn slot_and_index_accessors() {
+        assert_eq!(SystemId(5).index(), 5);
+        assert_eq!(ProcId::new(SystemId(0), 8).slot(), 8);
+        assert_eq!(VarId(3).index(), 3);
+        assert_eq!(OpId(10).index(), 10);
+    }
+}

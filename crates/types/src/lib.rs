@@ -1,0 +1,58 @@
+//! Core vocabulary for the causal-memory interconnection library (`cmi`).
+//!
+//! This crate defines the terms of the paper *"On the interconnection of
+//! causal memory systems"* (Fernández, Jiménez, Cholvi; PODC 2000 / JPDC
+//! 2004, Section 2):
+//!
+//! * [`SystemId`], [`ProcId`] — a *DSM system* `S^q` is a set of
+//!   application processes interacting through shared variables; an
+//!   execution spans one or more systems.
+//! * [`VarId`], [`Value`] — named shared variables and the values written
+//!   to them. Following the paper we assume **a given value is written at
+//!   most once in any given variable** (histories are *differentiated*);
+//!   [`Value`] enforces this by construction: it is the pair
+//!   *(original writer, per-writer sequence number)*.
+//! * [`OpRecord`], [`OpKind`] — read (`r_i^q(x)v`) and write
+//!   (`w_i^q(x)v`) memory operations.
+//! * [`History`] — a *computation* `α^q`: the sequence of memory
+//!   operations observed in an execution, with the projections `α_i^q`
+//!   used by Definitions 3–5 of the paper.
+//! * [`VectorClock`] — the logical-time substrate used by the
+//!   propagation-based causal MCS protocols in `cmi-memory`.
+//! * [`SimTime`] — virtual time, shared with the `cmi-sim` discrete-event
+//!   simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use cmi_types::{History, OpRecord, ProcId, SystemId, Value, VarId, SimTime};
+//!
+//! let s0 = SystemId(0);
+//! let p = ProcId::new(s0, 0);
+//! let q = ProcId::new(s0, 1);
+//! let x = VarId(0);
+//! let v = Value::new(p, 1);
+//!
+//! let mut h = History::new();
+//! h.record(OpRecord::write(p, x, v, SimTime::from_nanos(10)));
+//! h.record(OpRecord::read(q, x, Some(v), SimTime::from_nanos(20)));
+//! assert_eq!(h.len(), 2);
+//! assert!(h.validate_differentiated().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod ids;
+pub mod op;
+pub mod time;
+pub mod value;
+pub mod vclock;
+
+pub use history::{DifferentiatedError, History, ProcessProjection, ReadSource};
+pub use ids::{OpId, ProcId, SystemId, VarId};
+pub use op::{OpKind, OpRecord};
+pub use time::SimTime;
+pub use value::Value;
+pub use vclock::{ClockOrdering, VectorClock};

@@ -1,0 +1,217 @@
+//! Memory operations: the reads and writes of a computation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{OpId, ProcId, VarId};
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// The kind of a memory operation together with its value payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read `r_i^q(x)v` reporting `value`; `None` means the read
+    /// returned the initial value `⊥` (the paper models initial values as
+    /// written by initializing writes, but allowing `⊥` lets the checker
+    /// also handle histories without an initialization phase).
+    Read {
+        /// The value the read reported, or `None` for the initial value.
+        value: Option<Value>,
+    },
+    /// A write `w_i^q(x)v` storing `value`.
+    Write {
+        /// The (globally unique) value stored.
+        value: Value,
+    },
+}
+
+impl OpKind {
+    /// `true` if this is a read operation.
+    pub fn is_read(self) -> bool {
+        matches!(self, OpKind::Read { .. })
+    }
+
+    /// `true` if this is a write operation.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write { .. })
+    }
+
+    /// The value carried by the operation (`None` for a read of `⊥`).
+    pub fn value(self) -> Option<Value> {
+        match self {
+            OpKind::Read { value } => value,
+            OpKind::Write { value } => Some(value),
+        }
+    }
+}
+
+/// One recorded memory operation of a computation.
+///
+/// `id` is assigned by [`History::record`](crate::History::record); an
+/// `OpRecord` that has not been recorded yet carries the placeholder
+/// [`OpRecord::UNRECORDED`].
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+///
+/// let p = ProcId::new(SystemId(0), 0);
+/// let w = OpRecord::write(p, VarId(1), Value::new(p, 1), SimTime::from_millis(1));
+/// assert!(w.kind.is_write());
+/// assert_eq!(w.var, VarId(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Dense identifier within the owning [`History`](crate::History).
+    pub id: OpId,
+    /// The process that issued the operation (may be an IS-process).
+    pub proc: ProcId,
+    /// The variable the operation acts on.
+    pub var: VarId,
+    /// Read/write kind and value payload.
+    pub kind: OpKind,
+    /// Virtual time at which the operation was *issued* (its call sent to
+    /// the MCS-process). Equals [`at`](Self::at) for operations that
+    /// complete immediately; strictly earlier for blocking operations.
+    /// The interval `[issued_at, at]` is what the linearizability checker
+    /// consumes — real-time precedence only holds between
+    /// non-overlapping operations.
+    pub issued_at: SimTime,
+    /// Virtual time at which the operation completed (its response was
+    /// returned to the issuing process). Completion times order the
+    /// operations of one process, giving the program order `→^{α}` used by
+    /// Definition 2(1).
+    pub at: SimTime,
+}
+
+impl OpRecord {
+    /// Placeholder id carried before the record is inserted into a history.
+    pub const UNRECORDED: OpId = OpId(u64::MAX);
+
+    /// Creates an unrecorded write record `w(var)value` by `proc` that
+    /// issued and completed at `at`.
+    pub fn write(proc: ProcId, var: VarId, value: Value, at: SimTime) -> Self {
+        OpRecord {
+            id: Self::UNRECORDED,
+            proc,
+            var,
+            kind: OpKind::Write { value },
+            issued_at: at,
+            at,
+        }
+    }
+
+    /// Creates an unrecorded read record `r(var)value` by `proc` that
+    /// issued and completed at `at`.
+    pub fn read(proc: ProcId, var: VarId, value: Option<Value>, at: SimTime) -> Self {
+        OpRecord {
+            id: Self::UNRECORDED,
+            proc,
+            var,
+            kind: OpKind::Read { value },
+            issued_at: at,
+            at,
+        }
+    }
+
+    /// Sets the issue instant (blocking operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issued_at` is after the completion instant.
+    pub fn with_issued_at(mut self, issued_at: SimTime) -> Self {
+        assert!(issued_at <= self.at, "operation issued after it completed");
+        self.issued_at = issued_at;
+        self
+    }
+
+    /// The value written, if this is a write.
+    pub fn written_value(&self) -> Option<Value> {
+        match self.kind {
+            OpKind::Write { value } => Some(value),
+            OpKind::Read { .. } => None,
+        }
+    }
+
+    /// The value read, if this is a read (`Some(None)` = read of `⊥`).
+    pub fn read_value(&self) -> Option<Option<Value>> {
+        match self.kind {
+            OpKind::Read { value } => Some(value),
+            OpKind::Write { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            OpKind::Write { value } => write!(f, "w[{}]({}){}", self.proc, self.var, value),
+            OpKind::Read { value: Some(v) } => write!(f, "r[{}]({}){}", self.proc, self.var, v),
+            OpKind::Read { value: None } => write!(f, "r[{}]({})⊥", self.proc, self.var),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SystemId;
+
+    fn p() -> ProcId {
+        ProcId::new(SystemId(0), 0)
+    }
+
+    #[test]
+    fn write_record_carries_value() {
+        let v = Value::new(p(), 1);
+        let w = OpRecord::write(p(), VarId(0), v, SimTime::ZERO);
+        assert_eq!(w.written_value(), Some(v));
+        assert_eq!(w.read_value(), None);
+        assert!(w.kind.is_write());
+        assert!(!w.kind.is_read());
+        assert_eq!(w.kind.value(), Some(v));
+    }
+
+    #[test]
+    fn read_record_distinguishes_initial_value() {
+        let r = OpRecord::read(p(), VarId(0), None, SimTime::ZERO);
+        assert_eq!(r.read_value(), Some(None));
+        assert_eq!(r.written_value(), None);
+        assert_eq!(r.kind.value(), None);
+        assert!(r.kind.is_read());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let v = Value::new(p(), 3);
+        let w = OpRecord::write(p(), VarId(1), v, SimTime::ZERO);
+        assert_eq!(w.to_string(), "w[S0.p0](x1)v(S0.p0#3)");
+        let r = OpRecord::read(p(), VarId(1), None, SimTime::ZERO);
+        assert_eq!(r.to_string(), "r[S0.p0](x1)⊥");
+    }
+
+    #[test]
+    fn unrecorded_placeholder_is_recognizable() {
+        let w = OpRecord::write(p(), VarId(0), Value::new(p(), 1), SimTime::ZERO);
+        assert_eq!(w.id, OpRecord::UNRECORDED);
+    }
+
+    #[test]
+    fn issue_defaults_to_completion_and_can_be_earlier() {
+        let at = SimTime::from_millis(5);
+        let r = OpRecord::read(p(), VarId(0), None, at);
+        assert_eq!(r.issued_at, at);
+        let blocking = r.with_issued_at(SimTime::from_millis(2));
+        assert_eq!(blocking.issued_at, SimTime::from_millis(2));
+        assert_eq!(blocking.at, at);
+    }
+
+    #[test]
+    #[should_panic(expected = "issued after it completed")]
+    fn issue_after_completion_panics() {
+        let r = OpRecord::read(p(), VarId(0), None, SimTime::from_millis(1));
+        let _ = r.with_issued_at(SimTime::from_millis(2));
+    }
+}

@@ -1,0 +1,176 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual (simulated) time, in nanoseconds since the start of
+/// the run.
+///
+/// `SimTime` is totally ordered and supports adding a [`Duration`], which
+/// is how event delays are expressed throughout the simulator.
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_nanos(), 5_000_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of a simulation run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The greatest representable instant; used as "never" in schedules.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw nanosecond count.
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from a microsecond count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond representation.
+    pub fn from_micros(micros: u64) -> Self {
+        SimTime(micros.checked_mul(1_000).expect("SimTime overflow"))
+    }
+
+    /// Creates a time from a millisecond count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond representation.
+    pub fn from_millis(millis: u64) -> Self {
+        SimTime(millis.checked_mul(1_000_000).expect("SimTime overflow"))
+    }
+
+    /// This instant as nanoseconds since the start of the run.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed as a [`Duration`] since the start of the run.
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Saturating difference `self - earlier` as a [`Duration`].
+    ///
+    /// Returns [`Duration::ZERO`] when `earlier` is later than `self`,
+    /// mirroring [`std::time::Instant::saturating_duration_since`].
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        let nanos = u64::try_from(rhs.as_nanos()).expect("Duration too large for SimTime");
+        SimTime(self.0.checked_add(nanos).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        assert!(
+            self >= rhs,
+            "SimTime subtraction underflow: {self} - {rhs} (use saturating_since)"
+        );
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render with the coarsest unit that loses no precision, to keep
+        // traces readable.
+        if self.0 == u64::MAX {
+            write!(f, "t=∞")
+        } else if self.0.is_multiple_of(1_000_000) {
+            write!(f, "t={}ms", self.0 / 1_000_000)
+        } else if self.0.is_multiple_of(1_000) {
+            write!(f, "t={}us", self.0 / 1_000)
+        } else {
+            write!(f, "t={}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_millis(2) + Duration::from_millis(3);
+        assert_eq!(t, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let a = SimTime::from_millis(7);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a - b, Duration::from_millis(3));
+        assert_eq!(b.saturating_since(a), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(SimTime::from_millis(3).to_string(), "t=3ms");
+        assert_eq!(SimTime::from_micros(1500).to_string(), "t=1500us");
+        assert_eq!(SimTime::from_nanos(17).to_string(), "t=17ns");
+        assert_eq!(SimTime::MAX.to_string(), "t=∞");
+    }
+
+    #[test]
+    fn max_returns_later_instant() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

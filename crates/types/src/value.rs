@@ -1,0 +1,95 @@
+//! Values written to shared variables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ProcId;
+
+/// A value written to a shared variable.
+///
+/// The paper assumes (Section 2) that *"a given value is written at most
+/// once in any given variable"* — histories are **differentiated**.
+/// Instead of asking workloads to be careful, we make uniqueness
+/// structural: a value is the pair *(original writer, per-writer sequence
+/// number)*, so two distinct write events can never carry equal values.
+///
+/// When a write operation is propagated between systems by an IS-process,
+/// the IS-process's write carries the **same** `Value` (same `origin`,
+/// same `seq`): in the paper's terms, `prop(op)` writes the same value as
+/// `orig(op)`, which is what lets a read in either system be matched to
+/// the unique originating write.
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::{ProcId, SystemId, Value};
+///
+/// let p = ProcId::new(SystemId(0), 1);
+/// let v1 = Value::new(p, 1);
+/// let v2 = Value::new(p, 2);
+/// assert_ne!(v1, v2);
+/// assert_eq!(v1.origin(), p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value {
+    origin: ProcId,
+    seq: u32,
+}
+
+impl Value {
+    /// Creates the `seq`-th value originated by process `origin`.
+    ///
+    /// Callers (workload generators, protocol drivers) must use a fresh
+    /// `seq` per origin for every new write; `cmi-memory`'s workload
+    /// generator does this automatically and
+    /// [`History::validate_differentiated`](crate::History::validate_differentiated)
+    /// re-checks it.
+    pub fn new(origin: ProcId, seq: u32) -> Self {
+        Value { origin, seq }
+    }
+
+    /// The application process that *originally* issued the write of this
+    /// value (not the IS-process that may have re-written it during
+    /// propagation).
+    pub fn origin(self) -> ProcId {
+        self.origin
+    }
+
+    /// Per-origin sequence number of this value.
+    pub fn seq(self) -> u32 {
+        self.seq
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v({}#{})", self.origin, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SystemId;
+
+    #[test]
+    fn values_from_same_origin_differ_by_seq() {
+        let p = ProcId::new(SystemId(0), 0);
+        assert_ne!(Value::new(p, 0), Value::new(p, 1));
+        assert_eq!(Value::new(p, 3), Value::new(p, 3));
+    }
+
+    #[test]
+    fn values_from_different_origins_differ() {
+        let p = ProcId::new(SystemId(0), 0);
+        let q = ProcId::new(SystemId(1), 0);
+        assert_ne!(Value::new(p, 0), Value::new(q, 0));
+    }
+
+    #[test]
+    fn display_names_origin_and_seq() {
+        let p = ProcId::new(SystemId(0), 2);
+        assert_eq!(Value::new(p, 5).to_string(), "v(S0.p2#5)");
+    }
+}

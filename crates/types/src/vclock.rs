@@ -1,0 +1,260 @@
+//! Vector clocks, the logical-time substrate of the propagation-based
+//! causal MCS protocols.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockOrdering {
+    /// Component-wise equal.
+    Equal,
+    /// Strictly less on at least one component, never greater.
+    Before,
+    /// Strictly greater on at least one component, never less.
+    After,
+    /// Incomparable: each clock exceeds the other somewhere.
+    Concurrent,
+}
+
+/// A fixed-width vector clock over the MCS-processes of one system.
+///
+/// Component `k` counts the write operations issued by the MCS-process
+/// with in-system index `k` that the owner has *applied* (or issued).
+/// Used by `cmi-memory`'s causal protocols for causal-delivery gating and
+/// by the trace checks of Lemma 1 / the Causal Updating Property.
+///
+/// # Example
+///
+/// ```
+/// use cmi_types::{ClockOrdering, VectorClock};
+///
+/// let mut a = VectorClock::new(3);
+/// let mut b = VectorClock::new(3);
+/// a.tick(0);
+/// assert_eq!(a.compare(&b), ClockOrdering::After);
+/// b.merge(&a);
+/// b.tick(2);
+/// assert_eq!(a.compare(&b), ClockOrdering::Before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// Creates the zero clock of width `n`.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Creates a clock from explicit components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        VectorClock(components)
+    }
+
+    /// Number of components (MCS-processes tracked).
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.width()`.
+    pub fn get(&self, slot: usize) -> u32 {
+        self.0[slot]
+    }
+
+    /// Increments component `slot` and returns its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.width()`.
+    pub fn tick(&mut self, slot: usize) -> u32 {
+        self.0[slot] += 1;
+        self.0[slot]
+    }
+
+    /// Component-wise maximum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.width(), other.width(), "vector clock width mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares two clocks of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
+        assert_eq!(self.width(), other.width(), "vector clock width mismatch");
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (true, true) => ClockOrdering::Concurrent,
+        }
+    }
+
+    /// `true` if `self ≤ other` component-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        matches!(
+            self.compare(other),
+            ClockOrdering::Equal | ClockOrdering::Before
+        )
+    }
+
+    /// `true` if the clocks are concurrent (incomparable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrdering::Concurrent
+    }
+
+    /// Causal-delivery test: a message stamped `msg` sent by process
+    /// `sender` is deliverable at a receiver whose clock is `self` iff
+    /// `msg[sender] == self[sender] + 1` and `msg[k] <= self[k]` for all
+    /// other `k` — i.e. it is the sender's next message and all its causal
+    /// predecessors have been applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or `sender` is out of range.
+    pub fn deliverable_from(&self, sender: usize, msg: &VectorClock) -> bool {
+        assert_eq!(self.width(), msg.width(), "vector clock width mismatch");
+        for k in 0..self.width() {
+            let bound = if k == sender {
+                self.0[k] + 1
+            } else {
+                self.0[k]
+            };
+            if k == sender {
+                if msg.0[k] != bound {
+                    return false;
+                }
+            } else if msg.0[k] > bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Components as a slice, for serialization and debugging.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clocks_are_equal() {
+        let a = VectorClock::new(4);
+        let b = VectorClock::new(4);
+        assert_eq!(a.compare(&b), ClockOrdering::Equal);
+        assert!(a.leq(&b));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn tick_makes_clock_strictly_after() {
+        let mut a = VectorClock::new(2);
+        let b = VectorClock::new(2);
+        assert_eq!(a.tick(1), 1);
+        assert_eq!(a.compare(&b), ClockOrdering::After);
+        assert_eq!(b.compare(&a), ClockOrdering::Before);
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::from_components(vec![3, 0, 2]);
+        let b = VectorClock::from_components(vec![1, 4, 2]);
+        a.merge(&b);
+        assert_eq!(a.components(), &[3, 4, 2]);
+        assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn delivery_requires_next_from_sender() {
+        let receiver = VectorClock::from_components(vec![2, 5]);
+        // Sender 0's next message.
+        let m1 = VectorClock::from_components(vec![3, 5]);
+        assert!(receiver.deliverable_from(0, &m1));
+        // Skips a message from sender 0.
+        let m2 = VectorClock::from_components(vec![4, 5]);
+        assert!(!receiver.deliverable_from(0, &m2));
+        // Duplicate / old message.
+        let m3 = VectorClock::from_components(vec![2, 5]);
+        assert!(!receiver.deliverable_from(0, &m3));
+    }
+
+    #[test]
+    fn delivery_requires_causal_predecessors() {
+        let receiver = VectorClock::from_components(vec![2, 5]);
+        // Depends on an unapplied message from process 1.
+        let m = VectorClock::from_components(vec![3, 6]);
+        assert!(!receiver.deliverable_from(0, &m));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = VectorClock::from_components(vec![1, 0, 7]);
+        assert_eq!(c.to_string(), "⟨1,0,7⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        let _ = a.compare(&b);
+    }
+}

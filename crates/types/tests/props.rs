@@ -1,0 +1,161 @@
+//! Property tests for the core vocabulary: vector-clock laws and
+//! history invariants.
+
+use cmi_types::{
+    ClockOrdering, History, OpRecord, ProcId, ReadSource, SimTime, SystemId, Value, VarId,
+    VectorClock,
+};
+use proptest::prelude::*;
+
+fn clock(width: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..20, width).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_and_idempotent(a in clock(5), b in clock(5)) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        prop_assert_eq!(&abb, &ab);
+    }
+
+    #[test]
+    fn merge_dominates_both_inputs(a in clock(5), b in clock(5)) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(a.leq(&m));
+        prop_assert!(b.leq(&m));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric(a in clock(4), b in clock(4)) {
+        match a.compare(&b) {
+            ClockOrdering::Before => prop_assert_eq!(b.compare(&a), ClockOrdering::After),
+            ClockOrdering::After => prop_assert_eq!(b.compare(&a), ClockOrdering::Before),
+            ClockOrdering::Equal => prop_assert_eq!(b.compare(&a), ClockOrdering::Equal),
+            ClockOrdering::Concurrent => {
+                prop_assert_eq!(b.compare(&a), ClockOrdering::Concurrent)
+            }
+        }
+    }
+
+    #[test]
+    fn tick_strictly_increases(mut a in clock(4), slot in 0usize..4) {
+        let before = a.clone();
+        a.tick(slot);
+        prop_assert_eq!(before.compare(&a), ClockOrdering::Before);
+    }
+
+    #[test]
+    fn deliverable_message_is_the_senders_next(
+        receiver in clock(4),
+        sender in 0usize..4,
+    ) {
+        // Construct the sender's "next" message: one past the receiver's
+        // view of the sender, nothing newer elsewhere.
+        let mut msg = receiver.clone();
+        msg.tick(sender);
+        prop_assert!(receiver.deliverable_from(sender, &msg));
+        // Skipping one more makes it undeliverable.
+        let mut skipped = msg.clone();
+        skipped.tick(sender);
+        prop_assert!(!receiver.deliverable_from(sender, &skipped));
+    }
+}
+
+/// Strategy for small random (not necessarily consistent) histories.
+fn history(max_ops: usize) -> impl Strategy<Value = History> {
+    let op = (0u16..3, 0u32..3, 0u16..3, 0u32..4, prop::bool::ANY);
+    proptest::collection::vec(op, 0..max_ops).prop_map(|ops| {
+        let mut h = History::new();
+        for (i, (proc, var, origin, seq, is_write)) in ops.into_iter().enumerate() {
+            let p = ProcId::new(SystemId(0), proc);
+            let v = Value::new(ProcId::new(SystemId(0), origin), seq);
+            let at = SimTime::from_nanos(i as u64);
+            if is_write {
+                h.record(OpRecord::write(p, VarId(var), v, at));
+            } else {
+                h.record(OpRecord::read(p, VarId(var), Some(v), at));
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #[test]
+    fn projection_contains_all_writes_and_own_reads(h in history(30)) {
+        for proc in h.procs() {
+            let proj = h.project_for(proc);
+            for &id in &proj.ops {
+                let op = h.op(id);
+                prop_assert!(op.kind.is_write() || op.proc == proc);
+            }
+            // Nothing missing.
+            let expected = h
+                .iter()
+                .filter(|o| o.kind.is_write() || o.proc == proc)
+                .count();
+            prop_assert_eq!(proj.ops.len(), expected);
+        }
+    }
+
+    #[test]
+    fn filtered_preserves_relative_order(h in history(30)) {
+        let writes = h.filtered(|o| o.kind.is_write());
+        let originals: Vec<_> = h.iter().filter(|o| o.kind.is_write()).collect();
+        prop_assert_eq!(writes.len(), originals.len());
+        for (a, b) in writes.iter().zip(originals) {
+            prop_assert_eq!(a.proc, b.proc);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.at, b.at);
+        }
+    }
+
+    #[test]
+    fn reads_from_sources_are_consistent(h in history(30)) {
+        let rf = h.reads_from();
+        prop_assert_eq!(rf.len(), h.len());
+        for (i, src) in rf.iter().enumerate() {
+            let op = h.op(cmi_types::OpId(i as u64));
+            match src {
+                None => prop_assert!(op.kind.is_write()),
+                Some(ReadSource::Initial) => {
+                    prop_assert_eq!(op.read_value(), Some(None));
+                }
+                Some(ReadSource::Write(w)) => {
+                    let wop = h.op(*w);
+                    prop_assert!(wop.kind.is_write());
+                    prop_assert_eq!(wop.var, op.var);
+                    prop_assert_eq!(wop.written_value(), op.read_value().flatten());
+                }
+                Some(ReadSource::ThinAir) => {
+                    // No write of this (var, value) exists.
+                    let val = op.read_value().flatten().unwrap();
+                    let exists = h.iter().any(|o| {
+                        o.kind.is_write() && o.var == op.var && o.written_value() == Some(val)
+                    });
+                    prop_assert!(!exists);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_order_times_are_monotone_in_simulated_recordings(
+        times in proptest::collection::vec(0u64..1000, 1..20)
+    ) {
+        // SimTime ordering sanity used by the history merge.
+        let mut sorted = times.clone();
+        sorted.sort();
+        let ts: Vec<SimTime> = sorted.iter().map(|&n| SimTime::from_nanos(n)).collect();
+        for w in ts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # `cmi` — Causal Memory Interconnection
+//!
+//! Umbrella crate re-exporting the full public API of the reproduction of
+//! *"On the interconnection of causal memory systems"* (Fernández,
+//! Jiménez, Cholvi; PODC 2000 / JPDC 2004).
+//!
+//! See the individual crates for detail:
+//!
+//! * [`types`] — DSM vocabulary: processes, variables, operations,
+//!   histories, vector clocks.
+//! * [`sim`] — deterministic discrete-event network simulator with
+//!   reliable FIFO channels.
+//! * [`memory`] — propagation-based MCS protocols (causal and
+//!   sequential) and workload generators.
+//! * [`checker`] — causal/sequential consistency checkers.
+//! * [`core`] — the paper's contribution: IS-protocols interconnecting
+//!   causal DSM systems over FIFO links, in pairs and trees.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
+//! use cmi::memory::{ProtocolKind, WorkloadSpec};
+//! use cmi::checker::causal;
+//! use std::time::Duration;
+//!
+//! let mut b = InterconnectBuilder::new();
+//! let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+//! let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+//! b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+//! let mut world = b.build(42).unwrap();
+//! let report = world.run(&WorkloadSpec::small());
+//! let verdict = causal::check_exhaustive(&report.global_history());
+//! assert!(verdict.is_causal());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cmi_checker as checker;
+pub use cmi_core as core;
+pub use cmi_memory as memory;
+pub use cmi_sim as sim;
+pub use cmi_types as types;

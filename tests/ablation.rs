@@ -1,0 +1,171 @@
+//! Experiment X7 — why the IS-protocols are built the way they are.
+//!
+//! Section 3 of the paper explains the two load-bearing ingredients:
+//! the inter-system channel must be FIFO and the pairs must be sent in
+//! the causal order of the writes (Lemma 1). These tests ablate each
+//! ingredient and show the checker catching the exact violation the
+//! paper's counterexample describes; the un-ablated control stays causal.
+
+use std::time::Duration;
+
+use cmi::checker::{causal, screen};
+use cmi::core::{InterconnectBuilder, IsFault, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{OpPlan, ProtocolKind, WorkloadSpec};
+use cmi::sim::ChannelSpec;
+use cmi::types::{ProcId, SystemId, Value, VarId};
+
+/// Adversarial scripted scenario: p writes x=v1 then y=v2 in quick
+/// succession (causally ordered via program order); a process in the
+/// other system reads y then x repeatedly. With a correct IS-protocol the
+/// reader can never observe v2 in `y` while missing v1 in `x`.
+fn adversarial_world(link: LinkSpec, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, link);
+    let mut world = b.build(seed).unwrap();
+
+    let writer = ProcId::new(SystemId(0), 0);
+    let reader = ProcId::new(SystemId(1), 0);
+    let v1 = Value::new(writer, 1);
+    let v2 = Value::new(writer, 2);
+    let ms = Duration::from_millis;
+    let mut reader_script = Vec::new();
+    // Poll y then x with tight spacing across the propagation window.
+    for i in 0..40 {
+        reader_script.push((ms(if i == 0 { 1 } else { 2 }), OpPlan::Read(VarId(1))));
+        reader_script.push((ms(1), OpPlan::Read(VarId(0))));
+    }
+    world.run_scripted([
+        (
+            writer,
+            vec![
+                (ms(5), OpPlan::Write(VarId(0), v1)),
+                (ms(2), OpPlan::Write(VarId(1), v2)),
+            ],
+        ),
+        (reader, reader_script),
+    ])
+}
+
+#[test]
+fn control_with_correct_is_protocol_is_causal() {
+    let report = adversarial_world(LinkSpec::new(Duration::from_millis(10)), 1);
+    assert!(report.outcome().is_quiescent());
+    let verdict = causal::check(&report.global_history());
+    assert!(verdict.is_causal(), "control run must be causal");
+}
+
+#[test]
+fn reordering_isp_breaks_causality_and_is_detected() {
+    // Lemma 1 ablation: the IS-process batches pairs and flushes them in
+    // reverse order, inverting causally ordered propagations.
+    let link = LinkSpec::new(Duration::from_millis(10)).with_fault(IsFault::ReorderBatch {
+        window: Duration::from_millis(12),
+    });
+    let report = adversarial_world(link, 1);
+    assert!(report.outcome().is_quiescent());
+    let global = report.global_history();
+    let verdict = causal::check(&global);
+    assert!(
+        !verdict.is_causal(),
+        "reordered propagation must violate causality"
+    );
+    // The polynomial screen alone sees it too (stale-read bad pattern
+    // family from the paper's Section 3 discussion).
+    assert!(
+        !screen::screen(&global).is_clean(),
+        "the screen should flag the ablated run"
+    );
+}
+
+#[test]
+fn non_fifo_link_breaks_causality_and_is_detected() {
+    // Channel-assumption ablation: same IS-protocol, but the link may
+    // reorder messages. The two pairs ⟨x,v1⟩⟨y,v2⟩ swap in flight.
+    let link = LinkSpec::new(Duration::from_millis(10))
+        .with_channel(ChannelSpec::reordering(Duration::ZERO, Duration::from_millis(30)));
+    // Jitter is random: sweep seeds until the swap materializes; with a
+    // 30 ms jitter window over two sends 2 ms apart, most seeds swap.
+    let mut violated = false;
+    for seed in 0..20 {
+        let report = adversarial_world(link, seed);
+        let verdict = causal::check(&report.global_history());
+        if !verdict.is_causal() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "a non-FIFO inter-system channel must eventually violate causality"
+    );
+}
+
+#[test]
+fn reordering_isp_inverts_lemma1_send_order() {
+    // Direct observation of the Lemma 1 violation in the send log,
+    // independent of any reader.
+    let link = LinkSpec::new(Duration::from_millis(10)).with_fault(IsFault::ReorderBatch {
+        window: Duration::from_millis(12),
+    });
+    let report = adversarial_world(link, 1);
+    let alpha_0 = report.system_history(SystemId(0));
+    let isp0 = ProcId::new(SystemId(0), 2);
+    let traffic = report
+        .link_traffic()
+        .iter()
+        .find(|t| t.from_isp == isp0)
+        .expect("isp0 sent pairs");
+    let seq: Vec<_> = traffic
+        .pairs
+        .iter()
+        .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+        .collect();
+    let check = cmi::checker::trace::check_order_respects_causality(&alpha_0, &seq);
+    assert!(
+        check.is_err(),
+        "the faulty IS-process must send causally ordered writes out of order"
+    );
+}
+
+#[test]
+fn correct_isp_satisfies_lemma1_send_order() {
+    let report = adversarial_world(LinkSpec::new(Duration::from_millis(10)), 1);
+    let alpha_0 = report.system_history(SystemId(0));
+    let isp0 = ProcId::new(SystemId(0), 2);
+    for traffic in report.link_traffic().iter().filter(|t| t.from_isp == isp0) {
+        let seq: Vec<_> = traffic
+            .pairs
+            .iter()
+            .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+            .collect();
+        cmi::checker::trace::check_order_respects_causality(&alpha_0, &seq)
+            .expect("Lemma 1: send order must respect causal order");
+    }
+    // Randomized reinforcement across seeds and a real workload.
+    for seed in 0..4 {
+        let mut b = InterconnectBuilder::new().with_vars(3);
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+        let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 3));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(6)));
+        let mut world = b.build(seed).unwrap();
+        let report = world.run(&WorkloadSpec::small().with_ops(12));
+        for sys in [SystemId(0), SystemId(1)] {
+            let alpha_k = report.system_history(sys);
+            for traffic in report
+                .link_traffic()
+                .iter()
+                .filter(|t| report.system_of(t.from_isp) == Some(sys))
+            {
+                let seq: Vec<_> = traffic
+                    .pairs
+                    .iter()
+                    .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+                    .collect();
+                cmi::checker::trace::check_order_respects_causality(&alpha_k, &seq)
+                    .expect("Lemma 1 under randomized workload");
+            }
+        }
+    }
+}

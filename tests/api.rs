@@ -1,0 +1,128 @@
+//! Public-API surface tests: the umbrella crate re-exports, serde round
+//! trips of the data types downstream users persist, and report
+//! accessors — the contract a downstream user of the library relies on.
+
+use std::time::Duration;
+
+use cmi::checker::{causal, metrics};
+use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
+use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId, VectorClock};
+
+#[test]
+fn umbrella_re_exports_compose() {
+    // Types from every crate interoperate through the umbrella paths.
+    let p = ProcId::new(SystemId(0), 0);
+    let mut h = History::new();
+    h.record(OpRecord::write(p, VarId(0), Value::new(p, 1), SimTime::ZERO));
+    assert!(causal::check(&h).is_causal());
+    let mut vc = VectorClock::new(2);
+    vc.tick(0);
+    assert_eq!(vc.get(0), 1);
+}
+
+#[test]
+fn history_round_trips_through_json() {
+    let p = ProcId::new(SystemId(1), 2);
+    let mut h = History::new();
+    h.record(OpRecord::write(p, VarId(0), Value::new(p, 1), SimTime::from_millis(3)));
+    h.record(OpRecord::read(p, VarId(0), Some(Value::new(p, 1)), SimTime::from_millis(4)));
+    h.record(OpRecord::read(p, VarId(1), None, SimTime::from_millis(5)));
+    let json = serde_json::to_string(&h).expect("serialize");
+    let back: History = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(h, back);
+}
+
+#[test]
+fn run_report_accessors_are_consistent() {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("left", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("right", ProtocolKind::Frontier, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(5).unwrap();
+    assert_eq!(world.systems().len(), 2);
+    assert_eq!(world.links().len(), 1);
+    assert_eq!(world.total_mcs_processes(), 6); // 4 apps + 2 isps
+    assert_eq!(world.n_vars(), 3);
+
+    let report = world.run(&WorkloadSpec::small().with_ops(6));
+    // Partition: full = global ∪ isp ops; system histories partition full.
+    let full = report.full_history().len();
+    let global = report.global_history().len();
+    let s0 = report.system_history(SystemId(0)).len();
+    let s1 = report.system_history(SystemId(1)).len();
+    assert_eq!(s0 + s1, full);
+    assert!(global < full, "isp ops excluded from α^T");
+    assert_eq!(report.isp_procs().count(), 2);
+    assert_eq!(report.system_name(SystemId(0)), "left");
+    assert_eq!(report.system_of(ProcId::new(SystemId(1), 0)), Some(SystemId(1)));
+    assert!(report.is_isp(ProcId::new(SystemId(0), 2)));
+    assert!(!report.is_isp(ProcId::new(SystemId(0), 0)));
+
+    // Every app process has a replica-update log and a response vector.
+    for sys in world.systems() {
+        for p in &sys.app_procs {
+            assert!(!report.updates_of(*p).is_empty());
+            let writes_by_p = report
+                .global_history()
+                .iter()
+                .filter(|o| o.proc == *p && o.kind.is_write())
+                .count();
+            assert_eq!(report.responses_of(*p).len(), writes_by_p);
+        }
+    }
+}
+
+#[test]
+fn metrics_reflect_real_concurrency() {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(9).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(10));
+    let m = metrics::measure(&report.global_history());
+    assert_eq!(m.ops, 60);
+    assert_eq!(m.procs, 6);
+    assert!(
+        m.write_concurrency > 0.1,
+        "interconnected workloads must be genuinely concurrent, got {}",
+        m.write_concurrency
+    );
+    assert!(m.longest_write_chain >= 1);
+}
+
+#[test]
+fn write_visibility_covers_every_process() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(2).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(8).with_write_fraction(1.0));
+    let total_procs = 6; // 4 apps + 2 isps
+    for wv in report.write_visibility() {
+        assert_eq!(
+            wv.visible_at.len(),
+            total_procs,
+            "write {} must reach every MCS-process",
+            wv.val
+        );
+        assert!(wv.max_latency() > Duration::ZERO);
+    }
+}
+
+#[test]
+fn dot_export_renders_interconnected_histories() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(3).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(4));
+    let dot = cmi::checker::dot::to_dot(&report.global_history(), &[]);
+    assert!(dot.contains("digraph"));
+    for p in report.global_history().procs() {
+        assert!(dot.contains(&format!("cluster_{p}")));
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment X9 — Section 1.1's dial-up claim.
+//!
+//! "An interesting property of our IS-protocols is that the reliable
+//! FIFO channel used does not need to be available all the time. If the
+//! channel is not available during some period of time, the variable
+//! updates can be queued up to be propagated at a later time. This makes
+//! the protocol practical even with dial-up connections."
+//!
+//! We give the inter-system link a duty-cycle availability schedule
+//! (up 10 ms out of every 100 ms) and verify: the run completes, every
+//! update still crosses, the union is still causal, and propagation
+//! latency shows the expected queue-and-flush pattern.
+
+use std::time::Duration;
+
+use cmi::checker::causal;
+use cmi::core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::sim::{Availability, ChannelSpec};
+use cmi::types::SystemId;
+
+fn dialup_run(up: Duration, period: Duration, seed: u64) -> RunReport {
+    let channel = ChannelSpec::fixed(Duration::from_millis(2))
+        .with_availability(Availability::DutyCycle { period, up });
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+    b.link(a, c, LinkSpec::new(Duration::ZERO).with_channel(channel));
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(25).with_write_fraction(0.5))
+}
+
+#[test]
+fn dialup_link_still_yields_a_causal_union() {
+    for seed in 0..4 {
+        let report = dialup_run(Duration::from_millis(10), Duration::from_millis(100), seed);
+        assert!(report.outcome().is_quiescent(), "seed {seed}");
+        let verdict = causal::check(&report.global_history());
+        assert!(verdict.is_causal(), "seed {seed}: {:?}", verdict.verdict);
+    }
+}
+
+#[test]
+fn every_write_eventually_crosses_the_dialup_link() {
+    let report = dialup_run(Duration::from_millis(10), Duration::from_millis(100), 7);
+    let global = report.global_history();
+    // Every write of system A must be applied by every process of
+    // system B (propagation is reliable despite the downtime), and vice
+    // versa.
+    for id in global.writes() {
+        let op = global.op(id);
+        let val = op.written_value().unwrap();
+        let origin = op.proc.system;
+        let other = SystemId(1 - origin.0);
+        let mut missing = Vec::new();
+        for proc in report
+            .full_history()
+            .procs()
+            .into_iter()
+            .filter(|p| p.system == other)
+        {
+            let applied = report
+                .updates_of(proc)
+                .iter()
+                .any(|u| u.var == op.var && u.val == val);
+            if !applied {
+                missing.push(proc);
+            }
+        }
+        assert!(
+            missing.is_empty(),
+            "write {op} never reached {missing:?} across the dial-up link"
+        );
+    }
+}
+
+#[test]
+fn downtime_queues_and_bursts_instead_of_dropping() {
+    // With the link up only at the start of each 100 ms period, pairs
+    // sent mid-period all deliver at the next window: their visibility
+    // instants in the remote system cluster right after window starts.
+    let report = dialup_run(Duration::from_millis(10), Duration::from_millis(100), 3);
+    let mut cross_latencies = Vec::new();
+    for wv in report.write_visibility() {
+        let origin = wv.val.origin().system;
+        let remote_max = wv
+            .visible_at
+            .iter()
+            .filter(|(p, _)| p.system != origin)
+            .map(|(_, t)| t.saturating_since(wv.issued_at))
+            .max();
+        if let Some(lat) = remote_max {
+            cross_latencies.push(lat);
+        }
+    }
+    assert!(!cross_latencies.is_empty());
+    let max = cross_latencies.iter().max().unwrap();
+    let min = cross_latencies.iter().min().unwrap();
+    // Some writes luckily hit an open window (small latency), others
+    // queue for most of a period (close to 100 ms).
+    assert!(
+        *max > Duration::from_millis(50),
+        "expected some queued writes, max latency was {max:?}"
+    );
+    assert!(
+        *min < Duration::from_millis(30),
+        "expected some lucky writes, min latency was {min:?}"
+    );
+}
+
+#[test]
+fn always_up_control_has_uniformly_low_latency() {
+    let channel = ChannelSpec::fixed(Duration::from_millis(2));
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+    b.link(a, c, LinkSpec::new(Duration::ZERO).with_channel(channel));
+    let mut world = b.build(3).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(25).with_write_fraction(0.5));
+    for wv in report.write_visibility() {
+        assert!(
+            wv.max_latency() < Duration::from_millis(20),
+            "latency {:?} unexpectedly high without downtime",
+            wv.max_latency()
+        );
+    }
+}

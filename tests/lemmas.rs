@@ -1,0 +1,174 @@
+//! Experiment X10 — the paper's lemmas as trace-level assertions
+//! (Figs. 4–5 are precedence diagrams for these proofs).
+//!
+//! * **Property 1 (Causal Updating)** — at every MCS-process of a causal
+//!   protocol, causally ordered writes are applied to the replicas in
+//!   causal order.
+//! * **Lemma 1** — the IS-processes send causally ordered writes over
+//!   the link in causal order.
+//! * **Lemmas 3–6 (combined)** — if `op →→ op'` in `α^T`, then the
+//!   *corresponding* operations in `α^k` (the same operation for ops
+//!   issued in `S^k`; the propagation `prop(op)` — the IS-process write
+//!   of the same value — for writes issued in the other system) are
+//!   causally ordered in `α^k` too.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cmi::checker::trace::check_order_respects_causality;
+use cmi::checker::{AppliedWrite, CausalOrder};
+use cmi::core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::types::{History, OpId, OpKind, ProcId, SystemId, Value, VarId};
+
+fn run_pair(pa: ProtocolKind, pb: ProtocolKind, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", pa, 3));
+    let c = b.add_system(SystemSpec::new("B", pb, 3));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(7)));
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(12).with_write_fraction(0.5))
+}
+
+#[test]
+fn property1_causal_updating_holds_at_every_process() {
+    for seed in 0..4 {
+        let report = run_pair(ProtocolKind::Ahamad, ProtocolKind::Frontier, seed);
+        for sys in [SystemId(0), SystemId(1)] {
+            let alpha_k = report.system_history(sys);
+            for proc in alpha_k.procs() {
+                let updates: Vec<AppliedWrite> = report
+                    .updates_of(proc)
+                    .iter()
+                    .map(|u| AppliedWrite { var: u.var, val: u.val })
+                    .collect();
+                check_order_respects_causality(&alpha_k, &updates).unwrap_or_else(|e| {
+                    panic!("Causal Updating violated at {proc} (seed {seed}): {e}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma1_send_order_respects_causal_order() {
+    for seed in 0..4 {
+        let report = run_pair(ProtocolKind::Frontier, ProtocolKind::Sequencer, seed);
+        for traffic in report.link_traffic() {
+            let sys = report.system_of(traffic.from_isp).unwrap();
+            let alpha_k = report.system_history(sys);
+            let seq: Vec<AppliedWrite> = traffic
+                .pairs
+                .iter()
+                .map(|p| AppliedWrite { var: p.var, val: p.val })
+                .collect();
+            check_order_respects_causality(&alpha_k, &seq).unwrap_or_else(|e| {
+                panic!(
+                    "Lemma 1 violated on link {} → {} (seed {seed}): {e}",
+                    traffic.from_isp, traffic.to_isp
+                )
+            });
+        }
+    }
+}
+
+/// Finds, for each operation of `alpha_t`, its corresponding operation
+/// in `alpha_k` (Section 4's correspondence): identity for operations of
+/// system `k`'s processes, `prop(op)` (the IS-process write of the same
+/// `(var, value)`) for writes of the other system, `None` for foreign
+/// reads.
+fn correspondence(
+    alpha_t: &History,
+    alpha_k: &History,
+    k: SystemId,
+    is_isp: impl Fn(ProcId) -> bool,
+) -> HashMap<OpId, OpId> {
+    // Key local (identity) matches by (proc, kind, var, value, at).
+    let mut by_identity: HashMap<(ProcId, VarId, OpKind, cmi::types::SimTime), OpId> =
+        HashMap::new();
+    // Key propagations by (var, value) of the isp write.
+    let mut prop_write: HashMap<(VarId, Value), OpId> = HashMap::new();
+    for op in alpha_k.iter() {
+        by_identity.insert((op.proc, op.var, op.kind, op.at), op.id);
+        if is_isp(op.proc) {
+            if let OpKind::Write { value } = op.kind {
+                prop_write.insert((op.var, value), op.id);
+            }
+        }
+    }
+    let mut map = HashMap::new();
+    for op in alpha_t.iter() {
+        if op.proc.system == k {
+            if let Some(&id) = by_identity.get(&(op.proc, op.var, op.kind, op.at)) {
+                map.insert(op.id, id);
+            }
+        } else if let OpKind::Write { value } = op.kind {
+            if let Some(&id) = prop_write.get(&(op.var, value)) {
+                map.insert(op.id, id);
+            }
+        }
+    }
+    map
+}
+
+#[test]
+fn lemmas_3_to_6_causal_order_transfers_into_each_system() {
+    for seed in 0..3 {
+        let report = run_pair(ProtocolKind::Ahamad, ProtocolKind::Ahamad, 50 + seed);
+        let alpha_t = report.global_history();
+        let co_t = CausalOrder::build(&alpha_t);
+        for k in [SystemId(0), SystemId(1)] {
+            let alpha_k = report.system_history(k);
+            let co_k = CausalOrder::build(&alpha_k);
+            let map = correspondence(&alpha_t, &alpha_k, k, |p| report.is_isp(p));
+            let ids: Vec<OpId> = map.keys().copied().collect();
+            for &a in &ids {
+                for &b in &ids {
+                    if a != b && co_t.precedes(a, b) {
+                        let (ka, kb) = (map[&a], map[&b]);
+                        if ka == kb {
+                            continue;
+                        }
+                        assert!(
+                            co_k.precedes(ka, kb),
+                            "seed {seed}: {} →→ {} in α^T but {} ¬→→ {} in α^{}",
+                            alpha_t.op(a),
+                            alpha_t.op(b),
+                            alpha_k.op(ka),
+                            alpha_k.op(kb),
+                            k.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prop_writes_carry_the_original_values() {
+    // The foundation of Definition 7 (γ construction): prop(op) writes
+    // exactly the value orig(op) wrote.
+    let report = run_pair(ProtocolKind::Ahamad, ProtocolKind::Frontier, 9);
+    let alpha_t = report.global_history();
+    for k in [SystemId(0), SystemId(1)] {
+        let alpha_k = report.system_history(k);
+        for op in alpha_k.iter() {
+            if report.is_isp(op.proc) {
+                if let OpKind::Write { value } = op.kind {
+                    // There must be exactly one original write of this
+                    // value in α^T, issued in the *other* system.
+                    let originals: Vec<_> = alpha_t
+                        .iter()
+                        .filter(|o| o.kind == OpKind::Write { value } && o.var == op.var)
+                        .collect();
+                    assert_eq!(originals.len(), 1, "exactly one orig(op) for {op}");
+                    assert_ne!(
+                        originals[0].proc.system, k,
+                        "prop(op) must originate in the other system"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration view of the model-survival matrix (experiments X8, X12,
+//! X13) through the umbrella crate: which consistency models survive
+//! IS-protocol interconnection.
+//!
+//! | model | survives? |
+//! |---|---|
+//! | atomic | ✗ |
+//! | sequential | ✗ |
+//! | causal | ✓ (Theorem 1) |
+//! | PRAM | ✓ |
+//! | cache | ✗ |
+
+use std::time::Duration;
+
+use cmi::checker::{cache, causal, linearizable, pram, sequential};
+use cmi::core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{OpPlan, ProtocolKind, WorkloadSpec};
+use cmi::types::{ProcId, SystemId, Value, VarId};
+
+fn concurrent_writers_run(protocol: ProtocolKind, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(1);
+    let a = b.add_system(SystemSpec::new("A", protocol, 2));
+    let c = b.add_system(SystemSpec::new("B", protocol, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(seed).unwrap();
+    let wa = ProcId::new(SystemId(0), 1);
+    let wb = ProcId::new(SystemId(1), 1);
+    let ms = Duration::from_millis;
+    let script = |w: ProcId| {
+        let mut s = vec![(ms(5), OpPlan::Write(VarId(0), Value::new(w, 1)))];
+        for _ in 0..12 {
+            s.push((ms(2), OpPlan::Read(VarId(0))));
+        }
+        s
+    };
+    world.run_scripted([(wa, script(wa)), (wb, script(wb))])
+}
+
+#[test]
+fn atomic_does_not_survive_but_causality_does() {
+    let report = concurrent_writers_run(ProtocolKind::Atomic, 1);
+    let global = report.global_history();
+    assert!(causal::check(&global).is_causal());
+    assert!(!linearizable::check(&global).is_linearizable());
+}
+
+#[test]
+fn sequential_does_not_survive_but_causality_does() {
+    let report = concurrent_writers_run(ProtocolKind::Sequencer, 1);
+    let global = report.global_history();
+    assert!(causal::check(&global).is_causal());
+    assert!(!sequential::check(&global).is_sequential());
+}
+
+#[test]
+fn cache_does_not_survive() {
+    let report = concurrent_writers_run(ProtocolKind::VarSeq, 1);
+    let global = report.global_history();
+    for k in [SystemId(0), SystemId(1)] {
+        assert!(
+            cache::check(&report.system_history(k)).is_cache_consistent(),
+            "each var-seq island is cache consistent"
+        );
+    }
+    assert!(!cache::check(&global).is_cache_consistent());
+}
+
+#[test]
+fn pram_survives_across_random_runs() {
+    for seed in 0..4 {
+        let mut b = InterconnectBuilder::new().with_vars(2);
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::EagerFifo, 3));
+        let c = b.add_system(SystemSpec::new("B", ProtocolKind::EagerFifo, 3));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(7)));
+        let mut world = b.build(seed).unwrap();
+        let report = world.run(&WorkloadSpec::small().with_ops(10));
+        assert!(
+            pram::check(&report.global_history()).is_pram(),
+            "PRAM union, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn causal_survives_for_every_causal_protocol() {
+    for protocol in ProtocolKind::CAUSAL_KINDS {
+        let report = concurrent_writers_run(protocol, 3);
+        assert!(report.outcome().is_quiescent(), "{protocol}");
+        let verdict = causal::check(&report.global_history());
+        assert!(verdict.is_causal(), "{protocol}: {:?}", verdict.verdict);
+    }
+}

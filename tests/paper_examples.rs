@@ -1,0 +1,129 @@
+//! The paper's own worked scenarios, encoded as concrete histories.
+//!
+//! * Section 3's motivating counterexample (why `Propagate_out` reads).
+//! * Fig. 4's precedence structure (proof of Lemma 3): a causal sequence
+//!   crossing systems and back, with the IS-process reads forging the
+//!   in-system causal chain.
+//! * Fig. 5's precedence structure (proof of Lemma 6).
+//!
+//! These tests pin the checker to the paper's reasoning: each scenario's
+//! causal relations must come out exactly as the proofs claim.
+
+use cmi::checker::{causal, CausalOrder};
+use cmi::types::{History, OpId, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+fn p(sys: u16, i: u16) -> ProcId {
+    ProcId::new(SystemId(sys), i)
+}
+
+fn t(n: u64) -> SimTime {
+    SimTime::from_nanos(n)
+}
+
+fn w(h: &mut History, proc: ProcId, var: u32, val: Value, at: u64) -> OpId {
+    h.record(OpRecord::write(proc, VarId(var), val, t(at)))
+}
+
+fn r(h: &mut History, proc: ProcId, var: u32, val: Option<Value>, at: u64) -> OpId {
+    h.record(OpRecord::read(proc, VarId(var), val, t(at)))
+}
+
+/// Section 3: "suppose w_i^k(x)v is issued in S^k and that after its
+/// propagation … some process j in S^k̄ issues r(x)v and w(y)u … Then,
+/// without violating the causality of S^k, some process l in S^k could
+/// issue first r(x)u and then r(x)v" — wait, the paper's example is on
+/// one variable: r_l(x)u then r_l(x)v with w(x)v →→ w(x)u. Encoded as
+/// the global computation the broken interconnection would produce.
+#[test]
+fn section3_counterexample_is_exactly_what_the_checker_rejects() {
+    let mut h = History::new();
+    let v = Value::new(p(0, 0), 1);
+    let u = Value::new(p(1, 0), 1);
+    // S0's process i writes x = v.
+    let w_v = w(&mut h, p(0, 0), 0, v, 1);
+    // After propagation, S1's process j reads v and overwrites with u.
+    let r_v = r(&mut h, p(1, 0), 0, Some(v), 10);
+    let w_u = w(&mut h, p(1, 0), 0, u, 11);
+    // S0's process l reads u first, then v — the forbidden pattern.
+    let r_u = r(&mut h, p(0, 1), 0, Some(u), 20);
+    let r_v2 = r(&mut h, p(0, 1), 0, Some(v), 21);
+
+    // The causal relations the paper derives: w(x)v →→ w(x)u.
+    let co = CausalOrder::build(&h);
+    assert!(co.precedes(w_v, r_v));
+    assert!(co.precedes(w_v, w_u), "transitively via j's read");
+    assert!(co.precedes(r_u, r_v2), "l's program order");
+
+    // And the verdict: not causal, as Section 3 argues.
+    assert!(!causal::check(&h).is_causal());
+}
+
+/// Fig. 4 (proof of Lemma 3): the causal chain
+/// `w_j^k(x)v → r_isp^k(x)v → (send) … (receive) → w_isp^k(y)u → r_s^k(y)u`
+/// — the IS-process's Propagate_out read and Propagate_in write splice
+/// consecutive subsequences of a causal sequence back into `α^k`.
+#[test]
+fn fig4_is_reads_and_writes_splice_the_causal_chain() {
+    let mut h = History::new();
+    let isp = p(0, 9);
+    let v = Value::new(p(0, 0), 1);
+    let u = Value::new(p(1, 0), 1);
+
+    // last(subSeq_d^k) = w_j^k(x)v.
+    let w_v = w(&mut h, p(0, 0), 0, v, 1);
+    // Propagate_out's read r_isp(x)v (recorded by the host at upcall).
+    let r_isp_v = r(&mut h, isp, 0, Some(v), 2);
+    // … the pair travels to S^1, where subSeq_{d+1} happens, and comes
+    // back as Propagate_in's write w_isp(y)u …
+    let w_isp_u = w(&mut h, isp, 1, u, 10);
+    // first(subSeq_{d+2}^k) = r_s^k(y)u.
+    let r_s_u = r(&mut h, p(0, 1), 1, Some(u), 11);
+
+    let co = CausalOrder::build(&h);
+    // The paper's chain: w_j(x)v →→ r_isp(x)v →→ w_isp(y)u →→ r_s(y)u.
+    assert!(co.precedes(w_v, r_isp_v), "writes-into");
+    assert!(co.precedes(r_isp_v, w_isp_u), "isp program order");
+    assert!(co.precedes(w_isp_u, r_s_u), "writes-into");
+    // Hence transitively the endpoints:
+    assert!(
+        co.precedes(w_v, r_s_u),
+        "Lemma 3's conclusion: the chain closes inside α^k"
+    );
+    // Without the isp's read, the chain would break:
+    let mut h2 = History::new();
+    let w_v2 = w(&mut h2, p(0, 0), 0, v, 1);
+    let w_isp_u2 = w(&mut h2, isp, 1, u, 10);
+    let co2 = CausalOrder::build(&h2);
+    assert!(
+        co2.concurrent(w_v2, w_isp_u2),
+        "no Propagate_out read ⇒ no causal edge — the reads are load-bearing"
+    );
+}
+
+/// Fig. 5 (proof of Lemma 6): `op →→ w_j^k(y)u → r_isp^k(y)u` and the
+/// later `prop(op') = w_isp^k(x)v` is program-ordered after that read,
+/// so `op →→ prop(op')` in `α^k`.
+#[test]
+fn fig5_propagation_is_ordered_after_the_outgoing_read() {
+    let mut h = History::new();
+    let isp = p(0, 9);
+    let u = Value::new(p(0, 0), 1); // w_j^k(y)u
+    let v = Value::new(p(1, 0), 1); // op' = w^k̄(x)v, propagated back
+
+    let w_u = w(&mut h, p(0, 0), 1, u, 1);
+    // Propagate_out reads u before sending it to S^k̄.
+    let r_isp_u = r(&mut h, isp, 1, Some(u), 2);
+    // Later the pair ⟨x,v⟩ arrives from S^k̄ (whose writer saw u) and the
+    // isp issues prop(op') = w_isp(x)v.
+    let w_isp_v = w(&mut h, isp, 0, v, 20);
+
+    let co = CausalOrder::build(&h);
+    assert!(co.precedes(w_u, r_isp_u));
+    assert!(co.precedes(r_isp_u, w_isp_v), "isp program order");
+    assert!(
+        co.precedes(w_u, w_isp_v),
+        "Lemma 6's conclusion: op →→ prop(op')"
+    );
+    // The whole scenario is itself causal.
+    assert!(causal::check(&h).is_causal());
+}

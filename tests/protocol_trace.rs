@@ -1,0 +1,179 @@
+//! Experiment X1 — Figs. 1–3 as an executable trace.
+//!
+//! Fig. 3 of the paper diagrams one full protocol exchange:
+//!
+//! ```text
+//! MCS-process of isp^k          isp^k              isp^k̄ (other system)
+//!   post_update(x,v)  ──▶  Propagate_out: r(x)v, send ⟨x,v⟩  ──▶ …
+//!   …  ◀── write(y,u) ◀──  Propagate_in(y,u)  ◀── ⟨y,u⟩ received
+//! ```
+//!
+//! This test scripts a single write in each direction and asserts the
+//! exact event sequence — upcall, IS-read, pair transmission, remote
+//! Propagate_in write — in the simulator trace and the recorded
+//! computation.
+
+use std::time::Duration;
+
+use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
+use cmi::memory::{OpPlan, ProtocolKind};
+use cmi::sim::TraceKind;
+use cmi::types::{OpKind, ProcId, SystemId, Value, VarId};
+
+#[test]
+fn fig3_task_scheme_replays_in_the_trace() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    b.enable_trace();
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(1).unwrap();
+
+    let writer = ProcId::new(SystemId(0), 0);
+    let v = Value::new(writer, 1);
+    let report = world.run_scripted([(
+        writer,
+        vec![(Duration::from_millis(2), OpPlan::Write(VarId(0), v))],
+    )]);
+    assert!(report.outcome().is_quiescent());
+
+    // The trace must contain, in order:
+    //  1. the post_update(x0, v) note at isp^0,
+    //  2. the ⟨x0,v⟩ link send,
+    //  3. the Propagate_in(x0, v) note at isp^1.
+    let notes: Vec<(usize, &str)> = report
+        .trace()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match &e.kind {
+            TraceKind::Note { text, .. } => Some((i, text.as_str())),
+            _ => None,
+        })
+        .collect();
+    let post_pos = notes
+        .iter()
+        .find(|(_, t)| t.starts_with("post_update(x0"))
+        .map(|(i, _)| *i)
+        .expect("post_update upcall in trace");
+    let prop_in_pos = notes
+        .iter()
+        .find(|(_, t)| t.starts_with("Propagate_in(x0"))
+        .map(|(i, _)| *i)
+        .expect("Propagate_in in trace");
+    let link_send_pos = report
+        .trace()
+        .iter()
+        .position(|e| matches!(&e.kind, TraceKind::Sent { msg, .. } if msg.contains("Link")))
+        .expect("link pair transmission in trace");
+    assert!(post_pos < link_send_pos, "upcall precedes the send");
+    assert!(link_send_pos < prop_in_pos, "send precedes Propagate_in");
+}
+
+#[test]
+fn propagate_out_read_and_propagate_in_write_are_recorded_ops() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(1).unwrap();
+
+    let writer = ProcId::new(SystemId(0), 0);
+    let v = Value::new(writer, 1);
+    let report = world.run_scripted([(
+        writer,
+        vec![(Duration::from_millis(2), OpPlan::Write(VarId(0), v))],
+    )]);
+
+    let isp0 = ProcId::new(SystemId(0), 2);
+    let isp1 = ProcId::new(SystemId(1), 2);
+    let full = report.full_history();
+
+    // isp^0 issued the Propagate_out read r(x0)v (Fig. 1: "it reads the
+    // value v from x").
+    let isp0_ops: Vec<_> = full.iter().filter(|o| o.proc == isp0).collect();
+    assert_eq!(isp0_ops.len(), 1);
+    assert_eq!(isp0_ops[0].kind, OpKind::Read { value: Some(v) });
+    assert_eq!(isp0_ops[0].var, VarId(0));
+
+    // isp^1 issued the Propagate_in write w(x0)v of the *same* value.
+    let isp1_ops: Vec<_> = full.iter().filter(|o| o.proc == isp1).collect();
+    assert_eq!(isp1_ops.len(), 1);
+    assert_eq!(isp1_ops[0].kind, OpKind::Write { value: v });
+
+    // And α^T contains exactly one write of v (the original): IS ops are
+    // excluded per Section 4.
+    let global = report.global_history();
+    let writes_of_v: Vec<_> = global
+        .iter()
+        .filter(|o| o.kind == OpKind::Write { value: v })
+        .collect();
+    assert_eq!(writes_of_v.len(), 1);
+    assert_eq!(writes_of_v[0].proc, writer);
+}
+
+#[test]
+fn variant2_adds_the_pre_propagate_read() {
+    let mut b = InterconnectBuilder::new().with_vars(2).force_pre_propagate();
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(1).unwrap();
+
+    let writer = ProcId::new(SystemId(0), 0);
+    let v1 = Value::new(writer, 1);
+    let v2 = Value::new(writer, 2);
+    let ms = Duration::from_millis;
+    let report = world.run_scripted([(
+        writer,
+        vec![
+            (ms(2), OpPlan::Write(VarId(0), v1)),
+            (ms(2), OpPlan::Write(VarId(0), v2)),
+        ],
+    )]);
+
+    // Fig. 2: Pre_Propagate_out reads the *previous* value s, then
+    // Propagate_out reads the new one. For the second update the isp's
+    // reads must be r(x)v1 then r(x)v2.
+    let isp0 = ProcId::new(SystemId(0), 2);
+    let reads: Vec<Option<Value>> = report
+        .full_history()
+        .iter()
+        .filter(|o| o.proc == isp0)
+        .filter_map(|o| o.read_value())
+        .collect();
+    assert_eq!(
+        reads,
+        vec![None, Some(v1), Some(v1), Some(v2)],
+        "pre/post reads: r(x)⊥, r(x)v1, then r(x)v1, r(x)v2"
+    );
+}
+
+#[test]
+fn no_upcall_and_no_echo_for_is_process_writes() {
+    // "The update of a replica due to a write operation issued by the
+    // IS-process does not generate any upcall. … a pair received from
+    // isp^k̄ cannot be sent back."
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(1).unwrap();
+    let writer = ProcId::new(SystemId(0), 0);
+    let v = Value::new(writer, 1);
+    let report = world.run_scripted([(
+        writer,
+        vec![(Duration::from_millis(2), OpPlan::Write(VarId(0), v))],
+    )]);
+
+    // Exactly one pair crosses, in one direction; nothing echoes back.
+    let total_pairs: usize = report.link_traffic().iter().map(|t| t.pairs.len()).sum();
+    assert_eq!(total_pairs, 1, "one write ⇒ one pair over the link");
+    let isp1 = ProcId::new(SystemId(1), 2);
+    let echoed = report
+        .link_traffic()
+        .iter()
+        .find(|t| t.from_isp == isp1)
+        .map(|t| t.pairs.len())
+        .unwrap_or(0);
+    assert_eq!(echoed, 0, "isp^1 must not send the pair back");
+}

@@ -1,0 +1,104 @@
+//! Experiment X8 — Section 1.1's remark on sequential systems.
+//!
+//! "Note that the sequential memory model … is in fact causal. Hence,
+//! these results also apply to it, i.e., two sequential systems … can be
+//! interconnected so that the overall resulting system is causal.
+//! Clearly, the system obtained most possibly will not be sequential."
+//!
+//! We interconnect two sequencer-based (sequentially consistent) systems
+//! and exhibit a run whose union is causal but **not** sequentially
+//! consistent, while each constituent system's own computation remains
+//! sequentially consistent.
+
+use std::time::Duration;
+
+use cmi::checker::{causal, sequential};
+use cmi::core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{OpPlan, ProtocolKind, WorkloadSpec};
+use cmi::types::{ProcId, SystemId, Value, VarId};
+
+/// Both systems write concurrently to the same variable and poll it.
+/// Each system applies its local write first and the remote one after
+/// link propagation, so readers in the two systems observe the two
+/// writes in opposite orders — causal, famously not sequential.
+fn opposite_orders_run(seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(1);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Sequencer, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Sequencer, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(10)));
+    let mut world = b.build(seed).unwrap();
+
+    let wa = ProcId::new(SystemId(0), 1);
+    let wb = ProcId::new(SystemId(1), 1);
+    let va = Value::new(wa, 1);
+    let vb = Value::new(wb, 1);
+    let ms = Duration::from_millis;
+    let write_then_poll = |v: Value| {
+        let mut script = vec![(ms(5), OpPlan::Write(VarId(0), v))];
+        for _ in 0..15 {
+            script.push((ms(2), OpPlan::Read(VarId(0))));
+        }
+        script
+    };
+    world.run_scripted([(wa, write_then_poll(va)), (wb, write_then_poll(vb))])
+}
+
+#[test]
+fn each_constituent_system_is_sequentially_consistent() {
+    let report = opposite_orders_run(1);
+    assert!(report.outcome().is_quiescent());
+    for sys in [SystemId(0), SystemId(1)] {
+        let alpha_k = report.system_history(sys);
+        let verdict = sequential::check(&alpha_k);
+        assert!(
+            verdict.is_sequential(),
+            "α^{sys} of a sequencer system must be sequentially consistent"
+        );
+    }
+}
+
+#[test]
+fn the_union_is_causal_but_not_sequential() {
+    let report = opposite_orders_run(1);
+    let global = report.global_history();
+
+    // Sanity: both writers observed both values (opposite orders).
+    let reads_of = |proc: ProcId| -> Vec<Option<Value>> {
+        global
+            .iter()
+            .filter(|op| op.proc == proc)
+            .filter_map(|op| op.read_value())
+            .collect()
+    };
+    let wa = ProcId::new(SystemId(0), 1);
+    let wb = ProcId::new(SystemId(1), 1);
+    let va = Value::new(wa, 1);
+    let vb = Value::new(wb, 1);
+    assert!(reads_of(wa).contains(&Some(va)) && reads_of(wa).contains(&Some(vb)));
+    assert!(reads_of(wb).contains(&Some(vb)) && reads_of(wb).contains(&Some(va)));
+
+    let causal_verdict = causal::check(&global);
+    assert!(causal_verdict.is_causal(), "Theorem 1: the union is causal");
+
+    let seq_verdict = sequential::check(&global);
+    assert_eq!(
+        seq_verdict,
+        sequential::SequentialVerdict::NotSequential,
+        "the union must not be sequentially consistent"
+    );
+}
+
+#[test]
+fn randomized_sequencer_interconnections_remain_causal() {
+    for seed in 0..5 {
+        let mut b = InterconnectBuilder::new().with_vars(2);
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::Sequencer, 2));
+        let c = b.add_system(SystemSpec::new("B", ProtocolKind::Sequencer, 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(6)));
+        let mut world = b.build(seed).unwrap();
+        let report = world.run(&WorkloadSpec::small().with_ops(8));
+        assert!(report.outcome().is_quiescent(), "seed {seed}");
+        let verdict = causal::check(&report.global_history());
+        assert!(verdict.is_causal(), "seed {seed}: {:?}", verdict.verdict);
+    }
+}

@@ -1,0 +1,132 @@
+//! Stress scenarios: deeper trees, blocking (sequencer) middle systems,
+//! heavier workloads and hostile link conditions. Heavier histories are
+//! screened with the polynomial checker plus trace checks; moderate ones
+//! still get the full exhaustive treatment.
+
+use std::time::Duration;
+
+use cmi::checker::trace::check_order_respects_causality;
+use cmi::checker::{causal, screen, AppliedWrite};
+use cmi::core::{InterconnectBuilder, IsTopology, LinkSpec, SystemSpec};
+use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::sim::{Availability, ChannelSpec};
+use cmi::types::SystemId;
+
+/// A sequencer system in the middle of a chain exercises the deferred
+/// Propagate_in queue hard: every forwarded pair blocks the IS-process
+/// in an ordering round-trip while more pairs stream in from both sides.
+#[test]
+fn sequencer_middle_system_under_load() {
+    for topology in [IsTopology::Pairwise, IsTopology::Shared] {
+        let mut b = InterconnectBuilder::new()
+            .with_vars(3)
+            .with_topology(topology);
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+        let mid = b.add_system(SystemSpec::new("mid", ProtocolKind::Sequencer, 3));
+        let c = b.add_system(SystemSpec::new("C", ProtocolKind::Frontier, 3));
+        b.link(a, mid, LinkSpec::new(Duration::from_millis(3)));
+        b.link(mid, c, LinkSpec::new(Duration::from_millis(3)));
+        let mut world = b.build(21).unwrap();
+        // Moderate size: histories with a blocking middle system produce
+        // deep causal interleavings that are the checker's worst case.
+        let report = world.run(
+            &WorkloadSpec::small()
+                .with_ops(8)
+                .with_write_fraction(0.6)
+                .with_mean_gap(Duration::from_millis(2)),
+        );
+        assert!(report.outcome().is_quiescent(), "{topology}: must not deadlock");
+        let global = report.global_history();
+        assert!(global.validate_differentiated().is_ok());
+        let verdict = causal::check(&global);
+        assert!(verdict.is_causal(), "{topology}: {:?}", verdict.verdict);
+    }
+}
+
+/// Five systems in a chain with dial-up middle links and jitter: a large
+/// history checked with the screen plus Lemma 1 / Property 1 trace
+/// checks (the exhaustive checker is reserved for the α^k projections,
+/// which are smaller).
+#[test]
+fn deep_chain_with_hostile_links() {
+    let mut b = InterconnectBuilder::new()
+        .with_vars(4)
+        .with_topology(IsTopology::Shared);
+    let kinds = [
+        ProtocolKind::Ahamad,
+        ProtocolKind::Frontier,
+        ProtocolKind::Ahamad,
+        ProtocolKind::Sequencer,
+        ProtocolKind::Frontier,
+    ];
+    let handles: Vec<_> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| b.add_system(SystemSpec::new(format!("S{i}"), *k, 3)))
+        .collect();
+    for (i, w) in handles.windows(2).enumerate() {
+        let mut channel =
+            ChannelSpec::jittered(Duration::from_millis(2), Duration::from_millis(3));
+        if i == 1 {
+            channel = channel.with_availability(Availability::DutyCycle {
+                period: Duration::from_millis(80),
+                up: Duration::from_millis(20),
+            });
+        }
+        b.link(w[0], w[1], LinkSpec::new(Duration::ZERO).with_channel(channel));
+    }
+    let mut world = b.build(31).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(20).with_write_fraction(0.4));
+    assert!(report.outcome().is_quiescent());
+
+    let global = report.global_history();
+    assert_eq!(global.len(), 5 * 3 * 20);
+    assert!(global.validate_differentiated().is_ok());
+    assert!(
+        screen::screen(&global).is_clean(),
+        "polynomial screen must pass on the full 300-op history"
+    );
+    // Full exhaustive check per system projection + trace checks.
+    for k in 0..5u16 {
+        let alpha_k = report.system_history(SystemId(k));
+        let verdict = causal::check(&alpha_k);
+        assert!(verdict.is_causal(), "α^{k}: {:?}", verdict.verdict);
+        for proc in alpha_k.procs() {
+            let updates: Vec<AppliedWrite> = report
+                .updates_of(proc)
+                .iter()
+                .map(|u| AppliedWrite { var: u.var, val: u.val })
+                .collect();
+            check_order_respects_causality(&alpha_k, &updates)
+                .unwrap_or_else(|e| panic!("Property 1 at {proc}: {e}"));
+        }
+    }
+    for traffic in report.link_traffic() {
+        let sys = report.system_of(traffic.from_isp).unwrap();
+        let alpha_k = report.system_history(sys);
+        let seq: Vec<AppliedWrite> = traffic
+            .pairs
+            .iter()
+            .map(|p| AppliedWrite { var: p.var, val: p.val })
+            .collect();
+        check_order_respects_causality(&alpha_k, &seq)
+            .unwrap_or_else(|e| panic!("Lemma 1 on {}→{}: {e}", traffic.from_isp, traffic.to_isp));
+    }
+}
+
+/// The exhaustive checker itself on a larger α^T: a 2×4 world with 160
+/// operations — big enough to exercise memoization and pruning, small
+/// enough to stay within budget.
+#[test]
+fn exhaustive_checker_scales_to_160_op_histories() {
+    let mut b = InterconnectBuilder::new().with_vars(4);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 4));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 4));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(17).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(20));
+    let global = report.global_history();
+    assert_eq!(global.len(), 160);
+    let verdict = causal::check(&global);
+    assert!(verdict.is_causal(), "{:?}", verdict.verdict);
+}

@@ -1,0 +1,80 @@
+//! The two IS-protocol variants, compared head to head.
+//!
+//! The paper's variant 2 (Fig. 2) differs from variant 1 (Fig. 1) only
+//! by the `Pre_Propagate_out` read issued before each replica update at
+//! the IS-process. That read is synchronous and local, so under the
+//! same seed the two runs must be **identical** except for those extra
+//! read operations: same `α^T`, same message traffic, same replica
+//! updates — and exactly one extra IS-read per upcall.
+
+use std::time::Duration;
+
+use cmi::checker::causal;
+use cmi::core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::types::SystemId;
+
+fn run(variant2: bool, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    if variant2 {
+        b = b.force_pre_propagate();
+    }
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 3));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(8)));
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(10).with_write_fraction(0.5))
+}
+
+#[test]
+fn variant2_differs_from_variant1_only_by_the_pre_reads() {
+    for seed in 0..3 {
+        let v1 = run(false, seed);
+        let v2 = run(true, seed);
+
+        // Identical externally visible computation α^T…
+        assert_eq!(
+            v1.global_history(),
+            v2.global_history(),
+            "seed {seed}: α^T must not depend on the IS-protocol variant"
+        );
+        // …identical traffic (the extra reads are local)…
+        assert_eq!(v1.stats(), v2.stats(), "seed {seed}");
+        // …identical replica-update logs everywhere…
+        for p in v1.full_history().procs() {
+            assert_eq!(v1.updates_of(p), v2.updates_of(p), "seed {seed}: {p}");
+        }
+        // …and exactly one extra IS-read per upcall. Upcalls fire once
+        // per application write (each write reaches each IS-process's
+        // replica exactly once in a two-system world).
+        let app_writes = v1.global_history().writes().len();
+        assert_eq!(
+            v2.full_history().len(),
+            v1.full_history().len() + app_writes,
+            "seed {seed}: one pre-read per upcall"
+        );
+        // The surplus ops are all reads by IS-processes.
+        let isp_reads = |r: &RunReport| {
+            r.full_history()
+                .iter()
+                .filter(|o| r.is_isp(o.proc) && o.kind.is_read())
+                .count()
+        };
+        assert_eq!(isp_reads(&v2), isp_reads(&v1) + app_writes, "seed {seed}");
+    }
+}
+
+#[test]
+fn both_variants_are_causal_on_both_projections() {
+    for variant2 in [false, true] {
+        let report = run(variant2, 9);
+        assert!(causal::check(&report.global_history()).is_causal());
+        for k in [SystemId(0), SystemId(1)] {
+            assert!(
+                causal::check(&report.system_history(k)).is_causal(),
+                "variant2={variant2}, α^{}",
+                k.0
+            );
+        }
+    }
+}
