@@ -1,12 +1,14 @@
-//! Criterion bench: checker scaling on real interconnected histories.
+//! Bench: checker scaling on real interconnected histories. Plain `main`
+//! on the in-tree harness; set `CMI_BENCH_JSON=<path>` to also dump the
+//! results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 use cmi_bench::pair_world;
 use cmi_checker::{cache, causal, pram, screen, sequential};
 use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::BenchSuite;
 use cmi_types::History;
 
 fn history_of(ops_per_proc: u32) -> History {
@@ -15,41 +17,32 @@ fn history_of(ops_per_proc: u32) -> History {
     report.global_history()
 }
 
-fn bench_checker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker");
-    group.sample_size(10);
+fn main() {
+    let mut suite = BenchSuite::new("checker");
     for ops in [10u32, 20, 40] {
         let history = history_of(ops);
-        group.bench_with_input(
-            BenchmarkId::new("screen", history.len()),
-            &history,
-            |b, h| b.iter(|| black_box(screen::screen(h).is_clean())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", history.len()),
-            &history,
-            |b, h| b.iter(|| black_box(causal::check(h).is_causal())),
-        );
-        group.bench_with_input(BenchmarkId::new("pram", history.len()), &history, |b, h| {
-            b.iter(|| black_box(pram::check(h).is_pram()))
+        let len = history.len();
+        suite.run(&format!("checker/screen/{len}"), 1, 10, || {
+            black_box(screen::screen(&history).is_clean())
         });
-        group.bench_with_input(
-            BenchmarkId::new("cache", history.len()),
-            &history,
-            |b, h| b.iter(|| black_box(cache::check(h).is_cache_consistent())),
-        );
+        suite.run(&format!("checker/exhaustive/{len}"), 1, 10, || {
+            black_box(causal::check(&history).is_causal())
+        });
+        suite.run(&format!("checker/pram/{len}"), 1, 10, || {
+            black_box(pram::check(&history).is_pram())
+        });
+        suite.run(&format!("checker/cache/{len}"), 1, 10, || {
+            black_box(cache::check(&history).is_cache_consistent())
+        });
         if ops == 10 {
             // Exhaustive SC search explodes on large concurrent
             // histories; bench it on the small one only.
-            group.bench_with_input(
-                BenchmarkId::new("sequential", history.len()),
-                &history,
-                |b, h| b.iter(|| black_box(sequential::check(h).is_sequential())),
-            );
+            suite.run(&format!("checker/sequential/{len}"), 1, 10, || {
+                black_box(sequential::check(&history).is_sequential())
+            });
         }
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_checker);
-criterion_main!(benches);

@@ -1,41 +1,34 @@
-//! Criterion bench: end-to-end cost of interconnected runs, by topology
-//! size and IS allocation mode.
+//! Bench: end-to-end cost of interconnected runs, by topology size and
+//! IS allocation mode. Plain `main` on the in-tree harness; set
+//! `CMI_BENCH_JSON=<path>` to also dump the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 use cmi_bench::interconnected_world;
 use cmi_core::IsTopology;
 use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::BenchSuite;
 
-fn bench_interconnect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interconnect_run");
-    group.sample_size(10);
+fn main() {
+    let mut suite = BenchSuite::new("interconnect_run");
     for m in [2usize, 4, 8] {
         for topology in [IsTopology::Pairwise, IsTopology::Shared] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{topology}"), m),
-                &(m, topology),
-                |b, &(m, topology)| {
-                    b.iter(|| {
-                        let mut world = interconnected_world(
-                            ProtocolKind::Ahamad,
-                            m,
-                            3,
-                            Duration::from_millis(5),
-                            topology,
-                            black_box(3),
-                        );
-                        let report = world.run(&WorkloadSpec::small().with_ops(20));
-                        black_box(report.stats().total_messages())
-                    });
-                },
-            );
+            suite.run(&format!("interconnect_run/{topology}/{m}"), 1, 10, || {
+                let mut world = interconnected_world(
+                    ProtocolKind::Ahamad,
+                    m,
+                    3,
+                    Duration::from_millis(5),
+                    topology,
+                    black_box(3),
+                );
+                let report = world.run(&WorkloadSpec::small().with_ops(20));
+                black_box(report.stats().total_messages())
+            });
         }
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_interconnect);
-criterion_main!(benches);

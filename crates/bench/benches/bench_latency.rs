@@ -1,36 +1,34 @@
-//! Criterion bench: timed variant of experiment X4 (the 3l+2d star),
-//! plus a correctness assertion on each sample.
+//! Bench: timed variant of experiment X4 (the 3l+2d star), plus a
+//! correctness assertion on each sample. Plain `main` on the in-tree
+//! harness; set `CMI_BENCH_JSON=<path>` to also dump the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 use cmi_bench::experiments::x04_latency;
 use cmi_core::IsTopology;
+use cmi_obs::BenchSuite;
 
-fn bench_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("x4_latency");
-    group.sample_size(10);
+fn main() {
+    let mut suite = BenchSuite::new("x4_latency");
     for topology in [IsTopology::Pairwise, IsTopology::Shared] {
-        group.bench_with_input(
-            BenchmarkId::new("star3_leaf_to_leaf", format!("{topology}")),
-            &topology,
-            |b, &topology| {
-                b.iter(|| {
-                    let latency = x04_latency::leaf_to_leaf_latency(
-                        Duration::from_millis(1),
-                        Duration::from_millis(10),
-                        topology,
-                        black_box(1),
-                    );
-                    assert!(latency >= Duration::from_millis(20));
-                    black_box(latency)
-                });
+        suite.run(
+            &format!("x4_latency/star3_leaf_to_leaf/{topology}"),
+            1,
+            10,
+            || {
+                let latency = x04_latency::leaf_to_leaf_latency(
+                    Duration::from_millis(1),
+                    Duration::from_millis(10),
+                    topology,
+                    black_box(1),
+                );
+                assert!(latency >= Duration::from_millis(20));
+                black_box(latency)
             },
         );
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_latency);
-criterion_main!(benches);

@@ -1,32 +1,30 @@
-//! Criterion bench: timed variant of experiment X2 (the message-count
-//! worlds), so regressions in the counting path show up as time.
+//! Bench: timed variant of experiment X2 (the message-count worlds), so
+//! regressions in the counting path show up as time. Plain `main` on the
+//! in-tree harness; set `CMI_BENCH_JSON=<path>` to also dump the results
+//! as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cmi_bench::experiments::x02_messages;
 use cmi_core::IsTopology;
+use cmi_obs::BenchSuite;
 
-fn bench_messages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("x2_messages");
-    group.sample_size(10);
+fn main() {
+    let mut suite = BenchSuite::new("x2_messages");
     for n in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("global", n), &n, |b, &n| {
-            b.iter(|| black_box(x02_messages::global_messages_per_write(n, 7)));
+        suite.run(&format!("x2_messages/global/{n}"), 1, 10, || {
+            black_box(x02_messages::global_messages_per_write(n, 7))
         });
-        group.bench_with_input(BenchmarkId::new("two_systems", n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(x02_messages::interconnected_messages_per_write(
-                    2,
-                    n / 2,
-                    IsTopology::Shared,
-                    7,
-                ))
-            });
+        suite.run(&format!("x2_messages/two_systems/{n}"), 1, 10, || {
+            black_box(x02_messages::interconnected_messages_per_write(
+                2,
+                n / 2,
+                IsTopology::Shared,
+                7,
+            ))
         });
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_messages);
-criterion_main!(benches);

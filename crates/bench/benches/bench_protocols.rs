@@ -1,39 +1,37 @@
-//! Criterion bench: throughput of each MCS protocol running a fixed
-//! single-system workload to quiescence.
+//! Bench: throughput of each MCS protocol running a fixed single-system
+//! workload to quiescence. Plain `main` on the in-tree harness; set
+//! `CMI_BENCH_JSON=<path>` to also dump the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cmi_memory::{ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
+use cmi_obs::BenchSuite;
 use cmi_types::SystemId;
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mcs_protocols");
-    group.sample_size(20);
+fn main() {
+    let mut suite = BenchSuite::new("mcs_protocols");
     for kind in [
         ProtocolKind::Ahamad,
         ProtocolKind::Frontier,
         ProtocolKind::Sequencer,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("run_4procs_200ops", kind.to_string()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let config = SystemConfig::new(SystemId(0), kind, 4).with_vars(4);
-                    let mut sys = SingleSystem::build(
-                        config,
-                        &WorkloadSpec::medium().with_ops(200),
-                        black_box(7),
-                    );
-                    sys.run();
-                    black_box(sys.history().len())
-                });
+        suite.run(
+            &format!("mcs_protocols/run_4procs_200ops/{kind}"),
+            2,
+            20,
+            || {
+                let config = SystemConfig::new(SystemId(0), kind, 4).with_vars(4);
+                let mut sys = SingleSystem::build(
+                    config,
+                    &WorkloadSpec::medium().with_ops(200),
+                    black_box(7),
+                );
+                sys.run();
+                black_box(sys.history().len())
             },
         );
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion bench: raw discrete-event engine throughput.
+//! Bench: raw discrete-event engine throughput. Plain `main` on the
+//! in-tree harness; set `CMI_BENCH_JSON=<path>` to also dump the results
+//! as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::any::Any;
 use std::hint::black_box;
 use std::time::Duration;
 
+use cmi_obs::BenchSuite;
 use cmi_sim::{Actor, ActorId, ChannelSpec, Ctx, NetworkTag, RunLimit, SimBuilder};
 
 /// Ping-pong actor: echoes each message back until a hop budget runs out.
@@ -51,24 +53,20 @@ impl Actor<u64> for Kickoff {
     }
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
-    group.sample_size(20);
+fn main() {
+    let mut suite = BenchSuite::new("sim_engine");
     for hops in [1_000u64, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::new("ping_pong", hops), &hops, |b, &hops| {
-            b.iter(|| {
-                let mut builder = SimBuilder::new(1);
-                let a0 = builder.add_actor(Box::new(Kickoff { hops }), NetworkTag(0));
-                let a1 = builder.add_actor(Box::new(PingPong), NetworkTag(0));
-                builder.connect_bidi(a0, a1, ChannelSpec::fixed(Duration::from_micros(10)));
-                let mut sim = builder.build();
-                sim.run(RunLimit::unlimited());
-                black_box(sim.events_processed())
-            });
+        suite.run(&format!("sim_engine/ping_pong/{hops}"), 2, 20, || {
+            let mut builder = SimBuilder::new(1);
+            let a0 = builder.add_actor(Box::new(Kickoff { hops }), NetworkTag(0));
+            let a1 = builder.add_actor(Box::new(PingPong), NetworkTag(0));
+            builder.connect_bidi(a0, a1, ChannelSpec::fixed(Duration::from_micros(10)));
+            let mut sim = builder.build();
+            sim.run(RunLimit::unlimited());
+            black_box(sim.events_processed())
         });
     }
-    group.finish();
+    if let Ok(Some(path)) = suite.write_json_from_env("CMI_BENCH_JSON") {
+        println!("wrote {path}");
+    }
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

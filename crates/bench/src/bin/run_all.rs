@@ -1,6 +1,32 @@
 //! Runs every experiment in the suite and prints all reports
 //! (the source of the numbers quoted in EXPERIMENTS.md).
+//!
+//! With `--json <path>` the whole suite is additionally written as one
+//! JSON artifact: every experiment's report plus an instrumented sample
+//! run with the full metrics snapshot.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v),
+            _ => {
+                eprintln!("--json requires a path argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     print!("{}", cmi_bench::experiments::run_all());
+    if let Some(path) = json_out {
+        let artifact = cmi_bench::experiments::run_all_json();
+        if let Err(e) = std::fs::write(path, artifact.to_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("JSON suite artifact written to {path}");
+    }
+    ExitCode::SUCCESS
 }

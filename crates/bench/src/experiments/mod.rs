@@ -32,6 +32,46 @@ pub fn run_all() -> String {
     out
 }
 
+/// Runs every experiment and packages the suite as one diffable JSON
+/// artifact: each experiment's text report plus a fully-instrumented
+/// sample run (engine, channel, protocol and IS-process metrics with
+/// histogram quantiles) from the canonical two-system configuration.
+pub fn run_all_json() -> cmi_obs::Json {
+    use cmi_obs::Json;
+    let experiments = Json::Arr(
+        registry()
+            .into_iter()
+            .map(|(name, f)| {
+                Json::obj([
+                    ("id", Json::Str(name.to_string())),
+                    ("report", Json::Str(f())),
+                ])
+            })
+            .collect(),
+    );
+    let sample = sample_run_json();
+    Json::obj([
+        ("suite", Json::Str("cmi experiments X1-X15".into())),
+        ("experiments", experiments),
+        ("sample_run", sample),
+    ])
+}
+
+/// One instrumented reference run: two 4-process Ahamad systems over a
+/// 10 ms link, write-heavy workload, serialized with
+/// [`RunReport::to_json`](cmi_core::RunReport::to_json).
+pub fn sample_run_json() -> cmi_obs::Json {
+    use cmi_memory::WorkloadSpec;
+    let mut world = crate::presets::pair_world(
+        cmi_memory::ProtocolKind::Ahamad,
+        4,
+        std::time::Duration::from_millis(10),
+        1,
+    );
+    let report = world.run(&WorkloadSpec::small().with_write_fraction(0.8));
+    report.to_json()
+}
+
 /// Experiment registry: `(id, runner)`.
 pub fn registry() -> Vec<Experiment> {
     vec![
@@ -42,12 +82,21 @@ pub fn registry() -> Vec<Experiment> {
         ("X5 response time (Section 6)", x05_response::run),
         ("X6 Theorem 1 / Corollary 1", x06_causality::run),
         ("X7 ablations (Section 3)", x07_ablation::run),
-        ("X8 sequential interconnection (Section 1.1)", x08_sequential::run),
+        (
+            "X8 sequential interconnection (Section 1.1)",
+            x08_sequential::run,
+        ),
         ("X9 dial-up link (Section 1.1)", x09_dialup::run),
         ("X10 lemma trace checks (Lemmas 1-6)", x10_lemmas::run),
         ("X11 consistency hierarchy (extension)", x11_hierarchy::run),
-        ("X12 model survival under interconnection (extension)", x12_model_survival::run),
-        ("X13 atomic memory interconnection (extension)", x13_atomic::run),
+        (
+            "X12 model survival under interconnection (extension)",
+            x12_model_survival::run,
+        ),
+        (
+            "X13 atomic memory interconnection (extension)",
+            x13_atomic::run,
+        ),
         ("X14 link batching (extension)", x14_batching::run),
         ("X15 tree shapes (extension)", x15_topology::run),
     ]

@@ -23,8 +23,14 @@ pub fn run() -> String {
     let pb = ProcId::new(SystemId(1), 0);
     let ms = Duration::from_millis;
     let report = world.run_scripted([
-        (pa, vec![(ms(2), OpPlan::Write(VarId(0), Value::new(pa, 1)))]),
-        (pb, vec![(ms(30), OpPlan::Write(VarId(1), Value::new(pb, 1)))]),
+        (
+            pa,
+            vec![(ms(2), OpPlan::Write(VarId(0), Value::new(pa, 1)))],
+        ),
+        (
+            pb,
+            vec![(ms(30), OpPlan::Write(VarId(1), Value::new(pb, 1)))],
+        ),
     ]);
 
     let mut out = String::from(

@@ -23,8 +23,7 @@ const LINK: std::time::Duration = std::time::Duration::from_millis(5);
 
 /// Messages per write in one global system of `n` processes.
 pub fn global_messages_per_write(n: usize, seed: u64) -> f64 {
-    let config =
-        SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(VARS as usize);
+    let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(VARS as usize);
     let mut sys = SingleSystem::build(config, &WorkloadSpec::write_only(OPS, VARS), seed);
     sys.run();
     let writes = (n as u64) * OPS as u64;
@@ -70,8 +69,7 @@ pub fn run() -> String {
         &["n", "measured", "predicted", "ratio"],
     );
     for n in [4usize, 8, 16, 32] {
-        let measured =
-            interconnected_messages_per_write(2, n / 2, IsTopology::Shared, 7);
+        let measured = interconnected_messages_per_write(2, n / 2, IsTopology::Shared, 7);
         let predicted = (n + 1) as f64;
         t.row(&[
             n.to_string(),

@@ -26,8 +26,7 @@ const VARS: u32 = 3;
 pub fn global_crossings_per_write(n: usize, m: usize, seed: u64) -> f64 {
     assert_eq!(n % m, 0, "equal partitions");
     let per_net = n / m;
-    let config =
-        SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(VARS as usize);
+    let config = SystemConfig::new(SystemId(0), ProtocolKind::Ahamad, n).with_vars(VARS as usize);
     let mut sys = SingleSystem::build(config, &WorkloadSpec::write_only(OPS, VARS), seed);
     sys.run();
     let mut crossings = 0u64;
@@ -62,7 +61,15 @@ pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         "cross-network messages per write: global vs interconnected",
-        &["n", "m", "global", "pred n−n/m", "interconn.", "pred m−1", "reduction"],
+        &[
+            "n",
+            "m",
+            "global",
+            "pred n−n/m",
+            "interconn.",
+            "pred m−1",
+            "reduction",
+        ],
     );
     for (n, m) in [(8, 2), (16, 2), (32, 2), (12, 3), (24, 4), (32, 8)] {
         let g = global_crossings_per_write(n, m, 3);

@@ -23,12 +23,7 @@ use crate::table::Table;
 
 /// Runs one star, writes once in leaf 1, and returns the worst-case
 /// visibility latency among leaf 2's application processes.
-pub fn leaf_to_leaf_latency(
-    l: Duration,
-    d: Duration,
-    topology: IsTopology,
-    seed: u64,
-) -> Duration {
+pub fn leaf_to_leaf_latency(l: Duration, d: Duration, topology: IsTopology, seed: u64) -> Duration {
     let mut world = star_world(ProtocolKind::Ahamad, 3, 2, l, d, topology, seed);
     let writer = ProcId::new(SystemId(1), 0); // leaf 1 (system 0 is the hub)
     let report: RunReport = world.run_scripted([(

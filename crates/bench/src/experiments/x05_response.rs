@@ -59,7 +59,11 @@ pub fn run() -> String {
         "mean write response time: standalone vs interconnected (link d = 25ms)",
         &["protocol", "standalone", "interconnected"],
     );
-    for protocol in [ProtocolKind::Ahamad, ProtocolKind::Frontier, ProtocolKind::Sequencer] {
+    for protocol in [
+        ProtocolKind::Ahamad,
+        ProtocolKind::Frontier,
+        ProtocolKind::Sequencer,
+    ] {
         let alone = standalone_mean_response(protocol, 4, 5);
         let inter = interconnected_mean_response(protocol, 4, 5);
         t.row(&[

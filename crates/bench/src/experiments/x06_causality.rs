@@ -29,13 +29,48 @@ pub struct Config {
 pub fn configs() -> Vec<Config> {
     use ProtocolKind::*;
     vec![
-        Config { label: "2× ahamad, pairwise", protocols: vec![Ahamad, Ahamad], topology: IsTopology::Pairwise, variant2: false },
-        Config { label: "ahamad + frontier", protocols: vec![Ahamad, Frontier], topology: IsTopology::Pairwise, variant2: false },
-        Config { label: "frontier + sequencer", protocols: vec![Frontier, Sequencer], topology: IsTopology::Pairwise, variant2: false },
-        Config { label: "2× ahamad, variant 2", protocols: vec![Ahamad, Ahamad], topology: IsTopology::Pairwise, variant2: true },
-        Config { label: "2× atomic", protocols: vec![Atomic, Atomic], topology: IsTopology::Pairwise, variant2: false },
-        Config { label: "3-chain shared", protocols: vec![Ahamad, Frontier, Ahamad], topology: IsTopology::Shared, variant2: false },
-        Config { label: "4-chain pairwise", protocols: vec![Ahamad, Sequencer, Frontier, Ahamad], topology: IsTopology::Pairwise, variant2: false },
+        Config {
+            label: "2× ahamad, pairwise",
+            protocols: vec![Ahamad, Ahamad],
+            topology: IsTopology::Pairwise,
+            variant2: false,
+        },
+        Config {
+            label: "ahamad + frontier",
+            protocols: vec![Ahamad, Frontier],
+            topology: IsTopology::Pairwise,
+            variant2: false,
+        },
+        Config {
+            label: "frontier + sequencer",
+            protocols: vec![Frontier, Sequencer],
+            topology: IsTopology::Pairwise,
+            variant2: false,
+        },
+        Config {
+            label: "2× ahamad, variant 2",
+            protocols: vec![Ahamad, Ahamad],
+            topology: IsTopology::Pairwise,
+            variant2: true,
+        },
+        Config {
+            label: "2× atomic",
+            protocols: vec![Atomic, Atomic],
+            topology: IsTopology::Pairwise,
+            variant2: false,
+        },
+        Config {
+            label: "3-chain shared",
+            protocols: vec![Ahamad, Frontier, Ahamad],
+            topology: IsTopology::Shared,
+            variant2: false,
+        },
+        Config {
+            label: "4-chain pairwise",
+            protocols: vec![Ahamad, Sequencer, Frontier, Ahamad],
+            topology: IsTopology::Pairwise,
+            variant2: false,
+        },
     ]
 }
 
@@ -69,7 +104,13 @@ pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         "Theorem 1 / Corollary 1: α^T causal across the sweep (5 seeds each)",
-        &["configuration", "runs", "ops/run", "all causal", "max steps"],
+        &[
+            "configuration",
+            "runs",
+            "ops/run",
+            "all causal",
+            "max steps",
+        ],
     );
     for config in configs() {
         let mut ops = 0;

@@ -43,7 +43,10 @@ pub fn check_seed(pa: ProtocolKind, pb: ProtocolKind, seed: u64) -> Counts {
             let updates: Vec<AppliedWrite> = report
                 .updates_of(proc)
                 .iter()
-                .map(|u| AppliedWrite { var: u.var, val: u.val })
+                .map(|u| AppliedWrite {
+                    var: u.var,
+                    val: u.val,
+                })
                 .collect();
             counts.update_logs += 1;
             if check_order_respects_causality(&alpha_k, &updates).is_err() {
@@ -58,7 +61,10 @@ pub fn check_seed(pa: ProtocolKind, pb: ProtocolKind, seed: u64) -> Counts {
             let seq: Vec<AppliedWrite> = traffic
                 .pairs
                 .iter()
-                .map(|p| AppliedWrite { var: p.var, val: p.val })
+                .map(|p| AppliedWrite {
+                    var: p.var,
+                    val: p.val,
+                })
                 .collect();
             counts.send_logs += 1;
             if check_order_respects_causality(&alpha_k, &seq).is_err() {

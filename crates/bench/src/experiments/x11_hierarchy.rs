@@ -100,7 +100,11 @@ pub fn scripted_system(
         );
     }
     for &(i, j, delay) in channels {
-        b.connect(ActorId(i as u32), ActorId(j as u32), ChannelSpec::fixed(delay));
+        b.connect(
+            ActorId(i as u32),
+            ActorId(j as u32),
+            ChannelSpec::fixed(delay),
+        );
     }
     let mut sim = b.build();
     assert!(sim.run(RunLimit::unlimited()).is_quiescent());
@@ -117,7 +121,11 @@ pub fn scripted_system(
 
 /// Full mesh over `n` processes with `base` delay except the listed
 /// overrides.
-fn mesh(n: usize, base: Duration, slow: &[(usize, usize, Duration)]) -> Vec<(usize, usize, Duration)> {
+fn mesh(
+    n: usize,
+    base: Duration,
+    slow: &[(usize, usize, Duration)],
+) -> Vec<(usize, usize, Duration)> {
     let mut out = Vec::new();
     for i in 0..n {
         for j in 0..n {
@@ -147,7 +155,10 @@ pub fn eager_causality_counterexample() -> History {
             (ms(7), OpPlan::Read(VarId(0))),
             (ms(1), OpPlan::Write(VarId(1), Value::new(p(1), 1))),
         ],
-        vec![(ms(12), OpPlan::Read(VarId(1))), (ms(1), OpPlan::Read(VarId(0)))],
+        vec![
+            (ms(12), OpPlan::Read(VarId(1))),
+            (ms(1), OpPlan::Read(VarId(0))),
+        ],
     ];
     let channels = mesh(3, ms(1), &[(0, 2, ms(50))]);
     scripted_system(ProtocolKind::EagerFifo, &channels, scripts, 2)
@@ -170,7 +181,10 @@ pub fn varseq_pram_counterexample() -> History {
             (ms(5), OpPlan::Write(VarId(0), Value::new(p(2), 1))),
             (ms(1), OpPlan::Write(VarId(1), Value::new(p(2), 2))),
         ],
-        vec![(ms(12), OpPlan::Read(VarId(1))), (ms(1), OpPlan::Read(VarId(0)))],
+        vec![
+            (ms(12), OpPlan::Read(VarId(1))),
+            (ms(1), OpPlan::Read(VarId(0))),
+        ],
     ];
     let channels = mesh(4, ms(1), &[(0, 3, ms(50))]);
     scripted_system(ProtocolKind::VarSeq, &channels, scripts, 2)
@@ -181,7 +195,15 @@ pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         format!("consistency profile per protocol ({SEEDS} seeds, counts satisfied)"),
-        &["protocol", "model", "atomic", "sequential", "causal", "PRAM", "cache"],
+        &[
+            "protocol",
+            "model",
+            "atomic",
+            "sequential",
+            "causal",
+            "PRAM",
+            "cache",
+        ],
     );
     let arms = [
         (ProtocolKind::Atomic, "atomic"),
@@ -217,11 +239,24 @@ pub fn run() -> String {
     // The negative direction: deterministic adversarial separations.
     let mut t = Table::new(
         "adversarial separations (deterministic counterexample runs)",
-        &["scenario", "atomic", "sequential", "causal", "PRAM", "cache"],
+        &[
+            "scenario",
+            "atomic",
+            "sequential",
+            "causal",
+            "PRAM",
+            "cache",
+        ],
     );
     for (label, h) in [
-        ("eager-fifo: reaction overtakes cause", eager_causality_counterexample()),
-        ("var-seq: per-writer order inverted", varseq_pram_counterexample()),
+        (
+            "eager-fifo: reaction overtakes cause",
+            eager_causality_counterexample(),
+        ),
+        (
+            "var-seq: per-writer order inverted",
+            varseq_pram_counterexample(),
+        ),
     ] {
         let p = profile(&h);
         t.row(&[

@@ -99,8 +99,7 @@ pub fn run() -> String {
         // Each constituent's own computation (α^k minus the IS-process's
         // internal reads is not well-defined for atomicity; we check the
         // standalone protocol instead, which X13 verifies directly).
-        linearizable::check(&crate::experiments::x13_atomic::standalone_atomic(3))
-            .is_linearizable()
+        linearizable::check(&crate::experiments::x13_atomic::standalone_atomic(3)).is_linearizable()
     };
     let union = linearizable::check(&r.global_history()).is_linearizable();
     t.row(&[

@@ -46,7 +46,10 @@ pub fn interconnected_atomic(seed: u64) -> RunReport {
         poll.push((ms(3), OpPlan::Read(VarId(0))));
     }
     world.run_scripted([
-        (wa, vec![(ms(5), OpPlan::Write(VarId(0), Value::new(wa, 1)))]),
+        (
+            wa,
+            vec![(ms(5), OpPlan::Write(VarId(0), Value::new(wa, 1)))],
+        ),
         (rb, poll),
     ])
 }
@@ -61,7 +64,9 @@ pub fn run() -> String {
     let standalone = standalone_atomic(3);
     t.row(&[
         "standalone atomic system".into(),
-        linearizable::check(&standalone).is_linearizable().to_string(),
+        linearizable::check(&standalone)
+            .is_linearizable()
+            .to_string(),
         sequential::check(&standalone).is_sequential().to_string(),
         causal::check(&standalone).is_causal().to_string(),
     ]);
@@ -113,11 +118,14 @@ mod tests {
             .find(|o| o.kind.is_write())
             .expect("the write")
             .at;
-        let late_bottom = global.iter().any(|o| {
-            o.kind.is_read() && o.read_value() == Some(None) && o.issued_at > write_done
-        });
+        let late_bottom = global
+            .iter()
+            .any(|o| o.kind.is_read() && o.read_value() == Some(None) && o.issued_at > write_done);
         assert!(late_bottom, "scenario must exhibit the stale-⊥ read");
-        assert!(causal::check(&global).is_causal(), "Theorem 1 still applies");
+        assert!(
+            causal::check(&global).is_causal(),
+            "Theorem 1 still applies"
+        );
         assert_eq!(
             linearizable::check(&global),
             linearizable::LinearizableVerdict::NotLinearizable,

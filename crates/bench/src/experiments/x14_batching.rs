@@ -41,10 +41,7 @@ pub fn batched_run(window: Option<Duration>, seed: u64) -> RunReport {
 
 /// `(crossings per write, median latency, max latency, causal)`.
 pub fn measure(report: &RunReport) -> (f64, Duration, Duration, bool) {
-    let writes = report
-        .global_history()
-        .writes()
-        .len() as f64;
+    let writes = report.global_history().writes().len() as f64;
     let crossings = report.stats().crossings() as f64 / writes;
     let (median, max) = crate::experiments::x09_dialup::cross_latency(report);
     let causal = causal::check(&report.global_history()).is_causal();
@@ -56,7 +53,13 @@ pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         "pair batching: crossings per write vs visibility latency",
-        &["batch window", "crossings/write", "median latency", "max latency", "causal"],
+        &[
+            "batch window",
+            "crossings/write",
+            "median latency",
+            "max latency",
+            "causal",
+        ],
     );
     for (label, window) in [
         ("none (paper)", None),
@@ -114,7 +117,10 @@ mod tests {
             let seq: Vec<AppliedWrite> = traffic
                 .pairs
                 .iter()
-                .map(|p| AppliedWrite { var: p.var, val: p.val })
+                .map(|p| AppliedWrite {
+                    var: p.var,
+                    val: p.val,
+                })
                 .collect();
             check_order_respects_causality(&alpha_k, &seq)
                 .expect("batched sends must keep Lemma 1's order");

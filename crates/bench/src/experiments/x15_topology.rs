@@ -111,12 +111,7 @@ pub fn diameter_latency(shape: &Shape, l: Duration, d: Duration) -> Duration {
 
 /// Messages per write under a write-only workload (shape-independent).
 pub fn messages_per_write(shape: &Shape) -> f64 {
-    let mut world = build(
-        shape,
-        Duration::from_millis(1),
-        Duration::from_millis(5),
-        3,
-    );
+    let mut world = build(shape, Duration::from_millis(1), Duration::from_millis(5), 3);
     let report = world.run(&WorkloadSpec::write_only(6, 2));
     assert!(report.outcome().is_quiescent());
     let writes = (M * N_EACH) as u64 * 6;
@@ -130,7 +125,15 @@ pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         format!("tree shape over {M} systems (l = {l:?}, d = {d:?}, pairwise)"),
-        &["shape", "diameter h", "worst latency", "pred (h+1)l+hd", "ratio", "msgs/write", "pred n+2m−3"],
+        &[
+            "shape",
+            "diameter h",
+            "worst latency",
+            "pred (h+1)l+hd",
+            "ratio",
+            "msgs/write",
+            "pred n+2m−3",
+        ],
     );
     for shape in shapes() {
         let latency = diameter_latency(&shape, l, d);

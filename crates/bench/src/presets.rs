@@ -8,12 +8,7 @@ use cmi_sim::ChannelSpec;
 
 /// Two systems of `n_each` processes linked by one FIFO channel of
 /// `link_delay` — the paper's canonical configuration (Sections 3–4).
-pub fn pair_world(
-    protocol: ProtocolKind,
-    n_each: usize,
-    link_delay: Duration,
-    seed: u64,
-) -> World {
+pub fn pair_world(protocol: ProtocolKind, n_each: usize, link_delay: Duration, seed: u64) -> World {
     let mut b = InterconnectBuilder::new();
     let a = b.add_system(SystemSpec::new("A", protocol, n_each));
     let c = b.add_system(SystemSpec::new("B", protocol, n_each));

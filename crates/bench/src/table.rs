@@ -60,7 +60,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

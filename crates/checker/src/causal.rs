@@ -199,7 +199,10 @@ pub fn validate_view(history: &History, proc: ProcId, view: &[OpId]) -> Result<(
             }
             OpKind::Read { value } => {
                 if last.get(&op.var).copied() != value {
-                    return Err(format!("illegal read {op} (replica held {:?})", last.get(&op.var)));
+                    return Err(format!(
+                        "illegal read {op} (replica held {:?})",
+                        last.get(&op.var)
+                    ));
                 }
             }
         }
@@ -552,7 +555,7 @@ mod tests {
         w(&mut h, p(0), 0, v, 1); // w(x)v
         r(&mut h, p(1), 0, Some(v), 2); // r(x)v
         w(&mut h, p(1), 0, u, 3); // w(x)u — causally after w(x)v
-        // Process 2 reads u then v: violates causality.
+                                  // Process 2 reads u then v: violates causality.
         r(&mut h, p(2), 0, Some(u), 4);
         r(&mut h, p(2), 0, Some(v), 5);
         let report = check(&h);

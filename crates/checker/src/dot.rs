@@ -81,7 +81,12 @@ mod tests {
         let v = Value::new(p0, 1);
         let mut h = History::new();
         h.record(OpRecord::write(p0, VarId(0), v, SimTime::from_millis(1)));
-        h.record(OpRecord::read(p1, VarId(0), Some(v), SimTime::from_millis(2)));
+        h.record(OpRecord::read(
+            p1,
+            VarId(0),
+            Some(v),
+            SimTime::from_millis(2),
+        ));
         h.record(OpRecord::read(p1, VarId(1), None, SimTime::from_millis(3)));
         h
     }

@@ -302,7 +302,10 @@ pub fn validate_witness(history: &History, order: &[OpId]) -> Result<(), String>
     for a in history.iter() {
         for b in history.iter() {
             if a.id != b.id && a.at < b.issued_at && pos[a.id.index()] > pos[b.id.index()] {
-                return Err(format!("witness inverts real time: {} before {}", b.id, a.id));
+                return Err(format!(
+                    "witness inverts real time: {} before {}",
+                    b.id, a.id
+                ));
             }
         }
     }
@@ -346,9 +349,7 @@ mod tests {
         let mut h = History::new();
         let v = Value::new(p(0), 1);
         // Write completes at 2ms.
-        h.record(
-            OpRecord::write(p(0), VarId(0), v, t(2)).with_issued_at(t(1)),
-        );
+        h.record(OpRecord::write(p(0), VarId(0), v, t(2)).with_issued_at(t(1)));
         // Read issued at 5ms (after completion) still returns ⊥.
         h.record(OpRecord::read(p(1), VarId(0), None, t(6)).with_issued_at(t(5)));
         assert_eq!(check(&h), LinearizableVerdict::NotLinearizable);

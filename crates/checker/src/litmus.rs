@@ -197,7 +197,14 @@ mod tests {
             ("causality violation (WRC)", false, false, false, true, true),
             ("FIFO violation", false, false, false, false, false),
             ("cross-variable inversion", false, false, false, false, true),
-            ("same-session oscillation", false, false, false, false, false),
+            (
+                "same-session oscillation",
+                false,
+                false,
+                false,
+                false,
+                false,
+            ),
         ];
         for ((name, h), (ename, lin, seq, cau, pr, ca)) in all().into_iter().zip(expected) {
             assert_eq!(name, ename, "zoo order drifted");
@@ -207,7 +214,11 @@ mod tests {
                 lin,
                 "{name}: linearizable"
             );
-            assert_eq!(sequential::check(&h).is_sequential(), seq, "{name}: sequential");
+            assert_eq!(
+                sequential::check(&h).is_sequential(),
+                seq,
+                "{name}: sequential"
+            );
             assert_eq!(causal::check(&h).is_causal(), cau, "{name}: causal");
             assert_eq!(pram::check(&h).is_pram(), pr, "{name}: pram");
             assert_eq!(cache::check(&h).is_cache_consistent(), ca, "{name}: cache");

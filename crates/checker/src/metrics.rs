@@ -5,14 +5,12 @@
 //! would make Theorem 1 vacuous, so X6 and the property suites want
 //! genuine concurrency in their inputs.
 
-use serde::{Deserialize, Serialize};
-
 use cmi_types::{History, OpId};
 
 use crate::order::CausalOrder;
 
 /// Summary metrics of one computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistoryMetrics {
     /// Total operations.
     pub ops: usize,
@@ -132,7 +130,12 @@ mod tests {
     fn fully_serial_writes() {
         let mut h = History::new();
         for i in 0..4u32 {
-            h.record(OpRecord::write(p(0), VarId(0), Value::new(p(0), i), t(i as u64)));
+            h.record(OpRecord::write(
+                p(0),
+                VarId(0),
+                Value::new(p(0), i),
+                t(i as u64),
+            ));
         }
         let m = measure(&h);
         assert_eq!(m.write_concurrency, 0.0);

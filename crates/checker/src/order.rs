@@ -256,7 +256,12 @@ mod tests {
     #[test]
     fn thin_air_reads_create_no_edge() {
         let mut h = History::new();
-        h.record(OpRecord::read(p(0), VarId(0), Some(Value::new(p(9), 9)), t(1)));
+        h.record(OpRecord::read(
+            p(0),
+            VarId(0),
+            Some(Value::new(p(9), 9)),
+            t(1),
+        ));
         let co = CausalOrder::build(&h);
         assert_eq!(co.len(), 1);
         assert!(!co.is_cyclic());

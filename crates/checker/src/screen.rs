@@ -59,9 +59,16 @@ impl fmt::Display for BadPattern {
             BadPattern::ThinAirRead { read } => write!(f, "thin-air read at {read}"),
             BadPattern::CyclicCausalOrder => write!(f, "cyclic causal order"),
             BadPattern::WriteCoInitRead { write, read } => {
-                write!(f, "read of ⊥ at {read} despite causally earlier write {write}")
+                write!(
+                    f,
+                    "read of ⊥ at {read} despite causally earlier write {write}"
+                )
             }
-            BadPattern::WriteCoRead { write, interposed, read } => write!(
+            BadPattern::WriteCoRead {
+                write,
+                interposed,
+                read,
+            } => write!(
                 f,
                 "stale read at {read}: {write} causally overwritten by {interposed}"
             ),
@@ -110,7 +117,9 @@ pub fn screen(history: &History) -> ScreenReport {
 
     for (i, src) in reads_from.iter().enumerate() {
         if matches!(src, Some(ReadSource::ThinAir)) {
-            violations.push(BadPattern::ThinAirRead { read: OpId(i as u64) });
+            violations.push(BadPattern::ThinAirRead {
+                read: OpId(i as u64),
+            });
         }
     }
     if !violations.is_empty() {
@@ -189,10 +198,18 @@ mod tests {
     #[test]
     fn thin_air_read_is_flagged() {
         let mut h = History::new();
-        h.record(OpRecord::read(p(0), VarId(0), Some(Value::new(p(9), 9)), t(1)));
+        h.record(OpRecord::read(
+            p(0),
+            VarId(0),
+            Some(Value::new(p(9), 9)),
+            t(1),
+        ));
         let report = screen(&h);
         assert_eq!(report.violations().len(), 1);
-        assert!(matches!(report.violations()[0], BadPattern::ThinAirRead { .. }));
+        assert!(matches!(
+            report.violations()[0],
+            BadPattern::ThinAirRead { .. }
+        ));
     }
 
     #[test]
@@ -232,7 +249,11 @@ mod tests {
         h.record(OpRecord::read(p(2), VarId(0), Some(v), t(5)));
         let report = screen(&h);
         match report.first_violation() {
-            Some(BadPattern::WriteCoRead { write, interposed, read }) => {
+            Some(BadPattern::WriteCoRead {
+                write,
+                interposed,
+                read,
+            }) => {
                 assert_eq!(*write, cmi_types::OpId(0));
                 assert_eq!(*interposed, cmi_types::OpId(2));
                 assert_eq!(*read, cmi_types::OpId(4));
@@ -257,7 +278,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let b = BadPattern::ThinAirRead { read: cmi_types::OpId(3) };
+        let b = BadPattern::ThinAirRead {
+            read: cmi_types::OpId(3),
+        };
         assert!(b.to_string().contains("op3"));
         assert!(BadPattern::CyclicCausalOrder.to_string().contains("cyclic"));
     }

@@ -2,7 +2,8 @@
 //! shell.
 //!
 //! ```text
-//! cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]
+//! cmi-cli run <scenario.json> [--json <report.json>]
+//!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
 //! cmi-cli list                     # list experiment ids
 //! ```
@@ -10,6 +11,7 @@
 use std::process::ExitCode;
 
 use cmi_cli::{render_report, Scenario};
+use cmi_obs::ToJson;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +40,8 @@ fn print_usage() {
     println!(
         "cmi-cli — interconnection of causal memory systems\n\n\
          USAGE:\n\
-         \u{20}  cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
+         \u{20}  cmi-cli run <scenario.json> [--json <report.json>]\n\
+         \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
          \u{20}  cmi-cli list\n\n\
          A scenario file describes systems, tree links, a workload and the\n\
@@ -46,19 +49,37 @@ fn print_usage() {
     );
 }
 
+/// The value following `flag`, or an error if `flag` is present but the
+/// next argument is missing or is itself a flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} requires a path argument")),
+        },
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("usage: cmi-cli run <scenario.json> [--dump-history <out.json>] [--dump-dot <out.dot>]");
+        eprintln!(
+            "usage: cmi-cli run <scenario.json> [--json <report.json>] \
+             [--dump-history <out.json>] [--dump-dot <out.dot>]"
+        );
         return ExitCode::FAILURE;
     };
-    let dump = args
-        .iter()
-        .position(|a| a == "--dump-history")
-        .and_then(|i| args.get(i + 1));
-    let dump_dot = args
-        .iter()
-        .position(|a| a == "--dump-dot")
-        .and_then(|i| args.get(i + 1));
+    let (json_out, dump, dump_dot) = match (
+        flag_value(args, "--json"),
+        flag_value(args, "--dump-history"),
+        flag_value(args, "--dump-dot"),
+    ) {
+        (Ok(j), Ok(d), Ok(g)) => (j, d, g),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -81,12 +102,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     print!("{}", render_report(&scenario, &report));
+    if let Some(out_path) = json_out {
+        let mut artifact = report.to_json();
+        if let cmi_obs::Json::Obj(members) = &mut artifact {
+            members.insert(0, ("scenario".to_string(), scenario.to_json()));
+        }
+        match std::fs::write(out_path, artifact.to_pretty() + "\n") {
+            Ok(()) => println!("JSON report written to {out_path}"),
+            Err(e) => {
+                eprintln!("cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(out_path) = dump {
         let history = report.global_history();
-        match serde_json::to_string_pretty(&history)
-            .map_err(|e| e.to_string())
-            .and_then(|json| std::fs::write(out_path, json).map_err(|e| e.to_string()))
-        {
+        match std::fs::write(out_path, history.to_json().to_pretty() + "\n") {
             Ok(()) => println!("α^T written to {out_path}"),
             Err(e) => {
                 eprintln!("cannot write {out_path}: {e}");

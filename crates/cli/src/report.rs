@@ -46,7 +46,10 @@ pub fn render_report(scenario: &Scenario, report: &RunReport) -> String {
     }
 
     if scenario.trace {
-        out.push_str(&format!("\ntrace: {} events recorded\n", report.trace().len()));
+        out.push_str(&format!(
+            "\ntrace: {} events recorded\n",
+            report.trace().len()
+        ));
     }
     out
 }

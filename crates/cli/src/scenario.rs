@@ -19,16 +19,18 @@
 use std::fmt;
 use std::time::Duration;
 
-use cmi_core::{BuildError, InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec, World};
+use cmi_core::{
+    BuildError, InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec, World,
+};
 use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::{Json, ToJson};
 use cmi_sim::{Availability, ChannelSpec};
-use serde::{Deserialize, Serialize};
 
 /// Errors loading or validating a scenario.
 #[derive(Debug)]
 pub enum ScenarioError {
     /// JSON syntax / shape error.
-    Parse(serde_json::Error),
+    Parse(String),
     /// Semantically invalid scenario.
     Invalid(String),
     /// Topology rejected by the builder.
@@ -47,12 +49,6 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-impl From<serde_json::Error> for ScenarioError {
-    fn from(e: serde_json::Error) -> Self {
-        ScenarioError::Parse(e)
-    }
-}
-
 impl From<BuildError> for ScenarioError {
     fn from(e: BuildError) -> Self {
         ScenarioError::Build(e)
@@ -60,7 +56,7 @@ impl From<BuildError> for ScenarioError {
 }
 
 /// One system in a scenario file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemEntry {
     /// Display name.
     pub name: String,
@@ -70,16 +66,11 @@ pub struct SystemEntry {
     /// Application process count.
     pub processes: usize,
     /// Intra-system mesh delay (default 1 ms).
-    #[serde(default = "default_intra_ms")]
     pub intra_delay_ms: u64,
 }
 
-fn default_intra_ms() -> u64 {
-    1
-}
-
 /// Dial-up availability window of a link.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DialupEntry {
     /// Full period.
     pub period_ms: u64,
@@ -88,81 +79,229 @@ pub struct DialupEntry {
 }
 
 /// One link in a scenario file (indices into `systems`).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkEntry {
     /// First system index.
     pub a: usize,
     /// Second system index.
     pub b: usize,
     /// Base delay.
-    #[serde(default)]
     pub delay_ms: u64,
     /// Uniform jitter bound (FIFO preserved).
-    #[serde(default)]
     pub jitter_ms: u64,
     /// Optional dial-up schedule.
-    #[serde(default)]
     pub dialup: Option<DialupEntry>,
     /// Optional X14 batching window (pairs per flush).
-    #[serde(default)]
     pub batch_ms: Option<u64>,
 }
 
 /// Workload section.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadEntry {
     /// Operations per application process.
     pub ops_per_proc: u32,
-    /// Fraction of writes.
-    #[serde(default = "default_write_fraction")]
+    /// Fraction of writes (default 0.5).
     pub write_fraction: f64,
-    /// Mean think time.
-    #[serde(default = "default_gap_ms")]
+    /// Mean think time (default 5 ms).
     pub mean_gap_ms: u64,
 }
 
-fn default_write_fraction() -> f64 {
-    0.5
-}
-
-fn default_gap_ms() -> u64 {
-    5
-}
-
 /// A full scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
-    /// World seed (determinism).
-    #[serde(default)]
+    /// World seed (determinism; default 0).
     pub seed: u64,
-    /// Shared variable count.
-    #[serde(default = "default_vars")]
+    /// Shared variable count (default 4).
     pub vars: usize,
     /// `pairwise` (default) or `shared` IS allocation.
-    #[serde(default)]
     pub topology: Option<String>,
     /// Systems to interconnect.
     pub systems: Vec<SystemEntry>,
     /// Tree links between them.
-    #[serde(default)]
     pub links: Vec<LinkEntry>,
     /// Workload to run.
     pub workload: WorkloadEntry,
     /// Checks: any of `causal`, `sequential`, `pram`, `cache`,
     /// `linearizable`, `session` (default: `causal`).
-    #[serde(default = "default_checks")]
     pub checks: Vec<String>,
-    /// Record the simulator trace.
-    #[serde(default)]
+    /// Record the simulator trace (default off).
     pub trace: bool,
 }
 
-fn default_vars() -> usize {
-    4
+// ---- decoding helpers over the in-tree JSON model ----------------------
+
+fn parse_err(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Parse(msg.into())
 }
 
-fn default_checks() -> Vec<String> {
-    vec!["causal".into()]
+/// A required member, with the owning object named in errors.
+fn need<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, ScenarioError> {
+    v.get(key)
+        .ok_or_else(|| parse_err(format!("{ctx}: missing field {key:?}")))
+}
+
+fn get_u64(v: &Json, key: &str, ctx: &str, default: u64) -> Result<u64, ScenarioError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(m) => m
+            .as_u64()
+            .ok_or_else(|| parse_err(format!("{ctx}: {key} must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(v: &Json, key: &str, ctx: &str, default: f64) -> Result<f64, ScenarioError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(m) => m
+            .as_f64()
+            .ok_or_else(|| parse_err(format!("{ctx}: {key} must be a number"))),
+    }
+}
+
+fn get_bool(v: &Json, key: &str, ctx: &str, default: bool) -> Result<bool, ScenarioError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(m) => m
+            .as_bool()
+            .ok_or_else(|| parse_err(format!("{ctx}: {key} must be a boolean"))),
+    }
+}
+
+fn as_string(v: &Json, ctx: &str) -> Result<String, ScenarioError> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| parse_err(format!("{ctx} must be a string")))
+}
+
+impl SystemEntry {
+    fn decode(v: &Json, i: usize) -> Result<Self, ScenarioError> {
+        let ctx = format!("systems[{i}]");
+        Ok(SystemEntry {
+            name: as_string(need(v, "name", &ctx)?, &format!("{ctx}.name"))?,
+            protocol: as_string(need(v, "protocol", &ctx)?, &format!("{ctx}.protocol"))?,
+            processes: need(v, "processes", &ctx)?
+                .as_u64()
+                .ok_or_else(|| parse_err(format!("{ctx}.processes must be an integer")))?
+                as usize,
+            intra_delay_ms: get_u64(v, "intra_delay_ms", &ctx, 1)?,
+        })
+    }
+}
+
+impl LinkEntry {
+    fn decode(v: &Json, i: usize) -> Result<Self, ScenarioError> {
+        let ctx = format!("links[{i}]");
+        let index = |key: &str| -> Result<usize, ScenarioError> {
+            need(v, key, &ctx)?
+                .as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| parse_err(format!("{ctx}.{key} must be a system index")))
+        };
+        let dialup = match v.get("dialup") {
+            None | Some(Json::Null) => None,
+            Some(d) => {
+                let dctx = format!("{ctx}.dialup");
+                Some(DialupEntry {
+                    period_ms: get_u64(d, "period_ms", &dctx, 0)?,
+                    up_ms: get_u64(d, "up_ms", &dctx, 0)?,
+                })
+            }
+        };
+        let batch_ms = match v.get("batch_ms") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(
+                m.as_u64()
+                    .ok_or_else(|| parse_err(format!("{ctx}.batch_ms must be an integer")))?,
+            ),
+        };
+        Ok(LinkEntry {
+            a: index("a")?,
+            b: index("b")?,
+            delay_ms: get_u64(v, "delay_ms", &ctx, 0)?,
+            jitter_ms: get_u64(v, "jitter_ms", &ctx, 0)?,
+            dialup,
+            batch_ms,
+        })
+    }
+}
+
+impl WorkloadEntry {
+    fn decode(v: &Json) -> Result<Self, ScenarioError> {
+        let ctx = "workload";
+        Ok(WorkloadEntry {
+            ops_per_proc: need(v, "ops_per_proc", ctx)?
+                .as_u64()
+                .ok_or_else(|| parse_err("workload.ops_per_proc must be an integer"))?
+                as u32,
+            write_fraction: get_f64(v, "write_fraction", ctx, 0.5)?,
+            mean_gap_ms: get_u64(v, "mean_gap_ms", ctx, 5)?,
+        })
+    }
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        let systems = Json::Arr(
+            self.systems
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("name", Json::Str(s.name.clone())),
+                        ("protocol", Json::Str(s.protocol.clone())),
+                        ("processes", s.processes.to_json()),
+                        ("intra_delay_ms", s.intra_delay_ms.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        let links = Json::Arr(
+            self.links
+                .iter()
+                .map(|l| {
+                    Json::obj([
+                        ("a", l.a.to_json()),
+                        ("b", l.b.to_json()),
+                        ("delay_ms", l.delay_ms.to_json()),
+                        ("jitter_ms", l.jitter_ms.to_json()),
+                        (
+                            "dialup",
+                            match l.dialup {
+                                Some(d) => Json::obj([
+                                    ("period_ms", d.period_ms.to_json()),
+                                    ("up_ms", d.up_ms.to_json()),
+                                ]),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("batch_ms", l.batch_ms.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("seed", self.seed.to_json()),
+            ("vars", self.vars.to_json()),
+            (
+                "topology",
+                match &self.topology {
+                    Some(t) => Json::Str(t.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("systems", systems),
+            ("links", links),
+            (
+                "workload",
+                Json::obj([
+                    ("ops_per_proc", self.workload.ops_per_proc.to_json()),
+                    ("write_fraction", self.workload.write_fraction.to_json()),
+                    ("mean_gap_ms", self.workload.mean_gap_ms.to_json()),
+                ]),
+            ),
+            ("checks", self.checks.to_json()),
+            ("trace", self.trace.to_json()),
+        ])
+    }
 }
 
 fn parse_protocol(name: &str) -> Result<ProtocolKind, ScenarioError> {
@@ -189,7 +328,50 @@ impl Scenario {
     /// Returns [`ScenarioError::Parse`] for malformed JSON and
     /// [`ScenarioError::Invalid`] for semantic problems.
     pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
-        let scenario: Scenario = serde_json::from_str(text)?;
+        let v = Json::parse(text).map_err(|e| parse_err(e.to_string()))?;
+        if v.as_object().is_none() {
+            return Err(parse_err("scenario must be a JSON object"));
+        }
+        let systems = need(&v, "systems", "scenario")?
+            .as_array()
+            .ok_or_else(|| parse_err("systems must be an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SystemEntry::decode(s, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let links = match v.get("links") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(l) => l
+                .as_array()
+                .ok_or_else(|| parse_err("links must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, l)| LinkEntry::decode(l, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let topology = match v.get("topology") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(as_string(t, "topology")?),
+        };
+        let checks = match v.get("checks") {
+            None | Some(Json::Null) => vec!["causal".into()],
+            Some(c) => c
+                .as_array()
+                .ok_or_else(|| parse_err("checks must be an array"))?
+                .iter()
+                .map(|c| as_string(c, "checks entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let scenario = Scenario {
+            seed: get_u64(&v, "seed", "scenario", 0)?,
+            vars: get_u64(&v, "vars", "scenario", 4)? as usize,
+            topology,
+            systems,
+            links,
+            workload: WorkloadEntry::decode(need(&v, "workload", "scenario")?)?,
+            checks,
+            trace: get_bool(&v, "trace", "scenario", false)?,
+        };
         scenario.validate()?;
         Ok(scenario)
     }
@@ -367,10 +549,21 @@ mod tests {
     }
 
     #[test]
-    fn scenario_round_trips_through_serde() {
+    fn scenario_round_trips_through_json() {
         let s = Scenario::from_json(MINIMAL).unwrap();
-        let json = serde_json::to_string(&s).unwrap();
+        let json = s.to_json().to_pretty();
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(back.systems.len(), 2);
+        assert_eq!(back.workload.ops_per_proc, s.workload.ops_per_proc);
+        assert_eq!(back.checks, s.checks);
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn wrong_field_types_are_parse_errors() {
+        let bad = MINIMAL.replace("\"processes\": 2", "\"processes\": \"two\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(matches!(err, ScenarioError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("processes"));
     }
 }

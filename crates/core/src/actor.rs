@@ -72,6 +72,7 @@ impl HostSink for WorldSink<'_, '_> {
 
     fn send_mcs(&mut self, to: ProcId, msg: McsMsg) {
         let actor = self.addr.actor_of(to);
+        self.ctx.metrics().inc("protocol.updates_propagated");
         self.ctx.send(actor, WorldMsg::Mcs(msg));
     }
 
@@ -161,10 +162,13 @@ impl WorldActor {
                     self.host.issue_read(var, &mut sink, &mut NoUpcalls);
                 }
             },
-            OpPlan::Write(var, val) => match self.isp.as_mut() {
-                Some(isp) => self.host.issue_write(var, val, &mut sink, isp),
-                None => self.host.issue_write(var, val, &mut sink, &mut NoUpcalls),
-            },
+            OpPlan::Write(var, val) => {
+                sink.ctx.metrics().inc("protocol.writes_issued");
+                match self.isp.as_mut() {
+                    Some(isp) => self.host.issue_write(var, val, &mut sink, isp),
+                    None => self.host.issue_write(var, val, &mut sink, &mut NoUpcalls),
+                }
+            }
         }
     }
 
@@ -185,6 +189,7 @@ impl WorldActor {
                 if batching.is_some() {
                     isp.enqueue_batch(i, pair.var, pair.val);
                 } else {
+                    ctx.metrics().inc("isp.link_pairs_sent");
                     ctx.send(
                         l.peer_actor,
                         WorldMsg::Link {
@@ -215,6 +220,7 @@ impl WorldActor {
             if batch.is_empty() {
                 continue;
             }
+            ctx.metrics().add("isp.link_pairs_sent", batch.len() as u64);
             for &(var, val) in &batch {
                 isp.log_sent(l.peer_isp, var, val, ctx.now());
             }
@@ -227,6 +233,7 @@ impl WorldActor {
     /// the write *applies* — see [`IsProcess::begin_forward`] — so the
     /// wire order equals the replica-update order (Lemma 1).
     fn propagate_in(&mut self, link: usize, var: VarId, val: Value, ctx: &mut Ctx<'_, WorldMsg>) {
+        ctx.metrics().inc("isp.propagate_in");
         ctx.note(format!("Propagate_in({var},{val})"));
         let mut sink = WorldSink {
             ctx,
@@ -245,6 +252,7 @@ impl WorldActor {
         };
         let ready = isp.take_ready();
         if !ready.is_empty() {
+            ctx.metrics().add("isp.propagate_out", ready.len() as u64);
             self.send_pairs(&ready, ctx);
         }
         let isp = self.isp.as_ref().unwrap();
@@ -286,6 +294,8 @@ impl Actor<WorldMsg> for WorldActor {
         match msg {
             WorldMsg::Mcs(m) => {
                 let from_proc = self.addr.proc_of(from);
+                let buffered_before = self.host.buffered();
+                let applied_before = self.host.updates().len();
                 let addr = Rc::clone(&self.addr);
                 let mut sink = WorldSink { ctx, addr: &addr };
                 match self.isp.as_mut() {
@@ -293,6 +303,20 @@ impl Actor<WorldMsg> for WorldActor {
                     None => self
                         .host
                         .on_mcs_message(from_proc, m, &mut sink, &mut NoUpcalls),
+                }
+                let buffered_after = self.host.buffered();
+                if buffered_after > buffered_before {
+                    ctx.metrics().add(
+                        "protocol.causal_wait_stalls",
+                        (buffered_after - buffered_before) as u64,
+                    );
+                }
+                let applied_after = self.host.updates().len();
+                if applied_after > applied_before {
+                    ctx.metrics().add(
+                        "protocol.updates_applied",
+                        (applied_after - applied_before) as u64,
+                    );
                 }
                 self.post_actions(ctx);
             }
@@ -305,6 +329,7 @@ impl Actor<WorldMsg> for WorldActor {
                 if self.host.write_in_flight() {
                     // The IS-process is blocked in a write call; the pair
                     // waits its turn (FIFO order preserved).
+                    ctx.metrics().inc("protocol.causal_wait_stalls");
                     self.isp.as_mut().unwrap().defer_incoming(link, var, val);
                 } else {
                     self.propagate_in(link, var, val, ctx);
@@ -321,6 +346,7 @@ impl Actor<WorldMsg> for WorldActor {
                 // blocks, the rest defer behind it (order preserved).
                 for (var, val) in pairs {
                     if self.host.write_in_flight() {
+                        ctx.metrics().inc("protocol.causal_wait_stalls");
                         self.isp.as_mut().unwrap().defer_incoming(link, var, val);
                     } else {
                         self.propagate_in(link, var, val, ctx);

@@ -405,10 +405,41 @@ impl World {
         }
         let full = cmi_types::History::merge_streams(streams);
 
+        // Metrics snapshot: the engine/protocol registry plus the
+        // channel/crossing tables, then the end-of-run latency
+        // histograms derived from the extracted logs.
+        let mut metrics = self.sim.metrics_snapshot();
+        for durations in responses.values() {
+            for d in durations {
+                metrics.observe("protocol.write_response_ns", d.as_nanos() as f64);
+            }
+        }
+        // Visibility latency of every application write, overall and per
+        // cross-system direction (Section 6's "time until a value
+        // written is visible in any other process").
+        let global = full.filtered(|op| !isps.contains(&op.proc));
+        for id in global.writes() {
+            let op = global.op(id);
+            let val = op.written_value().expect("writes() returns writes");
+            let origin = system_of[&op.proc];
+            for (proc, log) in &updates {
+                let Some(u) = log.iter().find(|u| u.var == op.var && u.val == val) else {
+                    continue;
+                };
+                let lat = u.at.saturating_since(op.at).as_nanos() as f64;
+                metrics.observe("visibility.latency_ns", lat);
+                let dest = system_of[proc];
+                if dest != origin {
+                    metrics.observe(&format!("visibility.{origin}->{dest}.latency_ns"), lat);
+                }
+            }
+        }
+
         RunReport::new(
             full,
             outcome,
             self.sim.stats().clone(),
+            metrics,
             system_of,
             self.systems.iter().map(|s| s.name.clone()).collect(),
             isps,
@@ -467,7 +498,10 @@ mod tests {
     fn empty_system_fails() {
         let mut b = InterconnectBuilder::new();
         b.add_system(spec("A", 0));
-        assert_eq!(b.build(0).err(), Some(BuildError::EmptySystem { system: 0 }));
+        assert_eq!(
+            b.build(0).err(),
+            Some(BuildError::EmptySystem { system: 0 })
+        );
     }
 
     #[test]

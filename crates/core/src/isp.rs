@@ -291,7 +291,11 @@ impl UpcallHandler for IsProcess {
             .awaiting_apply
             .pop_front()
             .expect("own write applied without a registered forward");
-        debug_assert_eq!((fvar, fval), (var, val), "out-of-order own-write application");
+        debug_assert_eq!(
+            (fvar, fval),
+            (var, val),
+            "out-of-order own-write application"
+        );
         self.out_buffer.push(OutPair {
             var,
             val,
@@ -364,7 +368,11 @@ mod tests {
         isp.own_write_applied(p.var, p.val, &mut Sink2);
         assert_eq!(
             isp.take_ready(),
-            vec![OutPair { var: p.var, val: p.val, except: Some(1) }]
+            vec![OutPair {
+                var: p.var,
+                val: p.val,
+                except: Some(1)
+            }]
         );
     }
 

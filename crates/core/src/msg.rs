@@ -4,7 +4,6 @@ use std::fmt;
 
 use cmi_memory::McsMsg;
 use cmi_types::{Value, VarId};
-use serde::{Deserialize, Serialize};
 
 /// A message in an interconnected world: either an intra-system MCS
 /// protocol message, or IS-protocol traffic on the inter-system channel
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// protocol) or an ordered batch of pairs (the X14 batching
 /// optimization; order within the batch preserves the Lemma 1 send
 /// order).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorldMsg {
     /// Intra-system MCS protocol traffic.
     Mcs(McsMsg),

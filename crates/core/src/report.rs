@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cmi_memory::ReplicaUpdate;
+use cmi_obs::{Json, MetricsRegistry, ToJson};
 use cmi_sim::{RunOutcome, TraceEntry, TrafficStats};
 use cmi_types::{History, ProcId, SimTime, SystemId, Value, VarId};
 
@@ -51,6 +52,7 @@ pub struct RunReport {
     full: History,
     outcome: RunOutcome,
     stats: TrafficStats,
+    metrics: MetricsRegistry,
     system_of: HashMap<ProcId, SystemId>,
     system_names: Vec<String>,
     isps: BTreeSet<ProcId>,
@@ -66,6 +68,7 @@ impl RunReport {
         full: History,
         outcome: RunOutcome,
         stats: TrafficStats,
+        metrics: MetricsRegistry,
         system_of: HashMap<ProcId, SystemId>,
         system_names: Vec<String>,
         isps: BTreeSet<ProcId>,
@@ -78,6 +81,7 @@ impl RunReport {
             full,
             outcome,
             stats,
+            metrics,
             system_of,
             system_names,
             isps,
@@ -96,6 +100,13 @@ impl RunReport {
     /// Message statistics of the run.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The full metrics registry of the run: engine counters, per-channel
+    /// and per-crossing message counts, protocol and IS-process counters,
+    /// and the visibility/response-time latency histograms.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Every recorded operation, IS-process operations included.
@@ -143,10 +154,7 @@ impl RunReport {
 
     /// Replica-update log of one MCS-process (Property 1 checks).
     pub fn updates_of(&self, proc: ProcId) -> &[ReplicaUpdate] {
-        self.updates
-            .get(&proc)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.updates.get(&proc).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Per-direction IS-protocol link traffic (Lemma 1 checks, X2/X3
@@ -168,6 +176,74 @@ impl RunReport {
     /// The simulator trace, if tracing was enabled at build time.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
+    }
+
+    /// Serializes the whole report as one diffable JSON artifact:
+    /// outcome, per-system names, traffic statistics, the metrics
+    /// snapshot (counters, gauges, histogram quantiles), write-visibility
+    /// latencies, link traffic and the full history.
+    pub fn to_json(&self) -> Json {
+        let outcome = match self.outcome {
+            RunOutcome::Quiescent { events } => Json::obj([
+                ("kind", Json::Str("quiescent".into())),
+                ("events", events.to_json()),
+            ]),
+            RunOutcome::TimeLimit { events } => Json::obj([
+                ("kind", Json::Str("time_limit".into())),
+                ("events", events.to_json()),
+            ]),
+            RunOutcome::EventLimit { events } => Json::obj([
+                ("kind", Json::Str("event_limit".into())),
+                ("events", events.to_json()),
+            ]),
+        };
+        let visibility = Json::Arr(
+            self.write_visibility()
+                .iter()
+                .map(|wv| {
+                    Json::obj([
+                        ("var", wv.var.to_json()),
+                        ("val", wv.val.to_json()),
+                        ("issued_at_ns", wv.issued_at.to_json()),
+                        (
+                            "max_latency_ns",
+                            (wv.max_latency().as_nanos() as u64).to_json(),
+                        ),
+                        (
+                            "visible_at",
+                            Json::Obj(
+                                wv.visible_at
+                                    .iter()
+                                    .map(|(p, t)| (p.to_string(), t.to_json()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let links = Json::Arr(
+            self.link_sends
+                .iter()
+                .map(|lt| {
+                    Json::obj([
+                        ("from", Json::Str(lt.from_isp.to_string())),
+                        ("to", Json::Str(lt.to_isp.to_string())),
+                        ("pairs_sent", lt.pairs.len().to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("outcome", outcome),
+            ("systems", self.system_names.to_json()),
+            ("stats", self.stats.to_json()),
+            ("metrics", self.metrics.snapshot()),
+            ("write_visibility", visibility),
+            ("link_traffic", links),
+            ("trace_entries", self.trace.len().to_json()),
+            ("history", self.full.to_json()),
+        ])
     }
 
     /// Visibility analysis of every write in `α^T` (Section 6 latency).

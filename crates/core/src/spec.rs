@@ -267,7 +267,9 @@ mod tests {
     #[test]
     fn build_errors_display_reasonably() {
         assert!(BuildError::CyclicTopology.to_string().contains("tree"));
-        assert!(BuildError::EmptySystem { system: 2 }.to_string().contains("#2"));
+        assert!(BuildError::EmptySystem { system: 2 }
+            .to_string()
+            .contains("#2"));
         assert!(BuildError::DuplicateLink { systems: (0, 1) }
             .to_string()
             .contains("twice"));

@@ -78,6 +78,10 @@ impl fmt::Debug for AhamadCausal {
 }
 
 impl McsProtocol for AhamadCausal {
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn proc(&self) -> ProcId {
         self.me
     }

@@ -72,7 +72,15 @@ impl Atomic {
         for k in 0..self.n_procs {
             let peer = ProcId::new(self.me.system, k as u16);
             if peer != self.me {
-                out.send(peer, McsMsg::SeqOrdered { var, val, writer, seq });
+                out.send(
+                    peer,
+                    McsMsg::SeqOrdered {
+                        var,
+                        val,
+                        writer,
+                        seq,
+                    },
+                );
             }
         }
         self.buffer.insert(seq, (var, val, writer));
@@ -84,7 +92,10 @@ impl Atomic {
     /// own pending queue, which the host does eagerly after every event.
     fn authoritative(&self, var: VarId) -> Option<Value> {
         debug_assert!(self.is_sequencer());
-        debug_assert_eq!(self.applied_seq, self.next_order, "sequencer lagging itself");
+        debug_assert_eq!(
+            self.applied_seq, self.next_order,
+            "sequencer lagging itself"
+        );
         self.replicas.read(var)
     }
 }
@@ -99,6 +110,10 @@ impl fmt::Debug for Atomic {
 }
 
 impl McsProtocol for Atomic {
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn proc(&self) -> ProcId {
         self.me
     }
@@ -133,7 +148,12 @@ impl McsProtocol for Atomic {
                 assert!(self.is_sequencer(), "SeqRequest sent to non-sequencer");
                 self.order(var, val, from, out);
             }
-            McsMsg::SeqOrdered { var, val, writer, seq } => {
+            McsMsg::SeqOrdered {
+                var,
+                val,
+                writer,
+                seq,
+            } => {
                 assert!(!self.is_sequencer() || writer == self.me);
                 self.buffer.insert(seq, (var, val, writer));
             }

@@ -115,8 +115,22 @@ mod tests {
         // first — the defect this fixture exists to exhibit.
         let v = Value::new(proc(0), 1);
         let u = Value::new(proc(1), 1);
-        p.on_message(proc(1), McsMsg::EagerUpdate { var: VarId(1), val: u }, &mut Outbox::new());
-        p.on_message(proc(0), McsMsg::EagerUpdate { var: VarId(0), val: v }, &mut Outbox::new());
+        p.on_message(
+            proc(1),
+            McsMsg::EagerUpdate {
+                var: VarId(1),
+                val: u,
+            },
+            &mut Outbox::new(),
+        );
+        p.on_message(
+            proc(0),
+            McsMsg::EagerUpdate {
+                var: VarId(0),
+                val: v,
+            },
+            &mut Outbox::new(),
+        );
         let first = p.next_applicable().unwrap();
         assert_eq!(first.val, u);
         p.apply(&first, &mut Outbox::new());

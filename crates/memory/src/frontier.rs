@@ -97,6 +97,10 @@ impl fmt::Debug for DepFrontier {
 }
 
 impl McsProtocol for DepFrontier {
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn proc(&self) -> ProcId {
         self.me
     }
@@ -127,7 +131,12 @@ impl McsProtocol for DepFrontier {
 
     fn on_message(&mut self, from: ProcId, msg: McsMsg, _out: &mut Outbox) {
         match msg {
-            McsMsg::FrontierUpdate { var, val, seq, deps } => {
+            McsMsg::FrontierUpdate {
+                var,
+                val,
+                seq,
+                deps,
+            } => {
                 assert_eq!(
                     from.system, self.me.system,
                     "frontier update from foreign system"

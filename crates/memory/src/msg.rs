@@ -3,7 +3,6 @@
 use std::fmt;
 
 use cmi_types::{ProcId, Value, VarId, VectorClock};
-use serde::{Deserialize, Serialize};
 
 /// Union of the messages of every MCS protocol in this crate.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// heterogeneity the paper's interconnection is designed for. A protocol
 /// must only ever receive its own variants; receiving a foreign variant
 /// indicates mis-wiring and panics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum McsMsg {
     /// Ahamad-style causal update: the sender applied `val` to `var` and
     /// its vector clock became `vc`.
@@ -121,11 +120,21 @@ impl fmt::Display for McsMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             McsMsg::AhamadUpdate { var, val, vc } => write!(f, "upd({var},{val},{vc})"),
-            McsMsg::FrontierUpdate { var, val, seq, deps } => {
+            McsMsg::FrontierUpdate {
+                var,
+                val,
+                seq,
+                deps,
+            } => {
                 write!(f, "upd({var},{val},#{seq},deps={})", deps.len())
             }
             McsMsg::SeqRequest { var, val } => write!(f, "req({var},{val})"),
-            McsMsg::SeqOrdered { var, val, writer, seq } => {
+            McsMsg::SeqOrdered {
+                var,
+                val,
+                writer,
+                seq,
+            } => {
                 write!(f, "ord({var},{val},{writer},#{seq})")
             }
             McsMsg::EagerUpdate { var, val } => write!(f, "eager({var},{val})"),
@@ -133,7 +142,12 @@ impl fmt::Display for McsMsg {
             McsMsg::AtomicReadReply { var, val: Some(v) } => write!(f, "areply({var},{v})"),
             McsMsg::AtomicReadReply { var, val: None } => write!(f, "areply({var},⊥)"),
             McsMsg::VarSeqRequest { var, val } => write!(f, "vreq({var},{val})"),
-            McsMsg::VarSeqOrdered { var, val, writer, seq } => {
+            McsMsg::VarSeqOrdered {
+                var,
+                val,
+                writer,
+                seq,
+            } => {
                 write!(f, "vord({var},{val},{writer},#{seq})")
             }
         }

@@ -338,13 +338,22 @@ impl NodeHost {
         &self.updates
     }
 
+    /// Received updates currently held back from the local replica
+    /// (the protocol's causal-wait buffer depth).
+    pub fn buffered(&self) -> usize {
+        self.protocol.buffered()
+    }
+
     /// Response time of every write call issued so far, in issue order.
     pub fn write_responses(&self) -> &[std::time::Duration] {
         &self.write_responses
     }
 
     fn flush(&mut self, out: Outbox, sink: &mut dyn HostSink) {
-        debug_assert!(out.completed_write.is_none(), "write completion outside drain");
+        debug_assert!(
+            out.completed_write.is_none(),
+            "write completion outside drain"
+        );
         debug_assert!(out.completed_read.is_none(), "read completion not absorbed");
         for (to, msg) in out.sends {
             sink.send_mcs(to, msg);
@@ -361,8 +370,7 @@ impl NodeHost {
                 // Pre_Propagate_out's read r(x)s — condition (c): it
                 // returns the pre-image.
                 let s = self.protocol.read(update.var);
-                self.ops
-                    .push(OpRecord::read(me, update.var, s, sink.now()));
+                self.ops.push(OpRecord::read(me, update.var, s, sink.now()));
                 sink.note(format!("pre_update({}) read {:?}", update.var, s));
                 handler.pre_update(update.var, s, sink);
             }
@@ -384,8 +392,7 @@ impl NodeHost {
                 self.write_responses
                     .push(sink.now().saturating_since(self.write_issued_at));
                 self.ops.push(
-                    OpRecord::write(me, var, val, sink.now())
-                        .with_issued_at(self.write_issued_at),
+                    OpRecord::write(me, var, val, sink.now()).with_issued_at(self.write_issued_at),
                 );
                 if handler.active() {
                     handler.own_write_applied(var, val, sink);

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use cmi_types::{ProcId, SystemId, Value, VarId};
-use serde::{Deserialize, Serialize};
 
 use crate::msg::McsMsg;
 
@@ -193,10 +192,17 @@ pub trait McsProtocol: fmt::Debug {
     fn is_causal(&self) -> bool {
         true
     }
+
+    /// Number of received updates currently held back from the local
+    /// replica (causally or sequence-order undeliverable). Protocols
+    /// with no hold-back buffer report zero.
+    fn buffered(&self) -> usize {
+        0
+    }
 }
 
 /// Protocol selector used by system builders and experiment configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Vector-clock causal memory (paper ref \[2\]).
     Ahamad,
@@ -249,9 +255,7 @@ impl ProtocolKind {
     ) -> Box<dyn McsProtocol> {
         let me = ProcId::new(system, index);
         match self {
-            ProtocolKind::Ahamad => {
-                Box::new(crate::ahamad::AhamadCausal::new(me, n_procs, n_vars))
-            }
+            ProtocolKind::Ahamad => Box::new(crate::ahamad::AhamadCausal::new(me, n_procs, n_vars)),
             ProtocolKind::Frontier => {
                 Box::new(crate::frontier::DepFrontier::new(me, n_procs, n_vars))
             }

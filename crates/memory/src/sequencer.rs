@@ -78,7 +78,15 @@ impl Sequencer {
         for k in 0..self.n_procs {
             let peer = ProcId::new(self.me.system, k as u16);
             if peer != self.me {
-                out.send(peer, McsMsg::SeqOrdered { var, val, writer, seq });
+                out.send(
+                    peer,
+                    McsMsg::SeqOrdered {
+                        var,
+                        val,
+                        writer,
+                        seq,
+                    },
+                );
             }
         }
         self.buffer.insert(seq, (var, val, writer));
@@ -96,6 +104,10 @@ impl fmt::Debug for Sequencer {
 }
 
 impl McsProtocol for Sequencer {
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn proc(&self) -> ProcId {
         self.me
     }
@@ -119,7 +131,12 @@ impl McsProtocol for Sequencer {
                 assert!(self.is_sequencer(), "SeqRequest sent to non-sequencer");
                 self.order(var, val, from, out);
             }
-            McsMsg::SeqOrdered { var, val, writer, seq } => {
+            McsMsg::SeqOrdered {
+                var,
+                val,
+                writer,
+                seq,
+            } => {
                 assert!(!self.is_sequencer() || writer == self.me);
                 self.buffer.insert(seq, (var, val, writer));
             }
@@ -185,10 +202,7 @@ mod tests {
         let v = Value::new(proc(0), 1);
         assert_eq!(s.write(VarId(0), v, &mut out), WriteOutcome::Pending);
         assert_eq!(out.sends.len(), 2);
-        assert!(matches!(
-            out.sends[0].1,
-            McsMsg::SeqOrdered { seq: 1, .. }
-        ));
+        assert!(matches!(out.sends[0].1, McsMsg::SeqOrdered { seq: 1, .. }));
         // The write completes when the sequencer applies its own order.
         let (vals, completions) = drain(&mut s);
         assert_eq!(vals, vec![v]);
@@ -225,8 +239,18 @@ mod tests {
         let mut s1 = Sequencer::new(proc(1), 3, 1);
         let a = Value::new(proc(0), 1);
         let b = Value::new(proc(2), 1);
-        let m1 = McsMsg::SeqOrdered { var: VarId(0), val: a, writer: proc(0), seq: 1 };
-        let m2 = McsMsg::SeqOrdered { var: VarId(0), val: b, writer: proc(2), seq: 2 };
+        let m1 = McsMsg::SeqOrdered {
+            var: VarId(0),
+            val: a,
+            writer: proc(0),
+            seq: 1,
+        };
+        let m2 = McsMsg::SeqOrdered {
+            var: VarId(0),
+            val: b,
+            writer: proc(2),
+            seq: 2,
+        };
         s1.on_message(proc(0), m2, &mut Outbox::new());
         assert!(drain(&mut s1).0.is_empty(), "seq 2 waits for seq 1");
         s1.on_message(proc(0), m1, &mut Outbox::new());

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use cmi_sim::rng::derive_rng;
-use cmi_sim::{Actor, ActorId, ChannelSpec, Ctx, NetworkTag, RunLimit, RunOutcome, Sim, SimBuilder};
+use cmi_sim::{
+    Actor, ActorId, ChannelSpec, Ctx, NetworkTag, RunLimit, RunOutcome, Sim, SimBuilder,
+};
 use cmi_types::{History, ProcId, SystemId};
 
 use crate::msg::McsMsg;
@@ -236,7 +238,10 @@ impl SingleSystem {
                 workload.clone().with_vars(config.n_vars as u32),
                 derive_rng(seed, 0x1000 + k as u64),
             ));
-            let id = b.add_actor(Box::new(McsActor::new(host, Some(driver), addr.clone())), tag);
+            let id = b.add_actor(
+                Box::new(McsActor::new(host, Some(driver), addr.clone())),
+                tag,
+            );
             actors.push(id);
         }
         for i in 0..actors.len() {

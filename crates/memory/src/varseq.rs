@@ -67,7 +67,15 @@ impl VarSeq {
         for k in 0..self.n_procs {
             let peer = ProcId::new(self.me.system, k as u16);
             if peer != self.me {
-                out.send(peer, McsMsg::VarSeqOrdered { var, val, writer, seq });
+                out.send(
+                    peer,
+                    McsMsg::VarSeqOrdered {
+                        var,
+                        val,
+                        writer,
+                        seq,
+                    },
+                );
             }
         }
         self.buffer.insert((var, seq), (val, writer));
@@ -84,6 +92,10 @@ impl fmt::Debug for VarSeq {
 }
 
 impl McsProtocol for VarSeq {
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     fn proc(&self) -> ProcId {
         self.me
     }
@@ -108,7 +120,12 @@ impl McsProtocol for VarSeq {
                 assert_eq!(self.owner_of(var), self.me, "request sent to non-owner");
                 self.order(var, val, from, out);
             }
-            McsMsg::VarSeqOrdered { var, val, writer, seq } => {
+            McsMsg::VarSeqOrdered {
+                var,
+                val,
+                writer,
+                seq,
+            } => {
                 self.buffer.insert((var, seq), (val, writer));
             }
             other => panic!("VarSeq received foreign message {other:?}"),
@@ -230,20 +247,39 @@ mod tests {
         // independent and applies immediately.
         p1.on_message(
             proc(0),
-            McsMsg::VarSeqOrdered { var: VarId(0), val: a2, writer: proc(0), seq: 2 },
+            McsMsg::VarSeqOrdered {
+                var: VarId(0),
+                val: a2,
+                writer: proc(0),
+                seq: 2,
+            },
             &mut Outbox::new(),
         );
         p1.on_message(
             proc(0),
-            McsMsg::VarSeqOrdered { var: VarId(1), val: b1, writer: proc(0), seq: 1 },
+            McsMsg::VarSeqOrdered {
+                var: VarId(1),
+                val: b1,
+                writer: proc(0),
+                seq: 1,
+            },
             &mut Outbox::new(),
         );
         let (applied, _) = drain(&mut p1);
-        assert_eq!(applied, vec![(VarId(1), b1)], "var0 seq2 must wait for seq1");
+        assert_eq!(
+            applied,
+            vec![(VarId(1), b1)],
+            "var0 seq2 must wait for seq1"
+        );
         let a1 = Value::new(proc(0), 1);
         p1.on_message(
             proc(0),
-            McsMsg::VarSeqOrdered { var: VarId(0), val: a1, writer: proc(0), seq: 1 },
+            McsMsg::VarSeqOrdered {
+                var: VarId(0),
+                val: a1,
+                writer: proc(0),
+                seq: 1,
+            },
             &mut Outbox::new(),
         );
         let (applied, _) = drain(&mut p1);

@@ -9,13 +9,11 @@
 
 use std::time::Duration;
 
+use cmi_sim::SplitMix64;
 use cmi_types::{ProcId, Value, VarId};
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How a workload picks the variable of each operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VarPattern {
     /// Uniform over all variables.
     #[default]
@@ -33,7 +31,7 @@ pub enum VarPattern {
 }
 
 /// Parameters of a randomized workload, shared by all processes of a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Operations each application process issues.
     pub ops_per_proc: u32,
@@ -45,7 +43,6 @@ pub struct WorkloadSpec {
     /// issue; actual gaps are uniform in `[mean/2, 3*mean/2)`.
     pub mean_gap: Duration,
     /// Variable-selection pattern.
-    #[serde(default)]
     pub pattern: VarPattern,
 }
 
@@ -144,12 +141,12 @@ pub struct WorkloadDriver {
     spec: WorkloadSpec,
     issued: u32,
     next_seq: u32,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl WorkloadDriver {
     /// Creates the driver for `proc` with its own derived RNG stream.
-    pub fn new(proc: ProcId, spec: WorkloadSpec, rng: SmallRng) -> Self {
+    pub fn new(proc: ProcId, spec: WorkloadSpec, rng: SplitMix64) -> Self {
         assert!(spec.n_vars > 0, "workload needs at least one variable");
         WorkloadDriver {
             proc,
@@ -395,7 +392,10 @@ mod tests {
         while let Some(OpPlan::Read(var)) = d.next_op() {
             counts[var.index()] += 1;
         }
-        assert!(counts.iter().all(|&c| c > 0), "all vars touched: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "all vars touched: {counts:?}"
+        );
         assert!(counts[0] > counts[3], "skew toward low vars: {counts:?}");
     }
 

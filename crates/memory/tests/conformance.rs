@@ -31,7 +31,10 @@ fn proc(i: u16) -> ProcId {
 /// Routes every outbox message to its destination until the whole fleet
 /// quiesces, applying deliverable updates at each step. Returns the
 /// completed `(var, val)` write calls per process.
-fn settle(fleet: &mut [Box<dyn McsProtocol>], mut pending: Vec<(ProcId, ProcId, cmi_memory::McsMsg)>) -> Vec<Vec<(VarId, Value)>> {
+fn settle(
+    fleet: &mut [Box<dyn McsProtocol>],
+    mut pending: Vec<(ProcId, ProcId, cmi_memory::McsMsg)>,
+) -> Vec<Vec<(VarId, Value)>> {
     let mut completed = vec![Vec::new(); fleet.len()];
     while !pending.is_empty() {
         let mut next = Vec::new();
@@ -95,7 +98,11 @@ fn every_write_eventually_reaches_every_replica() {
             );
         }
         if outcome == WriteOutcome::Pending {
-            assert_eq!(completed[1], vec![(VarId(0), v)], "{kind}: blocked write completes");
+            assert_eq!(
+                completed[1],
+                vec![(VarId(0), v)],
+                "{kind}: blocked write completes"
+            );
         }
     }
 }

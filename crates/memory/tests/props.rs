@@ -1,23 +1,25 @@
-//! Property tests for the MCS protocols: every causal protocol produces
+//! Randomized tests for the MCS protocols: every causal protocol produces
 //! causal (and differentiated) computations under randomized workloads
 //! and randomized network conditions; the sequencer additionally
 //! produces sequentially consistent ones.
+//!
+//! Cases are drawn from seeded in-tree [`SplitMix64`] streams, so any
+//! failure reproduces from the case number in its message.
 
 use std::time::Duration;
 
 use cmi_checker::trace::check_order_respects_causality;
 use cmi_checker::{causal, sequential, AppliedWrite};
 use cmi_memory::{ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
-use cmi_sim::ChannelSpec;
+use cmi_sim::{ChannelSpec, SplitMix64};
 use cmi_types::SystemId;
-use proptest::prelude::*;
 
-fn protocol() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Ahamad),
-        Just(ProtocolKind::Frontier),
-        Just(ProtocolKind::Sequencer),
-    ]
+fn protocol(rng: &mut SplitMix64) -> ProtocolKind {
+    match rng.gen_range(0u32..3) {
+        0 => ProtocolKind::Ahamad,
+        1 => ProtocolKind::Frontier,
+        _ => ProtocolKind::Sequencer,
+    }
 }
 
 fn run(
@@ -42,68 +44,85 @@ fn run(
     (sys, h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn causal_protocols_produce_causal_histories(
-        kind in protocol(),
-        n in 2usize..5,
-        ops in 4u32..12,
-        jitter_ms in 0u64..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn causal_protocols_produce_causal_histories() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xCA05 ^ case);
+        let kind = protocol(&mut rng);
+        let n = rng.gen_range(2usize..5);
+        let ops = rng.gen_range(4u32..12);
+        let jitter_ms = rng.gen_range(0u64..8);
+        let seed = rng.gen_range(0u64..10_000);
         let (_, h) = run(kind, n, ops, jitter_ms, seed);
-        prop_assert_eq!(h.len() as u32, n as u32 * ops, "all ops complete");
-        prop_assert!(h.validate_differentiated().is_ok());
+        assert_eq!(
+            h.len() as u32,
+            n as u32 * ops,
+            "all ops complete (case {case})"
+        );
+        assert!(h.validate_differentiated().is_ok(), "case {case}");
         let report = causal::check(&h);
-        prop_assert!(report.is_causal(), "{} not causal: {:?}", kind, report.verdict);
+        assert!(
+            report.is_causal(),
+            "{} not causal (case {case}): {:?}",
+            kind,
+            report.verdict
+        );
     }
+}
 
-    #[test]
-    fn sequencer_histories_are_sequentially_consistent(
-        n in 2usize..4,
-        ops in 3u32..8,
-        jitter_ms in 0u64..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn sequencer_histories_are_sequentially_consistent() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5E0C ^ case);
+        let n = rng.gen_range(2usize..4);
+        let ops = rng.gen_range(3u32..8);
+        let jitter_ms = rng.gen_range(0u64..8);
+        let seed = rng.gen_range(0u64..10_000);
         let (_, h) = run(ProtocolKind::Sequencer, n, ops, jitter_ms, seed);
         let verdict = sequential::check(&h);
-        prop_assert!(verdict.is_sequential(), "sequencer run not SC");
+        assert!(
+            verdict.is_sequential(),
+            "sequencer run not SC (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn causal_updating_holds_at_every_replica(
-        kind in protocol(),
-        n in 2usize..5,
-        ops in 4u32..10,
-        jitter_ms in 0u64..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn causal_updating_holds_at_every_replica() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0BDA ^ case);
+        let kind = protocol(&mut rng);
+        let n = rng.gen_range(2usize..5);
+        let ops = rng.gen_range(4u32..10);
+        let jitter_ms = rng.gen_range(0u64..8);
+        let seed = rng.gen_range(0u64..10_000);
         let (sys, h) = run(kind, n, ops, jitter_ms, seed);
         for slot in 0..n {
             let updates: Vec<AppliedWrite> = sys
                 .updates_of(slot)
                 .iter()
-                .map(|u| AppliedWrite { var: u.var, val: u.val })
+                .map(|u| AppliedWrite {
+                    var: u.var,
+                    val: u.val,
+                })
                 .collect();
-            prop_assert!(
+            assert!(
                 check_order_respects_causality(&h, &updates).is_ok(),
-                "Property 1 violated at slot {} of {}",
-                slot,
-                kind
+                "Property 1 violated at slot {slot} of {kind} (case {case})"
             );
         }
     }
+}
 
-    #[test]
-    fn runs_are_reproducible(
-        kind in protocol(),
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn runs_are_reproducible() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x4E94 ^ case);
+        let kind = protocol(&mut rng);
+        let seed = rng.gen_range(0u64..10_000);
         let (_, a) = run(kind, 3, 6, 4, seed);
         let (_, b) = run(kind, 3, 6, 4, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }
 
@@ -111,12 +130,12 @@ proptest! {
 /// assignment the eager protocol produces a provably non-causal history.
 #[test]
 fn eager_fifo_violates_causality_under_asymmetric_delays() {
-    // Deterministic construction instead of proptest: p0's updates reach
-    // p1 fast and p2 slowly; p1 reacts to p0's write, p2 sees the
-    // reaction before the cause.
-    use cmi_sim::{NetworkTag, RunLimit, SimBuilder};
+    // Deterministic construction: p0's updates reach p1 fast and p2
+    // slowly; p1 reacts to p0's write, p2 sees the reaction before the
+    // cause.
     use cmi_memory::{system::McsActor, NodeHost};
-    use cmi_memory::{Driver, ScriptedDriver, OpPlan};
+    use cmi_memory::{Driver, OpPlan, ScriptedDriver};
+    use cmi_sim::{NetworkTag, RunLimit, SimBuilder};
     use cmi_types::{ProcId, Value, VarId};
     use std::collections::HashMap;
 

@@ -1,0 +1,29 @@
+//! # cmi-obs — zero-dependency observability layer
+//!
+//! The measurement substrate of the workspace: every structured artifact a
+//! run produces — metrics, traces, reports, bench results — flows through
+//! this crate. It deliberately depends on nothing (not even other `cmi-*`
+//! crates) so the whole workspace builds offline with an empty registry.
+//!
+//! Four pieces:
+//!
+//! - [`json`]: a small JSON value model ([`Json`]), the [`ToJson`] trait,
+//!   compact and pretty writers with a correct escaper, and a
+//!   recursive-descent parser ([`Json::parse`]) so artifacts can be read
+//!   back and round-trip-tested without serde.
+//! - [`metrics`]: a [`MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket latency [`Histogram`]s with p50/p95/p99/max readout.
+//! - [`ring`]: a bounded [`RingBuffer`] that counts what it drops —
+//!   the backing store for in-memory trace sinks.
+//! - [`timing`]: a tiny wall-clock bench harness (warmup + N iterations,
+//!   median/min) replacing criterion for the workspace benches.
+
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod timing;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use ring::RingBuffer;
+pub use timing::{bench, BenchResult, BenchSuite};

@@ -1,0 +1,408 @@
+//! Named counters, gauges and fixed-bucket latency histograms.
+//!
+//! The registry is the single sink for everything a run counts or times:
+//! the sim engine, channels, memory protocols and IS-processes all write
+//! here, and [`MetricsRegistry::to_json`] snapshots the lot into one
+//! diffable artifact. Names are dot-separated paths
+//! (`"engine.events_dispatched"`, `"channel.a0->a1.messages"`); the
+//! registry stores them in sorted order so output is deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::json::{Json, ToJson};
+
+/// Default histogram bucket upper bounds, in nanoseconds: a 1-2-5 ladder
+/// from 1 µs to 1000 s. Wide enough for every virtual-time latency the
+/// simulator produces and for wall-clock bench timings.
+const DEFAULT_BOUNDS: [f64; 28] = [
+    1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+    2e9, 5e9, 1e10, 2e10, 5e10, 1e11, 2e11, 5e11, 1e12,
+];
+
+/// A fixed-bucket histogram with exact count/sum/min/max and
+/// bucket-resolution quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&DEFAULT_BOUNDS)
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given ascending bucket upper bounds (an
+    /// overflow bucket is added implicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (exact), or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (exact), or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`, clamped to the exact observed min/max. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = self.bounds.get(i).copied().unwrap_or(self.max);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// JSON snapshot: count, sum, mean, min, max, p50/p95/p99.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("mean", self.mean().to_json()),
+            ("min", self.min().to_json()),
+            ("p50", self.quantile(0.50).to_json()),
+            ("p95", self.quantile(0.95).to_json()),
+            ("p99", self.quantile(0.99).to_json()),
+            ("max", self.max().to_json()),
+        ])
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        self.snapshot()
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Raises gauge `name` to `v` if `v` is larger (high-water marks).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let g = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `v` into histogram `name` (created on first use with the
+    /// default latency buckets).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds every metric of `other` into `self` (counters add, gauges
+    /// take the maximum, histograms merge bucket-wise when shaped alike).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self
+                .histograms
+                .entry(k.clone())
+                .or_insert_with(|| Histogram::new(&h.bounds));
+            if mine.bounds == h.bounds {
+                for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                    *a += b;
+                }
+                mine.count += h.count;
+                mine.sum += h.sum;
+                mine.min = mine.min.min(h.min);
+                mine.max = mine.max.max(h.max);
+            }
+        }
+    }
+
+    /// JSON snapshot of the whole registry:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("counters", self.counters.to_json()),
+            ("gauges", self.gauges.to_json()),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.snapshot()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> Json {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("x", 5)]);
+    }
+
+    #[test]
+    fn gauges_set_and_high_water() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("depth", 3.0);
+        m.gauge_max("depth", 1.0);
+        assert_eq!(m.gauge("depth"), Some(3.0));
+        m.gauge_max("depth", 7.0);
+        assert_eq!(m.gauge("depth"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_on_a_known_distribution() {
+        // 100 observations: 1µs..100µs in 1µs steps (nanoseconds).
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e3);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1e3);
+        assert_eq!(h.max(), 1e5);
+        assert!((h.mean() - 50.5e3).abs() < 1.0);
+        // p50 → rank 50 → the (..=50µs] bucket; p99 → rank 99 → (..=100µs].
+        assert_eq!(h.quantile(0.50), 5e4);
+        assert_eq!(h.quantile(0.99), 1e5);
+        // p100 is the exact max even though the bucket bound is higher.
+        assert_eq!(h.quantile(1.0), 1e5);
+    }
+
+    #[test]
+    fn histogram_single_value_is_exact_everywhere() {
+        let mut h = Histogram::default();
+        h.observe(1234.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1234.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_max() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        h.observe(5.0);
+        h.observe(1000.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.25), 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_combines_counters_gauges_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("n", 2);
+        b.add("n", 3);
+        b.add("only_b", 1);
+        a.set_gauge("g", 1.0);
+        b.set_gauge("g", 4.0);
+        a.observe("h", 1e3);
+        b.observe("h", 2e3);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(4.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 2e3);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_parses() {
+        let mut m = MetricsRegistry::new();
+        m.add("events", 10);
+        m.set_gauge("queue_depth_max", 4.0);
+        m.observe("latency_ns", 5e6);
+        let json = m.snapshot();
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("events"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+        let h = parsed
+            .get("histograms")
+            .and_then(|h| h.get("latency_ns"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(h.get("max").and_then(Json::as_f64), Some(5e6));
+    }
+}

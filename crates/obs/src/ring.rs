@@ -1,0 +1,115 @@
+//! A bounded ring buffer that counts what it drops.
+//!
+//! Backing store for in-memory trace sinks: a run can keep the last N
+//! trace entries without unbounded growth, and the drop count makes the
+//! truncation visible in the emitted artifact instead of silent.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO; pushing onto a full buffer evicts the oldest
+/// element and increments the drop counter.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends `item`, evicting the oldest element if full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(item);
+    }
+
+    /// Elements currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of elements held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many elements were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the buffer, oldest first (drop count is retained).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_everything_under_capacity() {
+        let mut r = RingBuffer::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_accounting_evicts_oldest_first() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let mut r = RingBuffer::new(2);
+        r.push('a');
+        r.push('b');
+        r.push('c');
+        assert_eq!(r.drain(), vec!['b', 'c']);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

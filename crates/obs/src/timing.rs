@@ -1,0 +1,191 @@
+//! A tiny wall-clock timing harness: warmup, N measured iterations,
+//! median/min readout through a [`Histogram`]. Replaces criterion for the
+//! workspace benches; each bench target is a plain `main` that prints a
+//! table and can dump the results as JSON.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::json::{Json, ToJson};
+use crate::metrics::Histogram;
+
+/// Timing results of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Measured iterations (after warmup).
+    pub iters: u32,
+    /// Per-iteration wall-clock nanoseconds.
+    pub ns: Histogram,
+}
+
+impl BenchResult {
+    /// Median nanoseconds per iteration (bucket resolution).
+    pub fn median_ns(&self) -> f64 {
+        self.ns.quantile(0.5)
+    }
+
+    /// Fastest iteration in nanoseconds (exact).
+    pub fn min_ns(&self) -> f64 {
+        self.ns.min()
+    }
+
+    /// One-line human rendering.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} median {:>12}  min {:>12}  ({} iters)",
+            self.name,
+            format_ns(self.median_ns()),
+            format_ns(self.min_ns()),
+            self.iters
+        )
+    }
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("iters", self.iters.to_json()),
+            ("median_ns", self.median_ns().to_json()),
+            ("min_ns", self.min_ns().to_json()),
+            ("mean_ns", self.ns.mean().to_json()),
+            ("max_ns", self.ns.max().to_json()),
+            ("ns", self.ns.to_json()),
+        ])
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs `f` for `warmup` unmeasured and `iters` measured iterations.
+///
+/// The closure's result is passed through [`black_box`] so the optimizer
+/// cannot delete the work.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench<R, F: FnMut() -> R>(name: &str, warmup: u32, iters: u32, mut f: F) -> BenchResult {
+    assert!(iters > 0, "need at least one measured iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut ns = Histogram::default();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        ns.observe(t0.elapsed().as_nanos() as f64);
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        ns,
+    }
+}
+
+/// A collection of [`BenchResult`]s that prints a table and serializes to
+/// the workspace `BENCH_*.json` shape:
+/// `{"suite": ..., "benchmarks": [{"name", "iters", "median_ns", ...}]}`.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Suite name (usually the bench binary's name).
+    pub suite: String,
+    /// Accumulated results, in run order.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchSuite {
+    /// An empty suite.
+    pub fn new(suite: &str) -> Self {
+        BenchSuite {
+            suite: suite.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one case and records (and prints) its result.
+    pub fn run<R, F: FnMut() -> R>(&mut self, name: &str, warmup: u32, iters: u32, f: F) {
+        let result = bench(name, warmup, iters, f);
+        println!("{}", result.line());
+        self.results.push(result);
+    }
+
+    /// Writes the suite as pretty JSON to `path` (honoring the
+    /// `CMI_BENCH_JSON` convention used by the bench binaries).
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty() + "\n")
+    }
+
+    /// Emits JSON to `$CMI_BENCH_JSON`-style path if the given
+    /// environment variable is set; returns the path written.
+    pub fn write_json_from_env(&self, var: &str) -> std::io::Result<Option<String>> {
+        match std::env::var(var) {
+            Ok(path) if !path.is_empty() => {
+                self.write_json(&path)?;
+                Ok(Some(path))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+impl ToJson for BenchSuite {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("suite", self.suite.to_json()),
+            ("benchmarks", self.results.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_all_iterations() {
+        let mut calls = 0u32;
+        let r = bench("t/counting", 2, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 7, "warmup + measured iterations");
+        assert_eq!(r.iters, 5);
+        assert_eq!(r.ns.count(), 5);
+        assert!(r.min_ns() <= r.median_ns() || r.ns.count() == 1);
+    }
+
+    #[test]
+    fn suite_serializes_to_bench_json_shape() {
+        let mut s = BenchSuite::new("unit");
+        s.results.push(bench("t/a", 0, 3, || 1 + 1));
+        let json = s.to_json();
+        assert_eq!(json.get("suite").and_then(Json::as_str), Some("unit"));
+        let benches = json.get("benchmarks").and_then(Json::as_array).unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("name").and_then(Json::as_str), Some("t/a"));
+        assert!(benches[0].get("median_ns").and_then(Json::as_f64).is_some());
+        // And it parses back with the in-tree parser.
+        assert!(Json::parse(&json.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(1500.0), "1.500 µs");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+        assert_eq!(format_ns(3.0e9), "3.000 s");
+    }
+}

@@ -4,14 +4,14 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
+use cmi_obs::MetricsRegistry;
 use cmi_types::SimTime;
-use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 
 use crate::engine::Engine;
+use crate::rng::SplitMix64;
 
 /// Dense identifier of an actor within one [`Sim`](crate::Sim).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(pub u32);
 
 impl ActorId {
@@ -103,8 +103,14 @@ impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
     /// Each actor's RNG stream is derived from the world seed and the
     /// actor id, so adding an actor does not perturb the streams of the
     /// others.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SplitMix64 {
         &mut self.engine.actor_rngs[self.me.index()]
+    }
+
+    /// The run's metrics registry, for protocol-level counters and
+    /// latency observations (`"protocol.writes_applied"`, ...).
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.engine.metrics_mut()
     }
 
     /// `true` if a channel `self.me() → to` exists.

@@ -3,7 +3,6 @@
 use std::time::Duration;
 
 use cmi_types::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// When a channel is able to start transmitting.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// practical even with dial-up connections."* (Section 1.1). Availability
 /// schedules model exactly that: a message handed to a down channel waits,
 /// in order, until the next up period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Availability {
     /// The channel can always transmit.
     AlwaysUp,
@@ -88,7 +87,7 @@ impl Availability {
 /// lets jitter reorder messages; the paper's IS-protocols *require* FIFO
 /// links, and the ablation experiment X7 uses a non-FIFO link to show
 /// what breaks without them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// Base propagation delay.
     pub delay: Duration,

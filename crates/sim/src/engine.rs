@@ -5,15 +5,14 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
+use cmi_obs::MetricsRegistry;
 use cmi_types::SimTime;
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 use crate::actor::{Actor, ActorId, Ctx};
 use crate::channel::{ChannelSpec, ChannelState};
-use crate::rng::derive_rng;
+use crate::rng::{derive_rng, SplitMix64};
 use crate::stats::{NetworkTag, TrafficStats};
-use crate::trace::{TraceEntry, TraceKind};
+use crate::trace::{TraceEntry, TraceKind, TraceSink};
 
 /// What should stop a [`Sim::run`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,10 +126,12 @@ pub(crate) struct Engine<M> {
     seq: u64,
     channels: HashMap<(ActorId, ActorId), ChannelState>,
     tags: Vec<NetworkTag>,
-    pub(crate) actor_rngs: Vec<SmallRng>,
-    jitter_rng: SmallRng,
+    pub(crate) actor_rngs: Vec<SplitMix64>,
+    jitter_rng: SplitMix64,
     stats: TrafficStats,
+    metrics: MetricsRegistry,
     trace: Option<Vec<TraceEntry>>,
+    sinks: Vec<Box<dyn TraceSink>>,
 }
 
 impl<M: fmt::Debug + Clone> Engine<M> {
@@ -152,11 +153,14 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             Duration::from_nanos(self.jitter_rng.gen_range(0..max))
         };
         let delivery = channel.schedule(self.now, jitter);
-        let duplicate = channel.spec.duplicate.then(|| channel.schedule(self.now, jitter));
-        self.stats
-            .on_send(from, to, self.tags[from.index()], self.tags[to.index()]);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEntry {
+        let duplicate = channel
+            .spec
+            .duplicate
+            .then(|| channel.schedule(self.now, jitter));
+        let payload_units = std::mem::size_of_val(&msg) as u64;
+        self.count_send(from, to, payload_units);
+        if self.tracing() {
+            self.emit_trace(TraceEntry {
                 at: self.now,
                 kind: TraceKind::Sent {
                     from,
@@ -167,11 +171,28 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             });
         }
         if let Some(dup_at) = duplicate {
-            self.stats
-                .on_send(from, to, self.tags[from.index()], self.tags[to.index()]);
-            self.push(dup_at, EventPayload::Message { from, to, msg: msg.clone() });
+            self.count_send(from, to, payload_units);
+            self.push(
+                dup_at,
+                EventPayload::Message {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
         }
         self.push(delivery, EventPayload::Message { from, to, msg });
+    }
+
+    /// Scalar per-send accounting shared by originals and duplicates.
+    fn count_send(&mut self, from: ActorId, to: ActorId, payload_units: u64) {
+        let (from_tag, to_tag) = (self.tags[from.index()], self.tags[to.index()]);
+        self.stats.on_send(from, to, from_tag, to_tag);
+        self.metrics.inc("engine.messages_sent");
+        self.metrics.add("engine.payload_units", payload_units);
+        if from_tag != to_tag {
+            self.metrics.inc("engine.crossings");
+        }
     }
 
     pub(crate) fn schedule_timer(&mut self, actor: ActorId, delay: Duration, token: u64) {
@@ -184,12 +205,31 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     }
 
     pub(crate) fn note(&mut self, actor: ActorId, text: String) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEntry {
+        if self.tracing() {
+            self.emit_trace(TraceEntry {
                 at: self.now,
                 kind: TraceKind::Note { actor, text },
             });
         }
+    }
+
+    /// `true` if any trace consumer is active (lets callers skip the
+    /// `format!` cost of rendering messages nobody will see).
+    pub(crate) fn tracing(&self) -> bool {
+        self.trace.is_some() || !self.sinks.is_empty()
+    }
+
+    pub(crate) fn emit_trace(&mut self, entry: TraceEntry) {
+        for sink in &mut self.sinks {
+            sink.record(&entry);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(entry);
+        }
+    }
+
+    pub(crate) fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
     }
 }
 
@@ -200,6 +240,7 @@ pub struct SimBuilder<M> {
     channels: HashMap<(ActorId, ActorId), ChannelState>,
     seed: u64,
     trace: bool,
+    sinks: Vec<Box<dyn TraceSink>>,
 }
 
 impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
@@ -211,6 +252,7 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             channels: HashMap::new(),
             seed,
             trace: false,
+            sinks: Vec::new(),
         }
     }
 
@@ -248,6 +290,17 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         self.trace = true;
     }
 
+    /// Registers a [`TraceSink`] that receives every trace entry of the
+    /// run as it happens (independently of [`enable_trace`]'s in-memory
+    /// log). Sinks are invoked in registration order. Returns the sink's
+    /// index for later retrieval with [`Sim::sink_mut`].
+    ///
+    /// [`enable_trace`]: SimBuilder::enable_trace
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> usize {
+        self.sinks.push(sink);
+        self.sinks.len() - 1
+    }
+
     /// Number of actors registered so far.
     pub fn actor_count(&self) -> usize {
         self.actors.len()
@@ -268,7 +321,9 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
                 actor_rngs,
                 jitter_rng: derive_rng(self.seed, u64::MAX),
                 stats: TrafficStats::new(),
+                metrics: MetricsRegistry::new(),
                 trace: if self.trace { Some(Vec::new()) } else { None },
+                sinks: self.sinks,
             },
             actors: self.actors,
             started: false,
@@ -324,15 +379,19 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     };
                 }
             }
+            self.engine
+                .metrics
+                .gauge_max("engine.queue_depth_max", self.engine.queue.len() as f64);
             let ev = self.engine.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.engine.now, "time went backwards");
             self.engine.now = ev.at;
             events_this_call += 1;
             self.events_processed += 1;
+            self.engine.metrics.inc("engine.events_dispatched");
             match ev.payload {
                 EventPayload::Message { from, to, msg } => {
-                    if let Some(trace) = &mut self.engine.trace {
-                        trace.push(TraceEntry {
+                    if self.engine.tracing() {
+                        self.engine.emit_trace(TraceEntry {
                             at: ev.at,
                             kind: TraceKind::Delivered {
                                 from,
@@ -349,8 +408,9 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                 }
                 EventPayload::Timer { actor, token } => {
                     self.engine.stats.on_timer();
-                    if let Some(trace) = &mut self.engine.trace {
-                        trace.push(TraceEntry {
+                    self.engine.metrics.inc("engine.timer_fires");
+                    if self.engine.tracing() {
+                        self.engine.emit_trace(TraceEntry {
                             at: ev.at,
                             kind: TraceKind::Timer { actor, token },
                         });
@@ -390,6 +450,44 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
     /// [`SimBuilder::enable_trace`] was called).
     pub fn trace(&self) -> &[TraceEntry] {
         self.engine.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The live metrics registry: engine counters (`engine.*`) plus
+    /// whatever the actors recorded through [`Ctx::metrics`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.engine.metrics
+    }
+
+    /// Mutable registry access, e.g. for harness-level observations.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        self.engine.metrics_mut()
+    }
+
+    /// A full metrics snapshot: the live registry plus the per-channel
+    /// (`channel.*`) and per-crossing (`crossing.*`) counter tables
+    /// mirrored from [`TrafficStats`], so a single artifact carries
+    /// engine, channel, protocol and IS-process counters together.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut snapshot = self.engine.metrics.clone();
+        self.engine.stats.export_into(&mut snapshot);
+        snapshot
+    }
+
+    /// Flushes every registered trace sink (file-backed sinks buffer).
+    pub fn flush_sinks(&mut self) {
+        for sink in &mut self.engine.sinks {
+            sink.flush();
+        }
+    }
+
+    /// Downcasts the trace sink at `index` (as returned by
+    /// [`SimBuilder::add_trace_sink`]) to its concrete type.
+    pub fn sink_mut<T: 'static>(&mut self, index: usize) -> Option<&mut T> {
+        self.engine
+            .sinks
+            .get_mut(index)?
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Downcasts the actor `id` to its concrete type.
@@ -498,7 +596,8 @@ mod tests {
     #[test]
     fn fifo_holds_under_jitter() {
         for seed in 0..20 {
-            let (mut sim, _a0, a1) = two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, seed);
+            let (mut sim, _a0, a1) =
+                two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, seed);
             sim.run(RunLimit::unlimited());
             let sink = sim.actor::<Flood>(a1).unwrap();
             assert_eq!(sink.received, (0..50).collect::<Vec<_>>(), "seed {seed}");

@@ -63,5 +63,6 @@ pub mod trace;
 pub use actor::{Actor, ActorId, Ctx};
 pub use channel::{Availability, ChannelSpec};
 pub use engine::{RunLimit, RunOutcome, Sim, SimBuilder};
+pub use rng::{derive_rng, derive_seed, SplitMix64};
 pub use stats::{NetworkTag, TrafficStats};
-pub use trace::{TraceEntry, TraceKind};
+pub use trace::{JsonlSink, RingSink, StderrSink, TraceEntry, TraceKind, TraceSink};

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use cmi_obs::{Json, MetricsRegistry, ToJson};
 
 use crate::actor::ActorId;
 
@@ -13,9 +13,7 @@ use crate::actor::ActorId;
 /// networks ("two local area networks connected with a low-speed
 /// point-to-point link"); tagging each actor with its network lets the
 /// stats separate intra-network traffic from crossings.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NetworkTag(pub u16);
 
 impl fmt::Display for NetworkTag {
@@ -28,7 +26,7 @@ impl fmt::Display for NetworkTag {
 ///
 /// Counters can be [`reset`](TrafficStats::reset) between phases so that
 /// an experiment can, e.g., exclude warm-up traffic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     total_messages: u64,
     per_channel: BTreeMap<(ActorId, ActorId), u64>,
@@ -42,7 +40,13 @@ impl TrafficStats {
         TrafficStats::default()
     }
 
-    pub(crate) fn on_send(&mut self, from: ActorId, to: ActorId, from_tag: NetworkTag, to_tag: NetworkTag) {
+    pub(crate) fn on_send(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        from_tag: NetworkTag,
+        to_tag: NetworkTag,
+    ) {
         self.total_messages += 1;
         *self.per_channel.entry((from, to)).or_insert(0) += 1;
         if from_tag != to_tag {
@@ -93,6 +97,50 @@ impl TrafficStats {
     /// Zeroes all counters (e.g. at the end of a warm-up phase).
     pub fn reset(&mut self) {
         *self = TrafficStats::default();
+    }
+
+    /// Mirrors every counter into `metrics`, under the `traffic.*`,
+    /// `channel.*` and `crossing.*` names. Because the registry copy is
+    /// derived from this table, the registry's counts match the
+    /// closed-form checks (experiment X2) exactly whenever these do.
+    pub fn export_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.add("traffic.total_messages", self.total_messages);
+        metrics.add("traffic.timer_events", self.timer_events);
+        metrics.add("traffic.crossings", self.crossings());
+        for ((from, to), n) in &self.per_channel {
+            metrics.add(&format!("channel.{from}->{to}.messages"), *n);
+        }
+        for ((a, b), n) in &self.per_crossing {
+            metrics.add(&format!("crossing.{a}->{b}.messages"), *n);
+        }
+    }
+}
+
+impl ToJson for TrafficStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_messages", self.total_messages.to_json()),
+            ("timer_events", self.timer_events.to_json()),
+            ("crossings", self.crossings().to_json()),
+            (
+                "per_channel",
+                Json::Obj(
+                    self.per_channel
+                        .iter()
+                        .map(|((f, t), n)| (format!("{f}->{t}"), n.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_crossing",
+                Json::Obj(
+                    self.per_crossing
+                        .iter()
+                        .map(|((a, b), n)| (format!("{a}->{b}"), n.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -1,18 +1,28 @@
-//! Optional human-readable event trace.
+//! Event trace: entries, and the pluggable sinks that consume them.
 //!
-//! When enabled, the engine records one entry per send, delivery, timer
-//! and protocol annotation. Experiment X1 uses this to regenerate the
-//! paper's Fig. 3 task-interaction diagram as an executable trace.
+//! The engine produces one [`TraceEntry`] per send, delivery, timer and
+//! protocol annotation. Two consumers exist:
+//!
+//! * the in-memory full trace enabled by
+//!   [`SimBuilder::enable_trace`](crate::SimBuilder::enable_trace)
+//!   (unbounded; used by experiment X1 and `RunReport::trace`), and
+//! * any number of [`TraceSink`]s registered with
+//!   [`SimBuilder::add_trace_sink`](crate::SimBuilder::add_trace_sink):
+//!   a bounded [`RingSink`] keeping the last N entries (drop count
+//!   surfaced), a line-oriented [`StderrSink`], and a [`JsonlSink`]
+//!   writing one JSON object per line to a file.
 
+use std::any::Any;
 use std::fmt;
+use std::io::Write;
 
+use cmi_obs::{Json, RingBuffer, ToJson};
 use cmi_types::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::actor::ActorId;
 
 /// What kind of event a trace entry records.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
     /// A message was handed to a channel.
     Sent {
@@ -52,7 +62,7 @@ pub enum TraceKind {
 }
 
 /// One timestamped trace entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Virtual time of the event.
     pub at: SimTime,
@@ -80,20 +90,201 @@ impl fmt::Display for TraceEntry {
     }
 }
 
+impl ToJson for TraceEntry {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![("at_ns".to_string(), self.at.to_json())];
+        let mut put = |k: &str, v: Json| pairs.push((k.to_string(), v));
+        match &self.kind {
+            TraceKind::Sent {
+                from,
+                to,
+                delivery,
+                msg,
+            } => {
+                put("kind", Json::Str("sent".into()));
+                put("from", from.0.to_json());
+                put("to", to.0.to_json());
+                put("delivery_ns", delivery.to_json());
+                put("msg", msg.to_json());
+            }
+            TraceKind::Delivered { from, to, msg } => {
+                put("kind", Json::Str("delivered".into()));
+                put("from", from.0.to_json());
+                put("to", to.0.to_json());
+                put("msg", msg.to_json());
+            }
+            TraceKind::Timer { actor, token } => {
+                put("kind", Json::Str("timer".into()));
+                put("actor", actor.0.to_json());
+                put("token", token.to_json());
+            }
+            TraceKind::Note { actor, text } => {
+                put("kind", Json::Str("note".into()));
+                put("actor", actor.0.to_json());
+                put("text", text.to_json());
+            }
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A consumer of trace entries, registered per run.
+pub trait TraceSink {
+    /// Called once per trace entry, in event order.
+    fn record(&mut self, entry: &TraceEntry);
+
+    /// Flushes buffered output (called when a run finishes).
+    fn flush(&mut self) {}
+
+    /// Downcast support, so harnesses can recover a concrete sink (e.g.
+    /// a [`RingSink`]'s retained entries) after the run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` entries and
+/// counts how many older ones it dropped.
+pub struct RingSink {
+    ring: RingBuffer<TraceEntry>,
+}
+
+impl RingSink {
+    /// A sink retaining the last `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            ring: RingBuffer::new(capacity),
+        }
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> Vec<&TraceEntry> {
+        self.ring.iter().collect()
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// JSON rendering: `{"dropped": n, "entries": [...]}`.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("dropped", self.ring.dropped().to_json()),
+            (
+                "entries",
+                Json::Arr(self.ring.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, entry: &TraceEntry) {
+        self.ring.push(entry.clone());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Line-oriented sink writing each entry's human rendering to stderr.
+#[derive(Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&mut self, entry: &TraceEntry) {
+        eprintln!("{entry}");
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// JSONL sink: one compact JSON object per entry, written to any
+/// [`Write`] target (typically a buffered file).
+pub struct JsonlSink<W: Write + 'static> {
+    out: W,
+    errored: bool,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates a JSONL sink writing to the file at `path` (truncated).
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + 'static> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            errored: false,
+        }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + 'static> TraceSink for JsonlSink<W> {
+    fn record(&mut self, entry: &TraceEntry) {
+        // I/O failure must not abort a deterministic run; note it once.
+        if !self.errored && writeln!(self.out, "{}", entry.to_json().to_compact()).is_err() {
+            self.errored = true;
+            eprintln!("warning: jsonl trace sink stopped writing (I/O error)");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn entries_render_compactly() {
-        let e = TraceEntry {
-            at: SimTime::from_millis(1),
+    fn note(ms: u64, text: &str) -> TraceEntry {
+        TraceEntry {
+            at: SimTime::from_millis(ms),
             kind: TraceKind::Note {
                 actor: ActorId(2),
-                text: "post_update(x0)".into(),
+                text: text.into(),
             },
-        };
-        assert_eq!(e.to_string(), "t=1ms a2: post_update(x0)");
+        }
+    }
+
+    #[test]
+    fn entries_render_compactly() {
+        assert_eq!(
+            note(1, "post_update(x0)").to_string(),
+            "t=1ms a2: post_update(x0)"
+        );
     }
 
     #[test]
@@ -110,5 +301,55 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("a0 ⇒ a1"));
         assert!(s.contains("t=3ms"));
+    }
+
+    #[test]
+    fn entries_serialize_to_parseable_json() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(2),
+            kind: TraceKind::Timer {
+                actor: ActorId(5),
+                token: 9,
+            },
+        };
+        let parsed = Json::parse(&e.to_json().to_compact()).unwrap();
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("timer"));
+        assert_eq!(parsed.get("actor").and_then(Json::as_u64), Some(5));
+        assert_eq!(parsed.get("token").and_then(Json::as_u64), Some(9));
+        assert_eq!(parsed.get("at_ns").and_then(Json::as_u64), Some(2_000_000));
+    }
+
+    #[test]
+    fn ring_sink_keeps_tail_and_counts_drops() {
+        let mut sink = RingSink::new(2);
+        for i in 0..5 {
+            sink.record(&note(i, &format!("n{i}")));
+        }
+        assert_eq!(sink.dropped(), 3);
+        let texts: Vec<_> = sink.entries().iter().map(|e| e.to_string()).collect();
+        assert_eq!(texts.len(), 2);
+        assert!(texts[0].contains("n3") && texts[1].contains("n4"));
+        let snap = sink.snapshot();
+        assert_eq!(snap.get("dropped").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            snap.get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&note(1, "a"));
+        sink.record(&note(2, "b"));
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(Json::parse(line).is_ok(), "bad line {line}");
+        }
     }
 }

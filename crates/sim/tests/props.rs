@@ -1,14 +1,15 @@
-//! Property tests for the simulator: FIFO delivery under arbitrary
-//! jitter and availability schedules, and bit-exact determinism.
+//! Randomized-property tests for the simulator: FIFO delivery under
+//! arbitrary jitter and availability schedules, and bit-exact
+//! determinism. Cases are generated from seeded in-tree [`SplitMix64`]
+//! streams, so every failure reproduces from its printed seed.
 
 use std::any::Any;
 use std::time::Duration;
 
 use cmi_sim::{
-    Actor, ActorId, Availability, ChannelSpec, Ctx, NetworkTag, RunLimit, SimBuilder,
+    Actor, ActorId, Availability, ChannelSpec, Ctx, NetworkTag, RunLimit, SimBuilder, SplitMix64,
 };
 use cmi_types::SimTime;
-use proptest::prelude::*;
 
 /// Sends `count` numbered messages at randomized issue times.
 struct Burst {
@@ -57,15 +58,24 @@ impl Actor<u32> for Sink {
     }
 }
 
-fn availability() -> impl Strategy<Value = Availability> {
-    prop_oneof![
-        Just(Availability::AlwaysUp),
-        (1u64..50).prop_map(|ms| Availability::UpFrom(SimTime::from_millis(ms))),
-        (1u64..20, 1u64..10).prop_map(|(period, up)| Availability::DutyCycle {
-            period: Duration::from_millis(period + up),
-            up: Duration::from_millis(up),
-        }),
-    ]
+fn availability(rng: &mut SplitMix64) -> Availability {
+    match rng.gen_range(0u32..3) {
+        0 => Availability::AlwaysUp,
+        1 => Availability::UpFrom(SimTime::from_millis(rng.gen_range(1u64..50))),
+        _ => {
+            let period = rng.gen_range(1u64..20);
+            let up = rng.gen_range(1u64..10);
+            Availability::DutyCycle {
+                period: Duration::from_millis(period + up),
+                up: Duration::from_millis(up),
+            }
+        }
+    }
+}
+
+fn send_delays(rng: &mut SplitMix64, max_len: usize, bound: u64) -> Vec<u64> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
 }
 
 fn run_burst(
@@ -106,47 +116,52 @@ fn run_burst(
     (got, sim.now())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fifo_order_holds_under_jitter_and_outages(
-        sends in proptest::collection::vec(0u64..5_000, 1..40),
-        delay_us in 1u64..2_000,
-        jitter_us in 1u64..5_000,
-        avail in availability(),
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn fifo_order_holds_under_jitter_and_outages() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let sends = send_delays(&mut rng, 40, 5_000);
+        let delay_us = rng.gen_range(1u64..2_000);
+        let jitter_us = rng.gen_range(1u64..5_000);
+        let avail = availability(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
         let (got, _) = run_burst(sends, delay_us, jitter_us, avail, seed);
         let mut sorted = got.clone();
         sorted.sort();
-        prop_assert_eq!(got, sorted, "delivery must follow send order");
+        assert_eq!(got, sorted, "delivery must follow send order (case {case})");
     }
+}
 
-    #[test]
-    fn runs_are_deterministic_per_seed(
-        sends in proptest::collection::vec(0u64..2_000, 1..20),
-        jitter_us in 1u64..3_000,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn runs_are_deterministic_per_seed() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5EED ^ case);
+        let sends = send_delays(&mut rng, 20, 2_000);
+        let jitter_us = rng.gen_range(1u64..3_000);
+        let seed = rng.gen_range(0u64..1_000);
         let a = run_burst(sends.clone(), 100, jitter_us, Availability::AlwaysUp, seed);
         let b = run_burst(sends, 100, jitter_us, Availability::AlwaysUp, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn availability_never_delivers_during_downtime(
-        period_ms in 2u64..30,
-        up_ms in 1u64..2,
-        t_ms in 0u64..200,
-    ) {
+#[test]
+fn availability_never_delivers_during_downtime() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xD0DA ^ case);
+        let period_ms = rng.gen_range(2u64..30);
+        let up_ms = rng.gen_range(1u64..2);
+        let t_ms = rng.gen_range(0u64..200);
         let avail = Availability::DutyCycle {
             period: Duration::from_millis(period_ms + up_ms),
             up: Duration::from_millis(up_ms),
         };
         let t = SimTime::from_millis(t_ms);
         let start = avail.next_transmit(t);
-        prop_assert!(start >= t);
-        prop_assert!(avail.is_up(start), "transmission must start in an up window");
+        assert!(start >= t, "case {case}");
+        assert!(
+            avail.is_up(start),
+            "transmission must start in an up window (case {case})"
+        );
     }
 }

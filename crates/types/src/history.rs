@@ -9,14 +9,12 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{OpId, ProcId, VarId};
 use crate::op::{OpKind, OpRecord};
 use crate::value::Value;
 
 /// Why a history fails the paper's differentiated-history assumption.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DifferentiatedError {
     /// The same value was written twice to the same variable — the paper
     /// assumes "a given value is written at most once in any given
@@ -52,7 +50,7 @@ impl fmt::Display for DifferentiatedError {
 impl std::error::Error for DifferentiatedError {}
 
 /// Where a read operation got its value from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadSource {
     /// The read returned the initial value `⊥`.
     Initial,
@@ -67,7 +65,7 @@ pub enum ReadSource {
 /// operations of the history plus the read operations of process `i`
 /// (Section 2 of the paper: "the computation obtained by removing from
 /// `α^q` all read operations from processes other than `i`").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessProjection {
     /// The process whose reads are retained.
     pub proc: ProcId,
@@ -92,7 +90,7 @@ pub struct ProcessProjection {
 /// let r = h.record(OpRecord::read(q, x, Some(v), SimTime::from_nanos(2)));
 /// assert_eq!(h.reads_from()[r.index()], Some(cmi_types::history::ReadSource::Write(w)));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct History {
     records: Vec<OpRecord>,
 }
@@ -420,7 +418,9 @@ mod tests {
         h.record(OpRecord::write(p(2), VarId(0), Value::new(p(0), 1), t(9)));
         let err = h.validate_differentiated().unwrap_err();
         match err {
-            DifferentiatedError::DuplicateWrite { var, first, second, .. } => {
+            DifferentiatedError::DuplicateWrite {
+                var, first, second, ..
+            } => {
                 assert_eq!(var, VarId(0));
                 assert_eq!(first, OpId(0));
                 assert_eq!(second, OpId(4));

@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of one DSM system (`S^q` in the paper).
 ///
 /// Systems are numbered densely from zero within a world.
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let s = SystemId(2);
 /// assert_eq!(s.to_string(), "S2");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SystemId(pub u16);
 
 impl SystemId {
@@ -55,7 +53,7 @@ impl fmt::Display for SystemId {
 /// assert_eq!(p.index, 3);
 /// assert_eq!(p.to_string(), "S0.p3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId {
     /// System this process belongs to.
     pub system: SystemId,
@@ -86,7 +84,7 @@ impl fmt::Display for ProcId {
 /// All systems being interconnected share the same variable namespace:
 /// the paper requires the MCS-process attached to each IS-process to hold
 /// "a local replica of each of the variables of the shared memory".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 impl VarId {
@@ -107,7 +105,7 @@ impl fmt::Display for VarId {
 /// Assigned densely by [`History::record`](crate::History::record) in
 /// recording order; useful as a stable key when building causal-order
 /// graphs over a history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u64);
 
 impl OpId {
@@ -145,10 +143,11 @@ mod tests {
     }
 
     #[test]
-    fn ids_round_trip_through_serde() {
+    fn ids_round_trip_through_json() {
+        use cmi_obs::{FromJson, Json, ToJson};
         let p = ProcId::new(SystemId(3), 4);
-        let json = serde_json::to_string(&p).unwrap();
-        let back: ProcId = serde_json::from_str(&json).unwrap();
+        let json = p.to_json().to_compact();
+        let back = ProcId::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(p, back);
     }
 

@@ -1,0 +1,301 @@
+//! JSON encodings of the core vocabulary, via `cmi-obs`.
+//!
+//! Replaces the former serde derives: every type that appears in a run
+//! artifact implements [`ToJson`], and the types needed to read artifacts
+//! back (histories, operations, identifiers) also implement [`FromJson`].
+//!
+//! Shapes are explicit and stable:
+//!
+//! - `SystemId`, `VarId`, `OpId` — plain numbers
+//! - `ProcId` — `{"system": 0, "index": 3}`
+//! - `Value` — `{"origin": <proc>, "seq": 7}`
+//! - `SimTime` — nanoseconds since run start, as a number
+//! - `OpRecord` — `{"id", "proc", "var", "kind", "value", "issued_at_ns",
+//!   "at_ns"}` with `kind` `"read"`/`"write"` and `value` `null` for a
+//!   read of `⊥`
+//! - `History` — `{"ops": [<op record>...]}`
+//! - `VectorClock` — array of components
+
+use cmi_obs::{FromJson, Json, ToJson};
+
+use crate::history::{DifferentiatedError, History, ProcessProjection, ReadSource};
+use crate::ids::{OpId, ProcId, SystemId, VarId};
+use crate::op::{OpKind, OpRecord};
+use crate::time::SimTime;
+use crate::value::Value;
+use crate::vclock::VectorClock;
+
+impl ToJson for SystemId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SystemId {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        u16::from_json(v).map(SystemId)
+    }
+}
+
+impl ToJson for VarId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for VarId {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        u32::from_json(v).map(VarId)
+    }
+}
+
+impl ToJson for OpId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for OpId {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        u64::from_json(v).map(OpId)
+    }
+}
+
+impl ToJson for ProcId {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("system", self.system.to_json()),
+            ("index", self.index.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProcId {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let system = field(v, "system")?;
+        let index = field(v, "index")?;
+        Ok(ProcId { system, index })
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("origin", self.origin().to_json()),
+            ("seq", self.seq().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Value::new(field(v, "origin")?, field(v, "seq")?))
+    }
+}
+
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        self.as_nanos().to_json()
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        u64::from_json(v).map(SimTime::from_nanos)
+    }
+}
+
+impl ToJson for VectorClock {
+    fn to_json(&self) -> Json {
+        Json::Arr((0..self.width()).map(|i| self.get(i).to_json()).collect())
+    }
+}
+
+impl FromJson for VectorClock {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Vec::<u32>::from_json(v).map(VectorClock::from_components)
+    }
+}
+
+impl ToJson for OpRecord {
+    fn to_json(&self) -> Json {
+        let (kind, value) = match self.kind {
+            OpKind::Read { value } => ("read", value.to_json()),
+            OpKind::Write { value } => ("write", value.to_json()),
+        };
+        // The UNRECORDED sentinel (u64::MAX) is not exactly representable
+        // as a JSON number; encode it as null.
+        let id = if self.id == OpRecord::UNRECORDED {
+            Json::Null
+        } else {
+            self.id.to_json()
+        };
+        Json::obj([
+            ("id", id),
+            ("proc", self.proc.to_json()),
+            ("var", self.var.to_json()),
+            ("kind", kind.to_json()),
+            ("value", value),
+            ("issued_at_ns", self.issued_at.to_json()),
+            ("at_ns", self.at.to_json()),
+        ])
+    }
+}
+
+impl FromJson for OpRecord {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind_name: String = field(v, "kind")?;
+        let value: Option<Value> = field(v, "value")?;
+        let kind = match kind_name.as_str() {
+            "read" => OpKind::Read { value },
+            "write" => OpKind::Write {
+                value: value.ok_or_else(|| "write record with null value".to_string())?,
+            },
+            other => return Err(format!("unknown op kind {other:?}")),
+        };
+        let id: Option<OpId> = field(v, "id")?;
+        Ok(OpRecord {
+            id: id.unwrap_or(OpRecord::UNRECORDED),
+            proc: field(v, "proc")?,
+            var: field(v, "var")?,
+            kind,
+            issued_at: field(v, "issued_at_ns")?,
+            at: field(v, "at_ns")?,
+        })
+    }
+}
+
+impl ToJson for History {
+    fn to_json(&self) -> Json {
+        Json::obj([("ops", Json::arr(self.iter()))])
+    }
+}
+
+impl FromJson for History {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let ops: Vec<OpRecord> = field(v, "ops")?;
+        let mut h = History::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let id = h.record(op);
+            if id.index() != i {
+                return Err("op ids must be dense and in order".to_string());
+            }
+        }
+        Ok(h)
+    }
+}
+
+impl History {
+    /// Parses a history previously serialized with
+    /// [`ToJson::to_json`] (either compact or pretty form).
+    pub fn parse_json(text: &str) -> Result<History, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        History::from_json(&v)
+    }
+}
+
+impl ToJson for ReadSource {
+    fn to_json(&self) -> Json {
+        match self {
+            ReadSource::Initial => Json::Str("initial".into()),
+            ReadSource::Write(id) => id.to_json(),
+            ReadSource::ThinAir => Json::Str("thin-air".into()),
+        }
+    }
+}
+
+impl ToJson for ProcessProjection {
+    fn to_json(&self) -> Json {
+        Json::obj([("proc", self.proc.to_json()), ("ops", self.ops.to_json())])
+    }
+}
+
+impl ToJson for DifferentiatedError {
+    fn to_json(&self) -> Json {
+        match self {
+            DifferentiatedError::DuplicateWrite {
+                var,
+                value,
+                first,
+                second,
+            } => Json::obj([
+                ("error", Json::Str("duplicate_write".into())),
+                ("var", var.to_json()),
+                ("value", value.to_json()),
+                ("first", first.to_json()),
+                ("second", second.to_json()),
+            ]),
+        }
+    }
+}
+
+/// Decodes a required object member, prefixing errors with the key.
+fn field<T: FromJson>(v: &Json, key: &str) -> Result<T, String> {
+    let member = v.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+    T::from_json(member).map_err(|e| format!("{key}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: u16, i: u16) -> ProcId {
+        ProcId::new(SystemId(s), i)
+    }
+
+    #[test]
+    fn history_round_trips_in_both_renderings() {
+        let mut h = History::new();
+        let v = Value::new(p(0, 0), 1);
+        h.record(OpRecord::write(
+            p(0, 0),
+            VarId(0),
+            v,
+            SimTime::from_millis(1),
+        ));
+        h.record(
+            OpRecord::read(p(1, 2), VarId(0), Some(v), SimTime::from_millis(3))
+                .with_issued_at(SimTime::from_millis(2)),
+        );
+        h.record(OpRecord::read(
+            p(0, 1),
+            VarId(1),
+            None,
+            SimTime::from_millis(4),
+        ));
+        let compact = h.to_json().to_compact();
+        let pretty = h.to_json().to_pretty();
+        assert_eq!(History::parse_json(&compact).unwrap(), h);
+        assert_eq!(History::parse_json(&pretty).unwrap(), h);
+    }
+
+    #[test]
+    fn read_of_bottom_serializes_as_null_value() {
+        let rec = OpRecord::read(p(0, 0), VarId(2), None, SimTime::ZERO);
+        let json = rec.to_json();
+        assert!(json.get("value").unwrap().is_null());
+        let back = OpRecord::from_json(&json).unwrap();
+        assert_eq!(back.read_value(), Some(None));
+    }
+
+    #[test]
+    fn vector_clock_is_a_component_array() {
+        let mut c = VectorClock::new(3);
+        c.tick(1);
+        let json = c.to_json();
+        assert_eq!(json.to_compact(), "[0,1,0]");
+        assert_eq!(VectorClock::from_json(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn malformed_histories_are_rejected() {
+        for bad in [
+            r#"{"ops": [{"kind": "write"}]}"#,
+            r#"{"ops": [{"id":0,"proc":{"system":0,"index":0},"var":0,"kind":"write","value":null,"issued_at_ns":0,"at_ns":0}]}"#,
+            r#"{"ops": 3}"#,
+            r#"[]"#,
+        ] {
+            assert!(History::parse_json(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

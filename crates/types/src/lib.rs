@@ -45,6 +45,7 @@
 
 pub mod history;
 pub mod ids;
+pub mod json;
 pub mod op;
 pub mod time;
 pub mod value;

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{OpId, ProcId, VarId};
 use crate::time::SimTime;
 use crate::value::Value;
 
 /// The kind of a memory operation together with its value payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A read `r_i^q(x)v` reporting `value`; `None` means the read
     /// returned the initial value `⊥` (the paper models initial values as
@@ -62,7 +60,7 @@ impl OpKind {
 /// assert!(w.kind.is_write());
 /// assert_eq!(w.var, VarId(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpRecord {
     /// Dense identifier within the owning [`History`](crate::History).
     pub id: OpId,

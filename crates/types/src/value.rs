@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ProcId;
 
 /// A value written to a shared variable.
@@ -31,7 +29,7 @@ use crate::ids::ProcId;
 /// assert_ne!(v1, v2);
 /// assert_eq!(v1.origin(), p);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value {
     origin: ProcId,
     seq: u32,

@@ -4,10 +4,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Result of comparing two vector clocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClockOrdering {
     /// Component-wise equal.
     Equal,
@@ -39,7 +37,7 @@ pub enum ClockOrdering {
 /// b.tick(2);
 /// assert_eq!(a.compare(&b), ClockOrdering::Before);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct VectorClock(Vec<u32>);
 
 impl VectorClock {

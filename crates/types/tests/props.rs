@@ -1,138 +1,196 @@
-//! Property tests for the core vocabulary: vector-clock laws and
-//! history invariants.
+//! Randomized-property tests for the core vocabulary: vector-clock laws
+//! and history invariants.
+//!
+//! Each test sweeps a few hundred seeded cases through an inline
+//! SplitMix64 stream (the same generator `cmi-sim` uses; inlined here so
+//! the base crate keeps zero dev-dependencies on downstream crates).
 
 use cmi_types::{
     ClockOrdering, History, OpRecord, ProcId, ReadSource, SimTime, SystemId, Value, VarId,
     VectorClock,
 };
-use proptest::prelude::*;
 
-fn clock(width: usize) -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0u32..20, width).prop_map(VectorClock::from_components)
+/// Minimal SplitMix64 stream for case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound > 0`).
+    fn below(&mut self, bound: u64) -> u64 {
+        (((self.next_u64() >> 11) as u128 * bound as u128) >> 53) as u64
+    }
 }
 
-proptest! {
-    #[test]
-    fn merge_is_commutative_and_idempotent(a in clock(5), b in clock(5)) {
+const CASES: u64 = 300;
+
+fn clock(rng: &mut Rng, width: usize) -> VectorClock {
+    VectorClock::from_components((0..width).map(|_| rng.below(20) as u32).collect())
+}
+
+#[test]
+fn merge_is_commutative_and_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a = clock(&mut rng, 5);
+        let b = clock(&mut rng, 5);
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba, "seed {seed}");
         let mut abb = ab.clone();
         abb.merge(&b);
-        prop_assert_eq!(&abb, &ab);
+        assert_eq!(abb, ab, "seed {seed}");
     }
+}
 
-    #[test]
-    fn merge_dominates_both_inputs(a in clock(5), b in clock(5)) {
+#[test]
+fn merge_dominates_both_inputs() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a = clock(&mut rng, 5);
+        let b = clock(&mut rng, 5);
         let mut m = a.clone();
         m.merge(&b);
-        prop_assert!(a.leq(&m));
-        prop_assert!(b.leq(&m));
+        assert!(a.leq(&m), "seed {seed}");
+        assert!(b.leq(&m), "seed {seed}");
     }
+}
 
-    #[test]
-    fn compare_is_antisymmetric(a in clock(4), b in clock(4)) {
-        match a.compare(&b) {
-            ClockOrdering::Before => prop_assert_eq!(b.compare(&a), ClockOrdering::After),
-            ClockOrdering::After => prop_assert_eq!(b.compare(&a), ClockOrdering::Before),
-            ClockOrdering::Equal => prop_assert_eq!(b.compare(&a), ClockOrdering::Equal),
-            ClockOrdering::Concurrent => {
-                prop_assert_eq!(b.compare(&a), ClockOrdering::Concurrent)
-            }
-        }
+#[test]
+fn compare_is_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let a = clock(&mut rng, 4);
+        let b = clock(&mut rng, 4);
+        let expected = match a.compare(&b) {
+            ClockOrdering::Before => ClockOrdering::After,
+            ClockOrdering::After => ClockOrdering::Before,
+            ClockOrdering::Equal => ClockOrdering::Equal,
+            ClockOrdering::Concurrent => ClockOrdering::Concurrent,
+        };
+        assert_eq!(b.compare(&a), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn tick_strictly_increases(mut a in clock(4), slot in 0usize..4) {
+#[test]
+fn tick_strictly_increases() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let mut a = clock(&mut rng, 4);
+        let slot = rng.below(4) as usize;
         let before = a.clone();
         a.tick(slot);
-        prop_assert_eq!(before.compare(&a), ClockOrdering::Before);
+        assert_eq!(before.compare(&a), ClockOrdering::Before, "seed {seed}");
     }
+}
 
-    #[test]
-    fn deliverable_message_is_the_senders_next(
-        receiver in clock(4),
-        sender in 0usize..4,
-    ) {
+#[test]
+fn deliverable_message_is_the_senders_next() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let receiver = clock(&mut rng, 4);
+        let sender = rng.below(4) as usize;
         // Construct the sender's "next" message: one past the receiver's
         // view of the sender, nothing newer elsewhere.
         let mut msg = receiver.clone();
         msg.tick(sender);
-        prop_assert!(receiver.deliverable_from(sender, &msg));
+        assert!(receiver.deliverable_from(sender, &msg), "seed {seed}");
         // Skipping one more makes it undeliverable.
         let mut skipped = msg.clone();
         skipped.tick(sender);
-        prop_assert!(!receiver.deliverable_from(sender, &skipped));
+        assert!(!receiver.deliverable_from(sender, &skipped), "seed {seed}");
     }
 }
 
-/// Strategy for small random (not necessarily consistent) histories.
-fn history(max_ops: usize) -> impl Strategy<Value = History> {
-    let op = (0u16..3, 0u32..3, 0u16..3, 0u32..4, prop::bool::ANY);
-    proptest::collection::vec(op, 0..max_ops).prop_map(|ops| {
-        let mut h = History::new();
-        for (i, (proc, var, origin, seq, is_write)) in ops.into_iter().enumerate() {
-            let p = ProcId::new(SystemId(0), proc);
-            let v = Value::new(ProcId::new(SystemId(0), origin), seq);
-            let at = SimTime::from_nanos(i as u64);
-            if is_write {
-                h.record(OpRecord::write(p, VarId(var), v, at));
-            } else {
-                h.record(OpRecord::read(p, VarId(var), Some(v), at));
-            }
+/// Small random (not necessarily consistent) history of up to `max_ops`.
+fn history(rng: &mut Rng, max_ops: u64) -> History {
+    let n = rng.below(max_ops);
+    let mut h = History::new();
+    for i in 0..n {
+        let proc = ProcId::new(SystemId(0), rng.below(3) as u16);
+        let var = VarId(rng.below(3) as u32);
+        let v = Value::new(
+            ProcId::new(SystemId(0), rng.below(3) as u16),
+            rng.below(4) as u32,
+        );
+        let at = SimTime::from_nanos(i);
+        if rng.below(2) == 0 {
+            h.record(OpRecord::write(proc, var, v, at));
+        } else {
+            h.record(OpRecord::read(proc, var, Some(v), at));
         }
-        h
-    })
+    }
+    h
 }
 
-proptest! {
-    #[test]
-    fn projection_contains_all_writes_and_own_reads(h in history(30)) {
+#[test]
+fn projection_contains_all_writes_and_own_reads() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let h = history(&mut rng, 30);
         for proc in h.procs() {
             let proj = h.project_for(proc);
             for &id in &proj.ops {
                 let op = h.op(id);
-                prop_assert!(op.kind.is_write() || op.proc == proc);
+                assert!(op.kind.is_write() || op.proc == proc, "seed {seed}");
             }
             // Nothing missing.
             let expected = h
                 .iter()
                 .filter(|o| o.kind.is_write() || o.proc == proc)
                 .count();
-            prop_assert_eq!(proj.ops.len(), expected);
+            assert_eq!(proj.ops.len(), expected, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn filtered_preserves_relative_order(h in history(30)) {
+#[test]
+fn filtered_preserves_relative_order() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let h = history(&mut rng, 30);
         let writes = h.filtered(|o| o.kind.is_write());
         let originals: Vec<_> = h.iter().filter(|o| o.kind.is_write()).collect();
-        prop_assert_eq!(writes.len(), originals.len());
+        assert_eq!(writes.len(), originals.len(), "seed {seed}");
         for (a, b) in writes.iter().zip(originals) {
-            prop_assert_eq!(a.proc, b.proc);
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(a.at, b.at);
+            assert_eq!(a.proc, b.proc, "seed {seed}");
+            assert_eq!(a.kind, b.kind, "seed {seed}");
+            assert_eq!(a.at, b.at, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn reads_from_sources_are_consistent(h in history(30)) {
+#[test]
+fn reads_from_sources_are_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let h = history(&mut rng, 30);
         let rf = h.reads_from();
-        prop_assert_eq!(rf.len(), h.len());
+        assert_eq!(rf.len(), h.len(), "seed {seed}");
         for (i, src) in rf.iter().enumerate() {
             let op = h.op(cmi_types::OpId(i as u64));
             match src {
-                None => prop_assert!(op.kind.is_write()),
+                None => assert!(op.kind.is_write(), "seed {seed}"),
                 Some(ReadSource::Initial) => {
-                    prop_assert_eq!(op.read_value(), Some(None));
+                    assert_eq!(op.read_value(), Some(None), "seed {seed}");
                 }
                 Some(ReadSource::Write(w)) => {
                     let wop = h.op(*w);
-                    prop_assert!(wop.kind.is_write());
-                    prop_assert_eq!(wop.var, op.var);
-                    prop_assert_eq!(wop.written_value(), op.read_value().flatten());
+                    assert!(wop.kind.is_write(), "seed {seed}");
+                    assert_eq!(wop.var, op.var, "seed {seed}");
+                    assert_eq!(
+                        wop.written_value(),
+                        op.read_value().flatten(),
+                        "seed {seed}"
+                    );
                 }
                 Some(ReadSource::ThinAir) => {
                     // No write of this (var, value) exists.
@@ -140,22 +198,24 @@ proptest! {
                     let exists = h.iter().any(|o| {
                         o.kind.is_write() && o.var == op.var && o.written_value() == Some(val)
                     });
-                    prop_assert!(!exists);
+                    assert!(!exists, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn program_order_times_are_monotone_in_simulated_recordings(
-        times in proptest::collection::vec(0u64..1000, 1..20)
-    ) {
+#[test]
+fn program_order_times_are_monotone_in_simulated_recordings() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed);
+        let n = 1 + rng.below(19);
+        let mut sorted: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         // SimTime ordering sanity used by the history merge.
-        let mut sorted = times.clone();
-        sorted.sort();
+        sorted.sort_unstable();
         let ts: Vec<SimTime> = sorted.iter().map(|&n| SimTime::from_nanos(n)).collect();
         for w in ts.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "seed {seed}");
         }
     }
 }

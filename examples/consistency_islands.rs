@@ -20,9 +20,7 @@ use std::time::Duration;
 
 use cmi::checker::causal;
 use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
-use cmi::memory::{
-    ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec,
-};
+use cmi::memory::{ProtocolKind, SingleSystem, SystemConfig, WorkloadSpec};
 use cmi::sim::ChannelSpec;
 use cmi::types::SystemId;
 
@@ -73,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = world.run(&workload);
     let interconnected_crossings = report.stats().crossings();
     println!("interconnected islands:");
-    println!(
-        "  {total_writes} writes, {interconnected_crossings} messages crossed the slow link"
-    );
+    println!("  {total_writes} writes, {interconnected_crossings} messages crossed the slow link");
     println!(
         "  (= {:.1} crossings per write; paper predicts 1)",
         interconnected_crossings as f64 / total_writes as f64

@@ -20,7 +20,10 @@ use std::time::Duration;
 use cmi::checker::causal;
 use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
 use cmi::memory::ahamad::AhamadCausal;
-use cmi::memory::{McsMsg, McsProtocol, Outbox, PendingUpdate, ProtocolKind, ReadOutcome, WorkloadSpec, WriteOutcome};
+use cmi::memory::{
+    McsMsg, McsProtocol, Outbox, PendingUpdate, ProtocolKind, ReadOutcome, WorkloadSpec,
+    WriteOutcome,
+};
 use cmi::types::{ProcId, Value, VarId};
 
 /// A downstream protocol: vector-clock causal memory plus event counters.
@@ -75,12 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One stock system…
     let stock = b.add_system(SystemSpec::new("stock", ProtocolKind::Frontier, 3));
     // …interconnected with a system running the custom protocol.
-    let custom = b.add_system(SystemSpec::custom("custom", 3, move |system, slot, n, vars| {
-        Box::new(CountingCausal {
-            inner: AhamadCausal::new(ProcId::new(system, slot), n, vars),
-            events: Rc::clone(&counter),
-        })
-    }));
+    let custom = b.add_system(SystemSpec::custom(
+        "custom",
+        3,
+        move |system, slot, n, vars| {
+            Box::new(CountingCausal {
+                inner: AhamadCausal::new(ProcId::new(system, slot), n, vars),
+                events: Rc::clone(&counter),
+            })
+        },
+    ));
     b.link(stock, custom, LinkSpec::new(Duration::from_millis(8)));
 
     let mut world = b.build(7)?;

@@ -15,12 +15,11 @@ use cmi::sim::{Availability, ChannelSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The link dials up for 10 ms at the start of every 200 ms period.
-    let dialup = ChannelSpec::fixed(Duration::from_millis(3)).with_availability(
-        Availability::DutyCycle {
+    let dialup =
+        ChannelSpec::fixed(Duration::from_millis(3)).with_availability(Availability::DutyCycle {
             period: Duration::from_millis(200),
             up: Duration::from_millis(10),
-        },
-    );
+        });
     let mut b = InterconnectBuilder::new().with_vars(3);
     let a = b.add_system(SystemSpec::new("office", ProtocolKind::Ahamad, 3));
     let c = b.add_system(SystemSpec::new("branch", ProtocolKind::Ahamad, 3));
@@ -52,9 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     latencies.sort_by_key(|(_, l)| *l);
-    println!("cross-system visibility latency ({} writes):", latencies.len());
-    println!("  fastest: {:?} (hit an open window)", latencies.first().unwrap().1);
+    println!(
+        "cross-system visibility latency ({} writes):",
+        latencies.len()
+    );
+    println!(
+        "  fastest: {:?} (hit an open window)",
+        latencies.first().unwrap().1
+    );
     println!("  median:  {:?}", latencies[latencies.len() / 2].1);
-    println!("  slowest: {:?} (queued through downtime)", latencies.last().unwrap().1);
+    println!(
+        "  slowest: {:?} (queued through downtime)",
+        latencies.last().unwrap().1
+    );
     Ok(())
 }

@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let is_causal = causal::check(&global).is_causal();
     let is_seq = sequential::check(&global).is_sequential();
     println!("union causal: {is_causal}, union sequential: {is_seq}");
-    assert!(is_causal && !is_seq, "causal but not sequential, as the paper remarks");
+    assert!(
+        is_causal && !is_seq,
+        "causal but not sequential, as the paper remarks"
+    );
     Ok(())
 }

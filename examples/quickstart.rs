@@ -49,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // returned a value originated in the other system.
     let cross_reads = alpha_t
         .iter()
-        .filter(|op| {
-            matches!(op.read_value(), Some(Some(v)) if v.origin().system != op.proc.system)
-        })
+        .filter(
+            |op| matches!(op.read_value(), Some(Some(v)) if v.origin().system != op.proc.system),
+        )
         .count();
     println!("{cross_reads} reads observed values from the other system");
     Ok(())

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline verification: the workspace must build, test and format-check
+# without touching the network, and must not grow external dependencies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> dependency audit (path-only)"
+# Any `foo = "1.2"` / `foo = { version = ... }` line in a [dependencies]
+# or [dev-dependencies] section is an external dependency; only
+# `.workspace = true` / `path = ...` entries are allowed.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && NF && $0 !~ /^\[/ && $0 !~ /^#/ \
+            && $0 !~ /workspace *= *true/ && $0 !~ /path *= */ { print }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: external dependencies found" >&2
+    exit 1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "OK: offline build, tests and dependency audit all passed"

@@ -15,6 +15,8 @@
 //! * [`checker`] — causal/sequential consistency checkers.
 //! * [`core`] — the paper's contribution: IS-protocols interconnecting
 //!   causal DSM systems over FIFO links, in pairs and trees.
+//! * [`obs`] — zero-dependency observability: metrics registry, JSON
+//!   model/serializer/parser, trace-sink ring buffer, bench timing.
 //!
 //! # Quickstart
 //!
@@ -39,5 +41,6 @@
 pub use cmi_checker as checker;
 pub use cmi_core as core;
 pub use cmi_memory as memory;
+pub use cmi_obs as obs;
 pub use cmi_sim as sim;
 pub use cmi_types as types;

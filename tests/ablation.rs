@@ -83,8 +83,10 @@ fn reordering_isp_breaks_causality_and_is_detected() {
 fn non_fifo_link_breaks_causality_and_is_detected() {
     // Channel-assumption ablation: same IS-protocol, but the link may
     // reorder messages. The two pairs ⟨x,v1⟩⟨y,v2⟩ swap in flight.
-    let link = LinkSpec::new(Duration::from_millis(10))
-        .with_channel(ChannelSpec::reordering(Duration::ZERO, Duration::from_millis(30)));
+    let link = LinkSpec::new(Duration::from_millis(10)).with_channel(ChannelSpec::reordering(
+        Duration::ZERO,
+        Duration::from_millis(30),
+    ));
     // Jitter is random: sweep seeds until the swap materializes; with a
     // 30 ms jitter window over two sends 2 ms apart, most seeds swap.
     let mut violated = false;
@@ -120,7 +122,10 @@ fn reordering_isp_inverts_lemma1_send_order() {
     let seq: Vec<_> = traffic
         .pairs
         .iter()
-        .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+        .map(|p| cmi::checker::AppliedWrite {
+            var: p.var,
+            val: p.val,
+        })
         .collect();
     let check = cmi::checker::trace::check_order_respects_causality(&alpha_0, &seq);
     assert!(
@@ -138,7 +143,10 @@ fn correct_isp_satisfies_lemma1_send_order() {
         let seq: Vec<_> = traffic
             .pairs
             .iter()
-            .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+            .map(|p| cmi::checker::AppliedWrite {
+                var: p.var,
+                val: p.val,
+            })
             .collect();
         cmi::checker::trace::check_order_respects_causality(&alpha_0, &seq)
             .expect("Lemma 1: send order must respect causal order");
@@ -161,7 +169,10 @@ fn correct_isp_satisfies_lemma1_send_order() {
                 let seq: Vec<_> = traffic
                     .pairs
                     .iter()
-                    .map(|p| cmi::checker::AppliedWrite { var: p.var, val: p.val })
+                    .map(|p| cmi::checker::AppliedWrite {
+                        var: p.var,
+                        val: p.val,
+                    })
                     .collect();
                 cmi::checker::trace::check_order_respects_causality(&alpha_k, &seq)
                     .expect("Lemma 1 under randomized workload");

@@ -1,4 +1,4 @@
-//! Public-API surface tests: the umbrella crate re-exports, serde round
+//! Public-API surface tests: the umbrella crate re-exports, JSON round
 //! trips of the data types downstream users persist, and report
 //! accessors — the contract a downstream user of the library relies on.
 
@@ -7,6 +7,7 @@ use std::time::Duration;
 use cmi::checker::{causal, metrics};
 use cmi::core::{InterconnectBuilder, LinkSpec, SystemSpec};
 use cmi::memory::{ProtocolKind, WorkloadSpec};
+use cmi::obs::{Json, ToJson};
 use cmi::types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId, VectorClock};
 
 #[test]
@@ -14,7 +15,12 @@ fn umbrella_re_exports_compose() {
     // Types from every crate interoperate through the umbrella paths.
     let p = ProcId::new(SystemId(0), 0);
     let mut h = History::new();
-    h.record(OpRecord::write(p, VarId(0), Value::new(p, 1), SimTime::ZERO));
+    h.record(OpRecord::write(
+        p,
+        VarId(0),
+        Value::new(p, 1),
+        SimTime::ZERO,
+    ));
     assert!(causal::check(&h).is_causal());
     let mut vc = VectorClock::new(2);
     vc.tick(0);
@@ -25,12 +31,99 @@ fn umbrella_re_exports_compose() {
 fn history_round_trips_through_json() {
     let p = ProcId::new(SystemId(1), 2);
     let mut h = History::new();
-    h.record(OpRecord::write(p, VarId(0), Value::new(p, 1), SimTime::from_millis(3)));
-    h.record(OpRecord::read(p, VarId(0), Some(Value::new(p, 1)), SimTime::from_millis(4)));
+    h.record(OpRecord::write(
+        p,
+        VarId(0),
+        Value::new(p, 1),
+        SimTime::from_millis(3),
+    ));
+    h.record(OpRecord::read(
+        p,
+        VarId(0),
+        Some(Value::new(p, 1)),
+        SimTime::from_millis(4),
+    ));
     h.record(OpRecord::read(p, VarId(1), None, SimTime::from_millis(5)));
-    let json = serde_json::to_string(&h).expect("serialize");
-    let back: History = serde_json::from_str(&json).expect("deserialize");
+    let json = h.to_json().to_compact();
+    let back = History::parse_json(&json).expect("deserialize");
     assert_eq!(h, back);
+}
+
+#[test]
+fn run_report_json_round_trips_through_the_in_tree_parser() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(7).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(6));
+
+    let artifact = report.to_json();
+    let text = artifact.to_pretty();
+    let parsed = Json::parse(&text).expect("report JSON must parse with the in-tree parser");
+    assert_eq!(parsed, artifact, "pretty round trip");
+    let parsed = Json::parse(&artifact.to_compact()).expect("compact parse");
+    assert_eq!(parsed, artifact, "compact round trip");
+
+    // The artifact carries metrics for every instrumented layer.
+    let metrics = parsed.get("metrics").expect("metrics section");
+    let counters = metrics.get("counters").expect("counters");
+    for key in [
+        "engine.events_dispatched",
+        "engine.messages_sent",
+        "traffic.total_messages",
+        "protocol.writes_issued",
+        "protocol.updates_applied",
+        "protocol.updates_propagated",
+        "isp.propagate_in",
+        "isp.propagate_out",
+        "isp.link_pairs_sent",
+    ] {
+        assert!(
+            counters.get(key).and_then(Json::as_u64).unwrap_or(0) > 0,
+            "counter {key} must be present and non-zero"
+        );
+    }
+    // At least one per-channel and one per-crossing counter.
+    let keys: Vec<&str> = counters
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert!(keys.iter().any(|k| k.starts_with("channel.")), "{keys:?}");
+    assert!(keys.iter().any(|k| k.starts_with("crossing.")), "{keys:?}");
+    // Histogram quantiles for visibility latency.
+    let hist = metrics
+        .get("histograms")
+        .and_then(|h| h.get("visibility.latency_ns"))
+        .expect("visibility histogram");
+    for q in ["p50", "p95", "p99", "max"] {
+        assert!(hist.get(q).and_then(Json::as_f64).is_some(), "missing {q}");
+    }
+    // The embedded history decodes back to the report's full history.
+    let history = History::parse_json(&parsed.get("history").unwrap().to_compact()).unwrap();
+    assert_eq!(&history, report.full_history());
+}
+
+#[test]
+fn registry_channel_counts_match_traffic_stats_exactly() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 3));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(11).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(8));
+
+    let m = report.metrics();
+    let stats = report.stats();
+    assert_eq!(m.counter("traffic.total_messages"), stats.total_messages());
+    assert_eq!(m.counter("engine.messages_sent"), stats.total_messages());
+    assert_eq!(m.counter("traffic.crossings"), stats.crossings());
+    assert_eq!(m.counter("engine.crossings"), stats.crossings());
+    for ((from, to), n) in stats.channel_table() {
+        assert_eq!(m.counter(&format!("channel.{from}->{to}.messages")), *n);
+    }
 }
 
 #[test]
@@ -55,7 +148,10 @@ fn run_report_accessors_are_consistent() {
     assert!(global < full, "isp ops excluded from α^T");
     assert_eq!(report.isp_procs().count(), 2);
     assert_eq!(report.system_name(SystemId(0)), "left");
-    assert_eq!(report.system_of(ProcId::new(SystemId(1), 0)), Some(SystemId(1)));
+    assert_eq!(
+        report.system_of(ProcId::new(SystemId(1), 0)),
+        Some(SystemId(1))
+    );
     assert!(report.is_isp(ProcId::new(SystemId(0), 2)));
     assert!(!report.is_isp(ProcId::new(SystemId(0), 0)));
 

@@ -40,7 +40,10 @@ fn property1_causal_updating_holds_at_every_process() {
                 let updates: Vec<AppliedWrite> = report
                     .updates_of(proc)
                     .iter()
-                    .map(|u| AppliedWrite { var: u.var, val: u.val })
+                    .map(|u| AppliedWrite {
+                        var: u.var,
+                        val: u.val,
+                    })
                     .collect();
                 check_order_respects_causality(&alpha_k, &updates).unwrap_or_else(|e| {
                     panic!("Causal Updating violated at {proc} (seed {seed}): {e}")
@@ -60,7 +63,10 @@ fn lemma1_send_order_respects_causal_order() {
             let seq: Vec<AppliedWrite> = traffic
                 .pairs
                 .iter()
-                .map(|p| AppliedWrite { var: p.var, val: p.val })
+                .map(|p| AppliedWrite {
+                    var: p.var,
+                    val: p.val,
+                })
                 .collect();
             check_order_respects_causality(&alpha_k, &seq).unwrap_or_else(|e| {
                 panic!(

@@ -113,7 +113,9 @@ fn propagate_out_read_and_propagate_in_write_are_recorded_ops() {
 
 #[test]
 fn variant2_adds_the_pre_propagate_read() {
-    let mut b = InterconnectBuilder::new().with_vars(2).force_pre_propagate();
+    let mut b = InterconnectBuilder::new()
+        .with_vars(2)
+        .force_pre_propagate();
     let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
     let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
     b.link(a, c, LinkSpec::new(Duration::from_millis(10)));

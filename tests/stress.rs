@@ -35,7 +35,10 @@ fn sequencer_middle_system_under_load() {
                 .with_write_fraction(0.6)
                 .with_mean_gap(Duration::from_millis(2)),
         );
-        assert!(report.outcome().is_quiescent(), "{topology}: must not deadlock");
+        assert!(
+            report.outcome().is_quiescent(),
+            "{topology}: must not deadlock"
+        );
         let global = report.global_history();
         assert!(global.validate_differentiated().is_ok());
         let verdict = causal::check(&global);
@@ -65,15 +68,18 @@ fn deep_chain_with_hostile_links() {
         .map(|(i, k)| b.add_system(SystemSpec::new(format!("S{i}"), *k, 3)))
         .collect();
     for (i, w) in handles.windows(2).enumerate() {
-        let mut channel =
-            ChannelSpec::jittered(Duration::from_millis(2), Duration::from_millis(3));
+        let mut channel = ChannelSpec::jittered(Duration::from_millis(2), Duration::from_millis(3));
         if i == 1 {
             channel = channel.with_availability(Availability::DutyCycle {
                 period: Duration::from_millis(80),
                 up: Duration::from_millis(20),
             });
         }
-        b.link(w[0], w[1], LinkSpec::new(Duration::ZERO).with_channel(channel));
+        b.link(
+            w[0],
+            w[1],
+            LinkSpec::new(Duration::ZERO).with_channel(channel),
+        );
     }
     let mut world = b.build(31).unwrap();
     let report = world.run(&WorkloadSpec::small().with_ops(20).with_write_fraction(0.4));
@@ -95,7 +101,10 @@ fn deep_chain_with_hostile_links() {
             let updates: Vec<AppliedWrite> = report
                 .updates_of(proc)
                 .iter()
-                .map(|u| AppliedWrite { var: u.var, val: u.val })
+                .map(|u| AppliedWrite {
+                    var: u.var,
+                    val: u.val,
+                })
                 .collect();
             check_order_respects_causality(&alpha_k, &updates)
                 .unwrap_or_else(|e| panic!("Property 1 at {proc}: {e}"));
@@ -107,7 +116,10 @@ fn deep_chain_with_hostile_links() {
         let seq: Vec<AppliedWrite> = traffic
             .pairs
             .iter()
-            .map(|p| AppliedWrite { var: p.var, val: p.val })
+            .map(|p| AppliedWrite {
+                var: p.var,
+                val: p.val,
+            })
             .collect();
         check_order_respects_causality(&alpha_k, &seq)
             .unwrap_or_else(|e| panic!("Lemma 1 on {}→{}: {e}", traffic.from_isp, traffic.to_isp));

@@ -156,7 +156,9 @@ fn variant2_pre_propagate_is_also_causal() {
     // Force IS-protocol variant 2 (Pre_Propagate_out enabled) — correct
     // for any causal MCS protocol, per Lemma 1's general case.
     for seed in 0..4 {
-        let mut b = InterconnectBuilder::new().with_vars(3).force_pre_propagate();
+        let mut b = InterconnectBuilder::new()
+            .with_vars(3)
+            .force_pre_propagate();
         let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 3));
         let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 3));
         b.link(a, c, LinkSpec::new(Duration::from_millis(12)));
