@@ -1,0 +1,6 @@
+//! X16 — unreliable links, IS-process crashes, and the reliable
+//! transport sublayer vs its ablation.
+
+fn main() {
+    print!("{}", cmi_bench::experiments::x16_faults::run());
+}

@@ -17,6 +17,7 @@ pub mod x12_model_survival;
 pub mod x13_atomic;
 pub mod x14_batching;
 pub mod x15_topology;
+pub mod x16_faults;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -51,7 +52,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X15".into())),
+        ("suite", Json::Str("cmi experiments X1-X16".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -99,5 +100,9 @@ pub fn registry() -> Vec<Experiment> {
         ),
         ("X14 link batching (extension)", x14_batching::run),
         ("X15 tree shapes (extension)", x15_topology::run),
+        (
+            "X16 unreliable links & crashes (extension)",
+            x16_faults::run,
+        ),
     ]
 }

@@ -12,7 +12,7 @@ use std::time::Duration;
 use cmi_checker::{causal, screen};
 use cmi_core::{InterconnectBuilder, IsFault, LinkSpec, RunReport, SystemSpec};
 use cmi_memory::{OpPlan, ProtocolKind};
-use cmi_sim::ChannelSpec;
+use cmi_sim::{ChannelSpec, FaultSpec};
 use cmi_types::{ProcId, SystemId, Value, VarId};
 
 use crate::table::Table;
@@ -83,7 +83,9 @@ pub fn run() -> String {
     // write the same value twice, breaking the differentiated-history
     // assumption itself.
     let duplicated = adversarial_run(
-        LinkSpec::new(ms(10)).with_channel(ChannelSpec::fixed(ms(10)).duplicating()),
+        LinkSpec::new(ms(10)).with_channel(
+            ChannelSpec::fixed(ms(10)).with_faults(FaultSpec::none().with_duplication(1.0)),
+        ),
         1,
     );
 
@@ -126,7 +128,9 @@ mod tests {
     fn x7_duplicating_link_breaks_the_differentiated_assumption() {
         let ms = Duration::from_millis;
         let report = adversarial_run(
-            LinkSpec::new(ms(10)).with_channel(ChannelSpec::fixed(ms(10)).duplicating()),
+            LinkSpec::new(ms(10)).with_channel(
+                ChannelSpec::fixed(ms(10)).with_faults(FaultSpec::none().with_duplication(1.0)),
+            ),
             1,
         );
         // The receiving system's IS-process wrote each propagated value

@@ -32,7 +32,7 @@ use crate::table::Table;
 pub fn random_pair(kind: ProtocolKind, seed: u64) -> RunReport {
     let mut b = InterconnectBuilder::new().with_vars(2);
     let intra = ChannelSpec::jittered(Duration::from_millis(1), Duration::from_millis(18));
-    let a = b.add_system(SystemSpec::new("A", kind, 3).with_intra(intra));
+    let a = b.add_system(SystemSpec::new("A", kind, 3).with_intra(intra.clone()));
     let c = b.add_system(SystemSpec::new("B", kind, 3).with_intra(intra));
     b.link(a, c, LinkSpec::new(Duration::from_millis(6)));
     let mut world = b.build(seed).expect("valid pair");

@@ -20,11 +20,12 @@ use std::fmt;
 use std::time::Duration;
 
 use cmi_core::{
-    BuildError, InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec, World,
+    BuildError, InterconnectBuilder, IsTopology, LinkSpec, ReliableConfig, RunReport, SystemSpec,
+    World,
 };
 use cmi_memory::{ProtocolKind, WorkloadSpec};
 use cmi_obs::{Json, ToJson};
-use cmi_sim::{Availability, ChannelSpec};
+use cmi_sim::{Availability, ChannelSpec, FaultSpec};
 
 /// Errors loading or validating a scenario.
 #[derive(Debug)]
@@ -78,8 +79,45 @@ pub struct DialupEntry {
     pub up_ms: u64,
 }
 
-/// One link in a scenario file (indices into `systems`).
+/// Probabilistic fault rates of a link's channel (all default 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultsEntry {
+    /// Per-message drop probability.
+    pub drop: f64,
+    /// Per-message duplication probability.
+    pub duplicate: f64,
+    /// Per-message reordering probability.
+    pub reorder: f64,
+    /// Extra delay bound for reordered messages.
+    pub reorder_window_ms: u64,
+    /// Per-message corruption probability.
+    pub corrupt: f64,
+}
+
+/// Reliable-transport sublayer settings of a link.
 #[derive(Debug, Clone, Copy)]
+pub struct ReliableEntry {
+    /// Base retransmission timeout (default 100 ms).
+    pub rto_ms: u64,
+    /// Retry cap before a frame is abandoned (default 10).
+    pub max_retries: u32,
+    /// Send-queue bound before degraded coalescing (default 1024).
+    pub max_queue: usize,
+    /// Head-of-queue age that triggers degraded mode (default 500 ms).
+    pub degraded_after_ms: u64,
+}
+
+/// Scripted IS-process crash schedule of a link end.
+#[derive(Debug, Clone)]
+pub struct CrashEntry {
+    /// Which end crashes: `"a"` or `"b"` (default `"b"`).
+    pub side: String,
+    /// `(down_ms, up_ms)` outage windows, ordered and disjoint.
+    pub windows: Vec<(u64, u64)>,
+}
+
+/// One link in a scenario file (indices into `systems`).
+#[derive(Debug, Clone)]
 pub struct LinkEntry {
     /// First system index.
     pub a: usize,
@@ -93,6 +131,12 @@ pub struct LinkEntry {
     pub dialup: Option<DialupEntry>,
     /// Optional X14 batching window (pairs per flush).
     pub batch_ms: Option<u64>,
+    /// Optional fault injection on the channel.
+    pub faults: Option<FaultsEntry>,
+    /// Optional reliable-transport sublayer.
+    pub reliable: Option<ReliableEntry>,
+    /// Optional scripted IS-process crash schedule.
+    pub crash: Option<CrashEntry>,
 }
 
 /// Workload section.
@@ -214,6 +258,59 @@ impl LinkEntry {
                     .ok_or_else(|| parse_err(format!("{ctx}.batch_ms must be an integer")))?,
             ),
         };
+        let faults = match v.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let fctx = format!("{ctx}.faults");
+                Some(FaultsEntry {
+                    drop: get_f64(f, "drop", &fctx, 0.0)?,
+                    duplicate: get_f64(f, "duplicate", &fctx, 0.0)?,
+                    reorder: get_f64(f, "reorder", &fctx, 0.0)?,
+                    reorder_window_ms: get_u64(f, "reorder_window_ms", &fctx, 20)?,
+                    corrupt: get_f64(f, "corrupt", &fctx, 0.0)?,
+                })
+            }
+        };
+        let reliable = match v.get("reliable") {
+            None | Some(Json::Null) => None,
+            Some(r) => {
+                let rctx = format!("{ctx}.reliable");
+                Some(ReliableEntry {
+                    rto_ms: get_u64(r, "rto_ms", &rctx, 100)?,
+                    max_retries: get_u64(r, "max_retries", &rctx, 10)? as u32,
+                    max_queue: get_u64(r, "max_queue", &rctx, 1024)? as usize,
+                    degraded_after_ms: get_u64(r, "degraded_after_ms", &rctx, 500)?,
+                })
+            }
+        };
+        let crash = match v.get("crash") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let cctx = format!("{ctx}.crash");
+                let side = match c.get("side") {
+                    None | Some(Json::Null) => "b".to_string(),
+                    Some(s) => as_string(s, &format!("{cctx}.side"))?,
+                };
+                let windows = need(c, "windows", &cctx)?
+                    .as_array()
+                    .ok_or_else(|| parse_err(format!("{cctx}.windows must be an array")))?
+                    .iter()
+                    .enumerate()
+                    .map(|(w, win)| {
+                        let wctx = format!("{cctx}.windows[{w}]");
+                        Ok((
+                            need(win, "down_ms", &wctx)?.as_u64().ok_or_else(|| {
+                                parse_err(format!("{wctx}.down_ms must be an integer"))
+                            })?,
+                            need(win, "up_ms", &wctx)?.as_u64().ok_or_else(|| {
+                                parse_err(format!("{wctx}.up_ms must be an integer"))
+                            })?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ScenarioError>>()?;
+                Some(CrashEntry { side, windows })
+            }
+        };
         Ok(LinkEntry {
             a: index("a")?,
             b: index("b")?,
@@ -221,6 +318,9 @@ impl LinkEntry {
             jitter_ms: get_u64(v, "jitter_ms", &ctx, 0)?,
             dialup,
             batch_ms,
+            faults,
+            reliable,
+            crash,
         })
     }
 }
@@ -274,6 +374,54 @@ impl ToJson for Scenario {
                             },
                         ),
                         ("batch_ms", l.batch_ms.to_json()),
+                        (
+                            "faults",
+                            match l.faults {
+                                Some(f) => Json::obj([
+                                    ("drop", f.drop.to_json()),
+                                    ("duplicate", f.duplicate.to_json()),
+                                    ("reorder", f.reorder.to_json()),
+                                    ("reorder_window_ms", f.reorder_window_ms.to_json()),
+                                    ("corrupt", f.corrupt.to_json()),
+                                ]),
+                                None => Json::Null,
+                            },
+                        ),
+                        (
+                            "reliable",
+                            match l.reliable {
+                                Some(r) => Json::obj([
+                                    ("rto_ms", r.rto_ms.to_json()),
+                                    ("max_retries", u64::from(r.max_retries).to_json()),
+                                    ("max_queue", r.max_queue.to_json()),
+                                    ("degraded_after_ms", r.degraded_after_ms.to_json()),
+                                ]),
+                                None => Json::Null,
+                            },
+                        ),
+                        (
+                            "crash",
+                            match &l.crash {
+                                Some(c) => Json::obj([
+                                    ("side", Json::Str(c.side.clone())),
+                                    (
+                                        "windows",
+                                        Json::Arr(
+                                            c.windows
+                                                .iter()
+                                                .map(|&(down, up)| {
+                                                    Json::obj([
+                                                        ("down_ms", down.to_json()),
+                                                        ("up_ms", up.to_json()),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                                None => Json::Null,
+                            },
+                        ),
                     ])
                 })
                 .collect(),
@@ -383,12 +531,72 @@ impl Scenario {
         for s in &self.systems {
             parse_protocol(&s.protocol)?;
         }
-        for l in &self.links {
+        for (i, l) in self.links.iter().enumerate() {
             if l.a >= self.systems.len() || l.b >= self.systems.len() {
                 return Err(ScenarioError::Invalid(format!(
                     "link {}–{} references an unknown system",
                     l.a, l.b
                 )));
+            }
+            if let Some(f) = &l.faults {
+                for (field, p) in [
+                    ("drop", f.drop),
+                    ("duplicate", f.duplicate),
+                    ("reorder", f.reorder),
+                    ("corrupt", f.corrupt),
+                ] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(ScenarioError::Invalid(format!(
+                            "links[{i}].faults.{field} must be a probability in [0, 1], got {p}"
+                        )));
+                    }
+                }
+                if f.drop >= 1.0 && l.reliable.is_some() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "links[{i}].faults.drop = 1 starves the reliable transport: \
+                         every frame and ack is lost, got {}",
+                        f.drop
+                    )));
+                }
+            }
+            if let Some(r) = &l.reliable {
+                if r.rto_ms == 0 {
+                    return Err(ScenarioError::Invalid(format!(
+                        "links[{i}].reliable.rto_ms must be positive, got 0"
+                    )));
+                }
+                if r.max_queue == 0 {
+                    return Err(ScenarioError::Invalid(format!(
+                        "links[{i}].reliable.max_queue must be positive, got 0"
+                    )));
+                }
+            }
+            if let Some(c) = &l.crash {
+                if c.side != "a" && c.side != "b" {
+                    return Err(ScenarioError::Invalid(format!(
+                        "links[{i}].crash.side must be \"a\" or \"b\", got {:?}",
+                        c.side
+                    )));
+                }
+                for (w, &(down, up)) in c.windows.iter().enumerate() {
+                    if down >= up {
+                        return Err(ScenarioError::Invalid(format!(
+                            "links[{i}].crash.windows[{w}] must satisfy down_ms < up_ms, \
+                             got down_ms = {down}, up_ms = {up}"
+                        )));
+                    }
+                }
+                for (w, pair) in c.windows.windows(2).enumerate() {
+                    if pair[0].1 > pair[1].0 {
+                        return Err(ScenarioError::Invalid(format!(
+                            "links[{i}].crash.windows[{}] overlaps the previous window \
+                             (up_ms = {} > down_ms = {})",
+                            w + 1,
+                            pair[0].1,
+                            pair[1].0
+                        )));
+                    }
+                }
             }
         }
         if let Some(t) = &self.topology {
@@ -443,9 +651,47 @@ impl Scenario {
                     up: Duration::from_millis(d.up_ms),
                 });
             }
+            if let Some(f) = &l.faults {
+                let mut spec = FaultSpec::none();
+                if f.drop > 0.0 {
+                    spec = spec.with_drop(f.drop);
+                }
+                if f.duplicate > 0.0 {
+                    spec = spec.with_duplication(f.duplicate);
+                }
+                if f.reorder > 0.0 {
+                    spec =
+                        spec.with_reordering(f.reorder, Duration::from_millis(f.reorder_window_ms));
+                }
+                if f.corrupt > 0.0 {
+                    spec = spec.with_corruption(f.corrupt);
+                }
+                channel = channel.with_faults(spec);
+            }
             let mut link = LinkSpec::new(Duration::ZERO).with_channel(channel);
             if let Some(batch_ms) = l.batch_ms {
                 link = link.with_batching(Duration::from_millis(batch_ms));
+            }
+            if let Some(r) = &l.reliable {
+                link = link.with_reliability(
+                    ReliableConfig::default()
+                        .with_rto(Duration::from_millis(r.rto_ms))
+                        .with_max_retries(r.max_retries)
+                        .with_max_queue(r.max_queue)
+                        .with_degraded_after(Duration::from_millis(r.degraded_after_ms)),
+                );
+            }
+            if let Some(c) = &l.crash {
+                let windows: Vec<(Duration, Duration)> = c
+                    .windows
+                    .iter()
+                    .map(|&(down, up)| (Duration::from_millis(down), Duration::from_millis(up)))
+                    .collect();
+                link = if c.side == "a" {
+                    link.with_crash_at_a(&windows)
+                } else {
+                    link.with_crash(&windows)
+                };
             }
             b.link(handles[l.a], handles[l.b], link);
         }
@@ -557,6 +803,85 @@ mod tests {
         assert_eq!(back.workload.ops_per_proc, s.workload.ops_per_proc);
         assert_eq!(back.checks, s.checks);
         assert_eq!(back.to_json(), s.to_json());
+    }
+
+    const FAULTY: &str = r#"{
+        "seed": 11,
+        "systems": [
+            { "name": "A", "protocol": "ahamad", "processes": 2 },
+            { "name": "B", "protocol": "ahamad", "processes": 2 }
+        ],
+        "links": [ {
+            "a": 0, "b": 1, "delay_ms": 5,
+            "faults": { "drop": 0.3, "duplicate": 0.05, "corrupt": 0.05 },
+            "reliable": { "rto_ms": 40 },
+            "crash": { "windows": [ { "down_ms": 150, "up_ms": 320 } ] }
+        } ],
+        "workload": { "ops_per_proc": 10 }
+    }"#;
+
+    #[test]
+    fn faulty_scenario_parses_with_defaults() {
+        let s = Scenario::from_json(FAULTY).unwrap();
+        let l = &s.links[0];
+        let f = l.faults.unwrap();
+        assert_eq!(f.drop, 0.3);
+        assert_eq!(f.reorder, 0.0);
+        assert_eq!(f.reorder_window_ms, 20);
+        let r = l.reliable.unwrap();
+        assert_eq!(r.rto_ms, 40);
+        assert_eq!(r.max_retries, 10);
+        let c = l.crash.as_ref().unwrap();
+        assert_eq!(c.side, "b");
+        assert_eq!(c.windows, vec![(150, 320)]);
+    }
+
+    #[test]
+    fn faulty_scenario_builds_runs_and_stays_causal() {
+        let s = Scenario::from_json(FAULTY).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.outcome().is_quiescent());
+        assert!(report.metrics().counter("isp.crashes") >= 1);
+    }
+
+    #[test]
+    fn faulty_scenario_round_trips_through_json() {
+        let s = Scenario::from_json(FAULTY).unwrap();
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn out_of_range_fault_probability_names_field_and_value() {
+        let bad = FAULTY.replace("\"drop\": 0.3", "\"drop\": 1.5");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("links[0].faults.drop"), "{msg}");
+        assert!(msg.contains("1.5"), "{msg}");
+    }
+
+    #[test]
+    fn inverted_crash_window_names_field_and_values() {
+        let bad = FAULTY.replace("\"up_ms\": 320", "\"up_ms\": 100");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("links[0].crash.windows[0]"), "{msg}");
+        assert!(msg.contains("150"), "{msg}");
+        assert!(msg.contains("100"), "{msg}");
+    }
+
+    #[test]
+    fn bad_crash_side_is_rejected() {
+        let bad = FAULTY.replace("\"windows\"", "\"side\": \"c\", \"windows\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("links[0].crash.side"));
+    }
+
+    #[test]
+    fn zero_rto_is_rejected() {
+        let bad = FAULTY.replace("\"rto_ms\": 40", "\"rto_ms\": 0");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("links[0].reliable.rto_ms"));
     }
 
     #[test]

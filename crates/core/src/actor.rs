@@ -4,6 +4,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Duration;
 
 use cmi_memory::{Driver, HostSink, McsMsg, NoUpcalls, NodeHost, OpPlan};
 use cmi_sim::{Actor, ActorId, Ctx};
@@ -11,6 +12,7 @@ use cmi_types::{ProcId, SimTime, Value, VarId};
 
 use crate::isp::{IsFault, IsProcess};
 use crate::msg::WorldMsg;
+use crate::transport::{OutFrame, ReliableConfig, ReliableReceiver, ReliableSender, TimeoutAction};
 
 /// Timer token: workload driver tick.
 pub(crate) const OP_TIMER: u64 = 0;
@@ -18,6 +20,20 @@ pub(crate) const OP_TIMER: u64 = 0;
 pub(crate) const FLUSH_TIMER: u64 = 1;
 /// Timer token: X14 batching flush.
 pub(crate) const BATCH_TIMER: u64 = 2;
+/// Timer token: scripted IS-process crash.
+pub(crate) const CRASH_TIMER: u64 = 3;
+/// Timer token: scripted IS-process restart.
+pub(crate) const RECOVER_TIMER: u64 = 4;
+/// Timer tokens `BASE + link` arm the per-link retransmission timer.
+pub(crate) const RETX_TIMER_BASE: u64 = 16;
+
+/// Reliable transport state of one link end (sender + receiver halves
+/// and the armed retransmit deadline, used to ignore stale timers).
+struct LinkTransport {
+    tx: ReliableSender,
+    rx: ReliableReceiver,
+    deadline: Option<SimTime>,
+}
 
 /// Bidirectional process ↔ actor address book, shared by every actor of
 /// a world.
@@ -96,6 +112,18 @@ pub struct WorldActor {
     batch_scheduled: bool,
     addr: Rc<AddressBook>,
     isp: Option<IsProcess>,
+    /// Reliable transport per IS link (same order as `isp.links()`;
+    /// `None` = the paper's raw reliable-FIFO channel).
+    transports: Vec<Option<LinkTransport>>,
+    /// Scripted `(down_at, up_at)` crash windows for this IS-process.
+    crash_windows: Vec<(Duration, Duration)>,
+    /// The IS-process is currently down.
+    crashed: bool,
+    /// A restart happened; resync from the MCS replica as soon as no
+    /// operation is in flight.
+    resync_pending: bool,
+    /// Shared-variable count, needed for the restart resync sweep.
+    n_vars: usize,
 }
 
 impl WorldActor {
@@ -110,7 +138,75 @@ impl WorldActor {
             batch_scheduled: false,
             addr,
             isp,
+            transports: Vec::new(),
+            crash_windows: Vec::new(),
+            crashed: false,
+            resync_pending: false,
+            n_vars: 0,
         }
+    }
+
+    /// Installs reliable transports, one slot per IS link (same order
+    /// as `isp.links()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on application nodes or on a slot-count mismatch.
+    pub fn configure_transports(&mut self, configs: Vec<Option<ReliableConfig>>) {
+        let links = self
+            .isp
+            .as_ref()
+            .expect("transports belong to IS-process nodes")
+            .links()
+            .len();
+        assert_eq!(configs.len(), links, "one transport slot per link");
+        self.transports = configs
+            .into_iter()
+            .map(|cfg| {
+                cfg.map(|cfg| LinkTransport {
+                    tx: ReliableSender::new(cfg),
+                    rx: ReliableReceiver::new(),
+                    deadline: None,
+                })
+            })
+            .collect();
+    }
+
+    /// Installs the scripted crash schedule and the variable count used
+    /// by the restart resync.
+    ///
+    /// # Panics
+    ///
+    /// Panics on application nodes or on overlapping/unordered windows.
+    pub fn configure_crashes(&mut self, windows: Vec<(Duration, Duration)>, n_vars: usize) {
+        assert!(self.isp.is_some(), "crash schedules belong to IS-processes");
+        for w in windows.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "crash windows must be ordered and disjoint"
+            );
+        }
+        self.crash_windows = windows;
+        self.n_vars = n_vars;
+    }
+
+    /// Total nanoseconds this node's reliable senders spent in degraded
+    /// (coalescing) mode, and the high-water mark of their send queues.
+    /// `None` if no reliable transport is configured.
+    pub fn transport_totals(&self, now: SimTime) -> Option<(u64, usize)> {
+        let mut any = false;
+        let (mut ns, mut depth) = (0u64, 0usize);
+        for t in self.transports.iter().flatten() {
+            any = true;
+            ns += t.tx.degraded_ns_at(now);
+            depth = depth.max(t.tx.max_depth());
+        }
+        any.then_some((ns, depth))
+    }
+
+    /// Whether the IS-process is currently down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Installs the workload driver (before the first `run`).
@@ -172,9 +268,15 @@ impl WorldActor {
         }
     }
 
+    /// `true` when link `i` runs over the reliable transport sublayer.
+    fn link_is_reliable(&self, i: usize) -> bool {
+        self.transports.get(i).is_some_and(Option::is_some)
+    }
+
     /// Transmits each pair on every link except the pair's source link,
     /// and logs it. With X14 batching the pairs accumulate per link and
-    /// go out together at the next batch flush.
+    /// go out together at the next batch flush; on a reliable link the
+    /// pairs travel together in one transport frame.
     fn send_pairs(&mut self, pairs: &[crate::isp::OutPair], ctx: &mut Ctx<'_, WorldMsg>) {
         let Some(isp) = self.isp.as_mut() else {
             return;
@@ -188,6 +290,8 @@ impl WorldActor {
                 }
                 if batching.is_some() {
                     isp.enqueue_batch(i, pair.var, pair.val);
+                } else if self.transports.get(i).is_some_and(Option::is_some) {
+                    // Framed below, link-major.
                 } else {
                     ctx.metrics().inc("isp.link_pairs_sent");
                     ctx.send(
@@ -201,6 +305,21 @@ impl WorldActor {
                 }
             }
         }
+        if batching.is_none() {
+            for i in 0..links.len() {
+                if !self.link_is_reliable(i) {
+                    continue;
+                }
+                let link_pairs: Vec<(VarId, Value)> = pairs
+                    .iter()
+                    .filter(|p| p.except != Some(i))
+                    .map(|p| (p.var, p.val))
+                    .collect();
+                if !link_pairs.is_empty() {
+                    self.offer_on_link(i, link_pairs, ctx);
+                }
+            }
+        }
         if let Some(window) = batching {
             if self.isp.as_ref().unwrap().batches_pending() && !self.batch_scheduled {
                 self.batch_scheduled = true;
@@ -209,22 +328,285 @@ impl WorldActor {
         }
     }
 
-    /// Flushes every non-empty per-link batch as one `LinkBatch` message.
+    /// Flushes every non-empty per-link batch as one `LinkBatch`
+    /// message (or one transport frame on a reliable link).
     fn flush_batches(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
-        let Some(isp) = self.isp.as_mut() else {
-            return;
+        let links: Vec<_> = match self.isp.as_ref() {
+            Some(isp) => isp.links().to_vec(),
+            None => return,
         };
-        let links: Vec<_> = isp.links().to_vec();
         for (i, l) in links.iter().enumerate() {
-            let batch = isp.take_batch(i);
+            let batch = self.isp.as_mut().unwrap().take_batch(i);
             if batch.is_empty() {
                 continue;
             }
+            if self.link_is_reliable(i) {
+                self.offer_on_link(i, batch, ctx);
+                continue;
+            }
+            let isp = self.isp.as_mut().unwrap();
             ctx.metrics().add("isp.link_pairs_sent", batch.len() as u64);
             for &(var, val) in &batch {
                 isp.log_sent(l.peer_isp, var, val, ctx.now());
             }
             ctx.send(l.peer_actor, WorldMsg::LinkBatch(batch));
+        }
+    }
+
+    /// Hands pairs to link `i`'s reliable sender: either a frame goes
+    /// out now, or the sender is degraded and coalesces them for later.
+    fn offer_on_link(
+        &mut self,
+        link: usize,
+        pairs: Vec<(VarId, Value)>,
+        ctx: &mut Ctx<'_, WorldMsg>,
+    ) {
+        let now = ctx.now();
+        let n_pairs = pairs.len() as u64;
+        let frame = self.transports[link]
+            .as_mut()
+            .expect("offer on a raw link")
+            .tx
+            .offer(pairs, now);
+        match frame {
+            Some(frame) => {
+                ctx.metrics().add("isp.link_pairs_sent", n_pairs);
+                self.ship_frame(link, frame, ctx);
+            }
+            None => {
+                ctx.metrics().add("isp.degraded_coalesced", n_pairs);
+            }
+        }
+    }
+
+    /// Puts a frame on the wire (first transmission or retransmission)
+    /// and makes sure the retransmit timer is armed.
+    fn ship_frame(&mut self, link: usize, frame: OutFrame, ctx: &mut Ctx<'_, WorldMsg>) {
+        let isp = self.isp.as_mut().expect("frames originate at IS-processes");
+        let end = isp.links()[link];
+        for &(var, val) in &frame.pairs {
+            isp.log_sent(end.peer_isp, var, val, ctx.now());
+        }
+        ctx.send(
+            end.peer_actor,
+            WorldMsg::Frame {
+                seq: frame.seq,
+                lo: frame.lo,
+                pairs: frame.pairs,
+                checksum: frame.checksum,
+            },
+        );
+        self.arm_retx_timer(link, ctx);
+    }
+
+    /// Arms the retransmission timer for link `i` if it is not armed:
+    /// current (backed-off) timeout plus uniform jitter.
+    fn arm_retx_timer(&mut self, link: usize, ctx: &mut Ctx<'_, WorldMsg>) {
+        let t = self.transports[link].as_mut().expect("reliable link");
+        if t.deadline.is_some() {
+            return;
+        }
+        let base = t.tx.current_timeout();
+        let frac = t.tx.config().jitter_frac;
+        let jitter = if frac > 0.0 {
+            base.mul_f64(frac * ctx.rng().gen_range(0.0..1.0))
+        } else {
+            Duration::ZERO
+        };
+        let delay = base + jitter;
+        let t = self.transports[link].as_mut().expect("reliable link");
+        t.deadline = Some(ctx.now() + delay);
+        ctx.schedule(delay, RETX_TIMER_BASE + link as u64);
+    }
+
+    /// The retransmit timer for link `i` fired.
+    fn on_retx_timer(&mut self, link: usize, ctx: &mut Ctx<'_, WorldMsg>) {
+        let Some(t) = self.transports.get_mut(link).and_then(Option::as_mut) else {
+            return;
+        };
+        if t.deadline != Some(ctx.now()) {
+            return; // Stale timer from before an ack or a crash.
+        }
+        t.deadline = None;
+        if self.crashed {
+            return;
+        }
+        let was_backed_off = t.tx.current_timeout() > t.tx.config().rto;
+        match t.tx.on_timeout(ctx.now()) {
+            TimeoutAction::Idle => {}
+            TimeoutAction::Retransmit(frame) => {
+                ctx.metrics().inc("isp.retransmits");
+                if was_backed_off {
+                    ctx.metrics().inc("isp.rto_backoffs");
+                }
+                ctx.note(format!("retransmit frame #{}", frame.seq));
+                self.ship_frame(link, frame, ctx);
+            }
+            TimeoutAction::Abandoned { lost_pairs, next } => {
+                ctx.metrics().inc("isp.frames_abandoned");
+                ctx.metrics().add("isp.pairs_abandoned", lost_pairs as u64);
+                ctx.note(format!("retry cap hit: abandoned {lost_pairs} pairs"));
+                if let Some(frame) = next {
+                    ctx.metrics().inc("isp.retransmits");
+                    self.ship_frame(link, frame, ctx);
+                }
+            }
+        }
+    }
+
+    /// An incoming transport frame on link `link`.
+    fn on_frame(
+        &mut self,
+        link: usize,
+        seq: u64,
+        lo: u64,
+        pairs: Vec<(VarId, Value)>,
+        checksum: u64,
+        ctx: &mut Ctx<'_, WorldMsg>,
+    ) {
+        let t = self.transports[link]
+            .as_mut()
+            .expect("frame on a raw link (mismatched LinkSpec.reliable?)");
+        let outcome = t.rx.on_frame(seq, lo, pairs, checksum);
+        if outcome.corrupt {
+            // No ack: silence makes the sender retransmit an intact copy.
+            ctx.metrics().inc("isp.corrupt_rejected");
+            ctx.note(format!("rejected damaged frame #{seq}"));
+            return;
+        }
+        if outcome.duplicate {
+            ctx.metrics().inc("isp.dedup_drops");
+        }
+        if let Some(cum) = outcome.ack {
+            ctx.metrics().inc("isp.acks");
+            let peer = self
+                .isp
+                .as_ref()
+                .expect("frames arrive at IS-processes")
+                .links()[link]
+                .peer_actor;
+            ctx.send(peer, WorldMsg::Ack { cum });
+        }
+        // Released pairs behave exactly like an in-order batch.
+        for (var, val) in outcome.deliver {
+            if self.host.write_in_flight() {
+                ctx.metrics().inc("protocol.causal_wait_stalls");
+                self.isp.as_mut().unwrap().defer_incoming(link, var, val);
+            } else {
+                self.propagate_in(link, var, val, ctx);
+            }
+        }
+        self.post_actions(ctx);
+    }
+
+    /// An incoming cumulative ack on link `link`.
+    fn on_transport_ack(&mut self, link: usize, cum: u64, ctx: &mut Ctx<'_, WorldMsg>) {
+        let now = ctx.now();
+        let (acked, flush) = self.transports[link]
+            .as_mut()
+            .expect("ack on a raw link")
+            .tx
+            .on_ack(cum, now);
+        if acked > 0 {
+            // Restart the retransmission timer from the ack: the old
+            // deadline belongs to an already-acked frame, and letting it
+            // fire would retransmit a still-fresh head (spurious resends
+            // on a busy fault-free link). The stale-deadline check
+            // retires the old timer event.
+            let t = self.transports[link].as_mut().expect("ack on a raw link");
+            t.deadline = None;
+            if t.tx.in_flight() > 0 {
+                self.arm_retx_timer(link, ctx);
+            }
+            if let Some(frame) = flush {
+                ctx.metrics().inc("isp.degraded_flushes");
+                ctx.metrics()
+                    .add("isp.link_pairs_sent", frame.pairs.len() as u64);
+                ctx.note(format!("degraded backlog flushed as frame #{}", frame.seq));
+                self.ship_frame(link, frame, ctx);
+            }
+        }
+    }
+
+    /// Scripted crash: volatile IS-process state dies — unacked frames,
+    /// the degraded backlog, pending batches, stashes and deferred
+    /// incoming pairs — while the MCS replica (the memory itself)
+    /// survives. Incoming link traffic is dropped until restart.
+    fn crash(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        self.crashed = true;
+        ctx.metrics().inc("isp.crashes");
+        ctx.note("IS-process crashed".to_string());
+        let now = ctx.now();
+        let mut lost = 0u64;
+        for t in self.transports.iter_mut().flatten() {
+            lost += t.tx.crash(now) as u64;
+            t.deadline = None;
+        }
+        if let Some(isp) = self.isp.as_mut() {
+            lost += isp.take_ready().len() as u64;
+            for i in 0..isp.links().len() {
+                lost += isp.take_batch(i).len() as u64;
+            }
+            while isp.flush_reordered().is_some() {
+                lost += 1;
+            }
+            while isp.next_deferred().is_some() {
+                lost += 1;
+            }
+        }
+        if lost > 0 {
+            ctx.metrics().add("isp.pairs_lost_in_crash", lost);
+        }
+    }
+
+    /// Scripted restart: mark the resync and run it as soon as the host
+    /// is free (the MCS replica survived, so the IS-process re-reads
+    /// every variable — forging the causal links, the paper's trick —
+    /// and re-sends the current values to its peers).
+    fn recover(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        self.crashed = false;
+        ctx.metrics().inc("isp.recoveries");
+        ctx.note("IS-process restarted".to_string());
+        self.resync_pending = true;
+        self.post_actions(ctx);
+    }
+
+    /// The restart resync sweep.
+    fn resync(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        let n_links = self.isp.as_ref().map_or(0, |isp| isp.links().len());
+        let mut pairs: Vec<(VarId, Value)> = Vec::new();
+        for v in 0..self.n_vars {
+            let var = VarId(v as u32);
+            {
+                let mut sink = WorldSink {
+                    ctx,
+                    addr: &self.addr,
+                };
+                let isp = self.isp.as_mut().expect("resync on an IS-process");
+                self.host.issue_read(var, &mut sink, isp);
+            }
+            if let Some(val) = self.host.peek(var) {
+                pairs.push((var, val));
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        ctx.metrics()
+            .add("isp.resync_pairs", (pairs.len() * n_links) as u64);
+        ctx.note(format!("resync: re-sent {} pairs per link", pairs.len()));
+        for i in 0..n_links {
+            if self.link_is_reliable(i) {
+                self.offer_on_link(i, pairs.clone(), ctx);
+            } else {
+                let isp = self.isp.as_mut().unwrap();
+                let end = isp.links()[i];
+                for &(var, val) in &pairs {
+                    ctx.metrics().inc("isp.link_pairs_sent");
+                    ctx.send(end.peer_actor, WorldMsg::Link { var, val });
+                    isp.log_sent(end.peer_isp, var, val, ctx.now());
+                }
+            }
         }
     }
 
@@ -250,6 +632,16 @@ impl WorldActor {
         let Some(isp) = self.isp.as_mut() else {
             return;
         };
+        if self.crashed {
+            // The replica keeps applying updates, but the crashed
+            // IS-process cannot propagate them; the restart resync
+            // re-reads the replica and covers the loss.
+            let dropped = isp.take_ready().len() as u64;
+            if dropped > 0 {
+                ctx.metrics().add("isp.pairs_lost_in_crash", dropped);
+            }
+            return;
+        }
         let ready = isp.take_ready();
         if !ready.is_empty() {
             ctx.metrics().add("isp.propagate_out", ready.len() as u64);
@@ -270,12 +662,16 @@ impl WorldActor {
     fn post_actions(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
         if self.isp.is_some() {
             self.flush_ready(ctx);
-            while !self.host.write_in_flight() {
+            while !self.crashed && !self.host.write_in_flight() {
                 let Some((link, var, val)) = self.isp.as_mut().unwrap().next_deferred() else {
                     break;
                 };
                 self.propagate_in(link, var, val, ctx);
                 self.flush_ready(ctx);
+            }
+            if self.resync_pending && !self.crashed && !self.host.op_in_flight() {
+                self.resync_pending = false;
+                self.resync(ctx);
             }
         }
         if self.waiting_completion && !self.host.op_in_flight() {
@@ -288,6 +684,10 @@ impl WorldActor {
 impl Actor<WorldMsg> for WorldActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
         self.fetch_and_schedule(ctx);
+        for &(down, up) in &self.crash_windows.clone() {
+            ctx.schedule(down, CRASH_TIMER);
+            ctx.schedule(up, RECOVER_TIMER);
+        }
     }
 
     fn on_message(&mut self, from: ActorId, msg: WorldMsg, ctx: &mut Ctx<'_, WorldMsg>) {
@@ -321,6 +721,10 @@ impl Actor<WorldMsg> for WorldActor {
                 self.post_actions(ctx);
             }
             WorldMsg::Link { var, val } => {
+                if self.crashed {
+                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    return;
+                }
                 let link = self
                     .isp
                     .as_ref()
@@ -337,6 +741,10 @@ impl Actor<WorldMsg> for WorldActor {
                 }
             }
             WorldMsg::LinkBatch(pairs) => {
+                if self.crashed {
+                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    return;
+                }
                 let link = self
                     .isp
                     .as_ref()
@@ -354,6 +762,37 @@ impl Actor<WorldMsg> for WorldActor {
                 }
                 self.post_actions(ctx);
             }
+            WorldMsg::Frame {
+                seq,
+                lo,
+                pairs,
+                checksum,
+            } => {
+                if self.crashed {
+                    // No ack while down: the peer keeps retransmitting
+                    // and refills the gap after the restart.
+                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    return;
+                }
+                let link = self
+                    .isp
+                    .as_ref()
+                    .and_then(|isp| isp.link_from_actor(from))
+                    .unwrap_or_else(|| panic!("frame from unknown actor {from}"));
+                self.on_frame(link, seq, lo, pairs, checksum, ctx);
+            }
+            WorldMsg::Ack { cum } => {
+                if self.crashed {
+                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    return;
+                }
+                let link = self
+                    .isp
+                    .as_ref()
+                    .and_then(|isp| isp.link_from_actor(from))
+                    .unwrap_or_else(|| panic!("ack from unknown actor {from}"));
+                self.on_transport_ack(link, cum, ctx);
+            }
         }
     }
 
@@ -370,8 +809,13 @@ impl Actor<WorldMsg> for WorldActor {
                     self.post_actions(ctx);
                 }
             }
+            CRASH_TIMER => self.crash(ctx),
+            RECOVER_TIMER => self.recover(ctx),
             BATCH_TIMER => {
                 self.batch_scheduled = false;
+                if self.crashed {
+                    return; // Buffers were drained by the crash.
+                }
                 self.flush_batches(ctx);
                 if let Some(isp) = self.isp.as_ref() {
                     if let Some(window) = isp.batch_window() {
@@ -384,6 +828,9 @@ impl Actor<WorldMsg> for WorldActor {
             }
             FLUSH_TIMER => {
                 self.flush_scheduled = false;
+                if self.crashed {
+                    return;
+                }
                 if let Some(isp) = self.isp.as_mut() {
                     if let Some(pair) = isp.flush_reordered() {
                         ctx.note("reorder-fault send (newest-first)".to_string());
@@ -397,6 +844,9 @@ impl Actor<WorldMsg> for WorldActor {
                         }
                     }
                 }
+            }
+            retx if retx >= RETX_TIMER_BASE => {
+                self.on_retx_timer((retx - RETX_TIMER_BASE) as usize, ctx);
             }
             other => panic!("unknown timer token {other}"),
         }

@@ -233,8 +233,8 @@ impl InterconnectBuilder {
                     let ends: Vec<LinkEnd> = serving
                         .iter()
                         .map(|&l| {
-                            let (la, lb, _) = self.links[l];
-                            let peer_sys = if la == s { lb } else { la };
+                            let (la, lb, _) = &self.links[l];
+                            let peer_sys = if *la == s { *lb } else { *la };
                             let peer_isp = isp_of(peer_sys, l);
                             LinkEnd {
                                 peer_isp,
@@ -252,11 +252,37 @@ impl InterconnectBuilder {
                     if let Some(window) = batch {
                         isp = isp.with_batching(window);
                     }
-                    Some(isp)
+                    Some((isp, serving))
                 } else {
                     None
                 };
-                let actor = WorldActor::new(host, Rc::clone(&addr), isp);
+                let (isp, serving) = match isp {
+                    Some((isp, serving)) => (Some(isp), serving),
+                    None => (None, Vec::new()),
+                };
+                let mut actor = WorldActor::new(host, Rc::clone(&addr), isp);
+                if !serving.is_empty() {
+                    // Reliable transport per served link.
+                    let cfgs: Vec<_> = serving.iter().map(|&l| self.links[l].2.reliable).collect();
+                    if cfgs.iter().any(Option::is_some) {
+                        actor.configure_transports(cfgs);
+                    }
+                    // Crash windows for this side of each served link.
+                    let mut windows: Vec<(Duration, Duration)> = Vec::new();
+                    for &l in &serving {
+                        let (la, _, spec) = &self.links[l];
+                        let side = if *la == s {
+                            &spec.crash_a
+                        } else {
+                            &spec.crash_b
+                        };
+                        windows.extend_from_slice(side);
+                    }
+                    if !windows.is_empty() {
+                        windows.sort();
+                        actor.configure_crashes(windows, self.n_vars);
+                    }
+                }
                 b.add_actor(Box::new(actor), NetworkTag(s as u16));
             }
             systems_info.push(SystemInfo {
@@ -276,7 +302,7 @@ impl InterconnectBuilder {
                         b.connect(
                             addr.actor_of(procs[i]),
                             addr.actor_of(procs[j]),
-                            self.systems[procs[i].system.index()].intra,
+                            self.systems[procs[i].system.index()].intra.clone(),
                         );
                     }
                 }
@@ -284,12 +310,26 @@ impl InterconnectBuilder {
         }
         // Inter-system links.
         let mut links_info = Vec::with_capacity(self.links.len());
-        for (l, &(la, lb, spec)) in self.links.iter().enumerate() {
-            let a_isp = isp_of(la, l);
-            let b_isp = isp_of(lb, l);
-            b.connect_bidi(addr.actor_of(a_isp), addr.actor_of(b_isp), spec.channel);
+        for (l, (la, lb, spec)) in self.links.iter().enumerate() {
+            let a_isp = isp_of(*la, l);
+            let b_isp = isp_of(*lb, l);
+            b.connect_bidi(
+                addr.actor_of(a_isp),
+                addr.actor_of(b_isp),
+                spec.channel.clone(),
+            );
             links_info.push(LinkInfo { a_isp, b_isp });
         }
+
+        // Payload corruption damages the transport frame's checksum (so
+        // the receiver detects and rejects it). Raw `Link`/`Mcs`
+        // messages carry no integrity check — corruption detection
+        // requires the framed reliable transport.
+        b.set_corrupter(|msg: &mut WorldMsg, rng| {
+            if let WorldMsg::Frame { checksum, .. } = msg {
+                *checksum ^= rng.next_u64() | 1;
+            }
+        });
 
         Ok(World {
             sim: b.build(),
@@ -373,6 +413,8 @@ impl World {
         let mut system_of = HashMap::new();
         let mut isps = std::collections::BTreeSet::new();
         let mut link_sends: Vec<LinkTraffic> = Vec::new();
+        let end_of_run = self.sim.now();
+        let mut transport_totals: Option<(u64, usize)> = None;
         for sys in &self.systems {
             for p in sys.app_procs.iter().chain(&sys.isp_procs) {
                 system_of.insert(*p, sys.id);
@@ -384,6 +426,11 @@ impl World {
                 streams.push(actor.host_mut().take_ops());
                 updates.insert(*p, actor.host().updates().to_vec());
                 responses.insert(*p, actor.host().write_responses().to_vec());
+                if let Some((ns, depth)) = actor.transport_totals(end_of_run) {
+                    let t = transport_totals.get_or_insert((0, 0));
+                    t.0 += ns;
+                    t.1 = t.1.max(depth);
+                }
                 if let Some(isp) = actor.isp() {
                     isps.insert(*p);
                     // Group the send log per destination.
@@ -409,6 +456,10 @@ impl World {
         // channel/crossing tables, then the end-of-run latency
         // histograms derived from the extracted logs.
         let mut metrics = self.sim.metrics_snapshot();
+        if let Some((degraded_ns, depth)) = transport_totals {
+            metrics.add("isp.degraded_time_ns", degraded_ns);
+            metrics.gauge_max("isp.send_queue_depth_max", depth as f64);
+        }
         for durations in responses.values() {
             for d in durations {
                 metrics.observe("protocol.write_response_ns", d.as_nanos() as f64);

@@ -57,9 +57,11 @@ pub mod isp;
 pub mod msg;
 pub mod report;
 pub mod spec;
+pub mod transport;
 
 pub use build::{InterconnectBuilder, World};
 pub use isp::{IsFault, IsVariant};
 pub use msg::WorldMsg;
 pub use report::{LinkTraffic, RunReport};
 pub use spec::{BuildError, IsTopology, LinkSpec, ProtocolFactory, SystemHandle, SystemSpec};
+pub use transport::{ReliableConfig, ReliableReceiver, ReliableSender};

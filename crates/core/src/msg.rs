@@ -26,6 +26,28 @@ pub enum WorldMsg {
     },
     /// An ordered batch of `⟨x,v⟩` pairs sent as one channel message.
     LinkBatch(Vec<(VarId, Value)>),
+    /// Reliable-transport frame: a batch of pairs under a sequence
+    /// number and checksum, so the sublayer can restore the paper's
+    /// reliable-FIFO contract over a faulty channel (see
+    /// [`crate::transport`]).
+    Frame {
+        /// Sender sequence number (first frame is 1).
+        seq: u64,
+        /// Low-water mark: the receiver must not wait for seqs below
+        /// this (abandoned retransmissions advance it).
+        lo: u64,
+        /// The pairs, in `Propagate_out` order.
+        pairs: Vec<(VarId, Value)>,
+        /// [`crate::transport::frame_checksum`] over the above; a
+        /// mismatch marks the frame as damaged in flight.
+        checksum: u64,
+    },
+    /// Reliable-transport cumulative acknowledgement: every frame with
+    /// `seq ≤ cum` has been delivered in order.
+    Ack {
+        /// Highest contiguously delivered sequence number.
+        cum: u64,
+    },
 }
 
 impl fmt::Display for WorldMsg {
@@ -34,6 +56,10 @@ impl fmt::Display for WorldMsg {
             WorldMsg::Mcs(m) => write!(f, "{m}"),
             WorldMsg::Link { var, val } => write!(f, "⟨{var},{val}⟩"),
             WorldMsg::LinkBatch(pairs) => write!(f, "batch of {} pairs", pairs.len()),
+            WorldMsg::Frame { seq, pairs, .. } => {
+                write!(f, "frame #{seq} ({} pairs)", pairs.len())
+            }
+            WorldMsg::Ack { cum } => write!(f, "ack ≤{cum}"),
         }
     }
 }

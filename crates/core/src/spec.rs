@@ -9,6 +9,7 @@ use cmi_sim::ChannelSpec;
 use cmi_types::SystemId;
 
 use crate::isp::IsFault;
+use crate::transport::ReliableConfig;
 
 /// Factory for custom MCS-process implementations: given
 /// `(system, slot, n_procs, n_vars)`, produce the protocol instance for
@@ -121,7 +122,7 @@ impl SystemSpec {
 }
 
 /// Description of one bidirectional inter-system link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     /// Channel spec of both directions of the IS-process channel.
     pub channel: ChannelSpec,
@@ -132,6 +133,15 @@ pub struct LinkSpec {
     /// message per window (`None` = the paper's one-message-per-pair
     /// protocol).
     pub batch: Option<Duration>,
+    /// Reliable transport sublayer (`None` = the paper's assumption of
+    /// an already-reliable FIFO channel; required whenever the channel
+    /// carries a lossy [`FaultSpec`](cmi_sim::FaultSpec)).
+    pub reliable: Option<ReliableConfig>,
+    /// Crash windows `(down_at, up_at)` in virtual time for the
+    /// IS-process on the **first** linked system.
+    pub crash_a: Vec<(Duration, Duration)>,
+    /// Crash windows for the IS-process on the **second** linked system.
+    pub crash_b: Vec<(Duration, Duration)>,
 }
 
 impl LinkSpec {
@@ -142,6 +152,9 @@ impl LinkSpec {
             channel: ChannelSpec::fixed(delay),
             fault: IsFault::None,
             batch: None,
+            reliable: None,
+            crash_a: Vec::new(),
+            crash_b: Vec::new(),
         }
     }
 
@@ -161,6 +174,36 @@ impl LinkSpec {
     /// Injects an IS-process fault (ablation experiments).
     pub fn with_fault(mut self, fault: IsFault) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Runs the link over the reliable transport sublayer
+    /// ([`crate::transport`]): framing, cumulative acks, retransmission
+    /// with backoff, dedup and resequencing at the receiver.
+    pub fn with_reliability(mut self, cfg: ReliableConfig) -> Self {
+        self.reliable = Some(cfg);
+        self
+    }
+
+    /// Schedules crashes of the IS-process on the **second** linked
+    /// system: it dies at each `down_at` and restarts at the matching
+    /// `up_at`, resyncing from its surviving MCS replica (the re-reads
+    /// forge the causal links, the paper's Section 3 trick).
+    pub fn with_crash(mut self, windows: &[(Duration, Duration)]) -> Self {
+        for &(down, up) in windows {
+            assert!(down < up, "crash window must end after it starts");
+        }
+        self.crash_b = windows.to_vec();
+        self
+    }
+
+    /// Same as [`with_crash`](Self::with_crash) for the IS-process on
+    /// the **first** linked system.
+    pub fn with_crash_at_a(mut self, windows: &[(Duration, Duration)]) -> Self {
+        for &(down, up) in windows {
+            assert!(down < up, "crash window must end after it starts");
+        }
+        self.crash_a = windows.to_vec();
         self
     }
 }

@@ -1,0 +1,649 @@
+//! Reliable transport sublayer for the inter-system link.
+//!
+//! The paper assumes the channel between two IS-processes is a reliable
+//! FIFO channel; `Propagate_out`/`Propagate_in` are specified directly
+//! on top of that abstraction. This module *restores* the reliable-FIFO
+//! contract over a faulty substrate (loss, duplication, reordering,
+//! corruption — see `cmi_sim::FaultSpec`), so Theorem 1 keeps holding
+//! over lossy links:
+//!
+//! * every batch of pairs travels in a **frame** carrying a sequence
+//!   number and a checksum;
+//! * the receiver acknowledges cumulatively, de-duplicates, buffers
+//!   out-of-order frames in a resequencing buffer, and rejects damaged
+//!   frames (no ack ⇒ the sender retransmits them);
+//! * the sender retransmits the oldest unacknowledged frame on a
+//!   timeout with exponential backoff + jitter, up to a retry cap;
+//! * a bounded send queue degrades gracefully: once the peer has been
+//!   unresponsive past a threshold (or the queue is full), newly
+//!   offered pairs are **coalesced per variable** (last-write-wins is
+//!   safe inside the queue because the local re-read on flush re-forges
+//!   the causal edges, exactly the paper's resync trick).
+//!
+//! The state machines here are pure — the [`WorldActor`] drives them
+//! and owns all timer and metric side effects — which keeps them
+//! unit-testable without a simulator.
+//!
+//! [`WorldActor`]: crate::actor::WorldActor
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use cmi_types::{SimTime, Value, VarId};
+
+/// Tuning of one direction of a reliable link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout.
+    pub rto: Duration,
+    /// Cap on the exponential backoff: the effective timeout is
+    /// `rto · 2^min(backoffs, backoff_cap)`.
+    pub backoff_cap: u32,
+    /// Fraction of the timeout added as random jitter (de-synchronizes
+    /// retransmission storms): the armed timeout is
+    /// `timeout · (1 + jitter_frac · u)` with `u` uniform in `[0, 1)`.
+    pub jitter_frac: f64,
+    /// Retransmissions per frame before the sender abandons it and
+    /// advances its low-water mark past the gap.
+    pub max_retries: u32,
+    /// Bound on the unacknowledged-frame queue; a full queue switches
+    /// the sender to degraded (coalescing) mode.
+    pub max_queue: usize,
+    /// How long the oldest frame may stay unacknowledged before the
+    /// sender enters degraded mode even with queue space left.
+    pub degraded_after: Duration,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            rto: Duration::from_millis(100),
+            backoff_cap: 6,
+            jitter_frac: 0.1,
+            max_retries: 10,
+            max_queue: 1024,
+            degraded_after: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Replaces the base retransmission timeout.
+    pub fn with_rto(mut self, rto: Duration) -> Self {
+        self.rto = rto;
+        self
+    }
+
+    /// Replaces the retry cap.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Replaces the send-queue bound.
+    pub fn with_max_queue(mut self, n: usize) -> Self {
+        assert!(n > 0, "the send queue needs room for at least one frame");
+        self.max_queue = n;
+        self
+    }
+
+    /// Replaces the degraded-mode threshold.
+    pub fn with_degraded_after(mut self, after: Duration) -> Self {
+        self.degraded_after = after;
+        self
+    }
+
+    /// Timeout for the given number of consecutive backoffs (jitter is
+    /// applied by the caller, which owns the RNG).
+    pub fn timeout_after(&self, backoffs: u32) -> Duration {
+        self.rto * 2u32.saturating_pow(backoffs.min(self.backoff_cap))
+    }
+}
+
+/// FNV-1a over the frame header and its pairs; detects the simulator's
+/// payload corruption (which flips the stored checksum, see the
+/// corrupter installed by `InterconnectBuilder`).
+pub fn frame_checksum(seq: u64, lo: u64, pairs: &[(VarId, Value)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(seq);
+    mix(lo);
+    for (var, val) in pairs {
+        mix(u64::from(var.0));
+        mix(u64::from(val.origin().system.0));
+        mix(u64::from(val.origin().index));
+        mix(u64::from(val.seq()));
+    }
+    h
+}
+
+/// A frame the sender wants on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutFrame {
+    /// Sequence number (first frame is 1).
+    pub seq: u64,
+    /// Low-water mark: the receiver must not wait for any seq below
+    /// this (abandoned frames advance it past the gap).
+    pub lo: u64,
+    /// The pairs, in `Propagate_out` order.
+    pub pairs: Vec<(VarId, Value)>,
+    /// [`frame_checksum`] over the above.
+    pub checksum: u64,
+}
+
+/// One unacknowledged frame awaiting its cumulative ack.
+#[derive(Debug, Clone)]
+struct Unacked {
+    seq: u64,
+    pairs: Vec<(VarId, Value)>,
+    first_sent: SimTime,
+    retries: u32,
+}
+
+/// What [`ReliableSender::on_timeout`] decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Nothing left unacknowledged; disarm the timer.
+    Idle,
+    /// Retransmit this frame and rearm the timer.
+    Retransmit(OutFrame),
+    /// The retry cap was reached: the head frame was abandoned (its
+    /// pairs are lost for good) and this frame — the new head
+    /// retransmitted with an advanced `lo` — tells the receiver to skip
+    /// the gap. `None` if abandoning emptied the queue.
+    Abandoned {
+        /// Pairs irrecoverably dropped.
+        lost_pairs: usize,
+        /// Next head to retransmit, if any remains.
+        next: Option<OutFrame>,
+    },
+}
+
+/// Sending half of a reliable link (one per direction).
+#[derive(Debug, Clone)]
+pub struct ReliableSender {
+    cfg: ReliableConfig,
+    next_seq: u64,
+    /// Receiver must not wait for seqs below this.
+    lo: u64,
+    unacked: VecDeque<Unacked>,
+    /// Consecutive timeouts without progress (exponent of the backoff).
+    backoffs: u32,
+    /// Degraded-mode coalescing buffer, last write per variable wins.
+    backlog: BTreeMap<VarId, Value>,
+    /// Order in which backlog variables were first touched (BTreeMap
+    /// alone would flush in variable order, not arrival order).
+    backlog_order: Vec<VarId>,
+    /// When the sender entered degraded mode, if it is degraded now.
+    degraded_since: Option<SimTime>,
+    /// Nanoseconds spent in degraded mode so far (completed spells).
+    degraded_ns: u64,
+    /// High-water mark of the unacked queue.
+    max_depth: usize,
+}
+
+impl ReliableSender {
+    /// A fresh sender.
+    pub fn new(cfg: ReliableConfig) -> Self {
+        ReliableSender {
+            cfg,
+            next_seq: 1,
+            lo: 1,
+            unacked: VecDeque::new(),
+            backoffs: 0,
+            backlog: BTreeMap::new(),
+            backlog_order: Vec::new(),
+            degraded_since: None,
+            degraded_ns: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// The tuning this sender runs with.
+    pub fn config(&self) -> &ReliableConfig {
+        &self.cfg
+    }
+
+    /// `true` while the sender coalesces instead of framing.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
+    /// Unacknowledged frames right now.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// High-water mark of the unacknowledged queue.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Completed degraded-mode time; add the live spell via
+    /// [`degraded_ns_at`](Self::degraded_ns_at) when reporting mid-run.
+    pub fn degraded_ns_at(&self, now: SimTime) -> u64 {
+        let live = self
+            .degraded_since
+            .map(|s| now.saturating_since(s).as_nanos() as u64)
+            .unwrap_or(0);
+        self.degraded_ns + live
+    }
+
+    /// Current timeout (before jitter) for arming the retransmit timer.
+    pub fn current_timeout(&self) -> Duration {
+        self.cfg.timeout_after(self.backoffs)
+    }
+
+    fn should_degrade(&self, now: SimTime) -> bool {
+        if self.unacked.len() >= self.cfg.max_queue {
+            return true;
+        }
+        match self.unacked.front() {
+            Some(head) => now.saturating_since(head.first_sent) >= self.cfg.degraded_after,
+            None => false,
+        }
+    }
+
+    fn make_frame(&mut self, pairs: Vec<(VarId, Value)>, now: SimTime) -> OutFrame {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back(Unacked {
+            seq,
+            pairs: pairs.clone(),
+            first_sent: now,
+            retries: 0,
+        });
+        self.max_depth = self.max_depth.max(self.unacked.len());
+        let checksum = frame_checksum(seq, self.lo, &pairs);
+        OutFrame {
+            seq,
+            lo: self.lo,
+            pairs,
+            checksum,
+        }
+    }
+
+    fn coalesce(&mut self, pairs: Vec<(VarId, Value)>, now: SimTime) {
+        self.degraded_since.get_or_insert(now);
+        for (var, val) in pairs {
+            if self.backlog.insert(var, val).is_none() {
+                self.backlog_order.push(var);
+            }
+        }
+    }
+
+    /// Offers pairs for transmission. Returns the frame to put on the
+    /// wire, or `None` when the sender coalesced them into the degraded
+    /// backlog instead.
+    pub fn offer(&mut self, pairs: Vec<(VarId, Value)>, now: SimTime) -> Option<OutFrame> {
+        if pairs.is_empty() {
+            return None;
+        }
+        if self.is_degraded() || self.should_degrade(now) {
+            self.coalesce(pairs, now);
+            return None;
+        }
+        Some(self.make_frame(pairs, now))
+    }
+
+    /// Processes a cumulative ack: drops every frame with `seq ≤ cum`,
+    /// resets the backoff, and — when the ack made room — flushes the
+    /// degraded backlog as a fresh frame. Returns `(acked_frames,
+    /// backlog_flush)`.
+    pub fn on_ack(&mut self, cum: u64, now: SimTime) -> (usize, Option<OutFrame>) {
+        let before = self.unacked.len();
+        while self.unacked.front().is_some_and(|f| f.seq <= cum) {
+            self.unacked.pop_front();
+        }
+        let acked = before - self.unacked.len();
+        if acked > 0 {
+            self.backoffs = 0;
+            // The receiver is past every abandoned gap up to `cum`.
+            self.lo = self.lo.max(cum + 1);
+        }
+        let flush = if self.is_degraded() && !self.should_degrade(now) {
+            if let Some(started) = self.degraded_since.take() {
+                self.degraded_ns += now.saturating_since(started).as_nanos() as u64;
+            }
+            let order = std::mem::take(&mut self.backlog_order);
+            let backlog = std::mem::take(&mut self.backlog);
+            let pairs: Vec<_> = order.into_iter().map(|var| (var, backlog[&var])).collect();
+            (!pairs.is_empty()).then(|| self.make_frame(pairs, now))
+        } else {
+            None
+        };
+        (acked, flush)
+    }
+
+    /// The retransmit timer fired: retransmit the head frame, or
+    /// abandon it once the retry cap is reached.
+    pub fn on_timeout(&mut self, _now: SimTime) -> TimeoutAction {
+        let Some(head) = self.unacked.front_mut() else {
+            return TimeoutAction::Idle;
+        };
+        if head.retries >= self.cfg.max_retries {
+            let lost = self.unacked.pop_front().expect("head exists");
+            // Tell the receiver to stop waiting for the gap.
+            self.lo = self.lo.max(lost.seq + 1);
+            self.backoffs = 0;
+            let next = self.unacked.front().map(|f| OutFrame {
+                seq: f.seq,
+                lo: self.lo,
+                pairs: f.pairs.clone(),
+                checksum: frame_checksum(f.seq, self.lo, &f.pairs),
+            });
+            return TimeoutAction::Abandoned {
+                lost_pairs: lost.pairs.len(),
+                next,
+            };
+        }
+        head.retries += 1;
+        self.backoffs = (self.backoffs + 1).min(self.cfg.backoff_cap);
+        let frame = OutFrame {
+            seq: head.seq,
+            lo: self.lo,
+            pairs: head.pairs.clone(),
+            checksum: frame_checksum(head.seq, self.lo, &head.pairs),
+        };
+        TimeoutAction::Retransmit(frame)
+    }
+
+    /// Crash: volatile retransmission state is lost (queued frames and
+    /// the degraded backlog), but the sequence counter survives so the
+    /// restarted sender never reuses a seq the receiver saw. Returns
+    /// how many queued pairs the crash destroyed.
+    pub fn crash(&mut self, now: SimTime) -> usize {
+        let lost: usize =
+            self.unacked.iter().map(|f| f.pairs.len()).sum::<usize>() + self.backlog.len();
+        // The receiver must not wait for anything the crash destroyed.
+        self.lo = self.next_seq;
+        self.unacked.clear();
+        self.backlog.clear();
+        self.backlog_order.clear();
+        self.backoffs = 0;
+        if let Some(started) = self.degraded_since.take() {
+            self.degraded_ns += now.saturating_since(started).as_nanos() as u64;
+        }
+        lost
+    }
+}
+
+/// What the receiver did with an incoming frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecvOutcome {
+    /// Pairs released **in order** for `Propagate_in`.
+    pub deliver: Vec<(VarId, Value)>,
+    /// Cumulative ack to return to the sender (`None` only for damaged
+    /// frames — silence makes the sender retransmit an intact copy).
+    pub ack: Option<u64>,
+    /// The frame was a duplicate of something already delivered.
+    pub duplicate: bool,
+    /// The checksum did not match; the frame was rejected.
+    pub corrupt: bool,
+}
+
+/// Receiving half of a reliable link: dedup + resequencing.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableReceiver {
+    /// Next sequence number to release (first frame is 1).
+    expected: u64,
+    /// Out-of-order frames waiting for the gap to fill.
+    resequencing: BTreeMap<u64, Vec<(VarId, Value)>>,
+}
+
+impl ReliableReceiver {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        ReliableReceiver {
+            expected: 1,
+            resequencing: BTreeMap::new(),
+        }
+    }
+
+    /// Frames parked in the resequencing buffer.
+    pub fn buffered(&self) -> usize {
+        self.resequencing.len()
+    }
+
+    /// Processes one frame off the wire.
+    pub fn on_frame(
+        &mut self,
+        seq: u64,
+        lo: u64,
+        pairs: Vec<(VarId, Value)>,
+        checksum: u64,
+    ) -> RecvOutcome {
+        if checksum != frame_checksum(seq, lo, &pairs) {
+            return RecvOutcome {
+                corrupt: true,
+                ..RecvOutcome::default()
+            };
+        }
+        let mut out = RecvOutcome::default();
+        // The sender abandoned everything below `lo`; stop waiting.
+        if lo > self.expected {
+            self.expected = lo;
+            self.resequencing = self.resequencing.split_off(&lo);
+        }
+        if seq < self.expected {
+            out.duplicate = true;
+        } else {
+            self.resequencing.entry(seq).or_insert(pairs);
+            while let Some(ready) = self.resequencing.remove(&self.expected) {
+                out.deliver.extend(ready);
+                self.expected += 1;
+            }
+        }
+        out.ack = Some(self.expected - 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{ProcId, SystemId};
+
+    fn val(seq: u32) -> Value {
+        Value::new(ProcId::new(SystemId(0), 0), seq)
+    }
+
+    fn pairs(seqs: &[u32]) -> Vec<(VarId, Value)> {
+        seqs.iter().map(|&s| (VarId(s), val(s))).collect()
+    }
+
+    fn cfg() -> ReliableConfig {
+        ReliableConfig::default()
+            .with_max_queue(3)
+            .with_degraded_after(Duration::from_millis(500))
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn frames_carry_consecutive_seqs_and_valid_checksums() {
+        let mut tx = ReliableSender::new(cfg());
+        let f1 = tx.offer(pairs(&[1]), t(0)).unwrap();
+        let f2 = tx.offer(pairs(&[2]), t(1)).unwrap();
+        assert_eq!((f1.seq, f2.seq), (1, 2));
+        assert_eq!(f1.checksum, frame_checksum(1, 1, &f1.pairs));
+        assert_eq!(tx.in_flight(), 2);
+    }
+
+    #[test]
+    fn in_order_frames_deliver_immediately_and_ack_cumulatively() {
+        let mut tx = ReliableSender::new(cfg());
+        let mut rx = ReliableReceiver::new();
+        let f1 = tx.offer(pairs(&[1]), t(0)).unwrap();
+        let got = rx.on_frame(f1.seq, f1.lo, f1.pairs.clone(), f1.checksum);
+        assert_eq!(got.deliver, f1.pairs);
+        assert_eq!(got.ack, Some(1));
+        let (acked, flush) = tx.on_ack(1, t(1));
+        assert_eq!((acked, flush, tx.in_flight()), (1, None, 0));
+    }
+
+    #[test]
+    fn out_of_order_frames_resequence() {
+        let mut tx = ReliableSender::new(cfg());
+        let mut rx = ReliableReceiver::new();
+        let f1 = tx.offer(pairs(&[1]), t(0)).unwrap();
+        let f2 = tx.offer(pairs(&[2]), t(0)).unwrap();
+        let got2 = rx.on_frame(f2.seq, f2.lo, f2.pairs.clone(), f2.checksum);
+        assert!(got2.deliver.is_empty(), "gap: nothing releasable yet");
+        assert_eq!(got2.ack, Some(0));
+        assert_eq!(rx.buffered(), 1);
+        let got1 = rx.on_frame(f1.seq, f1.lo, f1.pairs.clone(), f1.checksum);
+        assert_eq!(got1.deliver, pairs(&[1, 2]), "released in seq order");
+        assert_eq!(got1.ack, Some(2));
+    }
+
+    #[test]
+    fn duplicates_are_flagged_and_reacked() {
+        let mut tx = ReliableSender::new(cfg());
+        let mut rx = ReliableReceiver::new();
+        let f1 = tx.offer(pairs(&[1]), t(0)).unwrap();
+        rx.on_frame(f1.seq, f1.lo, f1.pairs.clone(), f1.checksum);
+        let again = rx.on_frame(f1.seq, f1.lo, f1.pairs.clone(), f1.checksum);
+        assert!(again.duplicate);
+        assert!(again.deliver.is_empty());
+        assert_eq!(again.ack, Some(1), "dups still refresh the ack");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_without_ack() {
+        let mut tx = ReliableSender::new(cfg());
+        let mut rx = ReliableReceiver::new();
+        let f1 = tx.offer(pairs(&[1]), t(0)).unwrap();
+        let got = rx.on_frame(f1.seq, f1.lo, f1.pairs.clone(), f1.checksum ^ 1);
+        assert!(got.corrupt);
+        assert_eq!(got.ack, None, "silence forces a retransmission");
+        // The retransmitted intact copy goes through.
+        let TimeoutAction::Retransmit(rt) = tx.on_timeout(t(200)) else {
+            panic!("head should retransmit");
+        };
+        let got = rx.on_frame(rt.seq, rt.lo, rt.pairs.clone(), rt.checksum);
+        assert_eq!(got.deliver, f1.pairs);
+    }
+
+    #[test]
+    fn timeouts_back_off_exponentially_up_to_the_cap() {
+        let mut tx = ReliableSender::new(
+            cfg()
+                .with_rto(Duration::from_millis(10))
+                .with_max_retries(100),
+        );
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        assert_eq!(tx.current_timeout(), Duration::from_millis(10));
+        tx.on_timeout(t(10));
+        assert_eq!(tx.current_timeout(), Duration::from_millis(20));
+        for k in 0..10 {
+            tx.on_timeout(t(20 + k));
+        }
+        assert_eq!(
+            tx.current_timeout(),
+            Duration::from_millis(10) * 2u32.pow(6),
+            "capped at backoff_cap"
+        );
+        let (acked, _) = tx.on_ack(1, t(100));
+        assert_eq!(acked, 1);
+        assert_eq!(
+            tx.current_timeout(),
+            Duration::from_millis(10),
+            "ack resets"
+        );
+    }
+
+    #[test]
+    fn retry_cap_abandons_the_head_and_advances_lo() {
+        let mut tx = ReliableSender::new(cfg().with_max_retries(2));
+        let mut rx = ReliableReceiver::new();
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        let f2 = tx.offer(pairs(&[2]), t(0)).unwrap();
+        assert!(matches!(tx.on_timeout(t(1)), TimeoutAction::Retransmit(_)));
+        assert!(matches!(tx.on_timeout(t(2)), TimeoutAction::Retransmit(_)));
+        let TimeoutAction::Abandoned { lost_pairs, next } = tx.on_timeout(t(3)) else {
+            panic!("third timeout exhausts the cap");
+        };
+        assert_eq!(lost_pairs, 1);
+        let next = next.unwrap();
+        assert_eq!((next.seq, next.lo), (2, 2), "lo skips the abandoned gap");
+        // The receiver stops waiting for seq 1 and releases seq 2.
+        let got = rx.on_frame(next.seq, next.lo, next.pairs.clone(), next.checksum);
+        assert_eq!(got.deliver, f2.pairs);
+        assert_eq!(got.ack, Some(2));
+    }
+
+    #[test]
+    fn full_queue_coalesces_per_variable_last_write_wins() {
+        let mut tx = ReliableSender::new(cfg().with_max_queue(1));
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        assert!(tx.offer(vec![(VarId(7), val(1))], t(1)).is_none());
+        assert!(tx.offer(vec![(VarId(8), val(2))], t(2)).is_none());
+        assert!(tx.offer(vec![(VarId(7), val(3))], t(3)).is_none());
+        assert!(tx.is_degraded());
+        let (_, flush) = tx.on_ack(1, t(4));
+        let flush = flush.expect("backlog flushes once the queue drains");
+        assert_eq!(
+            flush.pairs,
+            vec![(VarId(7), val(3)), (VarId(8), val(2))],
+            "arrival order of first touch, newest value per variable"
+        );
+        assert!(!tx.is_degraded());
+        assert_eq!(tx.degraded_ns_at(t(4)), 3_000_000, "1ms..4ms degraded");
+    }
+
+    #[test]
+    fn stale_head_triggers_degraded_mode_before_the_queue_fills() {
+        let mut tx = ReliableSender::new(cfg().with_degraded_after(Duration::from_millis(5)));
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        assert!(
+            tx.offer(pairs(&[2]), t(10)).is_none(),
+            "head is 10ms old, threshold is 5ms"
+        );
+        assert!(tx.is_degraded());
+    }
+
+    #[test]
+    fn crash_clears_volatile_state_but_not_the_seq_counter() {
+        let mut tx = ReliableSender::new(cfg());
+        tx.offer(pairs(&[1, 2]), t(0)).unwrap();
+        tx.offer(pairs(&[3]), t(0)).unwrap();
+        let lost = tx.crash(t(5));
+        assert_eq!(lost, 3);
+        assert_eq!(tx.in_flight(), 0);
+        let f = tx.offer(pairs(&[4]), t(6)).unwrap();
+        assert_eq!(f.seq, 3, "seq counter survives the crash");
+        assert_eq!(f.lo, 3, "receiver must not wait for crashed frames");
+    }
+
+    #[test]
+    fn receiver_skips_gaps_below_the_low_water_mark() {
+        let mut rx = ReliableReceiver::new();
+        // Frames 1-2 died with a crashed sender; frame 3 arrives with
+        // lo=3.
+        let p = pairs(&[9]);
+        let ck = frame_checksum(3, 3, &p);
+        let got = rx.on_frame(3, 3, p.clone(), ck);
+        assert_eq!(got.deliver, p);
+        assert_eq!(got.ack, Some(3));
+    }
+
+    #[test]
+    fn max_depth_tracks_the_high_water_mark() {
+        let mut tx = ReliableSender::new(cfg());
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        tx.offer(pairs(&[2]), t(0)).unwrap();
+        tx.on_ack(2, t(1));
+        tx.offer(pairs(&[3]), t(2)).unwrap();
+        assert_eq!(tx.max_depth(), 2);
+    }
+}

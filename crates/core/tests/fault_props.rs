@@ -1,0 +1,158 @@
+//! Randomized fault-injection properties: under random loss,
+//! duplication, reordering, corruption, and scripted IS-process
+//! crashes, every run with the reliable transport sublayer must
+//! (1) terminate, (2) produce a causal global history, and (3) replay
+//! byte-for-byte — same seed + same spec ⇒ identical
+//! [`RunReport::to_json`] text.
+//!
+//! Plans come from seeded in-tree [`SplitMix64`] streams, so a failure
+//! reproduces from the case number in its message.
+
+use std::time::Duration;
+
+use cmi_checker::causal;
+use cmi_core::{InterconnectBuilder, LinkSpec, ReliableConfig, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::Json;
+use cmi_sim::{ChannelSpec, FaultSpec, SplitMix64};
+
+const CASES: u64 = 24;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+#[derive(Debug, Clone)]
+struct FaultPlan {
+    n_systems: usize,
+    drop: f64,
+    duplicate: f64,
+    reorder: f64,
+    corrupt: f64,
+    crash: Option<(u64, u64)>,
+    rto_ms: u64,
+    ops: u32,
+    seed: u64,
+}
+
+fn fault_plan(rng: &mut SplitMix64) -> FaultPlan {
+    FaultPlan {
+        n_systems: rng.gen_range(2usize..4),
+        drop: rng.gen_range(0.0..0.35),
+        duplicate: rng.gen_range(0.0..0.15),
+        reorder: rng.gen_range(0.0..0.20),
+        corrupt: rng.gen_range(0.0..0.15),
+        crash: rng
+            .gen_bool(0.5)
+            .then(|| (rng.gen_range(40u64..120), rng.gen_range(150u64..400))),
+        rto_ms: rng.gen_range(20u64..80),
+        ops: rng.gen_range(3u32..8),
+        seed: rng.gen_range(0u64..100_000),
+    }
+}
+
+fn run_plan(plan: &FaultPlan) -> RunReport {
+    let faults = FaultSpec::none()
+        .with_drop(plan.drop)
+        .with_duplication(plan.duplicate)
+        .with_reordering(plan.reorder, ms(15))
+        .with_corruption(plan.corrupt);
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let handles: Vec<_> = (0..plan.n_systems)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for i in 1..plan.n_systems {
+        let mut link = LinkSpec::new(ms(1))
+            .with_channel(ChannelSpec::fixed(ms(4)).with_faults(faults.clone()))
+            .with_reliability(ReliableConfig::default().with_rto(ms(plan.rto_ms)));
+        if let Some((down, up)) = plan.crash {
+            link = link.with_crash(&[(ms(down), ms(up))]);
+        }
+        b.link(handles[i - 1], handles[i], link);
+    }
+    let mut world = b.build(plan.seed).expect("chains are trees");
+    world.run(
+        &WorkloadSpec::small()
+            .with_ops(plan.ops)
+            .with_write_fraction(0.5),
+    )
+}
+
+#[test]
+fn faulted_runs_terminate_and_stay_causal() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xFA17 ^ case);
+        let plan = fault_plan(&mut rng);
+        let report = run_plan(&plan);
+        assert!(
+            report.outcome().is_quiescent(),
+            "case {case} did not terminate: {plan:?}"
+        );
+        let verdict = causal::check(&report.global_history());
+        assert!(
+            verdict.is_causal(),
+            "case {case}: {:?} with plan {:?}",
+            verdict.verdict,
+            plan
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_replay_byte_identically() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x5EED ^ case);
+        let plan = fault_plan(&mut rng);
+        let a = run_plan(&plan).to_json().to_pretty();
+        let b = run_plan(&plan).to_json().to_pretty();
+        assert_eq!(a, b, "case {case}: non-deterministic replay of {plan:?}");
+    }
+}
+
+/// The new fault/retry/recovery counters appear in the metrics
+/// snapshot and survive a round-trip through the cmi-obs JSON parser.
+#[test]
+fn fault_counters_round_trip_through_the_json_parser() {
+    let plan = FaultPlan {
+        n_systems: 2,
+        drop: 0.3,
+        duplicate: 0.1,
+        reorder: 0.1,
+        corrupt: 0.1,
+        crash: Some((60, 200)),
+        rto_ms: 40,
+        ops: 10,
+        seed: 11,
+    };
+    let report = run_plan(&plan);
+    let snapshot = report.metrics().snapshot();
+    let text = snapshot.to_pretty();
+    let parsed = Json::parse(&text).expect("snapshot must be valid JSON");
+    assert_eq!(parsed, snapshot, "snapshot must round-trip losslessly");
+    let counters = parsed.get("counters").expect("counters section");
+    for name in [
+        "isp.retransmits",
+        "isp.acks",
+        "isp.rto_backoffs",
+        "isp.dedup_drops",
+        "isp.corrupt_rejected",
+        "isp.crashes",
+        "isp.recoveries",
+        "isp.resync_pairs",
+        "isp.pairs_lost_in_crash",
+        "isp.degraded_time_ns",
+        "channel.a2->a5.dropped",
+        "channel.a2->a5.duplicated",
+        "channel.a2->a5.reordered",
+        "channel.a2->a5.corrupted",
+    ] {
+        let v = counters
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name:?} missing from snapshot"));
+        assert_eq!(
+            v.as_u64(),
+            Some(report.metrics().counter(name)),
+            "counter {name:?} must round-trip"
+        );
+    }
+}

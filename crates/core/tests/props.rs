@@ -109,7 +109,7 @@ fn run_plan(plan: &WorldPlan) -> RunReport {
         });
     }
     for (parent, child) in plan.edges() {
-        let mut link = LinkSpec::new(Duration::ZERO).with_channel(channel);
+        let mut link = LinkSpec::new(Duration::ZERO).with_channel(channel.clone());
         if let Some(batch_ms) = plan.batch_ms {
             link = link.with_batching(Duration::from_millis(batch_ms));
         }

@@ -247,7 +247,7 @@ impl SingleSystem {
         for i in 0..actors.len() {
             for j in 0..actors.len() {
                 if i != j {
-                    b.connect(actors[i], actors[j], config.intra);
+                    b.connect(actors[i], actors[j], config.intra.clone());
                 }
             }
         }

@@ -173,12 +173,12 @@ fn eager_fifo_violates_causality_under_asymmetric_delays() {
     let fast = ChannelSpec::fixed(ms(1));
     let slow = ChannelSpec::fixed(ms(50));
     let a = |i: usize| cmi_sim::ActorId(i as u32);
-    b.connect(a(0), a(1), fast);
-    b.connect(a(1), a(0), fast);
+    b.connect(a(0), a(1), fast.clone());
+    b.connect(a(1), a(0), fast.clone());
     b.connect(a(0), a(2), slow);
-    b.connect(a(2), a(0), fast);
+    b.connect(a(2), a(0), fast.clone());
     b.connect(a(1), a(2), ChannelSpec::fixed(ms(2)));
-    b.connect(a(2), a(1), fast);
+    b.connect(a(2), a(1), fast.clone());
     let mut sim = b.build();
     assert!(sim.run(RunLimit::unlimited()).is_quiescent());
 

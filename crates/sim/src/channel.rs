@@ -1,8 +1,11 @@
-//! Reliable FIFO channels with latency, jitter and availability schedules.
+//! Reliable FIFO channels with latency, jitter, availability schedules
+//! and (optionally) injected faults.
 
 use std::time::Duration;
 
 use cmi_types::SimTime;
+
+use crate::rng::SplitMix64;
 
 /// When a channel is able to start transmitting.
 ///
@@ -31,6 +34,13 @@ pub enum Availability {
 
 impl Availability {
     /// Earliest instant `>= t` at which transmission can start.
+    ///
+    /// Boundary semantics (pinned by tests): the up-window is half-open,
+    /// `[cycle start, cycle start + up)` — a message handed to the
+    /// channel exactly when the window closes (`phase == up`) waits for
+    /// the next cycle, while one handed exactly at a cycle start
+    /// (`phase == 0`) transmits immediately. An `up >= period` schedule
+    /// is always up.
     ///
     /// # Example
     ///
@@ -78,6 +88,112 @@ impl Availability {
     }
 }
 
+/// A scripted fault applied to one specific message of a channel.
+///
+/// Scripts make adversarial tests deterministic without probabilities:
+/// "drop exactly the third message" is expressible directly. Message
+/// indices count from zero in send order on that one channel direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The message vanishes.
+    Drop,
+    /// The message is delivered twice.
+    Duplicate,
+    /// The payload is damaged (see [`crate::SimBuilder::set_corrupter`]).
+    Corrupt,
+    /// The message is held back for an extra delay, bypassing the FIFO
+    /// clamp so later messages can overtake it.
+    Delay(Duration),
+}
+
+/// Seeded fault injection for one channel direction.
+///
+/// Every decision draws from the channel's own [`SplitMix64`] stream,
+/// derived from the world seed and the channel's endpoints — runs are
+/// deterministic and replayable (same seed and spec ⇒ same fault
+/// history), and enabling faults on one channel never perturbs another.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Per-message probability of silent loss.
+    pub drop_prob: f64,
+    /// Per-message probability of a duplicate delivery.
+    pub duplicate_prob: f64,
+    /// Per-message probability of reordering: the message takes an extra
+    /// uniform delay in `[0, reorder_window)` that bypasses the FIFO
+    /// clamp, letting later messages overtake it.
+    pub reorder_prob: f64,
+    /// Bound of the extra reordering delay (exclusive).
+    pub reorder_window: Duration,
+    /// Per-message probability of payload corruption.
+    pub corrupt_prob: f64,
+    /// Scripted faults: `(message index, action)` pairs applied on top of
+    /// the probabilistic faults, for deterministic adversarial tests.
+    pub script: Vec<(u64, FaultAction)>,
+}
+
+impl FaultSpec {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    fn check_prob(p: f64, what: &str) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{what} probability must be in [0, 1], got {p}"
+        );
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        Self::check_prob(p, "drop");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        Self::check_prob(p, "duplicate");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the reordering probability and the bounded extra-delay
+    /// window.
+    pub fn with_reordering(mut self, p: f64, window: Duration) -> Self {
+        Self::check_prob(p, "reorder");
+        assert!(
+            p == 0.0 || !window.is_zero(),
+            "reordering needs a positive window"
+        );
+        self.reorder_prob = p;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        Self::check_prob(p, "corrupt");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Appends a scripted fault on message `nth` (zero-based send index).
+    pub fn with_scripted(mut self, nth: u64, action: FaultAction) -> Self {
+        self.script.push((nth, action));
+        self
+    }
+
+    /// `true` if this spec can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.reorder_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || !self.script.is_empty()
+    }
+}
+
 /// Static description of one unidirectional channel.
 ///
 /// Delivery time of a message sent at `t` is
@@ -86,8 +202,10 @@ impl Availability {
 /// FIFO channel assumption. Setting `fifo: false` removes the clamp and
 /// lets jitter reorder messages; the paper's IS-protocols *require* FIFO
 /// links, and the ablation experiment X7 uses a non-FIFO link to show
-/// what breaks without them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// what breaks without them. [`FaultSpec`] layers loss, duplication,
+/// reordering and corruption on top, for the reliable-transport sublayer
+/// in `cmi-core` to repair.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelSpec {
     /// Base propagation delay.
     pub delay: Duration,
@@ -98,10 +216,9 @@ pub struct ChannelSpec {
     pub availability: Availability,
     /// Whether delivery order is clamped to send order (default `true`).
     pub fifo: bool,
-    /// Deliver every message **twice** (default `false`). Violates the
-    /// paper's exactly-once reliability assumption; used by ablation
-    /// experiments only.
-    pub duplicate: bool,
+    /// Injected faults ([`FaultSpec::none`] for the paper's reliable
+    /// channel).
+    pub faults: FaultSpec,
 }
 
 impl ChannelSpec {
@@ -112,7 +229,7 @@ impl ChannelSpec {
             jitter: Duration::ZERO,
             availability: Availability::AlwaysUp,
             fifo: true,
-            duplicate: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -124,7 +241,7 @@ impl ChannelSpec {
             jitter,
             availability: Availability::AlwaysUp,
             fifo: true,
-            duplicate: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -137,7 +254,7 @@ impl ChannelSpec {
             jitter,
             availability: Availability::AlwaysUp,
             fifo: false,
-            duplicate: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -147,12 +264,43 @@ impl ChannelSpec {
         self
     }
 
-    /// Makes the channel deliver every message twice (ablation of the
-    /// paper's exactly-once reliability assumption).
-    pub fn duplicating(mut self) -> Self {
-        self.duplicate = true;
+    /// Replaces the fault spec.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
+
+    /// Makes the channel deliver every message twice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_faults(FaultSpec::none().with_duplication(1.0))`"
+    )]
+    pub fn duplicating(mut self) -> Self {
+        self.faults.duplicate_prob = 1.0;
+        self
+    }
+}
+
+/// What the channel decided to do with one message.
+///
+/// Produced by [`ChannelState::plan`]; consumed by the engine, which
+/// pushes one delivery event per entry of `deliveries` and bumps the
+/// per-channel fault counters for every `true` flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SendPlan {
+    /// Delivery instants (empty = dropped, two entries = duplicated).
+    pub(crate) deliveries: Vec<SimTime>,
+    /// The message was silently dropped.
+    pub(crate) dropped: bool,
+    /// The message is delivered twice.
+    pub(crate) duplicated: bool,
+    /// The message took an extra FIFO-bypassing delay.
+    pub(crate) reordered: bool,
+    /// The payload is damaged; `corrupt_seed` seeds the corrupter.
+    pub(crate) corrupted: bool,
+    /// Seed for the payload corrupter (drawn from the channel stream so
+    /// the damage itself replays deterministically).
+    pub(crate) corrupt_seed: u64,
 }
 
 /// Mutable per-channel state tracked by the engine.
@@ -162,6 +310,11 @@ pub(crate) struct ChannelState {
     /// Delivery instant of the most recently scheduled message; later
     /// messages are clamped to at least this, preserving FIFO order.
     pub(crate) last_delivery: SimTime,
+    /// The channel's own fault stream (reseeded per channel by the
+    /// builder; untouched unless the fault spec is active).
+    pub(crate) fault_rng: SplitMix64,
+    /// Messages handed to this channel so far (drives fault scripts).
+    pub(crate) msg_index: u64,
 }
 
 impl ChannelState {
@@ -169,6 +322,8 @@ impl ChannelState {
         ChannelState {
             spec,
             last_delivery: SimTime::ZERO,
+            fault_rng: SplitMix64::seed_from_u64(0),
+            msg_index: 0,
         }
     }
 
@@ -183,6 +338,82 @@ impl ChannelState {
         let delivery = candidate.max(self.last_delivery);
         self.last_delivery = delivery;
         delivery
+    }
+
+    /// Decides the fate of one message: delivery instants plus which
+    /// faults were injected. The fast path (inactive fault spec) draws
+    /// nothing from the fault stream, so fault-free channels behave
+    /// bit-identically to a build without fault support.
+    pub(crate) fn plan(&mut self, now: SimTime, jitter: Duration) -> SendPlan {
+        if !self.spec.faults.is_active() {
+            return SendPlan {
+                deliveries: vec![self.schedule(now, jitter)],
+                dropped: false,
+                duplicated: false,
+                reordered: false,
+                corrupted: false,
+                corrupt_seed: 0,
+            };
+        }
+        let idx = self.msg_index;
+        self.msg_index += 1;
+        // Probabilistic decisions, in a fixed draw order.
+        let faults = self.spec.faults.clone();
+        let mut dropped = faults.drop_prob > 0.0 && self.fault_rng.gen_bool(faults.drop_prob);
+        let mut duplicated =
+            faults.duplicate_prob > 0.0 && self.fault_rng.gen_bool(faults.duplicate_prob);
+        let mut reorder_extra = Duration::ZERO;
+        if faults.reorder_prob > 0.0 && self.fault_rng.gen_bool(faults.reorder_prob) {
+            let max =
+                u64::try_from(faults.reorder_window.as_nanos()).expect("reorder window too large");
+            reorder_extra = Duration::from_nanos(self.fault_rng.gen_range(1..max.max(2)));
+        }
+        let mut corrupted =
+            faults.corrupt_prob > 0.0 && self.fault_rng.gen_bool(faults.corrupt_prob);
+        // Scripted overrides for this message index.
+        for &(nth, action) in &faults.script {
+            if nth != idx {
+                continue;
+            }
+            match action {
+                FaultAction::Drop => dropped = true,
+                FaultAction::Duplicate => duplicated = true,
+                FaultAction::Corrupt => corrupted = true,
+                FaultAction::Delay(d) => reorder_extra = reorder_extra.max(d),
+            }
+        }
+        if dropped {
+            return SendPlan {
+                deliveries: Vec::new(),
+                dropped: true,
+                duplicated: false,
+                reordered: false,
+                corrupted: false,
+                corrupt_seed: 0,
+            };
+        }
+        let reordered = !reorder_extra.is_zero();
+        // A reordered delivery bypasses the FIFO clamp (the extra delay
+        // is added after scheduling and not recorded in `last_delivery`),
+        // so subsequent messages can overtake it.
+        let base = self.schedule(now, jitter);
+        let mut deliveries = vec![base + reorder_extra];
+        if duplicated {
+            deliveries.push(self.schedule(now, jitter));
+        }
+        let corrupt_seed = if corrupted {
+            self.fault_rng.next_u64()
+        } else {
+            0
+        };
+        SendPlan {
+            deliveries,
+            dropped: false,
+            duplicated,
+            reordered,
+            corrupted,
+            corrupt_seed,
+        }
     }
 }
 
@@ -229,11 +460,54 @@ mod tests {
     }
 
     #[test]
+    fn duty_cycle_window_boundaries_are_half_open() {
+        let a = Availability::DutyCycle {
+            period: ms(10),
+            up: ms(2),
+        };
+        // Exactly when the window closes: the message waits a full cycle.
+        assert!(!a.is_up(at_ms(2)));
+        assert_eq!(a.next_transmit(at_ms(2)), at_ms(10));
+        // One nanosecond before the close: still in the window.
+        let just_inside = SimTime::from_nanos(at_ms(2).as_nanos() - 1);
+        assert!(a.is_up(just_inside));
+        // Exactly at a cycle start: transmits immediately.
+        assert!(a.is_up(at_ms(20)));
+        assert_eq!(a.next_transmit(at_ms(20)), at_ms(20));
+        // Last instant of a cycle: next cycle start.
+        let cycle_end = SimTime::from_nanos(at_ms(10).as_nanos() - 1);
+        assert_eq!(a.next_transmit(cycle_end), at_ms(10));
+    }
+
+    #[test]
+    fn duty_cycle_with_up_at_least_period_is_always_up() {
+        for up in [10u64, 15] {
+            let a = Availability::DutyCycle {
+                period: ms(10),
+                up: ms(up),
+            };
+            for t in [0u64, 3, 9, 10, 11, 999] {
+                assert!(a.is_up(at_ms(t)), "up={up} t={t}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "up window must be positive")]
     fn zero_up_window_is_rejected() {
         let a = Availability::DutyCycle {
             period: ms(10),
             up: Duration::ZERO,
+        };
+        a.next_transmit(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        let a = Availability::DutyCycle {
+            period: Duration::ZERO,
+            up: ms(1),
         };
         a.next_transmit(SimTime::ZERO);
     }
@@ -270,6 +544,7 @@ mod tests {
         assert_eq!(f.jitter, Duration::ZERO);
         assert_eq!(f.availability, Availability::AlwaysUp);
         assert!(f.fifo);
+        assert!(!f.faults.is_active());
         let j = ChannelSpec::jittered(ms(2), ms(1));
         assert_eq!(j.jitter, ms(1));
         assert!(!ChannelSpec::reordering(ms(2), ms(1)).fifo);
@@ -282,5 +557,99 @@ mod tests {
         let d2 = c.schedule(at_ms(1), ms(1));
         assert_eq!(d1, at_ms(14));
         assert_eq!(d2, at_ms(12), "second message overtakes the first");
+    }
+
+    #[test]
+    fn inactive_faults_leave_the_fault_stream_untouched() {
+        let mut c = ChannelState::new(ChannelSpec::fixed(ms(1)));
+        let before = c.fault_rng.clone();
+        let plan = c.plan(at_ms(0), Duration::ZERO);
+        assert_eq!(plan.deliveries, vec![at_ms(1)]);
+        assert!(!plan.dropped && !plan.duplicated && !plan.reordered && !plan.corrupted);
+        assert_eq!(c.fault_rng, before, "no draws on the fast path");
+        assert_eq!(c.msg_index, 0, "script index only advances under faults");
+    }
+
+    #[test]
+    fn certain_drop_loses_every_message() {
+        let spec = ChannelSpec::fixed(ms(1)).with_faults(FaultSpec::none().with_drop(1.0));
+        let mut c = ChannelState::new(spec);
+        for t in 0..5 {
+            let plan = c.plan(at_ms(t), Duration::ZERO);
+            assert!(plan.dropped);
+            assert!(plan.deliveries.is_empty());
+        }
+    }
+
+    #[test]
+    fn certain_duplication_schedules_two_deliveries() {
+        let spec = ChannelSpec::fixed(ms(1)).with_faults(FaultSpec::none().with_duplication(1.0));
+        let mut c = ChannelState::new(spec);
+        let plan = c.plan(at_ms(0), Duration::ZERO);
+        assert!(plan.duplicated);
+        assert_eq!(plan.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn scripted_faults_hit_exactly_their_message() {
+        let spec = ChannelSpec::fixed(ms(1)).with_faults(
+            FaultSpec::none()
+                .with_scripted(1, FaultAction::Drop)
+                .with_scripted(2, FaultAction::Corrupt),
+        );
+        let mut c = ChannelState::new(spec);
+        let p0 = c.plan(at_ms(0), Duration::ZERO);
+        let p1 = c.plan(at_ms(0), Duration::ZERO);
+        let p2 = c.plan(at_ms(0), Duration::ZERO);
+        assert!(!p0.dropped && !p0.corrupted);
+        assert!(p1.dropped);
+        assert!(!p2.dropped && p2.corrupted);
+    }
+
+    #[test]
+    fn scripted_delay_bypasses_the_fifo_clamp() {
+        let spec = ChannelSpec::fixed(ms(1))
+            .with_faults(FaultSpec::none().with_scripted(0, FaultAction::Delay(ms(50))));
+        let mut c = ChannelState::new(spec);
+        let p0 = c.plan(at_ms(0), Duration::ZERO);
+        let p1 = c.plan(at_ms(0), Duration::ZERO);
+        assert!(p0.reordered);
+        assert_eq!(p0.deliveries, vec![at_ms(51)]);
+        assert_eq!(p1.deliveries, vec![at_ms(1)], "second message overtakes");
+    }
+
+    #[test]
+    fn fault_decisions_replay_identically() {
+        let spec = ChannelSpec::fixed(ms(1)).with_faults(
+            FaultSpec::none()
+                .with_drop(0.3)
+                .with_duplication(0.2)
+                .with_reordering(0.2, ms(20))
+                .with_corruption(0.1),
+        );
+        let mut a = ChannelState::new(spec.clone());
+        let mut b = ChannelState::new(spec);
+        a.fault_rng = SplitMix64::seed_from_u64(42);
+        b.fault_rng = SplitMix64::seed_from_u64(42);
+        for t in 0..200 {
+            assert_eq!(
+                a.plan(at_ms(t), Duration::ZERO),
+                b.plan(at_ms(t), Duration::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_out_of_range_panics() {
+        let result = std::panic::catch_unwind(|| FaultSpec::none().with_drop(1.5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_duplicating_shim_maps_to_fault_spec() {
+        let spec = ChannelSpec::fixed(ms(2)).duplicating();
+        assert_eq!(spec.faults.duplicate_prob, 1.0);
+        assert!(spec.faults.is_active());
     }
 }

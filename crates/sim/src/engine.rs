@@ -10,7 +10,7 @@ use cmi_types::SimTime;
 
 use crate::actor::{Actor, ActorId, Ctx};
 use crate::channel::{ChannelSpec, ChannelState};
-use crate::rng::{derive_rng, SplitMix64};
+use crate::rng::{derive_rng, derive_seed, SplitMix64};
 use crate::stats::{NetworkTag, TrafficStats};
 use crate::trace::{TraceEntry, TraceKind, TraceSink};
 
@@ -119,6 +119,11 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
+/// Damages a message in place when the channel injects corruption; the
+/// RNG is seeded from the channel's own fault stream so the damage
+/// replays deterministically.
+pub type Corrupter<M> = Box<dyn FnMut(&mut M, &mut SplitMix64)>;
+
 /// Engine internals shared with [`Ctx`]; not part of the public API.
 pub(crate) struct Engine<M> {
     pub(crate) now: SimTime,
@@ -128,6 +133,7 @@ pub(crate) struct Engine<M> {
     tags: Vec<NetworkTag>,
     pub(crate) actor_rngs: Vec<SplitMix64>,
     jitter_rng: SplitMix64,
+    corrupter: Option<Corrupter<M>>,
     stats: TrafficStats,
     metrics: MetricsRegistry,
     trace: Option<Vec<TraceEntry>>,
@@ -152,36 +158,49 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             let max = u64::try_from(channel.spec.jitter.as_nanos()).expect("jitter too large");
             Duration::from_nanos(self.jitter_rng.gen_range(0..max))
         };
-        let delivery = channel.schedule(self.now, jitter);
-        let duplicate = channel
-            .spec
-            .duplicate
-            .then(|| channel.schedule(self.now, jitter));
+        let plan = channel.plan(self.now, jitter);
+        if plan.dropped {
+            self.metrics.inc(&format!("channel.{from}->{to}.dropped"));
+            return;
+        }
+        if plan.duplicated {
+            self.metrics
+                .inc(&format!("channel.{from}->{to}.duplicated"));
+        }
+        if plan.reordered {
+            self.metrics.inc(&format!("channel.{from}->{to}.reordered"));
+        }
+        let mut msg = msg;
+        if plan.corrupted {
+            self.metrics.inc(&format!("channel.{from}->{to}.corrupted"));
+            if let Some(corrupter) = self.corrupter.as_mut() {
+                let mut damage_rng = SplitMix64::seed_from_u64(plan.corrupt_seed);
+                corrupter(&mut msg, &mut damage_rng);
+            }
+        }
         let payload_units = std::mem::size_of_val(&msg) as u64;
-        self.count_send(from, to, payload_units);
-        if self.tracing() {
-            self.emit_trace(TraceEntry {
-                at: self.now,
-                kind: TraceKind::Sent {
-                    from,
-                    to,
-                    delivery,
-                    msg: format!("{msg:?}"),
-                },
-            });
-        }
-        if let Some(dup_at) = duplicate {
+        let last = plan.deliveries.len() - 1;
+        let mut remaining = Some(msg);
+        for (i, &delivery) in plan.deliveries.iter().enumerate() {
+            let m = if i == last {
+                remaining.take().expect("one message per delivery list")
+            } else {
+                remaining.as_ref().expect("clone before the move").clone()
+            };
             self.count_send(from, to, payload_units);
-            self.push(
-                dup_at,
-                EventPayload::Message {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
+            if self.tracing() {
+                self.emit_trace(TraceEntry {
+                    at: self.now,
+                    kind: TraceKind::Sent {
+                        from,
+                        to,
+                        delivery,
+                        msg: format!("{m:?}"),
+                    },
+                });
+            }
+            self.push(delivery, EventPayload::Message { from, to, msg: m });
         }
-        self.push(delivery, EventPayload::Message { from, to, msg });
     }
 
     /// Scalar per-send accounting shared by originals and duplicates.
@@ -241,6 +260,7 @@ pub struct SimBuilder<M> {
     seed: u64,
     trace: bool,
     sinks: Vec<Box<dyn TraceSink>>,
+    corrupter: Option<Corrupter<M>>,
 }
 
 impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
@@ -253,6 +273,7 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             seed,
             trace: false,
             sinks: Vec::new(),
+            corrupter: None,
         }
     }
 
@@ -280,8 +301,22 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
 
     /// Registers channels in both directions with the same spec.
     pub fn connect_bidi(&mut self, a: ActorId, b: ActorId, spec: ChannelSpec) {
-        self.connect(a, b, spec);
+        self.connect(a, b, spec.clone());
         self.connect(b, a, spec);
+    }
+
+    /// Installs the hook that damages a message when its channel injects
+    /// payload corruption (see [`FaultSpec::with_corruption`]).
+    ///
+    /// Without a corrupter, corrupted sends are still counted in the
+    /// `channel.*.corrupted` metric but the payload is delivered intact —
+    /// corruption is then purely an accounting event. The hook receives an
+    /// RNG seeded from the channel's own fault stream, so the damage is
+    /// part of the deterministic replay.
+    ///
+    /// [`FaultSpec::with_corruption`]: crate::channel::FaultSpec::with_corruption
+    pub fn set_corrupter(&mut self, f: impl FnMut(&mut M, &mut SplitMix64) + 'static) {
+        self.corrupter = Some(Box::new(f));
     }
 
     /// Enables the human-readable event trace (off by default; tracing
@@ -311,15 +346,25 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         let actor_rngs = (0..self.actors.len())
             .map(|i| derive_rng(self.seed, i as u64))
             .collect();
+        // Each channel gets a fault stream derived from the world seed and
+        // its endpoint ids, so the stream is independent of registration
+        // and HashMap iteration order.
+        let fault_seed = derive_seed(self.seed, u64::MAX - 1);
+        let mut channels = self.channels;
+        for ((from, to), state) in channels.iter_mut() {
+            let key = (u64::from(from.0) << 32) | u64::from(to.0);
+            state.fault_rng = derive_rng(fault_seed, key);
+        }
         Sim {
             engine: Engine {
                 now: SimTime::ZERO,
                 queue: BinaryHeap::new(),
                 seq: 0,
-                channels: self.channels,
+                channels,
                 tags: self.tags,
                 actor_rngs,
                 jitter_rng: derive_rng(self.seed, u64::MAX),
+                corrupter: self.corrupter,
                 stats: TrafficStats::new(),
                 metrics: MetricsRegistry::new(),
                 trace: if self.trace { Some(Vec::new()) } else { None },
@@ -512,7 +557,7 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::Availability;
+    use crate::channel::{Availability, FaultSpec};
     use std::any::Any;
 
     /// Test actor: floods `count` messages to a peer at start, records
@@ -738,12 +783,118 @@ mod tests {
 
     #[test]
     fn duplicating_channel_delivers_twice_and_counts_twice() {
-        let spec = ChannelSpec::fixed(ms(2)).duplicating();
+        let spec = ChannelSpec::fixed(ms(2)).with_faults(FaultSpec::none().with_duplication(1.0));
         let (mut sim, a0, a1) = two_actor_world(spec, 3, 1);
         sim.run(RunLimit::unlimited());
         let sink = sim.actor::<Flood>(a1).unwrap();
         assert_eq!(sink.received.len(), 6, "every message delivered twice");
         assert_eq!(sim.stats().channel_messages(a0, a1), 6);
+        assert_eq!(sim.metrics().counter("channel.a0->a1.duplicated"), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_duplicating_shim_still_duplicates() {
+        let spec = ChannelSpec::fixed(ms(2)).duplicating();
+        let (mut sim, _a0, a1) = two_actor_world(spec, 2, 1);
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.actor::<Flood>(a1).unwrap().received.len(), 4);
+    }
+
+    #[test]
+    fn dropping_channel_loses_messages_and_counts_them() {
+        let spec = ChannelSpec::fixed(ms(2)).with_faults(FaultSpec::none().with_drop(1.0));
+        let (mut sim, a0, a1) = two_actor_world(spec, 5, 1);
+        let outcome = sim.run(RunLimit::unlimited());
+        assert!(outcome.is_quiescent());
+        assert!(sim.actor::<Flood>(a1).unwrap().received.is_empty());
+        assert_eq!(sim.stats().channel_messages(a0, a1), 0);
+        assert_eq!(sim.metrics().counter("channel.a0->a1.dropped"), 5);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_across_replays() {
+        let run = |seed| {
+            let spec =
+                ChannelSpec::jittered(ms(2), ms(3)).with_faults(FaultSpec::none().with_drop(0.4));
+            let (mut sim, _a0, a1) = two_actor_world(spec, 50, seed);
+            sim.run(RunLimit::unlimited());
+            sim.actor::<Flood>(a1).unwrap().received.clone()
+        };
+        let first = run(9);
+        assert_eq!(first, run(9), "same seed must replay identically");
+        assert!(
+            !first.is_empty() && first.len() < 50,
+            "loss should be partial"
+        );
+        // FIFO still holds among survivors.
+        assert!(first.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn reordering_fault_counts_and_still_delivers() {
+        let spec =
+            ChannelSpec::fixed(ms(1)).with_faults(FaultSpec::none().with_reordering(1.0, ms(20)));
+        let (mut sim, _a0, a1) = two_actor_world(spec, 10, 3);
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.actor::<Flood>(a1).unwrap().received.len(), 10);
+        assert_eq!(sim.metrics().counter("channel.a0->a1.reordered"), 10);
+    }
+
+    #[test]
+    fn corrupter_hook_damages_flagged_messages_deterministically() {
+        let run = |seed| {
+            let spec =
+                ChannelSpec::fixed(ms(1)).with_faults(FaultSpec::none().with_corruption(0.5));
+            let mut b = SimBuilder::new(seed);
+            let a1 = ActorId(1);
+            let a0 = b.add_actor(Flood::sender(a1, 20), NetworkTag(0));
+            b.add_actor(Flood::sink(), NetworkTag(0));
+            b.connect(a0, a1, spec);
+            b.set_corrupter(|msg: &mut u32, rng| *msg ^= rng.next_u64() as u32 | 1);
+            let mut sim = b.build();
+            sim.run(RunLimit::unlimited());
+            let corrupted = sim.metrics().counter("channel.a0->a1.corrupted");
+            (sim.actor::<Flood>(a1).unwrap().received.clone(), corrupted)
+        };
+        let (received, corrupted) = run(4);
+        assert_eq!(received.len(), 20, "corruption damages, never drops");
+        let damaged = received.iter().filter(|&&m| m >= 20).count();
+        assert_eq!(corrupted, damaged as u64);
+        assert!(
+            damaged > 0,
+            "p=0.5 over 20 messages should hit at least once"
+        );
+        assert_eq!(run(4), (received, corrupted), "replays bit-identically");
+    }
+
+    #[test]
+    fn scripted_drop_loses_exactly_the_scripted_message() {
+        use crate::channel::FaultAction;
+        let spec = ChannelSpec::fixed(ms(1))
+            .with_faults(FaultSpec::none().with_scripted(2, FaultAction::Drop));
+        let (mut sim, _a0, a1) = two_actor_world(spec, 5, 1);
+        sim.run(RunLimit::unlimited());
+        assert_eq!(sim.actor::<Flood>(a1).unwrap().received, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn fault_free_runs_are_unchanged_by_the_fault_machinery() {
+        // The fast path must leave jittered schedules exactly as the
+        // pre-fault engine produced them: an inactive FaultSpec draws
+        // nothing from any RNG.
+        let plain = {
+            let (mut sim, ..) = two_actor_world(ChannelSpec::jittered(ms(5), ms(20)), 50, 3);
+            sim.run(RunLimit::unlimited());
+            (sim.now(), sim.stats().clone())
+        };
+        let with_spec = {
+            let spec = ChannelSpec::jittered(ms(5), ms(20)).with_faults(FaultSpec::none());
+            let (mut sim, ..) = two_actor_world(spec, 50, 3);
+            sim.run(RunLimit::unlimited());
+            (sim.now(), sim.stats().clone())
+        };
+        assert_eq!(plain, with_spec);
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod stats;
 pub mod trace;
 
 pub use actor::{Actor, ActorId, Ctx};
-pub use channel::{Availability, ChannelSpec};
-pub use engine::{RunLimit, RunOutcome, Sim, SimBuilder};
+pub use channel::{Availability, ChannelSpec, FaultAction, FaultSpec};
+pub use engine::{Corrupter, RunLimit, RunOutcome, Sim, SimBuilder};
 pub use rng::{derive_rng, derive_seed, SplitMix64};
 pub use stats::{NetworkTag, TrafficStats};
 pub use trace::{JsonlSink, RingSink, StderrSink, TraceEntry, TraceKind, TraceSink};

@@ -91,7 +91,7 @@ fn non_fifo_link_breaks_causality_and_is_detected() {
     // 30 ms jitter window over two sends 2 ms apart, most seeds swap.
     let mut violated = false;
     for seed in 0..20 {
-        let report = adversarial_world(link, seed);
+        let report = adversarial_world(link.clone(), seed);
         let verdict = causal::check(&report.global_history());
         if !verdict.is_causal() {
             violated = true;
