@@ -1,0 +1,29 @@
+//! X17 runner. With `--json <path>` the structured benchmark artifact
+//! (hop structure, latency histograms, faulted-run counters) is also
+//! written, as committed at the repo root (`BENCH_X17.json`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v),
+            _ => {
+                eprintln!("--json requires a path argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    print!("{}", cmi_bench::experiments::x17_lineage::run());
+    if let Some(path) = json_out {
+        let artifact = cmi_bench::experiments::x17_lineage::run_json();
+        if let Err(e) = std::fs::write(path, artifact.to_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("X17 JSON artifact written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,7 @@ pub mod x13_atomic;
 pub mod x14_batching;
 pub mod x15_topology;
 pub mod x16_faults;
+pub mod x17_lineage;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -52,7 +53,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X16".into())),
+        ("suite", Json::Str("cmi experiments X1-X17".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -104,5 +105,6 @@ pub fn registry() -> Vec<Experiment> {
             "X16 unreliable links & crashes (extension)",
             x16_faults::run,
         ),
+        ("X17 causal lineage tracing (extension)", x17_lineage::run),
     ]
 }

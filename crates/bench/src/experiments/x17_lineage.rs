@@ -1,0 +1,400 @@
+//! X17 — causal lineage tracing (observability extension).
+//!
+//! Every application write is followed end-to-end across the
+//! interconnection: issue → replica apply → IS read → link crossing →
+//! remote IS write → remote apply. The lineage record independently
+//! re-derives the paper's Section 6 counting claims — each update
+//! crosses every tree link exactly once (`m−1` crossings, the
+//! inter-system term of the `n+m−1` messages-per-write count X2
+//! verifies) and its hop number at each system equals the tree distance
+//! from the origin. Under an unreliable link (X16's fault model) the
+//! record additionally shows the retransmissions and duplicate drops
+//! the reliable-transport sublayer performs — while the *logical*
+//! crossing count stays `m−1`. Finally, a deliberately broken run
+//! (X7's reordering IS-process) is fed to the forensics module, which
+//! names the broken causal edge and prints the lifecycle of the updates
+//! involved.
+
+use std::time::Duration;
+
+use cmi_checker::{causal, forensics};
+use cmi_core::{
+    InterconnectBuilder, IsFault, IsTopology, LinkSpec, ReliableConfig, RunReport, SystemSpec,
+};
+use cmi_memory::{OpPlan, ProtocolKind, WorkloadSpec};
+use cmi_obs::lineage::Stage;
+use cmi_sim::{ChannelSpec, FaultSpec};
+use cmi_types::{ProcId, SystemId, Value, VarId};
+
+use crate::table::Table;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// A lineage-enabled chain (path graph) of `m` systems of `n_each`
+/// processes. With `loss > 0` the links take X16's fault model (drop +
+/// duplication + corruption) under the reliable-transport sublayer.
+pub fn traced_chain(
+    m: usize,
+    n_each: usize,
+    topology: IsTopology,
+    loss: f64,
+    seed: u64,
+) -> RunReport {
+    let link = if loss > 0.0 {
+        let faults = FaultSpec::none()
+            .with_drop(loss)
+            .with_duplication(loss)
+            .with_corruption(loss / 4.0);
+        LinkSpec::new(ms(2))
+            .with_channel(ChannelSpec::fixed(ms(5)).with_faults(faults))
+            .with_reliability(ReliableConfig::default().with_rto(ms(40)))
+    } else {
+        LinkSpec::new(ms(5))
+    };
+    let mut b = InterconnectBuilder::new()
+        .with_topology(topology)
+        .with_vars(3);
+    let handles: Vec<_> = (0..m)
+        .map(|i| {
+            b.add_system(SystemSpec::new(
+                format!("S{i}"),
+                ProtocolKind::Ahamad,
+                n_each,
+            ))
+        })
+        .collect();
+    for w in handles.windows(2) {
+        b.link(w[0], w[1], link.clone());
+    }
+    b.enable_lineage();
+    let mut world = b.build(seed).expect("chain topology is valid");
+    world.run(&WorkloadSpec::small().with_ops(6).with_write_fraction(0.6))
+}
+
+/// A lineage-enabled star: hub + `m−1` leaves (Section 6's worst-case
+/// latency shape).
+pub fn traced_star(m: usize, n_each: usize, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new()
+        .with_topology(IsTopology::Shared)
+        .with_vars(3);
+    let hub = b.add_system(SystemSpec::new("hub", ProtocolKind::Ahamad, n_each));
+    for i in 1..m {
+        let leaf = b.add_system(SystemSpec::new(
+            format!("leaf{i}"),
+            ProtocolKind::Ahamad,
+            n_each,
+        ));
+        b.link(hub, leaf, LinkSpec::new(ms(5)));
+    }
+    b.enable_lineage();
+    let mut world = b.build(seed).expect("star topology is valid");
+    world.run(&WorkloadSpec::small().with_ops(6).with_write_fraction(0.6))
+}
+
+/// X7's adversarial scenario (reordering IS-process breaks Lemma 1),
+/// re-run with lineage enabled so the forensics report can show *where*
+/// the propagation path betrayed the causal order.
+pub fn traced_violation(seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(
+        a,
+        c,
+        LinkSpec::new(ms(10)).with_fault(IsFault::ReorderBatch { window: ms(12) }),
+    );
+    b.enable_lineage();
+    let mut world = b.build(seed).expect("valid pair");
+    let writer = ProcId::new(SystemId(0), 0);
+    let reader = ProcId::new(SystemId(1), 0);
+    let mut poll = Vec::new();
+    for _ in 0..40 {
+        poll.push((ms(2), OpPlan::Read(VarId(1))));
+        poll.push((ms(1), OpPlan::Read(VarId(0))));
+    }
+    world.run_scripted([
+        (
+            writer,
+            vec![
+                (ms(5), OpPlan::Write(VarId(0), Value::new(writer, 1))),
+                (ms(2), OpPlan::Write(VarId(1), Value::new(writer, 2))),
+            ],
+        ),
+        (reader, poll),
+    ])
+}
+
+/// Tree distance from `origin` in the given shape (chain: path index
+/// distance; star: through the hub, system 0).
+fn tree_distance(star: bool, origin: u16, s: u16) -> u32 {
+    if star {
+        match (origin, s) {
+            (o, t) if o == t => 0,
+            (0, _) | (_, 0) => 1,
+            _ => 2,
+        }
+    } else {
+        u32::from(origin.abs_diff(s))
+    }
+}
+
+/// Asserts the Section 6 structure on every traced write and returns
+/// `(writes, crossings-per-write, max hop observed)`.
+fn check_structure(report: &RunReport, m: usize, star: bool) -> (usize, usize, u32) {
+    let lin = report.lineage().expect("lineage enabled");
+    let writes = report.global_history().writes().len();
+    assert_eq!(lin.updates().len(), writes, "one traced update per write");
+    let mut max_hop = 0;
+    for u in lin.updates() {
+        assert_eq!(lin.crossings(u), m - 1, "{u}: each tree link crossed once");
+        for s in 0..m as u16 {
+            let dist = tree_distance(star, u.system(), s);
+            assert_eq!(lin.hop(u, s), Some(dist), "{u}: hop at S{s}");
+        }
+        max_hop = max_hop.max(lin.max_hop(u));
+    }
+    (writes, m - 1, max_hop)
+}
+
+/// Runs the topology sweep, the faulted run and the forensics arm, and
+/// renders the report.
+pub fn run() -> String {
+    let mut out = String::new();
+
+    // -- fault-free hop structure across the Section 6 shapes ----------
+    let mut t = Table::new(
+        "lineage-derived propagation structure (fault-free)",
+        &[
+            "shape",
+            "m",
+            "IS mode",
+            "writes traced",
+            "crossings/write",
+            "max hop",
+        ],
+    );
+    let shapes: Vec<(&str, &str, bool, RunReport, usize)> = vec![
+        (
+            "pair",
+            "shared",
+            false,
+            traced_chain(2, 4, IsTopology::Shared, 0.0, 17),
+            2,
+        ),
+        (
+            "chain",
+            "shared",
+            false,
+            traced_chain(3, 4, IsTopology::Shared, 0.0, 17),
+            3,
+        ),
+        (
+            "chain",
+            "pairwise",
+            false,
+            traced_chain(3, 4, IsTopology::Pairwise, 0.0, 17),
+            3,
+        ),
+        ("star", "shared", true, traced_star(4, 2, 17), 4),
+    ];
+    for (name, mode, star, report, m) in &shapes {
+        assert!(report.outcome().is_quiescent());
+        assert!(causal::check(&report.global_history()).is_causal());
+        let (writes, crossings, max_hop) = check_structure(report, *m, *star);
+        t.row(&[
+            (*name).to_string(),
+            m.to_string(),
+            (*mode).to_string(),
+            writes.to_string(),
+            crossings.to_string(),
+            max_hop.to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    let n = 3 * 4;
+    out.push_str(&format!(
+        "\nEvery write crosses each of the m-1 tree links exactly once — the\n\
+         inter-system term of X2's n+m-1 messages-per-write count (shared\n\
+         chain, m=3, n={n}: {} messages/write), and its hop number at each\n\
+         system equals the tree distance from the origin.\n",
+        super::x02_messages::interconnected_messages_per_write(3, 4, IsTopology::Shared, 17),
+    ));
+
+    // -- propagation latency, by direction and by hop ------------------
+    let chain = &shapes[1].3;
+    let lin = chain.lineage().expect("lineage enabled");
+    let mut t = Table::new(
+        "propagation latency by direction (shared chain, m=3)",
+        &["direction", "count", "p50", "mean", "max"],
+    );
+    for (dir, h) in lin.direction_latencies() {
+        t.row(&[
+            dir,
+            h.count().to_string(),
+            format!("{:.1}ms", h.quantile(0.5) / 1e6),
+            format!("{:.1}ms", h.mean() / 1e6),
+            format!("{:.1}ms", h.max() / 1e6),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.to_string());
+    let mut t = Table::new(
+        "propagation latency by hop count (shared chain, m=3)",
+        &["hop", "count", "p50", "max"],
+    );
+    for (hop, h) in lin.hop_latencies() {
+        t.row(&[
+            hop.to_string(),
+            h.count().to_string(),
+            format!("{:.1}ms", h.quantile(0.5) / 1e6),
+            format!("{:.1}ms", h.max() / 1e6),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.to_string());
+
+    // -- faulted run: transport noise is visible, logic is unchanged ---
+    let faulted = traced_chain(2, 2, IsTopology::Shared, 0.30, 11);
+    assert!(faulted.outcome().is_quiescent());
+    assert!(causal::check(&faulted.global_history()).is_causal());
+    let lin = faulted.lineage().expect("lineage enabled");
+    let stage_count = |stage: Stage| lin.events().iter().filter(|e| e.stage == stage).count();
+    let retx = stage_count(Stage::Retransmitted);
+    let dedup = stage_count(Stage::DedupDropped);
+    assert!(retx > 0, "30% loss must force retransmissions");
+    assert!(dedup > 0, "duplication must force dedup drops");
+    for u in lin.updates() {
+        assert_eq!(lin.crossings(u), 1, "{u}: logical crossings stay m-1");
+    }
+    out.push_str(&format!(
+        "\nFaulted pair (30% loss + duplication, reliable transport): the\n\
+         lineage record shows {retx} retransmissions and {dedup} duplicate\n\
+         drops, yet every update still counts exactly m-1 = 1 logical\n\
+         crossing — the transport noise never reaches the causal layer.\n",
+    ));
+
+    // -- forensics: the broken run, explained --------------------------
+    let bad = traced_violation(1);
+    let global = bad.global_history();
+    assert!(!causal::check(&global).is_causal());
+    let report = forensics::forensics(&global, bad.lineage());
+    assert!(!report.is_clean());
+    let finding = &report.findings()[0];
+    let (a, b) = finding.broken_edge.expect("the screen names the edge");
+    assert!(finding.narrative.contains("lineage of"));
+    out.push_str(&format!(
+        "\nForensics on the reordering-IS run (X7): the screen rejects the\n\
+         history, and the report names the broken causal edge {a} →→ {b}\n\
+         with the full lifecycle of each involved update:\n\n",
+    ));
+    for line in report.render().lines().take(14) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out
+}
+
+/// The machine-readable benchmark artifact (`BENCH_X17.json`): hop
+/// structure and latency histograms of the canonical shared chain, plus
+/// the faulted-run transport counters.
+pub fn run_json() -> cmi_obs::Json {
+    use cmi_obs::{Json, ToJson};
+
+    let chain = traced_chain(3, 4, IsTopology::Shared, 0.0, 17);
+    let lin = chain.lineage().expect("lineage enabled");
+    let directions = Json::Obj(
+        lin.direction_latencies()
+            .iter()
+            .map(|(d, h)| (d.clone(), h.snapshot()))
+            .collect(),
+    );
+    let hops = Json::Obj(
+        lin.hop_latencies()
+            .iter()
+            .map(|(k, h)| (format!("hop{k}"), h.snapshot()))
+            .collect(),
+    );
+    let trace_events = lin
+        .to_chrome_trace()
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+
+    let faulted = traced_chain(2, 2, IsTopology::Shared, 0.30, 11);
+    let flin = faulted.lineage().expect("lineage enabled");
+    let stage_count = |stage: Stage| flin.events().iter().filter(|e| e.stage == stage).count();
+
+    Json::obj([
+        ("experiment", Json::Str("X17 causal lineage tracing".into())),
+        (
+            "shape",
+            Json::Str("shared chain, m=3 systems x 4 processes, 5ms links".into()),
+        ),
+        ("writes_traced", lin.updates().len().to_json()),
+        ("crossings_per_write", 2u64.to_json()),
+        ("max_hop", 2u64.to_json()),
+        ("direction_latencies_ns", directions),
+        ("hop_latencies_ns", hops),
+        ("chrome_trace_events", trace_events.to_json()),
+        (
+            "faulted_pair",
+            Json::obj([
+                (
+                    "fault_model",
+                    Json::Str("30% drop + 30% duplication + 7.5% corruption".into()),
+                ),
+                (
+                    "retransmissions",
+                    stage_count(Stage::Retransmitted).to_json(),
+                ),
+                ("dedup_drops", stage_count(Stage::DedupDropped).to_json()),
+                ("crossings_per_write", 1u64.to_json()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x17_chain_hops_equal_tree_distance() {
+        let report = traced_chain(3, 2, IsTopology::Shared, 0.0, 7);
+        assert!(report.outcome().is_quiescent());
+        check_structure(&report, 3, false);
+    }
+
+    #[test]
+    fn x17_star_hops_route_through_the_hub() {
+        let report = traced_star(3, 2, 7);
+        assert!(report.outcome().is_quiescent());
+        check_structure(&report, 3, true);
+    }
+
+    #[test]
+    fn x17_faulted_run_records_transport_noise_without_extra_crossings() {
+        let report = traced_chain(2, 2, IsTopology::Shared, 0.30, 11);
+        assert!(report.outcome().is_quiescent());
+        let lin = report.lineage().expect("lineage enabled");
+        assert!(lin.events().iter().any(|e| e.stage == Stage::Retransmitted));
+        for u in lin.updates() {
+            assert_eq!(lin.crossings(u), 1);
+        }
+    }
+
+    #[test]
+    fn x17_forensics_names_the_broken_edge_with_lineage() {
+        let bad = traced_violation(1);
+        let report = forensics::forensics(&bad.global_history(), bad.lineage());
+        assert!(!report.is_clean());
+        let f = &report.findings()[0];
+        assert!(f.broken_edge.is_some());
+        assert!(!f.updates.is_empty());
+        assert!(f.narrative.contains("broken causal edge"));
+        assert!(f.narrative.contains("lineage of"));
+        assert!(f.narrative.contains("frame-sent"));
+    }
+}

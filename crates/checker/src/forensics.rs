@@ -1,0 +1,274 @@
+//! Violation forensics: from a checker-rejected computation to the
+//! broken causal path, named operation by operation.
+//!
+//! When a screen ([`crate::screen`]) rejects a history, the bad pattern
+//! already names the operations involved — but in an interconnected
+//! world the interesting question is *where along the propagation path*
+//! causality broke. This module joins the screen's structured findings
+//! with the causal lineage record (`cmi-obs::lineage`): each finding
+//! names the **broken causal edge** (the `→→` edge the reading process's
+//! view fails to respect), lists the involved operations, and — when a
+//! [`LineageRecorder`] is supplied — appends the full lifecycle of every
+//! involved update, so the guilty link crossing or reorder window can be
+//! read straight off the report. The computation itself renders via
+//! [`crate::dot::to_dot`] with the involved operations highlighted.
+
+use std::fmt::Write as _;
+
+use cmi_obs::lineage::{LineageRecorder, UpdateId};
+use cmi_types::{History, OpId, OpKind};
+
+use crate::dot;
+use crate::screen::{self, BadPattern};
+
+/// One explained violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The detected bad pattern.
+    pub pattern: BadPattern,
+    /// Every operation involved, in pattern order.
+    pub ops: Vec<OpId>,
+    /// The causal edge `a →→ b` the violation breaks, if the pattern
+    /// names one (`WriteCoRead` breaks `write →→ interposed`;
+    /// `WriteCoInitRead` breaks `write →→ read`).
+    pub broken_edge: Option<(OpId, OpId)>,
+    /// The updates the involved operations wrote or read.
+    pub updates: Vec<UpdateId>,
+    /// Human-readable explanation naming the edge and the operations.
+    pub narrative: String,
+}
+
+/// The forensics report of one computation.
+#[derive(Debug, Clone, Default)]
+pub struct ForensicsReport {
+    findings: Vec<Finding>,
+}
+
+impl ForensicsReport {
+    /// All explained violations (empty = the screen found nothing).
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// `true` if the screen found no violation.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Every involved operation across all findings (highlight set for
+    /// [`to_dot`](Self::to_dot)).
+    pub fn involved_ops(&self) -> Vec<OpId> {
+        let mut out: Vec<OpId> = self.findings.iter().flat_map(|f| f.ops.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Renders the computation with every involved operation highlighted
+    /// in red (reuses the checker's DOT exporter).
+    pub fn to_dot(&self, history: &History) -> String {
+        dot::to_dot(history, &self.involved_ops())
+    }
+
+    /// The full printable report: one narrative block per finding.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "forensics: no violation found\n".to_string();
+        }
+        let mut out = String::new();
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = writeln!(out, "violation {}: {}", i + 1, f.narrative);
+        }
+        out
+    }
+}
+
+fn op_text(history: &History, id: OpId) -> String {
+    format!("{id} [{}]", history.op(id))
+}
+
+fn update_of(history: &History, id: OpId) -> Option<UpdateId> {
+    let op = history.op(id);
+    match op.kind {
+        OpKind::Write { value } => Some(value.update_id()),
+        OpKind::Read { value } => value.map(|v| v.update_id()),
+    }
+}
+
+/// Screens `history` and explains every finding; with `lineage`, each
+/// narrative carries the full lifecycle of the involved updates.
+///
+/// # Example
+///
+/// ```
+/// use cmi_checker::{forensics, litmus};
+///
+/// let report = forensics::forensics(&litmus::fifo_violation(), None);
+/// assert!(!report.is_clean());
+/// println!("{}", report.render());
+/// ```
+pub fn forensics(history: &History, lineage: Option<&LineageRecorder>) -> ForensicsReport {
+    let screened = screen::screen(history);
+    let mut findings = Vec::new();
+    for pattern in screened.violations() {
+        let (ops, broken_edge, mut narrative) = match pattern {
+            BadPattern::ThinAirRead { read } => (
+                vec![*read],
+                None,
+                format!(
+                    "thin-air read: {} returns a value no write produced",
+                    op_text(history, *read)
+                ),
+            ),
+            BadPattern::CyclicCausalOrder => (
+                Vec::new(),
+                None,
+                "the causal order →→ of the computation is cyclic".to_string(),
+            ),
+            BadPattern::WriteCoInitRead { write, read } => (
+                vec![*write, *read],
+                Some((*write, *read)),
+                format!(
+                    "broken causal edge {write} →→ {read}: {} is causally \
+                     before {}, which still returns ⊥",
+                    op_text(history, *write),
+                    op_text(history, *read)
+                ),
+            ),
+            BadPattern::WriteCoRead {
+                write,
+                interposed,
+                read,
+            } => (
+                vec![*write, *interposed, *read],
+                Some((*write, *interposed)),
+                format!(
+                    "broken causal edge {write} →→ {interposed}: {} is causally \
+                     overwritten by {}, but {} still returns the overwritten value",
+                    op_text(history, *write),
+                    op_text(history, *interposed),
+                    op_text(history, *read)
+                ),
+            ),
+        };
+        let mut updates: Vec<UpdateId> = ops
+            .iter()
+            .filter_map(|&id| update_of(history, id))
+            .collect();
+        updates.sort();
+        updates.dedup();
+        if let Some(lin) = lineage {
+            for &u in &updates {
+                let life = lin.lifecycle(u);
+                if !life.is_empty() {
+                    let _ = write!(narrative, "\n  lineage of {u}:\n");
+                    for line in life.lines() {
+                        let _ = writeln!(narrative, "    {line}");
+                    }
+                }
+            }
+        }
+        findings.push(Finding {
+            pattern: pattern.clone(),
+            ops,
+            broken_edge,
+            updates,
+            narrative,
+        });
+    }
+    ForensicsReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+    fn p(sys: u16, i: u16) -> ProcId {
+        ProcId::new(SystemId(sys), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    /// The Section 3 counterexample: p2 reads u (which overwrote v),
+    /// then reads v again.
+    fn section3_history() -> History {
+        let v = Value::new(p(0, 0), 1);
+        let u = Value::new(p(0, 1), 1);
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0, 0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(0, 1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::write(p(0, 1), VarId(0), u, t(3)));
+        h.record(OpRecord::read(p(0, 2), VarId(0), Some(u), t(4)));
+        h.record(OpRecord::read(p(0, 2), VarId(0), Some(v), t(5)));
+        h
+    }
+
+    #[test]
+    fn clean_history_yields_clean_report() {
+        let mut h = History::new();
+        let v = Value::new(p(0, 0), 1);
+        h.record(OpRecord::write(p(0, 0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(0, 1), VarId(0), Some(v), t(2)));
+        let report = forensics(&h, None);
+        assert!(report.is_clean());
+        assert!(report.render().contains("no violation"));
+    }
+
+    #[test]
+    fn stale_read_names_the_broken_edge_and_its_operations() {
+        let report = forensics(&section3_history(), None);
+        assert_eq!(report.findings().len(), 1);
+        let f = &report.findings()[0];
+        assert_eq!(f.broken_edge, Some((OpId(0), OpId(2))));
+        assert_eq!(f.ops, vec![OpId(0), OpId(2), OpId(4)]);
+        assert!(f.narrative.contains("broken causal edge op0 →→ op2"));
+        assert!(f.narrative.contains("op4"));
+        // Both involved updates resolved from the values.
+        assert_eq!(
+            f.updates,
+            vec![UpdateId::pack(0, 0, 1), UpdateId::pack(0, 1, 1)]
+        );
+    }
+
+    #[test]
+    fn lineage_lifecycles_are_appended_when_available() {
+        let mut lin = LineageRecorder::new();
+        let v_id = UpdateId::pack(0, 0, 1);
+        lin.issued(v_id, 1);
+        lin.frame_sent(v_id, 0, 3, 1, 2);
+        lin.remote_written(v_id, 1, 3, 0, 10);
+        let report = forensics(&section3_history(), Some(&lin));
+        let f = &report.findings()[0];
+        assert!(f.narrative.contains("lineage of S0.p0#1"));
+        assert!(f.narrative.contains("frame-sent -> S1"));
+        // The other update was never traced: no empty lineage block.
+        assert!(!f.narrative.contains("lineage of S0.p1#1"));
+    }
+
+    #[test]
+    fn dot_render_highlights_involved_ops() {
+        let h = section3_history();
+        let report = forensics(&h, None);
+        let dot = report.to_dot(&h);
+        let op4 = dot.lines().find(|l| l.contains("\"op4\" [label")).unwrap();
+        assert!(op4.contains("color=red"));
+        let op1 = dot.lines().find(|l| l.contains("\"op1\" [label")).unwrap();
+        assert!(op1.contains("color=black"), "uninvolved ops stay black");
+    }
+
+    #[test]
+    fn init_read_violation_breaks_the_write_read_edge() {
+        let v = Value::new(p(0, 0), 1);
+        let mut h = History::new();
+        h.record(OpRecord::write(p(0, 0), VarId(0), v, t(1)));
+        h.record(OpRecord::read(p(0, 1), VarId(0), Some(v), t(2)));
+        h.record(OpRecord::read(p(0, 1), VarId(0), None, t(3)));
+        let report = forensics(&h, None);
+        let f = &report.findings()[0];
+        assert_eq!(f.broken_edge, Some((OpId(0), OpId(2))));
+        assert!(f.narrative.contains("⊥"));
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`trace`] — order-conformance checks for protocol-internal traces:
 //!   the Causal Updating Property (Property 1) and the propagation-order
 //!   guarantee of Lemma 1.
+//! * [`forensics`] — joins a dirty screen with the causal lineage record
+//!   to name the broken causal edge and print the lifecycle of every
+//!   involved update.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@
 pub mod cache;
 pub mod causal;
 pub mod dot;
+pub mod forensics;
 pub mod linearizable;
 pub mod litmus;
 pub mod metrics;
@@ -46,6 +50,7 @@ pub mod trace;
 
 pub use cache::CacheVerdict;
 pub use causal::{CausalReport, CausalVerdict, CausalViolation};
+pub use forensics::{Finding, ForensicsReport};
 pub use linearizable::LinearizableVerdict;
 pub use order::CausalOrder;
 pub use pram::{PramReport, PramVerdict};

@@ -4,6 +4,7 @@
 //! ```text
 //! cmi-cli run <scenario.json> [--json <report.json>]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
+//!             [--trace-out <trace.json>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
 //! cmi-cli list                     # list experiment ids
 //! ```
@@ -42,10 +43,13 @@ fn print_usage() {
          USAGE:\n\
          \u{20}  cmi-cli run <scenario.json> [--json <report.json>]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
+         \u{20}          [--trace-out <trace.json>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
          \u{20}  cmi-cli list\n\n\
          A scenario file describes systems, tree links, a workload and the\n\
-         consistency checks to run; see crates/cli/scenarios/ for examples."
+         consistency checks to run; see crates/cli/scenarios/ for examples.\n\
+         --trace-out records causal lineage and writes a Chrome trace-event\n\
+         file (open with Perfetto or chrome://tracing)."
     );
 }
 
@@ -65,17 +69,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!(
             "usage: cmi-cli run <scenario.json> [--json <report.json>] \
-             [--dump-history <out.json>] [--dump-dot <out.dot>]"
+             [--dump-history <out.json>] [--dump-dot <out.dot>] \
+             [--trace-out <trace.json>]"
         );
         return ExitCode::FAILURE;
     };
-    let (json_out, dump, dump_dot) = match (
+    let (json_out, dump, dump_dot, trace_out) = match (
         flag_value(args, "--json"),
         flag_value(args, "--dump-history"),
         flag_value(args, "--dump-dot"),
+        flag_value(args, "--trace-out"),
     ) {
-        (Ok(j), Ok(d), Ok(g)) => (j, d, g),
-        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+        (Ok(j), Ok(d), Ok(g), Ok(t)) => (j, d, g, t),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -87,13 +93,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scenario = match Scenario::from_json(&text) {
+    let mut scenario = match Scenario::from_json(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if trace_out.is_some() {
+        scenario.lineage = true;
+    }
     let report = match scenario.run() {
         Ok(r) => r,
         Err(e) => {
@@ -131,6 +140,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Ok(()) => println!("causal-order graph written to {dot_path}"),
             Err(e) => {
                 eprintln!("cannot write {dot_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(trace_path) = trace_out {
+        let lin = report.lineage().expect("--trace-out enables lineage");
+        match std::fs::write(trace_path, lin.to_chrome_trace().to_pretty() + "\n") {
+            Ok(()) => println!(
+                "Chrome trace ({} updates, {} events) written to {trace_path} — \
+                 open with Perfetto (ui.perfetto.dev) or chrome://tracing",
+                lin.updates().len(),
+                lin.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {trace_path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -51,6 +51,15 @@ pub fn render_report(scenario: &Scenario, report: &RunReport) -> String {
             report.trace().len()
         ));
     }
+    if let Some(lin) = report.lineage() {
+        let max_hop = lin.updates().iter().map(|&u| lin.max_hop(u)).max();
+        out.push_str(&format!(
+            "\nlineage: {} updates traced across {} lifecycle events, max hop {}\n",
+            lin.updates().len(),
+            lin.len(),
+            max_hop.unwrap_or(0),
+        ));
+    }
     out
 }
 

@@ -170,6 +170,9 @@ pub struct Scenario {
     pub checks: Vec<String>,
     /// Record the simulator trace (default off).
     pub trace: bool,
+    /// Record causal lineage — the per-update lifecycle across the
+    /// interconnection, exportable as a Chrome trace (default off).
+    pub lineage: bool,
 }
 
 // ---- decoding helpers over the in-tree JSON model ----------------------
@@ -448,6 +451,7 @@ impl ToJson for Scenario {
             ),
             ("checks", self.checks.to_json()),
             ("trace", self.trace.to_json()),
+            ("lineage", self.lineage.to_json()),
         ])
     }
 }
@@ -519,6 +523,7 @@ impl Scenario {
             workload: WorkloadEntry::decode(need(&v, "workload", "scenario")?)?,
             checks,
             trace: get_bool(&v, "trace", "scenario", false)?,
+            lineage: get_bool(&v, "lineage", "scenario", false)?,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -633,6 +638,9 @@ impl Scenario {
             .with_topology(topology);
         if self.trace {
             b.enable_trace();
+        }
+        if self.lineage {
+            b.enable_lineage();
         }
         let mut handles = Vec::new();
         for s in &self.systems {
@@ -882,6 +890,20 @@ mod tests {
         let bad = FAULTY.replace("\"rto_ms\": 40", "\"rto_ms\": 0");
         let err = Scenario::from_json(&bad).unwrap_err();
         assert!(err.to_string().contains("links[0].reliable.rto_ms"));
+    }
+
+    #[test]
+    fn lineage_flag_parses_and_round_trips() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        assert!(!s.lineage, "lineage defaults to off");
+        let on = MINIMAL.replace("\"workload\"", "\"lineage\": true, \"workload\"");
+        let s = Scenario::from_json(&on).unwrap();
+        assert!(s.lineage);
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert!(back.lineage);
+        let report = s.run().unwrap();
+        let lin = report.lineage().expect("lineage-enabled run records it");
+        assert!(!lin.is_empty());
     }
 
     #[test]

@@ -25,3 +25,58 @@ fn dialup_tree_scenario_runs_and_is_causal() {
     assert!(report.outcome().is_quiescent());
     assert!(causal::check(&report.global_history()).is_causal());
 }
+
+#[test]
+fn lineage_scenario_runs_and_traces_every_write() {
+    let scenario = load("lineage.json");
+    assert!(scenario.lineage);
+    let report = scenario.run().expect("valid scenario");
+    assert!(report.outcome().is_quiescent());
+    assert!(causal::check(&report.global_history()).is_causal());
+    let lin = report.lineage().expect("lineage enabled by the file");
+    assert_eq!(
+        lin.updates().len(),
+        report.global_history().writes().len(),
+        "one traced update per application write"
+    );
+}
+
+/// Golden format check: the Chrome trace export (`--trace-out`) must be
+/// valid JSON with the stable trace-event field names Perfetto and
+/// chrome://tracing expect. Renaming any field breaks downstream
+/// tooling, so this test pins them.
+#[test]
+fn lineage_chrome_trace_export_has_stable_field_names() {
+    use cmi_obs::Json;
+
+    let report = load("lineage.json").run().expect("valid scenario");
+    let lin = report.lineage().expect("lineage enabled");
+    let text = lin.to_chrome_trace().to_pretty();
+    let parsed = Json::parse(&text).expect("exporter emits valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+    let mut phases = std::collections::BTreeSet::new();
+    for e in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
+            assert!(e.get(key).is_some(), "trace event missing field {key:?}");
+        }
+        phases.insert(e.get("ph").and_then(Json::as_str).unwrap().to_string());
+        let args = e.get("args").expect("args");
+        assert!(args.get("update").is_some(), "args.update names the update");
+        if e.get("ph").and_then(Json::as_str) == Some("X") {
+            assert!(e.get("dur").is_some(), "complete spans carry a duration");
+        }
+    }
+    assert_eq!(
+        phases.into_iter().collect::<Vec<_>>(),
+        vec!["X".to_string(), "i".to_string()],
+        "spans per (update, system) plus instant markers"
+    );
+}

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use cmi_memory::{Driver, HostSink, McsMsg, NoUpcalls, NodeHost, OpPlan};
+use cmi_obs::LineageRecorder;
 use cmi_sim::{Actor, ActorId, Ctx};
 use cmi_types::{ProcId, SimTime, Value, VarId};
 
@@ -94,6 +95,11 @@ impl HostSink for WorldSink<'_, '_> {
 
     fn note(&mut self, text: String) {
         self.ctx.note(text);
+    }
+
+    fn lineage(&mut self) -> Option<(&mut LineageRecorder, ProcId)> {
+        let me = self.addr.proc_of(self.ctx.me());
+        self.ctx.lineage().map(|lin| (lin, me))
     }
 }
 
@@ -273,6 +279,29 @@ impl WorldActor {
         self.transports.get(i).is_some_and(Option::is_some)
     }
 
+    /// Records one pair leaving on an inter-system link in the lineage
+    /// (no-op when lineage is disabled). Associated so callers holding a
+    /// mutable borrow of `self.isp` can still pass the disjoint `host`
+    /// field.
+    fn record_link_send(
+        host: &NodeHost,
+        ctx: &mut Ctx<'_, WorldMsg>,
+        val: Value,
+        to_system: u16,
+        retx: bool,
+    ) {
+        let at = ctx.now().as_nanos();
+        let me = host.proc();
+        if let Some(lin) = ctx.lineage() {
+            let u = val.update_id();
+            if retx {
+                lin.retransmitted(u, me.system.0, me.index, to_system, at);
+            } else {
+                lin.frame_sent(u, me.system.0, me.index, to_system, at);
+            }
+        }
+    }
+
     /// Transmits each pair on every link except the pair's source link,
     /// and logs it. With X14 batching the pairs accumulate per link and
     /// go out together at the next batch flush; on a reliable link the
@@ -302,6 +331,7 @@ impl WorldActor {
                         },
                     );
                     isp.log_sent(l.peer_isp, pair.var, pair.val, ctx.now());
+                    Self::record_link_send(&self.host, ctx, pair.val, l.peer_isp.system.0, false);
                 }
             }
         }
@@ -348,6 +378,7 @@ impl WorldActor {
             ctx.metrics().add("isp.link_pairs_sent", batch.len() as u64);
             for &(var, val) in &batch {
                 isp.log_sent(l.peer_isp, var, val, ctx.now());
+                Self::record_link_send(&self.host, ctx, val, l.peer_isp.system.0, false);
             }
             ctx.send(l.peer_actor, WorldMsg::LinkBatch(batch));
         }
@@ -371,7 +402,7 @@ impl WorldActor {
         match frame {
             Some(frame) => {
                 ctx.metrics().add("isp.link_pairs_sent", n_pairs);
-                self.ship_frame(link, frame, ctx);
+                self.ship_frame(link, frame, false, ctx);
             }
             None => {
                 ctx.metrics().add("isp.degraded_coalesced", n_pairs);
@@ -379,13 +410,21 @@ impl WorldActor {
         }
     }
 
-    /// Puts a frame on the wire (first transmission or retransmission)
-    /// and makes sure the retransmit timer is armed.
-    fn ship_frame(&mut self, link: usize, frame: OutFrame, ctx: &mut Ctx<'_, WorldMsg>) {
+    /// Puts a frame on the wire (`retx` distinguishes a retransmission
+    /// from a first transmission) and makes sure the retransmit timer is
+    /// armed.
+    fn ship_frame(
+        &mut self,
+        link: usize,
+        frame: OutFrame,
+        retx: bool,
+        ctx: &mut Ctx<'_, WorldMsg>,
+    ) {
         let isp = self.isp.as_mut().expect("frames originate at IS-processes");
         let end = isp.links()[link];
         for &(var, val) in &frame.pairs {
             isp.log_sent(end.peer_isp, var, val, ctx.now());
+            Self::record_link_send(&self.host, ctx, val, end.peer_isp.system.0, retx);
         }
         ctx.send(
             end.peer_actor,
@@ -440,7 +479,7 @@ impl WorldActor {
                     ctx.metrics().inc("isp.rto_backoffs");
                 }
                 ctx.note(format!("retransmit frame #{}", frame.seq));
-                self.ship_frame(link, frame, ctx);
+                self.ship_frame(link, frame, true, ctx);
             }
             TimeoutAction::Abandoned { lost_pairs, next } => {
                 ctx.metrics().inc("isp.frames_abandoned");
@@ -448,7 +487,7 @@ impl WorldActor {
                 ctx.note(format!("retry cap hit: abandoned {lost_pairs} pairs"));
                 if let Some(frame) = next {
                     ctx.metrics().inc("isp.retransmits");
-                    self.ship_frame(link, frame, ctx);
+                    self.ship_frame(link, frame, true, ctx);
                 }
             }
         }
@@ -464,6 +503,10 @@ impl WorldActor {
         checksum: u64,
         ctx: &mut Ctx<'_, WorldMsg>,
     ) {
+        // The receiver consumes the pairs; keep a copy for the lineage
+        // record in case the frame turns out to be a duplicate (only
+        // when lineage is on — disabled runs never clone).
+        let dup_pairs = ctx.lineage().is_some().then(|| pairs.clone());
         let t = self.transports[link]
             .as_mut()
             .expect("frame on a raw link (mismatched LinkSpec.reliable?)");
@@ -476,6 +519,23 @@ impl WorldActor {
         }
         if outcome.duplicate {
             ctx.metrics().inc("isp.dedup_drops");
+            if let Some(dup) = dup_pairs {
+                let from_system = self
+                    .isp
+                    .as_ref()
+                    .expect("frames arrive at IS-processes")
+                    .links()[link]
+                    .peer_isp
+                    .system
+                    .0;
+                let me = self.host.proc();
+                let at = ctx.now().as_nanos();
+                if let Some(lin) = ctx.lineage() {
+                    for (_, val) in dup {
+                        lin.dedup_dropped(val.update_id(), me.system.0, me.index, from_system, at);
+                    }
+                }
+            }
         }
         if let Some(cum) = outcome.ack {
             ctx.metrics().inc("isp.acks");
@@ -523,7 +583,7 @@ impl WorldActor {
                 ctx.metrics()
                     .add("isp.link_pairs_sent", frame.pairs.len() as u64);
                 ctx.note(format!("degraded backlog flushed as frame #{}", frame.seq));
-                self.ship_frame(link, frame, ctx);
+                self.ship_frame(link, frame, false, ctx);
             }
         }
     }
@@ -605,6 +665,7 @@ impl WorldActor {
                     ctx.metrics().inc("isp.link_pairs_sent");
                     ctx.send(end.peer_actor, WorldMsg::Link { var, val });
                     isp.log_sent(end.peer_isp, var, val, ctx.now());
+                    Self::record_link_send(&self.host, ctx, val, end.peer_isp.system.0, false);
                 }
             }
         }
@@ -617,6 +678,23 @@ impl WorldActor {
     fn propagate_in(&mut self, link: usize, var: VarId, val: Value, ctx: &mut Ctx<'_, WorldMsg>) {
         ctx.metrics().inc("isp.propagate_in");
         ctx.note(format!("Propagate_in({var},{val})"));
+        {
+            // Register the update's arrival in this system (and its hop
+            // count) before the write's apply events are recorded.
+            let from_system = self
+                .isp
+                .as_ref()
+                .expect("propagate_in on non-isp node")
+                .links()[link]
+                .peer_isp
+                .system
+                .0;
+            let me = self.host.proc();
+            let at = ctx.now().as_nanos();
+            if let Some(lin) = ctx.lineage() {
+                lin.remote_written(val.update_id(), me.system.0, me.index, from_system, at);
+            }
+        }
         let mut sink = WorldSink {
             ctx,
             addr: &self.addr,

@@ -58,6 +58,7 @@ pub struct InterconnectBuilder {
     topology: IsTopology,
     n_vars: usize,
     trace: bool,
+    lineage: bool,
     force_variant2: bool,
 }
 
@@ -76,6 +77,7 @@ impl InterconnectBuilder {
             topology: IsTopology::Pairwise,
             n_vars: 4,
             trace: false,
+            lineage: false,
             force_variant2: false,
         }
     }
@@ -108,6 +110,14 @@ impl InterconnectBuilder {
     /// Enables the simulator trace (X1 protocol traces).
     pub fn enable_trace(&mut self) {
         self.trace = true;
+    }
+
+    /// Enables causal lineage tracing: every write's full lifecycle
+    /// (issue, replica applies, IS reads, link crossings, remote writes)
+    /// is recorded and surfaced through [`RunReport::lineage`]. Off by
+    /// default; a disabled run does no lineage work at all.
+    pub fn enable_lineage(&mut self) {
+        self.lineage = true;
     }
 
     /// Forces IS-protocol variant 2 (`Pre_Propagate_out` enabled) even
@@ -212,6 +222,9 @@ impl InterconnectBuilder {
         let mut b = SimBuilder::new(seed);
         if self.trace {
             b.enable_trace();
+        }
+        if self.lineage {
+            b.enable_lineage();
         }
         let mut systems_info = Vec::with_capacity(n_sys);
         for (s, spec) in self.systems.iter().enumerate() {
@@ -486,7 +499,7 @@ impl World {
             }
         }
 
-        RunReport::new(
+        let mut report = RunReport::new(
             full,
             outcome,
             self.sim.stats().clone(),
@@ -498,7 +511,11 @@ impl World {
             responses,
             link_sends,
             self.sim.trace().to_vec(),
-        )
+        );
+        if let Some(lineage) = self.sim.take_lineage() {
+            report.set_lineage(lineage);
+        }
+        report
     }
 
     /// The systems of this world.

@@ -269,10 +269,14 @@ impl UpcallHandler for IsProcess {
         // only role is the causal edge it creates in the computation.
     }
 
-    fn post_update(&mut self, var: VarId, v: Value, _writer: ProcId, _sink: &mut dyn HostSink) {
+    fn post_update(&mut self, var: VarId, v: Value, _writer: ProcId, sink: &mut dyn HostSink) {
         // Propagate_out: the read r(x)v was issued by the host; queue the
         // pair ⟨x,v⟩ for transmission on every link, preserving the
         // replica-update order (Lemma 1).
+        let at = sink.now().as_nanos();
+        if let Some((lin, me)) = sink.lineage() {
+            lin.is_read(v.update_id(), me.system.0, me.index, at);
+        }
         self.out_buffer.push(OutPair {
             var,
             val: v,

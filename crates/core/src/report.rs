@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cmi_memory::ReplicaUpdate;
-use cmi_obs::{Json, MetricsRegistry, ToJson};
+use cmi_obs::{Json, LineageRecorder, MetricsRegistry, ToJson};
 use cmi_sim::{RunOutcome, TraceEntry, TrafficStats};
 use cmi_types::{History, ProcId, SimTime, SystemId, Value, VarId};
 
@@ -60,6 +60,7 @@ pub struct RunReport {
     responses: BTreeMap<ProcId, Vec<std::time::Duration>>,
     link_sends: Vec<LinkTraffic>,
     trace: Vec<TraceEntry>,
+    lineage: Option<LineageRecorder>,
 }
 
 impl RunReport {
@@ -89,7 +90,12 @@ impl RunReport {
             responses,
             link_sends,
             trace,
+            lineage: None,
         }
+    }
+
+    pub(crate) fn set_lineage(&mut self, lineage: LineageRecorder) {
+        self.lineage = Some(lineage);
     }
 
     /// How the run ended (quiescent for complete workloads).
@@ -176,6 +182,14 @@ impl RunReport {
     /// The simulator trace, if tracing was enabled at build time.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
+    }
+
+    /// The run's causal lineage record, if lineage tracing was enabled
+    /// at build time ([`InterconnectBuilder::enable_lineage`]).
+    ///
+    /// [`InterconnectBuilder::enable_lineage`]: crate::InterconnectBuilder::enable_lineage
+    pub fn lineage(&self) -> Option<&LineageRecorder> {
+        self.lineage.as_ref()
     }
 
     /// Serializes the whole report as one diffable JSON artifact:

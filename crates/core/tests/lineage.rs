@@ -1,0 +1,163 @@
+//! End-to-end causal lineage tracing over interconnected worlds: every
+//! application write's lifecycle is recorded issue-to-remote-apply, hop
+//! counts equal tree distance, and a disabled run records nothing.
+
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::lineage::{Stage, UpdateId};
+
+fn chain_world(m: usize, topology: IsTopology, lineage: bool, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new()
+        .with_topology(topology)
+        .with_vars(3);
+    let handles: Vec<_> = (0..m)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(w[0], w[1], LinkSpec::new(Duration::from_millis(5)));
+    }
+    if lineage {
+        b.enable_lineage();
+    }
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(4).with_write_fraction(0.6))
+}
+
+#[test]
+fn disabled_run_records_no_lineage() {
+    let report = chain_world(3, IsTopology::Shared, false, 7);
+    assert!(report.lineage().is_none());
+}
+
+#[test]
+fn every_write_is_traced_end_to_end() {
+    let report = chain_world(3, IsTopology::Shared, true, 7);
+    let lin = report.lineage().expect("lineage enabled");
+    assert!(!lin.is_empty());
+
+    // One traced update per application write of the global history.
+    let global = report.global_history();
+    let writes: Vec<_> = global.writes();
+    assert_eq!(lin.updates().len(), writes.len());
+
+    for id in writes {
+        let op = global.op(id);
+        let val = op.written_value().unwrap();
+        let u = val.update_id();
+        let stages: Vec<Stage> = lin.events_of(u).iter().map(|e| e.stage).collect();
+        assert_eq!(stages[0], Stage::Issued, "{u}: first event is the issue");
+        for want in [
+            Stage::ReplicaApplied,
+            Stage::IsRead,
+            Stage::FrameSent,
+            Stage::RemoteWritten,
+            Stage::RemoteApplied,
+        ] {
+            assert!(stages.contains(&want), "{u}: missing stage {want}");
+        }
+        // A quiescent fault-free chain of 3 systems: the update reaches
+        // every system; hop count == tree distance from the origin.
+        let origin = u.system();
+        for s in 0..3u16 {
+            let dist = u32::from(s.abs_diff(origin));
+            assert_eq!(lin.hop(u, s), Some(dist), "{u}: hop at S{s}");
+        }
+        // Each of the m−1 tree links is crossed exactly once.
+        assert_eq!(lin.crossings(u), 2, "{u}");
+        assert_eq!(lin.max_hop(u), u32::from(origin.max(2 - origin)));
+    }
+}
+
+#[test]
+fn pairwise_topology_traces_identical_hop_structure() {
+    let report = chain_world(3, IsTopology::Pairwise, true, 11);
+    let lin = report.lineage().expect("lineage enabled");
+    for u in lin.updates() {
+        assert_eq!(lin.crossings(u), 2, "{u}: m-1 crossings");
+        assert_eq!(lin.systems_reached(u).len(), 3, "{u}: reaches all systems");
+    }
+    // Latency artifacts cover both directions out of every origin.
+    let dirs = lin.direction_latencies();
+    assert!(!dirs.is_empty());
+    for (dir, h) in &dirs {
+        assert!(h.count() > 0, "{dir}: empty histogram");
+        assert!(h.min() > 0.0, "{dir}: zero-latency crossing");
+    }
+    // Hop-latency histograms exist for hops 1 and 2, and two hops take
+    // longer than one in the worst case (each crossing adds link delay).
+    let hops = lin.hop_latencies();
+    assert_eq!(hops.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+    assert!(hops[&2].max() >= hops[&1].min());
+}
+
+#[test]
+fn program_order_parents_chain_per_origin_process() {
+    let report = chain_world(2, IsTopology::Shared, true, 3);
+    let lin = report.lineage().expect("lineage enabled");
+    for u in lin.updates() {
+        if let Some(p) = lin.parent(u) {
+            assert_eq!(p.system(), u.system());
+            assert_eq!(p.proc(), u.proc());
+            assert!(p.seq() < u.seq(), "parent {p} must precede {u}");
+            assert!(
+                lin.issued_at(p).unwrap() <= lin.issued_at(u).unwrap(),
+                "parent issued later than child"
+            );
+        }
+    }
+    // Sequence numbers per origin are consecutive, so every non-first
+    // write has a parent.
+    let with_parent = lin
+        .updates()
+        .iter()
+        .filter(|&&u| lin.parent(u).is_some())
+        .count();
+    let firsts: std::collections::BTreeSet<_> = lin
+        .updates()
+        .iter()
+        .map(|u| (u.system(), u.proc()))
+        .collect();
+    assert_eq!(with_parent, lin.updates().len() - firsts.len());
+}
+
+/// Regression guard for the observability contract: the lineage
+/// subsystem must never change the serialized run artifact. A
+/// lineage-enabled run and a disabled run of the same seeded world
+/// serialize byte-identically, so every pre-existing experiment (X1–X16
+/// presets all build with lineage off) keeps producing byte-identical
+/// `RunReport::to_json` output.
+#[test]
+fn to_json_is_byte_identical_regardless_of_lineage() {
+    let disabled = chain_world(2, IsTopology::Shared, false, 9)
+        .to_json()
+        .to_pretty();
+    let again = chain_world(2, IsTopology::Shared, false, 9)
+        .to_json()
+        .to_pretty();
+    assert_eq!(disabled, again, "disabled runs serialize deterministically");
+    let enabled = chain_world(2, IsTopology::Shared, true, 9)
+        .to_json()
+        .to_pretty();
+    assert_eq!(
+        disabled, enabled,
+        "lineage must not leak into the JSON artifact"
+    );
+    assert!(!disabled.contains("lineage"));
+}
+
+#[test]
+fn chrome_trace_and_dot_export_from_a_real_run() {
+    let report = chain_world(2, IsTopology::Shared, true, 5);
+    let lin = report.lineage().expect("lineage enabled");
+    let trace = lin.to_chrome_trace();
+    let events = trace
+        .get("traceEvents")
+        .and_then(cmi_obs::Json::as_array)
+        .expect("traceEvents");
+    assert!(events.len() >= lin.len(), "spans + instants");
+    let dot = lin.to_dot();
+    let u: UpdateId = lin.updates()[0];
+    assert!(dot.contains(&format!("\"{u}@S{}\"", u.system())));
+}

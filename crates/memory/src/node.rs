@@ -29,6 +29,7 @@
 
 use std::fmt;
 
+use cmi_obs::LineageRecorder;
 use cmi_types::{OpRecord, ProcId, SimTime, Value, VarId};
 
 use crate::msg::McsMsg;
@@ -45,6 +46,14 @@ pub trait HostSink {
     fn send_mcs(&mut self, to: ProcId, msg: McsMsg);
     /// Appends a protocol-trace annotation (no-op unless tracing).
     fn note(&mut self, text: String);
+    /// The run's causal lineage recorder paired with the identity of the
+    /// hosted process, or `None` when lineage tracing is disabled. The
+    /// default keeps every existing sink (and every test sink) working
+    /// unchanged, and lets recording sites skip all lineage work with
+    /// one branch.
+    fn lineage(&mut self) -> Option<(&mut LineageRecorder, ProcId)> {
+        None
+    }
 }
 
 /// The attached process's side of the upcall interface.
@@ -293,6 +302,18 @@ impl NodeHost {
                     at: sink.now(),
                 });
                 self.write_responses.push(std::time::Duration::ZERO);
+                let at = sink.now().as_nanos();
+                let me = self.proc();
+                if let Some((lin, _)) = sink.lineage() {
+                    // Propagation re-writes carry a value originated
+                    // elsewhere; only the origin's own write is an issue
+                    // event (re-writes are recorded as `remote_written`
+                    // by the IS-process before this call).
+                    if val.origin() == me {
+                        lin.issued(val.update_id(), at);
+                    }
+                    lin.applied(val.update_id(), me.system.0, me.index, at);
+                }
                 if handler.active() {
                     handler.own_write_applied(var, val, sink);
                 }
@@ -377,6 +398,21 @@ impl NodeHost {
             let mut out = Outbox::new();
             self.protocol.apply(&update, &mut out);
             self.absorb_read_completion(&mut out, sink);
+            {
+                let at = sink.now().as_nanos();
+                // A completed pending write (sequencer) is the origin's
+                // own write coming back ordered: its issue event carries
+                // the original issue instant, and must precede the apply
+                // event in the record.
+                let own_completed = out.completed_write.is_some() && update.val.origin() == me;
+                let issued_at = self.write_issued_at.as_nanos();
+                if let Some((lin, _)) = sink.lineage() {
+                    if own_completed {
+                        lin.issued(update.val.update_id(), issued_at);
+                    }
+                    lin.applied(update.val.update_id(), me.system.0, me.index, at);
+                }
+            }
             self.updates.push(ReplicaUpdate {
                 var: update.var,
                 val: update.val,

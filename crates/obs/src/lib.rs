@@ -13,17 +13,22 @@
 //!   back and round-trip-tested without serde.
 //! - [`metrics`]: a [`MetricsRegistry`] of named counters, gauges and
 //!   fixed-bucket latency [`Histogram`]s with p50/p95/p99/max readout.
+//! - [`lineage`]: causal lineage tracing — per-update lifecycle records
+//!   ([`LineageRecorder`]) with hop counts, propagation-latency
+//!   histograms per direction/hop, and Chrome-trace / Graphviz exports.
 //! - [`ring`]: a bounded [`RingBuffer`] that counts what it drops —
 //!   the backing store for in-memory trace sinks.
 //! - [`timing`]: a tiny wall-clock bench harness (warmup + N iterations,
 //!   median/min) replacing criterion for the workspace benches.
 
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod ring;
 pub mod timing;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use lineage::{LineageEvent, LineageRecorder, Stage, UpdateId};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::RingBuffer;
 pub use timing::{bench, BenchResult, BenchSuite};

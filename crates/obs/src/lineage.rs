@@ -1,0 +1,738 @@
+//! Causal lineage tracing: the full lifecycle of every write.
+//!
+//! The paper's argument (Theorem 1, Lemma 1, the Section 6 counting
+//! claims) is about the *path* an update takes — origin write → MCS
+//! propagation → IS-process read → inter-system channel → remote IS
+//! write → remote apply. This module records that path per update and
+//! derives the artifacts the aggregate counters cannot provide:
+//!
+//! * per-update **lifecycle records** ([`LineageEvent`]), each stamped
+//!   with virtual time, the system/process it happened at and the
+//!   update's **hop count** (inter-system link traversals from the
+//!   origin system);
+//! * cross-system **propagation-latency histograms** per direction
+//!   ([`LineageRecorder::direction_latencies`]) and per hop count
+//!   ([`LineageRecorder::hop_latencies`]);
+//! * a happens-before DAG of update occurrences, exportable as Graphviz
+//!   DOT ([`LineageRecorder::to_dot`]) and as **Chrome trace-event
+//!   JSON** ([`LineageRecorder::to_chrome_trace`]) loadable in Perfetto
+//!   (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! This crate depends on nothing, so identities are plain integers: an
+//! [`UpdateId`] packs `(origin system, origin process, per-origin
+//! sequence number)` into a `u64` — exactly the triple that makes
+//! `cmi-types::Value` globally unique, so every protocol message that
+//! carries a value already carries its lineage identity. Recording is
+//! driven from `cmi-core`; everything here is pure accumulation and
+//! export, and an absent recorder costs nothing (see `DESIGN.md` §10).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{Json, ToJson};
+use crate::metrics::Histogram;
+
+/// Globally unique identity of one application write.
+///
+/// Packs `(origin system, origin process index, per-origin sequence
+/// number)` as `system << 48 | proc << 32 | seq`. The packing is stable
+/// and ordered: updates sort by origin system, then process, then
+/// issue order.
+///
+/// # Example
+///
+/// ```
+/// use cmi_obs::lineage::UpdateId;
+///
+/// let u = UpdateId::pack(1, 3, 42);
+/// assert_eq!((u.system(), u.proc(), u.seq()), (1, 3, 42));
+/// assert_eq!(u.to_string(), "S1.p3#42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UpdateId(pub u64);
+
+impl UpdateId {
+    /// Packs the identifying triple of a write.
+    pub fn pack(system: u16, proc: u16, seq: u32) -> Self {
+        UpdateId((u64::from(system) << 48) | (u64::from(proc) << 32) | u64::from(seq))
+    }
+
+    /// The origin system index.
+    pub fn system(self) -> u16 {
+        (self.0 >> 48) as u16
+    }
+
+    /// The origin process index within its system.
+    pub fn proc(self) -> u16 {
+        (self.0 >> 32) as u16
+    }
+
+    /// The per-origin sequence number.
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}.p{}#{}", self.system(), self.proc(), self.seq())
+    }
+}
+
+/// One lifecycle stage of an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// The application process issued the write (hop 0).
+    Issued,
+    /// A replica in the **origin** system applied the update.
+    ReplicaApplied,
+    /// An IS-process read the value back (`Propagate_out`'s `r(x)v`).
+    IsRead,
+    /// The pair left on an inter-system link (first transmission).
+    FrameSent,
+    /// The reliable transport retransmitted a frame carrying the pair.
+    Retransmitted,
+    /// The receiver discarded a duplicate frame carrying the pair.
+    DedupDropped,
+    /// The remote IS-process issued its `Propagate_in` write.
+    RemoteWritten,
+    /// A replica in a **non-origin** system applied the update.
+    RemoteApplied,
+}
+
+impl Stage {
+    /// Stable kebab-case name (used in exports and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Issued => "issued",
+            Stage::ReplicaApplied => "replica-applied",
+            Stage::IsRead => "is-read",
+            Stage::FrameSent => "frame-sent",
+            Stage::Retransmitted => "retransmitted",
+            Stage::DedupDropped => "dedup-dropped",
+            Stage::RemoteWritten => "remote-written",
+            Stage::RemoteApplied => "remote-applied",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineageEvent {
+    /// The update this event belongs to.
+    pub update: UpdateId,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// System index where the event happened.
+    pub system: u16,
+    /// Process index (within `system`) where the event happened.
+    pub proc: u16,
+    /// Virtual time, nanoseconds.
+    pub at_ns: u64,
+    /// The update's hop count at `system` (0 in the origin system).
+    pub hop: u32,
+    /// Peer system for link events (`FrameSent`, `Retransmitted`,
+    /// `DedupDropped`, `RemoteWritten`: the other end of the link).
+    pub peer: Option<u16>,
+}
+
+/// Accumulates lineage events and derives the export artifacts.
+///
+/// Hops are tracked per `(update, system)`: the origin registers at
+/// hop 0 when issued, and every `remote_written` registers the
+/// receiving system at `hop(sender) + 1`. Recording methods are cheap
+/// (one `Vec` push plus map upkeep) and the recorder is only ever
+/// allocated when lineage is enabled, so disabled runs pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LineageRecorder {
+    events: Vec<LineageEvent>,
+    /// `(update, system) -> hop`.
+    hops: BTreeMap<(u64, u16), u32>,
+    /// `update -> issue time (ns)`.
+    issued_at: BTreeMap<u64, u64>,
+    /// `update -> causally preceding update by the same origin process`.
+    parent: BTreeMap<u64, u64>,
+    /// `(system, proc) -> last update issued there`.
+    last_issued: BTreeMap<(u16, u16), u64>,
+}
+
+impl LineageRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LineageRecorder::default()
+    }
+
+    /// Records the issue of `update` by its origin process (hop 0). The
+    /// program-order parent — the origin's previous write, if any — is
+    /// derived here.
+    pub fn issued(&mut self, update: UpdateId, at_ns: u64) {
+        let key = (update.system(), update.proc());
+        if let Some(&prev) = self.last_issued.get(&key) {
+            self.parent.insert(update.0, prev);
+        }
+        self.last_issued.insert(key, update.0);
+        self.issued_at.insert(update.0, at_ns);
+        self.hops.insert((update.0, update.system()), 0);
+        self.push(
+            update,
+            Stage::Issued,
+            update.system(),
+            update.proc(),
+            at_ns,
+            None,
+        );
+    }
+
+    /// Records a replica applying `update` at `(system, proc)`. The
+    /// stage is [`Stage::ReplicaApplied`] in the origin system and
+    /// [`Stage::RemoteApplied`] elsewhere.
+    pub fn applied(&mut self, update: UpdateId, system: u16, proc: u16, at_ns: u64) {
+        let stage = if system == update.system() {
+            Stage::ReplicaApplied
+        } else {
+            Stage::RemoteApplied
+        };
+        self.push(update, stage, system, proc, at_ns, None);
+    }
+
+    /// Records the IS-process read of `Propagate_out` (the `r(x)v` that
+    /// forges the causal edge before transmission).
+    pub fn is_read(&mut self, update: UpdateId, system: u16, proc: u16, at_ns: u64) {
+        self.push(update, Stage::IsRead, system, proc, at_ns, None);
+    }
+
+    /// Records the first transmission of the pair on a link towards
+    /// `to_system`.
+    pub fn frame_sent(
+        &mut self,
+        update: UpdateId,
+        system: u16,
+        proc: u16,
+        to_system: u16,
+        at_ns: u64,
+    ) {
+        self.push(
+            update,
+            Stage::FrameSent,
+            system,
+            proc,
+            at_ns,
+            Some(to_system),
+        );
+    }
+
+    /// Records a reliable-transport retransmission of the pair.
+    pub fn retransmitted(
+        &mut self,
+        update: UpdateId,
+        system: u16,
+        proc: u16,
+        to_system: u16,
+        at_ns: u64,
+    ) {
+        self.push(
+            update,
+            Stage::Retransmitted,
+            system,
+            proc,
+            at_ns,
+            Some(to_system),
+        );
+    }
+
+    /// Records the receiver dropping a duplicate frame carrying the pair.
+    pub fn dedup_dropped(
+        &mut self,
+        update: UpdateId,
+        system: u16,
+        proc: u16,
+        from_system: u16,
+        at_ns: u64,
+    ) {
+        self.push(
+            update,
+            Stage::DedupDropped,
+            system,
+            proc,
+            at_ns,
+            Some(from_system),
+        );
+    }
+
+    /// Records the remote IS-process issuing its `Propagate_in` write in
+    /// `system`, having received the pair from `from_system`. Registers
+    /// the update's hop count at `system` as `hop(from_system) + 1`.
+    pub fn remote_written(
+        &mut self,
+        update: UpdateId,
+        system: u16,
+        proc: u16,
+        from_system: u16,
+        at_ns: u64,
+    ) {
+        let hop = self.hops.get(&(update.0, from_system)).map_or(1, |h| h + 1);
+        self.hops.entry((update.0, system)).or_insert(hop);
+        self.push(
+            update,
+            Stage::RemoteWritten,
+            system,
+            proc,
+            at_ns,
+            Some(from_system),
+        );
+    }
+
+    fn push(
+        &mut self,
+        update: UpdateId,
+        stage: Stage,
+        system: u16,
+        proc: u16,
+        at_ns: u64,
+        peer: Option<u16>,
+    ) {
+        let hop = self.hops.get(&(update.0, system)).copied().unwrap_or(0);
+        self.events.push(LineageEvent {
+            update,
+            stage,
+            system,
+            proc,
+            at_ns,
+            hop,
+            peer,
+        });
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// All events, in recording (chronological) order.
+    pub fn events(&self) -> &[LineageEvent] {
+        &self.events
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Every traced update, sorted.
+    pub fn updates(&self) -> Vec<UpdateId> {
+        self.issued_at.keys().map(|&u| UpdateId(u)).collect()
+    }
+
+    /// The events of one update, in chronological order.
+    pub fn events_of(&self, update: UpdateId) -> Vec<LineageEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.update == update)
+            .copied()
+            .collect()
+    }
+
+    /// The update's hop count at `system`, if it reached that system.
+    pub fn hop(&self, update: UpdateId, system: u16) -> Option<u32> {
+        self.hops.get(&(update.0, system)).copied()
+    }
+
+    /// The largest hop count the update reached.
+    pub fn max_hop(&self, update: UpdateId) -> u32 {
+        self.hops
+            .range((update.0, 0)..=(update.0, u16::MAX))
+            .map(|(_, &h)| h)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The systems the update was written in (origin + every
+    /// `remote_written`), with hop counts, sorted by system.
+    pub fn systems_reached(&self, update: UpdateId) -> Vec<(u16, u32)> {
+        self.hops
+            .range((update.0, 0)..=(update.0, u16::MAX))
+            .map(|(&(_, s), &h)| (s, h))
+            .collect()
+    }
+
+    /// The update's program-order parent (the origin process's previous
+    /// write), if any.
+    pub fn parent(&self, update: UpdateId) -> Option<UpdateId> {
+        self.parent.get(&update.0).map(|&u| UpdateId(u))
+    }
+
+    /// When the update was issued, if traced.
+    pub fn issued_at(&self, update: UpdateId) -> Option<u64> {
+        self.issued_at.get(&update.0).copied()
+    }
+
+    /// Number of distinct inter-system link crossings of the update
+    /// (distinct `(from, to)` pairs over `FrameSent` events — faults may
+    /// retransmit a crossing, never add one).
+    pub fn crossings(&self, update: UpdateId) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &self.events {
+            if e.update == update && e.stage == Stage::FrameSent {
+                if let Some(to) = e.peer {
+                    seen.insert((e.system, to));
+                }
+            }
+        }
+        seen.len()
+    }
+
+    // ---- derivations ---------------------------------------------------
+
+    /// Propagation-latency histograms per direction: for every
+    /// [`Stage::RemoteApplied`] event, `at - issued_at` is observed in
+    /// the `"S{origin}->S{dest}"` histogram.
+    pub fn direction_latencies(&self) -> BTreeMap<String, Histogram> {
+        let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+        for e in self.remote_applies() {
+            let key = format!("S{}->S{}", e.update.system(), e.system);
+            out.entry(key)
+                .or_default()
+                .observe(self.latency_of(&e) as f64);
+        }
+        out
+    }
+
+    /// Propagation-latency histograms per hop count: for every
+    /// [`Stage::RemoteApplied`] event, `at - issued_at` is observed in
+    /// the histogram of the update's hop count at the applying system.
+    pub fn hop_latencies(&self) -> BTreeMap<u32, Histogram> {
+        let mut out: BTreeMap<u32, Histogram> = BTreeMap::new();
+        for e in self.remote_applies() {
+            out.entry(e.hop)
+                .or_default()
+                .observe(self.latency_of(&e) as f64);
+        }
+        out
+    }
+
+    fn remote_applies(&self) -> impl Iterator<Item = LineageEvent> + '_ {
+        self.events
+            .iter()
+            .filter(|e| e.stage == Stage::RemoteApplied && self.issued_at.contains_key(&e.update.0))
+            .copied()
+    }
+
+    fn latency_of(&self, e: &LineageEvent) -> u64 {
+        e.at_ns.saturating_sub(self.issued_at[&e.update.0])
+    }
+
+    /// A human-readable one-line-per-event lifecycle of `update`.
+    pub fn lifecycle(&self, update: UpdateId) -> String {
+        let mut out = String::new();
+        for e in self.events_of(update) {
+            let peer = match (e.stage, e.peer) {
+                (Stage::FrameSent | Stage::Retransmitted, Some(p)) => format!(" -> S{p}"),
+                (Stage::DedupDropped | Stage::RemoteWritten, Some(p)) => format!(" <- S{p}"),
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "t={:>12}ns  S{}.p{}  hop {}  {}{}\n",
+                e.at_ns, e.system, e.proc, e.hop, e.stage, peer
+            ));
+        }
+        out
+    }
+
+    /// Exports the lineage as Chrome trace-event JSON (the format
+    /// Perfetto and `chrome://tracing` load).
+    ///
+    /// Stable shape: a top-level object with `"traceEvents"` (array) and
+    /// `"displayTimeUnit"`; every event carries exactly the fields
+    /// `name`, `cat`, `ph`, `ts` (microseconds), `pid` (system), `tid`
+    /// (process) and `args` (`update`, `hop`, plus `peer` on link
+    /// events); per-update spans additionally carry `dur`. The golden
+    /// test in `cmi-cli` pins these names.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        // One "X" (complete) span per (update, system): first to last
+        // event of the update in that system, named after the update.
+        let mut spans: BTreeMap<(u64, u16), (u64, u64, u16, u32)> = BTreeMap::new();
+        for e in &self.events {
+            let entry = spans
+                .entry((e.update.0, e.system))
+                .or_insert((e.at_ns, e.at_ns, e.proc, e.hop));
+            entry.0 = entry.0.min(e.at_ns);
+            entry.1 = entry.1.max(e.at_ns);
+        }
+        for (&(u, system), &(first, last, proc, hop)) in &spans {
+            let update = UpdateId(u);
+            events.push(Json::obj([
+                ("name", Json::Str(update.to_string())),
+                ("cat", Json::Str("lineage-span".into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", Json::Num(first as f64 / 1e3)),
+                ("dur", Json::Num((last - first) as f64 / 1e3)),
+                ("pid", u64::from(system).to_json()),
+                ("tid", u64::from(proc).to_json()),
+                (
+                    "args",
+                    Json::obj([
+                        ("update", Json::Str(update.to_string())),
+                        ("hop", u64::from(hop).to_json()),
+                    ]),
+                ),
+            ]));
+        }
+        for e in &self.events {
+            let mut args = vec![
+                ("update".to_string(), Json::Str(e.update.to_string())),
+                ("hop".to_string(), u64::from(e.hop).to_json()),
+            ];
+            if let Some(p) = e.peer {
+                args.push(("peer".to_string(), Json::Str(format!("S{p}"))));
+            }
+            events.push(Json::obj([
+                ("name", Json::Str(e.stage.name().into())),
+                ("cat", Json::Str("lineage".into())),
+                ("ph", Json::Str("i".into())),
+                ("ts", Json::Num(e.at_ns as f64 / 1e3)),
+                ("pid", u64::from(e.system).to_json()),
+                ("tid", u64::from(e.proc).to_json()),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+    }
+
+    /// Exports the happens-before DAG of update occurrences as Graphviz
+    /// DOT: one node per `(update, system)` occurrence, solid edges for
+    /// program order at the origin (parent chains), dashed edges for
+    /// link crossings (`FrameSent` from one system to the next).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph lineage {\n  rankdir=LR;\n  node [fontsize=10];\n");
+        let mut nodes = std::collections::BTreeSet::new();
+        for e in &self.events {
+            nodes.insert((e.update.0, e.system));
+            if e.stage == Stage::FrameSent {
+                if let Some(to) = e.peer {
+                    nodes.insert((e.update.0, to));
+                }
+            }
+        }
+        for &(u, s) in &nodes {
+            let update = UpdateId(u);
+            let hop = self.hops.get(&(u, s)).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  \"{update}@S{s}\" [label=\"{update}\\nS{s} hop {hop}\", shape=box];"
+            );
+        }
+        // Program order at the origin system.
+        for (&child, &parent) in &self.parent {
+            let (c, p) = (UpdateId(child), UpdateId(parent));
+            let _ = writeln!(out, "  \"{p}@S{s}\" -> \"{c}@S{s}\";", s = c.system());
+        }
+        // Link crossings (one edge per distinct crossing).
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &self.events {
+            if e.stage == Stage::FrameSent {
+                if let Some(to) = e.peer {
+                    if seen.insert((e.update.0, e.system, to)) {
+                        let _ = writeln!(
+                            out,
+                            "  \"{u}@S{a}\" -> \"{u}@S{b}\" [style=dashed, color=gray40];",
+                            u = e.update,
+                            a = e.system,
+                            b = to
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hop_recorder() -> LineageRecorder {
+        // S0.p0 writes twice; both propagate S0 -> S1 -> S2 (a chain).
+        let mut r = LineageRecorder::new();
+        for seq in 1..=2u32 {
+            let u = UpdateId::pack(0, 0, seq);
+            let base = u64::from(seq) * 1_000_000;
+            r.issued(u, base);
+            r.applied(u, 0, 1, base + 1_000_000); // origin replica
+            r.is_read(u, 0, 2, base + 1_000_000); // isp of S0
+            r.frame_sent(u, 0, 2, 1, base + 1_000_000);
+            r.remote_written(u, 1, 2, 0, base + 11_000_000);
+            r.applied(u, 1, 0, base + 12_000_000);
+            r.is_read(u, 1, 3, base + 12_000_000);
+            r.frame_sent(u, 1, 3, 2, base + 12_000_000);
+            r.remote_written(u, 2, 0, 1, base + 22_000_000);
+            r.applied(u, 2, 1, base + 23_000_000);
+        }
+        r
+    }
+
+    #[test]
+    fn update_id_packs_and_unpacks() {
+        let u = UpdateId::pack(u16::MAX, 7, u32::MAX);
+        assert_eq!(u.system(), u16::MAX);
+        assert_eq!(u.proc(), 7);
+        assert_eq!(u.seq(), u32::MAX);
+        assert!(UpdateId::pack(0, 0, 1) < UpdateId::pack(0, 0, 2));
+        assert!(UpdateId::pack(0, 9, 9) < UpdateId::pack(1, 0, 0));
+    }
+
+    #[test]
+    fn hops_count_link_traversals() {
+        let r = two_hop_recorder();
+        let u = UpdateId::pack(0, 0, 1);
+        assert_eq!(r.hop(u, 0), Some(0));
+        assert_eq!(r.hop(u, 1), Some(1));
+        assert_eq!(r.hop(u, 2), Some(2));
+        assert_eq!(r.max_hop(u), 2);
+        assert_eq!(r.systems_reached(u), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(r.crossings(u), 2);
+    }
+
+    #[test]
+    fn parent_is_the_origin_previous_write() {
+        let r = two_hop_recorder();
+        let (u1, u2) = (UpdateId::pack(0, 0, 1), UpdateId::pack(0, 0, 2));
+        assert_eq!(r.parent(u1), None);
+        assert_eq!(r.parent(u2), Some(u1));
+    }
+
+    #[test]
+    fn direction_latencies_measure_issue_to_remote_apply() {
+        let r = two_hop_recorder();
+        let d = r.direction_latencies();
+        assert_eq!(
+            d.keys().cloned().collect::<Vec<_>>(),
+            vec!["S0->S1", "S0->S2"]
+        );
+        assert_eq!(d["S0->S1"].count(), 2);
+        assert_eq!(d["S0->S1"].max(), 12_000_000.0);
+        assert_eq!(d["S0->S2"].max(), 23_000_000.0);
+    }
+
+    #[test]
+    fn hop_latencies_bucket_by_hop_count() {
+        let r = two_hop_recorder();
+        let h = r.hop_latencies();
+        assert_eq!(h.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(h[&1].count(), 2);
+        assert_eq!(h[&2].count(), 2);
+        assert!(h[&2].min() > h[&1].max());
+    }
+
+    #[test]
+    fn chrome_trace_has_stable_fields_and_parses() {
+        let r = two_hop_recorder();
+        let json = r.to_chrome_trace();
+        let text = json.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        for e in events {
+            for field in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
+                assert!(e.get(field).is_some(), "missing {field}: {e:?}");
+            }
+            let args = e.get("args").unwrap();
+            assert!(args.get("update").and_then(Json::as_str).is_some());
+            assert!(args.get("hop").and_then(Json::as_u64).is_some());
+        }
+        // Both span and instant phases appear.
+        let phases: std::collections::BTreeSet<_> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert!(phases.contains("X") && phases.contains("i"), "{phases:?}");
+    }
+
+    #[test]
+    fn dot_export_has_occurrence_nodes_and_crossing_edges() {
+        let r = two_hop_recorder();
+        let dot = r.to_dot();
+        assert!(dot.starts_with("digraph lineage"));
+        assert!(dot.contains("\"S0.p0#1@S0\""));
+        assert!(dot.contains("\"S0.p0#1@S2\""));
+        // Program order: #1 -> #2 at the origin.
+        assert!(dot.contains("\"S0.p0#1@S0\" -> \"S0.p0#2@S0\";"));
+        // Crossing: S0 -> S1, dashed.
+        assert!(dot.contains("\"S0.p0#1@S0\" -> \"S0.p0#1@S1\" [style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn retransmits_and_dedups_do_not_add_crossings() {
+        let mut r = LineageRecorder::new();
+        let u = UpdateId::pack(0, 0, 1);
+        r.issued(u, 0);
+        r.frame_sent(u, 0, 2, 1, 1_000);
+        r.retransmitted(u, 0, 2, 1, 2_000);
+        r.retransmitted(u, 0, 2, 1, 3_000);
+        r.dedup_dropped(u, 1, 2, 0, 4_000);
+        r.remote_written(u, 1, 2, 0, 5_000);
+        assert_eq!(r.crossings(u), 1);
+        assert_eq!(r.hop(u, 1), Some(1));
+        let stages: Vec<_> = r.events_of(u).iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::Issued,
+                Stage::FrameSent,
+                Stage::Retransmitted,
+                Stage::Retransmitted,
+                Stage::DedupDropped,
+                Stage::RemoteWritten,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifecycle_is_readable() {
+        let r = two_hop_recorder();
+        let text = r.lifecycle(UpdateId::pack(0, 0, 1));
+        assert!(text.contains("issued"));
+        assert!(text.contains("frame-sent -> S1"));
+        assert!(text.contains("remote-written <- S1"));
+        assert_eq!(text.lines().count(), 10);
+    }
+
+    #[test]
+    fn empty_recorder_exports_empty_artifacts() {
+        let r = LineageRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.updates().is_empty());
+        assert!(r.direction_latencies().is_empty());
+        let trace = r.to_chrome_trace();
+        assert_eq!(
+            trace
+                .get("traceEvents")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

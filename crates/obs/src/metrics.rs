@@ -114,13 +114,19 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the upper
     /// bound of the first bucket whose cumulative count reaches
-    /// `ceil(q * count)`, clamped to the exact observed min/max. Returns 0
-    /// when empty.
+    /// `ceil(q * count)`, clamped to the exact observed min/max. The
+    /// extremes are exact: rank 1 is the tracked min, the last rank the
+    /// tracked max. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank == 1 {
+            // The first order statistic is the minimum — the bucket's
+            // upper bound would overstate it.
+            return self.min;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -344,7 +350,8 @@ mod tests {
         h.observe(5.0);
         h.observe(1000.0);
         assert_eq!(h.quantile(1.0), 1000.0);
-        assert_eq!(h.quantile(0.25), 10.0);
+        // Rank 1 is the exact minimum, not its bucket's upper bound.
+        assert_eq!(h.quantile(0.25), 5.0);
     }
 
     #[test]
@@ -361,6 +368,75 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_panic() {
         let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::default();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn exact_bucket_boundary_values_land_in_their_bucket() {
+        // A value equal to a bound belongs to that bound's bucket
+        // (observe uses v <= b), so the quantile readout is exact for
+        // boundary observations — no off-by-one into the next bucket.
+        let mut h = Histogram::new(&[10.0, 20.0, 50.0]);
+        h.observe(10.0);
+        h.observe(20.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 3);
+        // rank 1 → (..=10], rank 2 → (..=20], rank 3 → (..=50].
+        assert_eq!(h.quantile(1.0 / 3.0), 10.0);
+        assert_eq!(h.quantile(2.0 / 3.0), 20.0);
+        assert_eq!(h.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn quantile_rank_one_is_the_exact_min() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        h.observe(7.0);
+        h.observe(15.0);
+        // q=0 and q=0.5 both rank the first of two observations — the
+        // exact minimum, not its bucket's upper bound (10).
+        assert_eq!(h.quantile(0.0), 7.0);
+        assert_eq!(h.quantile(0.5), 7.0);
+        assert_eq!(h.quantile(0.75), 15.0);
+        assert_eq!(h.quantile(1.0), 15.0);
+    }
+
+    #[test]
+    fn single_sample_on_a_boundary_is_exact_everywhere() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        h.observe(20.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 20.0, "q={q}");
+        }
+        assert_eq!((h.min(), h.max(), h.mean()), (20.0, 20.0, 20.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_in_q() {
+        let mut h = Histogram::default();
+        for v in [500.0, 1e3, 1.5e3, 2e3, 7e3, 1e4, 3e5, 1e13] {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(
+                h.quantile(w[0]) <= h.quantile(w[1]),
+                "quantile not monotonic between q={} and q={}",
+                w[0],
+                w[1]
+            );
+        }
+        // Overflow-bucket observation caps at the exact max.
+        assert_eq!(h.quantile(1.0), 1e13);
+        // Below-first-bound observation clamps to the exact min.
+        assert_eq!(h.quantile(0.0), 500.0);
     }
 
     #[test]

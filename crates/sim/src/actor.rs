@@ -4,7 +4,7 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
-use cmi_obs::MetricsRegistry;
+use cmi_obs::{LineageRecorder, MetricsRegistry};
 use cmi_types::SimTime;
 
 use crate::engine::Engine;
@@ -111,6 +111,13 @@ impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
     /// latency observations (`"protocol.writes_applied"`, ...).
     pub fn metrics(&mut self) -> &mut MetricsRegistry {
         self.engine.metrics_mut()
+    }
+
+    /// The run's causal lineage recorder, or `None` when lineage tracing
+    /// is disabled (the default). Callers branch on the `Option` so a
+    /// disabled run does no lineage work at all.
+    pub fn lineage(&mut self) -> Option<&mut LineageRecorder> {
+        self.engine.lineage_mut()
     }
 
     /// `true` if a channel `self.me() → to` exists.

@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
-use cmi_obs::MetricsRegistry;
+use cmi_obs::{LineageRecorder, MetricsRegistry};
 use cmi_types::SimTime;
 
 use crate::actor::{Actor, ActorId, Ctx};
@@ -137,6 +137,7 @@ pub(crate) struct Engine<M> {
     stats: TrafficStats,
     metrics: MetricsRegistry,
     trace: Option<Vec<TraceEntry>>,
+    lineage: Option<LineageRecorder>,
     sinks: Vec<Box<dyn TraceSink>>,
 }
 
@@ -250,6 +251,10 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     pub(crate) fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
     }
+
+    pub(crate) fn lineage_mut(&mut self) -> Option<&mut LineageRecorder> {
+        self.lineage.as_mut()
+    }
 }
 
 /// Builder assembling actors and channels into a [`Sim`].
@@ -259,6 +264,7 @@ pub struct SimBuilder<M> {
     channels: HashMap<(ActorId, ActorId), ChannelState>,
     seed: u64,
     trace: bool,
+    lineage: bool,
     sinks: Vec<Box<dyn TraceSink>>,
     corrupter: Option<Corrupter<M>>,
 }
@@ -272,6 +278,7 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             channels: HashMap::new(),
             seed,
             trace: false,
+            lineage: false,
             sinks: Vec::new(),
             corrupter: None,
         }
@@ -325,6 +332,17 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         self.trace = true;
     }
 
+    /// Enables causal lineage recording (off by default). When enabled,
+    /// actors can reach the world's [`LineageRecorder`] through
+    /// [`Ctx::lineage`] and the run's accumulated record is retrieved
+    /// with [`Sim::take_lineage`]. When disabled, [`Ctx::lineage`]
+    /// returns `None` and no lineage state is ever allocated.
+    ///
+    /// [`Ctx::lineage`]: crate::actor::Ctx::lineage
+    pub fn enable_lineage(&mut self) {
+        self.lineage = true;
+    }
+
     /// Registers a [`TraceSink`] that receives every trace entry of the
     /// run as it happens (independently of [`enable_trace`]'s in-memory
     /// log). Sinks are invoked in registration order. Returns the sink's
@@ -368,6 +386,11 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
                 stats: TrafficStats::new(),
                 metrics: MetricsRegistry::new(),
                 trace: if self.trace { Some(Vec::new()) } else { None },
+                lineage: if self.lineage {
+                    Some(LineageRecorder::new())
+                } else {
+                    None
+                },
                 sinks: self.sinks,
             },
             actors: self.actors,
@@ -495,6 +518,20 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
     /// [`SimBuilder::enable_trace`] was called).
     pub fn trace(&self) -> &[TraceEntry] {
         self.engine.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// The accumulated lineage record (`None` unless
+    /// [`SimBuilder::enable_lineage`] was called).
+    pub fn lineage(&self) -> Option<&LineageRecorder> {
+        self.engine.lineage.as_ref()
+    }
+
+    /// Takes ownership of the accumulated lineage record, leaving the
+    /// world without one (subsequent [`Ctx::lineage`] calls see `None`).
+    ///
+    /// [`Ctx::lineage`]: crate::actor::Ctx::lineage
+    pub fn take_lineage(&mut self) -> Option<LineageRecorder> {
+        self.engine.lineage.take()
     }
 
     /// The live metrics registry: engine counters (`engine.*`) plus

@@ -1,0 +1,162 @@
+//! Randomized round-trip tests for the in-tree JSON model
+//! (`cmi-obs::json`), driven by seeded [`SplitMix64`] streams like the
+//! simulator's own property tests: every failure reproduces from its
+//! printed seed. The generator deliberately stresses the corners the
+//! artifact pipeline depends on — deep nesting, every escape class,
+//! astral-plane characters (surrogate pairs on the wire) and the full
+//! zoo of number spellings.
+
+use cmi_obs::Json;
+use cmi_sim::SplitMix64;
+
+/// A printable-but-hostile string: plain ASCII, the short escapes,
+/// raw control characters, BMP and astral-plane code points.
+fn gen_string(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(0..12usize);
+    let mut s = String::new();
+    for _ in 0..len {
+        match rng.gen_range(0..8u32) {
+            0 => s.push(rng.gen_range(32u32..127).try_into().unwrap()),
+            1 => s.push(['"', '\\', '/'][rng.gen_range(0..3usize)]),
+            2 => s.push(['\n', '\t', '\r', '\u{8}', '\u{c}'][rng.gen_range(0..5usize)]),
+            // Raw control characters must be emitted as \u00XX.
+            3 => s.push(char::from_u32(rng.gen_range(1u32..32)).unwrap()),
+            // BMP, skipping the surrogate range.
+            4 | 5 => {
+                let c = rng.gen_range(0x80u32..0xD800);
+                s.push(char::from_u32(c).unwrap());
+            }
+            // Astral plane: serialized as a \uXXXX\uXXXX surrogate pair.
+            6 => {
+                let c = rng.gen_range(0x1_0000u32..0x11_0000);
+                if let Some(c) = char::from_u32(c) {
+                    s.push(c);
+                }
+            }
+            _ => s.push('é'),
+        }
+    }
+    s
+}
+
+/// A finite number in one of the spellings the grammar admits: small
+/// and huge integers, fractions, and positive/negative exponents.
+fn gen_number(rng: &mut SplitMix64) -> f64 {
+    let sign = if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+    sign * match rng.gen_range(0..5u32) {
+        0 => rng.gen_range(0u32..1000) as f64,
+        1 => (rng.next_u64() >> 11) as f64, // up to 2^53, integral
+        2 => rng.next_f64(),
+        3 => rng.next_f64() * 10f64.powi(rng.gen_range(0u32..616) as i32 - 308),
+        _ => rng.gen_range(0u32..100) as f64 + 0.5,
+    }
+}
+
+fn gen_value(rng: &mut SplitMix64, depth: usize) -> Json {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..top as u32) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..4usize);
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4usize);
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("{}#{i}", gen_string(rng)),
+                            gen_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn randomized_values_round_trip_through_both_renderings() {
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let value = gen_value(&mut rng, 5);
+        let compact = value.to_compact();
+        assert_eq!(
+            Json::parse(&compact).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{compact}")),
+            value,
+            "seed {seed}: compact round trip"
+        );
+        let pretty = value.to_pretty();
+        assert_eq!(
+            Json::parse(&pretty).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{pretty}")),
+            value,
+            "seed {seed}: pretty round trip"
+        );
+    }
+}
+
+#[test]
+fn deep_nesting_round_trips_up_to_the_parser_limit() {
+    // 127 wrappers + the innermost scalar stays within MAX_DEPTH = 128.
+    let mut value = Json::Num(1.0);
+    for _ in 0..127 {
+        value = Json::Arr(vec![value]);
+    }
+    let text = value.to_compact();
+    assert_eq!(Json::parse(&text).expect("within the depth limit"), value);
+
+    // Past the limit the parser must reject, not blow the stack.
+    let hostile = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+    assert!(Json::parse(&hostile).is_err());
+}
+
+#[test]
+fn surrogate_pairs_and_escapes_parse_to_the_right_scalars() {
+    // 😀 is U+1F600, spelled as the escaped surrogate pair D83D/DE00.
+    let parsed = Json::parse(r#""😀 ok é\n""#).unwrap();
+    assert_eq!(parsed, Json::Str("\u{1F600} ok é\n".into()));
+    // Writer → parser: the same character survives our own escaping.
+    let s = Json::Str("\u{1F600}\"\\\u{1}".into());
+    assert_eq!(Json::parse(&s.to_compact()).unwrap(), s);
+    assert_eq!(
+        Json::parse(r#""\ud83d\ude00""#).unwrap(),
+        Json::Str("\u{1F600}".into())
+    );
+    // A lone high surrogate is malformed.
+    assert!(Json::parse(r#""\ud83d""#).is_err());
+}
+
+#[test]
+fn exponent_spellings_all_parse() {
+    for (text, want) in [
+        ("1e3", 1000.0),
+        ("1E3", 1000.0),
+        ("1e+3", 1000.0),
+        ("-2.5e-4", -0.00025),
+        ("9007199254740993e0", 9_007_199_254_740_992.0), // rounds to nearest f64
+        ("0.0", 0.0),
+        ("-0", 0.0),
+        ("1.25E-300", 1.25e-300),
+    ] {
+        let parsed = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed.as_f64(), Some(want), "{text}");
+    }
+}
+
+#[test]
+fn randomized_numbers_survive_reserialization_exactly() {
+    let mut rng = SplitMix64::seed_from_u64(42);
+    for i in 0..2000 {
+        let n = gen_number(&mut rng);
+        let text = Json::Num(n).to_compact();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {i}: {e}\n{text}"))
+            .as_f64()
+            .expect("number");
+        assert_eq!(back, n, "case {i}: {text}");
+    }
+}

@@ -21,6 +21,10 @@
 //!   propagation-based causal MCS protocols in `cmi-memory`.
 //! * [`SimTime`] — virtual time, shared with the `cmi-sim` discrete-event
 //!   simulator.
+//! * [`TraceCtx`] — the compact lineage context (update identity, parent,
+//!   hop count) threaded through the stack when causal lineage tracing is
+//!   enabled; [`Value::update_id`] derives the identity every message
+//!   already carries.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod ids;
 pub mod json;
 pub mod op;
 pub mod time;
+pub mod trace;
 pub mod value;
 pub mod vclock;
 
@@ -55,5 +60,6 @@ pub use history::{DifferentiatedError, History, ProcessProjection, ReadSource};
 pub use ids::{OpId, ProcId, SystemId, VarId};
 pub use op::{OpKind, OpRecord};
 pub use time::SimTime;
+pub use trace::TraceCtx;
 pub use value::Value;
 pub use vclock::{ClockOrdering, VectorClock};

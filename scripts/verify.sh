@@ -37,4 +37,19 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "OK: offline build, tests and dependency audit all passed"
+echo "==> golden trace-format check (X17 lineage artifact)"
+# The Chrome trace-event export and the X17 JSON artifact are consumed
+# by external tooling (Perfetto, dashboards); pin their shape here so a
+# field rename cannot slip through.
+artifact_dir=$(mktemp -d)
+trap 'rm -rf "$artifact_dir"' EXIT
+./target/release/exp_x17_lineage --json "$artifact_dir/bench_x17.json" > "$artifact_dir/x17.txt"
+for key in '"experiment"' '"direction_latencies_ns"' '"hop_latencies_ns"' \
+           '"chrome_trace_events"' '"faulted_pair"'; do
+    grep -q "$key" "$artifact_dir/bench_x17.json" \
+        || { echo "FAIL: $key missing from X17 JSON artifact" >&2; exit 1; }
+done
+grep -q 'crossings/write' "$artifact_dir/x17.txt" \
+    || { echo "FAIL: X17 report lost its crossings table" >&2; exit 1; }
+
+echo "OK: offline build, tests, dependency audit and golden formats all passed"
