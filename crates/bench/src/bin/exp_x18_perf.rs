@@ -1,0 +1,92 @@
+//! X18 runner: measures the hot-path performance baseline and writes
+//! the regression-gated artifact committed at the repo root
+//! (`BENCH_PERF.json`).
+//!
+//! Flags:
+//!   --json <path>       write the measured artifact to <path>
+//!   --check <baseline>  compare the fresh measurement against a
+//!                       committed baseline: structural fields must
+//!                       match exactly, timing fields within the
+//!                       tolerance window; exit nonzero on violation
+//!   --jobs <n>          worker count for the parallel suite pass
+//!                       (default 4)
+//!   --quick             skip the X1-X17 suite sweep (fast smoke run;
+//!                       suite timing fields are omitted)
+
+use std::process::ExitCode;
+
+use cmi_obs::Json;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} requires an argument")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json_out, check_path) = match (flag_value(&args, "--json"), flag_value(&args, "--check")) {
+        (Ok(j), Ok(c)) => (j, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = match flag_value(&args, "--jobs") {
+        Ok(None) => 4,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs requires a positive integer argument");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+
+    print!("{}", cmi_bench::experiments::x18_perf::run());
+    let (table, artifact) = cmi_bench::experiments::x18_perf::measure(jobs, quick);
+    print!("{table}");
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, artifact.to_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("X18 perf artifact written to {path}");
+    }
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cmi_bench::experiments::x18_perf::check(&artifact, &baseline) {
+            Ok(()) => eprintln!("perf baseline check against {path}: OK"),
+            Err(violations) => {
+                eprintln!("perf baseline check against {path}: FAILED");
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@ pub mod x14_batching;
 pub mod x15_topology;
 pub mod x16_faults;
 pub mod x17_lineage;
+pub mod x18_perf;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -26,10 +27,20 @@ pub type Experiment = (&'static str, fn() -> String);
 /// Runs every experiment and concatenates the reports (the `run_all`
 /// binary's payload).
 pub fn run_all() -> String {
+    run_all_jobs(1)
+}
+
+/// Runs every experiment on up to `jobs` worker threads and
+/// concatenates the reports **in registry order**, so the output is
+/// byte-identical to the serial run for any job count. Experiments are
+/// independently seeded, which is what makes this safe.
+pub fn run_all_jobs(jobs: usize) -> String {
+    let reg = registry();
+    let reports = crate::pool::run_indexed(reg.len(), jobs, |i| (reg[i].1)());
     let mut out = String::new();
-    for (name, f) in registry() {
+    for ((name, _), report) in reg.iter().zip(reports) {
         out.push_str(&format!("\n######## {name} ########\n"));
-        out.push_str(&f());
+        out.push_str(&report);
     }
     out
 }
@@ -53,7 +64,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X17".into())),
+        ("suite", Json::Str("cmi experiments X1-X18".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -106,5 +117,6 @@ pub fn registry() -> Vec<Experiment> {
             x16_faults::run,
         ),
         ("X17 causal lineage tracing (extension)", x17_lineage::run),
+        ("X18 perf baseline (extension)", x18_perf::run),
     ]
 }

@@ -1,0 +1,349 @@
+//! X18 — performance baseline of the counting machinery itself.
+//!
+//! Section 6 of the paper is purely analytic: it counts messages and
+//! link-crossings. This experiment makes the counting machinery cheap
+//! *and measurable*: it pins the deterministic shape of the canonical
+//! instrumented run (event/message/crossing counts), proves the interned
+//! `MetricId` fast path is observably identical to the string API, and —
+//! through the `exp_x18_perf` binary — measures counter-increment
+//! throughput, simulation events/sec, and the serial-vs-parallel wall
+//! time of the X1–X17 suite, emitting the regression-gated
+//! `BENCH_PERF.json` baseline.
+//!
+//! The registry `run()` below prints only deterministic quantities, so
+//! `experiments_output.txt` stays byte-reproducible; wall-clock numbers
+//! live exclusively in the binary's measured table and JSON artifact.
+
+use std::time::{Duration, Instant};
+
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::{bench, Json, MetricsRegistry, ToJson};
+
+use crate::pool;
+use crate::presets::pair_world;
+use crate::table::Table;
+
+/// Timing fields are accepted within this factor of the committed
+/// baseline in either direction — generous enough for slow CI machines,
+/// tight enough to catch a hot path regressing by orders of magnitude.
+pub const TIMING_TOLERANCE: f64 = 32.0;
+
+/// Counter increments per measured iteration in the micro-bench.
+const INCS: u64 = 100_000;
+
+/// The canonical instrumented run: the same two 4-process Ahamad
+/// systems over a 10 ms link as `sample_run_json`, write-heavy.
+fn canonical_counts() -> (u64, u64, u64) {
+    let mut world = pair_world(ProtocolKind::Ahamad, 4, Duration::from_millis(10), 1);
+    let report = world.run(&WorkloadSpec::small().with_write_fraction(0.8));
+    assert!(report.outcome().is_quiescent());
+    (
+        report.metrics().counter("engine.events_dispatched"),
+        report.stats().total_messages(),
+        report.stats().crossings(),
+    )
+}
+
+/// Drives the string API and the interned-id API through the same
+/// mixed operation sequence and returns whether the registries are
+/// logically equal with byte-identical snapshots.
+fn interning_agrees() -> bool {
+    let names = ["a.one", "b.two", "c.three"];
+    let mut by_str = MetricsRegistry::new();
+    let mut by_id = MetricsRegistry::new();
+    let ids: Vec<_> = names.iter().map(|n| by_id.key(n)).collect();
+    for round in 0..1_000u64 {
+        for (i, name) in names.iter().enumerate() {
+            by_str.inc(name);
+            by_id.inc_id(ids[i]);
+            if round % 7 == 0 {
+                by_str.add(name, round);
+                by_id.add_id(ids[i], round);
+            }
+        }
+    }
+    by_str == by_id && by_str.snapshot().to_pretty() == by_id.snapshot().to_pretty()
+}
+
+/// Deterministic registry report (no wall-clock numbers).
+pub fn run() -> String {
+    let mut out = String::new();
+    let (events, messages, crossings) = canonical_counts();
+    let mut t = Table::new(
+        "canonical instrumented run (2×4 Ahamad, 10 ms link, seed 1)",
+        &["quantity", "count"],
+    );
+    t.row(&["events dispatched".into(), events.to_string()]);
+    t.row(&["messages sent".into(), messages.to_string()]);
+    t.row(&["link crossings".into(), crossings.to_string()]);
+    out.push_str(&t.to_string());
+
+    let mut t = Table::new(
+        "interned MetricId fast path vs string API (3 names × 1000 rounds)",
+        &["check", "result"],
+    );
+    t.row(&[
+        "registries logically equal, snapshots byte-identical".into(),
+        if interning_agrees() { "yes" } else { "NO" }.into(),
+    ]);
+    out.push_str(&t.to_string());
+    out.push_str(
+        "wall-clock measurements (counter throughput, events/sec, serial vs\n\
+         parallel suite time) are emitted by `exp_x18_perf` into BENCH_PERF.json\n\
+         and regression-checked by scripts/verify.sh.\n",
+    );
+    out
+}
+
+/// One timed pass over the X1–X17 registry (X18 itself excluded so the
+/// sweep cannot recurse) with `jobs` workers. Returns (wall time, byte
+/// length of the concatenated reports).
+fn time_suite(jobs: usize) -> (Duration, usize) {
+    let reg: Vec<_> = super::registry()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("X18"))
+        .collect();
+    let t0 = Instant::now();
+    let reports = pool::run_indexed(reg.len(), jobs, |i| (reg[i].1)());
+    let elapsed = t0.elapsed();
+    (elapsed, reports.iter().map(String::len).sum())
+}
+
+/// Runs the measured benchmark. Returns the human table and the
+/// `BENCH_PERF.json` artifact. `parallel_jobs` sizes the parallel suite
+/// pass; `quick` skips the (slow) suite sweep, leaving its timing
+/// fields out of the artifact.
+pub fn measure(parallel_jobs: usize, quick: bool) -> (String, Json) {
+    let mut out = String::new();
+
+    // Counter-increment throughput: string API vs interned ids.
+    let str_res = bench("counters/inc_str", 2, 10, || {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..INCS {
+            m.inc("engine.events_dispatched");
+        }
+        m
+    });
+    let id_res = bench("counters/inc_id", 2, 10, || {
+        let mut m = MetricsRegistry::new();
+        let id = m.key("engine.events_dispatched");
+        for _ in 0..INCS {
+            m.inc_id(id);
+        }
+        m
+    });
+    let str_ns_per_inc = str_res.median_ns() / INCS as f64;
+    let id_ns_per_inc = id_res.median_ns() / INCS as f64;
+
+    // Simulation event throughput on the canonical world.
+    let (events, ..) = canonical_counts();
+    let world_res = bench("sim/canonical_world", 1, 5, || canonical_counts());
+    let events_per_sec = events as f64 / (world_res.median_ns() / 1e9);
+
+    let mut t = Table::new(
+        "counter-increment and event throughput",
+        &["case", "ns/op", "ops/sec"],
+    );
+    t.row(&[
+        "counter inc (string API)".into(),
+        format!("{str_ns_per_inc:.1}"),
+        format!("{:.0}", 1e9 / str_ns_per_inc),
+    ]);
+    t.row(&[
+        "counter inc (MetricId)".into(),
+        format!("{id_ns_per_inc:.1}"),
+        format!("{:.0}", 1e9 / id_ns_per_inc),
+    ]);
+    t.row(&[
+        "simulation events".into(),
+        format!("{:.1}", 1e9 / events_per_sec),
+        format!("{events_per_sec:.0}"),
+    ]);
+    out.push_str(&t.to_string());
+
+    let mut timing = vec![
+        ("counter_inc_str_ns", str_ns_per_inc.to_json()),
+        ("counter_inc_id_ns", id_ns_per_inc.to_json()),
+        ("events_per_sec", events_per_sec.to_json()),
+    ];
+
+    if !quick {
+        let (serial, serial_bytes) = time_suite(1);
+        let (parallel, parallel_bytes) = time_suite(parallel_jobs);
+        assert_eq!(
+            serial_bytes, parallel_bytes,
+            "parallel suite output diverged from serial"
+        );
+        let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+        let mut t = Table::new(
+            &format!("X1-X17 suite wall time, serial vs --jobs {parallel_jobs}"),
+            &["mode", "wall", "speedup"],
+        );
+        t.row(&[
+            "serial".into(),
+            format!("{:.2} s", serial.as_secs_f64()),
+            "1.00x".into(),
+        ]);
+        t.row(&[
+            format!("parallel ({parallel_jobs} jobs)"),
+            format!("{:.2} s", parallel.as_secs_f64()),
+            format!("{speedup:.2}x"),
+        ]);
+        out.push_str(&t.to_string());
+        timing.push(("suite_serial_ms", (serial.as_secs_f64() * 1e3).to_json()));
+        timing.push((
+            "suite_parallel_ms",
+            (parallel.as_secs_f64() * 1e3).to_json(),
+        ));
+        timing.push(("parallel_jobs", (parallel_jobs as u64).to_json()));
+        timing.push(("suite_speedup", speedup.to_json()));
+    }
+
+    let (canonical_events, canonical_messages, canonical_crossings) = canonical_counts();
+    let artifact = Json::obj([
+        ("experiment", Json::Str("X18 perf baseline".into())),
+        (
+            "structural",
+            Json::obj([
+                (
+                    "suite_experiments",
+                    (super::registry().len() as u64).to_json(),
+                ),
+                ("canonical_events", canonical_events.to_json()),
+                ("canonical_messages", canonical_messages.to_json()),
+                ("canonical_crossings", canonical_crossings.to_json()),
+                ("interning_agreement", interning_agrees().to_json()),
+            ]),
+        ),
+        ("timing", Json::obj(timing)),
+    ]);
+    (out, artifact)
+}
+
+/// Compares a freshly-measured artifact against the committed baseline:
+/// structural fields must match exactly; timing fields must agree within
+/// [`TIMING_TOLERANCE`] in either direction. Timing fields present in
+/// only one artifact (e.g. a `--quick` run against a full baseline) are
+/// skipped. Returns every violation found.
+pub fn check(new: &Json, baseline: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let (Some(new_struct), Some(base_struct)) = (new.get("structural"), baseline.get("structural"))
+    else {
+        return Err(vec!["missing structural section".into()]);
+    };
+    for key in [
+        "suite_experiments",
+        "canonical_events",
+        "canonical_messages",
+        "canonical_crossings",
+        "interning_agreement",
+    ] {
+        let (n, b) = (new_struct.get(key), base_struct.get(key));
+        if n.is_none() || b.is_none() {
+            errors.push(format!("structural field {key} missing"));
+        } else if n.map(Json::to_compact) != b.map(Json::to_compact) {
+            errors.push(format!(
+                "structural regression in {key}: baseline {} vs measured {}",
+                b.unwrap().to_compact(),
+                n.unwrap().to_compact()
+            ));
+        }
+    }
+    if let (Some(new_timing), Some(base_timing)) = (new.get("timing"), baseline.get("timing")) {
+        for key in [
+            "counter_inc_str_ns",
+            "counter_inc_id_ns",
+            "suite_serial_ms",
+            "suite_parallel_ms",
+        ] {
+            let (Some(n), Some(b)) = (
+                new_timing.get(key).and_then(Json::as_f64),
+                base_timing.get(key).and_then(Json::as_f64),
+            ) else {
+                continue; // quick runs omit suite timings
+            };
+            if n <= 0.0 || b <= 0.0 {
+                errors.push(format!("non-positive timing in {key}"));
+                continue;
+            }
+            let ratio = n / b;
+            if !(1.0 / TIMING_TOLERANCE..=TIMING_TOLERANCE).contains(&ratio) {
+                errors.push(format!(
+                    "timing regression in {key}: baseline {b:.1} vs measured {n:.1} \
+                     (ratio {ratio:.2}, tolerance {TIMING_TOLERANCE}x)"
+                ));
+            }
+        }
+        // events_per_sec is higher-is-better; same ratio window.
+        if let (Some(n), Some(b)) = (
+            new_timing.get("events_per_sec").and_then(Json::as_f64),
+            base_timing.get("events_per_sec").and_then(Json::as_f64),
+        ) {
+            if n > 0.0 && b > 0.0 {
+                let ratio = n / b;
+                if !(1.0 / TIMING_TOLERANCE..=TIMING_TOLERANCE).contains(&ratio) {
+                    errors.push(format!(
+                        "throughput regression in events_per_sec: baseline {b:.0} vs \
+                         measured {n:.0} (ratio {ratio:.2})"
+                    ));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x18_report_is_deterministic() {
+        assert_eq!(run(), run(), "registry report must be byte-reproducible");
+    }
+
+    #[test]
+    fn interning_agreement_holds() {
+        assert!(interning_agrees());
+    }
+
+    #[test]
+    fn quick_measure_emits_structural_fields_and_self_checks() {
+        let (_, artifact) = measure(2, true);
+        assert!(artifact.get("structural").is_some());
+        assert!(artifact
+            .get("structural")
+            .and_then(|s| s.get("canonical_events"))
+            .and_then(Json::as_f64)
+            .is_some_and(|e| e > 0.0));
+        // An artifact always passes the check against itself.
+        assert!(check(&artifact, &artifact).is_ok());
+    }
+
+    #[test]
+    fn check_flags_structural_and_timing_regressions() {
+        let (_, artifact) = measure(2, true);
+        let tampered = Json::parse(
+            &artifact
+                .to_pretty()
+                .replace("\"canonical_events\"", "\"canonical_events_x\""),
+        )
+        .unwrap();
+        assert!(check(&tampered, &artifact).is_err(), "structural drift");
+
+        let slow = {
+            let mut s = artifact.to_pretty();
+            // Blow one timing field far past the tolerance window.
+            let key = "\"counter_inc_id_ns\":";
+            let at = s.find(key).unwrap() + key.len();
+            let end = s[at..].find(|c| c == ',' || c == '\n').unwrap() + at;
+            s.replace_range(at..end, " 1e15");
+            Json::parse(&s).unwrap()
+        };
+        assert!(check(&slow, &artifact).is_err(), "timing blowup");
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pool;
 pub mod presets;
 pub mod table;
 

@@ -2,7 +2,8 @@
 //! shell.
 //!
 //! ```text
-//! cmi-cli run <scenario.json> [--json <report.json>]
+//! cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]
+//!             [--json <report.json>]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //!             [--trace-out <trace.json>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
@@ -41,13 +42,16 @@ fn print_usage() {
     println!(
         "cmi-cli — interconnection of causal memory systems\n\n\
          USAGE:\n\
-         \u{20}  cmi-cli run <scenario.json> [--json <report.json>]\n\
+         \u{20}  cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]\n\
+         \u{20}          [--json <report.json>]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}          [--trace-out <trace.json>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
          \u{20}  cmi-cli list\n\n\
          A scenario file describes systems, tree links, a workload and the\n\
          consistency checks to run; see crates/cli/scenarios/ for examples.\n\
+         Several scenarios run as a batch, up to --jobs at a time, with the\n\
+         reports printed in argument order.\n\
          --trace-out records causal lineage and writes a Chrome trace-event\n\
          file (open with Perfetto or chrome://tracing)."
     );
@@ -65,27 +69,99 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, 
     }
 }
 
+/// Positional (non-flag) arguments, skipping every `--flag value` pair.
+fn positional_args(args: &[String]) -> Vec<String> {
+    const VALUE_FLAGS: [&str; 5] = [
+        "--json",
+        "--dump-history",
+        "--dump-dot",
+        "--trace-out",
+        "--jobs",
+    ];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if VALUE_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Reads, parses, runs and renders one scenario — the unit of work the
+/// batch runner executes per worker thread.
+fn run_one(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = scenario.run().map_err(|e| format!("{path}: {e}"))?;
+    Ok(render_report(&scenario, &report))
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let paths = positional_args(args);
+    let Some(path) = paths.first() else {
         eprintln!(
-            "usage: cmi-cli run <scenario.json> [--json <report.json>] \
-             [--dump-history <out.json>] [--dump-dot <out.dot>] \
+            "usage: cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>] \
+             [--json <report.json>] [--dump-history <out.json>] [--dump-dot <out.dot>] \
              [--trace-out <trace.json>]"
         );
         return ExitCode::FAILURE;
     };
-    let (json_out, dump, dump_dot, trace_out) = match (
+    let (json_out, dump, dump_dot, trace_out, jobs_arg) = match (
         flag_value(args, "--json"),
         flag_value(args, "--dump-history"),
         flag_value(args, "--dump-dot"),
         flag_value(args, "--trace-out"),
+        flag_value(args, "--jobs"),
     ) {
-        (Ok(j), Ok(d), Ok(g), Ok(t)) => (j, d, g, t),
-        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+        (Ok(j), Ok(d), Ok(g), Ok(t), Ok(n)) => (j, d, g, t, n),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), _)
+        | (_, _, _, _, Err(e)) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let jobs = match jobs_arg.map(|v| v.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("--jobs requires a positive integer argument");
+            return ExitCode::FAILURE;
+        }
+    };
+    if paths.len() > 1 {
+        // Batch mode: run every scenario (up to --jobs at a time) and
+        // print the reports in argument order. Per-run artifact flags
+        // have no unambiguous target across a batch.
+        if json_out.is_some() || dump.is_some() || dump_dot.is_some() || trace_out.is_some() {
+            eprintln!(
+                "--json/--dump-history/--dump-dot/--trace-out apply to a single \
+                 scenario; run them one at a time"
+            );
+            return ExitCode::FAILURE;
+        }
+        let results = cmi_bench::pool::run_indexed(paths.len(), jobs, |i| run_one(&paths[i]));
+        let mut code = ExitCode::SUCCESS;
+        for (path, result) in paths.iter().zip(results) {
+            println!("\n======== {path} ========");
+            match result {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    code = ExitCode::FAILURE;
+                }
+            }
+        }
+        return code;
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use cmi_memory::{Driver, HostSink, McsMsg, NoUpcalls, NodeHost, OpPlan};
-use cmi_obs::LineageRecorder;
+use cmi_obs::{LineageRecorder, MetricId, MetricsRegistry};
 use cmi_sim::{Actor, ActorId, Ctx};
 use cmi_types::{ProcId, SimTime, Value, VarId};
 
@@ -76,10 +76,67 @@ impl AddressBook {
     }
 }
 
+/// Every protocol/ISP counter the world actor touches while handling an
+/// event, interned once in `on_start` so the per-event path records by
+/// index and never formats or hashes a metric name.
+#[derive(Debug, Clone, Copy)]
+struct CoreMetricIds {
+    updates_propagated: MetricId,
+    writes_issued: MetricId,
+    causal_wait_stalls: MetricId,
+    updates_applied: MetricId,
+    link_pairs_sent: MetricId,
+    propagate_in: MetricId,
+    propagate_out: MetricId,
+    retransmits: MetricId,
+    rto_backoffs: MetricId,
+    frames_abandoned: MetricId,
+    pairs_abandoned: MetricId,
+    degraded_coalesced: MetricId,
+    degraded_flushes: MetricId,
+    corrupt_rejected: MetricId,
+    dedup_drops: MetricId,
+    acks: MetricId,
+    crashes: MetricId,
+    recoveries: MetricId,
+    resync_pairs: MetricId,
+    pairs_lost_in_crash: MetricId,
+    recv_dropped_crashed: MetricId,
+}
+
+impl CoreMetricIds {
+    fn resolve(metrics: &mut MetricsRegistry) -> Self {
+        CoreMetricIds {
+            updates_propagated: metrics.key("protocol.updates_propagated"),
+            writes_issued: metrics.key("protocol.writes_issued"),
+            causal_wait_stalls: metrics.key("protocol.causal_wait_stalls"),
+            updates_applied: metrics.key("protocol.updates_applied"),
+            link_pairs_sent: metrics.key("isp.link_pairs_sent"),
+            propagate_in: metrics.key("isp.propagate_in"),
+            propagate_out: metrics.key("isp.propagate_out"),
+            retransmits: metrics.key("isp.retransmits"),
+            rto_backoffs: metrics.key("isp.rto_backoffs"),
+            frames_abandoned: metrics.key("isp.frames_abandoned"),
+            pairs_abandoned: metrics.key("isp.pairs_abandoned"),
+            degraded_coalesced: metrics.key("isp.degraded_coalesced"),
+            degraded_flushes: metrics.key("isp.degraded_flushes"),
+            corrupt_rejected: metrics.key("isp.corrupt_rejected"),
+            dedup_drops: metrics.key("isp.dedup_drops"),
+            acks: metrics.key("isp.acks"),
+            crashes: metrics.key("isp.crashes"),
+            recoveries: metrics.key("isp.recoveries"),
+            resync_pairs: metrics.key("isp.resync_pairs"),
+            pairs_lost_in_crash: metrics.key("isp.pairs_lost_in_crash"),
+            recv_dropped_crashed: metrics.key("isp.recv_dropped_crashed"),
+        }
+    }
+}
+
 /// [`HostSink`] over a simulator context and the shared address book.
 struct WorldSink<'a, 'b> {
     ctx: &'a mut Ctx<'b, WorldMsg>,
     addr: &'a AddressBook,
+    ids: CoreMetricIds,
 }
 
 impl HostSink for WorldSink<'_, '_> {
@@ -89,12 +146,16 @@ impl HostSink for WorldSink<'_, '_> {
 
     fn send_mcs(&mut self, to: ProcId, msg: McsMsg) {
         let actor = self.addr.actor_of(to);
-        self.ctx.metrics().inc("protocol.updates_propagated");
+        self.ctx.metrics().inc_id(self.ids.updates_propagated);
         self.ctx.send(actor, WorldMsg::Mcs(msg));
     }
 
     fn note(&mut self, text: String) {
         self.ctx.note(text);
+    }
+
+    fn tracing(&self) -> bool {
+        self.ctx.tracing()
     }
 
     fn lineage(&mut self) -> Option<(&mut LineageRecorder, ProcId)> {
@@ -130,6 +191,8 @@ pub struct WorldActor {
     resync_pending: bool,
     /// Shared-variable count, needed for the restart resync sweep.
     n_vars: usize,
+    /// Pre-resolved metric ids (`None` until `on_start` interns them).
+    ids: Option<CoreMetricIds>,
 }
 
 impl WorldActor {
@@ -149,7 +212,13 @@ impl WorldActor {
             crashed: false,
             resync_pending: false,
             n_vars: 0,
+            ids: None,
         }
+    }
+
+    /// The interned metric ids (available from `on_start` onwards).
+    fn ids(&self) -> CoreMetricIds {
+        self.ids.expect("metric ids resolved in on_start")
     }
 
     /// Installs reliable transports, one slot per IS link (same order
@@ -251,9 +320,11 @@ impl WorldActor {
     }
 
     fn issue_plan(&mut self, plan: OpPlan, ctx: &mut Ctx<'_, WorldMsg>) {
+        let ids = self.ids();
         let mut sink = WorldSink {
             ctx,
             addr: &self.addr,
+            ids,
         };
         match plan {
             OpPlan::Read(var) => match self.isp.as_mut() {
@@ -265,7 +336,7 @@ impl WorldActor {
                 }
             },
             OpPlan::Write(var, val) => {
-                sink.ctx.metrics().inc("protocol.writes_issued");
+                sink.ctx.metrics().inc_id(ids.writes_issued);
                 match self.isp.as_mut() {
                     Some(isp) => self.host.issue_write(var, val, &mut sink, isp),
                     None => self.host.issue_write(var, val, &mut sink, &mut NoUpcalls),
@@ -307,13 +378,16 @@ impl WorldActor {
     /// go out together at the next batch flush; on a reliable link the
     /// pairs travel together in one transport frame.
     fn send_pairs(&mut self, pairs: &[crate::isp::OutPair], ctx: &mut Ctx<'_, WorldMsg>) {
+        let ids = self.ids();
         let Some(isp) = self.isp.as_mut() else {
             return;
         };
-        let links: Vec<_> = isp.links().to_vec();
+        // Links are `Copy`: index per iteration instead of cloning the
+        // link table on every Propagate_out batch.
+        let n_links = isp.links().len();
         let batching = isp.batch_window();
         for pair in pairs {
-            for (i, l) in links.iter().enumerate() {
+            for i in 0..n_links {
                 if Some(i) == pair.except {
                     continue;
                 }
@@ -322,7 +396,8 @@ impl WorldActor {
                 } else if self.transports.get(i).is_some_and(Option::is_some) {
                     // Framed below, link-major.
                 } else {
-                    ctx.metrics().inc("isp.link_pairs_sent");
+                    let l = isp.links()[i];
+                    ctx.metrics().inc_id(ids.link_pairs_sent);
                     ctx.send(
                         l.peer_actor,
                         WorldMsg::Link {
@@ -336,7 +411,7 @@ impl WorldActor {
             }
         }
         if batching.is_none() {
-            for i in 0..links.len() {
+            for i in 0..n_links {
                 if !self.link_is_reliable(i) {
                     continue;
                 }
@@ -361,11 +436,12 @@ impl WorldActor {
     /// Flushes every non-empty per-link batch as one `LinkBatch`
     /// message (or one transport frame on a reliable link).
     fn flush_batches(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
-        let links: Vec<_> = match self.isp.as_ref() {
-            Some(isp) => isp.links().to_vec(),
+        let n_links = match self.isp.as_ref() {
+            Some(isp) => isp.links().len(),
             None => return,
         };
-        for (i, l) in links.iter().enumerate() {
+        let ids = self.ids();
+        for i in 0..n_links {
             let batch = self.isp.as_mut().unwrap().take_batch(i);
             if batch.is_empty() {
                 continue;
@@ -375,7 +451,9 @@ impl WorldActor {
                 continue;
             }
             let isp = self.isp.as_mut().unwrap();
-            ctx.metrics().add("isp.link_pairs_sent", batch.len() as u64);
+            let l = isp.links()[i];
+            ctx.metrics()
+                .add_id(ids.link_pairs_sent, batch.len() as u64);
             for &(var, val) in &batch {
                 isp.log_sent(l.peer_isp, var, val, ctx.now());
                 Self::record_link_send(&self.host, ctx, val, l.peer_isp.system.0, false);
@@ -401,11 +479,11 @@ impl WorldActor {
             .offer(pairs, now);
         match frame {
             Some(frame) => {
-                ctx.metrics().add("isp.link_pairs_sent", n_pairs);
+                ctx.metrics().add_id(self.ids().link_pairs_sent, n_pairs);
                 self.ship_frame(link, frame, false, ctx);
             }
             None => {
-                ctx.metrics().add("isp.degraded_coalesced", n_pairs);
+                ctx.metrics().add_id(self.ids().degraded_coalesced, n_pairs);
             }
         }
     }
@@ -471,22 +549,23 @@ impl WorldActor {
             return;
         }
         let was_backed_off = t.tx.current_timeout() > t.tx.config().rto;
+        let ids = self.ids.expect("metric ids resolved in on_start");
         match t.tx.on_timeout(ctx.now()) {
             TimeoutAction::Idle => {}
             TimeoutAction::Retransmit(frame) => {
-                ctx.metrics().inc("isp.retransmits");
+                ctx.metrics().inc_id(ids.retransmits);
                 if was_backed_off {
-                    ctx.metrics().inc("isp.rto_backoffs");
+                    ctx.metrics().inc_id(ids.rto_backoffs);
                 }
-                ctx.note(format!("retransmit frame #{}", frame.seq));
+                ctx.note_with(|| format!("retransmit frame #{}", frame.seq));
                 self.ship_frame(link, frame, true, ctx);
             }
             TimeoutAction::Abandoned { lost_pairs, next } => {
-                ctx.metrics().inc("isp.frames_abandoned");
-                ctx.metrics().add("isp.pairs_abandoned", lost_pairs as u64);
-                ctx.note(format!("retry cap hit: abandoned {lost_pairs} pairs"));
+                ctx.metrics().inc_id(ids.frames_abandoned);
+                ctx.metrics().add_id(ids.pairs_abandoned, lost_pairs as u64);
+                ctx.note_with(|| format!("retry cap hit: abandoned {lost_pairs} pairs"));
                 if let Some(frame) = next {
-                    ctx.metrics().inc("isp.retransmits");
+                    ctx.metrics().inc_id(ids.retransmits);
                     self.ship_frame(link, frame, true, ctx);
                 }
             }
@@ -507,18 +586,19 @@ impl WorldActor {
         // record in case the frame turns out to be a duplicate (only
         // when lineage is on — disabled runs never clone).
         let dup_pairs = ctx.lineage().is_some().then(|| pairs.clone());
+        let ids = self.ids();
         let t = self.transports[link]
             .as_mut()
             .expect("frame on a raw link (mismatched LinkSpec.reliable?)");
         let outcome = t.rx.on_frame(seq, lo, pairs, checksum);
         if outcome.corrupt {
             // No ack: silence makes the sender retransmit an intact copy.
-            ctx.metrics().inc("isp.corrupt_rejected");
-            ctx.note(format!("rejected damaged frame #{seq}"));
+            ctx.metrics().inc_id(ids.corrupt_rejected);
+            ctx.note_with(|| format!("rejected damaged frame #{seq}"));
             return;
         }
         if outcome.duplicate {
-            ctx.metrics().inc("isp.dedup_drops");
+            ctx.metrics().inc_id(ids.dedup_drops);
             if let Some(dup) = dup_pairs {
                 let from_system = self
                     .isp
@@ -538,7 +618,7 @@ impl WorldActor {
             }
         }
         if let Some(cum) = outcome.ack {
-            ctx.metrics().inc("isp.acks");
+            ctx.metrics().inc_id(ids.acks);
             let peer = self
                 .isp
                 .as_ref()
@@ -550,7 +630,7 @@ impl WorldActor {
         // Released pairs behave exactly like an in-order batch.
         for (var, val) in outcome.deliver {
             if self.host.write_in_flight() {
-                ctx.metrics().inc("protocol.causal_wait_stalls");
+                ctx.metrics().inc_id(ids.causal_wait_stalls);
                 self.isp.as_mut().unwrap().defer_incoming(link, var, val);
             } else {
                 self.propagate_in(link, var, val, ctx);
@@ -579,10 +659,11 @@ impl WorldActor {
                 self.arm_retx_timer(link, ctx);
             }
             if let Some(frame) = flush {
-                ctx.metrics().inc("isp.degraded_flushes");
+                let ids = self.ids();
+                ctx.metrics().inc_id(ids.degraded_flushes);
                 ctx.metrics()
-                    .add("isp.link_pairs_sent", frame.pairs.len() as u64);
-                ctx.note(format!("degraded backlog flushed as frame #{}", frame.seq));
+                    .add_id(ids.link_pairs_sent, frame.pairs.len() as u64);
+                ctx.note_with(|| format!("degraded backlog flushed as frame #{}", frame.seq));
                 self.ship_frame(link, frame, false, ctx);
             }
         }
@@ -594,7 +675,7 @@ impl WorldActor {
     /// survives. Incoming link traffic is dropped until restart.
     fn crash(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
         self.crashed = true;
-        ctx.metrics().inc("isp.crashes");
+        ctx.metrics().inc_id(self.ids().crashes);
         ctx.note("IS-process crashed".to_string());
         let now = ctx.now();
         let mut lost = 0u64;
@@ -615,7 +696,7 @@ impl WorldActor {
             }
         }
         if lost > 0 {
-            ctx.metrics().add("isp.pairs_lost_in_crash", lost);
+            ctx.metrics().add_id(self.ids().pairs_lost_in_crash, lost);
         }
     }
 
@@ -625,7 +706,7 @@ impl WorldActor {
     /// and re-sends the current values to its peers).
     fn recover(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
         self.crashed = false;
-        ctx.metrics().inc("isp.recoveries");
+        ctx.metrics().inc_id(self.ids().recoveries);
         ctx.note("IS-process restarted".to_string());
         self.resync_pending = true;
         self.post_actions(ctx);
@@ -633,6 +714,7 @@ impl WorldActor {
 
     /// The restart resync sweep.
     fn resync(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        let ids = self.ids();
         let n_links = self.isp.as_ref().map_or(0, |isp| isp.links().len());
         let mut pairs: Vec<(VarId, Value)> = Vec::new();
         for v in 0..self.n_vars {
@@ -641,6 +723,7 @@ impl WorldActor {
                 let mut sink = WorldSink {
                     ctx,
                     addr: &self.addr,
+                    ids,
                 };
                 let isp = self.isp.as_mut().expect("resync on an IS-process");
                 self.host.issue_read(var, &mut sink, isp);
@@ -653,8 +736,8 @@ impl WorldActor {
             return;
         }
         ctx.metrics()
-            .add("isp.resync_pairs", (pairs.len() * n_links) as u64);
-        ctx.note(format!("resync: re-sent {} pairs per link", pairs.len()));
+            .add_id(ids.resync_pairs, (pairs.len() * n_links) as u64);
+        ctx.note_with(|| format!("resync: re-sent {} pairs per link", pairs.len()));
         for i in 0..n_links {
             if self.link_is_reliable(i) {
                 self.offer_on_link(i, pairs.clone(), ctx);
@@ -662,7 +745,7 @@ impl WorldActor {
                 let isp = self.isp.as_mut().unwrap();
                 let end = isp.links()[i];
                 for &(var, val) in &pairs {
-                    ctx.metrics().inc("isp.link_pairs_sent");
+                    ctx.metrics().inc_id(ids.link_pairs_sent);
                     ctx.send(end.peer_actor, WorldMsg::Link { var, val });
                     isp.log_sent(end.peer_isp, var, val, ctx.now());
                     Self::record_link_send(&self.host, ctx, val, end.peer_isp.system.0, false);
@@ -676,8 +759,9 @@ impl WorldActor {
     /// the write *applies* — see [`IsProcess::begin_forward`] — so the
     /// wire order equals the replica-update order (Lemma 1).
     fn propagate_in(&mut self, link: usize, var: VarId, val: Value, ctx: &mut Ctx<'_, WorldMsg>) {
-        ctx.metrics().inc("isp.propagate_in");
-        ctx.note(format!("Propagate_in({var},{val})"));
+        let ids = self.ids();
+        ctx.metrics().inc_id(ids.propagate_in);
+        ctx.note_with(|| format!("Propagate_in({var},{val})"));
         {
             // Register the update's arrival in this system (and its hop
             // count) before the write's apply events are recorded.
@@ -698,6 +782,7 @@ impl WorldActor {
         let mut sink = WorldSink {
             ctx,
             addr: &self.addr,
+            ids,
         };
         let isp = self.isp.as_mut().expect("propagate_in on non-isp node");
         isp.begin_forward(link, var, val);
@@ -716,13 +801,15 @@ impl WorldActor {
             // re-reads the replica and covers the loss.
             let dropped = isp.take_ready().len() as u64;
             if dropped > 0 {
-                ctx.metrics().add("isp.pairs_lost_in_crash", dropped);
+                let ids = self.ids.expect("metric ids resolved in on_start");
+                ctx.metrics().add_id(ids.pairs_lost_in_crash, dropped);
             }
             return;
         }
         let ready = isp.take_ready();
         if !ready.is_empty() {
-            ctx.metrics().add("isp.propagate_out", ready.len() as u64);
+            let ids = self.ids.expect("metric ids resolved in on_start");
+            ctx.metrics().add_id(ids.propagate_out, ready.len() as u64);
             self.send_pairs(&ready, ctx);
         }
         let isp = self.isp.as_ref().unwrap();
@@ -761,6 +848,10 @@ impl WorldActor {
 
 impl Actor<WorldMsg> for WorldActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        // Intern every counter name this actor will ever touch; the ids
+        // are shared across actors because the registry deduplicates.
+        // Interned-but-untouched names never appear in snapshots.
+        self.ids = Some(CoreMetricIds::resolve(ctx.metrics()));
         self.fetch_and_schedule(ctx);
         for &(down, up) in &self.crash_windows.clone() {
             ctx.schedule(down, CRASH_TIMER);
@@ -771,11 +862,16 @@ impl Actor<WorldMsg> for WorldActor {
     fn on_message(&mut self, from: ActorId, msg: WorldMsg, ctx: &mut Ctx<'_, WorldMsg>) {
         match msg {
             WorldMsg::Mcs(m) => {
+                let ids = self.ids();
                 let from_proc = self.addr.proc_of(from);
                 let buffered_before = self.host.buffered();
                 let applied_before = self.host.updates().len();
                 let addr = Rc::clone(&self.addr);
-                let mut sink = WorldSink { ctx, addr: &addr };
+                let mut sink = WorldSink {
+                    ctx,
+                    addr: &addr,
+                    ids,
+                };
                 match self.isp.as_mut() {
                     Some(isp) => self.host.on_mcs_message(from_proc, m, &mut sink, isp),
                     None => self
@@ -784,23 +880,21 @@ impl Actor<WorldMsg> for WorldActor {
                 }
                 let buffered_after = self.host.buffered();
                 if buffered_after > buffered_before {
-                    ctx.metrics().add(
-                        "protocol.causal_wait_stalls",
+                    ctx.metrics().add_id(
+                        ids.causal_wait_stalls,
                         (buffered_after - buffered_before) as u64,
                     );
                 }
                 let applied_after = self.host.updates().len();
                 if applied_after > applied_before {
-                    ctx.metrics().add(
-                        "protocol.updates_applied",
-                        (applied_after - applied_before) as u64,
-                    );
+                    ctx.metrics()
+                        .add_id(ids.updates_applied, (applied_after - applied_before) as u64);
                 }
                 self.post_actions(ctx);
             }
             WorldMsg::Link { var, val } => {
                 if self.crashed {
-                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    ctx.metrics().inc_id(self.ids().recv_dropped_crashed);
                     return;
                 }
                 let link = self
@@ -811,7 +905,7 @@ impl Actor<WorldMsg> for WorldActor {
                 if self.host.write_in_flight() {
                     // The IS-process is blocked in a write call; the pair
                     // waits its turn (FIFO order preserved).
-                    ctx.metrics().inc("protocol.causal_wait_stalls");
+                    ctx.metrics().inc_id(self.ids().causal_wait_stalls);
                     self.isp.as_mut().unwrap().defer_incoming(link, var, val);
                 } else {
                     self.propagate_in(link, var, val, ctx);
@@ -820,9 +914,10 @@ impl Actor<WorldMsg> for WorldActor {
             }
             WorldMsg::LinkBatch(pairs) => {
                 if self.crashed {
-                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    ctx.metrics().inc_id(self.ids().recv_dropped_crashed);
                     return;
                 }
+                let ids = self.ids();
                 let link = self
                     .isp
                     .as_ref()
@@ -832,7 +927,7 @@ impl Actor<WorldMsg> for WorldActor {
                 // blocks, the rest defer behind it (order preserved).
                 for (var, val) in pairs {
                     if self.host.write_in_flight() {
-                        ctx.metrics().inc("protocol.causal_wait_stalls");
+                        ctx.metrics().inc_id(ids.causal_wait_stalls);
                         self.isp.as_mut().unwrap().defer_incoming(link, var, val);
                     } else {
                         self.propagate_in(link, var, val, ctx);
@@ -849,7 +944,7 @@ impl Actor<WorldMsg> for WorldActor {
                 if self.crashed {
                     // No ack while down: the peer keeps retransmitting
                     // and refills the gap after the restart.
-                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    ctx.metrics().inc_id(self.ids().recv_dropped_crashed);
                     return;
                 }
                 let link = self
@@ -861,7 +956,7 @@ impl Actor<WorldMsg> for WorldActor {
             }
             WorldMsg::Ack { cum } => {
                 if self.crashed {
-                    ctx.metrics().inc("isp.recv_dropped_crashed");
+                    ctx.metrics().inc_id(self.ids().recv_dropped_crashed);
                     return;
                 }
                 let link = self

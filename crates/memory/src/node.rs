@@ -46,6 +46,12 @@ pub trait HostSink {
     fn send_mcs(&mut self, to: ProcId, msg: McsMsg);
     /// Appends a protocol-trace annotation (no-op unless tracing).
     fn note(&mut self, text: String);
+    /// `true` if a trace consumer is attached. Callers skip building
+    /// note strings when it is `false`; the conservative default keeps
+    /// every existing sink (and every test sink) working unchanged.
+    fn tracing(&self) -> bool {
+        true
+    }
     /// The run's causal lineage recorder paired with the identity of the
     /// hosted process, or `None` when lineage tracing is disabled. The
     /// default keeps every existing sink (and every test sink) working
@@ -392,7 +398,9 @@ impl NodeHost {
                 // returns the pre-image.
                 let s = self.protocol.read(update.var);
                 self.ops.push(OpRecord::read(me, update.var, s, sink.now()));
-                sink.note(format!("pre_update({}) read {:?}", update.var, s));
+                if sink.tracing() {
+                    sink.note(format!("pre_update({}) read {:?}", update.var, s));
+                }
                 handler.pre_update(update.var, s, sink);
             }
             let mut out = Outbox::new();
@@ -441,7 +449,9 @@ impl NodeHost {
                 let v = self.protocol.read(update.var);
                 debug_assert_eq!(v, Some(update.val), "condition (c) violated");
                 self.ops.push(OpRecord::read(me, update.var, v, sink.now()));
-                sink.note(format!("post_update({},{})", update.var, update.val));
+                if sink.tracing() {
+                    sink.note(format!("post_update({},{})", update.var, update.val));
+                }
                 handler.post_update(update.var, update.val, update.writer, sink);
             }
         }

@@ -90,6 +90,10 @@ impl HostSink for CtxSink<'_, '_> {
     fn note(&mut self, text: String) {
         self.ctx.note(text);
     }
+
+    fn tracing(&self) -> bool {
+        self.ctx.tracing()
+    }
 }
 
 /// Simulator actor hosting one MCS-process and its application workload

@@ -29,6 +29,6 @@ pub mod timing;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use lineage::{LineageEvent, LineageRecorder, Stage, UpdateId};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use ring::RingBuffer;
 pub use timing::{bench, BenchResult, BenchSuite};

@@ -159,12 +159,40 @@ impl ToJson for Histogram {
     }
 }
 
+/// An interned metric key: a handle returned by
+/// [`MetricsRegistry::key`] that turns every subsequent counter bump,
+/// gauge update or histogram observation into a plain `Vec` index —
+/// no hashing, no tree walk, no string allocation on the hot path.
+///
+/// Ids are registry-local: a `MetricId` is only meaningful with the
+/// registry that issued it (same names interned in the same order yield
+/// the same ids, which is what lets cloned registries share handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// Slot index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A registry of named counters, gauges and histograms.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Names are interned: [`key`](MetricsRegistry::key) resolves a name to
+/// a [`MetricId`] once, and the `*_id` methods are index lookups. The
+/// `&str` methods remain as thin compatibility wrappers (resolve, then
+/// delegate), so existing call sites and the JSON snapshot are
+/// unchanged. A name that was interned but never written does not
+/// appear in snapshots — interning is free.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    /// Name → id, sorted — the sorted iteration order of every snapshot.
+    ids: BTreeMap<String, MetricId>,
+    /// One slot per id; `None` = interned but never written.
+    counters: Vec<Option<u64>>,
+    gauges: Vec<Option<f64>>,
+    histograms: Vec<Option<Histogram>>,
 }
 
 impl MetricsRegistry {
@@ -173,97 +201,177 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Resolves `name` to its interned id, interning it on first use.
+    /// Interning alone records nothing: the name stays out of snapshots
+    /// until a counter/gauge/histogram write touches it.
+    pub fn key(&mut self, name: &str) -> MetricId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = MetricId(u32::try_from(self.counters.len()).expect("too many metric names"));
+        self.ids.insert(name.to_string(), id);
+        self.counters.push(None);
+        self.gauges.push(None);
+        self.histograms.push(None);
+        id
+    }
+
+    /// The interned name of `id`, if `id` came from this registry.
+    pub fn name(&self, id: MetricId) -> Option<&str> {
+        self.ids
+            .iter()
+            .find(|(_, &i)| i == id)
+            .map(|(k, _)| k.as_str())
+    }
+
     /// Increments counter `name` by one.
     pub fn inc(&mut self, name: &str) {
-        self.add(name, 1);
+        let id = self.key(name);
+        self.inc_id(id);
     }
 
     /// Increments counter `name` by `delta`.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-        } else {
-            self.counters.insert(name.to_string(), delta);
-        }
+        let id = self.key(name);
+        self.add_id(id, delta);
+    }
+
+    /// Increments the counter behind `id` by one (index lookup).
+    #[inline]
+    pub fn inc_id(&mut self, id: MetricId) {
+        self.add_id(id, 1);
+    }
+
+    /// Increments the counter behind `id` by `delta` (index lookup).
+    #[inline]
+    pub fn add_id(&mut self, id: MetricId, delta: u64) {
+        let slot = &mut self.counters[id.index()];
+        *slot = Some(slot.unwrap_or(0) + delta);
     }
 
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.ids
+            .get(name)
+            .and_then(|id| self.counters[id.index()])
+            .unwrap_or(0)
+    }
+
+    /// Current value of the counter behind `id` (0 if never touched).
+    pub fn counter_id(&self, id: MetricId) -> u64 {
+        self.counters[id.index()].unwrap_or(0)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.ids
+            .iter()
+            .filter_map(|(k, id)| self.counters[id.index()].map(|v| (k.as_str(), v)))
     }
 
     /// Sets gauge `name` to `v`.
     pub fn set_gauge(&mut self, name: &str, v: f64) {
-        self.gauges.insert(name.to_string(), v);
+        let id = self.key(name);
+        self.set_gauge_id(id, v);
+    }
+
+    /// Sets the gauge behind `id` to `v` (index lookup).
+    #[inline]
+    pub fn set_gauge_id(&mut self, id: MetricId, v: f64) {
+        self.gauges[id.index()] = Some(v);
     }
 
     /// Raises gauge `name` to `v` if `v` is larger (high-water marks).
     pub fn gauge_max(&mut self, name: &str, v: f64) {
-        let g = self
-            .gauges
-            .entry(name.to_string())
-            .or_insert(f64::NEG_INFINITY);
-        if v > *g {
-            *g = v;
+        let id = self.key(name);
+        self.gauge_max_id(id, v);
+    }
+
+    /// Raises the gauge behind `id` to `v` if `v` is larger.
+    #[inline]
+    pub fn gauge_max_id(&mut self, id: MetricId, v: f64) {
+        let slot = &mut self.gauges[id.index()];
+        if v > slot.unwrap_or(f64::NEG_INFINITY) {
+            *slot = Some(v);
         }
     }
 
     /// Current value of gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.ids.get(name).and_then(|id| self.gauges[id.index()])
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.ids
+            .iter()
+            .filter_map(|(k, id)| self.gauges[id.index()].map(|v| (k.as_str(), v)))
     }
 
     /// Records `v` into histogram `name` (created on first use with the
     /// default latency buckets).
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
+        let id = self.key(name);
+        self.observe_id(id, v);
+    }
+
+    /// Records `v` into the histogram behind `id` (index lookup; the
+    /// histogram is created on first observation with the default
+    /// latency buckets).
+    #[inline]
+    pub fn observe_id(&mut self, id: MetricId, v: f64) {
+        self.histograms[id.index()]
+            .get_or_insert_with(Histogram::default)
             .observe(v);
     }
 
     /// Histogram `name`, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.ids
+            .get(name)
+            .and_then(|id| self.histograms[id.index()].as_ref())
     }
 
     /// All histograms, sorted by name.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.ids.iter().filter_map(|(k, id)| {
+            self.histograms[id.index()]
+                .as_ref()
+                .map(|h| (k.as_str(), h))
+        })
     }
 
-    /// `true` if nothing has been recorded.
+    /// `true` if nothing has been recorded (interned-but-unwritten names
+    /// do not count).
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.iter().all(Option::is_none)
+            && self.gauges.iter().all(Option::is_none)
+            && self.histograms.iter().all(Option::is_none)
     }
 
     /// Folds every metric of `other` into `self` (counters add, gauges
     /// take the maximum, histograms merge bucket-wise when shaped alike).
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (k, v) in &other.counters {
-            self.add(k, *v);
-        }
-        for (k, v) in &other.gauges {
-            self.gauge_max(k, *v);
-        }
-        for (k, h) in &other.histograms {
-            let mine = self
-                .histograms
-                .entry(k.clone())
-                .or_insert_with(|| Histogram::new(&h.bounds));
-            if mine.bounds == h.bounds {
-                for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
-                    *a += b;
+        for (k, oid) in &other.ids {
+            if let Some(v) = other.counters[oid.index()] {
+                self.add(k, v);
+            }
+            if let Some(v) = other.gauges[oid.index()] {
+                self.gauge_max(k, v);
+            }
+            if let Some(h) = &other.histograms[oid.index()] {
+                let id = self.key(k);
+                let mine =
+                    self.histograms[id.index()].get_or_insert_with(|| Histogram::new(&h.bounds));
+                if mine.bounds == h.bounds {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
                 }
-                mine.count += h.count;
-                mine.sum += h.sum;
-                mine.min = mine.min.min(h.min);
-                mine.max = mine.max.max(h.max);
             }
         }
     }
@@ -272,18 +380,41 @@ impl MetricsRegistry {
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn snapshot(&self) -> Json {
         Json::obj([
-            ("counters", self.counters.to_json()),
-            ("gauges", self.gauges.to_json()),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
             (
                 "histograms",
                 Json::Obj(
-                    self.histograms
-                        .iter()
-                        .map(|(k, h)| (k.clone(), h.snapshot()))
+                    self.histograms()
+                        .map(|(k, h)| (k.to_string(), h.snapshot()))
                         .collect(),
                 ),
             ),
         ])
+    }
+}
+
+/// Logical equality: two registries are equal when they record the same
+/// values under the same names, regardless of interning order.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters().eq(other.counters())
+            && self.gauges().eq(other.gauges())
+            && self.histograms().eq(other.histograms())
     }
 }
 
@@ -457,6 +588,124 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 2e3);
+    }
+
+    #[test]
+    fn interned_and_str_apis_agree() {
+        let mut m = MetricsRegistry::new();
+        let id = m.key("events");
+        assert_eq!(m.key("events"), id, "key() is idempotent");
+        m.inc_id(id);
+        m.inc("events");
+        m.add_id(id, 3);
+        assert_eq!(m.counter("events"), 5);
+        assert_eq!(m.counter_id(id), 5);
+        assert_eq!(m.name(id), Some("events"));
+        let g = m.key("depth");
+        m.gauge_max_id(g, 2.0);
+        m.gauge_max("depth", 1.0);
+        assert_eq!(m.gauge("depth"), Some(2.0));
+        m.set_gauge_id(g, 0.5);
+        assert_eq!(m.gauge("depth"), Some(0.5));
+        let h = m.key("lat");
+        m.observe_id(h, 1e3);
+        m.observe("lat", 2e3);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn interning_alone_records_nothing() {
+        let mut m = MetricsRegistry::new();
+        let _ = m.key("channel.a0->a1.dropped");
+        let _ = m.key("zzz.gauge");
+        assert!(m.is_empty());
+        assert_eq!(m.counters().count(), 0);
+        // The snapshot of a registry with only interned names is the
+        // empty snapshot — pre-resolving keys can never change output.
+        assert_eq!(m.snapshot(), MetricsRegistry::new().snapshot());
+        assert_eq!(m, MetricsRegistry::new());
+    }
+
+    #[test]
+    fn snapshot_ordering_is_sorted_regardless_of_intern_order() {
+        // Intern/write names in reverse order; the snapshot must come
+        // out sorted by name exactly as the old BTreeMap layout did.
+        let mut m = MetricsRegistry::new();
+        for name in ["z.last", "m.middle", "a.first"] {
+            m.inc(name);
+        }
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+        let json = m.snapshot().to_pretty();
+        let (a, z) = (json.find("a.first").unwrap(), json.find("z.last").unwrap());
+        assert!(a < z, "JSON members sorted by name");
+    }
+
+    #[test]
+    fn seeded_randomized_interleaving_of_both_apis() {
+        // A SplitMix64-style stream drives a random interleaving of the
+        // id and str APIs over the same names; a shadow model using only
+        // the str API must end up logically equal.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let names = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let mut fast = MetricsRegistry::new();
+        let mut shadow = MetricsRegistry::new();
+        let ids: Vec<MetricId> = names.iter().map(|n| fast.key(n)).collect();
+        for _ in 0..2000 {
+            let r = next();
+            let i = (r as usize) % names.len();
+            let delta = (r >> 8) % 7;
+            match (r >> 32) % 6 {
+                0 => {
+                    fast.inc_id(ids[i]);
+                    shadow.inc(names[i]);
+                }
+                1 => {
+                    fast.inc(names[i]);
+                    shadow.inc(names[i]);
+                }
+                2 => {
+                    fast.add_id(ids[i], delta);
+                    shadow.add(names[i], delta);
+                }
+                3 => {
+                    fast.gauge_max_id(ids[i], delta as f64);
+                    shadow.gauge_max(names[i], delta as f64);
+                }
+                4 => {
+                    fast.observe_id(ids[i], (delta + 1) as f64 * 1e3);
+                    shadow.observe(names[i], (delta + 1) as f64 * 1e3);
+                }
+                _ => {
+                    fast.observe(names[i], (delta + 1) as f64 * 1e3);
+                    shadow.observe(names[i], (delta + 1) as f64 * 1e3);
+                }
+            }
+        }
+        assert_eq!(fast, shadow);
+        assert_eq!(
+            fast.snapshot().to_pretty(),
+            shadow.snapshot().to_pretty(),
+            "byte-identical artifacts from either API"
+        );
+    }
+
+    #[test]
+    fn cloned_registry_shares_ids() {
+        let mut m = MetricsRegistry::new();
+        let id = m.key("n");
+        m.inc_id(id);
+        let mut c = m.clone();
+        c.inc_id(id);
+        assert_eq!(c.counter("n"), 2);
+        assert_eq!(m.counter("n"), 1);
     }
 
     #[test]

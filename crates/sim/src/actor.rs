@@ -131,6 +131,21 @@ impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
     pub fn note(&mut self, text: impl Into<String>) {
         self.engine.note(self.me, text.into());
     }
+
+    /// `true` if any trace consumer (in-memory trace or sink) is
+    /// attached. Protocol code checks this before building expensive
+    /// note strings.
+    pub fn tracing(&self) -> bool {
+        self.engine.tracing()
+    }
+
+    /// Appends an annotation built lazily: `f` only runs when a trace
+    /// consumer is attached, so untraced runs pay nothing.
+    pub fn note_with(&mut self, f: impl FnOnce() -> String) {
+        if self.engine.tracing() {
+            self.engine.note(self.me, f());
+        }
+    }
 }
 
 #[cfg(test)]

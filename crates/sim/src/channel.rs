@@ -3,8 +3,10 @@
 
 use std::time::Duration;
 
+use cmi_obs::{MetricId, MetricsRegistry};
 use cmi_types::SimTime;
 
+use crate::actor::ActorId;
 use crate::rng::SplitMix64;
 
 /// When a channel is able to start transmitting.
@@ -269,15 +271,46 @@ impl ChannelSpec {
         self.faults = faults;
         self
     }
+}
 
-    /// Makes the channel deliver every message twice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `with_faults(FaultSpec::none().with_duplication(1.0))`"
-    )]
-    pub fn duplicating(mut self) -> Self {
-        self.faults.duplicate_prob = 1.0;
-        self
+/// Up to two delivery instants, stored inline so the per-send hot path
+/// never allocates (a channel delivers a message zero, one or — when
+/// duplicated — two times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Deliveries {
+    times: [SimTime; 2],
+    len: u8,
+}
+
+impl Deliveries {
+    pub(crate) fn none() -> Self {
+        Deliveries {
+            times: [SimTime::ZERO; 2],
+            len: 0,
+        }
+    }
+
+    pub(crate) fn one(t: SimTime) -> Self {
+        Deliveries {
+            times: [t, SimTime::ZERO],
+            len: 1,
+        }
+    }
+
+    pub(crate) fn two(first: SimTime, second: SimTime) -> Self {
+        Deliveries {
+            times: [first, second],
+            len: 2,
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[SimTime] {
+        &self.times[..usize::from(self.len)]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -286,10 +319,10 @@ impl ChannelSpec {
 /// Produced by [`ChannelState::plan`]; consumed by the engine, which
 /// pushes one delivery event per entry of `deliveries` and bumps the
 /// per-channel fault counters for every `true` flag.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SendPlan {
     /// Delivery instants (empty = dropped, two entries = duplicated).
-    pub(crate) deliveries: Vec<SimTime>,
+    pub(crate) deliveries: Deliveries,
     /// The message was silently dropped.
     pub(crate) dropped: bool,
     /// The message is delivered twice.
@@ -301,6 +334,29 @@ pub(crate) struct SendPlan {
     /// Seed for the payload corrupter (drawn from the channel stream so
     /// the damage itself replays deterministically).
     pub(crate) corrupt_seed: u64,
+}
+
+/// The four per-channel fault counters, pre-resolved to [`MetricId`]s at
+/// build time so the per-event path never formats or hashes a name.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChannelCounters {
+    pub(crate) dropped: MetricId,
+    pub(crate) duplicated: MetricId,
+    pub(crate) reordered: MetricId,
+    pub(crate) corrupted: MetricId,
+}
+
+impl ChannelCounters {
+    /// Interns the channel's counter names (the only place the
+    /// `channel.{from}->{to}.*` strings are ever built).
+    pub(crate) fn resolve(metrics: &mut MetricsRegistry, from: ActorId, to: ActorId) -> Self {
+        ChannelCounters {
+            dropped: metrics.key(&format!("channel.{from}->{to}.dropped")),
+            duplicated: metrics.key(&format!("channel.{from}->{to}.duplicated")),
+            reordered: metrics.key(&format!("channel.{from}->{to}.reordered")),
+            corrupted: metrics.key(&format!("channel.{from}->{to}.corrupted")),
+        }
+    }
 }
 
 /// Mutable per-channel state tracked by the engine.
@@ -315,6 +371,9 @@ pub(crate) struct ChannelState {
     pub(crate) fault_rng: SplitMix64,
     /// Messages handed to this channel so far (drives fault scripts).
     pub(crate) msg_index: u64,
+    /// Pre-resolved fault-counter ids (`None` until the builder resolves
+    /// them against the world's registry).
+    pub(crate) counters: Option<ChannelCounters>,
 }
 
 impl ChannelState {
@@ -324,6 +383,7 @@ impl ChannelState {
             last_delivery: SimTime::ZERO,
             fault_rng: SplitMix64::seed_from_u64(0),
             msg_index: 0,
+            counters: None,
         }
     }
 
@@ -347,7 +407,7 @@ impl ChannelState {
     pub(crate) fn plan(&mut self, now: SimTime, jitter: Duration) -> SendPlan {
         if !self.spec.faults.is_active() {
             return SendPlan {
-                deliveries: vec![self.schedule(now, jitter)],
+                deliveries: Deliveries::one(self.schedule(now, jitter)),
                 dropped: false,
                 duplicated: false,
                 reordered: false,
@@ -357,21 +417,25 @@ impl ChannelState {
         }
         let idx = self.msg_index;
         self.msg_index += 1;
-        // Probabilistic decisions, in a fixed draw order.
-        let faults = self.spec.faults.clone();
-        let mut dropped = faults.drop_prob > 0.0 && self.fault_rng.gen_bool(faults.drop_prob);
-        let mut duplicated =
-            faults.duplicate_prob > 0.0 && self.fault_rng.gen_bool(faults.duplicate_prob);
-        let mut reorder_extra = Duration::ZERO;
-        if faults.reorder_prob > 0.0 && self.fault_rng.gen_bool(faults.reorder_prob) {
-            let max =
-                u64::try_from(faults.reorder_window.as_nanos()).expect("reorder window too large");
-            reorder_extra = Duration::from_nanos(self.fault_rng.gen_range(1..max.max(2)));
-        }
-        let mut corrupted =
-            faults.corrupt_prob > 0.0 && self.fault_rng.gen_bool(faults.corrupt_prob);
+        // Probabilistic decisions, in a fixed draw order. Borrow the
+        // spec's fault fields disjointly from the RNG (no clone of the
+        // fault script on the per-message path).
+        let (mut dropped, mut duplicated, mut reorder_extra, mut corrupted) = {
+            let faults = &self.spec.faults;
+            let rng = &mut self.fault_rng;
+            let dropped = faults.drop_prob > 0.0 && rng.gen_bool(faults.drop_prob);
+            let duplicated = faults.duplicate_prob > 0.0 && rng.gen_bool(faults.duplicate_prob);
+            let mut reorder_extra = Duration::ZERO;
+            if faults.reorder_prob > 0.0 && rng.gen_bool(faults.reorder_prob) {
+                let max = u64::try_from(faults.reorder_window.as_nanos())
+                    .expect("reorder window too large");
+                reorder_extra = Duration::from_nanos(rng.gen_range(1..max.max(2)));
+            }
+            let corrupted = faults.corrupt_prob > 0.0 && rng.gen_bool(faults.corrupt_prob);
+            (dropped, duplicated, reorder_extra, corrupted)
+        };
         // Scripted overrides for this message index.
-        for &(nth, action) in &faults.script {
+        for &(nth, action) in &self.spec.faults.script {
             if nth != idx {
                 continue;
             }
@@ -384,7 +448,7 @@ impl ChannelState {
         }
         if dropped {
             return SendPlan {
-                deliveries: Vec::new(),
+                deliveries: Deliveries::none(),
                 dropped: true,
                 duplicated: false,
                 reordered: false,
@@ -397,10 +461,12 @@ impl ChannelState {
         // is added after scheduling and not recorded in `last_delivery`),
         // so subsequent messages can overtake it.
         let base = self.schedule(now, jitter);
-        let mut deliveries = vec![base + reorder_extra];
-        if duplicated {
-            deliveries.push(self.schedule(now, jitter));
-        }
+        let deliveries = if duplicated {
+            let second = self.schedule(now, jitter);
+            Deliveries::two(base + reorder_extra, second)
+        } else {
+            Deliveries::one(base + reorder_extra)
+        };
         let corrupt_seed = if corrupted {
             self.fault_rng.next_u64()
         } else {
@@ -564,7 +630,7 @@ mod tests {
         let mut c = ChannelState::new(ChannelSpec::fixed(ms(1)));
         let before = c.fault_rng.clone();
         let plan = c.plan(at_ms(0), Duration::ZERO);
-        assert_eq!(plan.deliveries, vec![at_ms(1)]);
+        assert_eq!(plan.deliveries.as_slice(), &[at_ms(1)]);
         assert!(!plan.dropped && !plan.duplicated && !plan.reordered && !plan.corrupted);
         assert_eq!(c.fault_rng, before, "no draws on the fast path");
         assert_eq!(c.msg_index, 0, "script index only advances under faults");
@@ -587,7 +653,7 @@ mod tests {
         let mut c = ChannelState::new(spec);
         let plan = c.plan(at_ms(0), Duration::ZERO);
         assert!(plan.duplicated);
-        assert_eq!(plan.deliveries.len(), 2);
+        assert_eq!(plan.deliveries.as_slice().len(), 2);
     }
 
     #[test]
@@ -614,8 +680,12 @@ mod tests {
         let p0 = c.plan(at_ms(0), Duration::ZERO);
         let p1 = c.plan(at_ms(0), Duration::ZERO);
         assert!(p0.reordered);
-        assert_eq!(p0.deliveries, vec![at_ms(51)]);
-        assert_eq!(p1.deliveries, vec![at_ms(1)], "second message overtakes");
+        assert_eq!(p0.deliveries.as_slice(), &[at_ms(51)]);
+        assert_eq!(
+            p1.deliveries.as_slice(),
+            &[at_ms(1)],
+            "second message overtakes"
+        );
     }
 
     #[test]
@@ -646,10 +716,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_duplicating_shim_maps_to_fault_spec() {
-        let spec = ChannelSpec::fixed(ms(2)).duplicating();
-        assert_eq!(spec.faults.duplicate_prob, 1.0);
-        assert!(spec.faults.is_active());
+    fn deliveries_inline_storage_round_trips() {
+        assert!(Deliveries::none().is_empty());
+        assert_eq!(Deliveries::one(at_ms(3)).as_slice(), &[at_ms(3)]);
+        let two = Deliveries::two(at_ms(3), at_ms(5));
+        assert_eq!(two.as_slice(), &[at_ms(3), at_ms(5)]);
     }
 }

@@ -5,11 +5,11 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
-use cmi_obs::{LineageRecorder, MetricsRegistry};
+use cmi_obs::{LineageRecorder, MetricId, MetricsRegistry};
 use cmi_types::SimTime;
 
 use crate::actor::{Actor, ActorId, Ctx};
-use crate::channel::{ChannelSpec, ChannelState};
+use crate::channel::{ChannelCounters, ChannelSpec, ChannelState};
 use crate::rng::{derive_rng, derive_seed, SplitMix64};
 use crate::stats::{NetworkTag, TrafficStats};
 use crate::trace::{TraceEntry, TraceKind, TraceSink};
@@ -124,6 +124,31 @@ impl<M> Ord for QueuedEvent<M> {
 /// replays deterministically.
 pub type Corrupter<M> = Box<dyn FnMut(&mut M, &mut SplitMix64)>;
 
+/// The engine's own counters, interned once at build time so the event
+/// loop records them by index instead of by name.
+#[derive(Debug, Clone, Copy)]
+struct EngineIds {
+    messages_sent: MetricId,
+    payload_units: MetricId,
+    crossings: MetricId,
+    events_dispatched: MetricId,
+    timer_fires: MetricId,
+    queue_depth_max: MetricId,
+}
+
+impl EngineIds {
+    fn resolve(metrics: &mut MetricsRegistry) -> Self {
+        EngineIds {
+            messages_sent: metrics.key("engine.messages_sent"),
+            payload_units: metrics.key("engine.payload_units"),
+            crossings: metrics.key("engine.crossings"),
+            events_dispatched: metrics.key("engine.events_dispatched"),
+            timer_fires: metrics.key("engine.timer_fires"),
+            queue_depth_max: metrics.key("engine.queue_depth_max"),
+        }
+    }
+}
+
 /// Engine internals shared with [`Ctx`]; not part of the public API.
 pub(crate) struct Engine<M> {
     pub(crate) now: SimTime,
@@ -136,6 +161,7 @@ pub(crate) struct Engine<M> {
     corrupter: Option<Corrupter<M>>,
     stats: TrafficStats,
     metrics: MetricsRegistry,
+    ids: EngineIds,
     trace: Option<Vec<TraceEntry>>,
     lineage: Option<LineageRecorder>,
     sinks: Vec<Box<dyn TraceSink>>,
@@ -160,29 +186,32 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             Duration::from_nanos(self.jitter_rng.gen_range(0..max))
         };
         let plan = channel.plan(self.now, jitter);
+        let counters = channel
+            .counters
+            .expect("channel counters resolved at build");
         if plan.dropped {
-            self.metrics.inc(&format!("channel.{from}->{to}.dropped"));
+            self.metrics.inc_id(counters.dropped);
             return;
         }
         if plan.duplicated {
-            self.metrics
-                .inc(&format!("channel.{from}->{to}.duplicated"));
+            self.metrics.inc_id(counters.duplicated);
         }
         if plan.reordered {
-            self.metrics.inc(&format!("channel.{from}->{to}.reordered"));
+            self.metrics.inc_id(counters.reordered);
         }
         let mut msg = msg;
         if plan.corrupted {
-            self.metrics.inc(&format!("channel.{from}->{to}.corrupted"));
+            self.metrics.inc_id(counters.corrupted);
             if let Some(corrupter) = self.corrupter.as_mut() {
                 let mut damage_rng = SplitMix64::seed_from_u64(plan.corrupt_seed);
                 corrupter(&mut msg, &mut damage_rng);
             }
         }
         let payload_units = std::mem::size_of_val(&msg) as u64;
-        let last = plan.deliveries.len() - 1;
+        let deliveries = plan.deliveries.as_slice();
+        let last = deliveries.len() - 1;
         let mut remaining = Some(msg);
-        for (i, &delivery) in plan.deliveries.iter().enumerate() {
+        for (i, &delivery) in deliveries.iter().enumerate() {
             let m = if i == last {
                 remaining.take().expect("one message per delivery list")
             } else {
@@ -190,15 +219,7 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             };
             self.count_send(from, to, payload_units);
             if self.tracing() {
-                self.emit_trace(TraceEntry {
-                    at: self.now,
-                    kind: TraceKind::Sent {
-                        from,
-                        to,
-                        delivery,
-                        msg: format!("{m:?}"),
-                    },
-                });
+                self.trace_sent(from, to, delivery, &m);
             }
             self.push(delivery, EventPayload::Message { from, to, msg: m });
         }
@@ -208,11 +229,43 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     fn count_send(&mut self, from: ActorId, to: ActorId, payload_units: u64) {
         let (from_tag, to_tag) = (self.tags[from.index()], self.tags[to.index()]);
         self.stats.on_send(from, to, from_tag, to_tag);
-        self.metrics.inc("engine.messages_sent");
-        self.metrics.add("engine.payload_units", payload_units);
+        self.metrics.inc_id(self.ids.messages_sent);
+        self.metrics.add_id(self.ids.payload_units, payload_units);
         if from_tag != to_tag {
-            self.metrics.inc("engine.crossings");
+            self.metrics.inc_id(self.ids.crossings);
         }
+    }
+
+    /// Renders and records a `Sent` trace entry. Cold: only reached when
+    /// a trace consumer is attached, so the Debug render (the only
+    /// allocation on the send path) never happens in plain runs.
+    #[cold]
+    fn trace_sent(&mut self, from: ActorId, to: ActorId, delivery: SimTime, msg: &M) {
+        let rendered = render_debug(msg);
+        self.emit_trace(TraceEntry {
+            at: self.now,
+            kind: TraceKind::Sent {
+                from,
+                to,
+                delivery,
+                msg: rendered,
+            },
+        });
+    }
+
+    /// Renders and records a `Delivered` trace entry; cold like
+    /// [`trace_sent`](Engine::trace_sent).
+    #[cold]
+    fn trace_delivered(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: &M) {
+        let rendered = render_debug(msg);
+        self.emit_trace(TraceEntry {
+            at,
+            kind: TraceKind::Delivered {
+                from,
+                to,
+                msg: rendered,
+            },
+        });
     }
 
     pub(crate) fn schedule_timer(&mut self, actor: ActorId, delay: Duration, token: u64) {
@@ -255,6 +308,13 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     pub(crate) fn lineage_mut(&mut self) -> Option<&mut LineageRecorder> {
         self.lineage.as_mut()
     }
+}
+
+/// The single place a message's Debug form is rendered for tracing;
+/// callers guard on [`Engine::tracing`] so this never runs in plain
+/// (untraced) simulations.
+fn render_debug<M: fmt::Debug>(msg: &M) -> String {
+    format!("{msg:?}")
 }
 
 /// Builder assembling actors and channels into a [`Sim`].
@@ -368,10 +428,17 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         // its endpoint ids, so the stream is independent of registration
         // and HashMap iteration order.
         let fault_seed = derive_seed(self.seed, u64::MAX - 1);
+        // Intern every metric name the event loop will ever touch up
+        // front: the engine's own counters plus the four fault counters
+        // of every channel. Interned-but-untouched names never appear in
+        // snapshots, so pre-resolving cannot change any output.
+        let mut metrics = MetricsRegistry::new();
+        let ids = EngineIds::resolve(&mut metrics);
         let mut channels = self.channels;
         for ((from, to), state) in channels.iter_mut() {
             let key = (u64::from(from.0) << 32) | u64::from(to.0);
             state.fault_rng = derive_rng(fault_seed, key);
+            state.counters = Some(ChannelCounters::resolve(&mut metrics, *from, *to));
         }
         Sim {
             engine: Engine {
@@ -384,7 +451,8 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
                 jitter_rng: derive_rng(self.seed, u64::MAX),
                 corrupter: self.corrupter,
                 stats: TrafficStats::new(),
-                metrics: MetricsRegistry::new(),
+                metrics,
+                ids,
                 trace: if self.trace { Some(Vec::new()) } else { None },
                 lineage: if self.lineage {
                     Some(LineageRecorder::new())
@@ -447,26 +515,22 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     };
                 }
             }
-            self.engine
-                .metrics
-                .gauge_max("engine.queue_depth_max", self.engine.queue.len() as f64);
+            self.engine.metrics.gauge_max_id(
+                self.engine.ids.queue_depth_max,
+                self.engine.queue.len() as f64,
+            );
             let ev = self.engine.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.engine.now, "time went backwards");
             self.engine.now = ev.at;
             events_this_call += 1;
             self.events_processed += 1;
-            self.engine.metrics.inc("engine.events_dispatched");
+            self.engine
+                .metrics
+                .inc_id(self.engine.ids.events_dispatched);
             match ev.payload {
                 EventPayload::Message { from, to, msg } => {
                     if self.engine.tracing() {
-                        self.engine.emit_trace(TraceEntry {
-                            at: ev.at,
-                            kind: TraceKind::Delivered {
-                                from,
-                                to,
-                                msg: format!("{msg:?}"),
-                            },
-                        });
+                        self.engine.trace_delivered(ev.at, from, to, &msg);
                     }
                     let mut ctx = Ctx {
                         engine: &mut self.engine,
@@ -476,7 +540,7 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                 }
                 EventPayload::Timer { actor, token } => {
                     self.engine.stats.on_timer();
-                    self.engine.metrics.inc("engine.timer_fires");
+                    self.engine.metrics.inc_id(self.engine.ids.timer_fires);
                     if self.engine.tracing() {
                         self.engine.emit_trace(TraceEntry {
                             at: ev.at,
@@ -829,13 +893,74 @@ mod tests {
         assert_eq!(sim.metrics().counter("channel.a0->a1.duplicated"), 3);
     }
 
+    /// A payload whose `Debug` impl panics: if any dispatch path renders
+    /// it while no trace consumer is attached, the test dies.
+    #[derive(Clone)]
+    struct Landmine(u32);
+
+    impl fmt::Debug for Landmine {
+        fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+            panic!("Debug rendered without a trace consumer attached")
+        }
+    }
+
+    struct LandmineActor {
+        peer: Option<ActorId>,
+        count: u32,
+        received: Vec<u32>,
+    }
+
+    impl Actor<Landmine> for LandmineActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Landmine>) {
+            if let Some(peer) = self.peer {
+                for i in 0..self.count {
+                    ctx.send(peer, Landmine(i));
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: ActorId, msg: Landmine, _ctx: &mut Ctx<'_, Landmine>) {
+            self.received.push(msg.0);
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_, Landmine>) {}
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_duplicating_shim_still_duplicates() {
-        let spec = ChannelSpec::fixed(ms(2)).duplicating();
-        let (mut sim, _a0, a1) = two_actor_world(spec, 2, 1);
+    fn no_debug_render_on_either_dispatch_path_without_trace_consumers() {
+        // Duplication forces the clone branch of the send loop too, so
+        // both the send and the deliver path are exercised per message.
+        let spec = ChannelSpec::fixed(ms(2)).with_faults(FaultSpec::none().with_duplication(1.0));
+        let mut b = SimBuilder::new(1);
+        let a1 = ActorId(1);
+        let a0 = b.add_actor(
+            Box::new(LandmineActor {
+                peer: Some(a1),
+                count: 3,
+                received: Vec::new(),
+            }),
+            NetworkTag(0),
+        );
+        b.add_actor(
+            Box::new(LandmineActor {
+                peer: None,
+                count: 0,
+                received: Vec::new(),
+            }),
+            NetworkTag(1),
+        );
+        b.connect(a0, a1, spec);
+        let mut sim = b.build();
         sim.run(RunLimit::unlimited());
-        assert_eq!(sim.actor::<Flood>(a1).unwrap().received.len(), 4);
+        assert_eq!(sim.actor::<LandmineActor>(a1).unwrap().received.len(), 6);
     }
 
     #[test]

@@ -52,4 +52,19 @@ done
 grep -q 'crossings/write' "$artifact_dir/x17.txt" \
     || { echo "FAIL: X17 report lost its crossings table" >&2; exit 1; }
 
-echo "OK: offline build, tests, dependency audit and golden formats all passed"
+echo "==> runner determinism (serial vs --jobs 8 vs committed output)"
+# The parallel experiment runner must be observably invisible; this also
+# catches a stale experiments_output.txt after any experiment change.
+cargo test --release -q -p cmi-bench --test runner_determinism -- --ignored
+
+echo "==> perf baseline check (X18 vs committed BENCH_PERF.json)"
+# Structural fields (event/message counts, interning agreement) must
+# match the committed baseline exactly; timing fields only within a
+# generous tolerance so slow CI machines stay green. --quick skips the
+# minutes-long suite sweep, whose timings are then not compared.
+./target/release/exp_x18_perf --quick --json "$artifact_dir/bench_perf.json" \
+    --check BENCH_PERF.json > "$artifact_dir/x18.txt"
+grep -q 'counter inc (MetricId)' "$artifact_dir/x18.txt" \
+    || { echo "FAIL: X18 report lost its throughput table" >&2; exit 1; }
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism and perf baseline all passed"
