@@ -1,6 +1,6 @@
-//! X18 runner: measures the hot-path performance baseline and writes
-//! the regression-gated artifact committed at the repo root
-//! (`BENCH_PERF.json`).
+//! X19 runner: measures checker scaling (polynomial fast path vs the
+//! exhaustive search) and writes the regression-gated artifact
+//! committed at the repo root (`BENCH_CHECK.json`).
 //!
 //! Flags:
 //!   --json <path>       write the measured artifact to <path>
@@ -8,10 +8,8 @@
 //!                       committed baseline: structural fields must
 //!                       match exactly, timing fields within the
 //!                       tolerance window; exit nonzero on violation
-//!   --jobs <n>          worker count for the parallel suite pass
-//!                       (default 4)
-//!   --quick             skip the suite sweep (fast smoke run; suite
-//!                       timing fields are omitted)
+//!   --quick             skip the deep exhaustive timing point (fast
+//!                       smoke run; its timing field is omitted)
 
 use std::process::ExitCode;
 
@@ -36,24 +34,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let jobs = match flag_value(&args, "--jobs") {
-        Ok(None) => 4,
-        Ok(Some(v)) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("--jobs requires a positive integer argument");
-                return ExitCode::FAILURE;
-            }
-        },
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let quick = args.iter().any(|a| a == "--quick");
 
-    print!("{}", cmi_bench::experiments::x18_perf::run());
-    let (table, artifact) = cmi_bench::experiments::x18_perf::measure(jobs, quick);
+    print!("{}", cmi_bench::experiments::x19_checker::run());
+    let (table, artifact) = cmi_bench::experiments::x19_checker::measure(quick);
     print!("{table}");
 
     if let Some(path) = json_out {
@@ -61,7 +45,7 @@ fn main() -> ExitCode {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("X18 perf artifact written to {path}");
+        eprintln!("X19 checker artifact written to {path}");
     }
     if let Some(path) = check_path {
         let baseline = match std::fs::read_to_string(path) {
@@ -77,10 +61,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match cmi_bench::experiments::x18_perf::check(&artifact, &baseline) {
-            Ok(()) => eprintln!("perf baseline check against {path}: OK"),
+        match cmi_bench::experiments::x19_checker::check(&artifact, &baseline) {
+            Ok(()) => eprintln!("checker baseline check against {path}: OK"),
             Err(violations) => {
-                eprintln!("perf baseline check against {path}: FAILED");
+                eprintln!("checker baseline check against {path}: FAILED");
                 for v in &violations {
                     eprintln!("  - {v}");
                 }

@@ -20,9 +20,38 @@ pub mod x15_topology;
 pub mod x16_faults;
 pub mod x17_lineage;
 pub mod x18_perf;
+pub mod x19_checker;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
+
+/// Table cell for a causal verdict. A budget-exhausted `Unknown` is
+/// reported distinctly — it must never be counted as a violation.
+pub(crate) fn causal_cell(v: &cmi_checker::CausalVerdict) -> &'static str {
+    match v {
+        cmi_checker::CausalVerdict::Causal => "true",
+        cmi_checker::CausalVerdict::NotCausal(_) => "false",
+        cmi_checker::CausalVerdict::Unknown => "unknown",
+    }
+}
+
+/// Table cell for a sequential-consistency verdict, `Unknown`-distinct.
+pub(crate) fn sequential_cell(v: &cmi_checker::SequentialVerdict) -> &'static str {
+    match v {
+        cmi_checker::SequentialVerdict::Sequential(_) => "true",
+        cmi_checker::SequentialVerdict::NotSequential => "false",
+        cmi_checker::SequentialVerdict::Unknown => "unknown",
+    }
+}
+
+/// Table cell for a cache-consistency verdict, `Unknown`-distinct.
+pub(crate) fn cache_cell(v: &cmi_checker::CacheVerdict) -> &'static str {
+    match v {
+        cmi_checker::CacheVerdict::CacheConsistent => "true",
+        cmi_checker::CacheVerdict::NotCacheConsistent { .. } => "false",
+        cmi_checker::CacheVerdict::Unknown { .. } => "unknown",
+    }
+}
 
 /// Runs every experiment and concatenates the reports (the `run_all`
 /// binary's payload).
@@ -64,7 +93,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X18".into())),
+        ("suite", Json::Str("cmi experiments X1-X19".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -118,5 +147,6 @@ pub fn registry() -> Vec<Experiment> {
         ),
         ("X17 causal lineage tracing (extension)", x17_lineage::run),
         ("X18 perf baseline (extension)", x18_perf::run),
+        ("X19 checker scaling (extension)", x19_checker::run),
     ]
 }

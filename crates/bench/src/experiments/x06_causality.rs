@@ -74,8 +74,12 @@ pub fn configs() -> Vec<Config> {
     ]
 }
 
-/// Runs one configuration under one seed; returns `(ops, causal, steps)`.
-pub fn check_one(config: &Config, seed: u64) -> (usize, bool, u64) {
+/// Runs one configuration under one seed; returns `(ops, verdict, steps)`.
+///
+/// Uses the exhaustive engine explicitly: X6 *is* the Definitions 1–5
+/// oracle run of the suite (the fast path is measured against it in
+/// X19), and its `steps` column is pinned in `experiments_output.txt`.
+pub fn check_one(config: &Config, seed: u64) -> (usize, cmi_checker::CausalVerdict, u64) {
     let mut b = InterconnectBuilder::new()
         .with_vars(3)
         .with_topology(config.topology);
@@ -95,8 +99,8 @@ pub fn check_one(config: &Config, seed: u64) -> (usize, bool, u64) {
     let report = world.run(&WorkloadSpec::small().with_ops(8).with_write_fraction(0.5));
     assert!(report.outcome().is_quiescent());
     let alpha_t = report.global_history();
-    let result = causal::check(&alpha_t);
-    (alpha_t.len(), result.is_causal(), result.steps)
+    let result = causal::check_exhaustive(&alpha_t);
+    (alpha_t.len(), result.verdict, result.steps)
 }
 
 /// Runs the sweep and renders the verdict table.
@@ -115,19 +119,30 @@ pub fn run() -> String {
     for config in configs() {
         let mut ops = 0;
         let mut all = true;
+        let mut unknowns = 0u32;
         let mut max_steps = 0;
         let seeds = 5;
         for seed in 0..seeds {
-            let (n, causal, steps) = check_one(&config, seed);
+            let (n, verdict, steps) = check_one(&config, seed);
             ops = ops.max(n);
-            all &= causal;
+            match verdict {
+                cmi_checker::CausalVerdict::Unknown => unknowns += 1,
+                other => all &= other.is_causal(),
+            }
             max_steps = steps.max(max_steps);
         }
+        // A budget-exhausted run is inconclusive, not a violation:
+        // report it distinctly instead of folding it into `false`.
+        let cell = if unknowns > 0 {
+            format!("unknown({unknowns}/{seeds})")
+        } else {
+            all.to_string()
+        };
         t.row(&[
             config.label.to_string(),
             seeds.to_string(),
             ops.to_string(),
-            all.to_string(),
+            cell,
             max_steps.to_string(),
         ]);
     }
@@ -142,8 +157,8 @@ mod tests {
     #[test]
     fn x6_every_config_is_causal_on_a_seed() {
         for config in configs() {
-            let (_, causal, _) = check_one(&config, 42);
-            assert!(causal, "{} not causal", config.label);
+            let (_, verdict, _) = check_one(&config, 42);
+            assert!(verdict.is_causal(), "{} not causal", config.label);
         }
     }
 }

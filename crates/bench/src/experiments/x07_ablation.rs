@@ -45,15 +45,15 @@ pub fn adversarial_run(link: LinkSpec, seed: u64) -> RunReport {
     ])
 }
 
-/// `(causal?, first screen violation if any)`.
-pub fn verdict_of(report: &RunReport) -> (bool, String) {
+/// `(causal verdict, first screen violation if any)`.
+pub fn verdict_of(report: &RunReport) -> (cmi_checker::CausalVerdict, String) {
     let global = report.global_history();
-    let causal = causal::check(&global).is_causal();
+    let verdict = causal::check(&global).verdict;
     let violation = screen::screen(&global)
         .first_violation()
         .map(|b| b.to_string())
         .unwrap_or_else(|| "—".into());
-    (causal, violation)
+    (verdict, violation)
 }
 
 /// Runs the three arms and renders the table.
@@ -71,8 +71,8 @@ pub fn run() -> String {
             LinkSpec::new(ms(10)).with_channel(ChannelSpec::reordering(Duration::ZERO, ms(30))),
             seed,
         );
-        let (causal, _) = verdict_of(&report);
-        if !causal {
+        let (verdict, _) = verdict_of(&report);
+        if matches!(verdict, cmi_checker::CausalVerdict::NotCausal(_)) {
             nonfifo = Some((report, seed));
             break;
         }
@@ -100,14 +100,14 @@ pub fn run() -> String {
         ("non-FIFO link (channel assumption broken)", &nonfifo_report),
         ("duplicating link (exactly-once broken)", &duplicated),
     ] {
-        let (causal, violation) = verdict_of(report);
+        let (verdict, violation) = verdict_of(report);
         let differentiated = report
             .system_history(cmi_types::SystemId(1))
             .validate_differentiated()
             .is_ok();
         t.row(&[
             label.to_string(),
-            causal.to_string(),
+            super::causal_cell(&verdict).to_string(),
             differentiated.to_string(),
             violation,
         ]);
@@ -142,13 +142,14 @@ mod tests {
     #[test]
     fn x7_control_is_causal_and_ablations_are_not() {
         let ms = Duration::from_millis;
-        let (causal, _) = verdict_of(&adversarial_run(LinkSpec::new(ms(10)), 1));
-        assert!(causal);
-        let (causal, violation) = verdict_of(&adversarial_run(
+        let (verdict, _) = verdict_of(&adversarial_run(LinkSpec::new(ms(10)), 1));
+        assert!(verdict.is_causal());
+        let (verdict, violation) = verdict_of(&adversarial_run(
             LinkSpec::new(ms(10)).with_fault(IsFault::ReorderBatch { window: ms(12) }),
             1,
         ));
-        assert!(!causal);
+        // An explicit violation, not a budget-exhausted `Unknown`.
+        assert!(matches!(verdict, cmi_checker::CausalVerdict::NotCausal(_)));
         assert_ne!(violation, "—", "the screen names the bad pattern");
     }
 }

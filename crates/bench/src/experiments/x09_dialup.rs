@@ -68,11 +68,11 @@ pub fn run() -> String {
     ] {
         let report = dialup_run(up, period, 7);
         assert!(report.outcome().is_quiescent());
-        let causal = causal::check(&report.global_history()).is_causal();
+        let verdict = causal::check(&report.global_history()).verdict;
         let (median, max) = cross_latency(&report);
         t.row(&[
             label.to_string(),
-            causal.to_string(),
+            super::causal_cell(&verdict).to_string(),
             format!("{median:?}"),
             format!("{max:?}"),
         ]);

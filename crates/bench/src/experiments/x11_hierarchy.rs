@@ -30,16 +30,27 @@ pub struct ModelProfile {
     pub pram: bool,
     /// Cache consistent.
     pub cache: bool,
+    /// True when any budget-limited checker returned `Unknown`; the
+    /// corresponding flag above is then `false` but means
+    /// "inconclusive", **not** "violated".
+    pub unknown: bool,
 }
 
 /// Checks one history against all four models.
 pub fn profile(history: &History) -> ModelProfile {
+    let sequential = sequential::check(history);
+    let causal = causal::check(history);
+    let cache = cache::check(history);
+    let unknown = matches!(sequential, cmi_checker::SequentialVerdict::Unknown)
+        || matches!(causal.verdict, cmi_checker::CausalVerdict::Unknown)
+        || matches!(cache, cmi_checker::CacheVerdict::Unknown { .. });
     ModelProfile {
         linearizable: linearizable::check(history).is_linearizable(),
-        sequential: sequential::check(history).is_sequential(),
-        causal: causal::check(history).is_causal(),
+        sequential: sequential.is_sequential(),
+        causal: causal.is_causal(),
         pram: pram::check(history).is_pram(),
-        cache: cache::check(history).is_cache_consistent(),
+        cache: cache.is_cache_consistent(),
+        unknown,
     }
 }
 
@@ -213,11 +224,13 @@ pub fn run() -> String {
         (ProtocolKind::EagerFifo, "PRAM"),
         (ProtocolKind::VarSeq, "cache"),
     ];
+    let mut unknowns = 0u32;
     for (kind, target) in arms {
         let mut counts = [0u32; 5];
         for seed in 0..SEEDS {
             let h = run_protocol(kind, seed);
             let p = profile(&h);
+            unknowns += u32::from(p.unknown);
             counts[0] += u32::from(p.linearizable);
             counts[1] += u32::from(p.sequential);
             counts[2] += u32::from(p.causal);
@@ -235,6 +248,14 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.to_string());
+    if unknowns > 0 {
+        // Never fold an inconclusive check into the "not satisfied"
+        // counts silently.
+        out.push_str(&format!(
+            "\nWARNING: {unknowns} run(s) hit a checker budget (verdict\n\
+             unknown); their counts above under-report satisfaction.\n"
+        ));
+    }
 
     // The negative direction: deterministic adversarial separations.
     let mut t = Table::new(
@@ -262,10 +283,10 @@ pub fn run() -> String {
         t.row(&[
             label.to_string(),
             p.linearizable.to_string(),
-            p.sequential.to_string(),
-            p.causal.to_string(),
+            super::sequential_cell(&sequential::check(&h)).to_string(),
+            super::causal_cell(&causal::check(&h).verdict).to_string(),
             p.pram.to_string(),
-            p.cache.to_string(),
+            super::cache_cell(&cache::check(&h)).to_string(),
         ]);
     }
     out.push_str(&t.to_string());
@@ -307,11 +328,13 @@ mod tests {
     fn x11_adversarial_runs_separate_the_models() {
         // PRAM ⊋ causal: the eager counterexample is PRAM but not causal.
         let p = profile(&eager_causality_counterexample());
+        assert!(!p.unknown, "verdicts must be definitive, not budget-cut");
         assert!(p.pram, "counterexample must stay PRAM");
         assert!(!p.causal, "counterexample must violate causality");
         // cache ⊅ PRAM: the var-seq counterexample is cache consistent
         // but violates PRAM (hence causality and SC).
         let p = profile(&varseq_pram_counterexample());
+        assert!(!p.unknown, "verdicts must be definitive, not budget-cut");
         assert!(p.cache, "counterexample must stay cache consistent");
         assert!(!p.pram, "counterexample must violate PRAM");
         assert!(!p.causal);

@@ -67,16 +67,16 @@ pub fn run() -> String {
         linearizable::check(&standalone)
             .is_linearizable()
             .to_string(),
-        sequential::check(&standalone).is_sequential().to_string(),
-        causal::check(&standalone).is_causal().to_string(),
+        super::sequential_cell(&sequential::check(&standalone)).to_string(),
+        super::causal_cell(&causal::check(&standalone).verdict).to_string(),
     ]);
     let report = interconnected_atomic(1);
     let global = report.global_history();
     t.row(&[
         "α^T of two interconnected atomic systems".into(),
         linearizable::check(&global).is_linearizable().to_string(),
-        sequential::check(&global).is_sequential().to_string(),
-        causal::check(&global).is_causal().to_string(),
+        super::sequential_cell(&sequential::check(&global)).to_string(),
+        super::causal_cell(&causal::check(&global).verdict).to_string(),
     ]);
     out.push_str(&t.to_string());
     out.push_str(

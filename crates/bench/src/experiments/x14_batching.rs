@@ -39,13 +39,13 @@ pub fn batched_run(window: Option<Duration>, seed: u64) -> RunReport {
     )
 }
 
-/// `(crossings per write, median latency, max latency, causal)`.
-pub fn measure(report: &RunReport) -> (f64, Duration, Duration, bool) {
+/// `(crossings per write, median latency, max latency, causal verdict)`.
+pub fn measure(report: &RunReport) -> (f64, Duration, Duration, cmi_checker::CausalVerdict) {
     let writes = report.global_history().writes().len() as f64;
     let crossings = report.stats().crossings() as f64 / writes;
     let (median, max) = crate::experiments::x09_dialup::cross_latency(report);
-    let causal = causal::check(&report.global_history()).is_causal();
-    (crossings, median, max, causal)
+    let verdict = causal::check(&report.global_history()).verdict;
+    (crossings, median, max, verdict)
 }
 
 /// Runs the window sweep and renders the trade-off table.
@@ -69,13 +69,13 @@ pub fn run() -> String {
     ] {
         let report = batched_run(window, 7);
         assert!(report.outcome().is_quiescent());
-        let (crossings, median, max, causal) = measure(&report);
+        let (crossings, median, max, verdict) = measure(&report);
         t.row(&[
             label.to_string(),
             format!("{crossings:.2}"),
             format!("{median:?}"),
             format!("{max:?}"),
-            causal.to_string(),
+            super::causal_cell(&verdict).to_string(),
         ]);
     }
     out.push_str(&t.to_string());
@@ -95,9 +95,12 @@ mod tests {
     fn x14_batching_reduces_crossings_and_stays_causal() {
         let baseline = batched_run(None, 7);
         let batched = batched_run(Some(Duration::from_millis(50)), 7);
-        let (c0, _, m0, causal0) = measure(&baseline);
-        let (c1, _, m1, causal1) = measure(&batched);
-        assert!(causal0 && causal1, "both runs must stay causal");
+        let (c0, _, m0, verdict0) = measure(&baseline);
+        let (c1, _, m1, verdict1) = measure(&batched);
+        assert!(
+            verdict0.is_causal() && verdict1.is_causal(),
+            "both runs must stay causal"
+        );
         assert!(
             (c0 - 1.0).abs() < 1e-9,
             "the paper's protocol crosses exactly one message per write, got {c0}"

@@ -96,7 +96,7 @@ pub fn run() -> String {
     let mut row = |loss: f64, crash: bool, reliable: bool, label: &str| {
         let report = faulty_run(loss, crash, reliable, 11);
         assert!(report.outcome().is_quiescent());
-        let causal = causal::check(&report.global_history()).is_causal();
+        let verdict = causal::check(&report.global_history()).verdict;
         let (delivered, total) = cross_delivery(&report);
         let (_, max_lat) = crate::experiments::x09_dialup::cross_latency(&report);
         let m = report.metrics();
@@ -104,14 +104,14 @@ pub fn run() -> String {
             label.to_string(),
             if crash { "yes" } else { "-" }.to_string(),
             if reliable { "on" } else { "OFF" }.to_string(),
-            causal.to_string(),
+            super::causal_cell(&verdict).to_string(),
             format!("{delivered}/{total}"),
             m.counter("isp.retransmits").to_string(),
             m.counter("isp.pairs_abandoned").to_string(),
             format!("{}ms", m.counter("isp.degraded_time_ns") / 1_000_000),
             format!("{max_lat:?}"),
         ]);
-        (causal, delivered, total)
+        (verdict.is_causal(), delivered, total)
     };
     for (loss, label) in [
         (0.0, "0%"),

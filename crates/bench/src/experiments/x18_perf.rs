@@ -7,8 +7,8 @@
 //! `MetricId` fast path is observably identical to the string API, and —
 //! through the `exp_x18_perf` binary — measures counter-increment
 //! throughput, simulation events/sec, and the serial-vs-parallel wall
-//! time of the X1–X17 suite, emitting the regression-gated
-//! `BENCH_PERF.json` baseline.
+//! time of the rest of the suite (every experiment but X18 itself),
+//! emitting the regression-gated `BENCH_PERF.json` baseline.
 //!
 //! The registry `run()` below prints only deterministic quantities, so
 //! `experiments_output.txt` stays byte-reproducible; wall-clock numbers
@@ -95,8 +95,8 @@ pub fn run() -> String {
     out
 }
 
-/// One timed pass over the X1–X17 registry (X18 itself excluded so the
-/// sweep cannot recurse) with `jobs` workers. Returns (wall time, byte
+/// One timed pass over the registry (X18 itself excluded so the sweep
+/// cannot recurse) with `jobs` workers. Returns (wall time, byte
 /// length of the concatenated reports).
 fn time_suite(jobs: usize) -> (Duration, usize) {
     let reg: Vec<_> = super::registry()
@@ -176,7 +176,7 @@ pub fn measure(parallel_jobs: usize, quick: bool) -> (String, Json) {
         );
         let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
         let mut t = Table::new(
-            &format!("X1-X17 suite wall time, serial vs --jobs {parallel_jobs}"),
+            &format!("suite wall time (all but X18), serial vs --jobs {parallel_jobs}"),
             &["mode", "wall", "speedup"],
         );
         t.row(&[

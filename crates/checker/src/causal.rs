@@ -24,6 +24,10 @@
 //! On success the checker returns the found views as machine-checkable
 //! witnesses; `debug_assert`-level re-validation of witnesses is part of
 //! the test-suite.
+//!
+//! [`check`] only falls back to this search for histories that re-write
+//! a value; write-distinct histories are decided by the polynomial fast
+//! path in [`crate::wio`] (see [`CheckEngine`]).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -71,6 +75,29 @@ impl fmt::Display for CausalViolation {
     }
 }
 
+/// Which decision procedure produced a [`CausalReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckEngine {
+    /// The polynomial necessary-condition screen ([`crate::screen`])
+    /// rejected the history before any search ran.
+    Screen,
+    /// The polynomial fast path ([`crate::wio`]) — definitive (never
+    /// [`CausalVerdict::Unknown`]) on write-distinct histories.
+    FastPath,
+    /// The exhaustive Definitions 1–5 backtracking search.
+    Exhaustive,
+}
+
+impl fmt::Display for CheckEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckEngine::Screen => write!(f, "screen"),
+            CheckEngine::FastPath => write!(f, "fast-path"),
+            CheckEngine::Exhaustive => write!(f, "exhaustive"),
+        }
+    }
+}
+
 /// Full result of a causal check, with per-process view witnesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CausalReport {
@@ -78,10 +105,16 @@ pub struct CausalReport {
     pub verdict: CausalVerdict,
     /// For each process, a causal view of its projection (operation ids
     /// of the checked history, in view order). Populated only when the
-    /// verdict is [`CausalVerdict::Causal`].
+    /// verdict is [`CausalVerdict::Causal`] *and* the deciding engine is
+    /// [`CheckEngine::Exhaustive`] — the fast path proves causality
+    /// without materializing views (use [`check_exhaustive`] when a
+    /// witness is wanted).
     pub views: BTreeMap<ProcId, Vec<OpId>>,
-    /// Backtracking steps spent.
+    /// Search steps spent (backtracking steps for the exhaustive
+    /// engine, deterministic propagation work units for the fast path).
     pub steps: u64,
+    /// Which engine decided.
+    pub engine: CheckEngine,
 }
 
 impl CausalReport {
@@ -94,9 +127,16 @@ impl CausalReport {
 /// Default backtracking budget (steps across all processes).
 pub const DEFAULT_BUDGET: u64 = 20_000_000;
 
-/// Screens for cheap necessary conditions, then runs the exhaustive
-/// search with the default budget. This is the checker the experiments
-/// use.
+/// The default causal checker — the one the experiments use.
+///
+/// Write-distinct (differentiated) histories — every history the
+/// simulator produces — go to the polynomial fast path
+/// ([`crate::wio`]), which is definitive: it never returns
+/// [`CausalVerdict::Unknown`] and needs no backtracking. Histories
+/// that re-write a value (hand-crafted ablations) fall back to the
+/// necessary-condition screen followed by the exhaustive search with
+/// the default budget. [`CausalReport::engine`] records which engine
+/// decided.
 ///
 /// # Example
 ///
@@ -109,6 +149,9 @@ pub const DEFAULT_BUDGET: u64 = 20_000_000;
 /// assert!(!causal::check(&litmus::causality_violation()).is_causal());
 /// ```
 pub fn check(history: &History) -> CausalReport {
+    if history.validate_differentiated().is_ok() {
+        return crate::wio::check(history);
+    }
     if let Some(bad) = screen::screen(history).first_violation() {
         return CausalReport {
             verdict: CausalVerdict::NotCausal(CausalViolation {
@@ -117,6 +160,7 @@ pub fn check(history: &History) -> CausalReport {
             }),
             views: BTreeMap::new(),
             steps: 0,
+            engine: CheckEngine::Screen,
         };
     }
     check_exhaustive_with_budget(history, DEFAULT_BUDGET)
@@ -128,6 +172,15 @@ pub fn check_exhaustive(history: &History) -> CausalReport {
 }
 
 /// Pure Definitions 1–5 search with an explicit step budget.
+///
+/// **Budget semantics:** `budget` bounds the *total* backtracking steps
+/// spent across all per-process view searches — one shared pool, spent
+/// in process order — unlike [`crate::cache::check_with_budget`], which
+/// grants the full budget to each per-variable sub-check. A shared pool
+/// is the right shape here because the per-process searches all walk
+/// the same projection size and a single pathological process should
+/// starve the whole check rather than silently absorb `procs × budget`
+/// steps.
 pub fn check_exhaustive_with_budget(history: &History, budget: u64) -> CausalReport {
     let co = CausalOrder::build(history);
     if co.is_cyclic() {
@@ -138,6 +191,7 @@ pub fn check_exhaustive_with_budget(history: &History, budget: u64) -> CausalRep
             }),
             views: BTreeMap::new(),
             steps: 0,
+            engine: CheckEngine::Exhaustive,
         };
     }
     let mut views = BTreeMap::new();
@@ -161,6 +215,7 @@ pub fn check_exhaustive_with_budget(history: &History, budget: u64) -> CausalRep
                     }),
                     views: BTreeMap::new(),
                     steps: steps_total,
+                    engine: CheckEngine::Exhaustive,
                 };
             }
             SearchResult::Budget => {
@@ -168,6 +223,7 @@ pub fn check_exhaustive_with_budget(history: &History, budget: u64) -> CausalRep
                     verdict: CausalVerdict::Unknown,
                     views: BTreeMap::new(),
                     steps: steps_total,
+                    engine: CheckEngine::Exhaustive,
                 };
             }
         }
@@ -176,6 +232,7 @@ pub fn check_exhaustive_with_budget(history: &History, budget: u64) -> CausalRep
         verdict: CausalVerdict::Causal,
         views,
         steps: steps_total,
+        engine: CheckEngine::Exhaustive,
     }
 }
 
@@ -520,11 +577,59 @@ mod tests {
         let v = Value::new(p(0), 1);
         w(&mut h, p(0), 0, v, 1);
         r(&mut h, p(1), 0, Some(v), 2);
+        // The default checker takes the fast path (no witnesses) …
         let report = check(&h);
         assert!(report.is_causal());
+        assert_eq!(report.engine, CheckEngine::FastPath);
+        assert!(report.views.is_empty());
+        // … the exhaustive oracle materializes validating views.
+        let report = check_exhaustive(&h);
+        assert!(report.is_causal());
+        assert_eq!(report.engine, CheckEngine::Exhaustive);
+        assert_eq!(report.views.len(), h.procs().len());
         for (proc, view) in &report.views {
             validate_view(&h, *proc, view).expect("witness must validate");
         }
+    }
+
+    #[test]
+    fn non_write_distinct_histories_fall_back_to_the_exhaustive_engine() {
+        // The same value written twice to the same variable: the fast
+        // path's write-distinctness precondition fails, so check() must
+        // route to screen + exhaustive search.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        w(&mut h, p(0), 0, v, 1);
+        w(&mut h, p(1), 0, v, 2);
+        r(&mut h, p(2), 0, Some(v), 3);
+        assert!(h.validate_differentiated().is_err());
+        let report = check(&h);
+        assert!(report.is_causal());
+        assert_eq!(report.engine, CheckEngine::Exhaustive);
+    }
+
+    /// Pins the shared-pool budget semantics documented on
+    /// [`check_exhaustive_with_budget`]: the exact step total of a
+    /// multi-process causal history suffices as a budget, one step less
+    /// flips the verdict to `Unknown` (a per-process pool would pass).
+    #[test]
+    fn exhaustive_budget_is_shared_across_processes() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        w(&mut h, p(1), 1, u, 3);
+        r(&mut h, p(0), 1, Some(u), 4);
+        let full = check_exhaustive(&h);
+        assert!(full.is_causal());
+        assert!(full.steps > 1, "two non-trivial per-process searches");
+        assert!(check_exhaustive_with_budget(&h, full.steps).is_causal());
+        assert_eq!(
+            check_exhaustive_with_budget(&h, full.steps - 1).verdict,
+            CausalVerdict::Unknown,
+            "the pool is shared: the last process's search runs out"
+        );
     }
 
     /// The classic causal-memory example: concurrent writes may be seen

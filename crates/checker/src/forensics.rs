@@ -109,8 +109,19 @@ fn update_of(history: &History, id: OpId) -> Option<UpdateId> {
 /// ```
 pub fn forensics(history: &History, lineage: Option<&LineageRecorder>) -> ForensicsReport {
     let screened = screen::screen(history);
+    explain(history, screened.violations(), lineage)
+}
+
+/// Explains an already-detected list of bad patterns (from
+/// [`screen::screen`] or from the fast-path checker [`crate::wio`])
+/// without re-running any detector.
+pub fn explain(
+    history: &History,
+    patterns: &[BadPattern],
+    lineage: Option<&LineageRecorder>,
+) -> ForensicsReport {
     let mut findings = Vec::new();
-    for pattern in screened.violations() {
+    for pattern in patterns {
         let (ops, broken_edge, mut narrative) = match pattern {
             BadPattern::ThinAirRead { read } => (
                 vec![*read],
@@ -149,6 +160,39 @@ pub fn forensics(history: &History, lineage: Option<&LineageRecorder>) -> Forens
                     op_text(history, *interposed),
                     op_text(history, *read)
                 ),
+            ),
+            BadPattern::WriteHbRead {
+                write,
+                interposed,
+                read,
+            } => (
+                vec![*write, *interposed, *read],
+                Some((*write, *interposed)),
+                format!(
+                    "broken happens-before edge {write} → {interposed} for {}: {} is \
+                     overwritten by {} in the reader's view, but {} still returns the \
+                     overwritten value",
+                    history.op(*read).proc,
+                    op_text(history, *write),
+                    op_text(history, *interposed),
+                    op_text(history, *read)
+                ),
+            ),
+            BadPattern::WriteHbInitRead { write, read } => (
+                vec![*write, *read],
+                Some((*write, *read)),
+                format!(
+                    "broken happens-before edge {write} → {read} for {}: {} is before \
+                     {} in the reader's view, which still returns ⊥",
+                    history.op(*read).proc,
+                    op_text(history, *write),
+                    op_text(history, *read)
+                ),
+            ),
+            BadPattern::CyclicHb { proc } => (
+                Vec::new(),
+                None,
+                format!("the saturated happens-before of {proc} is cyclic: no legal view exists"),
             ),
         };
         let mut updates: Vec<UpdateId> = ops

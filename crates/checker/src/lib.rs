@@ -16,6 +16,12 @@
 //! * [`screen`] — a polynomial necessary-condition screen (thin-air
 //!   reads, cyclic causal order, overwritten-value reads) that catches
 //!   almost all violations cheaply before the exhaustive search runs.
+//! * [`wio`] — the polynomial **fast-path** causal checker over the
+//!   writes-into order: definitive on write-distinct histories (every
+//!   history the simulator produces), scaling to 100k-op computations
+//!   where the exhaustive search cannot go. [`causal::check`] uses it
+//!   by default and records the deciding engine in
+//!   [`causal::CheckEngine`].
 //! * [`sequential`] — an exhaustive sequential-consistency checker, used
 //!   to demonstrate the paper's Section 1.1 remark that interconnecting
 //!   two sequential systems yields a system that is causal but "most
@@ -47,9 +53,10 @@ pub mod screen;
 pub mod sequential;
 pub mod session;
 pub mod trace;
+pub mod wio;
 
 pub use cache::CacheVerdict;
-pub use causal::{CausalReport, CausalVerdict, CausalViolation};
+pub use causal::{CausalReport, CausalVerdict, CausalViolation, CheckEngine};
 pub use forensics::{Finding, ForensicsReport};
 pub use linearizable::LinearizableVerdict;
 pub use order::CausalOrder;

@@ -21,11 +21,17 @@
 
 use std::fmt;
 
-use cmi_types::{History, OpId, ReadSource};
+use cmi_types::{History, OpId, ProcId, ReadSource};
 
 use crate::order::CausalOrder;
 
 /// One detected necessary-condition violation.
+///
+/// The first four variants are the causal-consistency patterns this
+/// module's [`screen`] scans for. The `…Hb…` variants are the stronger
+/// causal-*memory* patterns over the per-process saturated
+/// happens-before relation `hb_i`; they are produced by the fast-path
+/// checker ([`crate::wio`]), never by [`screen`] itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BadPattern {
     /// A read of a never-written value.
@@ -51,6 +57,30 @@ pub enum BadPattern {
         /// The offending read.
         read: OpId,
     },
+    /// `w₁(x)v hbᵢ w₂(x)u hbᵢ r(x)v` — the read's dictating write is
+    /// overwritten in the reading process's saturated happens-before,
+    /// even though the two writes may be concurrent in `→→`.
+    WriteHbRead {
+        /// The write whose value the read returns.
+        write: OpId,
+        /// The write interposed in `hb_i`.
+        interposed: OpId,
+        /// The offending read (its process is the `i` of `hb_i`).
+        read: OpId,
+    },
+    /// `w(x)· hbᵢ r(x)⊥`.
+    WriteHbInitRead {
+        /// A write to the read's variable that is `hb_i`-before it.
+        write: OpId,
+        /// The offending initial-value read.
+        read: OpId,
+    },
+    /// Saturating `hb_i` forces a cycle among the writes: no legal
+    /// serialization of process `proc`'s projection exists.
+    CyclicHb {
+        /// The process whose happens-before is cyclic.
+        proc: ProcId,
+    },
 }
 
 impl fmt::Display for BadPattern {
@@ -72,6 +102,22 @@ impl fmt::Display for BadPattern {
                 f,
                 "stale read at {read}: {write} causally overwritten by {interposed}"
             ),
+            BadPattern::WriteHbRead {
+                write,
+                interposed,
+                read,
+            } => write!(
+                f,
+                "stale read at {read}: {write} overwritten by {interposed} in the \
+                 reader's happens-before"
+            ),
+            BadPattern::WriteHbInitRead { write, read } => write!(
+                f,
+                "read of ⊥ at {read} despite write {write} in the reader's happens-before"
+            ),
+            BadPattern::CyclicHb { proc } => {
+                write!(f, "saturated happens-before of {proc} is cyclic")
+            }
         }
     }
 }

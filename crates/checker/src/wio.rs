@@ -1,0 +1,694 @@
+//! Polynomial fast-path causal checker over the writes-into order.
+//!
+//! The exhaustive checker ([`crate::causal`]) decides causal memory by
+//! backtracking over per-process schedules — complete, but worst-case
+//! exponential and capped by a step budget. For **write-distinct**
+//! histories (the paper's differentiated-history assumption, which the
+//! simulator guarantees by construction since every [`Value`] carries a
+//! globally unique update id) causal memory admits a polynomial
+//! characterization by *bad patterns* (Bouajjani, Enea, Guerraoui &
+//! Hamza, *"On verifying causal consistency"*, POPL 2017): a history is
+//! causal iff none of the following occur
+//!
+//! * [`BadPattern::ThinAirRead`], [`BadPattern::CyclicCausalOrder`],
+//!   [`BadPattern::WriteCoInitRead`], [`BadPattern::WriteCoRead`] — the
+//!   causal-consistency patterns over the causal order `→→` (program
+//!   order ∪ writes-into, transitively closed);
+//! * [`BadPattern::WriteHbRead`], [`BadPattern::WriteHbInitRead`],
+//!   [`BadPattern::CyclicHb`] — the causal-*memory* patterns over the
+//!   per-process **saturated happens-before** `hb_i`: the smallest
+//!   transitive relation on the projection `α_i` containing
+//!   `→→ ∩ (α_i × α_i)` and closed under *if read `r` of process `i`
+//!   returns the value of `w₁` and another write `w₂` to the same
+//!   variable is `hb_i`-before `r`, then `w₂` is `hb_i`-before `w₁`*
+//!   (the read pins its dictating write as the latest one).
+//!
+//! # Implementation
+//!
+//! Everything is vector clocks — the `O(n²)` reachability bitsets of
+//! [`crate::order::CausalOrder`] are never materialized, which is what
+//! lets the fast path scale to 100k-op histories (X19):
+//!
+//! 1. one Kahn topological pass over program-order + writes-into edges
+//!    builds, per operation, the clock `vc[op][q]` = number of process
+//!    `q`'s operations causally at-or-before `op` — `O(n·p)` memory,
+//!    `O(1)` precedence queries, and a cycle check for free;
+//! 2. the `Co` patterns reduce to binary searches of per-(variable,
+//!    process) write lists against each read's clock;
+//! 3. per process `i`, `hb_i` is saturated by monotone clock
+//!    propagation over explicit edges (projection chains, writes-into
+//!    edges into `i`'s reads, and shortcut edges through the removed
+//!    reads of other processes); each saturation round only ever
+//!    *grows* clocks bounded by chain lengths, so the fixpoint — and
+//!    termination — is guaranteed, no backtracking anywhere.
+//!
+//! The result is definitive: [`check`] never returns
+//! [`CausalVerdict::Unknown`]. Callers needing a schedule witness or a
+//! non-write-distinct history checked use the exhaustive engine.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cmi_types::{History, OpId, ProcId, ReadSource, VarId};
+
+use crate::causal::{CausalReport, CausalVerdict, CausalViolation, CheckEngine};
+use crate::screen::BadPattern;
+
+/// Outcome of the fast path: the verdict, the named bad pattern (for
+/// [`crate::forensics::explain`]) and the deterministic work counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastOutcome {
+    /// [`CausalVerdict::Causal`] or [`CausalVerdict::NotCausal`] —
+    /// never [`CausalVerdict::Unknown`].
+    pub verdict: CausalVerdict,
+    /// The first bad pattern found, when the verdict is `NotCausal`.
+    pub pattern: Option<BadPattern>,
+    /// Deterministic propagation work units spent.
+    pub steps: u64,
+}
+
+/// Runs the fast path and wraps the outcome as a [`CausalReport`]
+/// (engine [`CheckEngine::FastPath`], no view witnesses).
+///
+/// The caller is responsible for write-distinctness
+/// ([`History::validate_differentiated`]); on histories that re-write a
+/// value the verdict is not meaningful. [`crate::causal::check`] guards
+/// this and falls back to the exhaustive engine.
+pub fn check(history: &History) -> CausalReport {
+    let outcome = analyze(history);
+    CausalReport {
+        verdict: outcome.verdict,
+        views: BTreeMap::new(),
+        steps: outcome.steps,
+        engine: CheckEngine::FastPath,
+    }
+}
+
+/// Decides causal memory for a write-distinct history, returning the
+/// first bad pattern found (scanning reads in operation order, like the
+/// screen) or a causal verdict.
+pub fn analyze(history: &History) -> FastOutcome {
+    Analysis::new(history).run()
+}
+
+fn violation_of(history: &History, pattern: &BadPattern) -> CausalViolation {
+    let proc = match pattern {
+        BadPattern::WriteHbRead { read, .. } | BadPattern::WriteHbInitRead { read, .. } => {
+            Some(history.op(*read).proc)
+        }
+        BadPattern::CyclicHb { proc } => Some(*proc),
+        _ => None,
+    };
+    CausalViolation {
+        proc,
+        detail: format!("fast path: {pattern}"),
+    }
+}
+
+/// Working state shared by the analysis phases.
+struct Analysis<'a> {
+    history: &'a History,
+    n: usize,
+    /// Dense process table (BTreeMap order: deterministic).
+    procs: Vec<ProcId>,
+    np: usize,
+    /// Dense process index per op.
+    pix: Vec<u32>,
+    /// Position within the issuing process's full chain, per op.
+    cpos: Vec<u32>,
+    /// Per process, its ops in program order.
+    chains: Vec<Vec<OpId>>,
+    /// Resolved read sources (`None` for writes).
+    reads_from: Vec<Option<ReadSource>>,
+    /// Dense variable index.
+    var_ix: HashMap<VarId, usize>,
+    /// Per (variable, process): the process's writes to that variable as
+    /// `(chain position, op)`, in chain order (so sorted by both).
+    wvp: Vec<Vec<Vec<(u32, OpId)>>>,
+    /// Causal-order clocks, `vc[op·np + q]` = number of `q`'s ops
+    /// causally at-or-before `op`.
+    vc: Vec<u32>,
+    steps: u64,
+}
+
+impl<'a> Analysis<'a> {
+    fn new(history: &'a History) -> Self {
+        let n = history.len();
+        let by_proc = history.by_process();
+        let procs: Vec<ProcId> = by_proc.keys().copied().collect();
+        let np = procs.len();
+        let chains: Vec<Vec<OpId>> = procs.iter().map(|p| by_proc[p].clone()).collect();
+        let mut pix = vec![0u32; n];
+        let mut cpos = vec![0u32; n];
+        for (q, chain) in chains.iter().enumerate() {
+            for (k, &op) in chain.iter().enumerate() {
+                pix[op.index()] = q as u32;
+                cpos[op.index()] = k as u32;
+            }
+        }
+        let mut var_ix = HashMap::new();
+        for rec in history.iter() {
+            let next = var_ix.len();
+            var_ix.entry(rec.var).or_insert(next);
+        }
+        let mut wvp = vec![vec![Vec::new(); np]; var_ix.len()];
+        for chain in &chains {
+            for &op in chain {
+                let rec = history.op(op);
+                if rec.kind.is_write() {
+                    wvp[var_ix[&rec.var]][pix[op.index()] as usize].push((cpos[op.index()], op));
+                }
+            }
+        }
+        Analysis {
+            history,
+            n,
+            procs,
+            np,
+            pix,
+            cpos,
+            chains,
+            reads_from: history.reads_from(),
+            var_ix,
+            wvp,
+            vc: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    fn run(mut self) -> FastOutcome {
+        if self.n == 0 {
+            return self.causal();
+        }
+        // Thin-air reads make further causal reasoning moot.
+        for (i, src) in self.reads_from.iter().enumerate() {
+            if matches!(src, Some(ReadSource::ThinAir)) {
+                return self.bad(BadPattern::ThinAirRead {
+                    read: OpId(i as u64),
+                });
+            }
+        }
+        if !self.build_clocks() {
+            return self.bad(BadPattern::CyclicCausalOrder);
+        }
+        if let Some(pattern) = self.co_patterns() {
+            return self.bad(pattern);
+        }
+        for q in 0..self.np {
+            if let Some(pattern) = self.saturate(q) {
+                return self.bad(pattern);
+            }
+        }
+        self.causal()
+    }
+
+    fn causal(self) -> FastOutcome {
+        FastOutcome {
+            verdict: CausalVerdict::Causal,
+            pattern: None,
+            steps: self.steps,
+        }
+    }
+
+    fn bad(self, pattern: BadPattern) -> FastOutcome {
+        FastOutcome {
+            verdict: CausalVerdict::NotCausal(violation_of(self.history, &pattern)),
+            pattern: Some(pattern),
+            steps: self.steps,
+        }
+    }
+
+    /// Kahn topological pass over program-order + writes-into edges,
+    /// filling `vc`. Returns `false` on a causal-order cycle.
+    fn build_clocks(&mut self) -> bool {
+        let (n, np) = (self.n, self.np);
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut indeg = vec![0u32; n];
+        for chain in &self.chains {
+            for pair in chain.windows(2) {
+                succ[pair[0].index()].push(pair[1].index() as u32);
+                indeg[pair[1].index()] += 1;
+            }
+        }
+        for (i, src) in self.reads_from.iter().enumerate() {
+            if let Some(ReadSource::Write(w)) = src {
+                succ[w.index()].push(i as u32);
+                indeg[i] += 1;
+            }
+        }
+        self.vc = vec![0u32; n * np];
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            let u = u as usize;
+            seen += 1;
+            // All predecessors have been folded in; stamp our own
+            // component, then push the finished clock to successors.
+            self.vc[u * np + self.pix[u] as usize] = self.cpos[u] + 1;
+            self.steps += 1 + (np * succ[u].len()) as u64;
+            for k in 0..succ[u].len() {
+                let s = succ[u][k] as usize;
+                for q in 0..np {
+                    let uv = self.vc[u * np + q];
+                    if self.vc[s * np + q] < uv {
+                        self.vc[s * np + q] = uv;
+                    }
+                }
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    stack.push(s as u32);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// The causal-consistency patterns (`WriteCoInitRead`,
+    /// `WriteCoRead`), scanning reads in operation order and picking the
+    /// first qualifying write in observation order — the same instance
+    /// [`crate::screen::screen`] reports.
+    fn co_patterns(&mut self) -> Option<BadPattern> {
+        for (i, src) in self.reads_from.iter().enumerate() {
+            let read = OpId(i as u64);
+            let v = self.var_ix[&self.history.op(read).var];
+            self.steps += self.np as u64;
+            match src {
+                Some(ReadSource::Initial) => {
+                    // Any causally earlier write to the same variable
+                    // forbids ⊥; the earliest candidate per process chain
+                    // is its first write, so the overall first-in-
+                    // observation-order one is the min op id over chains.
+                    let mut best: Option<OpId> = None;
+                    for q in 0..self.np {
+                        if let Some(&(c, w)) = self.wvp[v][q].first() {
+                            if c < self.vc[i * self.np + q] && best.is_none_or(|b| w < b) {
+                                best = Some(w);
+                            }
+                        }
+                    }
+                    if let Some(write) = best {
+                        return Some(BadPattern::WriteCoInitRead { write, read });
+                    }
+                }
+                Some(ReadSource::Write(w0)) => {
+                    // An intervening write w0 →→ w →→ r to the same
+                    // variable makes the read stale in every causal view.
+                    // Per chain the candidates form a contiguous run
+                    // (→→ r bounds it above, w0 →→ · is monotone along
+                    // the chain), so two binary searches find the
+                    // earliest; min over chains matches the screen.
+                    let mut best: Option<OpId> = None;
+                    let (p0, c0) = (self.pix[w0.index()] as usize, self.cpos[w0.index()]);
+                    for q in 0..self.np {
+                        let list = &self.wvp[v][q];
+                        let hi = list.partition_point(|&(c, _)| c < self.vc[i * self.np + q]);
+                        let lo = list[..hi]
+                            .partition_point(|&(_, w)| self.vc[w.index() * self.np + p0] <= c0);
+                        for &(_, w) in &list[lo..hi] {
+                            if w != *w0 {
+                                if best.is_none_or(|b| w < b) {
+                                    best = Some(w);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(interposed) = best {
+                        return Some(BadPattern::WriteCoRead {
+                            write: *w0,
+                            interposed,
+                            read,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Saturates `hb_i` for the process with dense index `i` and scans
+    /// for the causal-memory patterns. Returns the first violation.
+    fn saturate(&mut self, i: usize) -> Option<BadPattern> {
+        let np = self.np;
+        let proc = self.procs[i];
+        let my_reads: Vec<OpId> = self.chains[i]
+            .iter()
+            .copied()
+            .filter(|&op| self.history.op(op).kind.is_read())
+            .collect();
+        if my_reads.is_empty() {
+            // hb_i ⊆ a restriction of the (acyclic) causal order and the
+            // saturation rule never fires: nothing to check.
+            return None;
+        }
+
+        // ---- Build the projection α_i: all writes + i's reads. ----
+        const NOT_A_NODE: u32 = u32::MAX;
+        let mut node_of = vec![NOT_A_NODE; self.n];
+        let mut nodes: Vec<OpId> = Vec::new();
+        for rec in self.history.iter() {
+            if rec.kind.is_write() || rec.proc == proc {
+                node_of[rec.id.index()] = nodes.len() as u32;
+                nodes.push(rec.id);
+            }
+        }
+        let m = nodes.len();
+
+        // Per-process chains within α_i, each node's position in its
+        // chain, and the prefix table mapping full-chain counts to
+        // α_i-chain counts (to project the causal-order clocks).
+        let mut anodes: Vec<Vec<u32>> = vec![Vec::new(); np];
+        let mut acpos = vec![0u32; m];
+        let mut pref: Vec<Vec<u32>> = Vec::with_capacity(np);
+        for q in 0..np {
+            let chain = &self.chains[q];
+            let mut table = Vec::with_capacity(chain.len() + 1);
+            table.push(0u32);
+            for &op in chain {
+                let mut c = *table.last().expect("seeded");
+                if node_of[op.index()] != NOT_A_NODE {
+                    let node = node_of[op.index()];
+                    acpos[node as usize] = anodes[q].len() as u32;
+                    anodes[q].push(node);
+                    c += 1;
+                }
+                table.push(c);
+            }
+            pref.push(table);
+        }
+        let achain: Vec<u32> = nodes.iter().map(|&op| self.pix[op.index()]).collect();
+
+        // hb clocks: hvc[node·np + q] = number of q's α_i-chain ops
+        // hb_i-at-or-before node. Seeded from the causal-order clocks
+        // (→→ ∩ (α_i × α_i), including paths through removed reads).
+        let mut hvc = vec![0u32; m * np];
+        for (node, &op) in nodes.iter().enumerate() {
+            for q in 0..np {
+                hvc[node * np + q] = pref[q][self.vc[op.index() * np + q] as usize];
+            }
+        }
+        self.steps += (m * np) as u64;
+
+        // Explicit propagation edges: α_i chain edges, writes-into edges
+        // to i's own reads, and shortcut edges through removed reads of
+        // other processes (a removed read only has program-order
+        // out-edges, so its causal successors are reachable through the
+        // next α_i op of its chain). Together these generate exactly
+        // →→ ∩ (α_i × α_i), so pushing a grown clock along them reaches
+        // every node whose clock must grow.
+        let mut ssucc: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for q in 0..np {
+            for pair in anodes[q].windows(2) {
+                ssucc[pair[0] as usize].push(pair[1]);
+            }
+        }
+        for (r, src) in self.reads_from.iter().enumerate() {
+            let Some(ReadSource::Write(w)) = src else {
+                continue;
+            };
+            let wnode = node_of[w.index()];
+            if node_of[r] != NOT_A_NODE {
+                ssucc[wnode as usize].push(node_of[r]);
+            } else {
+                let q = self.pix[r] as usize;
+                let c = pref[q][self.cpos[r] as usize] as usize;
+                if c < anodes[q].len() {
+                    ssucc[wnode as usize].push(anodes[q][c]);
+                }
+            }
+        }
+
+        // Per (variable, chain) write lists inside α_i, by chain
+        // position (all writes are in α_i, so this is a re-index of
+        // `wvp` onto α_i chain positions).
+        let mut awvp = vec![vec![Vec::new(); np]; self.var_ix.len()];
+        for q in 0..np {
+            for &node in &anodes[q] {
+                let rec = self.history.op(nodes[node as usize]);
+                if rec.kind.is_write() {
+                    awvp[self.var_ix[&rec.var]][q].push((acpos[node as usize], node));
+                }
+            }
+        }
+
+        // ---- Saturation fixpoint. ----
+        // Each round rescans i's reads; for each read and chain only the
+        // hb-latest same-variable write matters (earlier writes of the
+        // chain reach the dictating write transitively through it). A
+        // round that adds no edge is the fixpoint; every added edge
+        // grows a clock, and clocks are bounded by chain lengths, so
+        // termination is guaranteed.
+        let mut worklist: Vec<u32> = Vec::new();
+        loop {
+            let mut changed = false;
+            for &r in &my_reads {
+                let rn = node_of[r.index()] as usize;
+                let v = self.var_ix[&self.history.op(r).var];
+                let src = self.reads_from[r.index()];
+                self.steps += np as u64;
+                for q in 0..np {
+                    let list = &awvp[v][q];
+                    let hi = list.partition_point(|&(c, _)| c < hvc[rn * np + q]);
+                    let Some(&(c2, w2)) = list[..hi].last() else {
+                        continue;
+                    };
+                    match src {
+                        Some(ReadSource::Initial) => {
+                            return Some(BadPattern::WriteHbInitRead {
+                                write: nodes[w2 as usize],
+                                read: r,
+                            });
+                        }
+                        Some(ReadSource::Write(w1)) => {
+                            let w1n = node_of[w1.index()];
+                            if w2 == w1n || hvc[w1n as usize * np + q] > c2 {
+                                continue; // already hb-ordered before w1
+                            }
+                            // The rule demands w2 hb_i w1; if w1 is
+                            // already hb_i-before w2 the edge closes a
+                            // cycle — the stale-read-in-hb pattern.
+                            let cw1 = achain[w1n as usize] as usize;
+                            if hvc[w2 as usize * np + cw1] > acpos[w1n as usize] {
+                                return Some(BadPattern::WriteHbRead {
+                                    write: w1,
+                                    interposed: nodes[w2 as usize],
+                                    read: r,
+                                });
+                            }
+                            ssucc[w2 as usize].push(w1n);
+                            changed = true;
+                            // Fold w2's clock into w1 and propagate the
+                            // growth (monotone, push-based).
+                            worklist.clear();
+                            if Self::join(&mut hvc, np, w2 as usize, w1n as usize) {
+                                if hvc[w1n as usize * np + cw1] > acpos[w1n as usize] + 1 {
+                                    return Some(BadPattern::CyclicHb { proc });
+                                }
+                                worklist.push(w1n);
+                            }
+                            while let Some(u) = worklist.pop() {
+                                self.steps += (np * ssucc[u as usize].len()) as u64;
+                                for k in 0..ssucc[u as usize].len() {
+                                    let s = ssucc[u as usize][k];
+                                    if Self::join(&mut hvc, np, u as usize, s as usize) {
+                                        let cs = achain[s as usize] as usize;
+                                        if hvc[s as usize * np + cs] > acpos[s as usize] + 1 {
+                                            return Some(BadPattern::CyclicHb { proc });
+                                        }
+                                        worklist.push(s);
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !changed {
+                return None;
+            }
+        }
+    }
+
+    /// `hvc[dst] ← hvc[dst] ⊔ hvc[src]`; `true` if `dst` grew.
+    fn join(hvc: &mut [u32], np: usize, src: usize, dst: usize) -> bool {
+        let mut grew = false;
+        for q in 0..np {
+            let sv = hvc[src * np + q];
+            if hvc[dst * np + q] < sv {
+                hvc[dst * np + q] = sv;
+                grew = true;
+            }
+        }
+        grew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmi_types::{OpRecord, SimTime, SystemId, Value};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(SystemId(0), i)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    fn w(h: &mut History, proc: ProcId, var: u32, val: Value, at: u64) {
+        h.record(OpRecord::write(proc, VarId(var), val, t(at)));
+    }
+
+    fn r(h: &mut History, proc: ProcId, var: u32, val: Option<Value>, at: u64) {
+        h.record(OpRecord::read(proc, VarId(var), val, t(at)));
+    }
+
+    #[test]
+    fn empty_history_is_causal() {
+        let out = analyze(&History::new());
+        assert_eq!(out.verdict, CausalVerdict::Causal);
+        assert_eq!(out.pattern, None);
+    }
+
+    #[test]
+    fn simple_propagation_is_causal() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        assert_eq!(analyze(&h).verdict, CausalVerdict::Causal);
+    }
+
+    #[test]
+    fn thin_air_read_is_named() {
+        let mut h = History::new();
+        r(&mut h, p(0), 0, Some(Value::new(p(9), 9)), 1);
+        let out = analyze(&h);
+        assert_eq!(out.pattern, Some(BadPattern::ThinAirRead { read: OpId(0) }));
+    }
+
+    #[test]
+    fn section3_counterexample_is_a_write_co_read() {
+        // w(x)v →→ w(x)u, p2 reads u then v.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        let u = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        w(&mut h, p(1), 0, u, 3);
+        r(&mut h, p(2), 0, Some(u), 4);
+        r(&mut h, p(2), 0, Some(v), 5);
+        let out = analyze(&h);
+        assert_eq!(
+            out.pattern,
+            Some(BadPattern::WriteCoRead {
+                write: OpId(0),
+                interposed: OpId(2),
+                read: OpId(4),
+            }),
+            "same instance the screen reports"
+        );
+    }
+
+    #[test]
+    fn init_read_after_seen_write_is_a_write_co_init_read() {
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        w(&mut h, p(0), 0, v, 1);
+        r(&mut h, p(1), 0, Some(v), 2);
+        r(&mut h, p(1), 0, None, 3);
+        let out = analyze(&h);
+        assert_eq!(
+            out.pattern,
+            Some(BadPattern::WriteCoInitRead {
+                write: OpId(0),
+                read: OpId(2),
+            })
+        );
+    }
+
+    /// The pattern that separates causal memory from mere causal
+    /// consistency: p1 writes x, p2 overwrites x *concurrently* and then
+    /// reads the other write followed by its own. No `Co` pattern fires
+    /// (the writes are concurrent), yet p2's projection has no legal
+    /// serialization — w(x)2 must come both before w(x)1 (to satisfy
+    /// r(x)1) and after it (to satisfy r(x)2). Only the saturation rule
+    /// catches it.
+    #[test]
+    fn cm_separator_needs_the_saturation_rule() {
+        let mut h = History::new();
+        let v1 = Value::new(p(0), 1);
+        let v2 = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, v1, 1);
+        w(&mut h, p(1), 0, v2, 1);
+        r(&mut h, p(1), 0, Some(v1), 2);
+        r(&mut h, p(1), 0, Some(v2), 3);
+        assert!(
+            crate::screen::screen(&h).is_clean(),
+            "the Co patterns cannot see this violation"
+        );
+        let out = analyze(&h);
+        assert!(!out.verdict.is_causal());
+        assert!(matches!(
+            out.pattern,
+            Some(BadPattern::WriteHbRead { .. } | BadPattern::CyclicHb { .. })
+        ));
+        // The exhaustive oracle agrees.
+        assert!(!crate::causal::check_exhaustive(&h).is_causal());
+    }
+
+    #[test]
+    fn concurrent_writes_read_in_different_orders_stay_causal() {
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, a, 1);
+        w(&mut h, p(1), 0, b, 1);
+        r(&mut h, p(2), 0, Some(a), 2);
+        r(&mut h, p(2), 0, Some(b), 3);
+        r(&mut h, p(3), 0, Some(b), 2);
+        r(&mut h, p(3), 0, Some(a), 3);
+        assert_eq!(analyze(&h).verdict, CausalVerdict::Causal);
+    }
+
+    #[test]
+    fn alternating_reads_of_concurrent_writes_violate() {
+        let mut h = History::new();
+        let a = Value::new(p(0), 1);
+        let b = Value::new(p(1), 1);
+        w(&mut h, p(0), 0, a, 1);
+        w(&mut h, p(1), 0, b, 1);
+        r(&mut h, p(2), 0, Some(a), 2);
+        r(&mut h, p(2), 0, Some(b), 3);
+        r(&mut h, p(2), 0, Some(a), 4);
+        assert!(!analyze(&h).verdict.is_causal());
+    }
+
+    #[test]
+    fn program_order_cycle_is_detected() {
+        // p0 writes v1 then v2; p1 reads v2 then v1 — not a →→ cycle,
+        // but a WriteCoRead (v1 overwritten by v2 before the second
+        // read). A genuine →→ cycle needs a read before its write in
+        // program order, which the simulator cannot produce; build one
+        // by hand to pin CyclicCausalOrder.
+        let mut h = History::new();
+        let v = Value::new(p(0), 1);
+        r(&mut h, p(0), 0, Some(v), 1); // reads v before any write
+        w(&mut h, p(0), 0, v, 2); // …then writes it
+        let out = analyze(&h);
+        assert_eq!(out.pattern, Some(BadPattern::CyclicCausalOrder));
+    }
+
+    #[test]
+    fn fast_path_never_reports_unknown() {
+        let mut h = History::new();
+        for k in 0..40u16 {
+            let val = Value::new(p(k % 4), u32::from(k) + 1);
+            w(&mut h, p(k % 4), u32::from(k % 3), val, u64::from(k) + 1);
+        }
+        let out = analyze(&h);
+        assert_ne!(out.verdict, CausalVerdict::Unknown);
+    }
+}

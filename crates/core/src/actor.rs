@@ -526,11 +526,14 @@ impl WorldActor {
         let base = t.tx.current_timeout();
         let frac = t.tx.config().jitter_frac;
         let jitter = if frac > 0.0 {
-            base.mul_f64(frac * ctx.rng().gen_range(0.0..1.0))
+            // Same rounding as `Duration::mul_f64`, but saturating: a
+            // backed-off timeout near `Duration::MAX` must not panic.
+            Duration::try_from_secs_f64(base.as_secs_f64() * (frac * ctx.rng().gen_range(0.0..1.0)))
+                .unwrap_or(Duration::MAX)
         } else {
             Duration::ZERO
         };
-        let delay = base + jitter;
+        let delay = base.saturating_add(jitter);
         let t = self.transports[link].as_mut().expect("reliable link");
         t.deadline = Some(ctx.now() + delay);
         ctx.schedule(delay, RETX_TIMER_BASE + link as u64);

@@ -93,10 +93,20 @@ impl ReliableConfig {
         self
     }
 
+    /// Replaces the exponential-backoff cap.
+    pub fn with_backoff_cap(mut self, cap: u32) -> Self {
+        self.backoff_cap = cap;
+        self
+    }
+
     /// Timeout for the given number of consecutive backoffs (jitter is
-    /// applied by the caller, which owns the RNG).
+    /// applied by the caller, which owns the RNG). Saturates at
+    /// `Duration::MAX` instead of panicking when `rto · 2^cap` exceeds
+    /// what a `Duration` can hold.
     pub fn timeout_after(&self, backoffs: u32) -> Duration {
-        self.rto * 2u32.saturating_pow(backoffs.min(self.backoff_cap))
+        self.rto
+            .checked_mul(2u32.saturating_pow(backoffs.min(self.backoff_cap)))
+            .unwrap_or(Duration::MAX)
     }
 }
 
@@ -560,6 +570,27 @@ mod tests {
             Duration::from_millis(10),
             "ack resets"
         );
+    }
+
+    #[test]
+    fn timeout_after_saturates_instead_of_panicking() {
+        // Hours-scale RTO with a large backoff cap: 2h · 2^30 ≈ 245k
+        // years still fits a Duration, so the value must be exact …
+        let cfg = ReliableConfig::default()
+            .with_rto(Duration::from_secs(2 * 3600))
+            .with_backoff_cap(30);
+        assert_eq!(
+            cfg.timeout_after(u32::MAX),
+            Duration::from_secs(2 * 3600 * u64::from(2u32.pow(30)))
+        );
+        // … and an RTO near the representable ceiling must saturate to
+        // `Duration::MAX` rather than panic (the pre-fix `Duration * u32`
+        // overflowed here).
+        let extreme = ReliableConfig::default()
+            .with_rto(Duration::from_secs(u64::MAX / 2))
+            .with_backoff_cap(6);
+        assert_eq!(extreme.timeout_after(3), Duration::MAX);
+        assert_eq!(extreme.timeout_after(0), Duration::from_secs(u64::MAX / 2));
     }
 
     #[test]

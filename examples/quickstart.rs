@@ -34,10 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alpha_t = report.global_history();
     println!("α^T has {} operations", alpha_t.len());
 
-    // Check causality per Definitions 1–5 and print a witness view.
+    // Check causality per Definitions 1–5. The default engine is the
+    // polynomial fast path (definitive on the simulator's
+    // write-distinct histories); the exhaustive engine additionally
+    // produces witness views, so use it here to print one.
     let verdict = causal::check(&alpha_t);
-    println!("causal: {}", verdict.is_causal());
-    if let Some((proc, view)) = verdict.views.iter().next() {
+    println!(
+        "causal: {} (engine: {})",
+        verdict.is_causal(),
+        verdict.engine
+    );
+    let witnessed = causal::check_exhaustive(&alpha_t);
+    if let Some((proc, view)) = witnessed.views.iter().next() {
         println!("causal view of {proc} (first 5 ops):");
         for id in view.iter().take(5) {
             println!("  {}", alpha_t.op(*id));

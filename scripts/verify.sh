@@ -67,4 +67,14 @@ echo "==> perf baseline check (X18 vs committed BENCH_PERF.json)"
 grep -q 'counter inc (MetricId)' "$artifact_dir/x18.txt" \
     || { echo "FAIL: X18 report lost its throughput table" >&2; exit 1; }
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism and perf baseline all passed"
+echo "==> checker baseline check (X19 vs committed BENCH_CHECK.json)"
+# Structural fields (sweep shape, fast-path definitiveness, violation
+# detection, fallback routing, litmus parity) must match the committed
+# baseline exactly; per-size wall times only within the tolerance
+# window. --quick skips the deep exhaustive timing point.
+./target/release/exp_x19_checker --quick --json "$artifact_dir/bench_check.json" \
+    --check BENCH_CHECK.json > "$artifact_dir/x19.txt"
+grep -q 'wall time per engine' "$artifact_dir/x19.txt" \
+    || { echo "FAIL: X19 report lost its scaling table" >&2; exit 1; }
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf and checker baselines all passed"

@@ -6,7 +6,7 @@
 use std::time::Duration;
 
 use cmi::checker::trace::check_order_respects_causality;
-use cmi::checker::{causal, screen, AppliedWrite};
+use cmi::checker::{causal, screen, AppliedWrite, CausalVerdict, CheckEngine};
 use cmi::core::{InterconnectBuilder, IsTopology, LinkSpec, SystemSpec};
 use cmi::memory::{ProtocolKind, WorkloadSpec};
 use cmi::sim::{Availability, ChannelSpec};
@@ -42,6 +42,11 @@ fn sequencer_middle_system_under_load() {
         let global = report.global_history();
         assert!(global.validate_differentiated().is_ok());
         let verdict = causal::check(&global);
+        assert_eq!(
+            verdict.engine,
+            CheckEngine::FastPath,
+            "{topology}: write-distinct histories take the fast path"
+        );
         assert!(verdict.is_causal(), "{topology}: {:?}", verdict.verdict);
     }
 }
@@ -92,10 +97,20 @@ fn deep_chain_with_hostile_links() {
         screen::screen(&global).is_clean(),
         "polynomial screen must pass on the full 300-op history"
     );
-    // Full exhaustive check per system projection + trace checks.
+    // The fast path decides the full 300-op α^T outright — no budget,
+    // no Unknown — where the exhaustive engine could only be screened.
+    let full = causal::check(&global);
+    assert_eq!(full.engine, CheckEngine::FastPath);
+    assert!(full.is_causal(), "α^T: {:?}", full.verdict);
+    // Full causal check per system projection + trace checks.
     for k in 0..5u16 {
         let alpha_k = report.system_history(SystemId(k));
         let verdict = causal::check(&alpha_k);
+        assert_ne!(
+            verdict.verdict,
+            CausalVerdict::Unknown,
+            "α^{k}: tier-1 workloads must never end Unknown"
+        );
         assert!(verdict.is_causal(), "α^{k}: {:?}", verdict.verdict);
         for proc in alpha_k.procs() {
             let updates: Vec<AppliedWrite> = report
@@ -128,7 +143,8 @@ fn deep_chain_with_hostile_links() {
 
 /// The exhaustive checker itself on a larger α^T: a 2×4 world with 160
 /// operations — big enough to exercise memoization and pruning, small
-/// enough to stay within budget.
+/// enough to stay within budget. The default (fast-path) engine must
+/// agree with it, definitively.
 #[test]
 fn exhaustive_checker_scales_to_160_op_histories() {
     let mut b = InterconnectBuilder::new().with_vars(4);
@@ -139,6 +155,30 @@ fn exhaustive_checker_scales_to_160_op_histories() {
     let report = world.run(&WorkloadSpec::small().with_ops(20));
     let global = report.global_history();
     assert_eq!(global.len(), 160);
+    let exhaustive = causal::check_exhaustive(&global);
+    assert!(exhaustive.is_causal(), "{:?}", exhaustive.verdict);
+    let fast = causal::check(&global);
+    assert_eq!(fast.engine, CheckEngine::FastPath);
+    assert_eq!(fast.is_causal(), exhaustive.is_causal());
+}
+
+/// The fast path on a history an order of magnitude past the exhaustive
+/// engine's comfort zone: a 2×6 world with 1200 operations, decided
+/// definitively in polynomial time.
+#[test]
+fn fast_path_scales_to_1200_op_histories() {
+    let mut b = InterconnectBuilder::new().with_vars(4);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 6));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 6));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(5)));
+    let mut world = b.build(23).unwrap();
+    let report = world.run(&WorkloadSpec::small().with_ops(100).with_write_fraction(0.5));
+    assert!(report.outcome().is_quiescent());
+    let global = report.global_history();
+    assert_eq!(global.len(), 1200);
+    assert!(global.validate_differentiated().is_ok());
     let verdict = causal::check(&global);
+    assert_eq!(verdict.engine, CheckEngine::FastPath);
+    assert_ne!(verdict.verdict, CausalVerdict::Unknown);
     assert!(verdict.is_causal(), "{:?}", verdict.verdict);
 }

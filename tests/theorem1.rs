@@ -173,8 +173,14 @@ fn variant2_pre_propagate_is_also_causal() {
 fn witnesses_from_the_checker_validate() {
     let report = pair(ProtocolKind::Ahamad, ProtocolKind::Frontier, 42);
     let global = report.global_history();
-    let result = causal::check(&global);
+    // The default `check` decides via the witness-free fast path; the
+    // exhaustive engine is the one that produces verifiable views.
+    let result = causal::check_exhaustive(&global);
     assert!(result.is_causal());
+    assert!(
+        !result.views.is_empty(),
+        "exhaustive engine emits witnesses"
+    );
     for (proc, view) in &result.views {
         causal::validate_view(&global, *proc, view)
             .unwrap_or_else(|e| panic!("witness for {proc} invalid: {e}"));
