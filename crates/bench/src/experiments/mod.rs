@@ -21,6 +21,7 @@ pub mod x16_faults;
 pub mod x17_lineage;
 pub mod x18_perf;
 pub mod x19_checker;
+pub mod x20_monitor;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -93,7 +94,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X19".into())),
+        ("suite", Json::Str("cmi experiments X1-X20".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -148,5 +149,6 @@ pub fn registry() -> Vec<Experiment> {
         ("X17 causal lineage tracing (extension)", x17_lineage::run),
         ("X18 perf baseline (extension)", x18_perf::run),
         ("X19 checker scaling (extension)", x19_checker::run),
+        ("X20 online causal monitor (extension)", x20_monitor::run),
     ]
 }

@@ -47,6 +47,7 @@ pub mod forensics;
 pub mod linearizable;
 pub mod litmus;
 pub mod metrics;
+pub mod online;
 pub mod order;
 pub mod pram;
 pub mod screen;
@@ -59,6 +60,7 @@ pub use cache::CacheVerdict;
 pub use causal::{CausalReport, CausalVerdict, CausalViolation, CheckEngine};
 pub use forensics::{Finding, ForensicsReport};
 pub use linearizable::LinearizableVerdict;
+pub use online::{MonitorConfig, MonitorReport, MonitorViolation, OnlineMonitor};
 pub use order::CausalOrder;
 pub use pram::{PramReport, PramVerdict};
 pub use screen::{BadPattern, ScreenReport};

@@ -1,0 +1,203 @@
+//! Differential fuzz: the online monitor's final verdict must agree
+//! with the offline fast path (`wio::analyze`) on every write-distinct
+//! history.
+//!
+//! The monitor sees the history as a stream in record order and decides
+//! incrementally; `wio` sees it whole. Verdicts must coincide — the
+//! *instances* (which pattern, which ops) may legitimately differ, since
+//! the monitor reports the first violation in arrival order while the
+//! fast path scans in operation order. A second arm feeds the monitor a
+//! cross-process shuffle of the same history (program order preserved),
+//! under which the causal order — and hence the verdict — is invariant.
+//! Cases are drawn from seeded in-tree [`SplitMix64`] streams, so any
+//! failure reproduces from the case number in its message.
+
+use cmi_checker::{litmus, screen, wio, CausalVerdict, MonitorConfig, OnlineMonitor};
+use cmi_sim::SplitMix64;
+use cmi_types::{History, OpRecord, ProcId, SimTime, SystemId, Value, VarId};
+
+/// Write-distinct histories with adversarial reads: a read returns ⊥,
+/// any value ever written to its variable, or (rarely) a value no one
+/// ever writes — thin air.
+fn adversarial_history(rng: &mut SplitMix64, max_ops: usize) -> History {
+    let n = rng.gen_range(0..max_ops as u32 + 1);
+    let mut h = History::new();
+    let mut written: Vec<Vec<Value>> = vec![Vec::new(); 3];
+    let mut seq = 0u32;
+    for i in 0..n {
+        let proc = ProcId::new(SystemId(0), rng.gen_range(0u32..4) as u16);
+        let var = rng.gen_range(0u32..3) as usize;
+        let at = SimTime::from_nanos(u64::from(i));
+        if rng.gen_bool(0.45) {
+            seq += 1;
+            let val = Value::new(proc, seq);
+            written[var].push(val);
+            h.record(OpRecord::write(proc, VarId(var as u32), val, at));
+        } else if rng.gen_bool(0.03) {
+            // Thin air: an origin/seq pair no generator write produces.
+            let ghost = Value::new(ProcId::new(SystemId(0), 9), 1_000_000 + i);
+            h.record(OpRecord::read(proc, VarId(var as u32), Some(ghost), at));
+        } else {
+            let pick = rng.gen_range(0..written[var].len() as u32 + 1) as usize;
+            let val = written[var].get(pick).copied();
+            h.record(OpRecord::read(proc, VarId(var as u32), val, at));
+        }
+    }
+    h
+}
+
+/// Reorders a history across processes while preserving each process's
+/// program order: repeatedly pops the earliest-unblocked op of a random
+/// process. The causal order — and so the verdict — is unchanged, but
+/// the monitor now sees reads before their dictating writes and must
+/// stall and drain instead of declaring thin air.
+fn cross_process_shuffle(h: &History, rng: &mut SplitMix64) -> History {
+    let mut per_proc: Vec<(ProcId, Vec<OpRecord>)> = Vec::new();
+    for rec in h.iter() {
+        match per_proc.iter_mut().find(|(p, _)| *p == rec.proc) {
+            Some((_, v)) => v.push(*rec),
+            None => per_proc.push((rec.proc, vec![*rec])),
+        }
+    }
+    let mut cursors = vec![0usize; per_proc.len()];
+    let mut out = History::new();
+    let total = h.len();
+    for _ in 0..total {
+        loop {
+            let k = rng.gen_range(0..per_proc.len() as u32) as usize;
+            if cursors[k] < per_proc[k].1.len() {
+                let mut rec = per_proc[k].1[cursors[k]];
+                rec.id = OpRecord::UNRECORDED;
+                out.record(rec);
+                cursors[k] += 1;
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn online_verdict(h: &History) -> CausalVerdict {
+    OnlineMonitor::check_history(h, MonitorConfig::default()).verdict
+}
+
+#[test]
+fn online_agrees_with_fastpath_on_1500_random_histories() {
+    let mut causal_count = 0u32;
+    for case in 0..1500u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0A11E ^ case.wrapping_mul(0x9E37_79B9));
+        let h = adversarial_history(&mut rng, 14);
+        assert!(h.validate_differentiated().is_ok(), "case {case}");
+        let offline = wio::analyze(&h);
+        let online = online_verdict(&h);
+        assert_eq!(
+            offline.verdict.is_causal(),
+            online.is_causal(),
+            "monitor disagrees with fast path (case {case}): offline {:?} vs online {online:?}\n{h}",
+            offline.pattern,
+        );
+        assert_ne!(online, CausalVerdict::Unknown, "case {case}");
+        if online.is_causal() {
+            causal_count += 1;
+        }
+    }
+    assert!(causal_count > 150, "too few causal cases: {causal_count}");
+    assert!(
+        causal_count < 1350,
+        "too few violating cases: {}",
+        1500 - causal_count
+    );
+}
+
+#[test]
+fn online_verdict_is_stable_under_cross_process_shuffles() {
+    for case in 0..400u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5FF1E ^ case.wrapping_mul(0x9E37_79B9));
+        let h = adversarial_history(&mut rng, 14);
+        let baseline = wio::analyze(&h).verdict.is_causal();
+        for round in 0..3 {
+            let shuffled = cross_process_shuffle(&h, &mut rng);
+            assert_eq!(
+                wio::analyze(&shuffled).verdict.is_causal(),
+                baseline,
+                "shuffle changed the offline verdict (case {case} round {round})"
+            );
+            assert_eq!(
+                online_verdict(&shuffled).is_causal(),
+                baseline,
+                "monitor verdict not arrival-order invariant (case {case} round {round})\n{shuffled}"
+            );
+        }
+    }
+}
+
+#[test]
+fn online_matches_fastpath_on_the_litmus_suite() {
+    for (name, h) in litmus::all() {
+        let offline = wio::analyze(&h);
+        let online = online_verdict(&h);
+        assert_eq!(
+            offline.verdict.is_causal(),
+            online.is_causal(),
+            "litmus {name}: offline {:?} vs online {online:?}",
+            offline.verdict
+        );
+    }
+}
+
+#[test]
+fn online_catches_the_saturation_only_separator() {
+    // w(x)v1 by p0; w(x)v2 by p1; p1 reads v1 then v2. The screen is
+    // clean — only the hb_i saturation rule exposes the violation, so
+    // this pins that the monitor ported the full rule, not just the
+    // writes-into patterns.
+    let p0 = ProcId::new(SystemId(0), 0);
+    let p1 = ProcId::new(SystemId(0), 1);
+    let v1 = Value::new(p0, 1);
+    let v2 = Value::new(p1, 1);
+    let mut h = History::new();
+    h.record(OpRecord::write(p0, VarId(0), v1, SimTime::from_nanos(1)));
+    h.record(OpRecord::write(p1, VarId(0), v2, SimTime::from_nanos(1)));
+    h.record(OpRecord::read(
+        p1,
+        VarId(0),
+        Some(v1),
+        SimTime::from_nanos(2),
+    ));
+    h.record(OpRecord::read(
+        p1,
+        VarId(0),
+        Some(v2),
+        SimTime::from_nanos(3),
+    ));
+    assert!(screen::screen(&h).is_clean(), "must be screen-invisible");
+    assert!(!wio::analyze(&h).verdict.is_causal());
+    assert!(!online_verdict(&h).is_causal());
+}
+
+#[test]
+fn bounded_monitor_never_false_alarms_on_causal_histories() {
+    // The bounded configuration may *miss* violations once state is
+    // evicted, but any alarm it raises must be real: on causal histories
+    // it must stay quiet even with tiny windows and aggressive sweeps.
+    let mut quiet = 0u32;
+    for case in 0..300u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xB0B ^ case.wrapping_mul(0x9E37_79B9));
+        let h = adversarial_history(&mut rng, 14);
+        if !wio::analyze(&h).verdict.is_causal() {
+            continue;
+        }
+        let procs: Vec<ProcId> = (0..4).map(|i| ProcId::new(SystemId(0), i)).collect();
+        let mut cfg = MonitorConfig::bounded(procs);
+        cfg.read_window = 2;
+        cfg.sweep_every = 4;
+        let rep = OnlineMonitor::check_history(&h, cfg);
+        assert!(
+            rep.verdict.is_causal(),
+            "bounded monitor false alarm (case {case}): {:?}\n{h}",
+            rep.violation
+        );
+        quiet += 1;
+    }
+    assert!(quiet > 30, "too few causal cases exercised: {quiet}");
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]
-//!             [--json <report.json>]
+//!             [--json <report.json>] [--monitor]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //!             [--trace-out <trace.json>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
@@ -43,7 +43,7 @@ fn print_usage() {
         "cmi-cli — interconnection of causal memory systems\n\n\
          USAGE:\n\
          \u{20}  cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]\n\
-         \u{20}          [--json <report.json>]\n\
+         \u{20}          [--json <report.json>] [--monitor]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}          [--trace-out <trace.json>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
@@ -52,6 +52,8 @@ fn print_usage() {
          consistency checks to run; see crates/cli/scenarios/ for examples.\n\
          Several scenarios run as a batch, up to --jobs at a time, with the\n\
          reports printed in argument order.\n\
+         --monitor checks causality incrementally *during* the run and\n\
+         alerts on the first violation, with a summary in the report.\n\
          --trace-out records causal lineage and writes a Chrome trace-event\n\
          file (open with Perfetto or chrome://tracing)."
     );
@@ -95,9 +97,12 @@ fn positional_args(args: &[String]) -> Vec<String> {
 
 /// Reads, parses, runs and renders one scenario — the unit of work the
 /// batch runner executes per worker thread.
-fn run_one(path: &str) -> Result<String, String> {
+fn run_one(path: &str, monitor: bool) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if monitor {
+        scenario.monitor = true;
+    }
     let report = scenario.run().map_err(|e| format!("{path}: {e}"))?;
     Ok(render_report(&scenario, &report))
 }
@@ -107,8 +112,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let Some(path) = paths.first() else {
         eprintln!(
             "usage: cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>] \
-             [--json <report.json>] [--dump-history <out.json>] [--dump-dot <out.dot>] \
-             [--trace-out <trace.json>]"
+             [--json <report.json>] [--monitor] [--dump-history <out.json>] \
+             [--dump-dot <out.dot>] [--trace-out <trace.json>]"
         );
         return ExitCode::FAILURE;
     };
@@ -137,6 +142,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let monitor = args.iter().any(|a| a == "--monitor");
     if paths.len() > 1 {
         // Batch mode: run every scenario (up to --jobs at a time) and
         // print the reports in argument order. Per-run artifact flags
@@ -148,7 +154,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        let results = cmi_bench::pool::run_indexed(paths.len(), jobs, |i| run_one(&paths[i]));
+        let results =
+            cmi_bench::pool::run_indexed(paths.len(), jobs, |i| run_one(&paths[i], monitor));
         let mut code = ExitCode::SUCCESS;
         for (path, result) in paths.iter().zip(results) {
             println!("\n======== {path} ========");
@@ -178,6 +185,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     if trace_out.is_some() {
         scenario.lineage = true;
+    }
+    if monitor {
+        scenario.monitor = true;
     }
     let report = match scenario.run() {
         Ok(r) => r,

@@ -60,6 +60,12 @@ pub fn render_report(scenario: &Scenario, report: &RunReport) -> String {
             max_hop.unwrap_or(0),
         ));
     }
+    if let Some(mon) = report.monitor() {
+        out.push_str("\n[monitor]\n");
+        for line in mon.summary().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
     out
 }
 

@@ -173,6 +173,9 @@ pub struct Scenario {
     /// Record causal lineage — the per-update lifecycle across the
     /// interconnection, exportable as a Chrome trace (default off).
     pub lineage: bool,
+    /// Run the online causal monitor: incremental checking during the
+    /// run, first-violation alerting, live health metrics (default off).
+    pub monitor: bool,
 }
 
 // ---- decoding helpers over the in-tree JSON model ----------------------
@@ -452,6 +455,7 @@ impl ToJson for Scenario {
             ("checks", self.checks.to_json()),
             ("trace", self.trace.to_json()),
             ("lineage", self.lineage.to_json()),
+            ("monitor", self.monitor.to_json()),
         ])
     }
 }
@@ -524,6 +528,7 @@ impl Scenario {
             checks,
             trace: get_bool(&v, "trace", "scenario", false)?,
             lineage: get_bool(&v, "lineage", "scenario", false)?,
+            monitor: get_bool(&v, "monitor", "scenario", false)?,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -641,6 +646,9 @@ impl Scenario {
         }
         if self.lineage {
             b.enable_lineage();
+        }
+        if self.monitor {
+            b.enable_monitor();
         }
         let mut handles = Vec::new();
         for s in &self.systems {
@@ -904,6 +912,21 @@ mod tests {
         let report = s.run().unwrap();
         let lin = report.lineage().expect("lineage-enabled run records it");
         assert!(!lin.is_empty());
+    }
+
+    #[test]
+    fn monitor_flag_parses_round_trips_and_runs_clean() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        assert!(!s.monitor, "monitor defaults to off");
+        let on = MINIMAL.replace("\"workload\"", "\"monitor\": true, \"workload\"");
+        let s = Scenario::from_json(&on).unwrap();
+        assert!(s.monitor);
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert!(back.monitor);
+        let report = s.run().unwrap();
+        let mon = report.monitor().expect("monitored run reports it");
+        assert!(mon.is_clean(), "{:?}", mon.violation);
+        assert_eq!(mon.ops_seen, report.global_history().len() as u64);
     }
 
     #[test]

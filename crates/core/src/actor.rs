@@ -193,6 +193,8 @@ pub struct WorldActor {
     n_vars: usize,
     /// Pre-resolved metric ids (`None` until `on_start` interns them).
     ids: Option<CoreMetricIds>,
+    /// Operations already streamed to the run tap (watermark).
+    ops_fed: usize,
 }
 
 impl WorldActor {
@@ -213,6 +215,7 @@ impl WorldActor {
             resync_pending: false,
             n_vars: 0,
             ids: None,
+            ops_fed: 0,
         }
     }
 
@@ -847,6 +850,28 @@ impl WorldActor {
             self.fetch_and_schedule(ctx);
         }
     }
+
+    /// Streams newly recorded application operations to the run tap.
+    /// The online causal checker watches the application history (the
+    /// `global_history` every offline check runs on), so IS-process
+    /// nodes — whose `Propagate_in` writes are protocol plumbing, not
+    /// application ops — feed nothing. One branch when no tap is
+    /// installed.
+    fn feed_tap(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        if self.isp.is_some() {
+            return;
+        }
+        let n = self.host.ops().len();
+        if n == self.ops_fed {
+            return;
+        }
+        if let Some(tap) = ctx.tap() {
+            for rec in &self.host.ops()[self.ops_fed..] {
+                tap.op(rec);
+            }
+        }
+        self.ops_fed = n;
+    }
 }
 
 impl Actor<WorldMsg> for WorldActor {
@@ -970,6 +995,7 @@ impl Actor<WorldMsg> for WorldActor {
                 self.on_transport_ack(link, cum, ctx);
             }
         }
+        self.feed_tap(ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, WorldMsg>) {
@@ -1026,6 +1052,7 @@ impl Actor<WorldMsg> for WorldActor {
             }
             other => panic!("unknown timer token {other}"),
         }
+        self.feed_tap(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,11 +1,15 @@
 //! Assembly of interconnected worlds.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
+use cmi_checker::online::{MonitorConfig, OnlineMonitor};
 use cmi_memory::{Driver, NodeHost, OpPlan, ScriptedDriver, WorkloadDriver, WorkloadSpec};
+use cmi_obs::LineageEvent;
 use cmi_sim::rng::derive_rng;
+use cmi_sim::tap::RunTap;
 use cmi_sim::{NetworkTag, RunLimit, Sim, SimBuilder};
 use cmi_types::{ProcId, SystemId};
 
@@ -59,6 +63,7 @@ pub struct InterconnectBuilder {
     n_vars: usize,
     trace: bool,
     lineage: bool,
+    monitor: bool,
     force_variant2: bool,
 }
 
@@ -78,6 +83,7 @@ impl InterconnectBuilder {
             n_vars: 4,
             trace: false,
             lineage: false,
+            monitor: false,
             force_variant2: false,
         }
     }
@@ -118,6 +124,17 @@ impl InterconnectBuilder {
     /// default; a disabled run does no lineage work at all.
     pub fn enable_lineage(&mut self) {
         self.lineage = true;
+    }
+
+    /// Enables the online causal monitor: application operations (and
+    /// lineage events, when lineage is enabled) stream into an
+    /// incremental checker during the run, the first violation is
+    /// alerted on stderr the moment it is detected, and the final
+    /// [`MonitorReport`](cmi_checker::MonitorReport) lands in
+    /// [`RunReport::monitor`]. Off by default; a disabled run installs
+    /// no tap and [`RunReport::to_json`] is byte-identical.
+    pub fn enable_monitor(&mut self) {
+        self.monitor = true;
     }
 
     /// Forces IS-protocol variant 2 (`Pre_Propagate_out` enabled) even
@@ -226,6 +243,24 @@ impl InterconnectBuilder {
         if self.lineage {
             b.enable_lineage();
         }
+        let monitor = if self.monitor {
+            let app_procs: Vec<ProcId> = (0..n_sys)
+                .flat_map(|s| {
+                    let id = SystemId(s as u16);
+                    (0..self.systems[s].n_app_procs).map(move |k| ProcId::new(id, k as u16))
+                })
+                .collect();
+            let mon = Rc::new(RefCell::new(OnlineMonitor::new(MonitorConfig::bounded(
+                app_procs,
+            ))));
+            b.set_tap(Box::new(MonitorTap {
+                monitor: Rc::clone(&mon),
+                alerted: false,
+            }));
+            Some(mon)
+        } else {
+            None
+        };
         let mut systems_info = Vec::with_capacity(n_sys);
         for (s, spec) in self.systems.iter().enumerate() {
             let id = SystemId(s as u16);
@@ -351,8 +386,39 @@ impl InterconnectBuilder {
             addr,
             n_vars: self.n_vars,
             seed,
+            monitor,
             ran: false,
         })
+    }
+}
+
+/// The [`RunTap`] feeding the online causal monitor. One clone of the
+/// shared handle is boxed into the simulator; the [`World`] keeps the
+/// other for end-of-run finalization. The first violation is announced
+/// on stderr immediately — that is the monitor's reason to exist: the
+/// alert fires mid-run, not after the history is extracted.
+struct MonitorTap {
+    monitor: Rc<RefCell<OnlineMonitor>>,
+    alerted: bool,
+}
+
+impl RunTap for MonitorTap {
+    fn op(&mut self, rec: &cmi_types::OpRecord) {
+        let mut mon = self.monitor.borrow_mut();
+        mon.observe(rec);
+        if !self.alerted {
+            if let Some(v) = mon.violation() {
+                self.alerted = true;
+                eprintln!(
+                    "MONITOR ALERT: causal violation at op {} — {}\n  {}",
+                    v.op_index, v.pattern, v.broken_edge
+                );
+            }
+        }
+    }
+
+    fn lineage_event(&mut self, ev: &LineageEvent) {
+        self.monitor.borrow_mut().observe_lineage(ev);
     }
 }
 
@@ -364,6 +430,7 @@ pub struct World {
     addr: Rc<AddressBook>,
     n_vars: usize,
     seed: u64,
+    monitor: Option<Rc<RefCell<OnlineMonitor>>>,
     ran: bool,
 }
 
@@ -514,6 +581,11 @@ impl World {
         );
         if let Some(lineage) = self.sim.take_lineage() {
             report.set_lineage(lineage);
+        }
+        if let Some(mon) = self.monitor.take() {
+            // The tap's clone dies with the simulator's box at drop;
+            // finalize through ours.
+            report.set_monitor(mon.borrow_mut().finalize());
         }
         report
     }

@@ -61,6 +61,7 @@ pub struct RunReport {
     link_sends: Vec<LinkTraffic>,
     trace: Vec<TraceEntry>,
     lineage: Option<LineageRecorder>,
+    monitor: Option<cmi_checker::MonitorReport>,
 }
 
 impl RunReport {
@@ -91,11 +92,16 @@ impl RunReport {
             link_sends,
             trace,
             lineage: None,
+            monitor: None,
         }
     }
 
     pub(crate) fn set_lineage(&mut self, lineage: LineageRecorder) {
         self.lineage = Some(lineage);
+    }
+
+    pub(crate) fn set_monitor(&mut self, monitor: cmi_checker::MonitorReport) {
+        self.monitor = Some(monitor);
     }
 
     /// How the run ended (quiescent for complete workloads).
@@ -192,6 +198,14 @@ impl RunReport {
         self.lineage.as_ref()
     }
 
+    /// The online causal monitor's final report, if the monitor was
+    /// enabled at build time ([`InterconnectBuilder::enable_monitor`]).
+    ///
+    /// [`InterconnectBuilder::enable_monitor`]: crate::InterconnectBuilder::enable_monitor
+    pub fn monitor(&self) -> Option<&cmi_checker::MonitorReport> {
+        self.monitor.as_ref()
+    }
+
     /// Serializes the whole report as one diffable JSON artifact:
     /// outcome, per-system names, traffic statistics, the metrics
     /// snapshot (counters, gauges, histogram quantiles), write-visibility
@@ -248,7 +262,7 @@ impl RunReport {
                 })
                 .collect(),
         );
-        Json::obj([
+        let mut fields = vec![
             ("outcome", outcome),
             ("systems", self.system_names.to_json()),
             ("stats", self.stats.to_json()),
@@ -257,7 +271,13 @@ impl RunReport {
             ("link_traffic", links),
             ("trace_entries", self.trace.len().to_json()),
             ("history", self.full.to_json()),
-        ])
+        ];
+        // The monitor block only exists when the monitor ran, keeping
+        // the artifact byte-identical for monitor-off runs.
+        if let Some(m) = &self.monitor {
+            fields.push(("monitor", m.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Visibility analysis of every write in `α^T` (Section 6 latency).

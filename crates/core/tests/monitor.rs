@@ -1,0 +1,121 @@
+//! End-to-end online monitoring over interconnected worlds: the
+//! monitor tap sees exactly the application ops of the run, stays quiet
+//! on causal runs (the reliable transport keeps every run causal, even
+//! faulted ones), and — like lineage — never perturbs the serialized
+//! artifact of a monitor-off run.
+
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::Json;
+
+fn chain_world(m: usize, monitor: bool, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new()
+        .with_topology(IsTopology::Shared)
+        .with_vars(3);
+    let handles: Vec<_> = (0..m)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(w[0], w[1], LinkSpec::new(Duration::from_millis(5)));
+    }
+    if monitor {
+        b.enable_monitor();
+    }
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(6).with_write_fraction(0.5))
+}
+
+#[test]
+fn disabled_run_has_no_monitor_report() {
+    let report = chain_world(3, false, 7);
+    assert!(report.monitor().is_none());
+    assert!(!report.to_json().to_pretty().contains("\"monitor\""));
+}
+
+#[test]
+fn monitored_causal_run_is_clean_and_fully_checked() {
+    let report = chain_world(3, true, 7);
+    let mon = report.monitor().expect("monitor enabled");
+    assert!(
+        mon.is_clean(),
+        "reliable chain must be causal: {:?}",
+        mon.violation
+    );
+    assert!(mon.violation.is_none());
+    // The tap feeds exactly the application ops — the same set every
+    // offline check consumes via `global_history()`.
+    let global = report.global_history();
+    assert_eq!(mon.ops_seen, global.len() as u64);
+    assert_eq!(mon.ops_checked, mon.ops_seen);
+    // Health metrics agree with the counters.
+    let snap = mon.metrics.snapshot().to_pretty();
+    assert!(snap.contains("monitor.ops_checked"));
+    assert!(snap.contains("monitor.violations"));
+    assert!(
+        mon.peak_frontier > 0,
+        "writes must have entered the frontier"
+    );
+}
+
+#[test]
+fn monitor_retires_state_on_long_runs() {
+    // The production (bounded) configuration must actually retire
+    // acknowledged writes mid-run rather than hold the whole history.
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(a, c, LinkSpec::new(Duration::from_millis(2)));
+    b.enable_monitor();
+    let mut world = b.build(13).unwrap();
+    let report = world.run(
+        &WorkloadSpec::small()
+            .with_ops(120)
+            .with_write_fraction(0.7)
+            .with_mean_gap(Duration::from_millis(4)),
+    );
+    let mon = report.monitor().expect("monitor enabled");
+    assert!(mon.is_clean());
+    assert!(
+        mon.retired > 0,
+        "no write ever retired over {} ops",
+        mon.ops_seen
+    );
+    assert!(
+        mon.peak_frontier < mon.ops_seen,
+        "frontier never shrank: peak {} over {} ops",
+        mon.peak_frontier,
+        mon.ops_seen
+    );
+}
+
+/// The observability contract, extended to the monitor: a monitor-off
+/// run serializes byte-identically whether or not the binary even knows
+/// about monitoring, and a monitor-on run differs from it by exactly the
+/// appended `"monitor"` block — the simulation itself is unperturbed.
+#[test]
+fn to_json_differs_only_by_the_monitor_block() {
+    let off = chain_world(2, false, 9).to_json().to_pretty();
+    let off_again = chain_world(2, false, 9).to_json().to_pretty();
+    assert_eq!(off, off_again, "disabled runs serialize deterministically");
+    assert!(!off.contains("\"monitor\""));
+
+    let mut on = chain_world(2, true, 9).to_json();
+    if let Json::Obj(fields) = &mut on {
+        let n_before = fields.len();
+        fields.retain(|(k, _)| k != "monitor");
+        assert_eq!(
+            n_before,
+            fields.len() + 1,
+            "monitor block present when enabled"
+        );
+    } else {
+        panic!("report serializes to an object");
+    }
+    assert_eq!(
+        off,
+        on.to_pretty(),
+        "the monitor tap must not perturb the run artifact"
+    );
+}

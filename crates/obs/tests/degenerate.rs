@@ -1,0 +1,157 @@
+//! Degenerate-feed regressions for the observability primitives the
+//! online monitor leans on.
+//!
+//! The monitor's evidence buffer depends on the `RingBuffer` accounting
+//! invariant (`pushes == len + dropped`), and its forensics narrative
+//! replays `LineageRecorder` feeds that real faulty runs produce out of
+//! shape: duplicate lifecycle stages, remote applications before any
+//! frame was sent, queries for updates never traced. These tests pin
+//! current behavior with goldens so a refactor cannot silently change
+//! what the monitor sees.
+
+use cmi_obs::{LineageRecorder, RingBuffer, Stage, UpdateId};
+
+/// Tiny in-test splitmix64 — `cmi-obs` is below `cmi-sim` in the
+/// dependency order, so it cannot borrow the simulator's RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+// ---- RingBuffer: the counted-drop invariant -------------------------
+
+#[test]
+fn ring_buffer_counts_every_push_under_random_interleavings() {
+    for case in 0..200u64 {
+        let mut rng = Rng(0x41B9 ^ case.wrapping_mul(0x9E37_79B9));
+        let capacity = (rng.next() % 17 + 1) as usize;
+        let mut buf = RingBuffer::new(capacity);
+        let mut pushes = 0u64;
+        let mut drains = 0u64;
+        for _ in 0..(rng.next() % 300) {
+            match rng.next() % 10 {
+                // Mostly pushes, occasionally a full drain.
+                0 => {
+                    drains += buf.len() as u64;
+                    let drained = buf.drain();
+                    assert!(drained.len() <= capacity, "case {case}");
+                    assert_eq!(buf.len(), 0, "case {case}");
+                    // Dropped survives a drain: it counts evictions,
+                    // not occupancy.
+                }
+                _ => {
+                    buf.push(pushes);
+                    pushes += 1;
+                }
+            }
+            assert!(buf.len() <= capacity, "case {case}");
+            assert_eq!(
+                pushes,
+                buf.len() as u64 + buf.dropped() + drains,
+                "push accounting broke (case {case}, capacity {capacity})"
+            );
+            assert_eq!(buf.capacity(), capacity, "case {case}");
+            assert_eq!(buf.iter().count(), buf.len(), "case {case}");
+        }
+        // The survivors are always the most recent pushes, in order.
+        let newest: Vec<u64> = buf.iter().copied().collect();
+        assert!(newest.windows(2).all(|w| w[0] < w[1]), "case {case}");
+        if let Some(&last) = newest.last() {
+            assert_eq!(last, pushes - 1, "case {case}");
+        }
+    }
+}
+
+// ---- LineageRecorder: malformed feeds -------------------------------
+
+fn upd(system: u16, proc: u16, seq: u32) -> UpdateId {
+    UpdateId::pack(system, proc, seq)
+}
+
+#[test]
+fn duplicate_lifecycle_stages_are_kept_verbatim() {
+    // A faulty transport can apply the same update twice at a replica;
+    // the recorder is a journal, not a deduplicator.
+    let mut lin = LineageRecorder::new();
+    let u = upd(0, 1, 7);
+    lin.issued(u, 100);
+    lin.applied(u, 0, 2, 250);
+    lin.applied(u, 0, 2, 250);
+    lin.issued(u, 400); // double issue of the same update id
+    assert_eq!(lin.events_of(u).len(), 4);
+    assert_eq!(
+        lin.events_of(u)
+            .iter()
+            .filter(|e| e.stage == Stage::ReplicaApplied)
+            .count(),
+        2
+    );
+    // The re-issue overwrites the issue time and makes the update its
+    // own program-order parent — pinned, however odd, so a change here
+    // is a conscious one.
+    assert_eq!(lin.issued_at(u), Some(400));
+    assert_eq!(lin.parent(u), Some(u));
+    let golden = "t=         100ns  S0.p1  hop 0  issued\n\
+                  t=         250ns  S0.p2  hop 0  replica-applied\n\
+                  t=         250ns  S0.p2  hop 0  replica-applied\n\
+                  t=         400ns  S0.p1  hop 0  issued\n";
+    assert_eq!(lin.lifecycle(u), golden);
+}
+
+#[test]
+fn remote_apply_before_any_frame_keeps_hop_zero() {
+    // `remote_applied` with no preceding `frame_sent`/`remote_written`:
+    // the hop table never saw the destination system, so the event is
+    // journaled at hop 0 and `hop()` stays unregistered there.
+    let mut lin = LineageRecorder::new();
+    let u = upd(0, 0, 1);
+    lin.issued(u, 10);
+    lin.applied(u, 1, 3, 20); // remote system, no frame ever sent
+    assert_eq!(lin.hop(u, 0), Some(0));
+    assert_eq!(lin.hop(u, 1), None);
+    assert_eq!(lin.max_hop(u), 0);
+    assert_eq!(lin.crossings(u), 0);
+    let golden = "t=          10ns  S0.p0  hop 0  issued\n\
+                  t=          20ns  S1.p3  hop 0  remote-applied\n";
+    assert_eq!(lin.lifecycle(u), golden);
+    // The out-of-shape remote apply still lands in the latency
+    // derivations (hop bucket 0).
+    assert_eq!(lin.hop_latencies().len(), 1);
+}
+
+#[test]
+fn unknown_update_queries_are_empty_not_panics() {
+    let mut lin = LineageRecorder::new();
+    lin.issued(upd(0, 0, 1), 10);
+    let ghost = upd(3, 9, 999);
+    assert_eq!(lin.lifecycle(ghost), "");
+    assert!(lin.events_of(ghost).is_empty());
+    assert_eq!(lin.hop(ghost, 0), None);
+    assert_eq!(lin.max_hop(ghost), 0);
+    assert_eq!(lin.parent(ghost), None);
+    assert_eq!(lin.issued_at(ghost), None);
+    assert_eq!(lin.crossings(ghost), 0);
+    assert_eq!(lin.systems_reached(ghost), Vec::new());
+}
+
+#[test]
+fn orphan_stages_without_issue_are_journaled_but_invisible_to_updates() {
+    // Stages for a never-issued update: kept in the journal (the feed
+    // is the truth), absent from `updates()` and latency derivations
+    // (they key off `issued_at`).
+    let mut lin = LineageRecorder::new();
+    let u = upd(0, 5, 42);
+    lin.frame_sent(u, 0, 5, 1, 30);
+    lin.applied(u, 1, 0, 60);
+    assert_eq!(lin.events_of(u).len(), 2);
+    assert!(lin.updates().is_empty());
+    assert!(lin.hop_latencies().is_empty());
+    assert_eq!(lin.crossings(u), 1);
+}

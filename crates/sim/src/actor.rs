@@ -120,6 +120,14 @@ impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
         self.engine.lineage_mut()
     }
 
+    /// The run's streaming tap, or `None` when no tap is installed (the
+    /// default). Protocol code feeds applied memory operations here;
+    /// callers branch on the `Option` so an untapped run does no tap
+    /// work at all.
+    pub fn tap(&mut self) -> Option<&mut (dyn crate::tap::RunTap + 'static)> {
+        self.engine.tap_mut()
+    }
+
     /// `true` if a channel `self.me() → to` exists.
     pub fn has_channel_to(&self, to: ActorId) -> bool {
         self.engine.has_channel(self.me, to)

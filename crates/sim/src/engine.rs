@@ -12,6 +12,7 @@ use crate::actor::{Actor, ActorId, Ctx};
 use crate::channel::{ChannelCounters, ChannelSpec, ChannelState};
 use crate::rng::{derive_rng, derive_seed, SplitMix64};
 use crate::stats::{NetworkTag, TrafficStats};
+use crate::tap::RunTap;
 use crate::trace::{TraceEntry, TraceKind, TraceSink};
 
 /// What should stop a [`Sim::run`] call.
@@ -164,6 +165,9 @@ pub(crate) struct Engine<M> {
     ids: EngineIds,
     trace: Option<Vec<TraceEntry>>,
     lineage: Option<LineageRecorder>,
+    tap: Option<Box<dyn RunTap>>,
+    /// Lineage events already streamed to the tap (watermark).
+    lineage_fed: usize,
     sinks: Vec<Box<dyn TraceSink>>,
 }
 
@@ -308,6 +312,26 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     pub(crate) fn lineage_mut(&mut self) -> Option<&mut LineageRecorder> {
         self.lineage.as_mut()
     }
+
+    pub(crate) fn tap_mut(&mut self) -> Option<&mut (dyn RunTap + 'static)> {
+        self.tap.as_deref_mut()
+    }
+
+    /// Streams lineage events recorded since the last call to the tap.
+    /// A single branch when no tap is installed (the default).
+    pub(crate) fn feed_tap(&mut self) {
+        let Some(tap) = self.tap.as_deref_mut() else {
+            return;
+        };
+        let Some(lineage) = self.lineage.as_ref() else {
+            return;
+        };
+        let events = lineage.events();
+        for ev in &events[self.lineage_fed..] {
+            tap.lineage_event(ev);
+        }
+        self.lineage_fed = events.len();
+    }
 }
 
 /// The single place a message's Debug form is rendered for tracing;
@@ -325,6 +349,7 @@ pub struct SimBuilder<M> {
     seed: u64,
     trace: bool,
     lineage: bool,
+    tap: Option<Box<dyn RunTap>>,
     sinks: Vec<Box<dyn TraceSink>>,
     corrupter: Option<Corrupter<M>>,
 }
@@ -339,6 +364,7 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             seed,
             trace: false,
             lineage: false,
+            tap: None,
             sinks: Vec::new(),
             corrupter: None,
         }
@@ -403,6 +429,16 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         self.lineage = true;
     }
 
+    /// Installs a [`RunTap`] that observes the run as a stream:
+    /// protocol actors feed it memory operations through
+    /// [`Ctx::tap`](crate::actor::Ctx::tap), and the engine feeds it
+    /// lineage events (when lineage is enabled) after every dispatched
+    /// event. Off by default; a run without a tap pays one branch per
+    /// event.
+    pub fn set_tap(&mut self, tap: Box<dyn RunTap>) {
+        self.tap = Some(tap);
+    }
+
     /// Registers a [`TraceSink`] that receives every trace entry of the
     /// run as it happens (independently of [`enable_trace`]'s in-memory
     /// log). Sinks are invoked in registration order. Returns the sink's
@@ -454,6 +490,8 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
                 metrics,
                 ids,
                 trace: if self.trace { Some(Vec::new()) } else { None },
+                tap: self.tap,
+                lineage_fed: 0,
                 lineage: if self.lineage {
                     Some(LineageRecorder::new())
                 } else {
@@ -554,6 +592,7 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     self.actors[actor.index()].on_timer(token, &mut ctx);
                 }
             }
+            self.engine.feed_tap();
         }
     }
 

@@ -58,6 +58,7 @@ pub mod channel;
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod tap;
 pub mod trace;
 
 pub use actor::{Actor, ActorId, Ctx};
@@ -65,4 +66,5 @@ pub use channel::{Availability, ChannelSpec, FaultAction, FaultSpec};
 pub use engine::{Corrupter, RunLimit, RunOutcome, Sim, SimBuilder};
 pub use rng::{derive_rng, derive_seed, SplitMix64};
 pub use stats::{NetworkTag, TrafficStats};
+pub use tap::RunTap;
 pub use trace::{JsonlSink, RingSink, StderrSink, TraceEntry, TraceKind, TraceSink};

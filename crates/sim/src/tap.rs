@@ -1,0 +1,27 @@
+//! Run taps: streaming observers of a live simulation.
+//!
+//! A [`RunTap`] receives the run *as it happens* — memory operations
+//! from the protocol actors and causal-lineage events from the engine —
+//! instead of reading artifacts after quiescence. The online causal
+//! monitor in `cmi-checker` is the canonical tap; test probes are
+//! another. Like lineage and tracing, taps follow the zero-cost-when-
+//! disabled discipline: when none is installed the engine holds a
+//! `None` and the per-event feed is a single branch.
+
+use cmi_obs::LineageEvent;
+use cmi_types::OpRecord;
+
+/// A streaming observer of a running simulation.
+///
+/// Methods must be cheap and must not assume any particular arrival
+/// order beyond per-process program order for [`op`](RunTap::op) — the
+/// engine feeds lineage events in recording order interleaved at event
+/// granularity, and actors feed operations as they apply them.
+pub trait RunTap {
+    /// A memory operation became visible at its process (applied by a
+    /// replica, in the process's program order).
+    fn op(&mut self, rec: &OpRecord);
+
+    /// A causal-lineage event was recorded. Default: ignored.
+    fn lineage_event(&mut self, _ev: &LineageEvent) {}
+}

@@ -77,4 +77,28 @@ echo "==> checker baseline check (X19 vs committed BENCH_CHECK.json)"
 grep -q 'wall time per engine' "$artifact_dir/x19.txt" \
     || { echo "FAIL: X19 report lost its scaling table" >&2; exit 1; }
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf and checker baselines all passed"
+echo "==> monitor baseline check (X20 vs committed BENCH_MONITOR.json)"
+# Structural fields (quiet-on-causal, exact-op alerting, bounded state,
+# overhead gate, faulted-arm quietness) must match the committed
+# baseline exactly; per-size wall times only within the tolerance
+# window. --quick times one rep per size instead of a median of three.
+./target/release/exp_x20_monitor --quick --json "$artifact_dir/bench_monitor.json" \
+    --check BENCH_MONITOR.json > "$artifact_dir/x20.txt"
+grep -q 'first-violation alerting' "$artifact_dir/x20.txt" \
+    || { echo "FAIL: X20 report lost its alerting table" >&2; exit 1; }
+
+echo "==> live monitor smoke run (cmi-cli run --monitor on the faulty-link scenario)"
+# The CLI tap must produce a clean monitor summary on the reliable
+# faulted scenario: monitor block present, verdict causal, every op
+# checked. CI uploads the summary as an artifact.
+./target/release/cmi-cli run crates/cli/scenarios/faulty_link.json --monitor \
+    --json "$artifact_dir/monitor_run.json" > "$artifact_dir/monitor_smoke.txt"
+grep -q '^\[monitor\]' "$artifact_dir/monitor_smoke.txt" \
+    || { echo "FAIL: --monitor run lost its summary block" >&2; exit 1; }
+grep -q 'verdict: causal' "$artifact_dir/monitor_smoke.txt" \
+    || { echo "FAIL: monitor not quiet on the reliable faulted scenario" >&2; exit 1; }
+grep -q '"monitor"' "$artifact_dir/monitor_run.json" \
+    || { echo "FAIL: --json artifact lost its monitor block" >&2; exit 1; }
+mkdir -p artifacts && cp "$artifact_dir/monitor_smoke.txt" artifacts/monitor_smoke.txt
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker and monitor baselines all passed"
