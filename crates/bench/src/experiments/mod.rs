@@ -22,6 +22,7 @@ pub mod x17_lineage;
 pub mod x18_perf;
 pub mod x19_checker;
 pub mod x20_monitor;
+pub mod x21_chaos;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -94,7 +95,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X20".into())),
+        ("suite", Json::Str("cmi experiments X1-X21".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -150,5 +151,9 @@ pub fn registry() -> Vec<Experiment> {
         ("X18 perf baseline (extension)", x18_perf::run),
         ("X19 checker scaling (extension)", x19_checker::run),
         ("X20 online causal monitor (extension)", x20_monitor::run),
+        (
+            "X21 churn under chaos: membership & partitions (extension)",
+            x21_chaos::run,
+        ),
     ]
 }

@@ -9,4 +9,4 @@ pub mod report;
 pub mod scenario;
 
 pub use report::render_report;
-pub use scenario::{Scenario, ScenarioError};
+pub use scenario::{ChaosEntry, ChaosRateEntry, Scenario, ScenarioError};

@@ -6,13 +6,16 @@
 //!             [--json <report.json>] [--monitor]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //!             [--trace-out <trace.json>]
+//!             [--chaos-horizon <ms>] [--chaos-seed <n>]
+//!             [--chaos-partitions <n:min-max>] [--chaos-crashes <n:min-max>]
+//!             [--chaos-churn <n:min-max>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
 //! cmi-cli list                     # list experiment ids
 //! ```
 
 use std::process::ExitCode;
 
-use cmi_cli::{render_report, Scenario};
+use cmi_cli::{render_report, ChaosEntry, ChaosRateEntry, Scenario};
 use cmi_obs::ToJson;
 
 fn main() -> ExitCode {
@@ -46,6 +49,9 @@ fn print_usage() {
          \u{20}          [--json <report.json>] [--monitor]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}          [--trace-out <trace.json>]\n\
+         \u{20}          [--chaos-horizon <ms>] [--chaos-seed <n>]\n\
+         \u{20}          [--chaos-partitions <n:min-max>]\n\
+         \u{20}          [--chaos-crashes <n:min-max>] [--chaos-churn <n:min-max>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
          \u{20}  cmi-cli list\n\n\
          A scenario file describes systems, tree links, a workload and the\n\
@@ -55,7 +61,13 @@ fn print_usage() {
          --monitor checks causality incrementally *during* the run and\n\
          alerts on the first violation, with a summary in the report.\n\
          --trace-out records causal lineage and writes a Chrome trace-event\n\
-         file (open with Perfetto or chrome://tracing)."
+         file (open with Perfetto or chrome://tracing).\n\
+         --chaos-* flags compile a seeded fault schedule — partition/heal\n\
+         windows over links, crash/recover windows over IS-processes and\n\
+         detach/attach churn over systems — replacing any chaos block in\n\
+         the scenario file. Each rate spec is <count>:<min_ms>-<max_ms>;\n\
+         window starts are drawn from [0, --chaos-horizon). The same seed\n\
+         replays the same schedule byte-for-byte."
     );
 }
 
@@ -73,12 +85,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, 
 
 /// Positional (non-flag) arguments, skipping every `--flag value` pair.
 fn positional_args(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 5] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--json",
         "--dump-history",
         "--dump-dot",
         "--trace-out",
         "--jobs",
+        "--chaos-horizon",
+        "--chaos-partitions",
+        "--chaos-crashes",
+        "--chaos-churn",
+        "--chaos-seed",
     ];
     let mut out = Vec::new();
     let mut i = 0;
@@ -95,13 +112,79 @@ fn positional_args(args: &[String]) -> Vec<String> {
     out
 }
 
+/// Parses a `--chaos-partitions`-style rate spec: `<count>:<min>-<max>`
+/// in virtual milliseconds, e.g. `2:15-40`.
+fn parse_rate_spec(flag: &str, spec: &str) -> Result<ChaosRateEntry, String> {
+    let bad = || format!("{flag} expects <count>:<min_ms>-<max_ms>, got {spec:?}");
+    let (count, window) = spec.split_once(':').ok_or_else(bad)?;
+    let (min_ms, max_ms) = window.split_once('-').ok_or_else(bad)?;
+    let rate = ChaosRateEntry {
+        count: count.parse().map_err(|_| bad())?,
+        min_ms: min_ms.parse().map_err(|_| bad())?,
+        max_ms: max_ms.parse().map_err(|_| bad())?,
+    };
+    if rate.min_ms > rate.max_ms {
+        return Err(format!(
+            "{flag}: min_ms = {} exceeds max_ms = {}",
+            rate.min_ms, rate.max_ms
+        ));
+    }
+    Ok(rate)
+}
+
+/// Builds a chaos block from the `--chaos-*` flags, overriding any
+/// `chaos` block in the scenario file. `None` when no flag is present.
+fn chaos_flags(args: &[String]) -> Result<Option<ChaosEntry>, String> {
+    let horizon = flag_value(args, "--chaos-horizon")?;
+    let seed = flag_value(args, "--chaos-seed")?;
+    let mut rates = [None, None, None];
+    for (slot, flag) in ["--chaos-partitions", "--chaos-crashes", "--chaos-churn"]
+        .iter()
+        .enumerate()
+    {
+        if let Some(spec) = flag_value(args, flag)? {
+            rates[slot] = Some(parse_rate_spec(flag, spec)?);
+        }
+    }
+    let Some(horizon) = horizon else {
+        if seed.is_some() || rates.iter().any(Option::is_some) {
+            return Err("--chaos-* flags require --chaos-horizon <ms>".into());
+        }
+        return Ok(None);
+    };
+    let horizon_ms: u64 = horizon
+        .parse()
+        .map_err(|_| format!("--chaos-horizon expects milliseconds, got {horizon:?}"))?;
+    if horizon_ms == 0 {
+        return Err("--chaos-horizon must be positive".into());
+    }
+    let seed = match seed {
+        None => None,
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("--chaos-seed expects an integer, got {s:?}"))?,
+        ),
+    };
+    let [partitions, crashes, churn] = rates;
+    Ok(Some(ChaosEntry {
+        seed,
+        horizon_ms,
+        partitions,
+        crashes,
+        churn,
+    }))
+}
+
 /// Reads, parses, runs and renders one scenario — the unit of work the
 /// batch runner executes per worker thread.
-fn run_one(path: &str, monitor: bool) -> Result<String, String> {
+fn run_one(path: &str, monitor: bool, chaos: &Option<ChaosEntry>) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     if monitor {
         scenario.monitor = true;
+    }
+    if chaos.is_some() {
+        scenario.chaos = chaos.clone();
     }
     let report = scenario.run().map_err(|e| format!("{path}: {e}"))?;
     Ok(render_report(&scenario, &report))
@@ -143,6 +226,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     let monitor = args.iter().any(|a| a == "--monitor");
+    let chaos = match chaos_flags(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if paths.len() > 1 {
         // Batch mode: run every scenario (up to --jobs at a time) and
         // print the reports in argument order. Per-run artifact flags
@@ -154,8 +244,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        let results =
-            cmi_bench::pool::run_indexed(paths.len(), jobs, |i| run_one(&paths[i], monitor));
+        let results = cmi_bench::pool::run_indexed(paths.len(), jobs, |i| {
+            run_one(&paths[i], monitor, &chaos)
+        });
         let mut code = ExitCode::SUCCESS;
         for (path, result) in paths.iter().zip(results) {
             println!("\n======== {path} ========");
@@ -188,6 +279,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if monitor {
         scenario.monitor = true;
+    }
+    if chaos.is_some() {
+        scenario.chaos = chaos;
     }
     let report = match scenario.run() {
         Ok(r) => r,

@@ -25,7 +25,10 @@ use cmi_core::{
 };
 use cmi_memory::{ProtocolKind, WorkloadSpec};
 use cmi_obs::{Json, ToJson};
-use cmi_sim::{Availability, ChannelSpec, FaultSpec};
+use cmi_sim::{
+    sort_schedule, Availability, ChannelSpec, ChaosEvent, ChaosEventKind, ChaosSpec, FaultSpec,
+};
+use cmi_types::SimTime;
 
 /// Errors loading or validating a scenario.
 #[derive(Debug)]
@@ -139,6 +142,55 @@ pub struct LinkEntry {
     pub crash: Option<CrashEntry>,
 }
 
+/// One rate block of a chaos schedule: `count` windows, each lasting
+/// `min_ms..=max_ms` virtual milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRateEntry {
+    /// Windows to attempt (overlapping draws on one target are pruned).
+    pub count: u32,
+    /// Shortest window.
+    pub min_ms: u64,
+    /// Longest window.
+    pub max_ms: u64,
+}
+
+/// Seeded chaos block: compiled into a deterministic schedule of
+/// partition/heal, crash/recover and detach/attach events.
+#[derive(Debug, Clone)]
+pub struct ChaosEntry {
+    /// Schedule seed (defaults to the scenario seed).
+    pub seed: Option<u64>,
+    /// Window starts are drawn from `[0, horizon_ms)`.
+    pub horizon_ms: u64,
+    /// Partition→heal windows over the inter-system links.
+    pub partitions: Option<ChaosRateEntry>,
+    /// Crash→recover windows over the IS-processes.
+    pub crashes: Option<ChaosRateEntry>,
+    /// Detach→attach churn cycles over the linked systems.
+    pub churn: Option<ChaosRateEntry>,
+}
+
+/// One scripted membership event.
+#[derive(Debug, Clone)]
+pub struct MembershipEventEntry {
+    /// Virtual instant of the event.
+    pub at_ms: u64,
+    /// `"attach"` or `"detach"`.
+    pub op: String,
+    /// Target system index.
+    pub system: usize,
+}
+
+/// Membership block: systems that start outside the interconnection
+/// plus scripted attach/detach events.
+#[derive(Debug, Clone)]
+pub struct MembershipEntry {
+    /// Systems built detached (their links carry no traffic in epoch 0).
+    pub start_detached: Vec<usize>,
+    /// Scripted membership events, merged with any compiled chaos.
+    pub events: Vec<MembershipEventEntry>,
+}
+
 /// Workload section.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadEntry {
@@ -176,6 +228,11 @@ pub struct Scenario {
     /// Run the online causal monitor: incremental checking during the
     /// run, first-violation alerting, live health metrics (default off).
     pub monitor: bool,
+    /// Seeded chaos schedule (default none).
+    pub chaos: Option<ChaosEntry>,
+    /// Membership: initial detachment and scripted attach/detach
+    /// events (default none).
+    pub membership: Option<MembershipEntry>,
 }
 
 // ---- decoding helpers over the in-tree JSON model ----------------------
@@ -221,6 +278,24 @@ fn as_string(v: &Json, ctx: &str) -> Result<String, ScenarioError> {
     v.as_str()
         .map(str::to_owned)
         .ok_or_else(|| parse_err(format!("{ctx} must be a string")))
+}
+
+/// Strict-schema guard for the chaos/membership blocks: any field not
+/// in `allowed` is rejected by name, so a typo (`"horizonms"`) fails
+/// loudly instead of silently falling back to a default.
+fn reject_unknown_fields(v: &Json, ctx: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| parse_err(format!("{ctx} must be an object")))?;
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(parse_err(format!(
+                "{ctx}: unknown field {key:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl SystemEntry {
@@ -331,6 +406,102 @@ impl LinkEntry {
     }
 }
 
+impl ChaosRateEntry {
+    fn decode(v: &Json, ctx: &str) -> Result<Self, ScenarioError> {
+        reject_unknown_fields(v, ctx, &["count", "min_ms", "max_ms"])?;
+        Ok(ChaosRateEntry {
+            count: need(v, "count", ctx)?
+                .as_u64()
+                .ok_or_else(|| parse_err(format!("{ctx}.count must be an integer")))?
+                as u32,
+            min_ms: get_u64(v, "min_ms", ctx, 0)?,
+            max_ms: get_u64(v, "max_ms", ctx, 0)?,
+        })
+    }
+}
+
+impl ChaosEntry {
+    fn decode(v: &Json) -> Result<Self, ScenarioError> {
+        let ctx = "chaos";
+        reject_unknown_fields(
+            v,
+            ctx,
+            &["seed", "horizon_ms", "partitions", "crashes", "churn"],
+        )?;
+        let seed = match v.get("seed") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(
+                s.as_u64()
+                    .ok_or_else(|| parse_err("chaos.seed must be a non-negative integer"))?,
+            ),
+        };
+        let rate = |key: &str| -> Result<Option<ChaosRateEntry>, ScenarioError> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(r) => Ok(Some(ChaosRateEntry::decode(r, &format!("{ctx}.{key}"))?)),
+            }
+        };
+        Ok(ChaosEntry {
+            seed,
+            horizon_ms: need(v, "horizon_ms", ctx)?
+                .as_u64()
+                .ok_or_else(|| parse_err("chaos.horizon_ms must be an integer"))?,
+            partitions: rate("partitions")?,
+            crashes: rate("crashes")?,
+            churn: rate("churn")?,
+        })
+    }
+}
+
+impl MembershipEntry {
+    fn decode(v: &Json) -> Result<Self, ScenarioError> {
+        let ctx = "membership";
+        reject_unknown_fields(v, ctx, &["start_detached", "events"])?;
+        let start_detached = match v.get("start_detached") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| parse_err("membership.start_detached must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.as_u64().map(|n| n as usize).ok_or_else(|| {
+                        parse_err(format!(
+                            "membership.start_detached[{i}] must be a system index"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let events = match v.get("events") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| parse_err("membership.events must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    let ectx = format!("membership.events[{i}]");
+                    reject_unknown_fields(e, &ectx, &["at_ms", "op", "system"])?;
+                    Ok(MembershipEventEntry {
+                        at_ms: need(e, "at_ms", &ectx)?
+                            .as_u64()
+                            .ok_or_else(|| parse_err(format!("{ectx}.at_ms must be an integer")))?,
+                        op: as_string(need(e, "op", &ectx)?, &format!("{ectx}.op"))?,
+                        system: need(e, "system", &ectx)?.as_u64().ok_or_else(|| {
+                            parse_err(format!("{ectx}.system must be a system index"))
+                        })? as usize,
+                    })
+                })
+                .collect::<Result<Vec<_>, ScenarioError>>()?,
+        };
+        Ok(MembershipEntry {
+            start_detached,
+            events,
+        })
+    }
+}
+
 impl WorkloadEntry {
     fn decode(v: &Json) -> Result<Self, ScenarioError> {
         let ctx = "workload";
@@ -432,7 +603,7 @@ impl ToJson for Scenario {
                 })
                 .collect(),
         );
-        Json::obj([
+        let mut root = Json::obj([
             ("seed", self.seed.to_json()),
             ("vars", self.vars.to_json()),
             (
@@ -456,7 +627,65 @@ impl ToJson for Scenario {
             ("trace", self.trace.to_json()),
             ("lineage", self.lineage.to_json()),
             ("monitor", self.monitor.to_json()),
-        ])
+        ]);
+        // The chaos/membership keys are appended only when present:
+        // older scenarios must serialize to the exact bytes they did
+        // before these blocks existed (the --json artifact embeds this).
+        if let Json::Obj(members) = &mut root {
+            if let Some(c) = &self.chaos {
+                let rate = |r: &Option<ChaosRateEntry>| match r {
+                    Some(r) => Json::obj([
+                        ("count", u64::from(r.count).to_json()),
+                        ("min_ms", r.min_ms.to_json()),
+                        ("max_ms", r.max_ms.to_json()),
+                    ]),
+                    None => Json::Null,
+                };
+                members.push((
+                    "chaos".to_string(),
+                    Json::obj([
+                        (
+                            "seed",
+                            match c.seed {
+                                Some(s) => s.to_json(),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("horizon_ms", c.horizon_ms.to_json()),
+                        ("partitions", rate(&c.partitions)),
+                        ("crashes", rate(&c.crashes)),
+                        ("churn", rate(&c.churn)),
+                    ]),
+                ));
+            }
+            if let Some(m) = &self.membership {
+                members.push((
+                    "membership".to_string(),
+                    Json::obj([
+                        (
+                            "start_detached",
+                            Json::Arr(m.start_detached.iter().map(|s| s.to_json()).collect()),
+                        ),
+                        (
+                            "events",
+                            Json::Arr(
+                                m.events
+                                    .iter()
+                                    .map(|e| {
+                                        Json::obj([
+                                            ("at_ms", e.at_ms.to_json()),
+                                            ("op", Json::Str(e.op.clone())),
+                                            ("system", e.system.to_json()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+        }
+        root
     }
 }
 
@@ -518,6 +747,14 @@ impl Scenario {
                 .map(|c| as_string(c, "checks entry"))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let chaos = match v.get("chaos") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(ChaosEntry::decode(c)?),
+        };
+        let membership = match v.get("membership") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(MembershipEntry::decode(m)?),
+        };
         let scenario = Scenario {
             seed: get_u64(&v, "seed", "scenario", 0)?,
             vars: get_u64(&v, "vars", "scenario", 4)? as usize,
@@ -529,6 +766,8 @@ impl Scenario {
             trace: get_bool(&v, "trace", "scenario", false)?,
             lineage: get_bool(&v, "lineage", "scenario", false)?,
             monitor: get_bool(&v, "monitor", "scenario", false)?,
+            chaos,
+            membership,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -624,6 +863,85 @@ impl Scenario {
                 return Err(ScenarioError::Invalid(format!("unknown check '{c}'")));
             }
         }
+        if let Some(c) = &self.chaos {
+            if c.horizon_ms == 0 {
+                return Err(ScenarioError::Invalid(
+                    "chaos.horizon_ms must be positive, got 0".into(),
+                ));
+            }
+            for (name, rate) in [
+                ("partitions", &c.partitions),
+                ("crashes", &c.crashes),
+                ("churn", &c.churn),
+            ] {
+                if let Some(r) = rate {
+                    if r.min_ms > r.max_ms {
+                        return Err(ScenarioError::Invalid(format!(
+                            "chaos.{name} must satisfy min_ms <= max_ms, \
+                             got min_ms = {}, max_ms = {}",
+                            r.min_ms, r.max_ms
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(m) = &self.membership {
+            for (i, &s) in m.start_detached.iter().enumerate() {
+                if s >= self.systems.len() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "membership.start_detached[{i}] references unknown system {s} \
+                         (have {} systems)",
+                        self.systems.len()
+                    )));
+                }
+            }
+            for (i, e) in m.events.iter().enumerate() {
+                if e.op != "attach" && e.op != "detach" {
+                    return Err(ScenarioError::Invalid(format!(
+                        "membership.events[{i}].op must be \"attach\" or \"detach\", got {:?}",
+                        e.op
+                    )));
+                }
+                if e.system >= self.systems.len() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "membership.events[{i}] references unknown system {} \
+                         (have {} systems)",
+                        e.system,
+                        self.systems.len()
+                    )));
+                }
+            }
+            // Epoch-range walk: every attach must target a detached
+            // system and vice versa, so each event advances the
+            // target's link epochs by exactly one. A detach of an
+            // already-detached system would be a no-op epoch-wise and
+            // almost certainly a script bug.
+            let mut attached = vec![true; self.systems.len()];
+            for &s in &m.start_detached {
+                attached[s] = false;
+            }
+            let mut order: Vec<usize> = (0..m.events.len()).collect();
+            order.sort_by_key(|&i| (m.events[i].at_ms, i));
+            for i in order {
+                let e = &m.events[i];
+                let want_attached = e.op == "detach";
+                if attached[e.system] != want_attached {
+                    return Err(ScenarioError::Invalid(format!(
+                        "membership.events[{i}]: {} of system {} at t={}ms is out of \
+                         epoch range — the system is already {}",
+                        e.op,
+                        e.system,
+                        e.at_ms,
+                        if attached[e.system] {
+                            "attached"
+                        } else {
+                            "detached"
+                        }
+                    )));
+                }
+                attached[e.system] = !want_attached;
+            }
+        }
         Ok(())
     }
 
@@ -711,7 +1029,56 @@ impl Scenario {
             }
             b.link(handles[l.a], handles[l.b], link);
         }
+        if let Some(m) = &self.membership {
+            for &s in &m.start_detached {
+                b.start_detached(handles[s]);
+            }
+        }
         Ok(b.build(self.seed)?)
+    }
+
+    /// Compiles the scenario's chaos block (if any) and merges in the
+    /// scripted membership events, time-sorted for
+    /// [`World::run_with_chaos`]. Empty when neither block is present.
+    fn chaos_events(&self, world: &World) -> Vec<ChaosEvent> {
+        let mut events = Vec::new();
+        if let Some(c) = &self.chaos {
+            let mut spec = ChaosSpec::new(Duration::from_millis(c.horizon_ms));
+            if let Some(p) = &c.partitions {
+                spec = spec.with_partitions(
+                    p.count,
+                    Duration::from_millis(p.min_ms),
+                    Duration::from_millis(p.max_ms),
+                );
+            }
+            if let Some(p) = &c.crashes {
+                spec = spec.with_crashes(
+                    p.count,
+                    Duration::from_millis(p.min_ms),
+                    Duration::from_millis(p.max_ms),
+                );
+            }
+            if let Some(p) = &c.churn {
+                spec = spec.with_churn(
+                    p.count,
+                    Duration::from_millis(p.min_ms),
+                    Duration::from_millis(p.max_ms),
+                );
+            }
+            events.extend(world.compile_chaos(&spec, c.seed.unwrap_or(self.seed)));
+        }
+        if let Some(m) = &self.membership {
+            events.extend(m.events.iter().map(|e| ChaosEvent {
+                at: SimTime::from_millis(e.at_ms),
+                kind: if e.op == "detach" {
+                    ChaosEventKind::Detach { system: e.system }
+                } else {
+                    ChaosEventKind::Attach { system: e.system }
+                },
+            }));
+        }
+        sort_schedule(&mut events);
+        events
     }
 
     /// Builds and runs the scenario.
@@ -728,7 +1095,12 @@ impl Scenario {
             mean_gap: Duration::from_millis(self.workload.mean_gap_ms),
             pattern: cmi_memory::VarPattern::Uniform,
         };
-        Ok(world.run(&workload))
+        let events = self.chaos_events(&world);
+        if events.is_empty() {
+            Ok(world.run(&workload))
+        } else {
+            Ok(world.run_with_chaos(&workload, &events))
+        }
     }
 }
 
@@ -935,5 +1307,136 @@ mod tests {
         let err = Scenario::from_json(&bad).unwrap_err();
         assert!(matches!(err, ScenarioError::Parse(_)), "{err}");
         assert!(err.to_string().contains("processes"));
+    }
+
+    const CHAOTIC: &str = r#"{
+        "seed": 7,
+        "systems": [
+            { "name": "A", "protocol": "ahamad", "processes": 2 },
+            { "name": "B", "protocol": "frontier", "processes": 2 },
+            { "name": "C", "protocol": "ahamad", "processes": 2 }
+        ],
+        "links": [
+            { "a": 0, "b": 1, "delay_ms": 4, "reliable": { "rto_ms": 30 } },
+            { "a": 1, "b": 2, "delay_ms": 4, "reliable": { "rto_ms": 30 } }
+        ],
+        "workload": { "ops_per_proc": 12, "mean_gap_ms": 3 },
+        "monitor": true,
+        "chaos": {
+            "horizon_ms": 120,
+            "partitions": { "count": 1, "min_ms": 15, "max_ms": 40 }
+        },
+        "membership": {
+            "start_detached": [2],
+            "events": [
+                { "at_ms": 60, "op": "attach", "system": 2 },
+                { "at_ms": 140, "op": "detach", "system": 2 }
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn chaos_scenario_parses_with_defaults() {
+        let s = Scenario::from_json(CHAOTIC).unwrap();
+        let c = s.chaos.as_ref().unwrap();
+        assert_eq!(c.seed, None);
+        assert_eq!(c.horizon_ms, 120);
+        assert_eq!(c.partitions.unwrap().count, 1);
+        assert!(c.crashes.is_none());
+        let m = s.membership.as_ref().unwrap();
+        assert_eq!(m.start_detached, vec![2]);
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.events[0].op, "attach");
+    }
+
+    #[test]
+    fn chaos_scenario_round_trips_through_json() {
+        let s = Scenario::from_json(CHAOTIC).unwrap();
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn chaos_scenario_runs_clean_under_the_monitor() {
+        let s = Scenario::from_json(CHAOTIC).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.outcome().is_quiescent());
+        let metrics = report.metrics();
+        assert_eq!(metrics.counter("membership.attaches"), 1);
+        assert_eq!(metrics.counter("membership.detaches"), 1);
+        let mon = report.monitor().expect("monitored run reports it");
+        assert!(mon.is_clean(), "{:?}", mon.violation);
+    }
+
+    #[test]
+    fn chaos_and_membership_are_absent_from_plain_serializations() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        let json = s.to_json().to_pretty();
+        assert!(!json.contains("chaos"), "{json}");
+        assert!(!json.contains("membership"), "{json}");
+    }
+
+    #[test]
+    fn unknown_chaos_field_is_rejected_by_name() {
+        let bad = CHAOTIC.replace("\"horizon_ms\"", "\"horizonms\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown field"), "{msg}");
+        assert!(msg.contains("horizonms"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_membership_event_field_is_rejected_by_name() {
+        let bad = CHAOTIC.replace("\"at_ms\": 60, ", "\"at_ms\": 60, \"when\": 1, ");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("membership.events[0]"), "{msg}");
+        assert!(msg.contains("unknown field"), "{msg}");
+        assert!(msg.contains("when"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_epoch_range_membership_event_is_rejected() {
+        // Detaching system 2 while it is still detached (before its
+        // scripted attach) would not advance any epoch.
+        let bad = CHAOTIC.replace(
+            "\"at_ms\": 60, \"op\": \"attach\"",
+            "\"at_ms\": 60, \"op\": \"detach\"",
+        );
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out of epoch range"), "{msg}");
+        assert!(msg.contains("already detached"), "{msg}");
+    }
+
+    #[test]
+    fn membership_event_for_unknown_system_is_rejected() {
+        let bad = CHAOTIC.replace(
+            "\"op\": \"attach\", \"system\": 2",
+            "\"op\": \"attach\", \"system\": 9",
+        );
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("membership.events"), "{msg}");
+        assert!(msg.contains('9'), "{msg}");
+    }
+
+    #[test]
+    fn inverted_chaos_window_is_rejected_with_values() {
+        let bad = CHAOTIC.replace("\"min_ms\": 15", "\"min_ms\": 55");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("chaos.partitions"), "{msg}");
+        assert!(msg.contains("55"), "{msg}");
+        assert!(msg.contains("40"), "{msg}");
+    }
+
+    #[test]
+    fn bad_membership_op_is_rejected() {
+        let bad = CHAOTIC.replace("\"op\": \"detach\"", "\"op\": \"leave\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("membership.events[1].op"), "{msg}");
+        assert!(msg.contains("leave"), "{msg}");
     }
 }

@@ -25,6 +25,11 @@ pub(crate) const BATCH_TIMER: u64 = 2;
 pub(crate) const CRASH_TIMER: u64 = 3;
 /// Timer token: scripted IS-process restart.
 pub(crate) const RECOVER_TIMER: u64 = 4;
+/// Timer token: harness poke. A chaos orchestrator that mutates actor
+/// state between run segments (attach, out-of-band recovery) injects
+/// this so the actor observes the change with a live context — a
+/// pending resync must not wait for unrelated traffic to arrive.
+pub(crate) const POKE_TIMER: u64 = 5;
 /// Timer tokens `BASE + link` arm the per-link retransmission timer.
 pub(crate) const RETX_TIMER_BASE: u64 = 16;
 
@@ -102,6 +107,9 @@ struct CoreMetricIds {
     resync_pairs: MetricId,
     pairs_lost_in_crash: MetricId,
     recv_dropped_crashed: MetricId,
+    abandoned_pairs: MetricId,
+    partition_sheds: MetricId,
+    stale_epoch_rejected: MetricId,
 }
 
 impl CoreMetricIds {
@@ -128,6 +136,9 @@ impl CoreMetricIds {
             resync_pairs: metrics.key("isp.resync_pairs"),
             pairs_lost_in_crash: metrics.key("isp.pairs_lost_in_crash"),
             recv_dropped_crashed: metrics.key("isp.recv_dropped_crashed"),
+            abandoned_pairs: metrics.key("transport.abandoned_pairs"),
+            partition_sheds: metrics.key("isp.partition_sheds"),
+            stale_epoch_rejected: metrics.key("isp.stale_epoch_rejected"),
         }
     }
 }
@@ -189,6 +200,15 @@ pub struct WorldActor {
     /// A restart happened; resync from the MCS replica as soon as no
     /// operation is in flight.
     resync_pending: bool,
+    /// Per-link membership: `false` while either endpoint system is
+    /// detached. Inactive links neither send nor accept traffic.
+    link_active: Vec<bool>,
+    /// Per-link membership epoch, bumped on every detach *and* attach
+    /// (both endpoints bump together — membership changes are
+    /// control-plane events applied to both ends at the same virtual
+    /// instant). Frames and acks are stamped with it; in-flight traffic
+    /// from a detached epoch is rejected on arrival, never applied.
+    link_epochs: Vec<u64>,
     /// Shared-variable count, needed for the restart resync sweep.
     n_vars: usize,
     /// Pre-resolved metric ids (`None` until `on_start` interns them).
@@ -200,6 +220,7 @@ pub struct WorldActor {
 impl WorldActor {
     /// Creates an application node (`isp: None`) or an IS-process node.
     pub fn new(host: NodeHost, addr: Rc<AddressBook>, isp: Option<IsProcess>) -> Self {
+        let n_links = isp.as_ref().map_or(0, |i| i.links().len());
         WorldActor {
             host,
             driver: None,
@@ -213,6 +234,8 @@ impl WorldActor {
             crash_windows: Vec::new(),
             crashed: false,
             resync_pending: false,
+            link_active: vec![true; n_links],
+            link_epochs: vec![0; n_links],
             n_vars: 0,
             ids: None,
             ops_fed: 0,
@@ -250,6 +273,13 @@ impl WorldActor {
             .collect();
     }
 
+    /// Sets the variable count swept by the restart/attach resync. The
+    /// builder installs it on every node; crash configuration re-sets
+    /// the same value.
+    pub(crate) fn set_n_vars(&mut self, n_vars: usize) {
+        self.n_vars = n_vars;
+    }
+
     /// Installs the scripted crash schedule and the variable count used
     /// by the restart resync.
     ///
@@ -285,6 +315,73 @@ impl WorldActor {
     /// Whether the IS-process is currently down.
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Whether link `link` is live (both endpoint systems attached).
+    pub fn link_attached(&self, link: usize) -> bool {
+        self.link_active[link]
+    }
+
+    /// Current membership epoch of link `link`.
+    pub fn link_epoch(&self, link: usize) -> u64 {
+        self.link_epochs[link]
+    }
+
+    /// Marks link `link` detached at build time, before any traffic —
+    /// no epoch bump, no drain: epoch 0 of such a link simply never
+    /// carries a frame until the first attach.
+    pub(crate) fn preset_link_detached(&mut self, link: usize) {
+        self.link_active[link] = false;
+    }
+
+    /// Runtime detach of link `link` (this end). Called by the world
+    /// orchestrator on *both* endpoint actors at the same virtual
+    /// instant. In-flight frames are abandoned cleanly: the reliable
+    /// sender drops its retransmission queue and degraded backlog
+    /// (keeping its seq counter), the receiver resets, the pending
+    /// batch for the link is dropped, and the epoch bump rejects
+    /// whatever was still on the wire. Returns how many queued pairs
+    /// were drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is already detached — membership events must
+    /// alternate (the chaos compiler guarantees this).
+    pub fn detach_link(&mut self, link: usize, now: SimTime) -> u64 {
+        assert!(self.link_active[link], "detach of a detached link");
+        self.link_active[link] = false;
+        self.link_epochs[link] += 1;
+        // A resync armed before this detach targeted the old epoch; a
+        // future attach re-arms a fresh sweep against the new one.
+        let mut drained = 0u64;
+        if let Some(t) = self.transports.get_mut(link).and_then(Option::as_mut) {
+            drained += t.tx.crash(now) as u64;
+            t.rx = ReliableReceiver::new();
+            t.deadline = None;
+        }
+        if let Some(isp) = self.isp.as_mut() {
+            drained += isp.take_batch(link).len() as u64;
+        }
+        drained
+    }
+
+    /// Runtime attach of link `link` (this end). Bumps the epoch (in
+    /// lockstep with the peer's end) and arms the replica resync: as
+    /// soon as the host is free, the IS-process re-reads every variable
+    /// and re-sends the current snapshot — the same path a crash
+    /// recovery uses, so the joining system catches up and then
+    /// switches to live propagation. The orchestrator follows up with a
+    /// [`POKE_TIMER`] so the resync is not stranded waiting for
+    /// unrelated traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is already attached.
+    pub fn attach_link(&mut self, link: usize) {
+        assert!(!self.link_active[link], "attach of an attached link");
+        self.link_active[link] = true;
+        self.link_epochs[link] += 1;
+        self.resync_pending = true;
     }
 
     /// Installs the workload driver (before the first `run`).
@@ -391,7 +488,7 @@ impl WorldActor {
         let batching = isp.batch_window();
         for pair in pairs {
             for i in 0..n_links {
-                if Some(i) == pair.except {
+                if Some(i) == pair.except || !self.link_active[i] {
                     continue;
                 }
                 if batching.is_some() {
@@ -415,7 +512,7 @@ impl WorldActor {
         }
         if batching.is_none() {
             for i in 0..n_links {
-                if !self.link_is_reliable(i) {
+                if !self.link_is_reliable(i) || !self.link_active[i] {
                     continue;
                 }
                 let link_pairs: Vec<(VarId, Value)> = pairs
@@ -445,6 +542,11 @@ impl WorldActor {
         };
         let ids = self.ids();
         for i in 0..n_links {
+            if !self.link_active[i] {
+                // Nothing accumulates for a detached link (enqueue is
+                // gated too); whatever was pending died with the detach.
+                continue;
+            }
             let batch = self.isp.as_mut().unwrap().take_batch(i);
             if batch.is_empty() {
                 continue;
@@ -487,6 +589,15 @@ impl WorldActor {
             }
             None => {
                 ctx.metrics().add_id(self.ids().degraded_coalesced, n_pairs);
+                let shed = self.transports[link]
+                    .as_mut()
+                    .expect("offer on a raw link")
+                    .tx
+                    .take_shed();
+                if shed > 0 {
+                    ctx.metrics().add_id(self.ids().partition_sheds, shed);
+                    ctx.note_with(|| format!("backlog cap: shed {shed} oldest pairs"));
+                }
             }
         }
     }
@@ -501,6 +612,7 @@ impl WorldActor {
         retx: bool,
         ctx: &mut Ctx<'_, WorldMsg>,
     ) {
+        let epoch = self.link_epochs[link];
         let isp = self.isp.as_mut().expect("frames originate at IS-processes");
         let end = isp.links()[link];
         for &(var, val) in &frame.pairs {
@@ -514,6 +626,7 @@ impl WorldActor {
                 lo: frame.lo,
                 pairs: frame.pairs,
                 checksum: frame.checksum,
+                epoch,
             },
         );
         self.arm_retx_timer(link, ctx);
@@ -569,6 +682,12 @@ impl WorldActor {
             TimeoutAction::Abandoned { lost_pairs, next } => {
                 ctx.metrics().inc_id(ids.frames_abandoned);
                 ctx.metrics().add_id(ids.pairs_abandoned, lost_pairs as u64);
+                ctx.metrics().add_id(ids.abandoned_pairs, lost_pairs as u64);
+                eprintln!(
+                    "[transport] {}: retry cap hit on link {link} — abandoned {lost_pairs} \
+                     pairs, lo-watermark skips the gap",
+                    self.host.proc()
+                );
                 ctx.note_with(|| format!("retry cap hit: abandoned {lost_pairs} pairs"));
                 if let Some(frame) = next {
                     ctx.metrics().inc_id(ids.retransmits);
@@ -631,7 +750,8 @@ impl WorldActor {
                 .expect("frames arrive at IS-processes")
                 .links()[link]
                 .peer_actor;
-            ctx.send(peer, WorldMsg::Ack { cum });
+            let epoch = self.link_epochs[link];
+            ctx.send(peer, WorldMsg::Ack { cum, epoch });
         }
         // Released pairs behave exactly like an in-order batch.
         for (var, val) in outcome.deliver {
@@ -680,9 +800,18 @@ impl WorldActor {
     /// incoming pairs — while the MCS replica (the memory itself)
     /// survives. Incoming link traffic is dropped until restart.
     fn crash(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        if self.crashed {
+            return; // Composed chaos schedules may double-fire.
+        }
         self.crashed = true;
         ctx.metrics().inc_id(self.ids().crashes);
         ctx.note("IS-process crashed".to_string());
+        // A resync that was armed but has not swept yet dies with the
+        // crash: its snapshot would mix pre- and post-crash state, and
+        // any frames it already queued are destroyed below. Recovery
+        // re-arms a *fresh* sweep, so a half-applied resync is always
+        // discarded and restarted, never merged.
+        self.resync_pending = false;
         let now = ctx.now();
         let mut lost = 0u64;
         for t in self.transports.iter_mut().flatten() {
@@ -711,6 +840,9 @@ impl WorldActor {
     /// every variable — forging the causal links, the paper's trick —
     /// and re-sends the current values to its peers).
     fn recover(&mut self, ctx: &mut Ctx<'_, WorldMsg>) {
+        if !self.crashed {
+            return; // Composed chaos schedules may double-fire.
+        }
         self.crashed = false;
         ctx.metrics().inc_id(self.ids().recoveries);
         ctx.note("IS-process restarted".to_string());
@@ -741,10 +873,17 @@ impl WorldActor {
         if pairs.is_empty() {
             return;
         }
+        let active_links = (0..n_links).filter(|&i| self.link_active[i]).count();
+        if active_links == 0 {
+            return;
+        }
         ctx.metrics()
-            .add_id(ids.resync_pairs, (pairs.len() * n_links) as u64);
+            .add_id(ids.resync_pairs, (pairs.len() * active_links) as u64);
         ctx.note_with(|| format!("resync: re-sent {} pairs per link", pairs.len()));
         for i in 0..n_links {
+            if !self.link_active[i] {
+                continue;
+            }
             if self.link_is_reliable(i) {
                 self.offer_on_link(i, pairs.clone(), ctx);
             } else {
@@ -930,6 +1069,12 @@ impl Actor<WorldMsg> for WorldActor {
                     .as_ref()
                     .and_then(|isp| isp.link_from_actor(from))
                     .unwrap_or_else(|| panic!("link pair from unknown actor {from}"));
+                if !self.link_active[link] {
+                    // In flight when the link detached; raw links carry
+                    // no epoch, so membership itself gates them.
+                    ctx.metrics().inc_id(self.ids().stale_epoch_rejected);
+                    return;
+                }
                 if self.host.write_in_flight() {
                     // The IS-process is blocked in a write call; the pair
                     // waits its turn (FIFO order preserved).
@@ -951,6 +1096,11 @@ impl Actor<WorldMsg> for WorldActor {
                     .as_ref()
                     .and_then(|isp| isp.link_from_actor(from))
                     .unwrap_or_else(|| panic!("link batch from unknown actor {from}"));
+                if !self.link_active[link] {
+                    ctx.metrics()
+                        .add_id(self.ids().stale_epoch_rejected, pairs.len() as u64);
+                    return;
+                }
                 // Process in batch order; once a Propagate_in write
                 // blocks, the rest defer behind it (order preserved).
                 for (var, val) in pairs {
@@ -968,6 +1118,7 @@ impl Actor<WorldMsg> for WorldActor {
                 lo,
                 pairs,
                 checksum,
+                epoch,
             } => {
                 if self.crashed {
                     // No ack while down: the peer keeps retransmitting
@@ -980,9 +1131,17 @@ impl Actor<WorldMsg> for WorldActor {
                     .as_ref()
                     .and_then(|isp| isp.link_from_actor(from))
                     .unwrap_or_else(|| panic!("frame from unknown actor {from}"));
+                if !self.link_active[link] || epoch != self.link_epochs[link] {
+                    // Stale frame from a detached epoch: rejected, not
+                    // applied — and not acked, the sender of that epoch
+                    // is gone.
+                    ctx.metrics().inc_id(self.ids().stale_epoch_rejected);
+                    ctx.note_with(|| format!("rejected frame #{seq} from stale epoch {epoch}"));
+                    return;
+                }
                 self.on_frame(link, seq, lo, pairs, checksum, ctx);
             }
-            WorldMsg::Ack { cum } => {
+            WorldMsg::Ack { cum, epoch } => {
                 if self.crashed {
                     ctx.metrics().inc_id(self.ids().recv_dropped_crashed);
                     return;
@@ -992,6 +1151,10 @@ impl Actor<WorldMsg> for WorldActor {
                     .as_ref()
                     .and_then(|isp| isp.link_from_actor(from))
                     .unwrap_or_else(|| panic!("ack from unknown actor {from}"));
+                if !self.link_active[link] || epoch != self.link_epochs[link] {
+                    ctx.metrics().inc_id(self.ids().stale_epoch_rejected);
+                    return;
+                }
                 self.on_transport_ack(link, cum, ctx);
             }
         }
@@ -1013,6 +1176,14 @@ impl Actor<WorldMsg> for WorldActor {
             }
             CRASH_TIMER => self.crash(ctx),
             RECOVER_TIMER => self.recover(ctx),
+            POKE_TIMER => {
+                // Harness poke after out-of-band surgery (attach):
+                // observe the new state with a live context so an armed
+                // resync runs now instead of waiting for traffic.
+                if !self.crashed {
+                    self.post_actions(ctx);
+                }
+            }
             BATCH_TIMER => {
                 self.batch_scheduled = false;
                 if self.crashed {

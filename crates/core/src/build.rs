@@ -8,12 +8,13 @@ use std::time::Duration;
 use cmi_checker::online::{MonitorConfig, OnlineMonitor};
 use cmi_memory::{Driver, NodeHost, OpPlan, ScriptedDriver, WorkloadDriver, WorkloadSpec};
 use cmi_obs::LineageEvent;
+use cmi_sim::chaos::{self, ChaosEvent, ChaosEventKind, ChaosSpec};
 use cmi_sim::rng::derive_rng;
 use cmi_sim::tap::RunTap;
 use cmi_sim::{NetworkTag, RunLimit, Sim, SimBuilder};
-use cmi_types::{ProcId, SystemId};
+use cmi_types::{ProcId, SimTime, SystemId};
 
-use crate::actor::{AddressBook, WorldActor};
+use crate::actor::{AddressBook, WorldActor, CRASH_TIMER, POKE_TIMER, RECOVER_TIMER};
 use crate::isp::{IsProcess, IsVariant, LinkEnd};
 use crate::msg::WorldMsg;
 use crate::report::{LinkTraffic, RunReport};
@@ -65,6 +66,7 @@ pub struct InterconnectBuilder {
     lineage: bool,
     monitor: bool,
     force_variant2: bool,
+    detached: Vec<usize>,
 }
 
 impl Default for InterconnectBuilder {
@@ -85,6 +87,7 @@ impl InterconnectBuilder {
             lineage: false,
             monitor: false,
             force_variant2: false,
+            detached: Vec::new(),
         }
     }
 
@@ -135,6 +138,18 @@ impl InterconnectBuilder {
     /// no tap and [`RunReport::to_json`] is byte-identical.
     pub fn enable_monitor(&mut self) {
         self.monitor = true;
+    }
+
+    /// Marks a system as initially detached: every link incident to it
+    /// starts inactive on both ends (epoch 0 carries no traffic) until
+    /// [`World::attach_system`] brings the system — and with it each
+    /// link whose other endpoint is attached — online. The system's
+    /// processes still exist and serve local operations; only
+    /// inter-system propagation is withheld.
+    pub fn start_detached(&mut self, s: SystemHandle) {
+        if !self.detached.contains(&s.0) {
+            self.detached.push(s.0);
+        }
     }
 
     /// Forces IS-protocol variant 2 (`Pre_Propagate_out` enabled) even
@@ -309,6 +324,16 @@ impl InterconnectBuilder {
                     None => (None, Vec::new()),
                 };
                 let mut actor = WorldActor::new(host, Rc::clone(&addr), isp);
+                actor.set_n_vars(self.n_vars);
+                // Links touching an initially-detached system start
+                // inactive on BOTH ends (no epoch bump: epoch 0 never
+                // carries traffic, the first attach moves both ends to 1).
+                for (j, &l) in serving.iter().enumerate() {
+                    let (la, lb, _) = &self.links[l];
+                    if self.detached.contains(la) || self.detached.contains(lb) {
+                        actor.preset_link_detached(j);
+                    }
+                }
                 if !serving.is_empty() {
                     // Reliable transport per served link.
                     let cfgs: Vec<_> = serving.iter().map(|&l| self.links[l].2.reliable).collect();
@@ -379,6 +404,11 @@ impl InterconnectBuilder {
             }
         });
 
+        let mut sys_attached = vec![true; n_sys];
+        for &s in &self.detached {
+            sys_attached[s] = false;
+        }
+        let partitioned = vec![false; self.links.len()];
         Ok(World {
             sim: b.build(),
             systems: systems_info,
@@ -388,6 +418,8 @@ impl InterconnectBuilder {
             seed,
             monitor,
             ran: false,
+            sys_attached,
+            partitioned,
         })
     }
 }
@@ -432,6 +464,14 @@ pub struct World {
     seed: u64,
     monitor: Option<Rc<RefCell<OnlineMonitor>>>,
     ran: bool,
+    /// Membership: `sys_attached[s]` ⟺ system `s` is currently part of
+    /// the interconnection. A link is live ⟺ BOTH endpoint systems are
+    /// attached.
+    sys_attached: Vec<bool>,
+    /// Partition state per link index (chaos-plane, orthogonal to
+    /// membership: a partitioned link is still *attached*, its frames
+    /// are dropped in flight and retransmitted after the heal).
+    partitioned: Vec<bool>,
 }
 
 impl World {
@@ -442,6 +482,34 @@ impl World {
     ///
     /// Panics on a second run (histories were already extracted).
     pub fn run(&mut self, workload: &WorkloadSpec) -> RunReport {
+        self.install_random_drivers(workload);
+        self.finish()
+    }
+
+    /// Runs a randomized workload while applying a chaos schedule at
+    /// exact virtual instants: the simulator advances to each event's
+    /// time, the event is applied, and the run resumes — same seed and
+    /// same schedule give a byte-identical [`RunReport::to_json`]. An
+    /// empty schedule is exactly [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second run, an unsorted schedule, or an event
+    /// referencing an unknown link/IS-process/system.
+    pub fn run_with_chaos(&mut self, workload: &WorkloadSpec, events: &[ChaosEvent]) -> RunReport {
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "chaos schedule must be time-sorted (see cmi_sim::sort_schedule)"
+        );
+        self.install_random_drivers(workload);
+        for ev in events {
+            self.sim.run(RunLimit::until(ev.at));
+            self.apply_chaos(ev);
+        }
+        self.finish()
+    }
+
+    fn install_random_drivers(&mut self, workload: &WorkloadSpec) {
         let mut label = 0u64;
         for s in 0..self.systems.len() {
             for p in self.systems[s].app_procs.clone() {
@@ -454,7 +522,6 @@ impl World {
                 label += 1;
             }
         }
-        self.finish()
     }
 
     /// Runs explicit per-process scripts (adversarial scenarios);
@@ -588,6 +655,236 @@ impl World {
             report.set_monitor(mon.borrow_mut().finalize());
         }
         report
+    }
+
+    /// Compiles a seeded chaos schedule against this world's shape:
+    /// partition/heal windows target link indices, crash/recover
+    /// windows target IS-process slots in the system-major order of
+    /// [`isp_procs`](Self::isp_procs), and churn (detach/attach)
+    /// windows target every system that hosts at least one IS-process.
+    /// Byte-identical for a given `(spec, seed, world shape)`.
+    pub fn compile_chaos(&self, spec: &ChaosSpec, seed: u64) -> Vec<ChaosEvent> {
+        let churnable: Vec<usize> = (0..self.systems.len())
+            .filter(|&s| !self.systems[s].isp_procs.is_empty())
+            .collect();
+        chaos::compile(
+            spec,
+            seed,
+            self.links.len(),
+            self.isp_procs().len(),
+            &churnable,
+        )
+    }
+
+    /// Applies one chaos event. Partitions, heals and membership
+    /// changes take effect at the current virtual instant; crash and
+    /// recover are delivered as injected timers firing at `ev.at`, so
+    /// they run through the exact same actor path as scripted crash
+    /// windows.
+    pub fn apply_chaos(&mut self, ev: &ChaosEvent) {
+        let delay = ev.at.saturating_since(self.sim.now());
+        match ev.kind {
+            ChaosEventKind::Partition { link } => self.partition_link(link),
+            ChaosEventKind::Heal { link } => self.heal_link(link),
+            ChaosEventKind::Crash { isp } => self.inject_isp_timer(isp, delay, CRASH_TIMER),
+            ChaosEventKind::Recover { isp } => self.inject_isp_timer(isp, delay, RECOVER_TIMER),
+            ChaosEventKind::Detach { system } => self.detach_system(system),
+            ChaosEventKind::Attach { system } => self.attach_system(system),
+        }
+    }
+
+    /// Severs both directions of link `link` atomically: sends after
+    /// this instant are dropped at the source (counted in the
+    /// `channel.*.partitioned` metrics); messages already in flight
+    /// still arrive, and the reliable transport's retransmissions carry
+    /// the backlog across the eventual heal. Idempotent.
+    pub fn partition_link(&mut self, link: usize) {
+        assert!(link < self.links.len(), "unknown link {link}");
+        if self.partitioned[link] {
+            return;
+        }
+        self.partitioned[link] = true;
+        self.sim.metrics_mut().inc("chaos.partitions");
+        let info = self.links[link];
+        self.sim.set_link_blocked(
+            self.addr.actor_of(info.a_isp),
+            self.addr.actor_of(info.b_isp),
+            true,
+        );
+    }
+
+    /// Heals a partitioned link; retransmission timers already pending
+    /// on both ends deliver the backlog with no extra kick. Idempotent.
+    pub fn heal_link(&mut self, link: usize) {
+        assert!(link < self.links.len(), "unknown link {link}");
+        if !self.partitioned[link] {
+            return;
+        }
+        self.partitioned[link] = false;
+        self.sim.metrics_mut().inc("chaos.heals");
+        let info = self.links[link];
+        self.sim.set_link_blocked(
+            self.addr.actor_of(info.a_isp),
+            self.addr.actor_of(info.b_isp),
+            false,
+        );
+    }
+
+    /// Crashes IS-process slot `isp` (system-major order of
+    /// [`isp_procs`](Self::isp_procs)) at the current virtual instant.
+    pub fn crash_isp(&mut self, isp: usize) {
+        self.inject_isp_timer(isp, Duration::ZERO, CRASH_TIMER);
+    }
+
+    /// Recovers IS-process slot `isp`; recovery re-arms a *fresh*
+    /// resync sweep (a resync interrupted by the crash was discarded,
+    /// never merged).
+    pub fn recover_isp(&mut self, isp: usize) {
+        self.inject_isp_timer(isp, Duration::ZERO, RECOVER_TIMER);
+    }
+
+    fn inject_isp_timer(&mut self, isp: usize, delay: Duration, token: u64) {
+        let procs = self.isp_procs();
+        assert!(isp < procs.len(), "unknown IS-process slot {isp}");
+        self.sim
+            .inject_timer(self.addr.actor_of(procs[isp]), delay, token);
+    }
+
+    /// Detaches a whole system at the current virtual instant: every
+    /// incident link whose other endpoint is still attached is torn
+    /// down on both ends in lockstep — the link epoch is bumped, queued
+    /// and in-flight frames are drained (counted in
+    /// `membership.drained_pairs`), and any frame of the old epoch that
+    /// arrives later is rejected, not applied. Idempotent — composed
+    /// chaos schedules may double-fire.
+    pub fn detach_system(&mut self, system: usize) {
+        assert!(system < self.systems.len(), "unknown system {system}");
+        if !self.sys_attached[system] {
+            return;
+        }
+        self.sys_attached[system] = false;
+        self.sim.metrics_mut().inc("membership.detaches");
+        let now = self.sim.now();
+        let mut drained = 0u64;
+        for l in 0..self.links.len() {
+            let Some(other) = self.link_peer_system(l, system) else {
+                continue;
+            };
+            // A link is live only while BOTH endpoint systems are
+            // attached; if the other end already left, this link is
+            // already down.
+            if !self.sys_attached[other] {
+                continue;
+            }
+            drained += self.detach_link_ends(l, now);
+        }
+        if drained > 0 {
+            self.sim
+                .metrics_mut()
+                .add("membership.drained_pairs", drained);
+        }
+    }
+
+    /// (Re-)attaches a system: every incident link whose other endpoint
+    /// is attached comes online on both ends in lockstep (epoch bump),
+    /// and each endpoint IS-process immediately resyncs its full
+    /// replica over the live links — the same snapshot-plus-catch-up
+    /// path crash recovery uses — before resuming live propagation.
+    /// Idempotent.
+    pub fn attach_system(&mut self, system: usize) {
+        assert!(system < self.systems.len(), "unknown system {system}");
+        if self.sys_attached[system] {
+            return;
+        }
+        self.sys_attached[system] = true;
+        self.sim.metrics_mut().inc("membership.attaches");
+        for l in 0..self.links.len() {
+            let Some(other) = self.link_peer_system(l, system) else {
+                continue;
+            };
+            if !self.sys_attached[other] {
+                continue; // stays down until the other end attaches too
+            }
+            self.attach_link_ends(l);
+        }
+    }
+
+    /// Whether system `system` is currently attached.
+    pub fn system_attached(&self, system: usize) -> bool {
+        self.sys_attached[system]
+    }
+
+    /// Whether link `link` is currently partitioned.
+    pub fn link_partitioned(&self, link: usize) -> bool {
+        self.partitioned[link]
+    }
+
+    /// IS-process slots in deterministic system-major order — the index
+    /// space compiled chaos schedules use for crash/recover targets.
+    pub fn isp_procs(&self) -> Vec<ProcId> {
+        self.systems
+            .iter()
+            .flat_map(|s| s.isp_procs.iter().copied())
+            .collect()
+    }
+
+    /// The system on the far end of link `l` from `system`, if `l` is
+    /// incident to `system`.
+    fn link_peer_system(&self, l: usize, system: usize) -> Option<usize> {
+        let (sa, sb) = (
+            self.links[l].a_isp.system.index(),
+            self.links[l].b_isp.system.index(),
+        );
+        if sa == system {
+            Some(sb)
+        } else if sb == system {
+            Some(sa)
+        } else {
+            None
+        }
+    }
+
+    fn detach_link_ends(&mut self, l: usize, now: SimTime) -> u64 {
+        let info = self.links[l];
+        let mut drained = 0u64;
+        for (me, peer) in [(info.a_isp, info.b_isp), (info.b_isp, info.a_isp)] {
+            let idx = self.local_link_index(me, peer);
+            let actor = self.addr.actor_of(me);
+            drained += self
+                .sim
+                .actor_mut::<WorldActor>(actor)
+                .expect("world actors are WorldActor")
+                .detach_link(idx, now);
+        }
+        drained
+    }
+
+    fn attach_link_ends(&mut self, l: usize) {
+        let info = self.links[l];
+        for (me, peer) in [(info.a_isp, info.b_isp), (info.b_isp, info.a_isp)] {
+            let idx = self.local_link_index(me, peer);
+            let actor = self.addr.actor_of(me);
+            self.sim
+                .actor_mut::<WorldActor>(actor)
+                .expect("world actors are WorldActor")
+                .attach_link(idx);
+            // The attach armed a resync; poke the actor so the sweep
+            // runs now instead of waiting for unrelated traffic.
+            self.sim.inject_timer(actor, Duration::ZERO, POKE_TIMER);
+        }
+    }
+
+    fn local_link_index(&mut self, me: ProcId, peer: ProcId) -> usize {
+        let actor = self.addr.actor_of(me);
+        self.sim
+            .actor_mut::<WorldActor>(actor)
+            .expect("world actors are WorldActor")
+            .isp()
+            .expect("link endpoints are IS-processes")
+            .links()
+            .iter()
+            .position(|e| e.peer_isp == peer)
+            .expect("peer registered on this IS-process")
     }
 
     /// The systems of this world.

@@ -41,12 +41,20 @@ pub enum WorldMsg {
         /// [`crate::transport::frame_checksum`] over the above; a
         /// mismatch marks the frame as damaged in flight.
         checksum: u64,
+        /// Membership epoch of the link this frame was sent in. A frame
+        /// still in flight when its link is detached carries the old
+        /// epoch and is rejected on arrival, never applied (see
+        /// [`crate::actor::WorldActor::detach_link`]). Always `0` on a
+        /// link that never churned.
+        epoch: u64,
     },
     /// Reliable-transport cumulative acknowledgement: every frame with
     /// `seq ≤ cum` has been delivered in order.
     Ack {
         /// Highest contiguously delivered sequence number.
         cum: u64,
+        /// Membership epoch of the link (see [`WorldMsg::Frame::epoch`]).
+        epoch: u64,
     },
 }
 
@@ -59,7 +67,7 @@ impl fmt::Display for WorldMsg {
             WorldMsg::Frame { seq, pairs, .. } => {
                 write!(f, "frame #{seq} ({} pairs)", pairs.len())
             }
-            WorldMsg::Ack { cum } => write!(f, "ack ≤{cum}"),
+            WorldMsg::Ack { cum, .. } => write!(f, "ack ≤{cum}"),
         }
     }
 }

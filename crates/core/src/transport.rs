@@ -52,6 +52,14 @@ pub struct ReliableConfig {
     /// How long the oldest frame may stay unacknowledged before the
     /// sender enters degraded mode even with queue space left.
     pub degraded_after: Duration,
+    /// Bound on the degraded coalescing backlog (distinct variables
+    /// held). Under a sustained partition the backlog would otherwise
+    /// grow without bound; past the cap the sender sheds the *oldest*
+    /// variable's pending value (the receiver resyncs or reads a newer
+    /// write anyway — shedding old keeps the freshest state). Shed
+    /// counts surface as `isp.partition_sheds`. `usize::MAX` (the
+    /// default) keeps the pre-chaos unbounded behavior.
+    pub backlog_cap: usize,
 }
 
 impl Default for ReliableConfig {
@@ -63,6 +71,7 @@ impl Default for ReliableConfig {
             max_retries: 10,
             max_queue: 1024,
             degraded_after: Duration::from_millis(500),
+            backlog_cap: usize::MAX,
         }
     }
 }
@@ -96,6 +105,13 @@ impl ReliableConfig {
     /// Replaces the exponential-backoff cap.
     pub fn with_backoff_cap(mut self, cap: u32) -> Self {
         self.backoff_cap = cap;
+        self
+    }
+
+    /// Replaces the degraded-backlog bound.
+    pub fn with_backlog_cap(mut self, n: usize) -> Self {
+        assert!(n > 0, "the backlog needs room for at least one variable");
+        self.backlog_cap = n;
         self
     }
 
@@ -197,6 +213,9 @@ pub struct ReliableSender {
     degraded_ns: u64,
     /// High-water mark of the unacked queue.
     max_depth: usize,
+    /// Backlog entries shed past `backlog_cap`, not yet harvested by
+    /// [`take_shed`](Self::take_shed).
+    shed: u64,
 }
 
 impl ReliableSender {
@@ -213,6 +232,7 @@ impl ReliableSender {
             degraded_since: None,
             degraded_ns: 0,
             max_depth: 0,
+            shed: 0,
         }
     }
 
@@ -234,6 +254,11 @@ impl ReliableSender {
     /// High-water mark of the unacknowledged queue.
     pub fn max_depth(&self) -> usize {
         self.max_depth
+    }
+
+    /// Distinct variables currently held in the degraded backlog.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
     }
 
     /// Completed degraded-mode time; add the live spell via
@@ -285,8 +310,23 @@ impl ReliableSender {
         for (var, val) in pairs {
             if self.backlog.insert(var, val).is_none() {
                 self.backlog_order.push(var);
+                if self.backlog.len() > self.cfg.backlog_cap {
+                    // Shed-oldest: the variable untouched the longest
+                    // loses its pending value. Newer writes to shed
+                    // variables re-enter the backlog as fresh entries,
+                    // so per-variable last-write-wins is preserved.
+                    let oldest = self.backlog_order.remove(0);
+                    self.backlog.remove(&oldest);
+                    self.shed += 1;
+                }
             }
         }
+    }
+
+    /// Backlog entries shed since the last harvest (the caller turns
+    /// these into the `isp.partition_sheds` counter).
+    pub fn take_shed(&mut self) -> u64 {
+        std::mem::take(&mut self.shed)
     }
 
     /// Offers pairs for transmission. Returns the frame to put on the
@@ -316,7 +356,7 @@ impl ReliableSender {
         if acked > 0 {
             self.backoffs = 0;
             // The receiver is past every abandoned gap up to `cum`.
-            self.lo = self.lo.max(cum + 1);
+            self.lo = self.lo.max(cum.saturating_add(1));
         }
         let flush = if self.is_degraded() && !self.should_degrade(now) {
             if let Some(started) = self.degraded_since.take() {
@@ -666,6 +706,82 @@ mod tests {
         let got = rx.on_frame(3, 3, p.clone(), ck);
         assert_eq!(got.deliver, p);
         assert_eq!(got.ack, Some(3));
+    }
+
+    #[test]
+    fn backlog_cap_sheds_oldest_and_counts() {
+        let mut tx = ReliableSender::new(cfg().with_max_queue(1).with_backlog_cap(2));
+        tx.offer(pairs(&[1]), t(0)).unwrap();
+        // Queue full: everything below coalesces. Three distinct vars
+        // against a cap of 2 sheds the oldest (VarId 10).
+        assert!(tx.offer(vec![(VarId(10), val(1))], t(1)).is_none());
+        assert!(tx.offer(vec![(VarId(11), val(2))], t(2)).is_none());
+        assert!(tx.offer(vec![(VarId(12), val(3))], t(3)).is_none());
+        assert_eq!(tx.backlog_len(), 2);
+        assert_eq!(tx.take_shed(), 1);
+        assert_eq!(tx.take_shed(), 0, "harvest drains the accumulator");
+        let (_, flush) = tx.on_ack(1, t(4));
+        assert_eq!(
+            flush.unwrap().pairs,
+            vec![(VarId(11), val(2)), (VarId(12), val(3))],
+            "the oldest entry was shed, the survivors flush in touch order"
+        );
+    }
+
+    /// Satellite invariants of degraded-mode boundary behavior, probed
+    /// with a seeded random offer schedule under a sustained partition
+    /// (no acks ever arrive):
+    ///
+    /// 1. per-key monotonicity — bounded-queue last-write-wins
+    ///    coalescing never reorders same-variable writes from one
+    ///    writer: whatever survives in the backlog for a variable is
+    ///    always that writer's *newest* offered value for it;
+    /// 2. the backlog never exceeds the configured cap;
+    /// 3. the unacked-queue high-water mark (`send_queue_depth_max`)
+    ///    never exceeds `max_queue`.
+    #[test]
+    fn degraded_coalescing_is_per_key_monotone_and_bounded_under_partition() {
+        use cmi_sim::derive_rng;
+        for seed in 0..8u64 {
+            let mut rng = derive_rng(seed, 0xD3_6D);
+            let cap = 1 + (rng.next_u64() % 5) as usize;
+            let max_queue = 1 + (rng.next_u64() % 3) as usize;
+            let mut tx = ReliableSender::new(
+                ReliableConfig::default()
+                    .with_max_queue(max_queue)
+                    .with_backlog_cap(cap)
+                    .with_degraded_after(Duration::from_millis(10)),
+            );
+            // One writer issues strictly increasing seqs per variable.
+            let mut next_seq = vec![0u32; 6];
+            let mut newest: std::collections::HashMap<VarId, Value> =
+                std::collections::HashMap::new();
+            for step in 0..400u64 {
+                let var = VarId((rng.next_u64() % 6) as u32);
+                next_seq[var.0 as usize] += 1;
+                let v = Value::new(
+                    ProcId::new(SystemId(0), 0),
+                    var.0 * 1000 + next_seq[var.0 as usize],
+                );
+                newest.insert(var, v);
+                let _ = tx.offer(vec![(var, v)], t(step));
+                assert!(tx.backlog_len() <= cap, "seed {seed}: backlog over cap");
+                assert!(
+                    tx.max_depth() <= max_queue,
+                    "seed {seed}: unacked queue over max_queue"
+                );
+            }
+            // Drain: whatever survived must be the newest write per var.
+            let (_, flush) = tx.on_ack(u64::MAX, t(1000));
+            let survivors = flush.map(|f| f.pairs).unwrap_or_default();
+            assert!(survivors.len() <= cap);
+            for (var, v) in survivors {
+                assert_eq!(
+                    v, newest[&var],
+                    "seed {seed}: LWW must keep the writer's newest value for {var}"
+                );
+            }
+        }
     }
 
     #[test]

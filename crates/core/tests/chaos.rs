@@ -1,0 +1,346 @@
+//! Chaos-plane integration: dynamic membership (attach/detach with
+//! epoch fencing and replica resync), link partitions with
+//! reliable-transport catch-up, and composed seeded schedules — every
+//! run must terminate, stay causal, and replay byte-identically.
+//!
+//! The zero-cost contract is load-bearing: a world that never sees a
+//! chaos event serializes byte-identically to one built before the
+//! chaos plane existed, so X1–X20 artifacts cannot drift.
+
+use std::time::Duration;
+
+use cmi_checker::causal;
+use cmi_core::{InterconnectBuilder, LinkSpec, ReliableConfig, RunReport, SystemSpec, World};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_sim::{ChannelSpec, ChaosEvent, ChaosEventKind, ChaosSpec, FaultSpec};
+use cmi_types::SimTime;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn at(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+/// Two 2-process systems over one reliable framed link.
+fn reliable_pair(seed: u64, monitor: bool) -> World {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(
+        a,
+        c,
+        LinkSpec::new(ms(1))
+            .with_channel(ChannelSpec::fixed(ms(4)))
+            .with_reliability(ReliableConfig::default().with_rto(ms(30))),
+    );
+    if monitor {
+        b.enable_monitor();
+    }
+    b.build(seed).expect("pair is a tree")
+}
+
+/// Three systems in a chain, every link reliable.
+fn reliable_chain3(seed: u64, monitor: bool) -> World {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let handles: Vec<_> = (0..3)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(
+            w[0],
+            w[1],
+            LinkSpec::new(ms(1))
+                .with_channel(ChannelSpec::fixed(ms(4)))
+                .with_reliability(ReliableConfig::default().with_rto(ms(30))),
+        );
+    }
+    if monitor {
+        b.enable_monitor();
+    }
+    b.build(seed).expect("chains are trees")
+}
+
+fn busy() -> WorkloadSpec {
+    WorkloadSpec::small().with_ops(40).with_write_fraction(0.6)
+}
+
+fn assert_clean(report: &RunReport, what: &str) {
+    assert!(
+        report.outcome().is_quiescent(),
+        "{what}: run did not terminate"
+    );
+    let verdict = causal::check(&report.global_history());
+    assert!(verdict.is_causal(), "{what}: {:?}", verdict.verdict);
+}
+
+/// The zero-cost contract: an empty schedule through the chaos runner
+/// is byte-for-byte the plain run — the chaos plane costs nothing when
+/// unused.
+#[test]
+fn empty_schedule_is_byte_identical_to_plain_run() {
+    let wl = WorkloadSpec::small().with_ops(12);
+    let plain = reliable_pair(7, false).run(&wl).to_json().to_pretty();
+    let chaos = reliable_pair(7, false)
+        .run_with_chaos(&wl, &[])
+        .to_json()
+        .to_pretty();
+    assert_eq!(plain, chaos, "chaos plane must be zero-cost when unused");
+    assert!(
+        !plain.contains("chaos."),
+        "no chaos counters on a plain run"
+    );
+    assert!(!plain.contains("membership."));
+}
+
+/// A partition window mid-run: sends during the window are dropped at
+/// the source, the reliable transport carries the backlog across the
+/// heal, and the surviving history is causal (monitor-verified live).
+#[test]
+fn partition_heal_retransmits_backlog_and_stays_causal() {
+    let events = [
+        ChaosEvent {
+            at: at(40),
+            kind: ChaosEventKind::Partition { link: 0 },
+        },
+        ChaosEvent {
+            at: at(120),
+            kind: ChaosEventKind::Heal { link: 0 },
+        },
+    ];
+    let mut world = reliable_pair(11, true);
+    let report = world.run_with_chaos(&busy(), &events);
+    assert_clean(&report, "partitioned pair");
+    let m = report.metrics();
+    assert_eq!(m.counter("chaos.partitions"), 1);
+    assert_eq!(m.counter("chaos.heals"), 1);
+    assert!(
+        m.counter("isp.retransmits") > 0,
+        "the backlog must cross the heal via retransmission"
+    );
+    assert!(!world.link_partitioned(0));
+    let mon = report.monitor().expect("monitor enabled");
+    assert!(mon.is_clean(), "partition must never break causality");
+}
+
+/// Detach a system mid-run, re-attach it later: epochs advance in
+/// lockstep on both link ends, the re-attach resyncs the full replica
+/// (the crash-recovery snapshot path), and the history stays causal.
+#[test]
+fn detach_attach_resyncs_and_stays_causal() {
+    let events = [
+        ChaosEvent {
+            at: at(50),
+            kind: ChaosEventKind::Detach { system: 1 },
+        },
+        ChaosEvent {
+            at: at(130),
+            kind: ChaosEventKind::Attach { system: 1 },
+        },
+    ];
+    let mut world = reliable_pair(13, true);
+    let report = world.run_with_chaos(&busy(), &events);
+    assert_clean(&report, "churned pair");
+    assert!(world.system_attached(1), "system re-attached");
+    let m = report.metrics();
+    assert_eq!(m.counter("membership.detaches"), 1);
+    assert_eq!(m.counter("membership.attaches"), 1);
+    assert!(
+        m.counter("isp.resync_pairs") > 0,
+        "the attach must resync the replica over the live link"
+    );
+    assert!(report.monitor().expect("monitor enabled").is_clean());
+}
+
+/// Frames that were in flight when their system detached arrive with a
+/// stale epoch (or on an inactive link) and are rejected — never
+/// applied to the replica.
+#[test]
+fn stale_frames_from_a_detached_epoch_are_rejected() {
+    // A slow channel keeps frames in flight across the detach instant.
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(
+        a,
+        c,
+        LinkSpec::new(ms(1))
+            .with_channel(ChannelSpec::fixed(ms(10)))
+            .with_reliability(ReliableConfig::default().with_rto(ms(40))),
+    );
+    let mut world = b.build(19).expect("pair is a tree");
+    let events = [
+        ChaosEvent {
+            at: at(50),
+            kind: ChaosEventKind::Detach { system: 1 },
+        },
+        ChaosEvent {
+            at: at(140),
+            kind: ChaosEventKind::Attach { system: 1 },
+        },
+    ];
+    let report = world.run_with_chaos(
+        &WorkloadSpec::small()
+            .with_ops(40)
+            .with_write_fraction(0.8)
+            .with_mean_gap(ms(3)),
+        &events,
+    );
+    assert_clean(&report, "stale-epoch pair");
+    let m = report.metrics();
+    assert!(
+        m.counter("isp.stale_epoch_rejected") > 0,
+        "in-flight frames from the old epoch must be rejected"
+    );
+    assert!(
+        m.counter("membership.drained_pairs") > 0,
+        "unacked frames must be drained at detach"
+    );
+}
+
+/// A system built detached exchanges nothing until its first attach,
+/// then joins via the resync path and participates causally.
+#[test]
+fn initially_detached_system_joins_via_attach() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(
+        a,
+        c,
+        LinkSpec::new(ms(1))
+            .with_channel(ChannelSpec::fixed(ms(4)))
+            .with_reliability(ReliableConfig::default().with_rto(ms(30))),
+    );
+    b.start_detached(c);
+    let mut world = b.build(17).expect("pair is a tree");
+    assert!(!world.system_attached(1));
+    let events = [ChaosEvent {
+        at: at(60),
+        kind: ChaosEventKind::Attach { system: 1 },
+    }];
+    let report = world.run_with_chaos(&busy(), &events);
+    assert_clean(&report, "late joiner");
+    assert!(world.system_attached(1));
+    let m = report.metrics();
+    assert_eq!(m.counter("membership.attaches"), 1);
+    assert_eq!(
+        m.counter("membership.detaches"),
+        0,
+        "built detached, not detached at runtime"
+    );
+    assert!(
+        m.counter("isp.resync_pairs") > 0,
+        "the join must resync state written before it"
+    );
+    assert_eq!(
+        m.counter("isp.stale_epoch_rejected"),
+        0,
+        "epoch 0 never carried traffic, so nothing stale can arrive"
+    );
+}
+
+/// Crash-during-resync regression: an IS-process that crashes right
+/// after recovering (while its resync may still be armed or its resync
+/// frames unacked) must discard the half-applied resync and restart it
+/// fresh on the second recovery — the post-recovery history is causal
+/// for every seed.
+#[test]
+fn crash_during_resync_discards_and_restarts() {
+    for seed in 0..8u64 {
+        let events = [
+            ChaosEvent {
+                at: at(40),
+                kind: ChaosEventKind::Crash { isp: 0 },
+            },
+            ChaosEvent {
+                at: at(60),
+                kind: ChaosEventKind::Recover { isp: 0 },
+            },
+            // Second crash lands one millisecond after the recovery —
+            // before the resync frames round-trip (channel is 4 ms).
+            ChaosEvent {
+                at: at(61),
+                kind: ChaosEventKind::Crash { isp: 0 },
+            },
+            ChaosEvent {
+                at: at(110),
+                kind: ChaosEventKind::Recover { isp: 0 },
+            },
+        ];
+        let mut world = reliable_pair(seed, false);
+        let report = world.run_with_chaos(&busy(), &events);
+        assert_clean(&report, &format!("crash-mid-resync seed {seed}"));
+        let m = report.metrics();
+        assert_eq!(m.counter("isp.crashes"), 2, "seed {seed}");
+        assert_eq!(m.counter("isp.recoveries"), 2, "seed {seed}");
+    }
+}
+
+/// The full composition — partitions, crashes and membership churn from
+/// one seeded compiled schedule on a three-system chain — terminates,
+/// stays causal under live monitoring, and replays byte-identically.
+#[test]
+fn composed_seeded_chaos_replays_byte_identically() {
+    let run = |seed: u64, monitor: bool| -> RunReport {
+        let mut world = reliable_chain3(seed, monitor);
+        let spec = ChaosSpec::new(ms(160))
+            .with_partitions(2, ms(15), ms(50))
+            .with_crashes(1, ms(10), ms(30))
+            .with_churn(2, ms(20), ms(60));
+        let events = world.compile_chaos(&spec, seed ^ 0xC4A0);
+        assert!(!events.is_empty(), "busy spec must compile to events");
+        world.run_with_chaos(&busy(), &events)
+    };
+    // Byte-identity on monitor-off runs: the monitor block carries
+    // wall-clock check latencies and is the one documented exception
+    // to replay identity (see the monitor tests).
+    let a = run(23, false);
+    let b = run(23, false);
+    assert_eq!(
+        a.to_json().to_pretty(),
+        b.to_json().to_pretty(),
+        "same seed + same schedule must replay byte-identically"
+    );
+    assert_clean(&a, "composed chaos");
+    let monitored = run(23, true);
+    assert!(
+        monitored.monitor().expect("monitor enabled").is_clean(),
+        "surviving history must be causal under composed chaos"
+    );
+}
+
+/// Satellite: the retry cap fires under total loss, the lo-watermark
+/// skips the gap, and the abandonment is pinned in
+/// `transport.abandoned_pairs` (mirroring `isp.pairs_abandoned`).
+#[test]
+fn retry_cap_abandonment_pins_the_abandoned_pairs_counter() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+    let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+    b.link(
+        a,
+        c,
+        LinkSpec::new(ms(1))
+            .with_channel(ChannelSpec::fixed(ms(4)).with_faults(FaultSpec::none().with_drop(1.0)))
+            .with_reliability(
+                ReliableConfig::default()
+                    .with_rto(ms(10))
+                    .with_max_retries(2),
+            ),
+    );
+    let mut world = b.build(29).expect("pair is a tree");
+    let report = world.run(&WorkloadSpec::small().with_ops(10).with_write_fraction(1.0));
+    assert!(report.outcome().is_quiescent(), "abandonment must unblock");
+    let m = report.metrics();
+    assert!(
+        m.counter("transport.abandoned_pairs") > 0,
+        "total loss plus a retry cap must abandon pairs"
+    );
+    assert_eq!(
+        m.counter("transport.abandoned_pairs"),
+        m.counter("isp.pairs_abandoned"),
+        "the two abandonment counters count the same pairs"
+    );
+}

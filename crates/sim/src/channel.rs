@@ -344,6 +344,7 @@ pub(crate) struct ChannelCounters {
     pub(crate) duplicated: MetricId,
     pub(crate) reordered: MetricId,
     pub(crate) corrupted: MetricId,
+    pub(crate) partitioned: MetricId,
 }
 
 impl ChannelCounters {
@@ -355,6 +356,7 @@ impl ChannelCounters {
             duplicated: metrics.key(&format!("channel.{from}->{to}.duplicated")),
             reordered: metrics.key(&format!("channel.{from}->{to}.reordered")),
             corrupted: metrics.key(&format!("channel.{from}->{to}.corrupted")),
+            partitioned: metrics.key(&format!("channel.{from}->{to}.partitioned")),
         }
     }
 }
@@ -374,6 +376,10 @@ pub(crate) struct ChannelState {
     /// Pre-resolved fault-counter ids (`None` until the builder resolves
     /// them against the world's registry).
     pub(crate) counters: Option<ChannelCounters>,
+    /// Partitioned: every send is discarded (and counted) until healed.
+    /// In-flight deliveries are unaffected — a partition severs the link
+    /// at the send instant, it does not reach into the queue.
+    pub(crate) blocked: bool,
 }
 
 impl ChannelState {
@@ -384,6 +390,7 @@ impl ChannelState {
             fault_rng: SplitMix64::seed_from_u64(0),
             msg_index: 0,
             counters: None,
+            blocked: false,
         }
     }
 

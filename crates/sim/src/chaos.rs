@@ -1,0 +1,461 @@
+//! Deterministic chaos orchestration: compile a seeded schedule of
+//! composed fault events — partition, heal, crash, recover, detach,
+//! attach — against the virtual clock.
+//!
+//! The compiler is pure and world-agnostic: it knows only abstract index
+//! spaces (inter-system links, IS-process slots, churnable systems) and
+//! turns a [`ChaosSpec`] plus a seed into a time-sorted event list. The
+//! embedding layer (cmi-core's chaos runner) maps the indices onto real
+//! links and actors and applies each event between bounded `Sim::run`
+//! segments. Because every mutation lands at a fixed virtual instant and
+//! the compiler draws from its own derived RNG streams (one per event
+//! category), any chaos run replays byte-identically from its seed, and
+//! a run whose spec is empty is indistinguishable from one with no chaos
+//! support at all.
+//!
+//! Windows drawn for the same target never overlap: later draws that
+//! would overlap an earlier window on that target are discarded (a
+//! deterministic pruning, not an error), so `Partition`/`Heal`,
+//! `Crash`/`Recover` and `Detach`/`Attach` always alternate per target.
+//! At equal instants, closing events sort before opening ones.
+
+use std::fmt;
+use std::time::Duration;
+
+use cmi_types::SimTime;
+
+use crate::rng::{derive_rng, SplitMix64};
+
+/// One chaos event, applied at a fixed virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEventKind {
+    /// Sever both directions of inter-system link `link` atomically.
+    Partition {
+        /// Index into the world's inter-system link list.
+        link: usize,
+    },
+    /// Restore both directions of inter-system link `link`.
+    Heal {
+        /// Index into the world's inter-system link list.
+        link: usize,
+    },
+    /// Crash the IS-process in slot `isp`.
+    Crash {
+        /// Index into the world's IS-process list.
+        isp: usize,
+    },
+    /// Recover the IS-process in slot `isp` (triggers replica resync).
+    Recover {
+        /// Index into the world's IS-process list.
+        isp: usize,
+    },
+    /// Detach system `system` from the interconnection: its IS-processes
+    /// stop propagating, in-flight frames are abandoned, and the
+    /// membership epoch of every incident link advances so stale frames
+    /// are rejected.
+    Detach {
+        /// Index into the world's system list.
+        system: usize,
+    },
+    /// Re-attach system `system`: membership epochs advance again and
+    /// both ends of every incident link resync (snapshot push + live
+    /// propagation).
+    Attach {
+        /// Index into the world's system list.
+        system: usize,
+    },
+}
+
+impl ChaosEventKind {
+    /// `true` for events that end a fault window (`Heal`, `Recover`,
+    /// `Attach`); these sort before opening events at equal instants so
+    /// adjacent windows on one target never momentarily overlap.
+    pub fn is_closing(&self) -> bool {
+        matches!(
+            self,
+            ChaosEventKind::Heal { .. }
+                | ChaosEventKind::Recover { .. }
+                | ChaosEventKind::Attach { .. }
+        )
+    }
+
+    /// (category, target) sort key for deterministic tie-breaks.
+    fn key(&self) -> (u8, usize) {
+        match *self {
+            ChaosEventKind::Partition { link } => (0, link),
+            ChaosEventKind::Heal { link } => (0, link),
+            ChaosEventKind::Crash { isp } => (1, isp),
+            ChaosEventKind::Recover { isp } => (1, isp),
+            ChaosEventKind::Detach { system } => (2, system),
+            ChaosEventKind::Attach { system } => (2, system),
+        }
+    }
+}
+
+impl fmt::Display for ChaosEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosEventKind::Partition { link } => write!(f, "partition link {link}"),
+            ChaosEventKind::Heal { link } => write!(f, "heal link {link}"),
+            ChaosEventKind::Crash { isp } => write!(f, "crash isp {isp}"),
+            ChaosEventKind::Recover { isp } => write!(f, "recover isp {isp}"),
+            ChaosEventKind::Detach { system } => write!(f, "detach system {system}"),
+            ChaosEventKind::Attach { system } => write!(f, "attach system {system}"),
+        }
+    }
+}
+
+/// A [`ChaosEventKind`] bound to its virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// When the event is applied.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: ChaosEventKind,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms {}", self.at.as_nanos() / 1_000_000, self.kind)
+    }
+}
+
+/// Rates and durations of a chaos schedule. Counts are *attempts*: a
+/// window that would overlap an earlier window on the same target is
+/// pruned, so the compiled schedule may carry fewer windows than asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Window starts are drawn uniformly from `[0, horizon)`.
+    pub horizon: Duration,
+    /// Partition windows to attempt.
+    pub partitions: u32,
+    /// Shortest partition duration.
+    pub partition_min: Duration,
+    /// Longest partition duration (inclusive bound of the draw).
+    pub partition_max: Duration,
+    /// Crash windows to attempt.
+    pub crashes: u32,
+    /// Shortest crash outage.
+    pub crash_min: Duration,
+    /// Longest crash outage.
+    pub crash_max: Duration,
+    /// Detach→attach churn cycles to attempt.
+    pub churns: u32,
+    /// Shortest detachment.
+    pub detach_min: Duration,
+    /// Longest detachment.
+    pub detach_max: Duration,
+}
+
+impl ChaosSpec {
+    /// A quiet spec over `horizon`: compiles to an empty schedule until
+    /// rates are added.
+    pub fn new(horizon: Duration) -> Self {
+        ChaosSpec {
+            horizon,
+            partitions: 0,
+            partition_min: Duration::ZERO,
+            partition_max: Duration::ZERO,
+            crashes: 0,
+            crash_min: Duration::ZERO,
+            crash_max: Duration::ZERO,
+            churns: 0,
+            detach_min: Duration::ZERO,
+            detach_max: Duration::ZERO,
+        }
+    }
+
+    /// Attempts `n` partition windows lasting `min..=max`.
+    pub fn with_partitions(mut self, n: u32, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "partition_min must not exceed partition_max");
+        self.partitions = n;
+        self.partition_min = min;
+        self.partition_max = max;
+        self
+    }
+
+    /// Attempts `n` crash windows lasting `min..=max`.
+    pub fn with_crashes(mut self, n: u32, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "crash_min must not exceed crash_max");
+        self.crashes = n;
+        self.crash_min = min;
+        self.crash_max = max;
+        self
+    }
+
+    /// Attempts `n` detach→attach cycles lasting `min..=max`.
+    pub fn with_churn(mut self, n: u32, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "detach_min must not exceed detach_max");
+        self.churns = n;
+        self.detach_min = min;
+        self.detach_max = max;
+        self
+    }
+
+    /// `true` if the spec compiles to an empty schedule for any world.
+    pub fn is_quiet(&self) -> bool {
+        self.partitions == 0 && self.crashes == 0 && self.churns == 0
+    }
+}
+
+/// `(target, start_ns, end_ns)` windows, one category at a time.
+fn draw_windows(
+    rng: &mut SplitMix64,
+    attempts: u32,
+    targets: usize,
+    horizon: Duration,
+    min: Duration,
+    max: Duration,
+) -> Vec<(usize, u64, u64)> {
+    if attempts == 0 || targets == 0 {
+        return Vec::new();
+    }
+    let horizon_ns = u64::try_from(horizon.as_nanos()).expect("horizon too large");
+    assert!(horizon_ns > 0, "chaos horizon must be positive");
+    let min_ns = u64::try_from(min.as_nanos()).expect("duration too large");
+    let max_ns = u64::try_from(max.as_nanos()).expect("duration too large");
+    let mut windows = Vec::with_capacity(attempts as usize);
+    for _ in 0..attempts {
+        let target = if targets == 1 {
+            0
+        } else {
+            rng.gen_range(0..targets as u64) as usize
+        };
+        let start = rng.gen_range(0..horizon_ns);
+        let dur = if max_ns > min_ns {
+            min_ns + rng.gen_range(0..max_ns - min_ns + 1)
+        } else {
+            min_ns
+        };
+        windows.push((target, start, start.saturating_add(dur.max(1))));
+    }
+    // Per-target overlap pruning: keep the earliest-starting window of
+    // any overlapping pair (ties broken by end, then draw order through
+    // the stable sort).
+    windows.sort_by_key(|&(t, s, e)| (t, s, e));
+    let mut kept: Vec<(usize, u64, u64)> = Vec::with_capacity(windows.len());
+    for w in windows {
+        if let Some(&(pt, _, pe)) = kept.last() {
+            if pt == w.0 && w.1 < pe {
+                continue;
+            }
+        }
+        kept.push(w);
+    }
+    kept
+}
+
+/// Compiles `spec` into a time-sorted event schedule for a world with
+/// `links` inter-system links, `isps` IS-process slots and the systems
+/// in `churnable` eligible for detach/attach cycles.
+///
+/// Determinism: the three event categories draw from independent RNG
+/// streams derived from `seed`, so changing one rate never perturbs the
+/// schedule of another category. The same `(spec, seed, topology)`
+/// always compiles to the same schedule.
+///
+/// # Panics
+///
+/// Panics if the spec requests windows over a zero horizon.
+pub fn compile(
+    spec: &ChaosSpec,
+    seed: u64,
+    links: usize,
+    isps: usize,
+    churnable: &[usize],
+) -> Vec<ChaosEvent> {
+    let mut events = Vec::new();
+    let push_pair = |events: &mut Vec<ChaosEvent>,
+                     windows: Vec<(usize, u64, u64)>,
+                     open: fn(usize) -> ChaosEventKind,
+                     close: fn(usize) -> ChaosEventKind| {
+        for (target, start, end) in windows {
+            events.push(ChaosEvent {
+                at: SimTime::from_nanos(start),
+                kind: open(target),
+            });
+            events.push(ChaosEvent {
+                at: SimTime::from_nanos(end),
+                kind: close(target),
+            });
+        }
+    };
+    let mut rng = derive_rng(seed, 0x6368_0001);
+    push_pair(
+        &mut events,
+        draw_windows(
+            &mut rng,
+            spec.partitions,
+            links,
+            spec.horizon,
+            spec.partition_min,
+            spec.partition_max,
+        ),
+        |link| ChaosEventKind::Partition { link },
+        |link| ChaosEventKind::Heal { link },
+    );
+    let mut rng = derive_rng(seed, 0x6368_0002);
+    push_pair(
+        &mut events,
+        draw_windows(
+            &mut rng,
+            spec.crashes,
+            isps,
+            spec.horizon,
+            spec.crash_min,
+            spec.crash_max,
+        ),
+        |isp| ChaosEventKind::Crash { isp },
+        |isp| ChaosEventKind::Recover { isp },
+    );
+    let mut rng = derive_rng(seed, 0x6368_0003);
+    let churn_windows = draw_windows(
+        &mut rng,
+        spec.churns,
+        churnable.len(),
+        spec.horizon,
+        spec.detach_min,
+        spec.detach_max,
+    )
+    .into_iter()
+    .map(|(i, s, e)| (churnable[i], s, e))
+    .collect();
+    push_pair(
+        &mut events,
+        churn_windows,
+        |system| ChaosEventKind::Detach { system },
+        |system| ChaosEventKind::Attach { system },
+    );
+    sort_schedule(&mut events);
+    events
+}
+
+/// Sorts a schedule into application order: by instant, closings first
+/// at ties, then by (category, target). Use this after merging compiled
+/// events with hand-scripted ones (scenario `membership` blocks) so the
+/// combined schedule applies exactly like a compiled one.
+pub fn sort_schedule(events: &mut [ChaosEvent]) {
+    events.sort_by_key(|e| {
+        let (category, target) = e.kind.key();
+        (e.at, !e.kind.is_closing(), category, target)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn busy_spec() -> ChaosSpec {
+        ChaosSpec::new(ms(1000))
+            .with_partitions(6, ms(20), ms(120))
+            .with_crashes(4, ms(10), ms(60))
+            .with_churn(5, ms(30), ms(150))
+    }
+
+    #[test]
+    fn quiet_spec_compiles_to_nothing() {
+        let spec = ChaosSpec::new(ms(500));
+        assert!(spec.is_quiet());
+        assert!(compile(&spec, 7, 3, 6, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn same_seed_compiles_identically() {
+        let spec = busy_spec();
+        let a = compile(&spec, 42, 2, 4, &[1, 2]);
+        let b = compile(&spec, 42, 2, 4, &[1, 2]);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = compile(&spec, 43, 2, 4, &[1, 2]);
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_with_closings_first_on_ties() {
+        let events = compile(&busy_spec(), 9, 3, 6, &[0, 1, 2]);
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "{} before {}", pair[0], pair[1]);
+            if pair[0].at == pair[1].at {
+                assert!(
+                    pair[0].kind.is_closing() || !pair[1].kind.is_closing(),
+                    "closing events sort first at equal instants"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windows_never_overlap_per_target() {
+        // Many attempts on one link force pruning to kick in.
+        let spec = ChaosSpec::new(ms(300)).with_partitions(40, ms(10), ms(80));
+        let events = compile(&spec, 5, 1, 0, &[]);
+        assert!(!events.is_empty());
+        let mut open = false;
+        for e in &events {
+            match e.kind {
+                ChaosEventKind::Partition { link } => {
+                    assert_eq!(link, 0);
+                    assert!(!open, "partition while already partitioned");
+                    open = true;
+                }
+                ChaosEventKind::Heal { link } => {
+                    assert_eq!(link, 0);
+                    assert!(open, "heal without a partition");
+                    open = false;
+                }
+                other => panic!("unexpected event {other}"),
+            }
+        }
+        assert!(!open, "every partition heals");
+    }
+
+    #[test]
+    fn churn_only_touches_churnable_systems() {
+        let spec = ChaosSpec::new(ms(800)).with_churn(12, ms(10), ms(50));
+        let events = compile(&spec, 11, 0, 0, &[2, 4]);
+        assert!(!events.is_empty());
+        for e in &events {
+            match e.kind {
+                ChaosEventKind::Detach { system } | ChaosEventKind::Attach { system } => {
+                    assert!(system == 2 || system == 4, "churned system {system}");
+                }
+                other => panic!("unexpected event {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn categories_draw_from_independent_streams() {
+        let base = busy_spec();
+        let more_crashes = ChaosSpec {
+            crashes: base.crashes + 3,
+            ..base
+        };
+        let a = compile(&base, 21, 3, 6, &[1]);
+        let b = compile(&more_crashes, 21, 3, 6, &[1]);
+        let partitions = |evs: &[ChaosEvent]| {
+            evs.iter()
+                .filter(|e| matches!(e.kind, ChaosEventKind::Partition { .. }))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            partitions(&a),
+            partitions(&b),
+            "crash rate change must not shift partition draws"
+        );
+    }
+
+    #[test]
+    fn display_renders_compactly() {
+        let e = ChaosEvent {
+            at: SimTime::from_millis(250),
+            kind: ChaosEventKind::Detach { system: 2 },
+        };
+        assert_eq!(e.to_string(), "t=250ms detach system 2");
+    }
+}

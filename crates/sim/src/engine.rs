@@ -183,6 +183,16 @@ impl<M: fmt::Debug + Clone> Engine<M> {
             .channels
             .get_mut(&(from, to))
             .unwrap_or_else(|| panic!("no channel {from} → {to} registered in the topology"));
+        if channel.blocked {
+            // Partitioned: the send is discarded at the send instant
+            // (messages already in flight still arrive). No RNG stream is
+            // touched, so healing resumes the exact unpartitioned draws.
+            let counters = channel
+                .counters
+                .expect("channel counters resolved at build");
+            self.metrics.inc_id(counters.partitioned);
+            return;
+        }
         let jitter = if channel.spec.jitter.is_zero() {
             Duration::ZERO
         } else {
@@ -279,6 +289,14 @@ impl<M: fmt::Debug + Clone> Engine<M> {
 
     pub(crate) fn has_channel(&self, from: ActorId, to: ActorId) -> bool {
         self.channels.contains_key(&(from, to))
+    }
+
+    pub(crate) fn set_blocked(&mut self, from: ActorId, to: ActorId, blocked: bool) {
+        let channel = self
+            .channels
+            .get_mut(&(from, to))
+            .unwrap_or_else(|| panic!("no channel {from} → {to} registered in the topology"));
+        channel.blocked = blocked;
     }
 
     pub(crate) fn note(&mut self, actor: ActorId, text: String) {
@@ -692,6 +710,45 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
     pub fn actor_count(&self) -> usize {
         self.actors.len()
     }
+
+    /// Sets or clears the partitioned state of the directed channel
+    /// `from → to`. While partitioned, every send on the channel is
+    /// discarded at the send instant and counted in
+    /// `channel.{from}->{to}.partitioned`; messages already in flight
+    /// still arrive. No RNG stream is consulted, so a heal resumes the
+    /// channel's fault and jitter draws exactly where they stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist — a harness bug.
+    pub fn set_channel_blocked(&mut self, from: ActorId, to: ActorId, blocked: bool) {
+        self.engine.set_blocked(from, to, blocked);
+    }
+
+    /// Sets or clears the partitioned state of both directions of the
+    /// link `a ↔ b` atomically (no event can interleave between the two
+    /// direction updates — the engine is not running while this is
+    /// called).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either direction is missing — a harness bug.
+    pub fn set_link_blocked(&mut self, a: ActorId, b: ActorId, blocked: bool) {
+        self.engine.set_blocked(a, b, blocked);
+        self.engine.set_blocked(b, a, blocked);
+    }
+
+    /// Injects a timer event for `actor`, firing `delay` after the
+    /// current virtual time — the harness-side counterpart of
+    /// [`Ctx::schedule`](crate::Ctx::schedule). Orchestrators that
+    /// mutate actor state between run segments (chaos membership
+    /// changes, crash scripts) use this to hand the actor a live
+    /// context right after the surgery, so deferred work (resyncs,
+    /// driver resumption) is not stranded until unrelated traffic
+    /// happens to arrive.
+    pub fn inject_timer(&mut self, actor: ActorId, delay: Duration, token: u64) {
+        self.engine.schedule_timer(actor, delay, token);
+    }
 }
 
 #[cfg(test)]
@@ -808,6 +865,83 @@ mod tests {
         let sink = sim.actor::<Flood>(a1).unwrap();
         assert_eq!(sink.received, vec![0, 1, 2]);
         assert_eq!(sim.now(), SimTime::from_millis(51));
+    }
+
+    /// Sends one payload at t=0 and one more per timer fire.
+    struct Beacon {
+        peer: ActorId,
+        sent: u32,
+    }
+
+    impl Actor<u32> for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.peer, self.sent);
+            self.sent += 1;
+            ctx.schedule(ms(50), 0);
+        }
+
+        fn on_message(&mut self, _from: ActorId, _msg: u32, _ctx: &mut Ctx<'_, u32>) {}
+
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.peer, self.sent);
+            self.sent += 1;
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn partitioned_channel_drops_sends_and_heals_cleanly() {
+        // The t=0 send hits the partition and is discarded; healing
+        // before the t=50ms beacon lets the next send through untouched.
+        let mut b = SimBuilder::new(4);
+        let peer = ActorId(1);
+        let a0 = b.add_actor(Box::new(Beacon { peer, sent: 0 }), NetworkTag(0));
+        let a1 = b.add_actor(Flood::sink(), NetworkTag(1));
+        b.connect_bidi(a0, a1, ChannelSpec::fixed(ms(2)));
+        let mut sim = b.build();
+        sim.set_link_blocked(a0, a1, true);
+        sim.run(RunLimit::until(SimTime::from_millis(20)));
+        assert!(sim.actor::<Flood>(a1).unwrap().received.is_empty());
+        assert_eq!(
+            sim.metrics()
+                .counter(&format!("channel.{a0}->{a1}.partitioned")),
+            1
+        );
+        assert_eq!(sim.stats().total_messages(), 0, "dropped before accounting");
+        sim.set_link_blocked(a0, a1, false);
+        assert!(sim.run(RunLimit::unlimited()).is_quiescent());
+        assert_eq!(
+            sim.actor::<Flood>(a1).unwrap().received,
+            vec![1],
+            "the post-heal send arrives; the partitioned one is gone"
+        );
+        assert_eq!(
+            sim.metrics()
+                .counter(&format!("channel.{a0}->{a1}.partitioned")),
+            1
+        );
+    }
+
+    #[test]
+    fn in_flight_messages_survive_a_partition() {
+        let (mut sim, a0, a1) = two_actor_world(ChannelSpec::fixed(ms(10)), 5, 1);
+        // Let the sends enter the channel, then partition mid-flight.
+        sim.run(RunLimit::events(0));
+        sim.set_channel_blocked(a0, a1, true);
+        sim.run(RunLimit::unlimited());
+        let sink = sim.actor::<Flood>(a1).unwrap();
+        assert_eq!(
+            sink.received,
+            vec![0, 1, 2, 3, 4],
+            "a partition severs sends, not deliveries already in flight"
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 pub mod actor;
 pub mod channel;
+pub mod chaos;
 pub mod engine;
 pub mod rng;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod trace;
 
 pub use actor::{Actor, ActorId, Ctx};
 pub use channel::{Availability, ChannelSpec, FaultAction, FaultSpec};
+pub use chaos::{sort_schedule, ChaosEvent, ChaosEventKind, ChaosSpec};
 pub use engine::{Corrupter, RunLimit, RunOutcome, Sim, SimBuilder};
 pub use rng::{derive_rng, derive_seed, SplitMix64};
 pub use stats::{NetworkTag, TrafficStats};

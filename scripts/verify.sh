@@ -101,4 +101,28 @@ grep -q '"monitor"' "$artifact_dir/monitor_run.json" \
     || { echo "FAIL: --json artifact lost its monitor block" >&2; exit 1; }
 mkdir -p artifacts && cp "$artifact_dir/monitor_smoke.txt" artifacts/monitor_smoke.txt
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker and monitor baselines all passed"
+echo "==> chaos baseline check (X21 vs committed BENCH_CHAOS.json)"
+# Structural fields (sweep axes, every-cell causality, delivered/shed
+# accounting, byte-identical replay, exact-op stale-read alerting) must
+# match the committed baseline exactly; wall times only within the
+# tolerance window. --quick times one rep instead of a median of three.
+./target/release/exp_x21_chaos --quick --json "$artifact_dir/bench_chaos.json" \
+    --check BENCH_CHAOS.json > "$artifact_dir/x21.txt"
+grep -q 'churn × partition × loss sweep' "$artifact_dir/x21.txt" \
+    || { echo "FAIL: X21 report lost its sweep table" >&2; exit 1; }
+grep -q 'replay byte-identical' "$artifact_dir/x21.txt" \
+    || { echo "FAIL: X21 composed chaos schedule no longer replays" >&2; exit 1; }
+
+echo "==> chaos smoke run (cmi-cli run --monitor on the churn scenario)"
+# Attach a detached system, ride out a seeded partition window, and the
+# surviving history must still be causal: monitor verdict causal with
+# monitor.violations == 0 in the JSON artifact. CI uploads the summary.
+./target/release/cmi-cli run crates/cli/scenarios/chaos_churn.json --monitor \
+    --json "$artifact_dir/chaos_run.json" > "$artifact_dir/chaos_smoke.txt"
+grep -q 'verdict: causal' "$artifact_dir/chaos_smoke.txt" \
+    || { echo "FAIL: monitor not quiet on the chaos churn scenario" >&2; exit 1; }
+grep -q '"monitor.violations": 0' "$artifact_dir/chaos_run.json" \
+    || { echo "FAIL: chaos run reported violations != 0" >&2; exit 1; }
+cp "$artifact_dir/chaos_smoke.txt" artifacts/chaos_smoke.txt
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor and chaos baselines all passed"
