@@ -23,6 +23,7 @@ pub mod x18_perf;
 pub mod x19_checker;
 pub mod x20_monitor;
 pub mod x21_chaos;
+pub mod x22_telemetry;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -95,7 +96,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X21".into())),
+        ("suite", Json::Str("cmi experiments X1-X22".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -154,6 +155,10 @@ pub fn registry() -> Vec<Experiment> {
         (
             "X21 churn under chaos: membership & partitions (extension)",
             x21_chaos::run,
+        ),
+        (
+            "X22 flight-recorder telemetry (extension)",
+            x22_telemetry::run,
         ),
     ]
 }

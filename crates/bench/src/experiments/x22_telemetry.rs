@@ -1,0 +1,416 @@
+//! X22 (extension) — flight-recorder telemetry: sampled timelines of a
+//! chaos run, watchdog alerting and the overhead gate.
+//!
+//! X21 established that partition/heal/churn schedules replay
+//! byte-identically and that the bounded retransmit backlog sheds under
+//! sustained partitions. This experiment points the `cmi-obs`
+//! flight recorder at the same regime and asserts the *timeline* tells
+//! that story: the delta-encoded samples show a shed burst while a
+//! partition window is open, deliveries (`isp.propagate_in`) keep
+//! climbing after the heal, and a watchdog armed on the shed counter
+//! fires during the burst. Because samples are taken at a virtual-time
+//! cadence from the interned registry, the JSONL timeline of a seeded
+//! run is byte-identical across replays — the second arm pins that.
+//! The third arm gates the cost of watching: the identical workload is
+//! timed with telemetry on and off, the engine event counts must agree
+//! exactly (sampling adds no events), and the wall-clock overhead
+//! ratio is regression-checked against the committed
+//! `BENCH_TELEMETRY.json` artifact.
+
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, LinkSpec, ReliableConfig, RunReport, SystemSpec, World};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::{bench, Json, TelemetryConfig, TimeSeries, ToJson, WatchKind, WatchdogSpec};
+use cmi_sim::ChaosSpec;
+
+use crate::table::Table;
+
+/// Timing fields are accepted within this factor of the committed
+/// baseline in either direction (same window as X18-X21).
+pub const TIMING_TOLERANCE: f64 = 32.0;
+
+/// Sampling cadences swept in the deterministic report (virtual ms).
+pub const CADENCE_MS: [u64; 3] = [1, 2, 5];
+
+/// Seed chosen so the drawn partition windows open while propagation is
+/// in flight: the backlog cap sheds during the window (the burst) and
+/// deliveries resume after the heal (the recovery).
+const SWEEP_SEED: u64 = 0x17;
+
+/// Chaos horizon; window starts are drawn from `[0, HORIZON)`.
+const HORIZON: Duration = Duration::from_millis(100);
+
+/// X21's chain regime, tightened so partitions visibly shed: three
+/// two-process Ahamad systems on reliable 4 ms links, six variables
+/// against a two-variable coalescing backlog — a degraded sender under
+/// an open partition must drop its oldest pending writes.
+fn chain_world(telemetry: Option<TelemetryConfig>, seed: u64) -> World {
+    let mut b = InterconnectBuilder::new().with_vars(6);
+    if let Some(cfg) = telemetry {
+        b.enable_telemetry(cfg);
+    }
+    let handles: Vec<_> = (0..3)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(
+            w[0],
+            w[1],
+            LinkSpec::new(Duration::from_millis(4)).with_reliability(
+                ReliableConfig::default()
+                    .with_rto(Duration::from_millis(25))
+                    .with_degraded_after(Duration::from_millis(10))
+                    .with_backlog_cap(2),
+            ),
+        );
+    }
+    b.build(seed).expect("chain is a tree")
+}
+
+/// Write-heavy and fast, so partition windows overlap in-flight
+/// propagation (X21's workload).
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::small()
+        .with_ops(12)
+        .with_write_fraction(0.6)
+        .with_vars(6)
+        .with_mean_gap(Duration::from_millis(3))
+}
+
+/// The partition/heal/churn schedule every telemetry arm replays.
+fn chaos_spec() -> ChaosSpec {
+    ChaosSpec::new(HORIZON)
+        .with_partitions(2, Duration::from_millis(40), Duration::from_millis(40))
+        .with_churn(1, Duration::from_millis(20), Duration::from_millis(40))
+}
+
+/// Telemetry armed for the chaos run: 1 ms cadence and a watchdog on
+/// the shed counter, so the burst itself raises a structured alert.
+fn armed_telemetry(every_ms: u64) -> TelemetryConfig {
+    TelemetryConfig::default()
+        .with_every_ms(every_ms)
+        .with_capacity(512)
+        .with_watchdog(WatchdogSpec::new(
+            "isp.partition_sheds",
+            WatchKind::Above,
+            0.0,
+        ))
+}
+
+/// One telemetry-instrumented chaos run at the given cadence.
+fn chaos_run(every_ms: u64) -> RunReport {
+    let mut world = chain_world(Some(armed_telemetry(every_ms)), SWEEP_SEED);
+    let events = world.compile_chaos(&chaos_spec(), SWEEP_SEED);
+    world.run_with_chaos(&workload(), &events)
+}
+
+/// What the timeline must show about the partition window. Returns
+/// `(shed_burst, recovery_after_heal, watchdog_fired_on_shed)`:
+/// the shed counter rises mid-run, deliveries keep climbing *after*
+/// the first shed sample, and the armed watchdog names the shed metric.
+fn timeline_story(t: &TimeSeries) -> (bool, bool, bool) {
+    let sheds = t.series("isp.partition_sheds");
+    let shed_burst = sheds.last().is_some_and(|&(_, v)| v > 0.0);
+    let recovery = match sheds.iter().find(|&&(_, v)| v > 0.0) {
+        Some(&(t_burst, _)) => {
+            let delivered = t.series("isp.propagate_in");
+            let at_burst = delivered
+                .iter()
+                .take_while(|&&(ts, _)| ts <= t_burst)
+                .last()
+                .map_or(0.0, |&(_, v)| v);
+            delivered.last().is_some_and(|&(_, v)| v > at_burst)
+        }
+        None => false,
+    };
+    let watchdog_fired =
+        !t.alerts().is_empty() && t.alerts().iter().all(|a| a.metric == "isp.partition_sheds");
+    (shed_burst, recovery, watchdog_fired)
+}
+
+/// The replay arm: the same seeded chaos run twice; the JSONL timelines
+/// must be byte-identical (samples hold only virtual-time registry
+/// values, never wall clock).
+fn replay_identical() -> bool {
+    let a = chaos_run(1);
+    let b = chaos_run(1);
+    let (ta, tb) = (a.telemetry().unwrap(), b.telemetry().unwrap());
+    ta.to_jsonl() == tb.to_jsonl() && ta.alerts().len() == tb.alerts().len()
+}
+
+/// The overhead arm's shared workload: the chain without chaos so both
+/// sides run the exact same event schedule, scaled up (200 ops/proc)
+/// so the wall-clock measurement is not timer-quantization noise.
+fn overhead_run(telemetry: bool) -> RunReport {
+    let cfg = telemetry.then(|| {
+        TelemetryConfig::default()
+            .with_every_ms(1)
+            .with_capacity(512)
+    });
+    let mut world = chain_world(cfg, SWEEP_SEED ^ 0x0F);
+    world.run(&workload().with_ops(200))
+}
+
+/// Engine events dispatched by a run.
+fn events_of(report: &RunReport) -> u64 {
+    report.metrics().counter("engine.events_dispatched")
+}
+
+/// Deterministic registry report (no wall-clock numbers; the timeline
+/// samples only virtual-time registry values, so every cell replays).
+pub fn run() -> String {
+    let mut t = Table::new(
+        format!(
+            "flight recorder over the X21 chaos regime (chain, 2×40ms \
+             partitions + churn, horizon {}ms, seed {SWEEP_SEED:#x})",
+            HORIZON.as_millis()
+        ),
+        &[
+            "cadence ms",
+            "samples",
+            "taken",
+            "series",
+            "downsamples",
+            "alerts",
+            "shed burst",
+            "recovery",
+        ],
+    );
+    for &every_ms in &CADENCE_MS {
+        let report = chaos_run(every_ms);
+        let tl = report.telemetry().expect("telemetry enabled");
+        let (burst, recovery, _) = timeline_story(tl);
+        t.row(&[
+            every_ms.to_string(),
+            tl.sample_count().to_string(),
+            tl.samples_taken().to_string(),
+            tl.series_count().to_string(),
+            tl.downsample_rounds().to_string(),
+            tl.alerts().len().to_string(),
+            if burst { "yes" } else { "NO" }.to_string(),
+            if recovery { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let mut out = t.to_string();
+
+    out.push_str(&format!(
+        "\nseeded replay: timelines {}\n",
+        if replay_identical() {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    let (on, off) = (overhead_run(true), overhead_run(false));
+    out.push_str(&format!(
+        "sampling adds no events: {} dispatched with telemetry on, {} off\n\
+         wall-clock overhead is emitted by `exp_x22_telemetry` into BENCH_TELEMETRY.json\n\
+         and regression-checked by scripts/verify.sh.\n",
+        events_of(&on),
+        events_of(&off),
+    ));
+    out
+}
+
+/// Runs the measured benchmark. Returns the human table and the
+/// `BENCH_TELEMETRY.json` artifact. `quick` uses a single timing rep
+/// instead of a median of five; structural fields are identical either
+/// way.
+pub fn measure(quick: bool) -> (String, Json) {
+    let reps = if quick { 1 } else { 5 };
+
+    // Structural facts: the chaos timeline tells the partition story.
+    let report = chaos_run(1);
+    let tl = report.telemetry().expect("telemetry enabled");
+    let (shed_burst, recovery, watchdog_fired) = timeline_story(tl);
+    let sampled = tl.sample_count() > 0;
+    let replay = replay_identical();
+    let events_on = events_of(&overhead_run(true));
+    let events_off = events_of(&overhead_run(false));
+
+    // Wall-clock arm: the identical no-chaos workload, on vs off.
+    let on = bench("x22/telemetry_on", 1, reps, || {
+        let _ = overhead_run(true);
+    });
+    let off = bench("x22/telemetry_off", 1, reps, || {
+        let _ = overhead_run(false);
+    });
+    let (on_ms, off_ms) = (on.median_ns() / 1e6, off.median_ns() / 1e6);
+    let overhead_ratio = on_ms / off_ms;
+
+    let mut t = Table::new("wall time (median)", &["arm", "time", "events/sec"]);
+    for (name, ms, events) in [
+        ("telemetry off", off_ms, events_off),
+        ("telemetry on", on_ms, events_on),
+    ] {
+        t.row(&[
+            name.into(),
+            format!("{ms:.2} ms"),
+            format!("{:.0}", events as f64 / (ms / 1e3)),
+        ]);
+    }
+    let mut table = t.to_string();
+    table.push_str(&format!("overhead ratio (on/off): {overhead_ratio:.2}\n"));
+
+    let artifact = Json::obj([
+        ("experiment", Json::Str("X22 telemetry".into())),
+        (
+            "structural",
+            Json::obj([
+                (
+                    "cadence_ms",
+                    Json::Arr(CADENCE_MS.iter().map(|&c| c.to_json()).collect()),
+                ),
+                ("sampled", sampled.to_json()),
+                ("shed_burst", shed_burst.to_json()),
+                ("recovery_after_heal", recovery.to_json()),
+                ("watchdog_fired_on_shed", watchdog_fired.to_json()),
+                ("replay_identical", replay.to_json()),
+                ("event_counts_match", (events_on == events_off).to_json()),
+            ]),
+        ),
+        (
+            "timing",
+            Json::obj([
+                ("off_ms", off_ms.to_json()),
+                ("on_ms", on_ms.to_json()),
+                ("overhead_ratio", overhead_ratio.to_json()),
+            ]),
+        ),
+    ]);
+    (table, artifact)
+}
+
+/// Compares a freshly-measured artifact against the committed baseline:
+/// structural fields must match exactly; timing fields (including the
+/// on/off overhead ratio) must agree within [`TIMING_TOLERANCE`] in
+/// either direction. Returns every violation found.
+pub fn check(new: &Json, baseline: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let (Some(new_struct), Some(base_struct)) = (new.get("structural"), baseline.get("structural"))
+    else {
+        return Err(vec!["missing structural section".into()]);
+    };
+    for key in [
+        "cadence_ms",
+        "sampled",
+        "shed_burst",
+        "recovery_after_heal",
+        "watchdog_fired_on_shed",
+        "replay_identical",
+        "event_counts_match",
+    ] {
+        let (n, b) = (new_struct.get(key), base_struct.get(key));
+        if n.is_none() || b.is_none() {
+            errors.push(format!("structural field {key} missing"));
+        } else if n.map(Json::to_compact) != b.map(Json::to_compact) {
+            errors.push(format!(
+                "structural regression in {key}: baseline {} vs measured {}",
+                b.unwrap().to_compact(),
+                n.unwrap().to_compact()
+            ));
+        }
+    }
+    if let (Some(new_timing), Some(base_timing)) = (new.get("timing"), baseline.get("timing")) {
+        for key in ["off_ms", "on_ms", "overhead_ratio"] {
+            let (Some(n), Some(b)) = (
+                new_timing.get(key).and_then(Json::as_f64),
+                base_timing.get(key).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if n <= 0.0 || b <= 0.0 {
+                errors.push(format!("non-positive timing in {key}"));
+                continue;
+            }
+            let ratio = n / b;
+            if !(1.0 / TIMING_TOLERANCE..=TIMING_TOLERANCE).contains(&ratio) {
+                errors.push(format!(
+                    "timing regression in {key}: baseline {b:.2} vs measured {n:.2} \
+                     (ratio {ratio:.2}, tolerance {TIMING_TOLERANCE}x)"
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x22_chaos_timeline_shows_burst_recovery_and_alert() {
+        let report = chaos_run(1);
+        let tl = report.telemetry().expect("telemetry enabled");
+        assert!(tl.sample_count() > 0);
+        let (burst, recovery, watchdog) = timeline_story(tl);
+        assert!(burst, "partition must shed: {}", tl.summary());
+        assert!(recovery, "deliveries must resume after the heal");
+        assert!(watchdog, "the armed watchdog names the shed counter");
+    }
+
+    #[test]
+    fn x22_seeded_timelines_replay_byte_identically() {
+        assert!(replay_identical(), "telemetry replay diverged");
+    }
+
+    #[test]
+    fn x22_sampling_adds_no_engine_events() {
+        assert_eq!(
+            events_of(&overhead_run(true)),
+            events_of(&overhead_run(false)),
+            "telemetry sampling must not schedule events"
+        );
+    }
+
+    #[test]
+    fn x22_check_flags_structural_drift_and_accepts_self() {
+        let artifact = Json::obj([
+            (
+                "structural",
+                Json::obj([
+                    ("cadence_ms", Json::Arr(vec![1u64.to_json()])),
+                    ("sampled", true.to_json()),
+                    ("shed_burst", true.to_json()),
+                    ("recovery_after_heal", true.to_json()),
+                    ("watchdog_fired_on_shed", true.to_json()),
+                    ("replay_identical", true.to_json()),
+                    ("event_counts_match", true.to_json()),
+                ]),
+            ),
+            (
+                "timing",
+                Json::obj([
+                    ("off_ms", 1.0f64.to_json()),
+                    ("on_ms", 1.1f64.to_json()),
+                    ("overhead_ratio", 1.1f64.to_json()),
+                ]),
+            ),
+        ]);
+        assert!(check(&artifact, &artifact).is_ok());
+
+        let tampered = Json::parse(
+            &artifact
+                .to_pretty()
+                .replace("\"replay_identical\"", "\"replay_identical_x\""),
+        )
+        .unwrap();
+        assert!(check(&tampered, &artifact).is_err(), "structural drift");
+
+        let slow = {
+            let mut s = artifact.to_pretty();
+            let key = "\"on_ms\":";
+            let at = s.find(key).unwrap() + key.len();
+            let end = s[at..].find(|c| c == ',' || c == '\n').unwrap() + at;
+            s.replace_range(at..end, " 1e9");
+            Json::parse(&s).unwrap()
+        };
+        assert!(check(&slow, &artifact).is_err(), "timing blowup");
+    }
+}

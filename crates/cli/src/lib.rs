@@ -9,4 +9,6 @@ pub mod report;
 pub mod scenario;
 
 pub use report::render_report;
-pub use scenario::{ChaosEntry, ChaosRateEntry, Scenario, ScenarioError};
+pub use scenario::{
+    ChaosEntry, ChaosRateEntry, Scenario, ScenarioError, TelemetryEntry, WatchdogEntry,
+};

@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]
-//!             [--json <report.json>] [--monitor]
+//!             [--json <report.json>] [--monitor] [--monitor-strict]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //!             [--trace-out <trace.json>]
+//!             [--telemetry-out <timeline.jsonl|trace.json>]
+//!             [--telemetry-every <ms>] [--telemetry-strict]
 //!             [--chaos-horizon <ms>] [--chaos-seed <n>]
 //!             [--chaos-partitions <n:min-max>] [--chaos-crashes <n:min-max>]
 //!             [--chaos-churn <n:min-max>]
@@ -15,8 +17,14 @@
 
 use std::process::ExitCode;
 
-use cmi_cli::{render_report, ChaosEntry, ChaosRateEntry, Scenario};
+use cmi_cli::{render_report, ChaosEntry, ChaosRateEntry, Scenario, TelemetryEntry};
+use cmi_core::RunReport;
 use cmi_obs::ToJson;
+
+/// Exit code of `--monitor-strict` when the run violated causality.
+const EXIT_MONITOR_VIOLATION: u8 = 3;
+/// Exit code of `--telemetry-strict` when a watchdog alerted.
+const EXIT_WATCHDOG_ALERT: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,9 +54,11 @@ fn print_usage() {
         "cmi-cli — interconnection of causal memory systems\n\n\
          USAGE:\n\
          \u{20}  cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]\n\
-         \u{20}          [--json <report.json>] [--monitor]\n\
+         \u{20}          [--json <report.json>] [--monitor] [--monitor-strict]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}          [--trace-out <trace.json>]\n\
+         \u{20}          [--telemetry-out <timeline.jsonl|trace.json>]\n\
+         \u{20}          [--telemetry-every <ms>] [--telemetry-strict]\n\
          \u{20}          [--chaos-horizon <ms>] [--chaos-seed <n>]\n\
          \u{20}          [--chaos-partitions <n:min-max>]\n\
          \u{20}          [--chaos-crashes <n:min-max>] [--chaos-churn <n:min-max>]\n\
@@ -59,9 +69,15 @@ fn print_usage() {
          Several scenarios run as a batch, up to --jobs at a time, with the\n\
          reports printed in argument order.\n\
          --monitor checks causality incrementally *during* the run and\n\
-         alerts on the first violation, with a summary in the report.\n\
+         alerts on the first violation, with a summary in the report;\n\
+         --monitor-strict additionally exits with code 3 on a violation.\n\
          --trace-out records causal lineage and writes a Chrome trace-event\n\
          file (open with Perfetto or chrome://tracing).\n\
+         --telemetry-out enables flight-recorder telemetry and writes the\n\
+         sampled timeline: JSON-lines by default, or Chrome-trace counter\n\
+         events when the path ends in .json (open with Perfetto).\n\
+         --telemetry-every overrides the sampling cadence (virtual ms);\n\
+         --telemetry-strict exits with code 4 if any watchdog alerted.\n\
          --chaos-* flags compile a seeded fault schedule — partition/heal\n\
          windows over links, crash/recover windows over IS-processes and\n\
          detach/attach churn over systems — replacing any chaos block in\n\
@@ -85,11 +101,13 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, 
 
 /// Positional (non-flag) arguments, skipping every `--flag value` pair.
 fn positional_args(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--json",
         "--dump-history",
         "--dump-dot",
         "--trace-out",
+        "--telemetry-out",
+        "--telemetry-every",
         "--jobs",
         "--chaos-horizon",
         "--chaos-partitions",
@@ -175,19 +193,78 @@ fn chaos_flags(args: &[String]) -> Result<Option<ChaosEntry>, String> {
     }))
 }
 
+/// The `run` flags shared by every scenario of a batch.
+#[derive(Clone, Default)]
+struct RunFlags {
+    monitor: bool,
+    monitor_strict: bool,
+    /// `--telemetry-out` present (enables telemetry even without a
+    /// scenario block).
+    telemetry_on: bool,
+    telemetry_every_ms: Option<u64>,
+    telemetry_strict: bool,
+    chaos: Option<ChaosEntry>,
+}
+
+impl RunFlags {
+    fn apply(&self, scenario: &mut Scenario) {
+        if self.monitor || self.monitor_strict {
+            scenario.monitor = true;
+        }
+        if self.chaos.is_some() {
+            scenario.chaos = self.chaos.clone();
+        }
+        if self.telemetry_on || self.telemetry_every_ms.is_some() {
+            let mut t = scenario.telemetry.take().unwrap_or(TelemetryEntry {
+                every_ms: 1,
+                capacity: None,
+                watchdogs: Vec::new(),
+            });
+            if let Some(ms) = self.telemetry_every_ms {
+                t.every_ms = ms;
+            }
+            scenario.telemetry = Some(t);
+        }
+    }
+}
+
+/// What the strict gates need from a finished run beyond its rendering.
+struct RunOutput {
+    rendered: String,
+    monitor_violation: bool,
+    watchdog_alerts: usize,
+}
+
+impl RunOutput {
+    fn of(scenario: &Scenario, report: &RunReport) -> RunOutput {
+        RunOutput {
+            rendered: render_report(scenario, report),
+            monitor_violation: report.monitor().is_some_and(|m| !m.is_clean()),
+            watchdog_alerts: report.telemetry().map_or(0, |t| t.alerts().len()),
+        }
+    }
+}
+
+/// The strict-gate exit code for one or more finished runs: 3 beats 4
+/// beats success (a causality violation is the stronger signal).
+fn strict_exit(flags: &RunFlags, outputs: &[&RunOutput]) -> ExitCode {
+    if flags.monitor_strict && outputs.iter().any(|o| o.monitor_violation) {
+        return ExitCode::from(EXIT_MONITOR_VIOLATION);
+    }
+    if flags.telemetry_strict && outputs.iter().any(|o| o.watchdog_alerts > 0) {
+        return ExitCode::from(EXIT_WATCHDOG_ALERT);
+    }
+    ExitCode::SUCCESS
+}
+
 /// Reads, parses, runs and renders one scenario — the unit of work the
 /// batch runner executes per worker thread.
-fn run_one(path: &str, monitor: bool, chaos: &Option<ChaosEntry>) -> Result<String, String> {
+fn run_one(path: &str, flags: &RunFlags) -> Result<RunOutput, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    if monitor {
-        scenario.monitor = true;
-    }
-    if chaos.is_some() {
-        scenario.chaos = chaos.clone();
-    }
+    flags.apply(&mut scenario);
     let report = scenario.run().map_err(|e| format!("{path}: {e}"))?;
-    Ok(render_report(&scenario, &report))
+    Ok(RunOutput::of(&scenario, &report))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -200,20 +277,30 @@ fn cmd_run(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
-    let (json_out, dump, dump_dot, trace_out, jobs_arg) = match (
-        flag_value(args, "--json"),
-        flag_value(args, "--dump-history"),
-        flag_value(args, "--dump-dot"),
-        flag_value(args, "--trace-out"),
-        flag_value(args, "--jobs"),
-    ) {
-        (Ok(j), Ok(d), Ok(g), Ok(t), Ok(n)) => (j, d, g, t, n),
-        (Err(e), ..)
-        | (_, Err(e), ..)
-        | (_, _, Err(e), ..)
-        | (_, _, _, Err(e), _)
-        | (_, _, _, _, Err(e)) => {
-            eprintln!("{e}");
+    let flags_or_err: Result<_, String> = (|| {
+        Ok((
+            flag_value(args, "--json")?,
+            flag_value(args, "--dump-history")?,
+            flag_value(args, "--dump-dot")?,
+            flag_value(args, "--trace-out")?,
+            flag_value(args, "--telemetry-out")?,
+            flag_value(args, "--telemetry-every")?,
+            flag_value(args, "--jobs")?,
+        ))
+    })();
+    let (json_out, dump, dump_dot, trace_out, telemetry_out, telemetry_every, jobs_arg) =
+        match flags_or_err {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let telemetry_every_ms = match telemetry_every.map(|v| v.parse::<u64>()) {
+        None => None,
+        Some(Ok(ms)) if ms >= 1 => Some(ms),
+        Some(_) => {
+            eprintln!("--telemetry-every requires a positive integer (virtual ms)");
             return ExitCode::FAILURE;
         }
     };
@@ -225,7 +312,6 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let monitor = args.iter().any(|a| a == "--monitor");
     let chaos = match chaos_flags(args) {
         Ok(c) => c,
         Err(e) => {
@@ -233,32 +319,51 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let flags = RunFlags {
+        monitor: args.iter().any(|a| a == "--monitor"),
+        monitor_strict: args.iter().any(|a| a == "--monitor-strict"),
+        telemetry_on: telemetry_out.is_some(),
+        telemetry_every_ms,
+        telemetry_strict: args.iter().any(|a| a == "--telemetry-strict"),
+        chaos,
+    };
     if paths.len() > 1 {
         // Batch mode: run every scenario (up to --jobs at a time) and
         // print the reports in argument order. Per-run artifact flags
         // have no unambiguous target across a batch.
-        if json_out.is_some() || dump.is_some() || dump_dot.is_some() || trace_out.is_some() {
+        if json_out.is_some()
+            || dump.is_some()
+            || dump_dot.is_some()
+            || trace_out.is_some()
+            || telemetry_out.is_some()
+        {
             eprintln!(
-                "--json/--dump-history/--dump-dot/--trace-out apply to a single \
-                 scenario; run them one at a time"
+                "--json/--dump-history/--dump-dot/--trace-out/--telemetry-out \
+                 apply to a single scenario; run them one at a time"
             );
             return ExitCode::FAILURE;
         }
-        let results = cmi_bench::pool::run_indexed(paths.len(), jobs, |i| {
-            run_one(&paths[i], monitor, &chaos)
-        });
-        let mut code = ExitCode::SUCCESS;
+        let results =
+            cmi_bench::pool::run_indexed(paths.len(), jobs, |i| run_one(&paths[i], &flags));
+        let mut failed = false;
+        let mut outputs = Vec::new();
         for (path, result) in paths.iter().zip(results) {
             println!("\n======== {path} ========");
             match result {
-                Ok(report) => print!("{report}"),
+                Ok(output) => {
+                    print!("{}", output.rendered);
+                    outputs.push(output);
+                }
                 Err(e) => {
                     eprintln!("{e}");
-                    code = ExitCode::FAILURE;
+                    failed = true;
                 }
             }
         }
-        return code;
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        return strict_exit(&flags, &outputs.iter().collect::<Vec<_>>());
     }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -277,12 +382,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if trace_out.is_some() {
         scenario.lineage = true;
     }
-    if monitor {
-        scenario.monitor = true;
-    }
-    if chaos.is_some() {
-        scenario.chaos = chaos;
-    }
+    flags.apply(&mut scenario);
     let report = match scenario.run() {
         Ok(r) => r,
         Err(e) => {
@@ -290,7 +390,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!("{}", render_report(&scenario, &report));
+    let output = RunOutput::of(&scenario, &report);
+    print!("{}", output.rendered);
     if let Some(out_path) = json_out {
         let mut artifact = report.to_json();
         if let cmi_obs::Json::Obj(members) = &mut artifact {
@@ -339,7 +440,30 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    if let Some(out_path) = telemetry_out {
+        let t = report
+            .telemetry()
+            .expect("--telemetry-out enables telemetry");
+        // Extension dispatch: `.json` gets Chrome-trace counter events
+        // (Perfetto), anything else the canonical JSON-lines timeline.
+        let (text, kind) = if out_path.ends_with(".json") {
+            (t.to_chrome_trace().to_pretty() + "\n", "Chrome trace")
+        } else {
+            (t.to_jsonl(), "JSONL timeline")
+        };
+        match std::fs::write(out_path, text) {
+            Ok(()) => println!(
+                "telemetry {kind} ({} samples, {} series) written to {out_path}",
+                t.sample_count(),
+                t.series_count()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    strict_exit(&flags, &[&output])
 }
 
 fn cmd_experiments(filters: &[String]) -> ExitCode {

@@ -66,6 +66,12 @@ pub fn render_report(scenario: &Scenario, report: &RunReport) -> String {
             out.push_str(&format!("  {line}\n"));
         }
     }
+    if let Some(t) = report.telemetry() {
+        out.push_str("\n[telemetry]\n");
+        for line in t.summary().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
     out
 }
 

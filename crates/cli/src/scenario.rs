@@ -24,7 +24,7 @@ use cmi_core::{
     World,
 };
 use cmi_memory::{ProtocolKind, WorkloadSpec};
-use cmi_obs::{Json, ToJson};
+use cmi_obs::{Json, TelemetryConfig, ToJson, WatchKind, WatchdogSpec};
 use cmi_sim::{
     sort_schedule, Availability, ChannelSpec, ChaosEvent, ChaosEventKind, ChaosSpec, FaultSpec,
 };
@@ -191,6 +191,45 @@ pub struct MembershipEntry {
     pub events: Vec<MembershipEventEntry>,
 }
 
+/// One declarative health watchdog of a telemetry block.
+#[derive(Debug, Clone)]
+pub struct WatchdogEntry {
+    /// Watched registry metric (counter or gauge) by name.
+    pub metric: String,
+    /// `"above"` | `"below"` | `"rate_above"`.
+    pub kind: String,
+    /// Threshold (for `rate_above`: per virtual second).
+    pub limit: f64,
+}
+
+/// Telemetry block: flight-recorder sampling of the metric registry at
+/// a virtual-time cadence, with optional health watchdogs.
+#[derive(Debug, Clone)]
+pub struct TelemetryEntry {
+    /// Sampling cadence in virtual milliseconds (default 1).
+    pub every_ms: u64,
+    /// Ring capacity before downsampling (default 4096).
+    pub capacity: Option<u64>,
+    /// Health watchdogs evaluated at every sample.
+    pub watchdogs: Vec<WatchdogEntry>,
+}
+
+impl TelemetryEntry {
+    /// The builder-level config this block describes. Only valid after
+    /// [`Scenario::validate`] accepted the watchdog kinds.
+    fn to_config(&self) -> TelemetryConfig {
+        let mut cfg = TelemetryConfig::default().with_every_ms(self.every_ms);
+        if let Some(cap) = self.capacity {
+            cfg = cfg.with_capacity(cap as usize);
+        }
+        for w in &self.watchdogs {
+            let kind = WatchKind::parse(&w.kind).expect("kinds checked by validate()");
+            cfg = cfg.with_watchdog(WatchdogSpec::new(&*w.metric, kind, w.limit));
+        }
+        cfg
+    }
+}
+
 /// Workload section.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadEntry {
@@ -233,6 +272,9 @@ pub struct Scenario {
     /// Membership: initial detachment and scripted attach/detach
     /// events (default none).
     pub membership: Option<MembershipEntry>,
+    /// Flight-recorder telemetry: sampling cadence, ring capacity and
+    /// health watchdogs (default none).
+    pub telemetry: Option<TelemetryEntry>,
 }
 
 // ---- decoding helpers over the in-tree JSON model ----------------------
@@ -502,6 +544,45 @@ impl MembershipEntry {
     }
 }
 
+impl TelemetryEntry {
+    fn decode(v: &Json) -> Result<Self, ScenarioError> {
+        let ctx = "telemetry";
+        reject_unknown_fields(v, ctx, &["every_ms", "capacity", "watchdogs"])?;
+        let capacity = match v.get("capacity") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(
+                c.as_u64()
+                    .ok_or_else(|| parse_err("telemetry.capacity must be an integer"))?,
+            ),
+        };
+        let watchdogs = match v.get("watchdogs") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| parse_err("telemetry.watchdogs must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let wctx = format!("telemetry.watchdogs[{i}]");
+                    reject_unknown_fields(w, &wctx, &["metric", "kind", "limit"])?;
+                    Ok(WatchdogEntry {
+                        metric: as_string(need(w, "metric", &wctx)?, &format!("{wctx}.metric"))?,
+                        kind: as_string(need(w, "kind", &wctx)?, &format!("{wctx}.kind"))?,
+                        limit: need(w, "limit", &wctx)?
+                            .as_f64()
+                            .ok_or_else(|| parse_err(format!("{wctx}.limit must be a number")))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ScenarioError>>()?,
+        };
+        Ok(TelemetryEntry {
+            every_ms: get_u64(v, "every_ms", ctx, 1)?,
+            capacity,
+            watchdogs,
+        })
+    }
+}
+
 impl WorkloadEntry {
     fn decode(v: &Json) -> Result<Self, ScenarioError> {
         let ctx = "workload";
@@ -684,6 +765,36 @@ impl ToJson for Scenario {
                     ]),
                 ));
             }
+            if let Some(t) = &self.telemetry {
+                members.push((
+                    "telemetry".to_string(),
+                    Json::obj([
+                        ("every_ms", t.every_ms.to_json()),
+                        (
+                            "capacity",
+                            match t.capacity {
+                                Some(c) => c.to_json(),
+                                None => Json::Null,
+                            },
+                        ),
+                        (
+                            "watchdogs",
+                            Json::Arr(
+                                t.watchdogs
+                                    .iter()
+                                    .map(|w| {
+                                        Json::obj([
+                                            ("metric", Json::Str(w.metric.clone())),
+                                            ("kind", Json::Str(w.kind.clone())),
+                                            ("limit", w.limit.to_json()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
         }
         root
     }
@@ -755,6 +866,10 @@ impl Scenario {
             None | Some(Json::Null) => None,
             Some(m) => Some(MembershipEntry::decode(m)?),
         };
+        let telemetry = match v.get("telemetry") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(TelemetryEntry::decode(t)?),
+        };
         let scenario = Scenario {
             seed: get_u64(&v, "seed", "scenario", 0)?,
             vars: get_u64(&v, "vars", "scenario", 4)? as usize,
@@ -768,6 +883,7 @@ impl Scenario {
             monitor: get_bool(&v, "monitor", "scenario", false)?,
             chaos,
             membership,
+            telemetry,
         };
         scenario.validate()?;
         Ok(scenario)
@@ -942,6 +1058,28 @@ impl Scenario {
                 attached[e.system] = !want_attached;
             }
         }
+        if let Some(t) = &self.telemetry {
+            if t.every_ms == 0 {
+                return Err(ScenarioError::Invalid(
+                    "telemetry.every_ms must be positive, got 0".into(),
+                ));
+            }
+            for (i, w) in t.watchdogs.iter().enumerate() {
+                if WatchKind::parse(&w.kind).is_none() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "telemetry.watchdogs[{i}].kind must be \"above\", \"below\" \
+                         or \"rate_above\", got {:?}",
+                        w.kind
+                    )));
+                }
+                if !w.limit.is_finite() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "telemetry.watchdogs[{i}].limit must be finite, got {}",
+                        w.limit
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -967,6 +1105,9 @@ impl Scenario {
         }
         if self.monitor {
             b.enable_monitor();
+        }
+        if let Some(t) = &self.telemetry {
+            b.enable_telemetry(t.to_config());
         }
         let mut handles = Vec::new();
         for s in &self.systems {
@@ -1438,5 +1579,106 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("membership.events[1].op"), "{msg}");
         assert!(msg.contains("leave"), "{msg}");
+    }
+
+    const TELEMETRIC: &str = r#"{
+        "seed": 5,
+        "systems": [
+            { "name": "A", "protocol": "ahamad", "processes": 2 },
+            { "name": "B", "protocol": "frontier", "processes": 2 }
+        ],
+        "links": [ { "a": 0, "b": 1, "delay_ms": 4 } ],
+        "workload": { "ops_per_proc": 8, "mean_gap_ms": 3 },
+        "telemetry": {
+            "every_ms": 2,
+            "capacity": 256,
+            "watchdogs": [
+                { "metric": "engine.events_dispatched", "kind": "above", "limit": 10 },
+                { "metric": "isp.send_queue_depth_max", "kind": "rate_above", "limit": 5000 }
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn telemetry_scenario_parses_with_defaults() {
+        let s = Scenario::from_json(TELEMETRIC).unwrap();
+        let t = s.telemetry.as_ref().unwrap();
+        assert_eq!(t.every_ms, 2);
+        assert_eq!(t.capacity, Some(256));
+        assert_eq!(t.watchdogs.len(), 2);
+        assert_eq!(t.watchdogs[0].kind, "above");
+        // every_ms and capacity default when omitted.
+        let bare = TELEMETRIC.replace("\"every_ms\": 2,\n            \"capacity\": 256,", "");
+        let s = Scenario::from_json(&bare).unwrap();
+        let t = s.telemetry.as_ref().unwrap();
+        assert_eq!(t.every_ms, 1);
+        assert_eq!(t.capacity, None);
+    }
+
+    #[test]
+    fn telemetry_scenario_round_trips_through_json() {
+        let s = Scenario::from_json(TELEMETRIC).unwrap();
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn telemetry_is_absent_from_plain_serializations() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        let json = s.to_json().to_pretty();
+        assert!(!json.contains("telemetry"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_run_records_a_timeline_and_fires_watchdogs() {
+        let s = Scenario::from_json(TELEMETRIC).unwrap();
+        let report = s.run().unwrap();
+        let t = report
+            .telemetry()
+            .expect("telemetry-enabled run records it");
+        assert!(t.sample_count() >= 1);
+        assert!(
+            !t.alerts().is_empty(),
+            "an 8-op run dispatches more than 10 events"
+        );
+        assert!(t
+            .alerts()
+            .iter()
+            .all(|a| a.metric == "engine.events_dispatched"));
+    }
+
+    #[test]
+    fn unknown_telemetry_field_is_rejected_by_name() {
+        let bad = TELEMETRIC.replace("\"every_ms\"", "\"everyms\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown field"), "{msg}");
+        assert!(msg.contains("everyms"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_watchdog_field_is_rejected_by_name() {
+        let bad = TELEMETRIC.replace("\"limit\": 10", "\"limit\": 10, \"grace\": 1");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("telemetry.watchdogs[0]"), "{msg}");
+        assert!(msg.contains("grace"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_watchdog_kind_is_rejected_with_alternatives() {
+        let bad = TELEMETRIC.replace("\"kind\": \"above\"", "\"kind\": \"over\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("telemetry.watchdogs[0].kind"), "{msg}");
+        assert!(msg.contains("over"), "{msg}");
+        assert!(msg.contains("rate_above"), "{msg}");
+    }
+
+    #[test]
+    fn zero_telemetry_cadence_is_rejected() {
+        let bad = TELEMETRIC.replace("\"every_ms\": 2", "\"every_ms\": 0");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("telemetry.every_ms"));
     }
 }

@@ -1,0 +1,193 @@
+//! End-to-end exit-status and artifact tests for the `cmi-cli` binary.
+//!
+//! The strict flags turn observability findings into exit codes so CI
+//! can gate on them: `--monitor-strict` exits 3 on a live causal
+//! violation, `--telemetry-strict` exits 4 on a watchdog alert. Both
+//! default OFF — a violating run without the flag still exits 0, which
+//! these tests pin so scripts relying on the old behaviour keep working.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cmi-cli");
+
+/// Reordering (non-FIFO) inter-system links break Ahamad's FIFO
+/// assumption; seed 3 deterministically produces a live causal
+/// violation that the online monitor flags mid-run.
+const VIOLATING: &str = r#"{
+  "seed": 3,
+  "vars": 3,
+  "monitor": true,
+  "systems": [
+    { "name": "A", "protocol": "ahamad", "processes": 2 },
+    { "name": "B", "protocol": "ahamad", "processes": 2 }
+  ],
+  "links": [
+    { "a": 0, "b": 1, "delay_ms": 1, "faults": { "reorder": 0.9, "reorder_window_ms": 30 } }
+  ],
+  "workload": { "ops_per_proc": 10, "write_fraction": 0.6, "mean_gap_ms": 2 },
+  "checks": ["causal"]
+}"#;
+
+/// Healthy reliable-link run whose watchdog is calibrated to fire on
+/// any activity at all (`above 1` on the dispatch counter).
+const ALERTING: &str = r#"{
+  "seed": 7,
+  "vars": 2,
+  "systems": [
+    { "name": "A", "protocol": "ahamad", "processes": 2 },
+    { "name": "B", "protocol": "ahamad", "processes": 2 }
+  ],
+  "links": [ { "a": 0, "b": 1, "delay_ms": 3, "reliable": { "rto_ms": 25 } } ],
+  "workload": { "ops_per_proc": 8, "write_fraction": 0.5, "mean_gap_ms": 3 },
+  "checks": ["causal"],
+  "telemetry": {
+    "every_ms": 2,
+    "watchdogs": [ { "metric": "engine.events_dispatched", "kind": "above", "limit": 1 } ]
+  }
+}"#;
+
+/// Same run with the watchdog threshold out of reach: telemetry on,
+/// zero alerts.
+const QUIET: &str = r#"{
+  "seed": 7,
+  "vars": 2,
+  "systems": [
+    { "name": "A", "protocol": "ahamad", "processes": 2 },
+    { "name": "B", "protocol": "ahamad", "processes": 2 }
+  ],
+  "links": [ { "a": 0, "b": 1, "delay_ms": 3, "reliable": { "rto_ms": 25 } } ],
+  "workload": { "ops_per_proc": 8, "write_fraction": 0.5, "mean_gap_ms": 3 },
+  "checks": ["causal"],
+  "telemetry": {
+    "every_ms": 2,
+    "watchdogs": [ { "metric": "engine.events_dispatched", "kind": "above", "limit": 1000000000 } ]
+  }
+}"#;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmi-cli-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+fn write_scenario(name: &str, text: &str) -> PathBuf {
+    let path = scratch(name);
+    std::fs::write(&path, text).expect("write scenario");
+    path
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn cmi-cli")
+}
+
+#[test]
+fn monitor_strict_exits_3_on_live_violation() {
+    let path = write_scenario("violating.json", VIOLATING);
+    let out = run_cli(&["run", path.to_str().unwrap(), "--monitor-strict"]);
+    assert_eq!(out.status.code(), Some(3), "monitor violation must exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("MONITOR ALERT"),
+        "live alert still printed: {stderr}"
+    );
+}
+
+#[test]
+fn monitor_violation_without_strict_keeps_exit_0() {
+    let path = write_scenario("violating_lenient.json", VIOLATING);
+    let out = run_cli(&["run", path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "default behaviour is report-only"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NOT CAUSAL"), "verdict in report: {stdout}");
+}
+
+#[test]
+fn telemetry_strict_exits_4_on_watchdog_alert() {
+    let path = write_scenario("alerting.json", ALERTING);
+    let out = run_cli(&["run", path.to_str().unwrap(), "--telemetry-strict"]);
+    assert_eq!(out.status.code(), Some(4), "watchdog alert must exit 4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[telemetry]"), "summary rendered: {stdout}");
+
+    // Without the flag the same alerting run exits 0.
+    let out = run_cli(&["run", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn telemetry_strict_passes_a_quiet_run() {
+    let path = write_scenario("quiet.json", QUIET);
+    let out = run_cli(&["run", path.to_str().unwrap(), "--telemetry-strict"]);
+    assert_eq!(out.status.code(), Some(0), "no alerts, no failure");
+}
+
+#[test]
+fn telemetry_out_writes_jsonl_timeline() {
+    let path = write_scenario("timeline_src.json", QUIET);
+    let dest = scratch("timeline.jsonl");
+    let out = run_cli(&[
+        "run",
+        path.to_str().unwrap(),
+        "--telemetry-out",
+        dest.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dest).expect("timeline written");
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("\"telemetry\":"), "header: {header}");
+    assert!(
+        lines.clone().count() >= 1,
+        "at least one sample line: {text}"
+    );
+    assert!(
+        lines.all(|l| l.starts_with('{') && l.contains("\"t\":")),
+        "every sample is a JSON object with a timestamp: {text}"
+    );
+}
+
+#[test]
+fn telemetry_out_json_extension_writes_chrome_trace() {
+    let path = write_scenario("trace_src.json", QUIET);
+    let dest = scratch("counters.json");
+    let out = run_cli(&[
+        "run",
+        path.to_str().unwrap(),
+        "--telemetry-out",
+        dest.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dest).expect("trace written");
+    assert!(
+        text.contains("\"traceEvents\""),
+        ".json extension selects the Chrome trace exporter: {text}"
+    );
+    assert!(text.contains("\"ph\": \"C\""), "counter events: {text}");
+}
+
+#[test]
+fn flag_only_telemetry_needs_no_scenario_block() {
+    // --telemetry-every enables telemetry on a scenario without a
+    // `telemetry` block, so any run can be inspected ad hoc.
+    let path = write_scenario("plain.json", VIOLATING);
+    let dest = scratch("adhoc.jsonl");
+    let out = run_cli(&[
+        "run",
+        path.to_str().unwrap(),
+        "--telemetry-every",
+        "2",
+        "--telemetry-out",
+        dest.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dest).expect("timeline written");
+    assert!(text.contains("\"every_ns\":2000000"), "cadence: {text}");
+}

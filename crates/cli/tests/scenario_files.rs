@@ -41,6 +41,58 @@ fn lineage_scenario_runs_and_traces_every_write() {
     );
 }
 
+#[test]
+fn telemetry_scenario_runs_quiet_and_deterministic() {
+    let scenario = load("telemetry.json");
+    let t = scenario.telemetry.as_ref().expect("telemetry block");
+    assert_eq!(t.watchdogs.len(), 2);
+    let report = scenario.run().expect("valid scenario");
+    assert!(report.outcome().is_quiescent());
+    assert!(causal::check(&report.global_history()).is_causal());
+    let telemetry = report.telemetry().expect("telemetry enabled by the file");
+    assert!(telemetry.sample_count() >= 1, "cadence elapsed");
+    assert!(
+        telemetry.alerts().is_empty(),
+        "a healthy run must not trip the shipped watchdogs: {:?}",
+        telemetry.alerts()
+    );
+    // Same file, same seed ⇒ byte-identical timeline.
+    let again = load("telemetry.json").run().expect("valid scenario");
+    assert_eq!(
+        telemetry.to_jsonl(),
+        again.telemetry().unwrap().to_jsonl(),
+        "timeline must be deterministic"
+    );
+}
+
+/// Golden format check for `--telemetry-out <file>.json`: counter events
+/// with the stable Chrome-trace field names Perfetto expects.
+#[test]
+fn telemetry_chrome_trace_export_has_stable_field_names() {
+    use cmi_obs::Json;
+
+    let report = load("telemetry.json").run().expect("valid scenario");
+    let t = report.telemetry().expect("telemetry enabled");
+    let text = t.to_chrome_trace().to_pretty();
+    let parsed = Json::parse(&text).expect("exporter emits valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+    for e in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
+            assert!(e.get(key).is_some(), "counter event missing field {key:?}");
+        }
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(e.get("cat").and_then(Json::as_str), Some("telemetry"));
+    }
+}
+
 /// Golden format check: the Chrome trace export (`--trace-out`) must be
 /// valid JSON with the stable trace-event field names Perfetto and
 /// chrome://tracing expect. Renaming any field breaks downstream

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use cmi_memory::{Driver, HostSink, McsMsg, NoUpcalls, NodeHost, OpPlan};
-use cmi_obs::{LineageRecorder, MetricId, MetricsRegistry};
+use cmi_obs::{LineageRecorder, MetricId, MetricsRegistry, SpanId};
 use cmi_sim::{Actor, ActorId, Ctx};
 use cmi_types::{ProcId, SimTime, Value, VarId};
 
@@ -1004,12 +1004,16 @@ impl WorldActor {
         if n == self.ops_fed {
             return;
         }
+        let t0 = ctx.profiling().then(std::time::Instant::now);
         if let Some(tap) = ctx.tap() {
             for rec in &self.host.ops()[self.ops_fed..] {
                 tap.op(rec);
             }
         }
         self.ops_fed = n;
+        if let Some(t0) = t0 {
+            ctx.record_span(SpanId::MonitorTap, t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -1027,6 +1031,14 @@ impl Actor<WorldMsg> for WorldActor {
     }
 
     fn on_message(&mut self, from: ActorId, msg: WorldMsg, ctx: &mut Ctx<'_, WorldMsg>) {
+        // Span profiling mirrors `feed_tap`'s placement: an early-return
+        // arm (crashed / stale epoch) does negligible work and records
+        // nothing, exactly as it feeds nothing.
+        let t0 = ctx.profiling().then(std::time::Instant::now);
+        let span = match &msg {
+            WorldMsg::Mcs(_) => SpanId::ProtocolStep,
+            _ => SpanId::Transport,
+        };
         match msg {
             WorldMsg::Mcs(m) => {
                 let ids = self.ids();
@@ -1157,6 +1169,9 @@ impl Actor<WorldMsg> for WorldActor {
                 }
                 self.on_transport_ack(link, cum, ctx);
             }
+        }
+        if let Some(t0) = t0 {
+            ctx.record_span(span, t0.elapsed().as_nanos() as u64);
         }
         self.feed_tap(ctx);
     }

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cmi_checker::online::{MonitorConfig, OnlineMonitor};
 use cmi_memory::{Driver, NodeHost, OpPlan, ScriptedDriver, WorkloadDriver, WorkloadSpec};
-use cmi_obs::LineageEvent;
+use cmi_obs::{LineageEvent, TelemetryConfig};
 use cmi_sim::chaos::{self, ChaosEvent, ChaosEventKind, ChaosSpec};
 use cmi_sim::rng::derive_rng;
 use cmi_sim::tap::RunTap;
@@ -65,6 +65,7 @@ pub struct InterconnectBuilder {
     trace: bool,
     lineage: bool,
     monitor: bool,
+    telemetry: Option<TelemetryConfig>,
     force_variant2: bool,
     detached: Vec<usize>,
 }
@@ -86,6 +87,7 @@ impl InterconnectBuilder {
             trace: false,
             lineage: false,
             monitor: false,
+            telemetry: None,
             force_variant2: false,
             detached: Vec::new(),
         }
@@ -138,6 +140,19 @@ impl InterconnectBuilder {
     /// no tap and [`RunReport::to_json`] is byte-identical.
     pub fn enable_monitor(&mut self) {
         self.monitor = true;
+    }
+
+    /// Enables flight-recorder telemetry: the engine samples the metric
+    /// registry at the configured virtual-time cadence into a
+    /// delta-encoded bounded ring, evaluates the configured watchdogs at
+    /// each sample, and profiles engine phases with wall-clock spans.
+    /// The timeline (virtual time only) lands in
+    /// [`RunReport::telemetry`]; span totals ride along but never enter
+    /// the timeline, so same-seed runs serialize byte-identically. Off
+    /// by default; a disabled run takes no samples and
+    /// [`RunReport::to_json`] is byte-identical.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(cfg);
     }
 
     /// Marks a system as initially detached: every link incident to it
@@ -257,6 +272,9 @@ impl InterconnectBuilder {
         }
         if self.lineage {
             b.enable_lineage();
+        }
+        if let Some(cfg) = self.telemetry {
+            b.enable_telemetry(cfg);
         }
         let monitor = if self.monitor {
             let app_procs: Vec<ProcId> = (0..n_sys)
@@ -653,6 +671,9 @@ impl World {
             // The tap's clone dies with the simulator's box at drop;
             // finalize through ours.
             report.set_monitor(mon.borrow_mut().finalize());
+        }
+        if let Some(telemetry) = self.sim.take_telemetry() {
+            report.set_telemetry(telemetry);
         }
         report
     }

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cmi_memory::ReplicaUpdate;
-use cmi_obs::{Json, LineageRecorder, MetricsRegistry, ToJson};
+use cmi_obs::{Json, LineageRecorder, MetricsRegistry, TimeSeries, ToJson};
 use cmi_sim::{RunOutcome, TraceEntry, TrafficStats};
 use cmi_types::{History, ProcId, SimTime, SystemId, Value, VarId};
 
@@ -62,6 +62,7 @@ pub struct RunReport {
     trace: Vec<TraceEntry>,
     lineage: Option<LineageRecorder>,
     monitor: Option<cmi_checker::MonitorReport>,
+    telemetry: Option<TimeSeries>,
 }
 
 impl RunReport {
@@ -93,6 +94,7 @@ impl RunReport {
             trace,
             lineage: None,
             monitor: None,
+            telemetry: None,
         }
     }
 
@@ -102,6 +104,10 @@ impl RunReport {
 
     pub(crate) fn set_monitor(&mut self, monitor: cmi_checker::MonitorReport) {
         self.monitor = Some(monitor);
+    }
+
+    pub(crate) fn set_telemetry(&mut self, telemetry: TimeSeries) {
+        self.telemetry = Some(telemetry);
     }
 
     /// How the run ended (quiescent for complete workloads).
@@ -206,6 +212,14 @@ impl RunReport {
         self.monitor.as_ref()
     }
 
+    /// The run's telemetry timeline (and span profile), if telemetry was
+    /// enabled at build time ([`InterconnectBuilder::enable_telemetry`]).
+    ///
+    /// [`InterconnectBuilder::enable_telemetry`]: crate::InterconnectBuilder::enable_telemetry
+    pub fn telemetry(&self) -> Option<&TimeSeries> {
+        self.telemetry.as_ref()
+    }
+
     /// Serializes the whole report as one diffable JSON artifact:
     /// outcome, per-system names, traffic statistics, the metrics
     /// snapshot (counters, gauges, histogram quantiles), write-visibility
@@ -276,6 +290,11 @@ impl RunReport {
         // the artifact byte-identical for monitor-off runs.
         if let Some(m) = &self.monitor {
             fields.push(("monitor", m.to_json()));
+        }
+        // Same rule for telemetry: absent ⟺ disabled, so telemetry-off
+        // artifacts stay byte-identical to pre-telemetry ones.
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry", t.to_json()));
         }
         Json::obj(fields)
     }

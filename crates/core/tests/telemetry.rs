@@ -1,0 +1,135 @@
+//! End-to-end flight-recorder telemetry over interconnected worlds: the
+//! sampled timeline tracks the run deterministically, watchdogs fire on
+//! configured thresholds, span profiling sees the engine phases — and,
+//! like lineage and the monitor, a telemetry-off run's serialized
+//! artifact is byte-identical to one from a binary that never heard of
+//! telemetry.
+
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, IsTopology, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::{Json, SpanId, TelemetryConfig, WatchKind, WatchdogSpec};
+
+fn chain_world(m: usize, telemetry: Option<TelemetryConfig>, seed: u64) -> RunReport {
+    let mut b = InterconnectBuilder::new()
+        .with_topology(IsTopology::Shared)
+        .with_vars(3);
+    let handles: Vec<_> = (0..m)
+        .map(|i| b.add_system(SystemSpec::new(format!("S{i}"), ProtocolKind::Ahamad, 2)))
+        .collect();
+    for w in handles.windows(2) {
+        b.link(w[0], w[1], LinkSpec::new(Duration::from_millis(5)));
+    }
+    if let Some(cfg) = telemetry {
+        b.enable_telemetry(cfg);
+    }
+    let mut world = b.build(seed).unwrap();
+    world.run(&WorkloadSpec::small().with_ops(12).with_write_fraction(0.5))
+}
+
+#[test]
+fn disabled_run_has_no_telemetry_block() {
+    let report = chain_world(3, None, 7);
+    assert!(report.telemetry().is_none());
+    assert!(!report.to_json().to_pretty().contains("\"telemetry\""));
+}
+
+/// The observability contract: a telemetry-off run serializes
+/// byte-identically whether or not the binary even knows about
+/// telemetry, and a telemetry-on run differs from it by exactly the
+/// appended `"telemetry"` block — sampling never perturbs the simulation.
+#[test]
+fn to_json_differs_only_by_the_telemetry_block() {
+    let off = chain_world(2, None, 9).to_json().to_pretty();
+    let off_again = chain_world(2, None, 9).to_json().to_pretty();
+    assert_eq!(off, off_again, "disabled runs serialize deterministically");
+    assert!(!off.contains("\"telemetry\""));
+
+    let mut on = chain_world(2, Some(TelemetryConfig::default().with_every_ms(1)), 9).to_json();
+    if let Json::Obj(fields) = &mut on {
+        let n_before = fields.len();
+        fields.retain(|(k, _)| k != "telemetry");
+        assert_eq!(
+            n_before,
+            fields.len() + 1,
+            "telemetry block present when enabled"
+        );
+    } else {
+        panic!("report serializes to an object");
+    }
+    assert_eq!(
+        off,
+        on.to_pretty(),
+        "the telemetry sampler must not perturb the run artifact"
+    );
+}
+
+#[test]
+fn timeline_tracks_the_run_and_spans_see_engine_phases() {
+    let report = chain_world(3, Some(TelemetryConfig::default().with_every_ms(1)), 7);
+    let t = report.telemetry().expect("telemetry enabled");
+    assert!(t.sample_count() >= 1, "cadence must have elapsed");
+    let dispatched = t.series("engine.events_dispatched");
+    let last = dispatched.last().expect("engine counter sampled").1;
+    assert!(last > 0.0, "events were dispatched");
+    // The timeline's final value agrees with the end-of-run registry.
+    let (_, total) = report
+        .metrics()
+        .counters()
+        .find(|(name, _)| *name == "engine.events_dispatched")
+        .expect("counter exists");
+    assert_eq!(last, total as f64);
+    // Wall-clock span profiling saw message deliveries, protocol steps
+    // and transport handling.
+    let spans = t.spans().expect("profiling active with telemetry on");
+    assert!(spans.count(SpanId::Deliver) > 0);
+    assert!(
+        spans.count(SpanId::ProtocolStep) > 0,
+        "Mcs traffic profiled"
+    );
+    assert!(spans.count(SpanId::Transport) > 0, "link traffic profiled");
+}
+
+#[test]
+fn timeline_is_deterministic_across_identical_runs() {
+    let cfg = || {
+        TelemetryConfig::default()
+            .with_every_ms(1)
+            .with_watchdog(WatchdogSpec::new(
+                "engine.events_dispatched",
+                WatchKind::Above,
+                5.0,
+            ))
+    };
+    let a = chain_world(2, Some(cfg()), 11);
+    let b = chain_world(2, Some(cfg()), 11);
+    // The timeline holds virtual-time samples only (span wall-clock stays
+    // out of it), so same (world, seed) ⇒ byte-identical JSONL.
+    let ta = a.telemetry().unwrap();
+    let tb = b.telemetry().unwrap();
+    assert_eq!(ta.to_jsonl(), tb.to_jsonl());
+    assert_eq!(ta.alerts().len(), tb.alerts().len());
+    assert!(
+        !ta.alerts().is_empty(),
+        "a 12-op run dispatches more than 5 events"
+    );
+}
+
+#[test]
+fn watchdog_alerts_land_in_the_report_json() {
+    let cfg = TelemetryConfig::default()
+        .with_every_ms(1)
+        .with_watchdog(WatchdogSpec::new(
+            "engine.events_dispatched",
+            WatchKind::Above,
+            1.0,
+        ));
+    let report = chain_world(2, Some(cfg), 3);
+    let t = report.telemetry().unwrap();
+    assert!(!t.alerts().is_empty());
+    let json = report.to_json().to_pretty();
+    assert!(json.contains("\"telemetry\""));
+    assert!(json.contains("\"alerts\""));
+    assert!(json.contains("engine.events_dispatched"));
+}

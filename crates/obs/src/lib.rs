@@ -20,15 +20,23 @@
 //!   the backing store for in-memory trace sinks.
 //! - [`timing`]: a tiny wall-clock bench harness (warmup + N iterations,
 //!   median/min) replacing criterion for the workspace benches.
+//! - [`timeseries`]: flight-recorder telemetry — in-run sampling of the
+//!   metric registry at a virtual-time cadence into a delta-encoded
+//!   bounded ring ([`TimeSeries`]), declarative health watchdogs, and
+//!   wall-clock span profiling of engine phases ([`SpanStats`]).
 
 pub mod json;
 pub mod lineage;
 pub mod metrics;
 pub mod ring;
+pub mod timeseries;
 pub mod timing;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use lineage::{LineageEvent, LineageRecorder, Stage, UpdateId};
 pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use ring::RingBuffer;
+pub use timeseries::{
+    SpanId, SpanStats, TelemetryConfig, TimeSeries, WatchAlert, WatchKind, WatchdogSpec,
+};
 pub use timing::{bench, BenchResult, BenchSuite};

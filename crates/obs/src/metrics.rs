@@ -138,6 +138,47 @@ impl Histogram {
         self.max()
     }
 
+    /// Folds `other` into `self` (cross-shard aggregation).
+    ///
+    /// Identical bucket layouts merge exactly (bucket-wise addition).
+    /// Differing layouts refold each of `other`'s buckets into `self` at
+    /// the bucket's representative value (its upper bound, clamped to
+    /// `other`'s observed range) — quantiles then carry the coarser of
+    /// the two resolutions, while `count`, `sum`, `min` and `max` stay
+    /// exact in every case.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else {
+            for (i, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let rep = other
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(other.max)
+                    .clamp(other.min, other.max);
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&b| rep <= b)
+                    .unwrap_or(self.bounds.len());
+                self.counts[idx] += c;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// JSON snapshot: count, sum, mean, min, max, p50/p95/p99.
     pub fn snapshot(&self) -> Json {
         Json::obj([
@@ -361,17 +402,9 @@ impl MetricsRegistry {
             }
             if let Some(h) = &other.histograms[oid.index()] {
                 let id = self.key(k);
-                let mine =
-                    self.histograms[id.index()].get_or_insert_with(|| Histogram::new(&h.bounds));
-                if mine.bounds == h.bounds {
-                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
-                        *a += b;
-                    }
-                    mine.count += h.count;
-                    mine.sum += h.sum;
-                    mine.min = mine.min.min(h.min);
-                    mine.max = mine.max.max(h.max);
-                }
+                self.histograms[id.index()]
+                    .get_or_insert_with(|| Histogram::new(&h.bounds))
+                    .merge(h);
             }
         }
     }
@@ -588,6 +621,106 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 2e3);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_a_no_op() {
+        let mut a = Histogram::default();
+        a.observe(5e3);
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+        // And merging into an empty histogram copies the other exactly.
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        assert_eq!(empty.min(), 5e3);
+        assert_eq!(empty.max(), 5e3);
+    }
+
+    #[test]
+    fn same_bounds_merge_is_exact_bucketwise() {
+        let mut a = Histogram::new(&[10.0, 20.0, 50.0]);
+        let mut b = Histogram::new(&[10.0, 20.0, 50.0]);
+        for v in [5.0, 15.0, 45.0] {
+            a.observe(v);
+        }
+        for v in [8.0, 18.0, 1000.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        // Equivalent to observing all six values in one histogram.
+        let mut all = Histogram::new(&[10.0, 20.0, 50.0]);
+        for v in [5.0, 15.0, 45.0, 8.0, 18.0, 1000.0] {
+            all.observe(v);
+        }
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn differing_bounds_merge_keeps_exact_aggregates() {
+        let mut coarse = Histogram::new(&[100.0, 1000.0]);
+        let mut fine = Histogram::new(&[10.0, 20.0, 50.0, 500.0]);
+        coarse.observe(80.0);
+        for v in [5.0, 15.0, 400.0, 9000.0] {
+            fine.observe(v);
+        }
+        coarse.merge(&fine);
+        assert_eq!(coarse.count(), 5);
+        assert_eq!(coarse.sum(), 80.0 + 5.0 + 15.0 + 400.0 + 9000.0);
+        assert_eq!(coarse.min(), 5.0);
+        assert_eq!(coarse.max(), 9000.0);
+        // Refolded buckets land where their representative value falls:
+        // 5 and 15 (bounds 10, 20) → (..=100]; 400 (bound 500) → (..=1000];
+        // 9000 (overflow, clamped to max) → overflow.
+        assert_eq!(coarse.quantile(0.0), 5.0);
+        assert_eq!(coarse.quantile(1.0), 9000.0);
+    }
+
+    #[test]
+    fn merged_quantiles_are_stable_at_bucket_resolution() {
+        // Splitting one observation stream across two histograms and
+        // merging must yield the same quantiles as observing the whole
+        // stream in one histogram (same bounds → exact merge).
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for i in 1..=1000u64 {
+            let v = (i * 977 % 100_000) as f64 + 1.0;
+            whole.observe(v);
+            if i % 2 == 0 {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.sum(), whole.sum());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn registry_merge_uses_histogram_merge_across_bounds() {
+        // Registry merge no longer silently drops histograms with a
+        // different bucket layout — counts and sums survive.
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.observe("h", 1e3);
+        let mut custom = Histogram::new(&[10.0]);
+        custom.observe(5.0);
+        let id = b.key("h");
+        b.histograms[id.index()] = Some(custom);
+        a.merge(&b);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 5.0);
+        assert_eq!(h.max(), 1e3);
     }
 
     #[test]

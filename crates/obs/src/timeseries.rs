@@ -1,0 +1,975 @@
+//! Flight-recorder telemetry: in-run time-series sampling of the metric
+//! registry, delta-encoded into a bounded ring, with declarative health
+//! watchdogs and wall-clock span profiling of the engine's phases.
+//!
+//! Every other metric in the workspace is an end-of-run aggregate: the
+//! registry is snapshotted once, after `run()` returns, so a partition
+//! that sheds thousands of writes mid-run and heals before quiescence is
+//! invisible in the artifacts. [`TimeSeries`] closes that gap: the engine
+//! calls [`TimeSeries::sample`] at a configurable *virtual-time* cadence,
+//! and each sample records only the series that changed, as deltas —
+//! quiet periods cost nothing, and the full history of a counter is the
+//! running sum of its deltas.
+//!
+//! Memory is bounded by construction: when the ring reaches capacity the
+//! oldest half is downsampled by merging adjacent sample pairs (deltas
+//! add, the later timestamp wins), so totals stay exact while the oldest
+//! history loses resolution instead of the recorder losing data or
+//! growing without bound — the classic flight-recorder trade.
+//!
+//! The timeline contains *only* virtual-time-deterministic data (counter
+//! and gauge values sampled at virtual instants): two runs of the same
+//! seeded scenario produce byte-identical [`TimeSeries::to_jsonl`]
+//! output. Wall-clock span profiling ([`SpanStats`]) is kept in a
+//! separate structure that never feeds the timeline.
+
+use std::collections::BTreeMap;
+
+use crate::json::{Json, ToJson};
+use crate::metrics::MetricsRegistry;
+
+/// Configuration of the telemetry recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Sampling cadence in virtual nanoseconds (default 1 ms).
+    pub every_ns: u64,
+    /// Maximum samples held before the oldest half is downsampled
+    /// (default 4096, floor 4).
+    pub capacity: usize,
+    /// Health watchdogs evaluated at every sample.
+    pub watchdogs: Vec<WatchdogSpec>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            every_ns: 1_000_000,
+            capacity: 4096,
+            watchdogs: Vec::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Sets the sampling cadence in virtual milliseconds.
+    pub fn with_every_ms(mut self, ms: u64) -> Self {
+        self.every_ns = ms.max(1) * 1_000_000;
+        self
+    }
+
+    /// Sets the ring capacity (floor 4, so pair-merge always frees room).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(4);
+        self
+    }
+
+    /// Adds a health watchdog.
+    pub fn with_watchdog(mut self, w: WatchdogSpec) -> Self {
+        self.watchdogs.push(w);
+        self
+    }
+}
+
+/// What a watchdog tests at each sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Fires while the metric's current value exceeds the limit.
+    Above,
+    /// Fires while the metric's current value is below the limit.
+    Below,
+    /// Fires while the metric's rate of change, per virtual second,
+    /// exceeds the limit (counters: events/sec; gauges: growth/sec).
+    RateAbove,
+}
+
+impl WatchKind {
+    /// Stable lowercase name (`above` | `below` | `rate_above`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WatchKind::Above => "above",
+            WatchKind::Below => "below",
+            WatchKind::RateAbove => "rate_above",
+        }
+    }
+
+    /// Parses the stable name back.
+    pub fn parse(s: &str) -> Option<WatchKind> {
+        match s {
+            "above" => Some(WatchKind::Above),
+            "below" => Some(WatchKind::Below),
+            "rate_above" => Some(WatchKind::RateAbove),
+            _ => None,
+        }
+    }
+}
+
+/// A declarative health watchdog: a threshold or rate-of-change test on
+/// one registry metric, evaluated at every telemetry sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogSpec {
+    /// Registry metric name (counter or gauge), e.g.
+    /// `isp.send_queue_depth_max` or `transport.retransmits`.
+    pub metric: String,
+    /// The test.
+    pub kind: WatchKind,
+    /// The limit the test compares against.
+    pub limit: f64,
+}
+
+impl WatchdogSpec {
+    /// A new watchdog.
+    pub fn new(metric: impl Into<String>, kind: WatchKind, limit: f64) -> Self {
+        WatchdogSpec {
+            metric: metric.into(),
+            kind,
+            limit,
+        }
+    }
+}
+
+/// A structured alert emitted when a watchdog's condition first becomes
+/// true (edge-triggered: a persistent breach alerts once, then re-arms
+/// when the condition clears).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchAlert {
+    /// Virtual instant of the sample that tripped the watchdog.
+    pub at_ns: u64,
+    /// The watched metric.
+    pub metric: String,
+    /// The test that fired.
+    pub kind: WatchKind,
+    /// Observed value (for `rate_above`: the observed rate per second).
+    pub value: f64,
+    /// The configured limit.
+    pub limit: f64,
+}
+
+impl WatchAlert {
+    /// One-line human rendering, stable enough to grep in CI.
+    pub fn line(&self) -> String {
+        format!(
+            "WATCHDOG ALERT: {} {} {} (observed {}) at t={}ms",
+            self.metric,
+            self.kind.as_str(),
+            self.limit,
+            self.value,
+            self.at_ns / 1_000_000
+        )
+    }
+}
+
+impl ToJson for WatchAlert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("at_ns", self.at_ns.to_json()),
+            ("metric", Json::Str(self.metric.clone())),
+            ("kind", Json::Str(self.kind.as_str().to_string())),
+            ("value", self.value.to_json()),
+            ("limit", self.limit.to_json()),
+        ])
+    }
+}
+
+/// Interned ids of the engine phases the span profiler times. The ids
+/// are fixed at compile time — recording a span is two array adds, no
+/// hashing, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanId {
+    /// Message delivery: `Actor::on_message` dispatch.
+    Deliver = 0,
+    /// Timer delivery: `Actor::on_timer` dispatch.
+    Timer = 1,
+    /// Streaming run events to the installed tap.
+    TapFeed = 2,
+    /// The MCS protocol step inside a delivery.
+    ProtocolStep = 3,
+    /// The reliable-transport sublayer (frames, acks, retransmits).
+    Transport = 4,
+    /// The online monitor consuming ops and lineage events.
+    MonitorTap = 5,
+}
+
+/// Number of profiled phases.
+pub const SPAN_COUNT: usize = 6;
+
+/// Stable phase names, indexed by [`SpanId`].
+pub const SPAN_NAMES: [&str; SPAN_COUNT] = [
+    "deliver",
+    "timer",
+    "tap_feed",
+    "protocol_step",
+    "transport",
+    "monitor_tap",
+];
+
+/// Wall-clock totals per engine phase. This is profiling data — it is
+/// *never* written into the deterministic timeline; it only appears in
+/// the telemetry report block and the CLI summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    totals_ns: [u64; SPAN_COUNT],
+    counts: [u64; SPAN_COUNT],
+}
+
+impl SpanStats {
+    /// An empty profile.
+    pub fn new() -> Self {
+        SpanStats::default()
+    }
+
+    /// Records one timed span of phase `id`.
+    #[inline]
+    pub fn record(&mut self, id: SpanId, ns: u64) {
+        let i = id as usize;
+        self.totals_ns[i] += ns;
+        self.counts[i] += 1;
+    }
+
+    /// Total wall-clock nanoseconds recorded for phase `id`.
+    pub fn total_ns(&self, id: SpanId) -> u64 {
+        self.totals_ns[id as usize]
+    }
+
+    /// Spans recorded for phase `id`.
+    pub fn count(&self, id: SpanId) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// `true` if no span was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Human lines, one per phase with at least one span.
+    pub fn lines(&self) -> Vec<String> {
+        (0..SPAN_COUNT)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| {
+                let avg = self.totals_ns[i] / self.counts[i];
+                format!(
+                    "span {}: {} calls, {} ns total, {} ns avg",
+                    SPAN_NAMES[i], self.counts[i], self.totals_ns[i], avg
+                )
+            })
+            .collect()
+    }
+}
+
+impl ToJson for SpanStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            (0..SPAN_COUNT)
+                .filter(|&i| self.counts[i] > 0)
+                .map(|i| {
+                    (
+                        SPAN_NAMES[i].to_string(),
+                        Json::obj([
+                            ("count", self.counts[i].to_json()),
+                            ("total_ns", self.totals_ns[i].to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One delta-encoded sample: the virtual instant plus `(series, delta)`
+/// for every series whose value changed since the previous sample.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    at_ns: u64,
+    points: Vec<(u32, f64)>,
+}
+
+/// Per-watchdog evaluation state.
+#[derive(Debug, Clone, PartialEq)]
+struct WatchState {
+    spec: WatchdogSpec,
+    /// Condition was true at the previous sample (edge-trigger re-arm).
+    breached: bool,
+    /// Metric value at the previous sample (rate evaluation).
+    last: f64,
+}
+
+/// The flight recorder: samples a [`MetricsRegistry`] at a virtual-time
+/// cadence, keeps a bounded delta-encoded timeline, evaluates watchdogs,
+/// and exports JSON-lines plus Chrome-trace counter events.
+///
+/// Like `LineageRecorder`, the recorder doubles as the report: the
+/// engine drives [`sample`](TimeSeries::sample) during the run, then the
+/// finished recorder travels inside `RunReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    every_ns: u64,
+    capacity: usize,
+    next_due_ns: u64,
+    /// Series id → metric name (counters and gauges share the
+    /// namespace; every metric the workspace records has a unique name).
+    names: Vec<String>,
+    index: BTreeMap<String, u32>,
+    /// Last sampled absolute value per series (0 before first sight).
+    prev: Vec<f64>,
+    samples: Vec<Sample>,
+    /// Virtual instant of the previous sample tick (rate basis).
+    last_tick_ns: u64,
+    samples_taken: u64,
+    downsample_rounds: u64,
+    merged_samples: u64,
+    watchdogs: Vec<WatchState>,
+    alerts: Vec<WatchAlert>,
+    spans: Option<SpanStats>,
+}
+
+impl TimeSeries {
+    /// A recorder with the given configuration.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        TimeSeries {
+            every_ns: cfg.every_ns.max(1),
+            capacity: cfg.capacity.max(4),
+            next_due_ns: 0,
+            names: Vec::new(),
+            index: BTreeMap::new(),
+            prev: Vec::new(),
+            samples: Vec::new(),
+            last_tick_ns: 0,
+            samples_taken: 0,
+            downsample_rounds: 0,
+            merged_samples: 0,
+            watchdogs: cfg
+                .watchdogs
+                .into_iter()
+                .map(|spec| WatchState {
+                    spec,
+                    breached: false,
+                    last: 0.0,
+                })
+                .collect(),
+            alerts: Vec::new(),
+            spans: None,
+        }
+    }
+
+    /// `true` once virtual time `now_ns` has reached the next cadence
+    /// tick — the engine's one cheap check per event.
+    #[inline]
+    pub fn is_due(&self, now_ns: u64) -> bool {
+        now_ns >= self.next_due_ns
+    }
+
+    /// Takes one sample of `metrics` at virtual instant `at_ns`: records
+    /// a delta point for every changed series, evaluates the watchdogs,
+    /// and advances the cadence deadline past `at_ns`.
+    pub fn sample(&mut self, at_ns: u64, metrics: &MetricsRegistry) {
+        let mut points: Vec<(u32, f64)> = Vec::new();
+        for (name, v) in metrics.counters() {
+            self.point(&mut points, name, v as f64);
+        }
+        for (name, v) in metrics.gauges() {
+            self.point(&mut points, name, v);
+        }
+        points.sort_unstable_by_key(|&(id, _)| id);
+        self.eval_watchdogs(at_ns);
+        if !points.is_empty() {
+            if self.samples.len() >= self.capacity {
+                self.downsample_oldest();
+            }
+            self.samples.push(Sample { at_ns, points });
+        }
+        self.samples_taken += 1;
+        self.last_tick_ns = at_ns;
+        while self.next_due_ns <= at_ns {
+            self.next_due_ns += self.every_ns;
+        }
+    }
+
+    fn point(&mut self, out: &mut Vec<(u32, f64)>, name: &str, v: f64) {
+        let id = match self.index.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.names.len()).expect("too many telemetry series");
+                self.index.insert(name.to_string(), id);
+                self.names.push(name.to_string());
+                self.prev.push(0.0);
+                id
+            }
+        };
+        let prev = self.prev[id as usize];
+        if v != prev {
+            out.push((id, v - prev));
+            self.prev[id as usize] = v;
+        }
+    }
+
+    fn eval_watchdogs(&mut self, at_ns: u64) {
+        let dt_secs = (at_ns.saturating_sub(self.last_tick_ns)) as f64 / 1e9;
+        for w in &mut self.watchdogs {
+            let cur = self
+                .index
+                .get(&w.spec.metric)
+                .map(|&id| self.prev[id as usize])
+                .unwrap_or(0.0);
+            let (fired, observed) = match w.spec.kind {
+                WatchKind::Above => (cur > w.spec.limit, cur),
+                WatchKind::Below => (cur < w.spec.limit, cur),
+                WatchKind::RateAbove => {
+                    if dt_secs > 0.0 {
+                        let rate = (cur - w.last) / dt_secs;
+                        (rate > w.spec.limit, rate)
+                    } else {
+                        (false, 0.0)
+                    }
+                }
+            };
+            if fired && !w.breached {
+                self.alerts.push(WatchAlert {
+                    at_ns,
+                    metric: w.spec.metric.clone(),
+                    kind: w.spec.kind,
+                    value: observed,
+                    limit: w.spec.limit,
+                });
+            }
+            w.breached = fired;
+            w.last = cur;
+        }
+    }
+
+    /// Halves the oldest half of the ring by merging adjacent sample
+    /// pairs: deltas add (so running totals stay exact), the later
+    /// timestamp wins. Recent history keeps full resolution.
+    fn downsample_oldest(&mut self) {
+        let half = self.samples.len() / 2;
+        if half < 2 {
+            return;
+        }
+        let old: Vec<Sample> = self.samples.drain(..half).collect();
+        let mut merged: Vec<Sample> = Vec::with_capacity(half / 2 + 1);
+        for pair in old.chunks(2) {
+            if pair.len() == 2 {
+                let mut acc: BTreeMap<u32, f64> = pair[0].points.iter().copied().collect();
+                for &(id, d) in &pair[1].points {
+                    *acc.entry(id).or_insert(0.0) += d;
+                }
+                merged.push(Sample {
+                    at_ns: pair[1].at_ns,
+                    points: acc.into_iter().filter(|&(_, d)| d != 0.0).collect(),
+                });
+                self.merged_samples += 1;
+            } else {
+                merged.push(pair[0].clone());
+            }
+        }
+        self.samples.splice(0..0, merged);
+        self.downsample_rounds += 1;
+    }
+
+    /// Attaches the wall-clock span profile (kept out of the timeline).
+    pub fn set_spans(&mut self, spans: SpanStats) {
+        if !spans.is_empty() {
+            self.spans = Some(spans);
+        }
+    }
+
+    /// The span profile, if any span was recorded.
+    pub fn spans(&self) -> Option<&SpanStats> {
+        self.spans.as_ref()
+    }
+
+    /// Samples currently stored (post-downsampling).
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Cadence ticks taken over the whole run.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Distinct series that ever changed.
+    pub fn series_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Downsampling rounds the ring went through.
+    pub fn downsample_rounds(&self) -> u64 {
+        self.downsample_rounds
+    }
+
+    /// Watchdog alerts, in firing order.
+    pub fn alerts(&self) -> &[WatchAlert] {
+        &self.alerts
+    }
+
+    /// Sampling cadence in virtual nanoseconds.
+    pub fn every_ns(&self) -> u64 {
+        self.every_ns
+    }
+
+    /// Reconstructs the absolute value history of one series:
+    /// `(at_ns, value)` per stored sample where the series changed.
+    /// Empty if the series never changed.
+    pub fn series(&self, name: &str) -> Vec<(u64, f64)> {
+        let Some(&id) = self.index.get(name) else {
+            return Vec::new();
+        };
+        let mut total = 0.0;
+        let mut out = Vec::new();
+        for s in &self.samples {
+            for &(pid, d) in &s.points {
+                if pid == id {
+                    total += d;
+                    out.push((s.at_ns, total));
+                }
+            }
+        }
+        out
+    }
+
+    /// All series names, in first-appearance order.
+    pub fn series_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Exports the timeline as JSON-lines: a header line with the
+    /// recorder configuration, then one compact object per sample —
+    /// `{"t":<at_ns>,"d":{"<series>":<delta>,...}}` with the changed
+    /// series sorted by name. Deterministic: two runs of the same seeded
+    /// scenario produce byte-identical output.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &Json::obj([
+                ("telemetry", 1u64.to_json()),
+                ("every_ns", self.every_ns.to_json()),
+                ("capacity", (self.capacity as u64).to_json()),
+            ])
+            .to_compact(),
+        );
+        out.push('\n');
+        for s in &self.samples {
+            let mut d: Vec<(String, Json)> = s
+                .points
+                .iter()
+                .map(|&(id, delta)| (self.names[id as usize].clone(), delta.to_json()))
+                .collect();
+            d.sort_by(|a, b| a.0.cmp(&b.0));
+            out.push_str(&Json::obj([("t", s.at_ns.to_json()), ("d", Json::Obj(d))]).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a [`to_jsonl`](TimeSeries::to_jsonl) export back into a
+    /// recorder holding the identical series (watchdogs, alerts and
+    /// spans are not part of the timeline and come back empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_jsonl(text: &str) -> Result<TimeSeries, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty telemetry timeline")?;
+        let h = Json::parse(header).map_err(|e| format!("header: {e}"))?;
+        if h.get("telemetry").and_then(Json::as_u64) != Some(1) {
+            return Err("header is not a telemetry timeline (want \"telemetry\":1)".into());
+        }
+        let every_ns = h
+            .get("every_ns")
+            .and_then(Json::as_u64)
+            .ok_or("header: missing every_ns")?;
+        let capacity = h
+            .get("capacity")
+            .and_then(Json::as_u64)
+            .ok_or("header: missing capacity")? as usize;
+        let mut ts = TimeSeries::new(TelemetryConfig {
+            every_ns,
+            capacity,
+            watchdogs: Vec::new(),
+        });
+        for (i, line) in lines {
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let at_ns = v
+                .get("t")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: missing t", i + 1))?;
+            let d = v
+                .get("d")
+                .and_then(Json::as_object)
+                .ok_or_else(|| format!("line {}: missing d", i + 1))?;
+            let mut points = Vec::with_capacity(d.len());
+            for (name, delta) in d {
+                let delta = delta
+                    .as_f64()
+                    .ok_or_else(|| format!("line {}: {name} is not a number", i + 1))?;
+                points.push((name.as_str(), delta));
+            }
+            ts.absorb(at_ns, &points);
+        }
+        Ok(ts)
+    }
+
+    /// Appends one decoded sample (parse path — no watchdogs, no
+    /// downsampling: the producer already bounded the timeline).
+    fn absorb(&mut self, at_ns: u64, decoded: &[(&str, f64)]) {
+        let mut points = Vec::with_capacity(decoded.len());
+        for &(name, delta) in decoded {
+            let id = match self.index.get(name) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(self.names.len()).expect("too many telemetry series");
+                    self.index.insert(name.to_string(), id);
+                    self.names.push(name.to_string());
+                    self.prev.push(0.0);
+                    id
+                }
+            };
+            self.prev[id as usize] += delta;
+            points.push((id, delta));
+        }
+        points.sort_unstable_by_key(|&(id, _)| id);
+        self.samples.push(Sample { at_ns, points });
+        self.samples_taken += 1;
+        self.last_tick_ns = at_ns;
+    }
+
+    /// Exports the timeline as Chrome-trace counter events (`ph: "C"`),
+    /// one per changed series per sample with the reconstructed absolute
+    /// value — drop the file on ui.perfetto.dev and the counters render
+    /// as tracks next to an X17 lineage trace.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut totals: Vec<f64> = vec![0.0; self.names.len()];
+        let mut events = Vec::new();
+        for s in &self.samples {
+            for &(id, d) in &s.points {
+                totals[id as usize] += d;
+                events.push(Json::obj([
+                    ("name", Json::Str(self.names[id as usize].clone())),
+                    ("cat", Json::Str("telemetry".to_string())),
+                    ("ph", Json::Str("C".to_string())),
+                    ("ts", (s.at_ns as f64 / 1e3).to_json()),
+                    ("pid", 1u64.to_json()),
+                    ("tid", 1u64.to_json()),
+                    (
+                        "args",
+                        Json::obj([("value", totals[id as usize].to_json())]),
+                    ),
+                ]));
+            }
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".to_string())),
+        ])
+    }
+
+    /// Human summary lines for the CLI's `[telemetry]` block.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "samples: {} stored / {} ticks, {} series, every {} ms\n",
+            self.samples.len(),
+            self.samples_taken,
+            self.names.len(),
+            self.every_ns / 1_000_000
+        );
+        if self.downsample_rounds > 0 {
+            out.push_str(&format!(
+                "downsampled: {} rounds, {} pair-merges\n",
+                self.downsample_rounds, self.merged_samples
+            ));
+        }
+        out.push_str(&format!("alerts: {}\n", self.alerts.len()));
+        for a in &self.alerts {
+            out.push_str(&a.line());
+            out.push('\n');
+        }
+        if let Some(spans) = &self.spans {
+            for line in spans.lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for TimeSeries {
+    /// The report block: configuration, volume counters and alerts.
+    /// Everything here except `spans` is virtual-time deterministic;
+    /// `spans` (wall clock) is only present when profiling recorded at
+    /// least one span.
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("every_ns".to_string(), self.every_ns.to_json()),
+            ("capacity".to_string(), (self.capacity as u64).to_json()),
+            ("samples".to_string(), (self.samples.len() as u64).to_json()),
+            ("samples_taken".to_string(), self.samples_taken.to_json()),
+            ("series".to_string(), (self.names.len() as u64).to_json()),
+            (
+                "downsample_rounds".to_string(),
+                self.downsample_rounds.to_json(),
+            ),
+            ("merged_samples".to_string(), self.merged_samples.to_json()),
+            (
+                "alerts".to_string(),
+                Json::Arr(self.alerts.iter().map(ToJson::to_json).collect()),
+            ),
+        ];
+        if let Some(spans) = &self.spans {
+            fields.push(("spans".to_string(), spans.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(pairs: &[(&str, u64)], gauges: &[(&str, f64)]) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for &(k, v) in pairs {
+            m.add(k, v);
+        }
+        for &(k, v) in gauges {
+            m.set_gauge(k, v);
+        }
+        m
+    }
+
+    #[test]
+    fn deltas_record_only_changed_series() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default());
+        let mut m = reg(&[("a", 5), ("b", 1)], &[("g", 2.0)]);
+        ts.sample(1_000_000, &m);
+        assert_eq!(ts.sample_count(), 1);
+        m.add("a", 3);
+        ts.sample(2_000_000, &m);
+        // b and g unchanged: the second sample carries only a's delta.
+        assert_eq!(ts.sample_count(), 2);
+        assert_eq!(ts.series("a"), vec![(1_000_000, 5.0), (2_000_000, 8.0)]);
+        assert_eq!(ts.series("b"), vec![(1_000_000, 1.0)]);
+        assert_eq!(ts.series("g"), vec![(1_000_000, 2.0)]);
+    }
+
+    #[test]
+    fn quiet_samples_are_not_stored() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default());
+        let m = reg(&[("a", 5)], &[]);
+        ts.sample(1_000_000, &m);
+        ts.sample(2_000_000, &m);
+        ts.sample(3_000_000, &m);
+        assert_eq!(ts.sample_count(), 1);
+        assert_eq!(ts.samples_taken(), 3);
+    }
+
+    #[test]
+    fn cadence_deadline_advances_past_now() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default().with_every_ms(2));
+        assert!(ts.is_due(0));
+        let m = reg(&[("a", 1)], &[]);
+        ts.sample(0, &m);
+        assert!(!ts.is_due(1_999_999));
+        assert!(ts.is_due(2_000_000));
+        // A large virtual-time jump advances the deadline past now in
+        // one sample, not one tick per elapsed period.
+        ts.sample(9_000_000, &m);
+        assert!(!ts.is_due(9_999_999));
+        assert!(ts.is_due(10_000_000));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_downsampling_preserves_totals() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default().with_capacity(8));
+        let mut m = MetricsRegistry::new();
+        for i in 0..100u64 {
+            m.add("n", 1);
+            ts.sample(i * 1_000_000, &m);
+        }
+        assert!(ts.sample_count() <= 8, "ring stays bounded");
+        assert!(ts.downsample_rounds() > 0);
+        let series = ts.series("n");
+        // Totals are exact: the last reconstructed point is the true
+        // final counter value even after repeated pair-merging.
+        assert_eq!(series.last().unwrap().1, 100.0);
+        // Timestamps stay monotone through the merge.
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_to_identical_series() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default().with_every_ms(3));
+        let mut m = MetricsRegistry::new();
+        // A seeded pseudo-random workload over a few series.
+        let mut state = 0x1234_5678u64;
+        for step in 0..50u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            m.add("events", state % 7);
+            if state % 3 == 0 {
+                m.add("sheds", 1);
+            }
+            m.set_gauge("depth", (state % 11) as f64);
+            ts.sample(step * 3_000_000, &m);
+        }
+        let text = ts.to_jsonl();
+        let back = TimeSeries::parse_jsonl(&text).unwrap();
+        for name in ["events", "sheds", "depth"] {
+            assert_eq!(ts.series(name), back.series(name), "{name}");
+        }
+        // Re-serialization is byte-identical: the codec is canonical.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(TimeSeries::parse_jsonl("").is_err());
+        assert!(TimeSeries::parse_jsonl("{\"nope\":1}").is_err());
+        let good_header = "{\"telemetry\":1,\"every_ns\":1000000,\"capacity\":16}";
+        assert!(TimeSeries::parse_jsonl(good_header).is_ok());
+        let bad = format!("{good_header}\n{{\"t\":1}}");
+        assert!(TimeSeries::parse_jsonl(&bad).is_err());
+        let bad = format!("{good_header}\n{{\"t\":1,\"d\":{{\"a\":\"x\"}}}}");
+        assert!(TimeSeries::parse_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_counter_events_have_stable_fields() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default());
+        let mut m = reg(&[("n", 2)], &[]);
+        ts.sample(1_000_000, &m);
+        m.add("n", 3);
+        ts.sample(2_000_000, &m);
+        let trace = ts.to_chrome_trace();
+        let events = trace.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("C"));
+            assert_eq!(ev.get("cat").and_then(Json::as_str), Some("telemetry"));
+            assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+            assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+        }
+        // Counter events carry reconstructed absolutes, not deltas.
+        let v1 = events[0].get("args").and_then(|a| a.get("value")).unwrap();
+        let v2 = events[1].get("args").and_then(|a| a.get("value")).unwrap();
+        assert_eq!(v1.as_f64(), Some(2.0));
+        assert_eq!(v2.as_f64(), Some(5.0));
+        assert_eq!(
+            trace.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn threshold_watchdog_is_edge_triggered() {
+        let cfg = TelemetryConfig::default().with_watchdog(WatchdogSpec::new(
+            "depth",
+            WatchKind::Above,
+            10.0,
+        ));
+        let mut ts = TimeSeries::new(cfg);
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("depth", 5.0);
+        ts.sample(1_000_000, &m);
+        assert!(ts.alerts().is_empty());
+        m.set_gauge("depth", 15.0);
+        ts.sample(2_000_000, &m);
+        assert_eq!(ts.alerts().len(), 1, "breach alerts once");
+        m.set_gauge("depth", 20.0);
+        ts.sample(3_000_000, &m);
+        assert_eq!(ts.alerts().len(), 1, "persistent breach stays one alert");
+        m.set_gauge("depth", 5.0);
+        ts.sample(4_000_000, &m);
+        m.set_gauge("depth", 50.0);
+        ts.sample(5_000_000, &m);
+        assert_eq!(ts.alerts().len(), 2, "re-arms after the condition clears");
+        let a = &ts.alerts()[0];
+        assert_eq!(a.metric, "depth");
+        assert_eq!(a.at_ns, 2_000_000);
+        assert_eq!(a.value, 15.0);
+        assert!(a.line().contains("WATCHDOG ALERT: depth above 10"));
+    }
+
+    #[test]
+    fn rate_watchdog_fires_on_fast_growth_only() {
+        let cfg = TelemetryConfig::default()
+            // more than 1000 events per virtual second is a burst
+            .with_watchdog(WatchdogSpec::new("n", WatchKind::RateAbove, 1000.0));
+        let mut ts = TimeSeries::new(cfg);
+        let mut m = MetricsRegistry::new();
+        m.add("n", 1);
+        ts.sample(0, &m);
+        // +5 over 10ms = 500/sec: under the limit.
+        m.add("n", 5);
+        ts.sample(10_000_000, &m);
+        assert!(ts.alerts().is_empty());
+        // +100 over 10ms = 10000/sec: burst.
+        m.add("n", 100);
+        ts.sample(20_000_000, &m);
+        assert_eq!(ts.alerts().len(), 1);
+        assert_eq!(ts.alerts()[0].value, 10_000.0);
+    }
+
+    #[test]
+    fn below_watchdog_and_missing_metric() {
+        let cfg = TelemetryConfig::default()
+            .with_watchdog(WatchdogSpec::new("health", WatchKind::Below, 1.0))
+            .with_watchdog(WatchdogSpec::new("never_written", WatchKind::Above, 5.0));
+        let mut ts = TimeSeries::new(cfg);
+        let m = reg(&[], &[("health", 0.5)]);
+        ts.sample(1_000_000, &m);
+        // `health` is below 1.0 → alert; `never_written` reads 0, which
+        // is not above 5 → no alert.
+        assert_eq!(ts.alerts().len(), 1);
+        assert_eq!(ts.alerts()[0].metric, "health");
+    }
+
+    #[test]
+    fn span_stats_record_and_export() {
+        let mut s = SpanStats::new();
+        assert!(s.is_empty());
+        s.record(SpanId::Deliver, 100);
+        s.record(SpanId::Deliver, 300);
+        s.record(SpanId::MonitorTap, 50);
+        assert_eq!(s.total_ns(SpanId::Deliver), 400);
+        assert_eq!(s.count(SpanId::Deliver), 2);
+        let json = s.to_json();
+        assert_eq!(
+            json.get("deliver")
+                .and_then(|d| d.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert!(json.get("timer").is_none(), "phases without spans omitted");
+        let lines = s.lines().join("\n");
+        assert!(lines.contains("span deliver: 2 calls"), "{lines}");
+    }
+
+    #[test]
+    fn report_json_has_alerts_and_optional_spans() {
+        let mut ts = TimeSeries::new(TelemetryConfig::default());
+        let m = reg(&[("n", 1)], &[]);
+        ts.sample(1_000_000, &m);
+        let j = ts.to_json();
+        assert_eq!(j.get("samples").and_then(Json::as_u64), Some(1));
+        assert!(j.get("spans").is_none(), "no spans recorded → no block");
+        let mut spans = SpanStats::new();
+        spans.record(SpanId::Timer, 7);
+        ts.set_spans(spans);
+        assert!(ts.to_json().get("spans").is_some());
+    }
+
+    #[test]
+    fn watchkind_names_round_trip() {
+        for k in [WatchKind::Above, WatchKind::Below, WatchKind::RateAbove] {
+            assert_eq!(WatchKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(WatchKind::parse("sideways"), None);
+    }
+}

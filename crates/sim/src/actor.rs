@@ -4,7 +4,7 @@ use std::any::Any;
 use std::fmt;
 use std::time::Duration;
 
-use cmi_obs::{LineageRecorder, MetricsRegistry};
+use cmi_obs::{LineageRecorder, MetricsRegistry, SpanId};
 use cmi_types::SimTime;
 
 use crate::engine::Engine;
@@ -131,6 +131,21 @@ impl<'a, M: fmt::Debug + Clone> Ctx<'a, M> {
     /// `true` if a channel `self.me() → to` exists.
     pub fn has_channel_to(&self, to: ActorId) -> bool {
         self.engine.has_channel(self.me, to)
+    }
+
+    /// `true` when wall-clock span profiling is active (telemetry
+    /// enabled). Actors read the clock only behind this check, so
+    /// unprofiled runs pay one branch.
+    pub fn profiling(&self) -> bool {
+        self.engine.profiling()
+    }
+
+    /// Records one timed span of phase `id`; no-op when profiling is
+    /// off. Callers pair this with [`profiling`](Ctx::profiling):
+    /// `let t0 = ctx.profiling().then(Instant::now); ...;
+    /// if let Some(t0) = t0 { ctx.record_span(id, elapsed) }`.
+    pub fn record_span(&mut self, id: SpanId, ns: u64) {
+        self.engine.record_span(id, ns);
     }
 
     /// Appends a custom annotation to the simulation trace (no-op when

@@ -5,7 +5,9 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::time::Duration;
 
-use cmi_obs::{LineageRecorder, MetricId, MetricsRegistry};
+use cmi_obs::{
+    LineageRecorder, MetricId, MetricsRegistry, SpanId, SpanStats, TelemetryConfig, TimeSeries,
+};
 use cmi_types::SimTime;
 
 use crate::actor::{Actor, ActorId, Ctx};
@@ -169,6 +171,12 @@ pub(crate) struct Engine<M> {
     /// Lineage events already streamed to the tap (watermark).
     lineage_fed: usize,
     sinks: Vec<Box<dyn TraceSink>>,
+    /// Flight-recorder telemetry (`None` = disabled, the default: one
+    /// branch per event, no sampling state allocated).
+    telemetry: Option<Box<TimeSeries>>,
+    /// Wall-clock span profiling of engine phases; enabled together
+    /// with telemetry, never written into the deterministic timeline.
+    spans: Option<Box<SpanStats>>,
 }
 
 impl<M: fmt::Debug + Clone> Engine<M> {
@@ -350,6 +358,38 @@ impl<M: fmt::Debug + Clone> Engine<M> {
         }
         self.lineage_fed = events.len();
     }
+
+    /// `true` when telemetry is installed and the next cadence tick has
+    /// arrived — the one cheap check the event loop pays per event.
+    #[inline]
+    pub(crate) fn telemetry_due(&self) -> bool {
+        matches!(&self.telemetry, Some(t) if t.is_due(self.now.as_nanos()))
+    }
+
+    /// Takes one telemetry sample of the live registry. Cold: only
+    /// reached on cadence ticks of telemetry-enabled runs.
+    #[cold]
+    pub(crate) fn telemetry_sample(&mut self) {
+        let now_ns = self.now.as_nanos();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.sample(now_ns, &self.metrics);
+        }
+    }
+
+    /// `true` when span profiling is active (callers read the wall clock
+    /// only behind this check, so disabled runs pay one branch).
+    #[inline]
+    pub(crate) fn profiling(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Records one timed span. Cold: only reached when profiling is on.
+    #[cold]
+    pub(crate) fn record_span(&mut self, id: SpanId, ns: u64) {
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.record(id, ns);
+        }
+    }
 }
 
 /// The single place a message's Debug form is rendered for tracing;
@@ -370,6 +410,7 @@ pub struct SimBuilder<M> {
     tap: Option<Box<dyn RunTap>>,
     sinks: Vec<Box<dyn TraceSink>>,
     corrupter: Option<Corrupter<M>>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
@@ -385,6 +426,7 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             tap: None,
             sinks: Vec::new(),
             corrupter: None,
+            telemetry: None,
         }
     }
 
@@ -457,6 +499,17 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         self.tap = Some(tap);
     }
 
+    /// Enables flight-recorder telemetry (off by default): the engine
+    /// samples the metric registry at `cfg`'s virtual-time cadence into
+    /// a bounded delta-encoded timeline, evaluates `cfg`'s watchdogs at
+    /// every sample, and profiles the engine's phases with wall-clock
+    /// spans. The finished recorder is retrieved with
+    /// [`Sim::take_telemetry`]. A disabled run allocates no telemetry
+    /// state and pays one branch per event.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(cfg);
+    }
+
     /// Registers a [`TraceSink`] that receives every trace entry of the
     /// run as it happens (independently of [`enable_trace`]'s in-memory
     /// log). Sinks are invoked in registration order. Returns the sink's
@@ -516,6 +569,8 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
                     None
                 },
                 sinks: self.sinks,
+                spans: self.telemetry.as_ref().map(|_| Box::new(SpanStats::new())),
+                telemetry: self.telemetry.map(|cfg| Box::new(TimeSeries::new(cfg))),
             },
             actors: self.actors,
             started: false,
@@ -578,6 +633,12 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
             let ev = self.engine.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.engine.now, "time went backwards");
             self.engine.now = ev.at;
+            // Flight-recorder sampling happens on virtual-time cadence
+            // ticks, before the event's effects — one branch per event
+            // when telemetry is off.
+            if self.engine.telemetry_due() {
+                self.engine.telemetry_sample();
+            }
             events_this_call += 1;
             self.events_processed += 1;
             self.engine
@@ -588,11 +649,16 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     if self.engine.tracing() {
                         self.engine.trace_delivered(ev.at, from, to, &msg);
                     }
+                    let t0 = self.engine.profiling().then(std::time::Instant::now);
                     let mut ctx = Ctx {
                         engine: &mut self.engine,
                         me: to,
                     };
                     self.actors[to.index()].on_message(from, msg, &mut ctx);
+                    if let Some(t0) = t0 {
+                        self.engine
+                            .record_span(SpanId::Deliver, t0.elapsed().as_nanos() as u64);
+                    }
                 }
                 EventPayload::Timer { actor, token } => {
                     self.engine.stats.on_timer();
@@ -603,14 +669,24 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                             kind: TraceKind::Timer { actor, token },
                         });
                     }
+                    let t0 = self.engine.profiling().then(std::time::Instant::now);
                     let mut ctx = Ctx {
                         engine: &mut self.engine,
                         me: actor,
                     };
                     self.actors[actor.index()].on_timer(token, &mut ctx);
+                    if let Some(t0) = t0 {
+                        self.engine
+                            .record_span(SpanId::Timer, t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
+            let t0 = self.engine.profiling().then(std::time::Instant::now);
             self.engine.feed_tap();
+            if let Some(t0) = t0 {
+                self.engine
+                    .record_span(SpanId::TapFeed, t0.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -653,6 +729,25 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
     /// [`Ctx::lineage`]: crate::actor::Ctx::lineage
     pub fn take_lineage(&mut self) -> Option<LineageRecorder> {
         self.engine.lineage.take()
+    }
+
+    /// The live telemetry recorder (`None` unless
+    /// [`SimBuilder::enable_telemetry`] was called, or after
+    /// [`take_telemetry`](Sim::take_telemetry)).
+    pub fn telemetry(&self) -> Option<&TimeSeries> {
+        self.engine.telemetry.as_deref()
+    }
+
+    /// Takes ownership of the telemetry timeline, first recording a
+    /// final sample at the current virtual time (so the timeline always
+    /// ends with the run-final totals) and attaching the span profile.
+    pub fn take_telemetry(&mut self) -> Option<TimeSeries> {
+        let mut t = self.engine.telemetry.take()?;
+        t.sample(self.engine.now.as_nanos(), &self.engine.metrics);
+        if let Some(spans) = self.engine.spans.take() {
+            t.set_spans(*spans);
+        }
+        Some(*t)
     }
 
     /// The live metrics registry: engine counters (`engine.*`) plus
@@ -1230,6 +1325,46 @@ mod tests {
             (sim.now(), sim.stats().clone())
         };
         assert_eq!(plain, with_spec);
+    }
+
+    #[test]
+    fn telemetry_records_a_deterministic_timeline_and_spans() {
+        let run = || {
+            let mut b = SimBuilder::new(3);
+            let a1 = ActorId(1);
+            let a0 = b.add_actor(Flood::sender(a1, 50), NetworkTag(0));
+            b.add_actor(Flood::sink(), NetworkTag(1));
+            b.connect(a0, a1, ChannelSpec::jittered(ms(5), ms(10)));
+            b.enable_telemetry(TelemetryConfig::default().with_every_ms(1));
+            let mut sim = b.build();
+            sim.run(RunLimit::unlimited());
+            assert!(sim.telemetry().is_some());
+            let t = sim.take_telemetry().unwrap();
+            assert!(sim.telemetry().is_none(), "take leaves no recorder");
+            t
+        };
+        let t1 = run();
+        assert!(t1.sample_count() >= 1, "cadence ticks produced samples");
+        let dispatched = t1.series("engine.events_dispatched");
+        assert_eq!(
+            dispatched.last().unwrap().1,
+            50.0,
+            "final sample carries run-final totals"
+        );
+        // Span profiling ran (wall clock), but never touches the
+        // timeline: the JSONL export is virtual-time deterministic.
+        assert!(t1.spans().is_some());
+        assert!(t1.spans().unwrap().count(SpanId::Deliver) > 0);
+        let t2 = run();
+        assert_eq!(t1.to_jsonl(), t2.to_jsonl(), "byte-identical timelines");
+    }
+
+    #[test]
+    fn disabled_telemetry_allocates_nothing_and_yields_none() {
+        let (mut sim, ..) = two_actor_world(ChannelSpec::fixed(ms(5)), 10, 1);
+        sim.run(RunLimit::unlimited());
+        assert!(sim.telemetry().is_none());
+        assert!(sim.take_telemetry().is_none());
     }
 
     #[test]

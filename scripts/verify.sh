@@ -125,4 +125,30 @@ grep -q '"monitor.violations": 0' "$artifact_dir/chaos_run.json" \
     || { echo "FAIL: chaos run reported violations != 0" >&2; exit 1; }
 cp "$artifact_dir/chaos_smoke.txt" artifacts/chaos_smoke.txt
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor and chaos baselines all passed"
+echo "==> telemetry baseline check (X22 vs committed BENCH_TELEMETRY.json)"
+# Structural fields (shed burst + recovery visible in the timeline,
+# watchdog fired on the shed counter, byte-identical seeded replay,
+# sampling adds no engine events) must match the committed baseline
+# exactly; wall times and the on/off overhead ratio only within the
+# tolerance window. --quick times one rep instead of a median of five.
+./target/release/exp_x22_telemetry --quick --json "$artifact_dir/bench_telemetry.json" \
+    --check BENCH_TELEMETRY.json > "$artifact_dir/x22.txt"
+grep -q 'flight recorder over the X21 chaos regime' "$artifact_dir/x22.txt" \
+    || { echo "FAIL: X22 report lost its cadence table" >&2; exit 1; }
+grep -q 'seeded replay: timelines byte-identical' "$artifact_dir/x22.txt" \
+    || { echo "FAIL: X22 telemetry timeline no longer replays" >&2; exit 1; }
+
+echo "==> telemetry smoke run (cmi-cli run --telemetry-out on the churn scenario)"
+# The flight recorder must sample the chaos churn run (>= 1 timeline
+# sample behind the JSONL header) without tripping any watchdog: strict
+# mode would exit 4 on a spurious alert. CI uploads the timeline.
+./target/release/cmi-cli run crates/cli/scenarios/chaos_churn.json \
+    --telemetry-every 2 --telemetry-strict \
+    --telemetry-out "$artifact_dir/chaos_timeline.jsonl" > "$artifact_dir/telemetry_smoke.txt"
+grep -q '^\[telemetry\]' "$artifact_dir/telemetry_smoke.txt" \
+    || { echo "FAIL: --telemetry-every run lost its summary block" >&2; exit 1; }
+[ "$(wc -l < "$artifact_dir/chaos_timeline.jsonl")" -ge 2 ] \
+    || { echo "FAIL: telemetry timeline has no samples" >&2; exit 1; }
+cp "$artifact_dir/chaos_timeline.jsonl" artifacts/chaos_timeline.jsonl
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor, chaos and telemetry baselines all passed"
