@@ -1,0 +1,71 @@
+//! Bench: binary heap vs calendar-queue push/pop throughput at queue
+//! depths 10²–10⁶ — the microbench behind PR 9's scheduler swap. Plain
+//! `main` on the in-tree harness; set `CMI_BENCH_JSON=<path>` to also
+//! dump the results as JSON.
+//!
+//! Each case pushes `depth` events with pseudo-random timestamps inside
+//! the slot-ring horizon, then pops them all in order: the steady-state
+//! pattern of the engine's dispatch loop. The heap is the pre-PR-9
+//! reference (`BinaryHeap<Reverse<(at, seq, tag)>>`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+use cmi_obs::BenchSuite;
+use cmi_sim::{CalendarQueue, SplitMix64};
+
+/// Pseudo-random event times: up to ~1 s spread in nanoseconds, far
+/// denser than the ring horizon so both near and batched paths run.
+fn times(depth: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed);
+    (0..depth).map(|_| rng.next_u64() % 1_000_000_000).collect()
+}
+
+fn heap_cycle(times: &[u64]) -> u64 {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::with_capacity(times.len());
+    for (seq, &at) in times.iter().enumerate() {
+        heap.push(Reverse((at, seq as u64, 0u32)));
+    }
+    let mut acc = 0u64;
+    while let Some(Reverse((at, ..))) = heap.pop() {
+        acc = acc.wrapping_add(at);
+    }
+    acc
+}
+
+fn ring_cycle(times: &[u64]) -> u64 {
+    let mut q: CalendarQueue<u32> = CalendarQueue::new();
+    for (seq, &at) in times.iter().enumerate() {
+        q.push(at, seq as u64, 0, 0);
+    }
+    let mut acc = 0u64;
+    while let Some((at, ..)) = q.pop() {
+        acc = acc.wrapping_add(at);
+    }
+    acc
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("sched");
+    for depth in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let ts = times(depth);
+        // Keep total wall time flat-ish across depths.
+        let iters = match depth {
+            d if d <= 1_000 => 50,
+            d if d <= 100_000 => 10,
+            _ => 3,
+        };
+        suite.run(&format!("sched/heap/{depth}"), 1, iters, || {
+            black_box(heap_cycle(&ts))
+        });
+        suite.run(&format!("sched/calendar/{depth}"), 1, iters, || {
+            black_box(ring_cycle(&ts))
+        });
+    }
+    match suite.write_json_from_env("CMI_BENCH_JSON") {
+        Ok(Some(path)) => eprintln!("bench JSON written to {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("cannot write bench JSON: {e}"),
+    }
+}

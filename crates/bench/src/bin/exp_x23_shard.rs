@@ -1,0 +1,91 @@
+//! X23 runner: drives the sharded-engine arms (replay identity, raw
+//! scheduler flood, shard-scaling curve) and gates the `x23` fragment
+//! of the committed `BENCH_PERF.json` baseline.
+//!
+//! Flags:
+//!   --json <path>       write the measured X23 artifact to <path>
+//!   --check <baseline>  compare the fresh measurement against the
+//!                       committed BENCH_PERF.json: structural fields
+//!                       must match exactly, timings within tolerance,
+//!                       the committed flood floor must hold, and on
+//!                       ≥2-CPU machines the shard speedup must exceed
+//!                       1.0; exit nonzero on violation
+//!   --quick             one timing rep instead of a median of three
+
+use std::process::ExitCode;
+
+use cmi_obs::{Json, ToJson};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} requires an argument")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json_out, check_path) = match (flag_value(&args, "--json"), flag_value(&args, "--check")) {
+        (Ok(j), Ok(c)) => (j, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+
+    print!("{}", cmi_bench::experiments::x23_shard::run());
+    let (table, fragment) = cmi_bench::experiments::x23_shard::measure(quick);
+    print!("{table}");
+
+    // Wrap the fragment the way BENCH_PERF.json carries it, so --json
+    // output and --check input share one shape.
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+    let artifact = Json::obj([
+        ("experiment", Json::Str("X23 sharded engine".into())),
+        (
+            "structural",
+            Json::obj([("available_parallelism", parallelism.to_json())]),
+        ),
+        ("x23", fragment),
+    ]);
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, artifact.to_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("X23 shard artifact written to {path}");
+    }
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cmi_bench::experiments::x23_shard::check(&artifact, &baseline) {
+            Ok(()) => eprintln!("shard baseline check against {path}: OK"),
+            Err(violations) => {
+                eprintln!("shard baseline check against {path}: FAILED");
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -24,6 +24,7 @@ pub mod x19_checker;
 pub mod x20_monitor;
 pub mod x21_chaos;
 pub mod x22_telemetry;
+pub mod x23_shard;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -96,7 +97,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X22".into())),
+        ("suite", Json::Str("cmi experiments X1-X23".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -159,6 +160,10 @@ pub fn registry() -> Vec<Experiment> {
         (
             "X22 flight-recorder telemetry (extension)",
             x22_telemetry::run,
+        ),
+        (
+            "X23 sharded engine: throughput & replay identity (extension)",
+            x23_shard::run,
         ),
     ]
 }

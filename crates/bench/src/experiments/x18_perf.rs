@@ -199,6 +199,15 @@ pub fn measure(parallel_jobs: usize, quick: bool) -> (String, Json) {
         timing.push(("suite_speedup", speedup.to_json()));
     }
 
+    // X23's scheduler-flood and shard-scaling fields live in the same
+    // artifact (BENCH_PERF.json) so one file carries the whole perf
+    // baseline; `exp_x23_shard --check` gates the x23 fragment.
+    let (x23_table, x23_fragment) = super::x23_shard::measure(quick);
+    out.push_str(&x23_table);
+
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
     let (canonical_events, canonical_messages, canonical_crossings) = canonical_counts();
     let artifact = Json::obj([
         ("experiment", Json::Str("X18 perf baseline".into())),
@@ -213,9 +222,13 @@ pub fn measure(parallel_jobs: usize, quick: bool) -> (String, Json) {
                 ("canonical_messages", canonical_messages.to_json()),
                 ("canonical_crossings", canonical_crossings.to_json()),
                 ("interning_agreement", interning_agrees().to_json()),
+                // Machine-dependent: recorded for CPU-aware gating, not
+                // exact-compared against the baseline.
+                ("available_parallelism", parallelism.to_json()),
             ]),
         ),
         ("timing", Json::obj(timing)),
+        ("x23", x23_fragment),
     ]);
     (out, artifact)
 }
@@ -285,6 +298,26 @@ pub fn check(new: &Json, baseline: &Json) -> Result<(), Vec<String>> {
                     errors.push(format!(
                         "throughput regression in events_per_sec: baseline {b:.0} vs \
                          measured {n:.0} (ratio {ratio:.2})"
+                    ));
+                }
+            }
+        }
+        // CPU-aware speedup gate: on a multi-core machine the parallel
+        // suite pass must not be slower than serial. Single-CPU
+        // containers (where ~1.0 is physically expected) are exempt,
+        // so the 1-CPU caveat no longer hides real regressions on
+        // machines that could parallelize.
+        let parallelism = new
+            .get("structural")
+            .and_then(|s| s.get("available_parallelism"))
+            .and_then(Json::as_u64)
+            .unwrap_or(1);
+        if parallelism >= 2 {
+            if let Some(speedup) = new_timing.get("suite_speedup").and_then(Json::as_f64) {
+                if speedup < 1.0 {
+                    errors.push(format!(
+                        "suite_speedup is {speedup:.2} on a {parallelism}-CPU machine — \
+                         the parallel runner regressed"
                     ));
                 }
             }

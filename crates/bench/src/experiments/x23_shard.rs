@@ -1,0 +1,453 @@
+//! X23 — slotted scheduler throughput and sharded multi-core scaling.
+//!
+//! PR 9 rebuilt the `cmi-sim` hot path (calendar-queue scheduler, dense
+//! channel adjacency, payload slab) and added the sharded engine
+//! ([`ShardedWorld`](cmi_core::ShardedWorld)) that runs disjoint
+//! connected components on worker threads with a deterministic merge.
+//! This experiment pins both claims:
+//!
+//! * **byte-identical replay** — the canonical multi-island world (and
+//!   a composed chaos schedule over it) renders the exact same
+//!   `RunReport::to_json` bytes serially and at 1, 2 and 4 shards;
+//! * **throughput floor** — a raw-engine timer flood must clear
+//!   [`FLOOD_FLOOR_EPS`] events/sec on a single core, double the 848k
+//!   X18 committed floor the `BinaryHeap` engine recorded;
+//! * **shard-scaling curve** — wall time of the island world at 1/2/4
+//!   shards, with a CPU-aware speedup gate (machines with one CPU
+//!   cannot show a speedup; the curve is still recorded).
+//!
+//! The registry `run()` prints only deterministic quantities;
+//! wall-clock numbers are emitted by `exp_x18_perf` (which embeds this
+//! module's fields) into `BENCH_PERF.json` and gated by
+//! `exp_x23_shard --check` in scripts/verify.sh.
+
+use std::any::Any;
+use std::time::Duration;
+
+use cmi_core::{InterconnectBuilder, LinkSpec, RunReport, SystemSpec};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::{bench, Json, ToJson};
+use cmi_sim::chaos::ChaosSpec;
+use cmi_sim::{Actor, ActorId, Ctx, NetworkTag, RunLimit, SimBuilder};
+
+use crate::table::Table;
+
+/// Timing fields are accepted within this factor of the committed
+/// baseline in either direction — same window as X18.
+pub const TIMING_TOLERANCE: f64 = 32.0;
+
+/// The committed baseline must record at least this flood throughput:
+/// 2× the 848k events/sec the pre-PR-9 `BinaryHeap` engine committed in
+/// `BENCH_PERF.json`. The *measured* value is then compared to the
+/// baseline within [`TIMING_TOLERANCE`] so slow CI machines stay green
+/// while a silently lowered baseline cannot pass review.
+pub const FLOOD_FLOOR_EPS: f64 = 1_700_000.0;
+
+/// Timer-chain actors in the raw-engine flood.
+const FLOOD_ACTORS: usize = 64;
+/// Timers each flood actor burns through.
+const FLOOD_CHAIN: u64 = 4_000;
+
+/// A raw-engine stress actor: burns through a chain of timers, keeping
+/// the scheduler hot without any protocol logic on top.
+struct Flood {
+    remaining: u64,
+}
+
+impl Actor<()> for Flood {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.schedule(Duration::from_micros(1), 0);
+    }
+
+    fn on_message(&mut self, _from: ActorId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(Duration::from_micros(1), 0);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs the raw-engine timer flood and returns events dispatched.
+fn flood() -> u64 {
+    let mut b = SimBuilder::new(7);
+    for _ in 0..FLOOD_ACTORS {
+        b.add_actor(
+            Box::new(Flood {
+                remaining: FLOOD_CHAIN,
+            }),
+            NetworkTag(0),
+        );
+    }
+    let mut sim = b.build();
+    sim.run(RunLimit::unlimited());
+    sim.metrics().counter("engine.events_dispatched")
+}
+
+/// The canonical island world: four disjoint pairs of 3-process
+/// systems, protocols alternating, so the shard planner finds four
+/// independent groups.
+fn island_builder() -> InterconnectBuilder {
+    let mut b = InterconnectBuilder::new();
+    for i in 0..4 {
+        let protocol = if i % 2 == 0 {
+            ProtocolKind::Ahamad
+        } else {
+            ProtocolKind::Frontier
+        };
+        let a = b.add_system(SystemSpec::new(format!("S{}a", i), protocol, 3));
+        let c = b.add_system(SystemSpec::new(format!("S{}b", i), protocol, 3));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(2 + i as u64)));
+    }
+    b
+}
+
+/// Serial reference run of the island world.
+fn island_serial(workload: &WorkloadSpec) -> RunReport {
+    island_builder()
+        .build(23)
+        .expect("island topology is valid")
+        .run(workload)
+}
+
+/// Sharded run of the island world at `shards` workers.
+fn island_sharded(workload: &WorkloadSpec, shards: usize) -> RunReport {
+    island_builder()
+        .build_sharded(23, shards)
+        .expect("island topology is valid")
+        .run(workload)
+}
+
+/// Byte-compares serial vs 1/2/4-shard reports of the island world.
+/// Returns (identical, serial report byte length, shard groups).
+fn replay_identity(workload: &WorkloadSpec) -> (bool, usize, usize) {
+    let serial = island_serial(workload).to_json().to_compact();
+    let groups = island_builder()
+        .build_sharded(23, 4)
+        .expect("island topology is valid")
+        .groups()
+        .len();
+    let identical = [1usize, 2, 4]
+        .iter()
+        .all(|&shards| island_sharded(workload, shards).to_json().to_compact() == serial);
+    (identical, serial.len(), groups)
+}
+
+/// Byte-compares serial vs sharded replay under a composed chaos
+/// schedule (partitions + crashes + churn across the islands).
+fn chaos_replay_identity() -> (bool, usize) {
+    let spec = ChaosSpec::new(Duration::from_millis(40))
+        .with_partitions(2, Duration::from_millis(3), Duration::from_millis(10))
+        .with_crashes(1, Duration::from_millis(2), Duration::from_millis(8))
+        .with_churn(1, Duration::from_millis(4), Duration::from_millis(12));
+    let workload = WorkloadSpec::small().with_ops(6);
+
+    let world = island_builder()
+        .build(23)
+        .expect("island topology is valid");
+    let schedule = world.compile_chaos(&spec, 0x23);
+    let mut world = world;
+    let serial = world
+        .run_with_chaos(&workload, &schedule)
+        .to_json()
+        .to_compact();
+
+    let identical = [1usize, 2, 4].iter().all(|&shards| {
+        let mut sharded = island_builder()
+            .build_sharded(23, shards)
+            .expect("island topology is valid");
+        sharded
+            .run_with_chaos(&workload, &schedule)
+            .to_json()
+            .to_compact()
+            == serial
+    });
+    (identical, schedule.len())
+}
+
+/// Deterministic registry report (no wall-clock numbers).
+pub fn run() -> String {
+    let mut out = String::new();
+    let workload = WorkloadSpec::small();
+
+    let (identical, bytes, groups) = replay_identity(&workload);
+    let mut t = Table::new(
+        "sharded replay identity (4 island pairs, seed 23, shards 1/2/4 vs serial)",
+        &["check", "result"],
+    );
+    t.row(&["shard groups planned".into(), groups.to_string()]);
+    t.row(&["report bytes".into(), bytes.to_string()]);
+    t.row(&[
+        "serial == 1 == 2 == 4 shards (RunReport::to_json)".into(),
+        if identical { "identical" } else { "DIVERGED" }.into(),
+    ]);
+    out.push_str(&t.to_string());
+
+    let (chaos_identical, schedule_len) = chaos_replay_identity();
+    let mut t = Table::new(
+        "chaos replay identity (partitions + crashes + churn, seed 0x23)",
+        &["check", "result"],
+    );
+    t.row(&["chaos events compiled".into(), schedule_len.to_string()]);
+    t.row(&[
+        "serial == 1 == 2 == 4 shards under the schedule".into(),
+        if chaos_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+        .into(),
+    ]);
+    out.push_str(&t.to_string());
+    out.push_str(
+        "wall-clock measurements (flood events/sec, shard-scaling curve) are\n\
+         embedded by `exp_x18_perf` into BENCH_PERF.json and regression-checked\n\
+         by `exp_x23_shard --check` in scripts/verify.sh.\n",
+    );
+    out
+}
+
+/// The X23 artifact fragment embedded under the `"x23"` key of
+/// `BENCH_PERF.json` by [`x18_perf::measure`](crate::experiments::x18_perf::measure)
+/// and checked by `exp_x23_shard --check`. Returns the human table and
+/// the fragment.
+pub fn measure(quick: bool) -> (String, Json) {
+    let mut out = String::new();
+    let reps = if quick { 1 } else { 3 };
+
+    // Raw-engine flood throughput on one core.
+    let flood_events = flood();
+    let flood_res = bench("x23/flood", 1, reps, flood);
+    let flood_eps = flood_events as f64 / (flood_res.median_ns() / 1e9);
+
+    // Shard-scaling curve on the island world, heavier workload so the
+    // per-run wall time dominates thread setup.
+    let workload = WorkloadSpec::small().with_ops(96);
+    let mut walls = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let res = bench(&format!("x23/shards_{shards}"), 0, reps, || {
+            island_sharded(&workload, shards)
+        });
+        walls.push((shards, res.median_ns() / 1e6));
+    }
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let (identical, _, groups) = replay_identity(&WorkloadSpec::small());
+
+    let mut t = Table::new(
+        "scheduler flood and shard scaling",
+        &["case", "wall ms", "throughput / speedup"],
+    );
+    t.row(&[
+        format!("timer flood ({FLOOD_ACTORS} actors × {FLOOD_CHAIN})"),
+        format!("{:.2}", flood_res.median_ns() / 1e6),
+        format!("{flood_eps:.0} events/sec"),
+    ]);
+    for &(shards, wall_ms) in &walls {
+        t.row(&[
+            format!("island world, {shards} shard(s)"),
+            format!("{wall_ms:.2}"),
+            format!("{:.2}x", walls[0].1 / wall_ms),
+        ]);
+    }
+    t.row(&[
+        "available_parallelism".into(),
+        String::new(),
+        parallelism.to_string(),
+    ]);
+    out.push_str(&t.to_string());
+
+    let fragment = Json::obj([
+        (
+            "structural",
+            Json::obj([
+                ("flood_events", flood_events.to_json()),
+                ("shard_groups", (groups as u64).to_json()),
+                ("replay_identical", identical.to_json()),
+            ]),
+        ),
+        (
+            "timing",
+            Json::obj([
+                ("flood_events_per_sec", flood_eps.to_json()),
+                ("shard_wall_ms_1", walls[0].1.to_json()),
+                ("shard_wall_ms_2", walls[1].1.to_json()),
+                ("shard_wall_ms_4", walls[2].1.to_json()),
+                ("shard_speedup_2", (walls[0].1 / walls[1].1).to_json()),
+                ("shard_speedup_4", (walls[0].1 / walls[2].1).to_json()),
+            ]),
+        ),
+    ]);
+    (out, fragment)
+}
+
+/// Checks a freshly measured X23 fragment against the committed
+/// `BENCH_PERF.json`: structural fields exact, timings within
+/// [`TIMING_TOLERANCE`], the committed flood floor at least
+/// [`FLOOD_FLOOR_EPS`], and — on machines with ≥ 2 CPUs — a measured
+/// shard speedup above 1.0. Both arguments are full artifacts; the X23
+/// fragment is read from their `"x23"` key.
+pub fn check(new: &Json, baseline: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let (Some(new_x23), Some(base_x23)) = (new.get("x23"), baseline.get("x23")) else {
+        return Err(vec!["missing x23 section in artifact or baseline".into()]);
+    };
+    let (Some(new_struct), Some(base_struct)) =
+        (new_x23.get("structural"), base_x23.get("structural"))
+    else {
+        return Err(vec!["missing x23 structural section".into()]);
+    };
+    for key in ["flood_events", "shard_groups", "replay_identical"] {
+        let (n, b) = (new_struct.get(key), base_struct.get(key));
+        if n.is_none() || b.is_none() {
+            errors.push(format!("x23 structural field {key} missing"));
+        } else if n.map(Json::to_compact) != b.map(Json::to_compact) {
+            errors.push(format!(
+                "x23 structural regression in {key}: baseline {} vs measured {}",
+                b.unwrap().to_compact(),
+                n.unwrap().to_compact()
+            ));
+        }
+    }
+    if new_struct.get("replay_identical").and_then(Json::as_bool) != Some(true) {
+        errors.push("sharded replay no longer byte-identical to serial".into());
+    }
+
+    let (Some(new_timing), Some(base_timing)) = (new_x23.get("timing"), base_x23.get("timing"))
+    else {
+        return Err(vec!["missing x23 timing section".into()]);
+    };
+    // The committed baseline itself must clear the raised floor — a
+    // regenerated baseline cannot quietly lower it.
+    match base_timing
+        .get("flood_events_per_sec")
+        .and_then(Json::as_f64)
+    {
+        Some(eps) if eps >= FLOOD_FLOOR_EPS => {}
+        Some(eps) => errors.push(format!(
+            "committed flood baseline {eps:.0} events/sec is below the \
+             {FLOOD_FLOOR_EPS:.0} floor"
+        )),
+        None => errors.push("baseline missing flood_events_per_sec".into()),
+    }
+    for key in [
+        "flood_events_per_sec",
+        "shard_wall_ms_1",
+        "shard_wall_ms_2",
+        "shard_wall_ms_4",
+    ] {
+        let (Some(n), Some(b)) = (
+            new_timing.get(key).and_then(Json::as_f64),
+            base_timing.get(key).and_then(Json::as_f64),
+        ) else {
+            errors.push(format!("x23 timing field {key} missing"));
+            continue;
+        };
+        if n <= 0.0 || b <= 0.0 {
+            errors.push(format!("non-positive x23 timing in {key}"));
+            continue;
+        }
+        let ratio = n / b;
+        if !(1.0 / TIMING_TOLERANCE..=TIMING_TOLERANCE).contains(&ratio) {
+            errors.push(format!(
+                "x23 timing regression in {key}: baseline {b:.1} vs measured {n:.1} \
+                 (ratio {ratio:.2}, tolerance {TIMING_TOLERANCE}x)"
+            ));
+        }
+    }
+    // CPU-aware speedup gate: a 1-CPU container cannot show a speedup
+    // (the curve is still recorded); with real parallelism available the
+    // 2-shard run must actually beat the 1-shard run.
+    let parallelism = new
+        .get("structural")
+        .and_then(|s| s.get("available_parallelism"))
+        .and_then(Json::as_u64)
+        .unwrap_or(1);
+    if parallelism >= 2 {
+        match new_timing.get("shard_speedup_2").and_then(Json::as_f64) {
+            Some(s) if s > 1.0 => {}
+            Some(s) => errors.push(format!(
+                "shard_speedup_2 is {s:.2} on a {parallelism}-CPU machine — \
+                 the sharded engine no longer scales"
+            )),
+            None => errors.push("x23 timing field shard_speedup_2 missing".into()),
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x23_report_is_deterministic() {
+        assert_eq!(run(), run(), "registry report must be byte-reproducible");
+    }
+
+    #[test]
+    fn replay_is_identical_across_shard_counts() {
+        let (identical, bytes, groups) = replay_identity(&WorkloadSpec::small());
+        assert!(identical);
+        assert!(bytes > 0);
+        assert_eq!(groups, 4);
+        let (chaos_identical, schedule_len) = chaos_replay_identity();
+        assert!(chaos_identical);
+        assert!(schedule_len > 0);
+    }
+
+    #[test]
+    fn quick_measure_self_checks_and_flags_regressions() {
+        let (_, fragment) = measure(true);
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1) as u64;
+        let wrap = |frag: &Json| {
+            Json::obj([
+                (
+                    "structural",
+                    Json::obj([("available_parallelism", parallelism.to_json())]),
+                ),
+                ("x23", frag.clone()),
+            ])
+        };
+        let artifact = wrap(&fragment);
+        assert!(check(&artifact, &artifact).is_ok(), "self-check must pass");
+
+        // A lowered committed floor must be rejected even when the
+        // measured run matches it.
+        let lowered = Json::parse(&artifact.to_pretty().replace(
+            "\"flood_events_per_sec\":",
+            "\"flood_events_per_sec\": 1e5,\"was\":",
+        ));
+        if let Ok(lowered) = lowered {
+            assert!(
+                check(&artifact, &lowered).is_err(),
+                "lowered floor accepted"
+            );
+        }
+
+        // Structural drift must be rejected.
+        let tampered = Json::parse(
+            &artifact
+                .to_pretty()
+                .replace("\"flood_events\"", "\"flood_events_x\""),
+        )
+        .unwrap();
+        assert!(check(&tampered, &artifact).is_err(), "structural drift");
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]
+//!             [--shards <n>]
 //!             [--json <report.json>] [--monitor] [--monitor-strict]
 //!             [--dump-history <out.json>] [--dump-dot <out.dot>]
 //!             [--trace-out <trace.json>]
@@ -54,6 +55,7 @@ fn print_usage() {
         "cmi-cli — interconnection of causal memory systems\n\n\
          USAGE:\n\
          \u{20}  cmi-cli run <scenario.json> [<scenario.json> …] [--jobs <n>]\n\
+         \u{20}          [--shards <n>]\n\
          \u{20}          [--json <report.json>] [--monitor] [--monitor-strict]\n\
          \u{20}          [--dump-history <out.json>] [--dump-dot <out.dot>]\n\
          \u{20}          [--trace-out <trace.json>]\n\
@@ -68,6 +70,11 @@ fn print_usage() {
          consistency checks to run; see crates/cli/scenarios/ for examples.\n\
          Several scenarios run as a batch, up to --jobs at a time, with the\n\
          reports printed in argument order.\n\
+         --shards runs each scenario on the sharded multi-core engine:\n\
+         disjoint components execute on up to <n> worker threads and merge\n\
+         into a report byte-identical to the serial engine's. Scenarios\n\
+         recording global-order artifacts (trace, lineage, monitor,\n\
+         telemetry) coalesce into one shard group automatically.\n\
          --monitor checks causality incrementally *during* the run and\n\
          alerts on the first violation, with a summary in the report;\n\
          --monitor-strict additionally exits with code 3 on a violation.\n\
@@ -101,7 +108,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, 
 
 /// Positional (non-flag) arguments, skipping every `--flag value` pair.
 fn positional_args(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--json",
         "--dump-history",
         "--dump-dot",
@@ -109,6 +116,7 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--telemetry-out",
         "--telemetry-every",
         "--jobs",
+        "--shards",
         "--chaos-horizon",
         "--chaos-partitions",
         "--chaos-crashes",
@@ -198,6 +206,9 @@ fn chaos_flags(args: &[String]) -> Result<Option<ChaosEntry>, String> {
 struct RunFlags {
     monitor: bool,
     monitor_strict: bool,
+    /// `--shards <n>`: run each scenario on the sharded multi-core
+    /// engine (1 = serial engine; reports are byte-identical).
+    shards: usize,
     /// `--telemetry-out` present (enables telemetry even without a
     /// scenario block).
     telemetry_on: bool,
@@ -263,7 +274,12 @@ fn run_one(path: &str, flags: &RunFlags) -> Result<RunOutput, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     flags.apply(&mut scenario);
-    let report = scenario.run().map_err(|e| format!("{path}: {e}"))?;
+    let report = if flags.shards > 1 {
+        scenario.run_sharded(flags.shards)
+    } else {
+        scenario.run()
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
     Ok(RunOutput::of(&scenario, &report))
 }
 
@@ -286,9 +302,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             flag_value(args, "--telemetry-out")?,
             flag_value(args, "--telemetry-every")?,
             flag_value(args, "--jobs")?,
+            flag_value(args, "--shards")?,
         ))
     })();
-    let (json_out, dump, dump_dot, trace_out, telemetry_out, telemetry_every, jobs_arg) =
+    let (json_out, dump, dump_dot, trace_out, telemetry_out, telemetry_every, jobs_arg, shards_arg) =
         match flags_or_err {
             Ok(f) => f,
             Err(e) => {
@@ -312,6 +329,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shards = match shards_arg.map(|v| v.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("--shards requires a positive integer argument");
+            return ExitCode::FAILURE;
+        }
+    };
     let chaos = match chaos_flags(args) {
         Ok(c) => c,
         Err(e) => {
@@ -322,6 +347,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let flags = RunFlags {
         monitor: args.iter().any(|a| a == "--monitor"),
         monitor_strict: args.iter().any(|a| a == "--monitor-strict"),
+        shards,
         telemetry_on: telemetry_out.is_some(),
         telemetry_every_ms,
         telemetry_strict: args.iter().any(|a| a == "--telemetry-strict"),
@@ -383,7 +409,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         scenario.lineage = true;
     }
     flags.apply(&mut scenario);
-    let report = match scenario.run() {
+    let run_result = if flags.shards > 1 {
+        scenario.run_sharded(flags.shards)
+    } else {
+        scenario.run()
+    };
+    let report = match run_result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");

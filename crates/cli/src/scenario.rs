@@ -1090,6 +1090,26 @@ impl Scenario {
     /// Returns [`ScenarioError::Build`] if the topology is rejected
     /// (cycles, duplicate links, …).
     pub fn build(&self) -> Result<World, ScenarioError> {
+        Ok(self.builder()?.build(self.seed)?)
+    }
+
+    /// Builds the sharded world this scenario describes: disjoint
+    /// connected components run on up to `shards` worker threads and
+    /// merge into a report byte-identical to [`build`](Self::build) +
+    /// run. Scenarios with observability artifacts (trace, lineage,
+    /// monitor, telemetry) coalesce into one group and still produce
+    /// the identical report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`build`](Self::build).
+    pub fn build_sharded(&self, shards: usize) -> Result<cmi_core::ShardedWorld, ScenarioError> {
+        Ok(self.builder()?.build_sharded(self.seed, shards)?)
+    }
+
+    /// The configured [`InterconnectBuilder`] shared by the serial and
+    /// sharded build paths.
+    fn builder(&self) -> Result<InterconnectBuilder, ScenarioError> {
         let topology = match self.topology.as_deref() {
             Some("shared") => IsTopology::Shared,
             _ => IsTopology::Pairwise,
@@ -1175,51 +1195,80 @@ impl Scenario {
                 b.start_detached(handles[s]);
             }
         }
-        Ok(b.build(self.seed)?)
+        Ok(b)
     }
 
-    /// Compiles the scenario's chaos block (if any) and merges in the
-    /// scripted membership events, time-sorted for
-    /// [`World::run_with_chaos`]. Empty when neither block is present.
-    fn chaos_events(&self, world: &World) -> Vec<ChaosEvent> {
-        let mut events = Vec::new();
-        if let Some(c) = &self.chaos {
-            let mut spec = ChaosSpec::new(Duration::from_millis(c.horizon_ms));
-            if let Some(p) = &c.partitions {
-                spec = spec.with_partitions(
-                    p.count,
-                    Duration::from_millis(p.min_ms),
-                    Duration::from_millis(p.max_ms),
-                );
-            }
-            if let Some(p) = &c.crashes {
-                spec = spec.with_crashes(
-                    p.count,
-                    Duration::from_millis(p.min_ms),
-                    Duration::from_millis(p.max_ms),
-                );
-            }
-            if let Some(p) = &c.churn {
-                spec = spec.with_churn(
-                    p.count,
-                    Duration::from_millis(p.min_ms),
-                    Duration::from_millis(p.max_ms),
-                );
-            }
-            events.extend(world.compile_chaos(&spec, c.seed.unwrap_or(self.seed)));
+    /// The seeded [`ChaosSpec`] of the chaos block, if any.
+    fn chaos_spec(&self) -> Option<(ChaosSpec, u64)> {
+        let c = self.chaos.as_ref()?;
+        let mut spec = ChaosSpec::new(Duration::from_millis(c.horizon_ms));
+        if let Some(p) = &c.partitions {
+            spec = spec.with_partitions(
+                p.count,
+                Duration::from_millis(p.min_ms),
+                Duration::from_millis(p.max_ms),
+            );
         }
-        if let Some(m) = &self.membership {
-            events.extend(m.events.iter().map(|e| ChaosEvent {
+        if let Some(p) = &c.crashes {
+            spec = spec.with_crashes(
+                p.count,
+                Duration::from_millis(p.min_ms),
+                Duration::from_millis(p.max_ms),
+            );
+        }
+        if let Some(p) = &c.churn {
+            spec = spec.with_churn(
+                p.count,
+                Duration::from_millis(p.min_ms),
+                Duration::from_millis(p.max_ms),
+            );
+        }
+        Some((spec, c.seed.unwrap_or(self.seed)))
+    }
+
+    /// The scripted membership events as chaos events (unsorted).
+    fn membership_events(&self) -> Vec<ChaosEvent> {
+        let Some(m) = &self.membership else {
+            return Vec::new();
+        };
+        m.events
+            .iter()
+            .map(|e| ChaosEvent {
                 at: SimTime::from_millis(e.at_ms),
                 kind: if e.op == "detach" {
                     ChaosEventKind::Detach { system: e.system }
                 } else {
                     ChaosEventKind::Attach { system: e.system }
                 },
-            }));
+            })
+            .collect()
+    }
+
+    /// Compiles the scenario's chaos block (if any) through `compile`
+    /// and merges in the scripted membership events, time-sorted for
+    /// [`World::run_with_chaos`]. Empty when neither block is present.
+    fn chaos_events(
+        &self,
+        compile: impl FnOnce(&ChaosSpec, u64) -> Vec<ChaosEvent>,
+    ) -> Vec<ChaosEvent> {
+        let mut events = Vec::new();
+        if let Some((spec, seed)) = self.chaos_spec() {
+            events.extend(compile(&spec, seed));
         }
+        events.extend(self.membership_events());
         sort_schedule(&mut events);
         events
+    }
+
+    /// The workload section as a [`WorkloadSpec`].
+    fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            ops_per_proc: self.workload.ops_per_proc,
+            write_fraction: self.workload.write_fraction,
+            n_vars: self.vars as u32,
+            mean_gap: Duration::from_millis(self.workload.mean_gap_ms),
+            pattern: cmi_memory::VarPattern::Uniform,
+        }
     }
 
     /// Builds and runs the scenario.
@@ -1229,14 +1278,26 @@ impl Scenario {
     /// Propagates topology errors from [`Scenario::build`].
     pub fn run(&self) -> Result<RunReport, ScenarioError> {
         let mut world = self.build()?;
-        let workload = WorkloadSpec {
-            ops_per_proc: self.workload.ops_per_proc,
-            write_fraction: self.workload.write_fraction,
-            n_vars: self.vars as u32,
-            mean_gap: Duration::from_millis(self.workload.mean_gap_ms),
-            pattern: cmi_memory::VarPattern::Uniform,
-        };
-        let events = self.chaos_events(&world);
+        let workload = self.workload_spec();
+        let events = self.chaos_events(|spec, seed| world.compile_chaos(spec, seed));
+        if events.is_empty() {
+            Ok(world.run(&workload))
+        } else {
+            Ok(world.run_with_chaos(&workload, &events))
+        }
+    }
+
+    /// Builds and runs the scenario on the sharded engine with up to
+    /// `shards` worker threads. The report is byte-identical to
+    /// [`run`](Self::run) for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors from [`Scenario::build`].
+    pub fn run_sharded(&self, shards: usize) -> Result<RunReport, ScenarioError> {
+        let mut world = self.build_sharded(shards)?;
+        let workload = self.workload_spec();
+        let events = self.chaos_events(|spec, seed| world.compile_chaos(spec, seed));
         if events.is_empty() {
             Ok(world.run(&workload))
         } else {
@@ -1495,6 +1556,38 @@ mod tests {
         let s = Scenario::from_json(CHAOTIC).unwrap();
         let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
         assert_eq!(back.to_json(), s.to_json());
+    }
+
+    /// `monitor.check_latency_ns` records host wall-clock time per
+    /// checked op, so it differs between ANY two runs of a monitored
+    /// scenario — serial or sharded. Everything else must match.
+    fn replay_bytes(report: &cmi_core::RunReport) -> String {
+        fn strip(j: Json) -> Json {
+            match j {
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .into_iter()
+                        .filter(|(k, _)| k != "monitor.check_latency_ns")
+                        .map(|(k, v)| (k, strip(v)))
+                        .collect(),
+                ),
+                Json::Arr(items) => Json::Arr(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        strip(report.to_json()).to_compact()
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_bytes() {
+        for text in [MINIMAL, FAULTY, CHAOTIC] {
+            let s = Scenario::from_json(text).unwrap();
+            let serial = replay_bytes(&s.run().unwrap());
+            for shards in [1usize, 2, 4] {
+                let sharded = replay_bytes(&s.run_sharded(shards).unwrap());
+                assert_eq!(serial, sharded, "shards={shards} diverged from serial");
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,37 @@
 //! Assembly of interconnected worlds.
+//!
+//! Since PR 9 the assembly is split into three stages so the sharded
+//! engine ([`crate::ShardedWorld`]) can reuse it verbatim:
+//!
+//! 1. [`InterconnectBuilder::layout`] validates the topology once and
+//!    computes the *global* layout — per-system incident links, IS
+//!    slots, dense actor-id / driver-label / IS-slot bases and the
+//!    connected component of every system.
+//! 2. `build_world` materializes a runnable [`World`] over any subset
+//!    of systems (a *shard group*) of that layout. The serial
+//!    [`build`](InterconnectBuilder::build) is exactly `build_world`
+//!    over all systems.
+//! 3. `extract` + `assemble_report` turn one or more finished worlds
+//!    into a [`RunReport`]; the serial path routes through the same
+//!    single-extract assembly, so sharded and serial reports are
+//!    byte-identical by construction.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
 use cmi_checker::online::{MonitorConfig, OnlineMonitor};
-use cmi_memory::{Driver, NodeHost, OpPlan, ScriptedDriver, WorkloadDriver, WorkloadSpec};
-use cmi_obs::{LineageEvent, TelemetryConfig};
+use cmi_checker::MonitorReport;
+use cmi_memory::{
+    Driver, NodeHost, OpPlan, ReplicaUpdate, ScriptedDriver, WorkloadDriver, WorkloadSpec,
+};
+use cmi_obs::{LineageEvent, LineageRecorder, MetricsRegistry, TelemetryConfig, TimeSeries};
 use cmi_sim::chaos::{self, ChaosEvent, ChaosEventKind, ChaosSpec};
 use cmi_sim::rng::derive_rng;
 use cmi_sim::tap::RunTap;
-use cmi_sim::{NetworkTag, RunLimit, Sim, SimBuilder};
-use cmi_types::{ProcId, SimTime, SystemId};
+use cmi_sim::{NetworkTag, RunLimit, RunOutcome, Sim, SimBuilder, TraceEntry, TrafficStats};
+use cmi_types::{OpRecord, ProcId, SimTime, SystemId};
 
 use crate::actor::{AddressBook, WorldActor, CRASH_TIMER, POKE_TIMER, RECOVER_TIMER};
 use crate::isp::{IsProcess, IsVariant, LinkEnd};
@@ -49,6 +68,38 @@ pub struct LinkInfo {
     pub a_isp: ProcId,
     /// IS-process on the second system.
     pub b_isp: ProcId,
+}
+
+/// Validated global layout of an interconnection, shared by the serial
+/// world and every shard group. Index spaces (actor ids, driver labels,
+/// IS-process slots) are dense in system-major order over the FULL
+/// world, so a group world can address its slice without knowing how
+/// the other groups are laid out.
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
+    /// Per system, the global link indices incident to it.
+    pub(crate) incident: Vec<Vec<usize>>,
+    /// Per system, how many IS-process slots it hosts.
+    pub(crate) isp_slots: Vec<usize>,
+    /// Per system, its connected component keyed by smallest member.
+    pub(crate) component: Vec<usize>,
+    /// Per system, the global actor id of its first process.
+    pub(crate) actor_base: Vec<u32>,
+    /// Per system, the global driver label of its first app process.
+    pub(crate) label_base: Vec<u64>,
+    /// Per system, the global IS-process slot of its first IS slot.
+    pub(crate) isp_base: Vec<usize>,
+    /// Total number of links.
+    pub(crate) n_links: usize,
+    /// All system names, in global order.
+    pub(crate) names: Vec<String>,
+}
+
+impl Layout {
+    /// Total IS-process slots across the whole world.
+    pub(crate) fn n_isps(&self) -> usize {
+        self.isp_slots.iter().sum()
+    }
 }
 
 /// Builder for an interconnected world of causal DSM systems.
@@ -182,6 +233,13 @@ impl InterconnectBuilder {
     /// Returns a [`BuildError`] for an empty world, empty systems,
     /// unknown handles, self-links, duplicate links or cycles.
     pub fn build(self, seed: u64) -> Result<World, BuildError> {
+        let layout = self.layout()?;
+        let all: Vec<usize> = (0..self.systems.len()).collect();
+        Ok(self.build_world(seed, &layout, &all, false))
+    }
+
+    /// Validates the topology and computes the global [`Layout`].
+    pub(crate) fn layout(&self) -> Result<Layout, BuildError> {
         if self.systems.is_empty() {
             return Err(BuildError::NoSystems);
         }
@@ -221,8 +279,16 @@ impl InterconnectBuilder {
             parent[ra] = rb;
         }
 
-        // Layout: per system, incident links and IS slots.
+        // Connected components, canonically keyed by smallest member.
         let n_sys = self.systems.len();
+        let mut component = vec![usize::MAX; n_sys];
+        let mut min_of_root: HashMap<usize, usize> = HashMap::new();
+        for s in 0..n_sys {
+            let root = find(&mut parent, s);
+            component[s] = *min_of_root.entry(root).or_insert(s);
+        }
+
+        // Layout: per system, incident links and IS slots.
         let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n_sys];
         for (l, &(a, b, _)) in self.links.iter().enumerate() {
             incident[a].push(l);
@@ -235,17 +301,114 @@ impl InterconnectBuilder {
             })
             .collect();
 
+        // Dense global bases in system-major order.
+        let mut actor_base = Vec::with_capacity(n_sys);
+        let mut label_base = Vec::with_capacity(n_sys);
+        let mut isp_base = Vec::with_capacity(n_sys);
+        let (mut actors, mut labels, mut isps) = (0u32, 0u64, 0usize);
+        for (s, spec) in self.systems.iter().enumerate() {
+            actor_base.push(actors);
+            label_base.push(labels);
+            isp_base.push(isps);
+            actors += (spec.n_app_procs + isp_slots[s]) as u32;
+            labels += spec.n_app_procs as u64;
+            isps += isp_slots[s];
+        }
+
+        Ok(Layout {
+            incident,
+            isp_slots,
+            component,
+            actor_base,
+            label_base,
+            isp_base,
+            n_links: self.links.len(),
+            names: self.systems.iter().map(|s| s.name.clone()).collect(),
+        })
+    }
+
+    /// Partitions the systems into shard groups, each a union of
+    /// connected components (ascending, keyed by smallest member).
+    /// Disjoint components exchange no messages and draw from disjoint
+    /// RNG streams, so they replay independently — with two exceptions
+    /// that force coalescing:
+    ///
+    /// * jittered channels all draw from the serial world's single
+    ///   jitter stream, so every component with a jittered channel
+    ///   (intra or link) lands in ONE group;
+    /// * trace, lineage, monitor and telemetry artifacts record global
+    ///   event order, so enabling any of them forces a single group.
+    pub(crate) fn plan_groups(&self, layout: &Layout) -> Vec<Vec<usize>> {
+        let n_sys = self.systems.len();
+        if self.trace || self.lineage || self.monitor || self.telemetry.is_some() {
+            return vec![(0..n_sys).collect()];
+        }
+        let mut jittery = BTreeSet::new();
+        for (s, spec) in self.systems.iter().enumerate() {
+            if !spec.intra.jitter.is_zero() {
+                jittery.insert(layout.component[s]);
+            }
+        }
+        for &(a, _, ref spec) in &self.links {
+            if !spec.channel.jitter.is_zero() {
+                jittery.insert(layout.component[a]);
+            }
+        }
+        let jitter_home = jittery.iter().next().copied();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for s in 0..n_sys {
+            let mut key = layout.component[s];
+            if jittery.contains(&key) {
+                key = jitter_home.expect("non-empty jitter set");
+            }
+            groups.entry(key).or_default().push(s);
+        }
+        groups.into_values().collect()
+    }
+
+    /// Materializes a runnable world over `group` (ascending global
+    /// system indices, a union of whole connected components) of the
+    /// validated `layout`. With `group` = all systems and `shard` =
+    /// false this is exactly the serial world. A shard world carries
+    /// the global identities of its slice — actor ids, driver labels,
+    /// IS slots, network tags — so its run, and later its extract, is
+    /// byte-identical to the serial world restricted to the group.
+    pub(crate) fn build_world(
+        &self,
+        seed: u64,
+        layout: &Layout,
+        group: &[usize],
+        shard: bool,
+    ) -> World {
+        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group sorted");
+        let in_group = |s: usize| group.binary_search(&s).is_ok();
+        let local_sys = |s: usize| group.binary_search(&s).expect("system in group");
+
         // Process ids and the address book (actor ids dense in creation
-        // order: system by system, slot by slot).
+        // order: system by system, slot by slot). Local ids are dense
+        // over the group; the parallel `global_ids` table carries each
+        // actor's identity in the full layout, and `depth_classes`
+        // groups actors by connected component for per-component queue
+        // depth accounting.
         let mut addr = AddressBook::default();
         let mut next_actor = 0u32;
-        let mut proc_ids: Vec<Vec<ProcId>> = Vec::with_capacity(n_sys);
-        for (s, spec) in self.systems.iter().enumerate() {
+        let mut global_ids = Vec::new();
+        let mut depth_classes = Vec::new();
+        let mut class_of_component: HashMap<usize, u32> = HashMap::new();
+        let mut proc_ids: Vec<Vec<ProcId>> = Vec::with_capacity(group.len());
+        for &s in group {
             let id = SystemId(s as u16);
-            let total = spec.n_app_procs + isp_slots[s];
+            let spec = &self.systems[s];
+            let total = spec.n_app_procs + layout.isp_slots[s];
+            let next_class = class_of_component.len() as u32;
+            let class = *class_of_component
+                .entry(layout.component[s])
+                .or_insert(next_class);
             let procs: Vec<ProcId> = (0..total).map(|k| ProcId::new(id, k as u16)).collect();
-            for p in &procs {
+            for (k, p) in procs.iter().enumerate() {
                 addr.insert(*p, cmi_sim::ActorId(next_actor));
+                global_ids.push(layout.actor_base[s] + k as u32);
+                depth_classes.push(class);
                 next_actor += 1;
             }
             proc_ids.push(procs);
@@ -256,29 +419,32 @@ impl InterconnectBuilder {
         let isp_of = |sys: usize, link: usize| -> ProcId {
             let base = self.systems[sys].n_app_procs;
             let offset = match self.topology {
-                IsTopology::Pairwise => incident[sys]
+                IsTopology::Pairwise => layout.incident[sys]
                     .iter()
                     .position(|&l| l == link)
                     .expect("link not incident"),
                 IsTopology::Shared => 0,
             };
-            proc_ids[sys][base + offset]
+            proc_ids[local_sys(sys)][base + offset]
         };
 
         // Instantiate actors.
         let mut b = SimBuilder::new(seed);
+        b.set_global_ids(global_ids);
+        b.set_depth_classes(depth_classes);
         if self.trace {
             b.enable_trace();
         }
         if self.lineage {
             b.enable_lineage();
         }
-        if let Some(cfg) = self.telemetry {
+        if let Some(cfg) = self.telemetry.clone() {
             b.enable_telemetry(cfg);
         }
         let monitor = if self.monitor {
-            let app_procs: Vec<ProcId> = (0..n_sys)
-                .flat_map(|s| {
+            let app_procs: Vec<ProcId> = group
+                .iter()
+                .flat_map(|&s| {
                     let id = SystemId(s as u16);
                     (0..self.systems[s].n_app_procs).map(move |k| ProcId::new(id, k as u16))
                 })
@@ -294,10 +460,11 @@ impl InterconnectBuilder {
         } else {
             None
         };
-        let mut systems_info = Vec::with_capacity(n_sys);
-        for (s, spec) in self.systems.iter().enumerate() {
+        let mut systems_info = Vec::with_capacity(group.len());
+        for &s in group {
+            let spec = &self.systems[s];
             let id = SystemId(s as u16);
-            let total = spec.n_app_procs + isp_slots[s];
+            let total = spec.n_app_procs + layout.isp_slots[s];
             let variant = if self.force_variant2 || !spec.causal_updating() {
                 IsVariant::PrePost
             } else {
@@ -308,8 +475,10 @@ impl InterconnectBuilder {
                 let isp = if k >= spec.n_app_procs {
                     // Which links does this IS slot serve?
                     let serving: Vec<usize> = match self.topology {
-                        IsTopology::Pairwise => vec![incident[s][k - spec.n_app_procs]],
-                        IsTopology::Shared => incident[s].clone(),
+                        IsTopology::Pairwise => {
+                            vec![layout.incident[s][k - spec.n_app_procs]]
+                        }
+                        IsTopology::Shared => layout.incident[s].clone(),
                     };
                     let ends: Vec<LinkEnd> = serving
                         .iter()
@@ -380,8 +549,8 @@ impl InterconnectBuilder {
                 id,
                 name: spec.name.clone(),
                 protocol: spec.protocol,
-                app_procs: proc_ids[s][..spec.n_app_procs].to_vec(),
-                isp_procs: proc_ids[s][spec.n_app_procs..].to_vec(),
+                app_procs: proc_ids[local_sys(s)][..spec.n_app_procs].to_vec(),
+                isp_procs: proc_ids[local_sys(s)][spec.n_app_procs..].to_vec(),
             });
         }
 
@@ -399,9 +568,14 @@ impl InterconnectBuilder {
                 }
             }
         }
-        // Inter-system links.
-        let mut links_info = Vec::with_capacity(self.links.len());
+        // Inter-system links inside the group (links never cross
+        // component — hence group — boundaries).
+        let mut links_info = Vec::new();
+        let mut link_global = Vec::new();
         for (l, (la, lb, spec)) in self.links.iter().enumerate() {
+            if !in_group(*la) {
+                continue;
+            }
             let a_isp = isp_of(*la, l);
             let b_isp = isp_of(*lb, l);
             b.connect_bidi(
@@ -410,6 +584,7 @@ impl InterconnectBuilder {
                 spec.channel.clone(),
             );
             links_info.push(LinkInfo { a_isp, b_isp });
+            link_global.push(l);
         }
 
         // Payload corruption damages the transport frame's checksum (so
@@ -422,12 +597,18 @@ impl InterconnectBuilder {
             }
         });
 
-        let mut sys_attached = vec![true; n_sys];
+        let mut sys_attached = vec![true; group.len()];
         for &s in &self.detached {
-            sys_attached[s] = false;
+            if in_group(s) {
+                sys_attached[local_sys(s)] = false;
+            }
         }
-        let partitioned = vec![false; self.links.len()];
-        Ok(World {
+        let partitioned = vec![false; links_info.len()];
+        let isp_slot_global: Vec<usize> = group
+            .iter()
+            .flat_map(|&s| (0..layout.isp_slots[s]).map(move |j| layout.isp_base[s] + j))
+            .collect();
+        World {
             sim: b.build(),
             systems: systems_info,
             links: links_info,
@@ -438,7 +619,13 @@ impl InterconnectBuilder {
             ran: false,
             sys_attached,
             partitioned,
-        })
+            sys_global: group.to_vec(),
+            link_global,
+            isp_slot_global,
+            label_base: group.iter().map(|&s| layout.label_base[s]).collect(),
+            all_names: layout.names.clone(),
+            shard,
+        }
     }
 }
 
@@ -472,6 +659,36 @@ impl RunTap for MonitorTap {
     }
 }
 
+/// Everything a finished world contributes to the final report, carved
+/// out so shard worlds (which die with their worker threads) can ship
+/// their share to the assembling thread as plain data.
+#[derive(Debug)]
+pub(crate) struct WorldExtract {
+    chunks: Vec<SystemChunk>,
+    events: u64,
+    stats: TrafficStats,
+    metrics: MetricsRegistry,
+    trace: Vec<TraceEntry>,
+    transport: Option<(u64, usize)>,
+    lineage: Option<LineageRecorder>,
+    monitor: Option<MonitorReport>,
+    telemetry: Option<TimeSeries>,
+}
+
+/// One system's extracted state, keyed by its global [`SystemId`] so
+/// the assembly can interleave chunks from different shard groups back
+/// into global system order.
+#[derive(Debug)]
+struct SystemChunk {
+    sys_id: SystemId,
+    procs: Vec<ProcId>,
+    isps: Vec<ProcId>,
+    streams: Vec<Vec<OpRecord>>,
+    updates: Vec<(ProcId, Vec<ReplicaUpdate>)>,
+    responses: Vec<(ProcId, Vec<Duration>)>,
+    link_sends: Vec<LinkTraffic>,
+}
+
 /// A built, runnable interconnected world.
 pub struct World {
     sim: Sim<WorldMsg>,
@@ -490,6 +707,19 @@ pub struct World {
     /// membership: a partitioned link is still *attached*, its frames
     /// are dropped in flight and retransmitted after the heal).
     partitioned: Vec<bool>,
+    /// Global system index per local system (identity for serial).
+    sys_global: Vec<usize>,
+    /// Global link index per local link (identity for serial).
+    link_global: Vec<usize>,
+    /// Global IS-process slot per local slot (identity for serial).
+    isp_slot_global: Vec<usize>,
+    /// Global driver-label base per local system.
+    label_base: Vec<u64>,
+    /// All system names of the FULL layout (== local names for serial).
+    all_names: Vec<String>,
+    /// Shard worlds silently skip chaos events targeting other groups;
+    /// the serial world panics on unknown targets as documented.
+    shard: bool,
 }
 
 impl World {
@@ -527,17 +757,16 @@ impl World {
         self.finish()
     }
 
-    fn install_random_drivers(&mut self, workload: &WorkloadSpec) {
-        let mut label = 0u64;
+    pub(crate) fn install_random_drivers(&mut self, workload: &WorkloadSpec) {
         for s in 0..self.systems.len() {
-            for p in self.systems[s].app_procs.clone() {
+            let base = self.label_base[s];
+            for (k, p) in self.systems[s].app_procs.clone().into_iter().enumerate() {
                 let driver = Driver::Random(WorkloadDriver::new(
                     p,
                     workload.clone().with_vars(self.n_vars as u32),
-                    derive_rng(self.seed, 0x9000 + label),
+                    derive_rng(self.seed, 0x9000 + base + k as u64),
                 ));
                 self.set_driver(p, driver);
-                label += 1;
             }
         }
     }
@@ -567,37 +796,64 @@ impl World {
     }
 
     fn finish(&mut self) -> RunReport {
+        let events = self.run_to_quiescence();
+        let end_of_run = self.sim.now();
+        let extract = self.extract(events, end_of_run);
+        let names = self.all_names.clone();
+        assemble_report(vec![extract], names)
+    }
+
+    /// Drains the event queue and returns the events processed by this
+    /// final drain (matching the serial [`RunOutcome::Quiescent`]
+    /// count: chaos pre-runs are excluded on both paths).
+    pub(crate) fn run_to_quiescence(&mut self) -> u64 {
         assert!(!self.ran, "a world can be run once");
         self.ran = true;
-        let outcome = self.sim.run(RunLimit::unlimited());
+        self.sim.run(RunLimit::unlimited()).events()
+    }
 
-        // Extraction.
-        let mut streams: Vec<Vec<cmi_types::OpRecord>> = Vec::new();
-        let mut updates = std::collections::BTreeMap::new();
-        let mut responses = std::collections::BTreeMap::new();
-        let mut system_of = HashMap::new();
-        let mut isps = std::collections::BTreeSet::new();
-        let mut link_sends: Vec<LinkTraffic> = Vec::new();
-        let end_of_run = self.sim.now();
-        let mut transport_totals: Option<(u64, usize)> = None;
+    /// Advances the simulator to `t` (inclusive), processing every
+    /// pending event up to it.
+    pub(crate) fn run_until(&mut self, t: SimTime) {
+        self.sim.run(RunLimit::until(t));
+    }
+
+    /// Extracts this world's contribution to the report. `end_of_run`
+    /// is the GLOBAL end instant — for shard worlds the max across all
+    /// groups, so degraded-transport accounting closes every window at
+    /// the same instant the serial run would.
+    pub(crate) fn extract(&mut self, events: u64, end_of_run: SimTime) -> WorldExtract {
+        let mut chunks = Vec::with_capacity(self.systems.len());
+        let mut transport: Option<(u64, usize)> = None;
         for sys in &self.systems {
+            let mut chunk = SystemChunk {
+                sys_id: sys.id,
+                procs: Vec::new(),
+                isps: Vec::new(),
+                streams: Vec::new(),
+                updates: Vec::new(),
+                responses: Vec::new(),
+                link_sends: Vec::new(),
+            };
             for p in sys.app_procs.iter().chain(&sys.isp_procs) {
-                system_of.insert(*p, sys.id);
+                chunk.procs.push(*p);
                 let actor_id = self.addr.actor_of(*p);
                 let actor = self
                     .sim
                     .actor_mut::<WorldActor>(actor_id)
                     .expect("world actors are WorldActor");
-                streams.push(actor.host_mut().take_ops());
-                updates.insert(*p, actor.host().updates().to_vec());
-                responses.insert(*p, actor.host().write_responses().to_vec());
+                chunk.streams.push(actor.host_mut().take_ops());
+                chunk.updates.push((*p, actor.host().updates().to_vec()));
+                chunk
+                    .responses
+                    .push((*p, actor.host().write_responses().to_vec()));
                 if let Some((ns, depth)) = actor.transport_totals(end_of_run) {
-                    let t = transport_totals.get_or_insert((0, 0));
+                    let t = transport.get_or_insert((0, 0));
                     t.0 += ns;
                     t.1 = t.1.max(depth);
                 }
                 if let Some(isp) = actor.isp() {
-                    isps.insert(*p);
+                    chunk.isps.push(*p);
                     // Group the send log per destination.
                     for end in isp.links() {
                         let pairs: Vec<_> = isp
@@ -606,7 +862,7 @@ impl World {
                             .filter(|sp| sp.to_isp == end.peer_isp)
                             .copied()
                             .collect();
-                        link_sends.push(LinkTraffic {
+                        chunk.link_sends.push(LinkTraffic {
                             from_isp: *p,
                             to_isp: end.peer_isp,
                             pairs,
@@ -614,68 +870,19 @@ impl World {
                     }
                 }
             }
+            chunks.push(chunk);
         }
-        let full = cmi_types::History::merge_streams(streams);
-
-        // Metrics snapshot: the engine/protocol registry plus the
-        // channel/crossing tables, then the end-of-run latency
-        // histograms derived from the extracted logs.
-        let mut metrics = self.sim.metrics_snapshot();
-        if let Some((degraded_ns, depth)) = transport_totals {
-            metrics.add("isp.degraded_time_ns", degraded_ns);
-            metrics.gauge_max("isp.send_queue_depth_max", depth as f64);
+        WorldExtract {
+            chunks,
+            events,
+            stats: self.sim.stats().clone(),
+            metrics: self.sim.metrics_snapshot(),
+            trace: self.sim.trace().to_vec(),
+            transport,
+            lineage: self.sim.take_lineage(),
+            monitor: self.monitor.take().map(|mon| mon.borrow_mut().finalize()),
+            telemetry: self.sim.take_telemetry(),
         }
-        for durations in responses.values() {
-            for d in durations {
-                metrics.observe("protocol.write_response_ns", d.as_nanos() as f64);
-            }
-        }
-        // Visibility latency of every application write, overall and per
-        // cross-system direction (Section 6's "time until a value
-        // written is visible in any other process").
-        let global = full.filtered(|op| !isps.contains(&op.proc));
-        for id in global.writes() {
-            let op = global.op(id);
-            let val = op.written_value().expect("writes() returns writes");
-            let origin = system_of[&op.proc];
-            for (proc, log) in &updates {
-                let Some(u) = log.iter().find(|u| u.var == op.var && u.val == val) else {
-                    continue;
-                };
-                let lat = u.at.saturating_since(op.at).as_nanos() as f64;
-                metrics.observe("visibility.latency_ns", lat);
-                let dest = system_of[proc];
-                if dest != origin {
-                    metrics.observe(&format!("visibility.{origin}->{dest}.latency_ns"), lat);
-                }
-            }
-        }
-
-        let mut report = RunReport::new(
-            full,
-            outcome,
-            self.sim.stats().clone(),
-            metrics,
-            system_of,
-            self.systems.iter().map(|s| s.name.clone()).collect(),
-            isps,
-            updates,
-            responses,
-            link_sends,
-            self.sim.trace().to_vec(),
-        );
-        if let Some(lineage) = self.sim.take_lineage() {
-            report.set_lineage(lineage);
-        }
-        if let Some(mon) = self.monitor.take() {
-            // The tap's clone dies with the simulator's box at drop;
-            // finalize through ours.
-            report.set_monitor(mon.borrow_mut().finalize());
-        }
-        if let Some(telemetry) = self.sim.take_telemetry() {
-            report.set_telemetry(telemetry);
-        }
-        report
     }
 
     /// Compiles a seeded chaos schedule against this world's shape:
@@ -701,17 +908,67 @@ impl World {
     /// changes take effect at the current virtual instant; crash and
     /// recover are delivered as injected timers firing at `ev.at`, so
     /// they run through the exact same actor path as scripted crash
-    /// windows.
+    /// windows. Event targets use GLOBAL indices; a shard world
+    /// silently skips events aimed at systems outside its group.
     pub fn apply_chaos(&mut self, ev: &ChaosEvent) {
         let delay = ev.at.saturating_since(self.sim.now());
         match ev.kind {
-            ChaosEventKind::Partition { link } => self.partition_link(link),
-            ChaosEventKind::Heal { link } => self.heal_link(link),
-            ChaosEventKind::Crash { isp } => self.inject_isp_timer(isp, delay, CRASH_TIMER),
-            ChaosEventKind::Recover { isp } => self.inject_isp_timer(isp, delay, RECOVER_TIMER),
-            ChaosEventKind::Detach { system } => self.detach_system(system),
-            ChaosEventKind::Attach { system } => self.attach_system(system),
+            ChaosEventKind::Partition { link } => {
+                if let Some(l) = self.local_link(link) {
+                    self.partition_link(l);
+                }
+            }
+            ChaosEventKind::Heal { link } => {
+                if let Some(l) = self.local_link(link) {
+                    self.heal_link(l);
+                }
+            }
+            ChaosEventKind::Crash { isp } => {
+                if let Some(i) = self.local_isp(isp) {
+                    self.inject_isp_timer(i, delay, CRASH_TIMER);
+                }
+            }
+            ChaosEventKind::Recover { isp } => {
+                if let Some(i) = self.local_isp(isp) {
+                    self.inject_isp_timer(i, delay, RECOVER_TIMER);
+                }
+            }
+            ChaosEventKind::Detach { system } => {
+                if let Some(s) = self.local_system(system) {
+                    // Anchor the drain at the schedule's instant, not at
+                    // the last processed event: the two differ when no
+                    // event lands exactly at `ev.at`, and only `ev.at`
+                    // is shard-count independent.
+                    self.detach_system_at(s, ev.at);
+                }
+            }
+            ChaosEventKind::Attach { system } => {
+                if let Some(s) = self.local_system(system) {
+                    self.attach_system_at(s, ev.at);
+                }
+            }
         }
+    }
+
+    fn local_link(&self, link: usize) -> Option<usize> {
+        let found = self.link_global.iter().position(|&g| g == link);
+        assert!(found.is_some() || self.shard, "unknown link {link}");
+        found
+    }
+
+    fn local_isp(&self, isp: usize) -> Option<usize> {
+        let found = self.isp_slot_global.iter().position(|&g| g == isp);
+        assert!(
+            found.is_some() || self.shard,
+            "unknown IS-process slot {isp}"
+        );
+        found
+    }
+
+    fn local_system(&self, system: usize) -> Option<usize> {
+        let found = self.sys_global.iter().position(|&g| g == system);
+        assert!(found.is_some() || self.shard, "unknown system {system}");
+        found
     }
 
     /// Severs both directions of link `link` atomically: sends after
@@ -779,13 +1036,23 @@ impl World {
     /// arrives later is rejected, not applied. Idempotent — composed
     /// chaos schedules may double-fire.
     pub fn detach_system(&mut self, system: usize) {
+        let now = self.sim.now();
+        self.detach_system_at(system, now);
+    }
+
+    /// [`detach_system`](Self::detach_system) with an explicit instant:
+    /// chaos schedules anchor the drain at the event's `at`, which is
+    /// identical across serial and sharded runs (the current clock is
+    /// merely the last *processed* event and depends on what else the
+    /// world contains).
+    fn detach_system_at(&mut self, system: usize, at: SimTime) {
         assert!(system < self.systems.len(), "unknown system {system}");
         if !self.sys_attached[system] {
             return;
         }
         self.sys_attached[system] = false;
         self.sim.metrics_mut().inc("membership.detaches");
-        let now = self.sim.now();
+        let now = at;
         let mut drained = 0u64;
         for l in 0..self.links.len() {
             let Some(other) = self.link_peer_system(l, system) else {
@@ -813,6 +1080,14 @@ impl World {
     /// path crash recovery uses — before resuming live propagation.
     /// Idempotent.
     pub fn attach_system(&mut self, system: usize) {
+        let now = self.sim.now();
+        self.attach_system_at(system, now);
+    }
+
+    /// [`attach_system`](Self::attach_system) with an explicit instant:
+    /// the resync poke timer fires at `at` exactly, shard-count
+    /// independently (see [`detach_system_at`](Self::detach_system_at)).
+    fn attach_system_at(&mut self, system: usize, at: SimTime) {
         assert!(system < self.systems.len(), "unknown system {system}");
         if self.sys_attached[system] {
             return;
@@ -826,7 +1101,7 @@ impl World {
             if !self.sys_attached[other] {
                 continue; // stays down until the other end attaches too
             }
-            self.attach_link_ends(l);
+            self.attach_link_ends(l, at);
         }
     }
 
@@ -849,20 +1124,29 @@ impl World {
             .collect()
     }
 
-    /// The system on the far end of link `l` from `system`, if `l` is
-    /// incident to `system`.
+    /// The LOCAL system on the far end of link `l` from local system
+    /// `system`, if `l` is incident to it. Link endpoints carry global
+    /// [`SystemId`]s, so this maps through `sys_global` — for the
+    /// serial world that mapping is the identity.
     fn link_peer_system(&self, l: usize, system: usize) -> Option<usize> {
         let (sa, sb) = (
             self.links[l].a_isp.system.index(),
             self.links[l].b_isp.system.index(),
         );
-        if sa == system {
-            Some(sb)
-        } else if sb == system {
-            Some(sa)
+        let me = self.sys_global[system];
+        let other = if sa == me {
+            sb
+        } else if sb == me {
+            sa
         } else {
-            None
-        }
+            return None;
+        };
+        Some(
+            self.sys_global
+                .iter()
+                .position(|&s| s == other)
+                .expect("link endpoints live in the same world"),
+        )
     }
 
     fn detach_link_ends(&mut self, l: usize, now: SimTime) -> u64 {
@@ -880,8 +1164,9 @@ impl World {
         drained
     }
 
-    fn attach_link_ends(&mut self, l: usize) {
+    fn attach_link_ends(&mut self, l: usize, at: SimTime) {
         let info = self.links[l];
+        let poke_delay = at.saturating_since(self.sim.now());
         for (me, peer) in [(info.a_isp, info.b_isp), (info.b_isp, info.a_isp)] {
             let idx = self.local_link_index(me, peer);
             let actor = self.addr.actor_of(me);
@@ -890,8 +1175,9 @@ impl World {
                 .expect("world actors are WorldActor")
                 .attach_link(idx);
             // The attach armed a resync; poke the actor so the sweep
-            // runs now instead of waiting for unrelated traffic.
-            self.sim.inject_timer(actor, Duration::ZERO, POKE_TIMER);
+            // runs at the attach instant instead of waiting for
+            // unrelated traffic.
+            self.sim.inject_timer(actor, poke_delay, POKE_TIMER);
         }
     }
 
@@ -933,6 +1219,116 @@ impl World {
     pub fn sim(&self) -> &Sim<WorldMsg> {
         &self.sim
     }
+}
+
+/// Assembles the final report from one extract per shard group (one
+/// total for the serial path). The merge is deterministic and
+/// shard-count independent: chunks interleave back into global system
+/// order, group-level registries fold in group order (counters and
+/// tables add, gauges max, trace/lineage artifacts come from the single
+/// group allowed to record them), and the derived end-of-run
+/// histograms are computed from the merged logs exactly as the serial
+/// extraction always has.
+pub(crate) fn assemble_report(extracts: Vec<WorldExtract>, system_names: Vec<String>) -> RunReport {
+    let mut chunks: Vec<SystemChunk> = Vec::new();
+    let mut events = 0u64;
+    let mut stats = TrafficStats::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut trace: Vec<TraceEntry> = Vec::new();
+    let mut transport: Option<(u64, usize)> = None;
+    let mut lineage: Option<LineageRecorder> = None;
+    let mut monitor: Option<MonitorReport> = None;
+    let mut telemetry: Option<TimeSeries> = None;
+    for ex in extracts {
+        events += ex.events;
+        stats.merge(&ex.stats);
+        metrics.merge(&ex.metrics);
+        trace.extend(ex.trace);
+        if let Some((ns, depth)) = ex.transport {
+            let t = transport.get_or_insert((0, 0));
+            t.0 += ns;
+            t.1 = t.1.max(depth);
+        }
+        lineage = lineage.or(ex.lineage);
+        monitor = monitor.or(ex.monitor);
+        telemetry = telemetry.or(ex.telemetry);
+        chunks.extend(ex.chunks);
+    }
+    chunks.sort_by_key(|c| c.sys_id);
+
+    let mut streams: Vec<Vec<OpRecord>> = Vec::new();
+    let mut updates: BTreeMap<ProcId, Vec<ReplicaUpdate>> = BTreeMap::new();
+    let mut responses: BTreeMap<ProcId, Vec<Duration>> = BTreeMap::new();
+    let mut system_of = HashMap::new();
+    let mut isps: BTreeSet<ProcId> = BTreeSet::new();
+    let mut link_sends: Vec<LinkTraffic> = Vec::new();
+    for chunk in chunks {
+        for p in &chunk.procs {
+            system_of.insert(*p, chunk.sys_id);
+        }
+        isps.extend(chunk.isps.iter().copied());
+        streams.extend(chunk.streams);
+        updates.extend(chunk.updates);
+        responses.extend(chunk.responses);
+        link_sends.extend(chunk.link_sends);
+    }
+    let full = cmi_types::History::merge_streams(streams);
+
+    // End-of-run latency histograms derived from the merged logs —
+    // observation order matches the serial extraction exactly.
+    if let Some((degraded_ns, depth)) = transport {
+        metrics.add("isp.degraded_time_ns", degraded_ns);
+        metrics.gauge_max("isp.send_queue_depth_max", depth as f64);
+    }
+    for durations in responses.values() {
+        for d in durations {
+            metrics.observe("protocol.write_response_ns", d.as_nanos() as f64);
+        }
+    }
+    // Visibility latency of every application write, overall and per
+    // cross-system direction (Section 6's "time until a value
+    // written is visible in any other process").
+    let global = full.filtered(|op| !isps.contains(&op.proc));
+    for id in global.writes() {
+        let op = global.op(id);
+        let val = op.written_value().expect("writes() returns writes");
+        let origin = system_of[&op.proc];
+        for (proc, log) in &updates {
+            let Some(u) = log.iter().find(|u| u.var == op.var && u.val == val) else {
+                continue;
+            };
+            let lat = u.at.saturating_since(op.at).as_nanos() as f64;
+            metrics.observe("visibility.latency_ns", lat);
+            let dest = system_of[proc];
+            if dest != origin {
+                metrics.observe(&format!("visibility.{origin}->{dest}.latency_ns"), lat);
+            }
+        }
+    }
+
+    let mut report = RunReport::new(
+        full,
+        RunOutcome::Quiescent { events },
+        stats,
+        metrics,
+        system_of,
+        system_names,
+        isps,
+        updates,
+        responses,
+        link_sends,
+        trace,
+    );
+    if let Some(lineage) = lineage {
+        report.set_lineage(lineage);
+    }
+    if let Some(monitor) = monitor {
+        report.set_monitor(monitor);
+    }
+    if let Some(telemetry) = telemetry {
+        report.set_telemetry(telemetry);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -1046,5 +1442,42 @@ mod tests {
         let mut world = b.build(1).unwrap();
         let _ = world.run(&WorkloadSpec::small());
         let _ = world.run(&WorkloadSpec::small());
+    }
+
+    #[test]
+    fn groups_are_connected_components_keyed_by_smallest_member() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(spec("A", 2));
+        b.add_system(spec("B", 2));
+        let c = b.add_system(spec("C", 2));
+        b.add_system(spec("D", 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        let layout = b.layout().unwrap();
+        assert_eq!(b.plan_groups(&layout), vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn jittered_components_coalesce_into_one_group() {
+        let mut b = InterconnectBuilder::new();
+        let mut s0 = spec("A", 2);
+        s0.intra.jitter = Duration::from_micros(5);
+        b.add_system(s0);
+        let mut s1 = spec("B", 2);
+        s1.intra.jitter = Duration::from_micros(5);
+        b.add_system(s1);
+        b.add_system(spec("C", 2));
+        let layout = b.layout().unwrap();
+        // A and B share the jitter stream; C is independent.
+        assert_eq!(b.plan_groups(&layout), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn observability_artifacts_force_a_single_group() {
+        let mut b = InterconnectBuilder::new();
+        b.add_system(spec("A", 2));
+        b.add_system(spec("B", 2));
+        b.enable_trace();
+        let layout = b.layout().unwrap();
+        assert_eq!(b.plan_groups(&layout), vec![vec![0, 1]]);
     }
 }

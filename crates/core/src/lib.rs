@@ -56,6 +56,7 @@ pub mod build;
 pub mod isp;
 pub mod msg;
 pub mod report;
+pub mod shard;
 pub mod spec;
 pub mod transport;
 
@@ -63,5 +64,6 @@ pub use build::{InterconnectBuilder, World};
 pub use isp::{IsFault, IsVariant};
 pub use msg::WorldMsg;
 pub use report::{LinkTraffic, RunReport};
+pub use shard::ShardedWorld;
 pub use spec::{BuildError, IsTopology, LinkSpec, ProtocolFactory, SystemHandle, SystemSpec};
 pub use transport::{ReliableConfig, ReliableReceiver, ReliableSender};

@@ -1,0 +1,252 @@
+//! Multi-core sharded execution of an interconnected world.
+//!
+//! The paper's Corollary 1 interconnects systems pairwise "avoiding the
+//! creation of cycles": the link graph is a forest, so a world often
+//! splits into several *connected components* that exchange no messages
+//! at all. Each component is a closed deterministic subsystem — its
+//! event order, RNG draws and metrics are byte-for-byte the serial
+//! world's restricted to the component (every RNG stream is keyed by
+//! global identity, never by interleaving). [`ShardedWorld`] exploits
+//! that: it partitions the components into shard groups, runs each
+//! group's world on its own OS thread, and deterministically merges the
+//! per-group extracts back into one [`RunReport`].
+//!
+//! The merge is *shard-count independent*: [`RunReport::to_json`] is
+//! byte-identical for 1, 2, 4, … shards AND for the serial
+//! [`World`](crate::World), because the serial path assembles its
+//! report through the exact same extract/merge code with a single
+//! group. Worlds that cannot split (one connected component, or any
+//! global-event-order artifact enabled — trace, lineage, monitor,
+//! telemetry) degrade gracefully to a single group and still produce
+//! the identical report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use cmi_memory::WorkloadSpec;
+use cmi_sim::chaos::{self, ChaosEvent, ChaosSpec};
+use cmi_types::SimTime;
+
+use crate::build::{assemble_report, InterconnectBuilder, Layout, World, WorldExtract};
+use crate::report::RunReport;
+use crate::spec::BuildError;
+
+/// A sharded, runnable interconnected world: the multi-core engine.
+///
+/// Built by [`InterconnectBuilder::build_sharded`]. The builder is kept
+/// un-materialized; each worker thread builds the worlds of its
+/// assigned groups locally (the per-group [`World`] is single-threaded
+/// by design — `Rc`-shared address books never cross threads).
+pub struct ShardedWorld {
+    builder: InterconnectBuilder,
+    layout: Layout,
+    groups: Vec<Vec<usize>>,
+    seed: u64,
+    shards: usize,
+    ran: bool,
+}
+
+impl InterconnectBuilder {
+    /// Validates the topology and prepares a sharded world that runs on
+    /// up to `shards` worker threads (clamped to the number of shard
+    /// groups; `0` means `1`). The report is byte-identical to
+    /// [`build`](Self::build) + run for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`BuildError`]s as [`build`](Self::build).
+    pub fn build_sharded(self, seed: u64, shards: usize) -> Result<ShardedWorld, BuildError> {
+        let layout = self.layout()?;
+        let groups = self.plan_groups(&layout);
+        Ok(ShardedWorld {
+            builder: self,
+            layout,
+            groups,
+            seed,
+            shards: shards.max(1),
+            ran: false,
+        })
+    }
+}
+
+impl ShardedWorld {
+    /// The shard groups: ascending global system indices, one group per
+    /// connected component (jittered components and observability
+    /// artifacts coalesce — see the module docs).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The worker-thread budget this world was built with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Compiles a seeded chaos schedule against the world's GLOBAL
+    /// shape — identical to [`World::compile_chaos`] on the serial
+    /// world: link indices, system-major IS-process slots, and churn
+    /// over every system hosting at least one IS-process.
+    pub fn compile_chaos(&self, spec: &ChaosSpec, seed: u64) -> Vec<ChaosEvent> {
+        let churnable: Vec<usize> = (0..self.layout.isp_slots.len())
+            .filter(|&s| self.layout.isp_slots[s] > 0)
+            .collect();
+        chaos::compile(
+            spec,
+            seed,
+            self.layout.n_links,
+            self.layout.n_isps(),
+            &churnable,
+        )
+    }
+
+    /// Runs a randomized workload on every application process across
+    /// all shards and returns the merged report. Runs once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second run.
+    pub fn run(&mut self, workload: &WorkloadSpec) -> RunReport {
+        self.run_inner(workload, &[])
+    }
+
+    /// Runs a randomized workload while applying a chaos schedule at
+    /// exact virtual instants. Every group advances to every event's
+    /// instant (so injected crash/recover timers land at the same
+    /// absolute time they would serially) and applies the events that
+    /// target its systems. Byte-identical to the serial
+    /// [`World::run_with_chaos`] for the same seed and schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second run or an unsorted schedule.
+    pub fn run_with_chaos(&mut self, workload: &WorkloadSpec, events: &[ChaosEvent]) -> RunReport {
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "chaos schedule must be time-sorted (see cmi_sim::sort_schedule)"
+        );
+        self.run_inner(workload, events)
+    }
+
+    fn run_inner(&mut self, workload: &WorkloadSpec, events: &[ChaosEvent]) -> RunReport {
+        assert!(!self.ran, "a sharded world can be run once");
+        self.ran = true;
+        let n_groups = self.groups.len();
+        let workers = self.shards.min(n_groups).max(1);
+
+        // Per-group result slots. Extraction needs the GLOBAL end
+        // instant (degraded-transport windows close at end-of-run), so
+        // workers run all their groups first, publish local end times,
+        // meet at the barrier, and only then extract against the max.
+        let ends: Vec<AtomicU64> = (0..n_groups).map(|_| AtomicU64::new(0)).collect();
+        let extracts: Vec<Mutex<Option<WorldExtract>>> =
+            (0..n_groups).map(|_| Mutex::new(None)).collect();
+        let barrier = Barrier::new(workers);
+
+        let builder = &self.builder;
+        let layout = &self.layout;
+        let groups = &self.groups;
+        let seed = self.seed;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (ends, extracts, barrier) = (&ends, &extracts, &barrier);
+                scope.spawn(move || {
+                    // Static round-robin assignment: group g belongs to
+                    // worker g % workers. Deterministic by construction
+                    // (the output never depends on it — only wall-clock
+                    // balance does).
+                    let mut local: Vec<(usize, World, u64)> = Vec::new();
+                    for g in (w..n_groups).step_by(workers) {
+                        let mut world = builder.build_world(seed, layout, &groups[g], true);
+                        world.install_random_drivers(workload);
+                        for ev in events {
+                            world.run_until(ev.at);
+                            world.apply_chaos(ev);
+                        }
+                        let group_events = world.run_to_quiescence();
+                        ends[g].store(world.sim().now().as_nanos(), Ordering::SeqCst);
+                        local.push((g, world, group_events));
+                    }
+                    barrier.wait();
+                    let end = SimTime::from_nanos(
+                        ends.iter()
+                            .map(|e| e.load(Ordering::SeqCst))
+                            .max()
+                            .unwrap_or(0),
+                    );
+                    for (g, mut world, group_events) in local {
+                        let ex = world.extract(group_events, end);
+                        *extracts[g].lock().expect("extract slot poisoned") = Some(ex);
+                    }
+                });
+            }
+        });
+
+        let exs: Vec<WorldExtract> = extracts
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("extract slot poisoned")
+                    .expect("every group extracts exactly once")
+            })
+            .collect();
+        assemble_report(exs, self.layout.names.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LinkSpec, SystemSpec};
+    use cmi_memory::ProtocolKind;
+    use std::time::Duration;
+
+    fn two_island_builder() -> InterconnectBuilder {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+        let c = b.add_system(SystemSpec::new("B", ProtocolKind::Frontier, 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(2)));
+        let d = b.add_system(SystemSpec::new("C", ProtocolKind::Ahamad, 2));
+        let e = b.add_system(SystemSpec::new("D", ProtocolKind::Ahamad, 2));
+        b.link(d, e, LinkSpec::new(Duration::from_millis(3)));
+        b
+    }
+
+    #[test]
+    fn sharded_report_matches_serial_bytes() {
+        let serial = two_island_builder()
+            .build(42)
+            .unwrap()
+            .run(&WorkloadSpec::small())
+            .to_json()
+            .to_compact();
+        for shards in [1, 2, 4] {
+            let sharded = two_island_builder()
+                .build_sharded(42, shards)
+                .unwrap()
+                .run(&WorkloadSpec::small())
+                .to_json()
+                .to_compact();
+            assert_eq!(serial, sharded, "shards={shards} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn single_component_degrades_to_one_group() {
+        let mut b = InterconnectBuilder::new();
+        let a = b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+        let c = b.add_system(SystemSpec::new("B", ProtocolKind::Ahamad, 2));
+        b.link(a, c, LinkSpec::new(Duration::from_millis(1)));
+        let world = b.build_sharded(7, 8).unwrap();
+        assert_eq!(world.groups(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "run once")]
+    fn double_run_panics() {
+        let mut b = InterconnectBuilder::new();
+        b.add_system(SystemSpec::new("A", ProtocolKind::Ahamad, 2));
+        let mut world = b.build_sharded(1, 2).unwrap();
+        let _ = world.run(&WorkloadSpec::small());
+        let _ = world.run(&WorkloadSpec::small());
+    }
+}

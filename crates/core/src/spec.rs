@@ -1,7 +1,7 @@
 //! Static specification of an interconnected world.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cmi_memory::{McsProtocol, ProtocolKind};
@@ -15,8 +15,11 @@ use crate::transport::ReliableConfig;
 /// `(system, slot, n_procs, n_vars)`, produce the protocol instance for
 /// that slot. Lets downstream crates interconnect protocols this
 /// repository has never heard of, as long as they uphold the
-/// [`McsProtocol`] contract (propagation-based, local reads).
-pub type ProtocolFactory = Rc<dyn Fn(SystemId, u16, usize, usize) -> Box<dyn McsProtocol>>;
+/// [`McsProtocol`] contract (propagation-based, local reads). The
+/// factory must be `Send + Sync`: the sharded engine instantiates
+/// protocols from worker threads.
+pub type ProtocolFactory =
+    Arc<dyn Fn(SystemId, u16, usize, usize) -> Box<dyn McsProtocol> + Send + Sync>;
 
 /// Opaque handle to a system added to an
 /// [`InterconnectBuilder`](crate::InterconnectBuilder).
@@ -80,12 +83,12 @@ impl SystemSpec {
     pub fn custom(
         name: impl Into<String>,
         n_app_procs: usize,
-        factory: impl Fn(SystemId, u16, usize, usize) -> Box<dyn McsProtocol> + 'static,
+        factory: impl Fn(SystemId, u16, usize, usize) -> Box<dyn McsProtocol> + Send + Sync + 'static,
     ) -> Self {
         SystemSpec {
             name: name.into(),
             protocol: ProtocolKind::Ahamad, // placeholder, unused
-            factory: Some(Rc::new(factory)),
+            factory: Some(Arc::new(factory)),
             n_app_procs,
             intra: ChannelSpec::fixed(Duration::from_millis(1)),
         }

@@ -1,7 +1,6 @@
 //! The discrete-event engine: event queue, scheduler and world assembly.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -13,6 +12,7 @@ use cmi_types::SimTime;
 use crate::actor::{Actor, ActorId, Ctx};
 use crate::channel::{ChannelCounters, ChannelSpec, ChannelState};
 use crate::rng::{derive_rng, derive_seed, SplitMix64};
+use crate::sched::CalendarQueue;
 use crate::stats::{NetworkTag, TrafficStats};
 use crate::tap::RunTap;
 use crate::trace::{TraceEntry, TraceKind, TraceSink};
@@ -93,35 +93,6 @@ enum EventPayload<M> {
     Timer { actor: ActorId, token: u64 },
 }
 
-struct QueuedEvent<M> {
-    at: SimTime,
-    seq: u64,
-    payload: EventPayload<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for QueuedEvent<M> {}
-
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for QueuedEvent<M> {
-    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest*
-    /// event; ties broken by insertion sequence for determinism and
-    /// same-instant FIFO.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Damages a message in place when the channel injects corruption; the
 /// RNG is seeded from the channel's own fault stream so the damage
 /// replays deterministically.
@@ -155,9 +126,24 @@ impl EngineIds {
 /// Engine internals shared with [`Ctx`]; not part of the public API.
 pub(crate) struct Engine<M> {
     pub(crate) now: SimTime,
-    queue: BinaryHeap<QueuedEvent<M>>,
+    queue: CalendarQueue<EventPayload<M>>,
     seq: u64,
-    channels: HashMap<(ActorId, ActorId), ChannelState>,
+    /// Dense channel states, indexed by the adjacency table.
+    channels: Vec<ChannelState>,
+    /// Per-sender adjacency rows `(to, channel index)`, sorted by `to` —
+    /// resolved once at build so the send path never hashes.
+    adjacency: Vec<Vec<(u32, u32)>>,
+    /// Local → global actor identity (identity unless the world is a
+    /// shard of a larger one); stats, traces, channel metric names and
+    /// RNG streams all use the global id so a shard reproduces the
+    /// serial world's output byte-for-byte.
+    global: Vec<ActorId>,
+    /// Queue-depth class per local actor (all 0 unless set); the
+    /// `engine.queue_depth_max` gauge tracks the per-class maximum so
+    /// serial and sharded runs agree (max across shards).
+    depth_class: Vec<u32>,
+    /// Live pending-event count per depth class.
+    class_depth: Vec<u64>,
     tags: Vec<NetworkTag>,
     pub(crate) actor_rngs: Vec<SplitMix64>,
     jitter_rng: SplitMix64,
@@ -180,17 +166,40 @@ pub(crate) struct Engine<M> {
 }
 
 impl<M: fmt::Debug + Clone> Engine<M> {
+    // AUDIT:HOT-BEGIN — event-loop send/push path: metric access only by
+    // interned id, no formatting, no hashing, no per-event allocation.
     fn push(&mut self, at: SimTime, payload: EventPayload<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { at, seq, payload });
+        let target = match &payload {
+            EventPayload::Message { to, .. } => to.index(),
+            EventPayload::Timer { actor, .. } => actor.index(),
+        };
+        let class = self.depth_class[target];
+        self.class_depth[class as usize] += 1;
+        self.queue.push(at.as_nanos(), seq, class, payload);
+    }
+
+    /// Dense-table channel lookup: linear scan for the short rows that
+    /// dominate real topologies, binary search above that.
+    fn channel_index(&self, from: ActorId, to: ActorId) -> Option<usize> {
+        let row = self.adjacency.get(from.index())?;
+        if row.len() <= 8 {
+            row.iter()
+                .find(|&&(t, _)| t == to.0)
+                .map(|&(_, i)| i as usize)
+        } else {
+            row.binary_search_by_key(&to.0, |&(t, _)| t)
+                .ok()
+                .map(|p| row[p].1 as usize)
+        }
     }
 
     pub(crate) fn send(&mut self, from: ActorId, to: ActorId, msg: M) {
-        let channel = self
-            .channels
-            .get_mut(&(from, to))
+        let ci = self
+            .channel_index(from, to)
             .unwrap_or_else(|| panic!("no channel {from} → {to} registered in the topology"));
+        let channel = &mut self.channels[ci];
         if channel.blocked {
             // Partitioned: the send is discarded at the send instant
             // (messages already in flight still arrive). No RNG stream is
@@ -248,15 +257,19 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     }
 
     /// Scalar per-send accounting shared by originals and duplicates.
+    /// Stats are keyed by *global* actor identity so shard-local runs
+    /// merge into the serial tables without translation.
     fn count_send(&mut self, from: ActorId, to: ActorId, payload_units: u64) {
         let (from_tag, to_tag) = (self.tags[from.index()], self.tags[to.index()]);
-        self.stats.on_send(from, to, from_tag, to_tag);
+        let (gfrom, gto) = (self.global[from.index()], self.global[to.index()]);
+        self.stats.on_send(gfrom, gto, from_tag, to_tag);
         self.metrics.inc_id(self.ids.messages_sent);
         self.metrics.add_id(self.ids.payload_units, payload_units);
         if from_tag != to_tag {
             self.metrics.inc_id(self.ids.crossings);
         }
     }
+    // AUDIT:HOT-END
 
     /// Renders and records a `Sent` trace entry. Cold: only reached when
     /// a trace consumer is attached, so the Debug render (the only
@@ -267,8 +280,8 @@ impl<M: fmt::Debug + Clone> Engine<M> {
         self.emit_trace(TraceEntry {
             at: self.now,
             kind: TraceKind::Sent {
-                from,
-                to,
+                from: self.global[from.index()],
+                to: self.global[to.index()],
                 delivery,
                 msg: rendered,
             },
@@ -283,8 +296,8 @@ impl<M: fmt::Debug + Clone> Engine<M> {
         self.emit_trace(TraceEntry {
             at,
             kind: TraceKind::Delivered {
-                from,
-                to,
+                from: self.global[from.index()],
+                to: self.global[to.index()],
                 msg: rendered,
             },
         });
@@ -296,22 +309,24 @@ impl<M: fmt::Debug + Clone> Engine<M> {
     }
 
     pub(crate) fn has_channel(&self, from: ActorId, to: ActorId) -> bool {
-        self.channels.contains_key(&(from, to))
+        self.channel_index(from, to).is_some()
     }
 
     pub(crate) fn set_blocked(&mut self, from: ActorId, to: ActorId, blocked: bool) {
-        let channel = self
-            .channels
-            .get_mut(&(from, to))
+        let ci = self
+            .channel_index(from, to)
             .unwrap_or_else(|| panic!("no channel {from} → {to} registered in the topology"));
-        channel.blocked = blocked;
+        self.channels[ci].blocked = blocked;
     }
 
     pub(crate) fn note(&mut self, actor: ActorId, text: String) {
         if self.tracing() {
             self.emit_trace(TraceEntry {
                 at: self.now,
-                kind: TraceKind::Note { actor, text },
+                kind: TraceKind::Note {
+                    actor: self.global[actor.index()],
+                    text,
+                },
             });
         }
     }
@@ -411,6 +426,8 @@ pub struct SimBuilder<M> {
     sinks: Vec<Box<dyn TraceSink>>,
     corrupter: Option<Corrupter<M>>,
     telemetry: Option<TelemetryConfig>,
+    global_ids: Option<Vec<u32>>,
+    depth_classes: Option<Vec<u32>>,
 }
 
 impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
@@ -427,6 +444,8 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
             sinks: Vec::new(),
             corrupter: None,
             telemetry: None,
+            global_ids: None,
+            depth_classes: None,
         }
     }
 
@@ -526,14 +545,51 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         self.actors.len()
     }
 
+    /// Assigns each local actor a *global* identity (one entry per
+    /// registered actor, in registration order). RNG streams, channel
+    /// fault streams, stats keys, channel metric names and trace entries
+    /// all use the global id, so a world built as a shard of a larger
+    /// layout reproduces exactly the byte output the full serial world
+    /// attributes to those actors. Defaults to the identity mapping.
+    pub fn set_global_ids(&mut self, ids: Vec<u32>) {
+        self.global_ids = Some(ids);
+    }
+
+    /// Assigns each local actor a queue-depth class (one entry per
+    /// registered actor). The `engine.queue_depth_max` gauge records the
+    /// maximum *per-class* pending-event count — with one class per
+    /// independent component, a serial run and a sharded run (which
+    /// merges the gauge as a max across shards) report the same value.
+    /// Defaults to a single class, which is the total queue depth.
+    pub fn set_depth_classes(&mut self, classes: Vec<u32>) {
+        self.depth_classes = Some(classes);
+    }
+
     /// Finalizes the world.
     pub fn build(self) -> Sim<M> {
-        let actor_rngs = (0..self.actors.len())
-            .map(|i| derive_rng(self.seed, i as u64))
+        let n = self.actors.len();
+        let global: Vec<ActorId> = match self.global_ids {
+            Some(ids) => {
+                assert_eq!(ids.len(), n, "one global id per actor");
+                ids.into_iter().map(ActorId).collect()
+            }
+            None => (0..n).map(|i| ActorId(i as u32)).collect(),
+        };
+        let depth_class = match self.depth_classes {
+            Some(classes) => {
+                assert_eq!(classes.len(), n, "one depth class per actor");
+                classes
+            }
+            None => vec![0; n],
+        };
+        let n_classes = depth_class.iter().copied().max().unwrap_or(0) as usize + 1;
+        let actor_rngs = (0..n)
+            .map(|i| derive_rng(self.seed, u64::from(global[i].0)))
             .collect();
         // Each channel gets a fault stream derived from the world seed and
-        // its endpoint ids, so the stream is independent of registration
-        // and HashMap iteration order.
+        // its (global) endpoint ids, so the stream is independent of
+        // registration order and identical whether the endpoint runs in
+        // the full world or in a shard.
         let fault_seed = derive_seed(self.seed, u64::MAX - 1);
         // Intern every metric name the event loop will ever touch up
         // front: the engine's own counters plus the four fault counters
@@ -541,18 +597,32 @@ impl<M: fmt::Debug + Clone + 'static> SimBuilder<M> {
         // snapshots, so pre-resolving cannot change any output.
         let mut metrics = MetricsRegistry::new();
         let ids = EngineIds::resolve(&mut metrics);
-        let mut channels = self.channels;
-        for ((from, to), state) in channels.iter_mut() {
-            let key = (u64::from(from.0) << 32) | u64::from(to.0);
+        // Resolve the channel map into a dense state table plus a
+        // per-sender adjacency index, both in sorted key order so the
+        // layout is deterministic; the event loop never hashes again.
+        let mut keyed: Vec<((ActorId, ActorId), ChannelState)> =
+            self.channels.into_iter().collect();
+        keyed.sort_by_key(|&(k, _)| k);
+        let mut channels = Vec::with_capacity(keyed.len());
+        let mut adjacency: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for ((from, to), mut state) in keyed {
+            let (gfrom, gto) = (global[from.index()], global[to.index()]);
+            let key = (u64::from(gfrom.0) << 32) | u64::from(gto.0);
             state.fault_rng = derive_rng(fault_seed, key);
-            state.counters = Some(ChannelCounters::resolve(&mut metrics, *from, *to));
+            state.counters = Some(ChannelCounters::resolve(&mut metrics, gfrom, gto));
+            adjacency[from.index()].push((to.0, channels.len() as u32));
+            channels.push(state);
         }
         Sim {
             engine: Engine {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                queue: CalendarQueue::new(),
                 seq: 0,
                 channels,
+                adjacency,
+                global,
+                depth_class,
+                class_depth: vec![0; n_classes],
                 tags: self.tags,
                 actor_rngs,
                 jitter_rng: derive_rng(self.seed, u64::MAX),
@@ -606,14 +676,16 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                 self.actors[i].on_start(&mut ctx);
             }
         }
+        // AUDIT:HOT-BEGIN — dispatch loop: pop from the calendar queue,
+        // per-class depth gauge by interned id, no formatting.
         loop {
-            let Some(head) = self.engine.queue.peek() else {
+            let Some((head_at_ns, _, head_class)) = self.engine.queue.peek() else {
                 return RunOutcome::Quiescent {
                     events: events_this_call,
                 };
             };
             if let Some(max_time) = limit.max_time {
-                if head.at > max_time {
+                if head_at_ns > max_time.as_nanos() {
                     return RunOutcome::TimeLimit {
                         events: events_this_call,
                     };
@@ -626,13 +698,18 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     };
                 }
             }
+            // Depth accounting *before* the pop, counting the head event
+            // itself: total pending events of the head's class across the
+            // slot ring, the live batch and the overflow heap.
             self.engine.metrics.gauge_max_id(
                 self.engine.ids.queue_depth_max,
-                self.engine.queue.len() as f64,
+                self.engine.class_depth[head_class as usize] as f64,
             );
-            let ev = self.engine.queue.pop().expect("peeked event vanished");
-            debug_assert!(ev.at >= self.engine.now, "time went backwards");
-            self.engine.now = ev.at;
+            let (at_ns, _, payload) = self.engine.queue.pop().expect("peeked event vanished");
+            self.engine.class_depth[head_class as usize] -= 1;
+            let at = SimTime::from_nanos(at_ns);
+            debug_assert!(at >= self.engine.now, "time went backwards");
+            self.engine.now = at;
             // Flight-recorder sampling happens on virtual-time cadence
             // ticks, before the event's effects — one branch per event
             // when telemetry is off.
@@ -644,10 +721,10 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
             self.engine
                 .metrics
                 .inc_id(self.engine.ids.events_dispatched);
-            match ev.payload {
+            match payload {
                 EventPayload::Message { from, to, msg } => {
                     if self.engine.tracing() {
-                        self.engine.trace_delivered(ev.at, from, to, &msg);
+                        self.engine.trace_delivered(at, from, to, &msg);
                     }
                     let t0 = self.engine.profiling().then(std::time::Instant::now);
                     let mut ctx = Ctx {
@@ -665,8 +742,11 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     self.engine.metrics.inc_id(self.engine.ids.timer_fires);
                     if self.engine.tracing() {
                         self.engine.emit_trace(TraceEntry {
-                            at: ev.at,
-                            kind: TraceKind::Timer { actor, token },
+                            at,
+                            kind: TraceKind::Timer {
+                                actor: self.engine.global[actor.index()],
+                                token,
+                            },
                         });
                     }
                     let t0 = self.engine.profiling().then(std::time::Instant::now);
@@ -688,6 +768,7 @@ impl<M: fmt::Debug + Clone + 'static> Sim<M> {
                     .record_span(SpanId::TapFeed, t0.elapsed().as_nanos() as u64);
             }
         }
+        // AUDIT:HOT-END
     }
 
     /// Current virtual time (time of the last processed event).

@@ -58,6 +58,7 @@ pub mod channel;
 pub mod chaos;
 pub mod engine;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod tap;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use channel::{Availability, ChannelSpec, FaultAction, FaultSpec};
 pub use chaos::{sort_schedule, ChaosEvent, ChaosEventKind, ChaosSpec};
 pub use engine::{Corrupter, RunLimit, RunOutcome, Sim, SimBuilder};
 pub use rng::{derive_rng, derive_seed, SplitMix64};
+pub use sched::CalendarQueue;
 pub use stats::{NetworkTag, TrafficStats};
 pub use tap::RunTap;
 pub use trace::{JsonlSink, RingSink, StderrSink, TraceEntry, TraceKind, TraceSink};

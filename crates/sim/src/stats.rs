@@ -99,6 +99,21 @@ impl TrafficStats {
         *self = TrafficStats::default();
     }
 
+    /// Folds `other` into `self` (cross-shard aggregation): totals and
+    /// timer counts add, the per-channel and per-crossing tables add
+    /// entry-wise. Shards key their tables by *global* actor identity,
+    /// so merging shard stats reproduces the serial tables exactly.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.total_messages += other.total_messages;
+        self.timer_events += other.timer_events;
+        for (k, n) in &other.per_channel {
+            *self.per_channel.entry(*k).or_insert(0) += n;
+        }
+        for (k, n) in &other.per_crossing {
+            *self.per_crossing.entry(*k).or_insert(0) += n;
+        }
+    }
+
     /// Mirrors every counter into `metrics`, under the `traffic.*`,
     /// `channel.*` and `crossing.*` names. Because the registry copy is
     /// derived from this table, the registry's counts match the

@@ -1,0 +1,90 @@
+//! Pinning tests for `engine.queue_depth_max` accounting after PR 9.
+//!
+//! The gauge used to read `queue.len()` — the total over the single
+//! global heap. Two things changed underneath it:
+//!
+//! * the calendar queue splits pending events across a slot ring, a
+//!   live batch and an overflow heap — the depth must still count ALL
+//!   of them, wherever they sit;
+//! * the sharded engine runs disjoint components in separate worlds,
+//!   where a per-world total would depend on the shard count. Depth is
+//!   therefore accounted **per depth class** (one class per connected
+//!   component) and the gauge records the max class depth — a quantity
+//!   that is identical whether the components share one queue or run
+//!   on separate shards (`MetricsRegistry::merge` folds gauges by max).
+
+use std::any::Any;
+use std::time::Duration;
+
+use cmi_sim::{Actor, ActorId, Ctx, NetworkTag, RunLimit, SimBuilder};
+
+/// Schedules `near` timers at +1 ms and `far` timers at +2 s (beyond
+/// the default ring horizon of ~1.07 s, so they land in the overflow
+/// heap), then ignores everything.
+struct Burst {
+    near: u32,
+    far: u32,
+}
+
+impl Actor<()> for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        for i in 0..self.near {
+            ctx.schedule(Duration::from_millis(1), u64::from(i));
+        }
+        for i in 0..self.far {
+            ctx.schedule(Duration::from_secs(2), u64::from(1000 + i));
+        }
+    }
+
+    fn on_message(&mut self, _from: ActorId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn depth_after_run(bursts: &[(u32, u32)], classes: Option<Vec<u32>>) -> f64 {
+    let mut b = SimBuilder::new(1);
+    for &(near, far) in bursts {
+        b.add_actor(Box::new(Burst { near, far }), NetworkTag(0));
+    }
+    if let Some(classes) = classes {
+        b.set_depth_classes(classes);
+    }
+    let mut sim = b.build();
+    sim.run(RunLimit::unlimited());
+    sim.metrics()
+        .gauge("engine.queue_depth_max")
+        .expect("depth gauge recorded")
+}
+
+#[test]
+fn depth_counts_ring_and_overflow_together() {
+    // 6 near-future (slot ring) + 6 far-future (overflow heap) events
+    // pending at the first pop: the gauge must see all 12, not just the
+    // ring's share.
+    assert_eq!(depth_after_run(&[(6, 6)], None), 12.0);
+}
+
+#[test]
+fn single_class_depth_is_the_total_queue_depth() {
+    // Default classing (everything in class 0) preserves the pre-PR-9
+    // meaning: the max total number of pending events.
+    assert_eq!(depth_after_run(&[(10, 0), (4, 0)], None), 14.0);
+}
+
+#[test]
+fn per_class_depth_is_the_max_class_not_the_sum() {
+    // Two classes — as built for two disjoint components. 10 + 4 events
+    // are pending simultaneously, but the gauge records the heaviest
+    // CLASS (10): that is the value a sharded run reproduces exactly,
+    // since each shard only ever sees its own class and the merge folds
+    // gauges by max. A total (14) would depend on the shard count.
+    assert_eq!(depth_after_run(&[(10, 0), (4, 0)], Some(vec![0, 1])), 10.0);
+    // Symmetric: the heavier class may come second.
+    assert_eq!(depth_after_run(&[(4, 0), (10, 4)], Some(vec![0, 1])), 14.0);
+}

@@ -1,0 +1,153 @@
+//! Differential honesty harness for the calendar-queue scheduler.
+//!
+//! PR 9 replaced the engine's `BinaryHeap<QueuedEvent>` with
+//! [`cmi_sim::CalendarQueue`]. The pop order contract is unchanged —
+//! strictly `(at, seq)` ascending, i.e. time order with FIFO insertion
+//! order breaking ties — so byte-identical replay of every committed
+//! experiment hinges on the two structures agreeing on *every* workload,
+//! not just the unit-test shapes. This suite drives ≥1000 seeded random
+//! workloads through both a reference `BinaryHeap<Reverse<(at, seq)>>`
+//! and the calendar queue, mixing the regimes that stress each internal
+//! path:
+//!
+//! * same-instant bursts (slot batches drained in `seq` order),
+//! * far-future spikes (overflow heap routing and promotion),
+//! * zero-delay pushes at the cursor (live-batch binary insertion),
+//! * interleaved pops, including draining to empty and refilling
+//!   (empty-ring cursor jumps).
+
+use cmi_sim::rng::derive_rng;
+use cmi_sim::CalendarQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Drive one seeded workload through both queues, asserting lock-step
+/// agreement on every pop and on the final drain.
+fn differential_run(seed: u64, ops: usize) {
+    let mut rng = derive_rng(seed, 0xd1ff);
+    let mut cq: CalendarQueue<u64> = CalendarQueue::new();
+    let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    // `now` tracks the largest popped timestamp: pushes must never go
+    // backwards past it, matching the engine's monotonic clock.
+    let mut now: u64 = 0;
+    let mut popped = 0u64;
+
+    for _ in 0..ops {
+        match rng.gen_range(0u32..10) {
+            // Same-instant burst: several entries at one timestamp, so
+            // the slot batch must preserve seq order.
+            0 | 1 => {
+                let at = now + rng.gen_range(0u64..2_000_000);
+                for _ in 0..rng.gen_range(2usize..6) {
+                    cq.push(at, seq, 0, seq);
+                    reference.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+            }
+            // Far-future spike: beyond the default ring horizon
+            // (1024 slots × 2^20 ns ≈ 1.07 s), forcing overflow.
+            2 => {
+                let at = now + 2_000_000_000 + rng.gen_range(0u64..8_000_000_000);
+                cq.push(at, seq, 0, seq);
+                reference.push(Reverse((at, seq)));
+                seq += 1;
+            }
+            // Zero-delay push at the current instant (live batch).
+            3 => {
+                cq.push(now, seq, 0, seq);
+                reference.push(Reverse((now, seq)));
+                seq += 1;
+            }
+            // Near-future push inside the ring.
+            4 | 5 | 6 => {
+                let at = now + rng.gen_range(0u64..500_000_000);
+                cq.push(at, seq, 0, seq);
+                reference.push(Reverse((at, seq)));
+                seq += 1;
+            }
+            // Pop a few — possibly draining to empty, which exercises
+            // the empty-ring cursor jump on the next push.
+            _ => {
+                for _ in 0..rng.gen_range(1usize..8) {
+                    let got = cq.pop();
+                    let want = reference.pop();
+                    match (got, want) {
+                        (None, None) => break,
+                        (Some((at, s, v)), Some(Reverse((rat, rs)))) => {
+                            assert_eq!((at, s), (rat, rs), "seed {seed}: pop #{popped} diverged");
+                            assert_eq!(v, s, "seed {seed}: payload slab corrupted");
+                            now = at;
+                            popped += 1;
+                        }
+                        (got, want) => {
+                            panic!("seed {seed}: emptiness diverged: {got:?} vs {want:?}")
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cq.len(), reference.len(), "seed {seed}: length diverged");
+    }
+
+    // Full drain: remaining order must match exactly.
+    while let Some(Reverse((rat, rs))) = reference.pop() {
+        let (at, s, v) = cq
+            .pop()
+            .unwrap_or_else(|| panic!("seed {seed}: calendar queue ran dry before the reference"));
+        assert_eq!((at, s), (rat, rs), "seed {seed}: drain diverged");
+        assert_eq!(v, s, "seed {seed}: payload slab corrupted during drain");
+    }
+    assert!(
+        cq.is_empty(),
+        "seed {seed}: calendar queue kept stale entries"
+    );
+}
+
+#[test]
+fn thousand_seeded_workloads_match_reference_heap() {
+    // ≥1000 seeds, moderate length each: covers slot wrap-around,
+    // overflow promotion and live-batch insertion across many random
+    // interleavings while staying fast enough for tier-1.
+    for seed in 0..1024u64 {
+        differential_run(seed, 160);
+    }
+}
+
+#[test]
+fn long_workloads_cross_many_ring_revolutions() {
+    // Fewer seeds, much longer runs: the ring wraps dozens of times and
+    // the overflow heap repeatedly promotes into freshly-cleared slots.
+    for seed in 0..16u64 {
+        differential_run(0x5000 + seed, 6_000);
+    }
+}
+
+#[test]
+fn adversarial_geometry_small_ring() {
+    // A tiny 64-slot ring with wide 2^24 ns buckets forces constant
+    // overflow traffic and promotion on nearly every window advance.
+    for seed in 0..64u64 {
+        let mut rng = derive_rng(0x9e0_0000 + seed, 1);
+        let mut cq: CalendarQueue<u64> = CalendarQueue::with_geometry(64, 24);
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        for s in 0..4_000u64 {
+            let at = now + rng.gen_range(0u64..40_000_000_000);
+            cq.push(at, s, 0, s);
+            reference.push(Reverse((at, s)));
+            if rng.gen_bool(0.6) {
+                if let Some(Reverse((rat, rs))) = reference.pop() {
+                    let (gat, gs, _) = cq.pop().expect("non-empty");
+                    assert_eq!((gat, gs), (rat, rs), "seed {seed} step {s}");
+                    now = gat;
+                }
+            }
+        }
+        while let Some(Reverse((rat, rs))) = reference.pop() {
+            let (gat, gs, _) = cq.pop().expect("drain");
+            assert_eq!((gat, gs), (rat, rs), "seed {seed} drain");
+        }
+        assert!(cq.is_empty());
+    }
+}

@@ -13,8 +13,8 @@
 //! cargo run --example custom_protocol
 //! ```
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use cmi::checker::causal;
@@ -30,7 +30,7 @@ use cmi::types::{ProcId, Value, VarId};
 #[derive(Debug)]
 struct CountingCausal {
     inner: AhamadCausal,
-    events: Rc<Cell<u64>>,
+    events: Arc<AtomicU64>,
 }
 
 impl McsProtocol for CountingCausal {
@@ -43,17 +43,17 @@ impl McsProtocol for CountingCausal {
     }
 
     fn read_call(&mut self, var: VarId, out: &mut Outbox) -> ReadOutcome {
-        self.events.set(self.events.get() + 1);
+        self.events.fetch_add(1, Ordering::Relaxed);
         self.inner.read_call(var, out)
     }
 
     fn write(&mut self, var: VarId, val: Value, out: &mut Outbox) -> WriteOutcome {
-        self.events.set(self.events.get() + 1);
+        self.events.fetch_add(1, Ordering::Relaxed);
         self.inner.write(var, val, out)
     }
 
     fn on_message(&mut self, from: ProcId, msg: McsMsg, out: &mut Outbox) {
-        self.events.set(self.events.get() + 1);
+        self.events.fetch_add(1, Ordering::Relaxed);
         self.inner.on_message(from, msg, out)
     }
 
@@ -71,8 +71,8 @@ impl McsProtocol for CountingCausal {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let events = Rc::new(Cell::new(0u64));
-    let counter = Rc::clone(&events);
+    let events = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&events);
 
     let mut b = InterconnectBuilder::new().with_vars(3);
     // One stock system…
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         move |system, slot, n, vars| {
             Box::new(CountingCausal {
                 inner: AhamadCausal::new(ProcId::new(system, slot), n, vars),
-                events: Rc::clone(&counter),
+                events: Arc::clone(&counter),
             })
         },
     ));
@@ -93,8 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut world = b.build(7)?;
     let report = world.run(&WorkloadSpec::small().with_ops(12));
     println!("outcome: {:?}", report.outcome());
-    println!("custom-protocol events observed: {}", events.get());
-    assert!(events.get() > 0, "the custom protocol really ran");
+    println!(
+        "custom-protocol events observed: {}",
+        events.load(Ordering::Relaxed)
+    );
+    assert!(
+        events.load(Ordering::Relaxed) > 0,
+        "the custom protocol really ran"
+    );
 
     let verdict = causal::check(&report.global_history());
     println!("union causal: {}", verdict.is_causal());

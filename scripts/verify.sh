@@ -151,4 +151,37 @@ grep -q '^\[telemetry\]' "$artifact_dir/telemetry_smoke.txt" \
     || { echo "FAIL: telemetry timeline has no samples" >&2; exit 1; }
 cp "$artifact_dir/chaos_timeline.jsonl" artifacts/chaos_timeline.jsonl
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor, chaos and telemetry baselines all passed"
+echo "==> sharded-engine baseline check (X23 vs committed BENCH_PERF.json)"
+# Structural fields (flood event count, planned shard groups,
+# replay_identical) must match the committed baseline exactly, the
+# committed flood floor (>= 1.7M events/sec) must hold, and wall times
+# only within the tolerance window; the shard-speedup gate applies only
+# on multi-CPU machines. --quick times one rep instead of a median.
+./target/release/exp_x23_shard --quick --json "$artifact_dir/bench_x23.json" \
+    --check BENCH_PERF.json > "$artifact_dir/x23.txt"
+grep -q 'scheduler flood and shard scaling' "$artifact_dir/x23.txt" \
+    || { echo "FAIL: X23 report lost its flood table" >&2; exit 1; }
+grep -q 'serial == 1 == 2 == 4 shards' "$artifact_dir/x23.txt" \
+    || { echo "FAIL: X23 report lost its replay-identity table" >&2; exit 1; }
+
+echo "==> sharded smoke run (cmi-cli run --shards 2, bytes vs serial)"
+# The multi-core engine must be observably invisible: the islands
+# scenario (4 disjoint systems -> multiple shard groups) must print the
+# exact same bytes with --shards 2 as serially. CI uploads the report.
+./target/release/cmi-cli run crates/cli/scenarios/islands.json \
+    > "$artifact_dir/islands_serial.txt"
+./target/release/cmi-cli run crates/cli/scenarios/islands.json --shards 2 \
+    > "$artifact_dir/islands_shards2.txt"
+diff "$artifact_dir/islands_serial.txt" "$artifact_dir/islands_shards2.txt" \
+    || { echo "FAIL: --shards 2 output diverged from serial" >&2; exit 1; }
+cp "$artifact_dir/islands_shards2.txt" artifacts/islands_shards2.txt
+
+echo "==> scheduler microbench artifact (heap vs calendar queue)"
+# bench_sched compares the pre-PR-9 binary heap against the calendar
+# queue at depths 10^2..10^6; the JSON dump rides along as an artifact.
+CMI_BENCH_JSON="$PWD/artifacts/bench_sched.json" \
+    cargo bench -q -p cmi-bench --bench bench_sched > "$artifact_dir/bench_sched.txt"
+grep -q 'sched/calendar/1000000' "$artifact_dir/bench_sched.txt" \
+    || { echo "FAIL: bench_sched lost its depth-10^6 case" >&2; exit 1; }
+
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor, chaos, telemetry and sharded-engine baselines all passed"
