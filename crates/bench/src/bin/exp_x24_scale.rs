@@ -1,0 +1,77 @@
+//! X24 runner: drives the m = 2 → 256 hub-of-hubs scale sweep (steady
+//! + churned arms, O(1) frame-metadata accounting) and writes the
+//! regression-gated artifact committed at the repo root
+//! (`BENCH_X24.json`).
+//!
+//! Flags:
+//!   --json <path>       write the measured artifact to <path>
+//!   --check <baseline>  compare the fresh measurement against a
+//!                       committed baseline: structural fields must
+//!                       match exactly, timing fields within the
+//!                       tolerance window; exit nonzero on violation
+//!   --quick             one timing rep instead of a median of three
+//!                       (fast smoke run; same fields)
+
+use std::process::ExitCode;
+
+use cmi_obs::Json;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} requires an argument")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json_out, check_path) = match (flag_value(&args, "--json"), flag_value(&args, "--check")) {
+        (Ok(j), Ok(c)) => (j, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+
+    print!("{}", cmi_bench::experiments::x24_scale::run());
+    let (table, artifact) = cmi_bench::experiments::x24_scale::measure(quick);
+    print!("{table}");
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, artifact.to_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("X24 scale artifact written to {path}");
+    }
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cmi_bench::experiments::x24_scale::check(&artifact, &baseline) {
+            Ok(()) => eprintln!("scale baseline check against {path}: OK"),
+            Err(violations) => {
+                eprintln!("scale baseline check against {path}: FAILED");
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

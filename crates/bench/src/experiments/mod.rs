@@ -25,6 +25,7 @@ pub mod x20_monitor;
 pub mod x21_chaos;
 pub mod x22_telemetry;
 pub mod x23_shard;
+pub mod x24_scale;
 
 /// An experiment entry: display id + runner.
 pub type Experiment = (&'static str, fn() -> String);
@@ -97,7 +98,7 @@ pub fn run_all_json() -> cmi_obs::Json {
     );
     let sample = sample_run_json();
     Json::obj([
-        ("suite", Json::Str("cmi experiments X1-X23".into())),
+        ("suite", Json::Str("cmi experiments X1-X24".into())),
         ("experiments", experiments),
         ("sample_run", sample),
     ])
@@ -164,6 +165,10 @@ pub fn registry() -> Vec<Experiment> {
         (
             "X23 sharded engine: throughput & replay identity (extension)",
             x23_shard::run,
+        ),
+        (
+            "X24 large-m scale-out: hub-of-hubs & O(1) metadata (extension)",
+            x24_scale::run,
         ),
     ]
 }

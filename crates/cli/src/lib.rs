@@ -10,5 +10,6 @@ pub mod scenario;
 
 pub use report::render_report;
 pub use scenario::{
-    ChaosEntry, ChaosRateEntry, Scenario, ScenarioError, TelemetryEntry, WatchdogEntry,
+    ChaosEntry, ChaosRateEntry, Scenario, ScenarioError, TelemetryEntry, TopologyEntry,
+    WatchdogEntry,
 };

@@ -11,15 +11,15 @@
 //!             [--telemetry-every <ms>] [--telemetry-strict]
 //!             [--chaos-horizon <ms>] [--chaos-seed <n>]
 //!             [--chaos-partitions <n:min-max>] [--chaos-crashes <n:min-max>]
-//!             [--chaos-churn <n:min-max>]
+//!             [--chaos-churn <n:min-max>] [--topology <shape:m[:fanout]>]
 //! cmi-cli experiments [<id> …]     # regenerate the paper's experiments
 //! cmi-cli list                     # list experiment ids
 //! ```
 
 use std::process::ExitCode;
 
-use cmi_cli::{render_report, ChaosEntry, ChaosRateEntry, Scenario, TelemetryEntry};
-use cmi_core::RunReport;
+use cmi_cli::{render_report, ChaosEntry, ChaosRateEntry, Scenario, TelemetryEntry, TopologyEntry};
+use cmi_core::{RunReport, TopologyShape};
 use cmi_obs::ToJson;
 
 /// Exit code of `--monitor-strict` when the run violated causality.
@@ -64,6 +64,7 @@ fn print_usage() {
          \u{20}          [--chaos-horizon <ms>] [--chaos-seed <n>]\n\
          \u{20}          [--chaos-partitions <n:min-max>]\n\
          \u{20}          [--chaos-crashes <n:min-max>] [--chaos-churn <n:min-max>]\n\
+         \u{20}          [--topology <shape:m[:fanout]>]\n\
          \u{20}  cmi-cli experiments [<substring> …]\n\
          \u{20}  cmi-cli list\n\n\
          A scenario file describes systems, tree links, a workload and the\n\
@@ -90,7 +91,11 @@ fn print_usage() {
          detach/attach churn over systems — replacing any chaos block in\n\
          the scenario file. Each rate spec is <count>:<min_ms>-<max_ms>;\n\
          window starts are drawn from [0, --chaos-horizon). The same seed\n\
-         replays the same schedule byte-for-byte."
+         replays the same schedule byte-for-byte.\n\
+         --topology replaces the scenario's systems/links with a generated\n\
+         shape — chain, star, tree or hub_of_hubs over <m> uniform Ahamad\n\
+         systems (scenario files can say the same with a topology_spec\n\
+         block, which also picks protocol, processes and link settings)."
     );
 }
 
@@ -108,7 +113,8 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a String>, 
 
 /// Positional (non-flag) arguments, skipping every `--flag value` pair.
 fn positional_args(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 14] = [
+        "--topology",
         "--json",
         "--dump-history",
         "--dump-dot",
@@ -201,6 +207,31 @@ fn chaos_flags(args: &[String]) -> Result<Option<ChaosEntry>, String> {
     }))
 }
 
+/// Builds a generated-topology override from `--topology
+/// shape:m[:fanout]`, replacing any `systems`/`links`/`topology_spec`
+/// in the scenario file. Generated systems run Ahamad with one process
+/// each over plain 2 ms links (edit the scenario file for anything
+/// fancier). `None` when the flag is absent.
+fn topology_flag(args: &[String]) -> Result<Option<TopologyEntry>, String> {
+    let Some(text) = flag_value(args, "--topology")? else {
+        return Ok(None);
+    };
+    let spec = cmi_core::parse_topology(text).map_err(|e| format!("--topology: {e}"))?;
+    let fanout = match spec.shape() {
+        TopologyShape::Tree { fanout } | TopologyShape::HubOfHubs { fanout } => Some(fanout),
+        TopologyShape::Chain | TopologyShape::Star => None,
+    };
+    Ok(Some(TopologyEntry {
+        shape: spec.shape().name().to_string(),
+        systems: spec.systems(),
+        fanout,
+        protocol: "ahamad".to_string(),
+        processes: 1,
+        delay_ms: 2,
+        reliable: None,
+    }))
+}
+
 /// The `run` flags shared by every scenario of a batch.
 #[derive(Clone, Default)]
 struct RunFlags {
@@ -215,6 +246,8 @@ struct RunFlags {
     telemetry_every_ms: Option<u64>,
     telemetry_strict: bool,
     chaos: Option<ChaosEntry>,
+    /// `--topology shape:m[:fanout]`: generated-shape override.
+    topology: Option<TopologyEntry>,
 }
 
 impl RunFlags {
@@ -224,6 +257,11 @@ impl RunFlags {
         }
         if self.chaos.is_some() {
             scenario.chaos = self.chaos.clone();
+        }
+        if let Some(t) = &self.topology {
+            scenario.topology_spec = Some(t.clone());
+            scenario.systems.clear();
+            scenario.links.clear();
         }
         if self.telemetry_on || self.telemetry_every_ms.is_some() {
             let mut t = scenario.telemetry.take().unwrap_or(TelemetryEntry {
@@ -274,6 +312,9 @@ fn run_one(path: &str, flags: &RunFlags) -> Result<RunOutput, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut scenario = Scenario::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     flags.apply(&mut scenario);
+    // Flag overrides can change the system count (--topology), so the
+    // membership/index checks must run again on the mutated scenario.
+    scenario.validate().map_err(|e| format!("{path}: {e}"))?;
     let report = if flags.shards > 1 {
         scenario.run_sharded(flags.shards)
     } else {
@@ -344,6 +385,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let topology = match topology_flag(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let flags = RunFlags {
         monitor: args.iter().any(|a| a == "--monitor"),
         monitor_strict: args.iter().any(|a| a == "--monitor-strict"),
@@ -352,6 +400,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         telemetry_every_ms,
         telemetry_strict: args.iter().any(|a| a == "--telemetry-strict"),
         chaos,
+        topology,
     };
     if paths.len() > 1 {
         // Batch mode: run every scenario (up to --jobs at a time) and
@@ -409,6 +458,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         scenario.lineage = true;
     }
     flags.apply(&mut scenario);
+    // Flag overrides can change the system count (--topology), so the
+    // membership/index checks must run again on the mutated scenario.
+    if let Err(e) = scenario.validate() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let run_result = if flags.shards > 1 {
         scenario.run_sharded(flags.shards)
     } else {

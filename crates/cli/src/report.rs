@@ -34,12 +34,13 @@ pub fn render_report(scenario: &Scenario, report: &RunReport) -> String {
         out.push_str(&format!("\n[{check}]\n"));
         // The union.
         out.push_str(&format!("  α^T: {}\n", verdict_line(check, &global)));
-        // Each constituent system.
-        for (k, _) in scenario.systems.iter().enumerate() {
-            let alpha_k = report.system_history(SystemId(k as u16));
+        // Each constituent system (generated `S{i}` names when the
+        // scenario expands a topology_spec).
+        for (k, name) in scenario.system_names().iter().enumerate() {
+            let alpha_k =
+                report.system_history(SystemId(u16::try_from(k).expect("system index fits u16")));
             out.push_str(&format!(
-                "  α^{k} ({}): {}\n",
-                scenario.systems[k].name,
+                "  α^{k} ({name}): {}\n",
                 verdict_line(check, &alpha_k)
             ));
         }

@@ -15,13 +15,25 @@
 //!   "checks": ["causal", "sequential"]
 //! }
 //! ```
+//!
+//! Large interconnections skip the hand-written arrays: a
+//! `topology_spec` block names a generated shape instead (see
+//! [`TopologyEntry`]):
+//!
+//! ```json
+//! {
+//!   "topology_spec": { "shape": "hub_of_hubs", "systems": 64, "fanout": 8 },
+//!   "topology": "shared",
+//!   "workload": { "ops_per_proc": 4 }
+//! }
+//! ```
 
 use std::fmt;
 use std::time::Duration;
 
 use cmi_core::{
-    BuildError, InterconnectBuilder, IsTopology, LinkSpec, ReliableConfig, RunReport, SystemSpec,
-    World,
+    parse_topology, BuildError, InterconnectBuilder, IsTopology, LinkSpec, ReliableConfig,
+    RunReport, SystemSpec, TopologySpec, World,
 };
 use cmi_memory::{ProtocolKind, WorkloadSpec};
 use cmi_obs::{Json, TelemetryConfig, ToJson, WatchKind, WatchdogSpec};
@@ -230,6 +242,34 @@ impl TelemetryEntry {
     }
 }
 
+/// Generated-topology section: one named shape expanded into `systems`
+/// uniform systems and the `systems − 1` tree links, replacing the
+/// hand-written `systems`/`links` arrays (mutually exclusive with
+/// both). Generated systems are named `S0`, `S1`, ….
+///
+/// ```json
+/// { "topology_spec": { "shape": "hub_of_hubs", "systems": 64, "fanout": 8 } }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyEntry {
+    /// Shape: `chain` | `star` | `tree` | `hub_of_hubs`.
+    pub shape: String,
+    /// System count `m` (≥ 1).
+    pub systems: usize,
+    /// Children per node (`tree`) / leaves per mid-tier hub
+    /// (`hub_of_hubs`); default 4, rejected for `chain`/`star`.
+    pub fanout: Option<usize>,
+    /// Protocol of every generated system (default `ahamad`).
+    pub protocol: String,
+    /// Application processes per system (default 1).
+    pub processes: usize,
+    /// Fixed inter-system link delay in ms (default 2).
+    pub delay_ms: u64,
+    /// Reliable framed transport on every generated link (default
+    /// plain channels).
+    pub reliable: Option<ReliableEntry>,
+}
+
 /// Workload section.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadEntry {
@@ -250,7 +290,9 @@ pub struct Scenario {
     pub vars: usize,
     /// `pairwise` (default) or `shared` IS allocation.
     pub topology: Option<String>,
-    /// Systems to interconnect.
+    /// Generated shape replacing `systems`/`links` (default none).
+    pub topology_spec: Option<TopologyEntry>,
+    /// Systems to interconnect (empty iff `topology_spec` is set).
     pub systems: Vec<SystemEntry>,
     /// Tree links between them.
     pub links: Vec<LinkEntry>,
@@ -355,6 +397,95 @@ impl SystemEntry {
     }
 }
 
+impl ReliableEntry {
+    /// Decodes an optional `reliable` sub-object of `owner`.
+    fn decode_opt(owner: &Json, ctx: &str) -> Result<Option<Self>, ScenarioError> {
+        match owner.get("reliable") {
+            None | Some(Json::Null) => Ok(None),
+            Some(r) => {
+                let rctx = format!("{ctx}.reliable");
+                Ok(Some(ReliableEntry {
+                    rto_ms: get_u64(r, "rto_ms", &rctx, 100)?,
+                    max_retries: get_u64(r, "max_retries", &rctx, 10)? as u32,
+                    max_queue: get_u64(r, "max_queue", &rctx, 1024)? as usize,
+                    degraded_after_ms: get_u64(r, "degraded_after_ms", &rctx, 500)?,
+                }))
+            }
+        }
+    }
+
+    /// The transport configuration this entry names.
+    fn to_config(&self) -> ReliableConfig {
+        ReliableConfig::default()
+            .with_rto(Duration::from_millis(self.rto_ms))
+            .with_max_retries(self.max_retries)
+            .with_max_queue(self.max_queue)
+            .with_degraded_after(Duration::from_millis(self.degraded_after_ms))
+    }
+}
+
+impl TopologyEntry {
+    fn decode(v: &Json) -> Result<Self, ScenarioError> {
+        let ctx = "topology_spec";
+        reject_unknown_fields(
+            v,
+            ctx,
+            &[
+                "shape",
+                "systems",
+                "fanout",
+                "protocol",
+                "processes",
+                "delay_ms",
+                "reliable",
+            ],
+        )?;
+        let fanout = match v.get("fanout") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(
+                f.as_u64()
+                    .ok_or_else(|| parse_err(format!("{ctx}.fanout must be an integer")))?
+                    as usize,
+            ),
+        };
+        let protocol = match v.get("protocol") {
+            None | Some(Json::Null) => "ahamad".to_string(),
+            Some(p) => as_string(p, &format!("{ctx}.protocol"))?,
+        };
+        Ok(TopologyEntry {
+            shape: as_string(need(v, "shape", ctx)?, &format!("{ctx}.shape"))?,
+            systems: need(v, "systems", ctx)?
+                .as_u64()
+                .ok_or_else(|| parse_err(format!("{ctx}.systems must be an integer")))?
+                as usize,
+            fanout,
+            protocol,
+            processes: get_u64(v, "processes", ctx, 1)? as usize,
+            delay_ms: get_u64(v, "delay_ms", ctx, 2)?,
+            reliable: ReliableEntry::decode_opt(v, ctx)?,
+        })
+    }
+
+    /// The cmi-core [`TopologySpec`] this entry names, re-parsed
+    /// through the CLI's `shape:m[:fanout]` grammar so a scenario file
+    /// and `--topology` reject exactly the same inputs (zero counts,
+    /// fanout on chain/star, unknown shapes).
+    fn to_spec(&self) -> Result<TopologySpec, ScenarioError> {
+        if self.shape.contains(':') {
+            // A ':' would silently re-segment the grammar below.
+            return Err(ScenarioError::Invalid(format!(
+                "topology_spec.shape {:?} must not contain ':'",
+                self.shape
+            )));
+        }
+        let text = match self.fanout {
+            Some(f) => format!("{}:{}:{}", self.shape, self.systems, f),
+            None => format!("{}:{}", self.shape, self.systems),
+        };
+        parse_topology(&text).map_err(ScenarioError::Invalid)
+    }
+}
+
 impl LinkEntry {
     fn decode(v: &Json, i: usize) -> Result<Self, ScenarioError> {
         let ctx = format!("links[{i}]");
@@ -394,18 +525,7 @@ impl LinkEntry {
                 })
             }
         };
-        let reliable = match v.get("reliable") {
-            None | Some(Json::Null) => None,
-            Some(r) => {
-                let rctx = format!("{ctx}.reliable");
-                Some(ReliableEntry {
-                    rto_ms: get_u64(r, "rto_ms", &rctx, 100)?,
-                    max_retries: get_u64(r, "max_retries", &rctx, 10)? as u32,
-                    max_queue: get_u64(r, "max_queue", &rctx, 1024)? as usize,
-                    degraded_after_ms: get_u64(r, "degraded_after_ms", &rctx, 500)?,
-                })
-            }
-        };
+        let reliable = ReliableEntry::decode_opt(v, &ctx)?;
         let crash = match v.get("crash") {
             None | Some(Json::Null) => None,
             Some(c) => {
@@ -713,6 +833,37 @@ impl ToJson for Scenario {
         // older scenarios must serialize to the exact bytes they did
         // before these blocks existed (the --json artifact embeds this).
         if let Json::Obj(members) = &mut root {
+            if let Some(t) = &self.topology_spec {
+                members.push((
+                    "topology_spec".to_string(),
+                    Json::obj([
+                        ("shape", Json::Str(t.shape.clone())),
+                        ("systems", t.systems.to_json()),
+                        (
+                            "fanout",
+                            match t.fanout {
+                                Some(f) => f.to_json(),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("protocol", Json::Str(t.protocol.clone())),
+                        ("processes", t.processes.to_json()),
+                        ("delay_ms", t.delay_ms.to_json()),
+                        (
+                            "reliable",
+                            match t.reliable {
+                                Some(r) => Json::obj([
+                                    ("rto_ms", r.rto_ms.to_json()),
+                                    ("max_retries", u64::from(r.max_retries).to_json()),
+                                    ("max_queue", r.max_queue.to_json()),
+                                    ("degraded_after_ms", r.degraded_after_ms.to_json()),
+                                ]),
+                                None => Json::Null,
+                            },
+                        ),
+                    ]),
+                ));
+            }
             if let Some(c) = &self.chaos {
                 let rate = |r: &Option<ChaosRateEntry>| match r {
                     Some(r) => Json::obj([
@@ -828,13 +979,27 @@ impl Scenario {
         if v.as_object().is_none() {
             return Err(parse_err("scenario must be a JSON object"));
         }
-        let systems = need(&v, "systems", "scenario")?
-            .as_array()
-            .ok_or_else(|| parse_err("systems must be an array"))?
-            .iter()
-            .enumerate()
-            .map(|(i, s)| SystemEntry::decode(s, i))
-            .collect::<Result<Vec<_>, _>>()?;
+        let topology_spec = match v.get("topology_spec") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(TopologyEntry::decode(t)?),
+        };
+        let systems = match v.get("systems") {
+            None | Some(Json::Null) => {
+                if topology_spec.is_none() {
+                    return Err(parse_err(
+                        "scenario: missing field \"systems\" (or a \"topology_spec\" block)",
+                    ));
+                }
+                Vec::new()
+            }
+            Some(s) => s
+                .as_array()
+                .ok_or_else(|| parse_err("systems must be an array"))?
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SystemEntry::decode(s, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let links = match v.get("links") {
             None | Some(Json::Null) => Vec::new(),
             Some(l) => l
@@ -874,6 +1039,7 @@ impl Scenario {
             seed: get_u64(&v, "seed", "scenario", 0)?,
             vars: get_u64(&v, "vars", "scenario", 4)? as usize,
             topology,
+            topology_spec,
             systems,
             links,
             workload: WorkloadEntry::decode(need(&v, "workload", "scenario")?)?,
@@ -889,8 +1055,42 @@ impl Scenario {
         Ok(scenario)
     }
 
-    fn validate(&self) -> Result<(), ScenarioError> {
-        if self.systems.is_empty() {
+    /// Semantic validation, run automatically by
+    /// [`from_json`](Self::from_json). Call again after mutating a
+    /// parsed scenario (e.g. a CLI `--topology` override changes the
+    /// system count membership indices are checked against).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] describing the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if let Some(t) = &self.topology_spec {
+            if !self.systems.is_empty() || !self.links.is_empty() {
+                return Err(ScenarioError::Invalid(
+                    "topology_spec replaces the systems/links arrays; remove them".into(),
+                ));
+            }
+            t.to_spec()?;
+            parse_protocol(&t.protocol)?;
+            if t.processes == 0 {
+                return Err(ScenarioError::Invalid(
+                    "topology_spec.processes must be positive, got 0".into(),
+                ));
+            }
+            if let Some(r) = &t.reliable {
+                if r.rto_ms == 0 {
+                    return Err(ScenarioError::Invalid(
+                        "topology_spec.reliable.rto_ms must be positive, got 0".into(),
+                    ));
+                }
+                if r.max_queue == 0 {
+                    return Err(ScenarioError::Invalid(
+                        "topology_spec.reliable.max_queue must be positive, got 0".into(),
+                    ));
+                }
+            }
+        } else if self.systems.is_empty() {
             return Err(ScenarioError::Invalid("no systems".into()));
         }
         for s in &self.systems {
@@ -1002,12 +1202,12 @@ impl Scenario {
             }
         }
         if let Some(m) = &self.membership {
+            let n_systems = self.system_count();
             for (i, &s) in m.start_detached.iter().enumerate() {
-                if s >= self.systems.len() {
+                if s >= n_systems {
                     return Err(ScenarioError::Invalid(format!(
                         "membership.start_detached[{i}] references unknown system {s} \
-                         (have {} systems)",
-                        self.systems.len()
+                         (have {n_systems} systems)"
                     )));
                 }
             }
@@ -1018,12 +1218,11 @@ impl Scenario {
                         e.op
                     )));
                 }
-                if e.system >= self.systems.len() {
+                if e.system >= n_systems {
                     return Err(ScenarioError::Invalid(format!(
                         "membership.events[{i}] references unknown system {} \
-                         (have {} systems)",
+                         (have {n_systems} systems)",
                         e.system,
-                        self.systems.len()
                     )));
                 }
             }
@@ -1032,7 +1231,7 @@ impl Scenario {
             // target's link epochs by exactly one. A detach of an
             // already-detached system would be a no-op epoch-wise and
             // almost certainly a script bug.
-            let mut attached = vec![true; self.systems.len()];
+            let mut attached = vec![true; self.system_count()];
             for &s in &m.start_detached {
                 attached[s] = false;
             }
@@ -1083,6 +1282,22 @@ impl Scenario {
         Ok(())
     }
 
+    /// Number of systems after expanding any `topology_spec`.
+    pub fn system_count(&self) -> usize {
+        self.topology_spec
+            .as_ref()
+            .map_or(self.systems.len(), |t| t.systems)
+    }
+
+    /// Display names of the scenario's systems — the explicit entries,
+    /// or the generated `S{i}` names of an expanded `topology_spec`.
+    pub fn system_names(&self) -> Vec<String> {
+        match &self.topology_spec {
+            Some(t) => (0..t.systems).map(|i| format!("S{i}")).collect(),
+            None => self.systems.iter().map(|s| s.name.clone()).collect(),
+        }
+    }
+
     /// Builds the world this scenario describes.
     ///
     /// # Errors
@@ -1129,6 +1344,24 @@ impl Scenario {
         if let Some(t) = &self.telemetry {
             b.enable_telemetry(t.to_config());
         }
+        if let Some(t) = &self.topology_spec {
+            // Generated shape: uniform systems, one link spec per tree
+            // edge, handles in index order (membership indices line up).
+            let spec = t.to_spec()?;
+            let mut link = LinkSpec::new(Duration::ZERO)
+                .with_channel(ChannelSpec::fixed(Duration::from_millis(t.delay_ms)));
+            if let Some(r) = &t.reliable {
+                link = link.with_reliability(r.to_config());
+            }
+            let handles =
+                spec.expand_uniform(&mut b, parse_protocol(&t.protocol)?, t.processes, &link);
+            if let Some(m) = &self.membership {
+                for &s in &m.start_detached {
+                    b.start_detached(handles[s]);
+                }
+            }
+            return Ok(b);
+        }
         let mut handles = Vec::new();
         for s in &self.systems {
             let spec = SystemSpec::new(&*s.name, parse_protocol(&s.protocol)?, s.processes)
@@ -1168,13 +1401,7 @@ impl Scenario {
                 link = link.with_batching(Duration::from_millis(batch_ms));
             }
             if let Some(r) = &l.reliable {
-                link = link.with_reliability(
-                    ReliableConfig::default()
-                        .with_rto(Duration::from_millis(r.rto_ms))
-                        .with_max_retries(r.max_retries)
-                        .with_max_queue(r.max_queue)
-                        .with_degraded_after(Duration::from_millis(r.degraded_after_ms)),
-                );
+                link = link.with_reliability(r.to_config());
             }
             if let Some(c) = &l.crash {
                 let windows: Vec<(Duration, Duration)> = c
@@ -1773,5 +2000,113 @@ mod tests {
         let bad = TELEMETRIC.replace("\"every_ms\": 2", "\"every_ms\": 0");
         let err = Scenario::from_json(&bad).unwrap_err();
         assert!(err.to_string().contains("telemetry.every_ms"));
+    }
+
+    const TOPOLOGIC: &str = r#"{
+        "seed": 24,
+        "vars": 2,
+        "topology": "shared",
+        "topology_spec": {
+            "shape": "hub_of_hubs", "systems": 12, "fanout": 3,
+            "delay_ms": 3, "reliable": { "rto_ms": 60 }
+        },
+        "workload": { "ops_per_proc": 2, "mean_gap_ms": 2 }
+    }"#;
+
+    #[test]
+    fn topology_spec_parses_with_defaults() {
+        let s = Scenario::from_json(TOPOLOGIC).unwrap();
+        let t = s.topology_spec.as_ref().unwrap();
+        assert_eq!(t.shape, "hub_of_hubs");
+        assert_eq!(t.systems, 12);
+        assert_eq!(t.fanout, Some(3));
+        assert_eq!(t.protocol, "ahamad");
+        assert_eq!(t.processes, 1);
+        assert_eq!(t.reliable.unwrap().rto_ms, 60);
+        assert!(s.systems.is_empty(), "no explicit systems array");
+        assert_eq!(s.system_count(), 12);
+        assert_eq!(s.system_names()[11], "S11");
+    }
+
+    #[test]
+    fn topology_spec_builds_runs_and_stays_causal() {
+        let s = Scenario::from_json(TOPOLOGIC).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.outcome().is_quiescent());
+        // 12 systems, 1 proc each, 2 ops → α^T holds every op.
+        assert_eq!(report.global_history().len(), 24);
+        // Reliable links ship frames; steady state is all-O(1).
+        assert!(report.metrics().counter("isp.frames_o1") > 0);
+    }
+
+    #[test]
+    fn topology_spec_round_trips_through_json() {
+        let s = Scenario::from_json(TOPOLOGIC).unwrap();
+        let back = Scenario::from_json(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn topology_spec_rejects_explicit_systems_and_links() {
+        let both = MINIMAL.replace(
+            "\"systems\"",
+            "\"topology_spec\": { \"shape\": \"star\", \"systems\": 4 }, \"systems\"",
+        );
+        let err = Scenario::from_json(&both).unwrap_err();
+        assert!(err.to_string().contains("replaces the systems/links"));
+    }
+
+    #[test]
+    fn topology_spec_rejects_bad_shapes_by_name() {
+        for (patch, needle) in [
+            ("\"shape\": \"ring\"", "unknown shape 'ring'"),
+            ("\"shape\": \"star\"", "star takes no fanout"),
+            ("\"systems\": 0", "at least 1"),
+            ("\"fanout\": 0", "fanout must be a positive number"),
+        ] {
+            let bad = match patch.split_once(':').unwrap().0 {
+                "\"shape\"" => TOPOLOGIC.replace("\"shape\": \"hub_of_hubs\"", patch),
+                "\"systems\"" => TOPOLOGIC.replace("\"systems\": 12", patch),
+                _ => TOPOLOGIC.replace("\"fanout\": 3", patch),
+            };
+            let err = Scenario::from_json(&bad).unwrap_err();
+            assert!(err.to_string().contains(needle), "{patch}: {err}");
+        }
+    }
+
+    #[test]
+    fn topology_spec_unknown_field_is_rejected_by_name() {
+        let bad = TOPOLOGIC.replace("\"delay_ms\": 3", "\"delayms\": 3");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("topology_spec"), "{msg}");
+        assert!(msg.contains("delayms"), "{msg}");
+    }
+
+    #[test]
+    fn topology_spec_membership_indices_check_the_expanded_count() {
+        let with_membership = |system: usize| {
+            TOPOLOGIC.replace(
+                "\"workload\"",
+                &format!(
+                    "\"membership\": {{ \"start_detached\": [{system}], \"events\": [ \
+                     {{ \"at_ms\": 30, \"op\": \"attach\", \"system\": {system} }} ] }}, \
+                     \"workload\""
+                ),
+            )
+        };
+        let s = Scenario::from_json(&with_membership(11)).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.outcome().is_quiescent());
+        let err = Scenario::from_json(&with_membership(12)).unwrap_err();
+        assert!(err.to_string().contains("unknown system 12"));
+    }
+
+    #[test]
+    fn missing_systems_without_topology_spec_is_rejected() {
+        let err = Scenario::from_json(r#"{ "workload": { "ops_per_proc": 2 } }"#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("systems"), "{msg}");
+        assert!(msg.contains("topology_spec"), "{msg}");
     }
 }

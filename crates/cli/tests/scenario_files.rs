@@ -27,6 +27,29 @@ fn dialup_tree_scenario_runs_and_is_causal() {
 }
 
 #[test]
+fn hub_churn_scenario_runs_monitored_and_is_causal() {
+    let scenario = load("hub_churn.json");
+    let t = scenario
+        .topology_spec
+        .as_ref()
+        .expect("topology_spec block");
+    assert_eq!((t.shape.as_str(), t.systems), ("hub_of_hubs", 64));
+    assert!(scenario.monitor);
+    let report = scenario.run().expect("valid scenario");
+    assert!(report.outcome().is_quiescent());
+    assert!(
+        report.monitor().expect("monitor enabled").is_clean(),
+        "live monitor flagged a violation under churn"
+    );
+    assert!(causal::check(&report.global_history()).is_causal());
+    // Churn opens resync windows: both metadata modes must appear, and
+    // the per-frame delivery condition must never fire.
+    assert!(report.metrics().counter("isp.frames_o1") > 0);
+    assert!(report.metrics().counter("isp.frames_clocked") > 0);
+    assert_eq!(report.metrics().counter("isp.meta_violations"), 0);
+}
+
+#[test]
 fn lineage_scenario_runs_and_traces_every_write() {
     let scenario = load("lineage.json");
     assert!(scenario.lineage);

@@ -12,8 +12,18 @@ use cmi_sim::{Actor, ActorId, Ctx};
 use cmi_types::{ProcId, SimTime, Value, VarId};
 
 use crate::isp::{IsFault, IsProcess};
-use crate::msg::WorldMsg;
+use crate::msg::{FrameMeta, WorldMsg};
 use crate::transport::{OutFrame, ReliableConfig, ReliableReceiver, ReliableSender, TimeoutAction};
+
+// Timer keys are namespaced: class in the high 32 bits, index in the
+// low 32. Class 0 (control) carries the singleton tokens below as
+// indices — numerically identical to their raw values, so externally
+// injected timers (the chaos orchestrator's CRASH/RECOVER/POKE) need no
+// translation. Class 1 carries the per-link retransmission timers, one
+// key per link index: the old flat `BASE + link` arithmetic shared one
+// number line with the control tokens, which at hundreds of links is a
+// collision waiting for the next constant added above the base. The
+// namespace keeps every class disjoint by construction.
 
 /// Timer token: workload driver tick.
 pub(crate) const OP_TIMER: u64 = 0;
@@ -30,8 +40,44 @@ pub(crate) const RECOVER_TIMER: u64 = 4;
 /// this so the actor observes the change with a live context — a
 /// pending resync must not wait for unrelated traffic to arrive.
 pub(crate) const POKE_TIMER: u64 = 5;
-/// Timer tokens `BASE + link` arm the per-link retransmission timer.
-pub(crate) const RETX_TIMER_BASE: u64 = 16;
+
+/// Bits of a timer key holding the index; the class lives above them.
+pub(crate) const TIMER_CLASS_SHIFT: u32 = 32;
+/// Timer class of the singleton control tokens (raw values 0..=5).
+pub(crate) const TIMER_CLASS_CONTROL: u64 = 0;
+/// Timer class of the per-link retransmission timers (index = link).
+pub(crate) const TIMER_CLASS_RETX: u64 = 1;
+
+// Compile-time disjointness: every control token must fit the index
+// space of class 0 (so `timer_key(CONTROL, token) == token`), and the
+// classes must differ — a retransmission key can never equal a control
+// token, at any link count.
+const _: () = {
+    assert!(OP_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(FLUSH_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(BATCH_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(CRASH_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(RECOVER_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(POKE_TIMER < 1 << TIMER_CLASS_SHIFT);
+    assert!(TIMER_CLASS_CONTROL != TIMER_CLASS_RETX);
+};
+
+/// Packs a `(class, index)` pair into one timer token.
+pub(crate) fn timer_key(class: u64, index: u64) -> u64 {
+    debug_assert!(
+        index < 1 << TIMER_CLASS_SHIFT,
+        "timer index {index} overflows its class"
+    );
+    (class << TIMER_CLASS_SHIFT) | index
+}
+
+/// Splits a timer token back into its `(class, index)` pair.
+pub(crate) fn timer_parts(token: u64) -> (u64, u64) {
+    (
+        token >> TIMER_CLASS_SHIFT,
+        token & ((1 << TIMER_CLASS_SHIFT) - 1),
+    )
+}
 
 /// Reliable transport state of one link end (sender + receiver halves
 /// and the armed retransmit deadline, used to ignore stale timers).
@@ -110,6 +156,11 @@ struct CoreMetricIds {
     abandoned_pairs: MetricId,
     partition_sheds: MetricId,
     stale_epoch_rejected: MetricId,
+    frames_o1: MetricId,
+    frames_clocked: MetricId,
+    meta_bytes_o1: MetricId,
+    meta_bytes_clocked: MetricId,
+    meta_violations: MetricId,
 }
 
 impl CoreMetricIds {
@@ -139,6 +190,11 @@ impl CoreMetricIds {
             abandoned_pairs: metrics.key("transport.abandoned_pairs"),
             partition_sheds: metrics.key("isp.partition_sheds"),
             stale_epoch_rejected: metrics.key("isp.stale_epoch_rejected"),
+            frames_o1: metrics.key("isp.frames_o1"),
+            frames_clocked: metrics.key("isp.frames_clocked"),
+            meta_bytes_o1: metrics.key("isp.meta_bytes_o1"),
+            meta_bytes_clocked: metrics.key("isp.meta_bytes_clocked"),
+            meta_violations: metrics.key("isp.meta_violations"),
         }
     }
 }
@@ -215,6 +271,26 @@ pub struct WorldActor {
     ids: Option<CoreMetricIds>,
     /// Operations already streamed to the run tap (watermark).
     ops_fed: usize,
+    /// Frames ship with explicit-clock metadata while true: set by
+    /// attach/recover, cleared when the resync sweep completes (the
+    /// Nédelec-style fallback window; see [`FrameMeta`]).
+    meta_clocked: bool,
+    /// Builder switch: every frame ships [`FrameMeta::Clocked`]
+    /// regardless of windows (the differential-test reference path).
+    force_clocked: bool,
+    /// Cumulative pairs shipped per link (first transmissions only);
+    /// the [`FrameMeta::O1`] counter.
+    link_sent_pairs: Vec<u64>,
+    /// Per-link per-origin-system ship counts; the
+    /// [`FrameMeta::Clocked`] vector. Inner vectors are sized by
+    /// [`WorldActor::configure_meta`] (empty until then — unconfigured
+    /// unit-test actors ship empty clocks).
+    link_clock: Vec<Vec<u64>>,
+    /// Cumulative pairs delivered per link (receiver side).
+    link_delivered: Vec<u64>,
+    /// High-water mark of the metadata counters observed per link; the
+    /// delivery condition checks `delivered ≤ high` on every delivery.
+    link_meta_high: Vec<u64>,
 }
 
 impl WorldActor {
@@ -239,7 +315,25 @@ impl WorldActor {
             n_vars: 0,
             ids: None,
             ops_fed: 0,
+            meta_clocked: false,
+            force_clocked: false,
+            link_sent_pairs: vec![0; n_links],
+            link_clock: vec![Vec::new(); n_links],
+            link_delivered: vec![0; n_links],
+            link_meta_high: vec![0; n_links],
         }
+    }
+
+    /// Sizes the frame-metadata clocks for a world of `n_systems`
+    /// systems and installs the explicit-clock override. The builder
+    /// calls this on every IS-process node; actors built directly in
+    /// unit tests may skip it (their clocked frames carry empty
+    /// vectors).
+    pub(crate) fn configure_meta(&mut self, n_systems: usize, force_clocked: bool) {
+        for clock in &mut self.link_clock {
+            *clock = vec![0; n_systems];
+        }
+        self.force_clocked = force_clocked;
     }
 
     /// The interned metric ids (available from `on_start` onwards).
@@ -382,6 +476,10 @@ impl WorldActor {
         self.link_active[link] = true;
         self.link_epochs[link] += 1;
         self.resync_pending = true;
+        // The membership change opens the explicit-clock window: the
+        // constant-size delivery condition assumes a stable tree, so
+        // frames fall back to full clocks until the resync completes.
+        self.meta_clocked = true;
     }
 
     /// Installs the workload driver (before the first `run`).
@@ -612,7 +710,40 @@ impl WorldActor {
         retx: bool,
         ctx: &mut Ctx<'_, WorldMsg>,
     ) {
+        let ids = self.ids();
         let epoch = self.link_epochs[link];
+        // First transmissions advance the metadata counters; a
+        // retransmission re-reads them (its counters are ≥ the
+        // original's, which the receiver's `≤ high-water` check
+        // tolerates by construction).
+        if !retx {
+            self.link_sent_pairs[link] += frame.pairs.len() as u64;
+            if !self.link_clock[link].is_empty() {
+                for &(_, val) in &frame.pairs {
+                    let origin = usize::from(val.origin().system.0);
+                    if let Some(slot) = self.link_clock[link].get_mut(origin) {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
+        let meta = if self.force_clocked || self.meta_clocked {
+            ctx.metrics().inc_id(ids.frames_clocked);
+            FrameMeta::Clocked {
+                clock: self.link_clock[link].clone(),
+            }
+        } else {
+            ctx.metrics().inc_id(ids.frames_o1);
+            FrameMeta::O1 {
+                sent: self.link_sent_pairs[link],
+            }
+        };
+        let bytes = if meta.is_clocked() {
+            ids.meta_bytes_clocked
+        } else {
+            ids.meta_bytes_o1
+        };
+        ctx.metrics().add_id(bytes, meta.wire_bytes());
         let isp = self.isp.as_mut().expect("frames originate at IS-processes");
         let end = isp.links()[link];
         for &(var, val) in &frame.pairs {
@@ -627,6 +758,7 @@ impl WorldActor {
                 pairs: frame.pairs,
                 checksum: frame.checksum,
                 epoch,
+                meta,
             },
         );
         self.arm_retx_timer(link, ctx);
@@ -652,7 +784,8 @@ impl WorldActor {
         let delay = base.saturating_add(jitter);
         let t = self.transports[link].as_mut().expect("reliable link");
         t.deadline = Some(ctx.now() + delay);
-        ctx.schedule(delay, RETX_TIMER_BASE + link as u64);
+        let index = u64::try_from(link).expect("link index fits a timer key");
+        ctx.schedule(delay, timer_key(TIMER_CLASS_RETX, index));
     }
 
     /// The retransmit timer for link `i` fired.
@@ -698,6 +831,7 @@ impl WorldActor {
     }
 
     /// An incoming transport frame on link `link`.
+    #[allow(clippy::too_many_arguments)]
     fn on_frame(
         &mut self,
         link: usize,
@@ -705,6 +839,7 @@ impl WorldActor {
         lo: u64,
         pairs: Vec<(VarId, Value)>,
         checksum: u64,
+        meta: FrameMeta,
         ctx: &mut Ctx<'_, WorldMsg>,
     ) {
         // The receiver consumes the pairs; keep a copy for the lineage
@@ -722,6 +857,16 @@ impl WorldActor {
             ctx.note_with(|| format!("rejected damaged frame #{seq}"));
             return;
         }
+        // Delivery condition: the metadata counters are cumulative, so
+        // the highest value seen on the link bounds what may legally be
+        // delivered (a frame released from the receiver's reorder
+        // buffer was covered by the counter of the frame that filled
+        // the gap — hence a high-water mark, not a per-frame equality).
+        let observed = match &meta {
+            FrameMeta::O1 { sent } => *sent,
+            FrameMeta::Clocked { clock } => clock.iter().sum(),
+        };
+        self.link_meta_high[link] = self.link_meta_high[link].max(observed);
         if outcome.duplicate {
             ctx.metrics().inc_id(ids.dedup_drops);
             if let Some(dup) = dup_pairs {
@@ -752,6 +897,18 @@ impl WorldActor {
                 .peer_actor;
             let epoch = self.link_epochs[link];
             ctx.send(peer, WorldMsg::Ack { cum, epoch });
+        }
+        self.link_delivered[link] += outcome.deliver.len() as u64;
+        if self.link_delivered[link] > self.link_meta_high[link] {
+            // More pairs delivered than any sender counter accounts
+            // for: the delivery condition is violated (harness bug or
+            // metadata regression, never expected in a correct run).
+            ctx.metrics().inc_id(ids.meta_violations);
+            debug_assert!(
+                false,
+                "delivery condition violated on link {link}: delivered {} > high {}",
+                self.link_delivered[link], self.link_meta_high[link]
+            );
         }
         // Released pairs behave exactly like an in-order batch.
         for (var, val) in outcome.deliver {
@@ -812,6 +969,7 @@ impl WorldActor {
         // re-arms a *fresh* sweep, so a half-applied resync is always
         // discarded and restarted, never merged.
         self.resync_pending = false;
+        self.meta_clocked = false;
         let now = ctx.now();
         let mut lost = 0u64;
         for t in self.transports.iter_mut().flatten() {
@@ -847,6 +1005,7 @@ impl WorldActor {
         ctx.metrics().inc_id(self.ids().recoveries);
         ctx.note("IS-process restarted".to_string());
         self.resync_pending = true;
+        self.meta_clocked = true;
         self.post_actions(ctx);
     }
 
@@ -856,7 +1015,7 @@ impl WorldActor {
         let n_links = self.isp.as_ref().map_or(0, |isp| isp.links().len());
         let mut pairs: Vec<(VarId, Value)> = Vec::new();
         for v in 0..self.n_vars {
-            let var = VarId(v as u32);
+            let var = VarId(u32::try_from(v).expect("variable index fits u32"));
             {
                 let mut sink = WorldSink {
                     ctx,
@@ -982,6 +1141,9 @@ impl WorldActor {
             if self.resync_pending && !self.crashed && !self.host.op_in_flight() {
                 self.resync_pending = false;
                 self.resync(ctx);
+                // The resync snapshot went out under explicit clocks;
+                // the tree is consistent again — back to O(1) metadata.
+                self.meta_clocked = false;
             }
         }
         if self.waiting_completion && !self.host.op_in_flight() {
@@ -1012,7 +1174,8 @@ impl WorldActor {
         }
         self.ops_fed = n;
         if let Some(t0) = t0 {
-            ctx.record_span(SpanId::MonitorTap, t0.elapsed().as_nanos() as u64);
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ctx.record_span(SpanId::MonitorTap, ns);
         }
     }
 }
@@ -1131,6 +1294,7 @@ impl Actor<WorldMsg> for WorldActor {
                 pairs,
                 checksum,
                 epoch,
+                meta,
             } => {
                 if self.crashed {
                     // No ack while down: the peer keeps retransmitting
@@ -1151,7 +1315,7 @@ impl Actor<WorldMsg> for WorldActor {
                     ctx.note_with(|| format!("rejected frame #{seq} from stale epoch {epoch}"));
                     return;
                 }
-                self.on_frame(link, seq, lo, pairs, checksum, ctx);
+                self.on_frame(link, seq, lo, pairs, checksum, meta, ctx);
             }
             WorldMsg::Ack { cum, epoch } => {
                 if self.crashed {
@@ -1171,14 +1335,15 @@ impl Actor<WorldMsg> for WorldActor {
             }
         }
         if let Some(t0) = t0 {
-            ctx.record_span(span, t0.elapsed().as_nanos() as u64);
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ctx.record_span(span, ns);
         }
         self.feed_tap(ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, WorldMsg>) {
-        match token {
-            OP_TIMER => {
+        match timer_parts(token) {
+            (TIMER_CLASS_CONTROL, OP_TIMER) => {
                 if let Some(plan) = self.pending_plan.take() {
                     self.issue_plan(plan, ctx);
                     if self.host.op_in_flight() {
@@ -1189,9 +1354,9 @@ impl Actor<WorldMsg> for WorldActor {
                     self.post_actions(ctx);
                 }
             }
-            CRASH_TIMER => self.crash(ctx),
-            RECOVER_TIMER => self.recover(ctx),
-            POKE_TIMER => {
+            (TIMER_CLASS_CONTROL, CRASH_TIMER) => self.crash(ctx),
+            (TIMER_CLASS_CONTROL, RECOVER_TIMER) => self.recover(ctx),
+            (TIMER_CLASS_CONTROL, POKE_TIMER) => {
                 // Harness poke after out-of-band surgery (attach):
                 // observe the new state with a live context so an armed
                 // resync runs now instead of waiting for traffic.
@@ -1199,7 +1364,7 @@ impl Actor<WorldMsg> for WorldActor {
                     self.post_actions(ctx);
                 }
             }
-            BATCH_TIMER => {
+            (TIMER_CLASS_CONTROL, BATCH_TIMER) => {
                 self.batch_scheduled = false;
                 if self.crashed {
                     return; // Buffers were drained by the crash.
@@ -1214,7 +1379,7 @@ impl Actor<WorldMsg> for WorldActor {
                     }
                 }
             }
-            FLUSH_TIMER => {
+            (TIMER_CLASS_CONTROL, FLUSH_TIMER) => {
                 self.flush_scheduled = false;
                 if self.crashed {
                     return;
@@ -1233,10 +1398,11 @@ impl Actor<WorldMsg> for WorldActor {
                     }
                 }
             }
-            retx if retx >= RETX_TIMER_BASE => {
-                self.on_retx_timer((retx - RETX_TIMER_BASE) as usize, ctx);
+            (TIMER_CLASS_RETX, link) => {
+                let link = usize::try_from(link).expect("retx timer index fits usize");
+                self.on_retx_timer(link, ctx);
             }
-            other => panic!("unknown timer token {other}"),
+            (class, index) => panic!("unknown timer token: class {class} index {index}"),
         }
         self.feed_tap(ctx);
     }
@@ -1310,5 +1476,43 @@ mod tests {
         assert!(actor.isp().is_some());
         assert_eq!(actor.isp().unwrap().links().len(), 1);
         assert_eq!(actor.host().proc(), ProcId::new(SystemId(0), 1));
+    }
+
+    #[test]
+    fn timer_keys_round_trip_and_stay_disjoint_past_256_links() {
+        // Every control token decodes as class 0 with itself as index…
+        for token in [
+            OP_TIMER,
+            FLUSH_TIMER,
+            BATCH_TIMER,
+            CRASH_TIMER,
+            RECOVER_TIMER,
+            POKE_TIMER,
+        ] {
+            assert_eq!(timer_parts(token), (TIMER_CLASS_CONTROL, token));
+            assert_eq!(timer_key(TIMER_CLASS_CONTROL, token), token);
+        }
+        // …and no retransmission key for any link — far past 256 —
+        // ever lands in the control class. The flat `BASE + link`
+        // scheme this replaces broke exactly here.
+        for link in 0..=4096u64 {
+            let key = timer_key(TIMER_CLASS_RETX, link);
+            let (class, index) = timer_parts(key);
+            assert_eq!((class, index), (TIMER_CLASS_RETX, link));
+            assert_ne!(class, TIMER_CLASS_CONTROL, "link {link} collided");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown timer token")]
+    fn foreign_timer_class_panics() {
+        use cmi_sim::{NetworkTag, RunLimit, SimBuilder};
+        // Class 9 exists in no namespace; the dispatcher must reject
+        // it loudly instead of treating it as a link index.
+        let mut b: SimBuilder<WorldMsg> = SimBuilder::new(7);
+        let id = b.add_actor(Box::new(isp_actor()), NetworkTag(0));
+        let mut sim = b.build();
+        sim.inject_timer(id, std::time::Duration::from_millis(1), timer_key(9, 3));
+        sim.run(RunLimit::unlimited());
     }
 }

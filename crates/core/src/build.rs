@@ -118,6 +118,7 @@ pub struct InterconnectBuilder {
     monitor: bool,
     telemetry: Option<TelemetryConfig>,
     force_variant2: bool,
+    force_clocked: bool,
     detached: Vec<usize>,
 }
 
@@ -140,6 +141,7 @@ impl InterconnectBuilder {
             monitor: false,
             telemetry: None,
             force_variant2: false,
+            force_clocked: false,
             detached: Vec::new(),
         }
     }
@@ -223,6 +225,17 @@ impl InterconnectBuilder {
     /// for every causal MCS protocol; this switch exists to exercise it.
     pub fn force_pre_propagate(mut self) -> Self {
         self.force_variant2 = true;
+        self
+    }
+
+    /// Forces every reliable-transport frame to carry the explicit
+    /// per-origin clock ([`crate::FrameMeta::Clocked`]) instead of the
+    /// constant-size steady-state metadata. Delivered histories are
+    /// identical either way (the metadata is control-plane); this
+    /// switch exists so differential tests and X24 can compare the two
+    /// paths byte-for-byte and measure the `O(m)` overhead avoided.
+    pub fn force_clocked_metadata(mut self) -> Self {
+        self.force_clocked = true;
         self
     }
 
@@ -397,7 +410,7 @@ impl InterconnectBuilder {
         let mut class_of_component: HashMap<usize, u32> = HashMap::new();
         let mut proc_ids: Vec<Vec<ProcId>> = Vec::with_capacity(group.len());
         for &s in group {
-            let id = SystemId(s as u16);
+            let id = SystemId(u16::try_from(s).expect("system index fits u16"));
             let spec = &self.systems[s];
             let total = spec.n_app_procs + layout.isp_slots[s];
             let next_class = class_of_component.len() as u32;
@@ -445,7 +458,7 @@ impl InterconnectBuilder {
             let app_procs: Vec<ProcId> = group
                 .iter()
                 .flat_map(|&s| {
-                    let id = SystemId(s as u16);
+                    let id = SystemId(u16::try_from(s).expect("system index fits u16"));
                     (0..self.systems[s].n_app_procs).map(move |k| ProcId::new(id, k as u16))
                 })
                 .collect();
@@ -463,7 +476,7 @@ impl InterconnectBuilder {
         let mut systems_info = Vec::with_capacity(group.len());
         for &s in group {
             let spec = &self.systems[s];
-            let id = SystemId(s as u16);
+            let id = SystemId(u16::try_from(s).expect("system index fits u16"));
             let total = spec.n_app_procs + layout.isp_slots[s];
             let variant = if self.force_variant2 || !spec.causal_updating() {
                 IsVariant::PrePost
@@ -512,6 +525,7 @@ impl InterconnectBuilder {
                 };
                 let mut actor = WorldActor::new(host, Rc::clone(&addr), isp);
                 actor.set_n_vars(self.n_vars);
+                actor.configure_meta(self.systems.len(), self.force_clocked);
                 // Links touching an initially-detached system start
                 // inactive on BOTH ends (no epoch bump: epoch 0 never
                 // carries traffic, the first attach moves both ends to 1).
@@ -543,7 +557,10 @@ impl InterconnectBuilder {
                         actor.configure_crashes(windows, self.n_vars);
                     }
                 }
-                b.add_actor(Box::new(actor), NetworkTag(s as u16));
+                b.add_actor(
+                    Box::new(actor),
+                    NetworkTag(u16::try_from(s).expect("system index fits u16")),
+                );
             }
             systems_info.push(SystemInfo {
                 id,

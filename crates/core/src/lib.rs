@@ -58,12 +58,14 @@ pub mod msg;
 pub mod report;
 pub mod shard;
 pub mod spec;
+pub mod topology;
 pub mod transport;
 
 pub use build::{InterconnectBuilder, World};
 pub use isp::{IsFault, IsVariant};
-pub use msg::WorldMsg;
+pub use msg::{FrameMeta, WorldMsg};
 pub use report::{LinkTraffic, RunReport};
 pub use shard::ShardedWorld;
 pub use spec::{BuildError, IsTopology, LinkSpec, ProtocolFactory, SystemHandle, SystemSpec};
+pub use topology::{parse_topology, TopologyShape, TopologySpec};
 pub use transport::{ReliableConfig, ReliableReceiver, ReliableSender};

@@ -5,6 +5,60 @@ use std::fmt;
 use cmi_memory::McsMsg;
 use cmi_types::{Value, VarId};
 
+/// Causal delivery metadata carried by a reliable-transport frame.
+///
+/// In steady state an interconnected tree needs no explicit causal
+/// clocks at the IS layer: the links are FIFO and the topology is
+/// cycle-free with a single path between any two systems, so delivery
+/// order itself encodes the causal order (the delivery condition of
+/// Nédelec et al.'s constant-size causal broadcast, adapted to
+/// IS-process propagation). Frames then carry [`FrameMeta::O1`] — one
+/// cumulative counter, the same 9 wire bytes no matter how many
+/// systems `m` the interconnection has. During a membership change the
+/// tree invariant is in flux (an attach opens a resync window whose
+/// snapshot races live traffic), so frames shipped inside the window
+/// fall back to [`FrameMeta::Clocked`] — an explicit per-origin-system
+/// vector, `O(m)` bytes — until the resync sweep completes. The
+/// `isp.frames_o1` / `isp.frames_clocked` counters record which mode
+/// every frame used; X24 gates that the steady-state per-frame
+/// overhead stays flat as `m` grows 2→256.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameMeta {
+    /// Constant-size steady-state metadata: the sender's cumulative
+    /// count of pairs shipped on this link, including this frame's.
+    /// The receiver checks monotonicity against its delivered count —
+    /// under FIFO links and a tree topology nothing more is needed.
+    O1 {
+        /// Cumulative pairs shipped on the link, this frame included.
+        sent: u64,
+    },
+    /// Explicit per-origin clock used inside attach/resync windows:
+    /// `clock[s]` = pairs originating in system `s` shipped on this
+    /// link so far. Length is the world's system count `m`.
+    Clocked {
+        /// Per-origin-system cumulative ship counts.
+        clock: Vec<u64>,
+    },
+}
+
+impl FrameMeta {
+    /// Wire size of the metadata under the reference codec: a 1-byte
+    /// mode tag plus 8 bytes per counter, plus a 2-byte length for the
+    /// clocked vector. `O1` is exactly 9 bytes for every `m`; `Clocked`
+    /// is `3 + 8m`.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            FrameMeta::O1 { .. } => 1 + 8,
+            FrameMeta::Clocked { clock } => 1 + 2 + 8 * clock.len() as u64,
+        }
+    }
+
+    /// `true` for the explicit-clock fallback mode.
+    pub fn is_clocked(&self) -> bool {
+        matches!(self, FrameMeta::Clocked { .. })
+    }
+}
+
 /// A message in an interconnected world: either an intra-system MCS
 /// protocol message, or IS-protocol traffic on the inter-system channel
 /// between two IS-processes — a single `⟨x,v⟩` pair (the paper's
@@ -47,6 +101,12 @@ pub enum WorldMsg {
         /// [`crate::actor::WorldActor::detach_link`]). Always `0` on a
         /// link that never churned.
         epoch: u64,
+        /// Causal delivery metadata: constant-size in steady state,
+        /// explicit clocks inside attach/resync windows (see
+        /// [`FrameMeta`]). Control-plane — not covered by `checksum`,
+        /// which protects the pairs; the delivery condition itself
+        /// validates the metadata.
+        meta: FrameMeta,
     },
     /// Reliable-transport cumulative acknowledgement: every frame with
     /// `seq ≤ cum` has been delivered in order.
@@ -91,6 +151,22 @@ mod tests {
             val: Value::new(p, 3),
         };
         assert_eq!(m.to_string(), "⟨x2,v(S0.p0#3)⟩");
+    }
+
+    #[test]
+    fn o1_meta_is_nine_bytes_at_every_m() {
+        let meta = FrameMeta::O1 { sent: u64::MAX };
+        assert_eq!(meta.wire_bytes(), 9);
+        assert!(!meta.is_clocked());
+    }
+
+    #[test]
+    fn clocked_meta_grows_linearly_in_m() {
+        for m in [2usize, 16, 256] {
+            let meta = FrameMeta::Clocked { clock: vec![0; m] };
+            assert_eq!(meta.wire_bytes(), 3 + 8 * m as u64);
+            assert!(meta.is_clocked());
+        }
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Large-m interconnection shapes: generators that expand a named
+//! topology into the pairwise tree wiring of
+//! [`InterconnectBuilder`](crate::InterconnectBuilder).
+//!
+//! The paper's Corollary 1 admits *any* cycle-free interconnection of
+//! `m` causal systems, but hand-writing `add_system`/`link` calls stops
+//! scaling around a dozen systems. A [`TopologySpec`] describes the
+//! shape once — chain, star, balanced k-ary tree, or hierarchical
+//! hub-of-hubs — and [`TopologySpec::expand_into`] emits the systems
+//! and links. Every shape is a tree (exactly `m − 1` links), so the
+//! builder's cycle check always passes and Corollary 1 applies
+//! directly.
+//!
+//! Combined with [`IsTopology::Shared`](crate::IsTopology::Shared) the
+//! star is the paper's shared-IS hub (Section 6's `n + m − 1`
+//! configuration); the hub-of-hubs stacks that idea one level: leaves
+//! cluster around mid-tier hubs, the hubs cluster around one root, and
+//! the diameter stays ≤ 4 no matter how large `m` grows.
+
+use crate::build::InterconnectBuilder;
+use crate::spec::{LinkSpec, SystemHandle, SystemSpec};
+use cmi_memory::ProtocolKind;
+
+/// The shape of a generated interconnection tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyShape {
+    /// A path: system `i` links to system `i − 1`. Diameter `m − 1`.
+    Chain,
+    /// Every system links to system 0. Diameter 2. With
+    /// [`IsTopology::Shared`](crate::IsTopology::Shared) this is the
+    /// shared-IS hub of Section 6.
+    Star,
+    /// A balanced k-ary tree: system `i > 0` links to its parent
+    /// `(i − 1) / fanout`. Diameter `O(log_fanout m)`.
+    Tree {
+        /// Children per node (≥ 1).
+        fanout: usize,
+    },
+    /// A two-tier hierarchy: one root hub (system 0), `h` mid-tier
+    /// hubs directly under it, and the remaining systems as leaves
+    /// spread round-robin over the mid hubs, at most `fanout` leaves
+    /// per hub (`h` is the smallest count that fits). Diameter ≤ 4.
+    HubOfHubs {
+        /// Leaves per mid-tier hub (≥ 1).
+        fanout: usize,
+    },
+}
+
+impl TopologyShape {
+    /// The shape's name as used by scenario files and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyShape::Chain => "chain",
+            TopologyShape::Star => "star",
+            TopologyShape::Tree { .. } => "tree",
+            TopologyShape::HubOfHubs { .. } => "hub_of_hubs",
+        }
+    }
+}
+
+/// A named interconnection shape over `m` systems.
+///
+/// # Example
+///
+/// ```
+/// use cmi_core::{InterconnectBuilder, LinkSpec, TopologySpec};
+/// use cmi_memory::{ProtocolKind, WorkloadSpec};
+/// use std::time::Duration;
+///
+/// let spec = TopologySpec::hub_of_hubs(10, 3);
+/// assert_eq!(spec.edges().len(), 9); // always a tree: m − 1 links
+/// let mut b = InterconnectBuilder::new();
+/// spec.expand_uniform(
+///     &mut b,
+///     ProtocolKind::Ahamad,
+///     1,
+///     &LinkSpec::new(Duration::from_millis(5)),
+/// );
+/// let mut world = b.build(7)?;
+/// let report = world.run(&WorkloadSpec::small().with_ops(1));
+/// assert!(report.outcome().is_quiescent());
+/// # Ok::<(), cmi_core::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologySpec {
+    shape: TopologyShape,
+    m: usize,
+}
+
+impl TopologySpec {
+    /// A chain of `m` systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` (every shape needs at least one system).
+    pub fn chain(m: usize) -> Self {
+        Self::new(TopologyShape::Chain, m)
+    }
+
+    /// A star of `m` systems around system 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn star(m: usize) -> Self {
+        Self::new(TopologyShape::Star, m)
+    }
+
+    /// A balanced k-ary tree of `m` systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `fanout == 0`.
+    pub fn tree(m: usize, fanout: usize) -> Self {
+        assert!(fanout > 0, "tree fanout must be at least 1");
+        Self::new(TopologyShape::Tree { fanout }, m)
+    }
+
+    /// A two-tier hub-of-hubs of `m` systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `fanout == 0`.
+    pub fn hub_of_hubs(m: usize, fanout: usize) -> Self {
+        assert!(fanout > 0, "hub fanout must be at least 1");
+        Self::new(TopologyShape::HubOfHubs { fanout }, m)
+    }
+
+    fn new(shape: TopologyShape, m: usize) -> Self {
+        assert!(m > 0, "a topology needs at least one system");
+        TopologySpec { shape, m }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> TopologyShape {
+        self.shape
+    }
+
+    /// Number of systems `m`.
+    pub fn systems(&self) -> usize {
+        self.m
+    }
+
+    /// Number of mid-tier hubs of a hub-of-hubs over `m` systems: the
+    /// smallest `h` with `m − 1 − h ≤ h · fanout` leaves, i.e.
+    /// `⌈(m − 1) / (fanout + 1)⌉`.
+    fn mid_hubs(m: usize, fanout: usize) -> usize {
+        (m - 1).div_ceil(fanout + 1)
+    }
+
+    /// The tree edges `(parent, child)` with `parent < child`, in
+    /// child order. Always exactly `m − 1` edges — every shape is a
+    /// spanning tree, so the builder's cycle check passes and the
+    /// interconnection satisfies Corollary 1.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let m = self.m;
+        let mut edges = Vec::with_capacity(m.saturating_sub(1));
+        match self.shape {
+            TopologyShape::Chain => edges.extend((1..m).map(|i| (i - 1, i))),
+            TopologyShape::Star => edges.extend((1..m).map(|i| (0, i))),
+            TopologyShape::Tree { fanout } => {
+                edges.extend((1..m).map(|i| ((i - 1) / fanout, i)));
+            }
+            TopologyShape::HubOfHubs { fanout } => {
+                if m == 1 {
+                    return edges;
+                }
+                let h = Self::mid_hubs(m, fanout);
+                // Mid hubs hang off the root…
+                edges.extend((1..=h).map(|i| (0, i)));
+                // …and leaves spread round-robin over the mid hubs, so
+                // every hub serves at most `fanout` leaves.
+                edges.extend((h + 1..m).map(|i| {
+                    let leaf = i - h - 1;
+                    (1 + leaf % h, i)
+                }));
+            }
+        }
+        edges
+    }
+
+    /// The tree's diameter in link hops — the worst-case crossing count
+    /// of one propagated update (and the depth axis of X24's
+    /// convergence-latency measurements). Exact: two BFS passes over
+    /// the generated edges (the standard tree-diameter trick).
+    pub fn diameter(&self) -> usize {
+        if self.m <= 1 {
+            return 0;
+        }
+        let mut adj = vec![Vec::new(); self.m];
+        for (a, b) in self.edges() {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let farthest = |start: usize| {
+            let mut dist = vec![usize::MAX; adj.len()];
+            dist[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            let (mut far, mut far_d) = (start, 0);
+            while let Some(i) = queue.pop_front() {
+                for &j in &adj[i] {
+                    if dist[j] == usize::MAX {
+                        dist[j] = dist[i] + 1;
+                        if dist[j] > far_d {
+                            (far, far_d) = (j, dist[j]);
+                        }
+                        queue.push_back(j);
+                    }
+                }
+            }
+            (far, far_d)
+        };
+        let (end, _) = farthest(0);
+        farthest(end).1
+    }
+
+    /// Expands the shape into `b`: one `add_system` per index (specs
+    /// drawn from `system(i)`) and one `link` per tree edge (specs
+    /// drawn from `link(parent, child)`). Returns the handles in index
+    /// order.
+    pub fn expand_into(
+        &self,
+        b: &mut InterconnectBuilder,
+        mut system: impl FnMut(usize) -> SystemSpec,
+        mut link: impl FnMut(usize, usize) -> LinkSpec,
+    ) -> Vec<SystemHandle> {
+        let handles: Vec<SystemHandle> = (0..self.m).map(|i| b.add_system(system(i))).collect();
+        for (parent, child) in self.edges() {
+            b.link(handles[parent], handles[child], link(parent, child));
+        }
+        handles
+    }
+
+    /// Expands the shape with identical systems (`S0`…, `protocol`,
+    /// `procs` application processes each) and one shared link spec.
+    pub fn expand_uniform(
+        &self,
+        b: &mut InterconnectBuilder,
+        protocol: ProtocolKind,
+        procs: usize,
+        link: &LinkSpec,
+    ) -> Vec<SystemHandle> {
+        self.expand_into(
+            b,
+            |i| SystemSpec::new(format!("S{i}"), protocol, procs),
+            |_, _| link.clone(),
+        )
+    }
+}
+
+/// Parses `shape:m[:fanout]` (the CLI's `--topology` syntax) into a
+/// spec. `fanout` defaults to 4 and is rejected for shapes that take
+/// none.
+///
+/// # Errors
+///
+/// Returns a description of the malformed part.
+pub fn parse_topology(text: &str) -> Result<TopologySpec, String> {
+    let mut parts = text.split(':');
+    let shape = parts.next().unwrap_or_default();
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| format!("topology '{text}': expected shape:m[:fanout]"))?
+        .parse()
+        .map_err(|_| format!("topology '{text}': system count is not a number"))?;
+    if m == 0 {
+        return Err(format!(
+            "topology '{text}': system count must be at least 1"
+        ));
+    }
+    let fanout: Option<usize> = match parts.next() {
+        Some(f) => Some(
+            f.parse()
+                .ok()
+                .filter(|&f| f > 0)
+                .ok_or_else(|| format!("topology '{text}': fanout must be a positive number"))?,
+        ),
+        None => None,
+    };
+    if parts.next().is_some() {
+        return Err(format!("topology '{text}': expected shape:m[:fanout]"));
+    }
+    match shape {
+        "chain" | "star" if fanout.is_some() => {
+            Err(format!("topology '{text}': {shape} takes no fanout"))
+        }
+        "chain" => Ok(TopologySpec::chain(m)),
+        "star" => Ok(TopologySpec::star(m)),
+        "tree" => Ok(TopologySpec::tree(m, fanout.unwrap_or(4))),
+        "hub_of_hubs" => Ok(TopologySpec::hub_of_hubs(m, fanout.unwrap_or(4))),
+        other => Err(format!(
+            "topology '{text}': unknown shape '{other}' \
+             (expected chain, star, tree or hub_of_hubs)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Union-find reachability: the edge set must connect all `m`
+    /// nodes with exactly `m − 1` edges — i.e. be a spanning tree.
+    fn assert_spanning_tree(spec: &TopologySpec) {
+        let m = spec.systems();
+        let edges = spec.edges();
+        assert_eq!(edges.len(), m.saturating_sub(1), "{spec:?}");
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn root(parent: &mut Vec<usize>, mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for &(a, b) in &edges {
+            assert!(a < b, "{spec:?}: edge ({a},{b}) not parent-ordered");
+            assert!(b < m, "{spec:?}: edge ({a},{b}) out of range");
+            let (ra, rb) = (root(&mut parent, a), root(&mut parent, b));
+            assert_ne!(ra, rb, "{spec:?}: edge ({a},{b}) closes a cycle");
+            parent[ra] = rb;
+        }
+        let r0 = root(&mut parent, 0);
+        for i in 1..m {
+            assert_eq!(root(&mut parent, i), r0, "{spec:?}: node {i} unreachable");
+        }
+    }
+
+    #[test]
+    fn every_shape_is_a_spanning_tree_at_every_m() {
+        for m in 1..=70 {
+            assert_spanning_tree(&TopologySpec::chain(m));
+            assert_spanning_tree(&TopologySpec::star(m));
+            for fanout in [1, 2, 3, 8] {
+                assert_spanning_tree(&TopologySpec::tree(m, fanout));
+                assert_spanning_tree(&TopologySpec::hub_of_hubs(m, fanout));
+            }
+        }
+        assert_spanning_tree(&TopologySpec::hub_of_hubs(256, 8));
+    }
+
+    #[test]
+    fn hub_of_hubs_respects_fanout() {
+        for m in 2..=257 {
+            let spec = TopologySpec::hub_of_hubs(m, 8);
+            let h = TopologySpec::mid_hubs(m, 8);
+            let mut children = vec![0usize; m];
+            for (parent, _) in spec.edges() {
+                children[parent] += 1;
+            }
+            for (hub, &n) in children.iter().enumerate().skip(1).take(h) {
+                assert!(n <= 8, "m={m}: hub {hub} serves {n} leaves");
+            }
+            assert!(children[0] == h, "m={m}: root serves {} hubs", children[0]);
+        }
+    }
+
+    #[test]
+    fn diameters_match_the_shapes() {
+        assert_eq!(TopologySpec::chain(64).diameter(), 63);
+        assert_eq!(TopologySpec::star(64).diameter(), 2);
+        assert_eq!(TopologySpec::star(2).diameter(), 1);
+        assert_eq!(TopologySpec::chain(1).diameter(), 0);
+        // 64-node binary heap layout: one node at depth 6 (index 63)
+        // plus depth-5 leaves in the sibling subtree → diameter 11.
+        assert_eq!(TopologySpec::tree(64, 2).diameter(), 11);
+        assert!(TopologySpec::hub_of_hubs(256, 8).diameter() <= 4);
+    }
+
+    #[test]
+    fn expansion_builds_and_runs() {
+        use cmi_memory::WorkloadSpec;
+        use std::time::Duration;
+        let spec = TopologySpec::hub_of_hubs(12, 3);
+        let mut b = InterconnectBuilder::new().with_vars(2);
+        let handles = spec.expand_uniform(
+            &mut b,
+            ProtocolKind::Ahamad,
+            1,
+            &LinkSpec::new(Duration::from_millis(3)),
+        );
+        assert_eq!(handles.len(), 12);
+        let mut world = b.build(11).expect("generated shapes are trees");
+        let report = world.run(&WorkloadSpec::small().with_ops(1).with_vars(2));
+        assert!(report.outcome().is_quiescent());
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects() {
+        assert_eq!(parse_topology("chain:8"), Ok(TopologySpec::chain(8)));
+        assert_eq!(parse_topology("star:64"), Ok(TopologySpec::star(64)));
+        assert_eq!(parse_topology("tree:64:2"), Ok(TopologySpec::tree(64, 2)));
+        assert_eq!(
+            parse_topology("hub_of_hubs:256:8"),
+            Ok(TopologySpec::hub_of_hubs(256, 8))
+        );
+        assert_eq!(
+            parse_topology("tree:64"),
+            Ok(TopologySpec::tree(64, 4)),
+            "fanout defaults to 4"
+        );
+        for bad in [
+            "ring:8",
+            "chain",
+            "chain:0",
+            "chain:x",
+            "tree:8:0",
+            "chain:8:2",
+            "tree:8:2:9",
+        ] {
+            assert!(parse_topology(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential honesty harness for the O(1) frame metadata.
+//!
+//! The constant-size steady-state metadata ([`FrameMeta::O1`]) is
+//! control-plane: switching every frame to the explicit per-origin
+//! clock ([`FrameMeta::Clocked`], the attach/resync fallback) must not
+//! change a single delivered value. This suite runs the same seeded
+//! world twice — once per mode — across tree, shared-IS hub and
+//! hub-of-hubs shapes at m ∈ {4, 16, 64}, and asserts the delivered
+//! global history is byte-identical, the online monitor stays quiet in
+//! both runs, and the per-frame delivery condition
+//! (`isp.meta_violations`) never fires. A churned run then pins the
+//! automatic fallback: frames shipped inside an attach/resync window
+//! carry explicit clocks even in default mode, and the mode mix is
+//! recorded in `isp.frames_o1` / `isp.frames_clocked`.
+
+use std::time::Duration;
+
+use cmi_core::{
+    InterconnectBuilder, IsTopology, LinkSpec, ReliableConfig, RunReport, TopologySpec, World,
+};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_obs::ToJson;
+use cmi_sim::{ChannelSpec, ChaosSpec};
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// Builds a monitored world of `spec`'s shape over reliable framed
+/// links, optionally forcing the explicit-clock metadata mode.
+fn framed_world(spec: &TopologySpec, seed: u64, force_clocked: bool) -> World {
+    let mut b = InterconnectBuilder::new().with_vars(3);
+    if force_clocked {
+        b = b.force_clocked_metadata();
+    }
+    let link = LinkSpec::new(ms(1))
+        .with_channel(ChannelSpec::fixed(ms(2)))
+        .with_reliability(ReliableConfig::default().with_rto(ms(80)));
+    spec.expand_uniform(&mut b, ProtocolKind::Ahamad, 1, &link);
+    b.enable_monitor();
+    b.with_topology(IsTopology::Shared)
+        .build(seed)
+        .expect("generated shapes are trees")
+}
+
+fn delivered_bytes(report: &RunReport) -> String {
+    report.global_history().to_json().to_compact()
+}
+
+fn assert_quiet(report: &RunReport, what: &str) {
+    assert!(report.outcome().is_quiescent(), "{what}: did not drain");
+    assert!(
+        report.monitor().expect("monitor enabled").is_clean(),
+        "{what}: live monitor flagged a causal violation"
+    );
+    assert_eq!(
+        report.metrics().counter("isp.meta_violations"),
+        0,
+        "{what}: frame delivery condition fired"
+    );
+}
+
+/// Steady state, no churn: the O(1) path must ship *every* frame with
+/// constant-size metadata, the forced path every frame with clocks,
+/// and the delivered histories must agree byte-for-byte.
+#[test]
+fn o1_and_clocked_paths_deliver_identical_histories() {
+    let workload = WorkloadSpec::small().with_ops(6).with_vars(3);
+    for m in [4usize, 16, 64] {
+        for spec in [
+            TopologySpec::tree(m, 3),
+            TopologySpec::star(m),
+            TopologySpec::hub_of_hubs(m, 8),
+        ] {
+            let seed = 0xD1FF ^ (m as u64);
+            let what = format!("{} m={m}", spec.shape().name());
+
+            let report_o1 = framed_world(&spec, seed, false).run(&workload);
+            assert_quiet(&report_o1, &what);
+            assert!(
+                report_o1.metrics().counter("isp.frames_o1") > 0,
+                "{what}: steady state shipped no O(1) frames"
+            );
+            assert_eq!(
+                report_o1.metrics().counter("isp.frames_clocked"),
+                0,
+                "{what}: steady state fell back to explicit clocks"
+            );
+
+            let report_ck = framed_world(&spec, seed, true).run(&workload);
+            assert_quiet(&report_ck, &what);
+            assert_eq!(
+                report_ck.metrics().counter("isp.frames_o1"),
+                0,
+                "{what}: forced-clock run shipped O(1) frames"
+            );
+            assert!(
+                report_ck.metrics().counter("isp.frames_clocked") > 0,
+                "{what}: forced-clock run shipped no frames"
+            );
+
+            assert_eq!(
+                delivered_bytes(&report_o1),
+                delivered_bytes(&report_ck),
+                "{what}: metadata mode changed the delivered history"
+            );
+
+            // The whole point: per-frame overhead is flat in m on the
+            // O(1) path and linear in m on the clocked path.
+            let o1_frames = report_o1.metrics().counter("isp.frames_o1");
+            let o1_bytes = report_o1.metrics().counter("isp.meta_bytes_o1");
+            assert_eq!(o1_bytes, o1_frames * 9, "{what}: O(1) frames not 9 bytes");
+            let ck_frames = report_ck.metrics().counter("isp.frames_clocked");
+            let ck_bytes = report_ck.metrics().counter("isp.meta_bytes_clocked");
+            assert_eq!(
+                ck_bytes,
+                ck_frames * (3 + 8 * m as u64),
+                "{what}: clocked frames not 3 + 8m bytes"
+            );
+        }
+    }
+}
+
+/// Churn opens attach/resync windows: the default mode must fall back
+/// to explicit clocks for frames shipped inside a window and return to
+/// O(1) after the resync sweep — and the two modes must still deliver
+/// identical histories under the *same* seeded chaos schedule.
+#[test]
+fn churn_windows_fall_back_to_clocks_and_stay_identical() {
+    let spec = TopologySpec::hub_of_hubs(16, 4);
+    let workload = WorkloadSpec::small().with_ops(10).with_vars(3);
+    let chaos = ChaosSpec::new(ms(60)).with_churn(2, ms(10), ms(25));
+
+    let mut w_o1 = framed_world(&spec, 0xC0DE, false);
+    let events = w_o1.compile_chaos(&chaos, 0x5EED);
+    let report_o1 = w_o1.run_with_chaos(&workload, &events);
+    assert_quiet(&report_o1, "churned hub-of-hubs (auto mode)");
+    assert!(
+        report_o1.metrics().counter("isp.frames_o1") > 0,
+        "churned run never returned to the O(1) path"
+    );
+    assert!(
+        report_o1.metrics().counter("isp.frames_clocked") > 0,
+        "churned run never used the resync-window fallback"
+    );
+
+    let mut w_ck = framed_world(&spec, 0xC0DE, true);
+    let events_ck = w_ck.compile_chaos(&chaos, 0x5EED);
+    assert_eq!(events, events_ck, "chaos compilation must be seed-pure");
+    let report_ck = w_ck.run_with_chaos(&workload, &events_ck);
+    assert_quiet(&report_ck, "churned hub-of-hubs (forced clocks)");
+
+    assert_eq!(
+        delivered_bytes(&report_o1),
+        delivered_bytes(&report_ck),
+        "metadata mode changed the delivered history under churn"
+    );
+}

@@ -1,0 +1,101 @@
+//! Large-m regressions: hundreds of systems per world.
+//!
+//! Two bugs motivated this file (ISSUE 10). First, retransmission
+//! timers used to be keyed `RETX_TIMER_BASE + link`, a flat arithmetic
+//! scheme that collides with the control-timer constants once an actor
+//! serves hundreds of links — the star test below puts 257 reliable
+//! links on one shared hub IS-process, which deadlocked or misfired
+//! under the old keys. Second, narrowing `as` casts on the actor/ISP
+//! hot path could silently truncate at large m — the hub-of-hubs test
+//! pins the propagation counters of a 256-system world to their exact
+//! closed-form values.
+
+use std::time::Duration;
+
+use cmi_core::{
+    InterconnectBuilder, IsTopology, LinkSpec, ReliableConfig, SystemSpec, TopologySpec,
+};
+use cmi_memory::{ProtocolKind, WorkloadSpec};
+use cmi_sim::ChannelSpec;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// A shared hub IS-process serving 257 reliable links arms one
+/// retransmission timer per link; link indices past 255 must stay
+/// disjoint from every control-timer token (the old `BASE + link`
+/// keys collided here) and the run must still drain to quiescence
+/// with every write delivered everywhere.
+#[test]
+fn hub_with_257_reliable_links_stays_quiescent() {
+    let m = 258;
+    let spec = TopologySpec::star(m);
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let link = LinkSpec::new(ms(1))
+        .with_channel(ChannelSpec::fixed(ms(2)))
+        .with_reliability(ReliableConfig::default().with_rto(ms(80)));
+    spec.expand_uniform(&mut b, ProtocolKind::Ahamad, 1, &link);
+    let mut world = b
+        .with_topology(IsTopology::Shared)
+        .build(0xA24)
+        .expect("stars are trees");
+    let report = world.run(&WorkloadSpec::write_only(1, 2).with_mean_gap(ms(1)));
+    assert!(report.outcome().is_quiescent(), "star did not drain");
+    // Every write crosses each of the m−1 edges exactly once.
+    let writes = (m as u64) * 1;
+    assert_eq!(
+        report.metrics().counter("isp.link_pairs_sent"),
+        writes * (m as u64 - 1),
+        "hub forwarding lost or duplicated pairs"
+    );
+}
+
+/// A 256-system hub-of-hubs propagates every write over every tree
+/// edge exactly once: `pairs = writes × (m − 1)` in both directions of
+/// accounting (shipped and applied). Any narrowing truncation in the
+/// per-system or per-link counters would break the equality.
+#[test]
+fn counters_stay_exact_at_256_systems() {
+    let m = 256;
+    let spec = TopologySpec::hub_of_hubs(m, 8);
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let link = LinkSpec::new(ms(1)).with_channel(ChannelSpec::fixed(ms(2)));
+    spec.expand_uniform(&mut b, ProtocolKind::Ahamad, 1, &link);
+    let mut world = b
+        .with_topology(IsTopology::Shared)
+        .build(0xB24)
+        .expect("hub-of-hubs is a tree");
+    let report = world.run(&WorkloadSpec::write_only(1, 2).with_mean_gap(ms(1)));
+    assert!(report.outcome().is_quiescent(), "hub-of-hubs did not drain");
+    let writes = m as u64;
+    let expected = writes * (m as u64 - 1);
+    assert_eq!(
+        report.metrics().counter("isp.link_pairs_sent"),
+        expected,
+        "shipped-pair counter drifted from the closed form"
+    );
+    assert_eq!(
+        report.metrics().counter("isp.propagate_in"),
+        expected,
+        "applied-pair counter drifted from the closed form"
+    );
+    // Plain (non-framed) links carry no frame metadata at all.
+    assert_eq!(report.metrics().counter("isp.frames_o1"), 0);
+    assert_eq!(report.metrics().counter("isp.frames_clocked"), 0);
+}
+
+/// The builder itself must also survive a hand-wired large star (no
+/// topology generator involved) — the generator is a convenience, not
+/// a requirement, for large m.
+#[test]
+fn hand_wired_large_star_builds() {
+    let mut b = InterconnectBuilder::new().with_vars(2);
+    let hub = b.add_system(SystemSpec::new("hub", ProtocolKind::Ahamad, 1));
+    for i in 1..300 {
+        let leaf = b.add_system(SystemSpec::new(format!("L{i}"), ProtocolKind::Ahamad, 1));
+        b.link(hub, leaf, LinkSpec::new(ms(1)));
+    }
+    let world = b.with_topology(IsTopology::Shared).build(7);
+    assert!(world.is_ok(), "300-system star failed to build");
+}

@@ -124,6 +124,55 @@ fn long_workloads_cross_many_ring_revolutions() {
 }
 
 #[test]
+fn one_revolution_boundary_routes_exactly() {
+    // Pin the overflow boundary: with the cursor at 0, an event at
+    // exactly `N·width` (one full ring revolution ahead) must route to
+    // the overflow heap — the ring invariant reserves slot indices for
+    // `[cursor, cursor + N·width)` only, and an entry at `N·width`
+    // would alias slot 0 of the *current* window. `N·width − 1` is the
+    // last ring-resident instant; `N·width + 1` is overflow like its
+    // neighbor. All three must still pop in exact `(at, seq)` order,
+    // and the boundary entries must promote back into the ring once
+    // the cursor's advance brings their window inside the horizon.
+    let n: u64 = 64;
+    let shift: u32 = 24;
+    let horizon = n << shift; // cursor starts at 0
+    let mut cq: CalendarQueue<u64> = CalendarQueue::with_geometry(n as usize, shift);
+    cq.push(horizon - 1, 0, 0, 0);
+    cq.push(horizon, 1, 0, 1);
+    cq.push(horizon + 1, 2, 0, 2);
+    assert_eq!(
+        cq.overflow_len(),
+        2,
+        "exactly the at ≥ horizon entries belong to overflow"
+    );
+    // An anchor in slot 0 of the current window: if `horizon` had been
+    // ringed it would share this slot and pop interleaved/misordered.
+    cq.push(1, 3, 0, 3);
+    assert_eq!(cq.pop(), Some((1, 3, 3)));
+    assert_eq!(cq.pop(), Some((horizon - 1, 0, 0)));
+    assert_eq!(cq.pop(), Some((horizon, 1, 1)));
+    assert_eq!(cq.pop(), Some((horizon + 1, 2, 2)));
+    assert_eq!(cq.overflow_len(), 0, "boundary entries were promoted");
+    assert!(cq.is_empty());
+
+    // Same boundary relative to a non-zero cursor: drain one window
+    // first so the cursor sits mid-ring, then place an entry exactly
+    // one revolution past it.
+    let mut cq: CalendarQueue<u64> = CalendarQueue::with_geometry(n as usize, shift);
+    let width = 1u64 << shift;
+    cq.push(5 * width + 7, 0, 0, 0);
+    assert_eq!(cq.pop(), Some((5 * width + 7, 0, 0))); // cursor → 6·width
+    let cursor = 6 * width;
+    cq.push(cursor + horizon - 1, 1, 0, 1);
+    cq.push(cursor + horizon, 2, 0, 2);
+    assert_eq!(cq.overflow_len(), 1, "cursor-relative boundary drifted");
+    assert_eq!(cq.pop(), Some((cursor + horizon - 1, 1, 1)));
+    assert_eq!(cq.pop(), Some((cursor + horizon, 2, 2)));
+    assert!(cq.is_empty());
+}
+
+#[test]
 fn adversarial_geometry_small_ring() {
     // A tiny 64-slot ring with wide 2^24 ns buckets forces constant
     // overflow traffic and promotion on nearly every window advance.

@@ -176,6 +176,35 @@ diff "$artifact_dir/islands_serial.txt" "$artifact_dir/islands_shards2.txt" \
     || { echo "FAIL: --shards 2 output diverged from serial" >&2; exit 1; }
 cp "$artifact_dir/islands_shards2.txt" artifacts/islands_shards2.txt
 
+echo "==> scale baseline check (X24 vs committed BENCH_X24.json)"
+# Structural fields (m = 2..256 sweep axes, closed-form crossing counts,
+# flat 9-byte O(1) frame metadata, all-O(1) steady state, monitored
+# churn causality, clocked-fallback usage) must match the committed
+# baseline exactly; wall times only within the tolerance window.
+# --quick times one rep instead of a median of three.
+./target/release/exp_x24_scale --quick --json "$artifact_dir/bench_x24.json" \
+    --check BENCH_X24.json > "$artifact_dir/x24.txt"
+grep -q 'shared IS) m-sweep' "$artifact_dir/x24.txt" \
+    || { echo "FAIL: X24 report lost its sweep table" >&2; exit 1; }
+
+echo "==> large-m churn smoke run (cmi-cli run --monitor on the m=64 hub scenario)"
+# A 64-system hub-of-hubs expanded from a topology_spec block rides out
+# seeded churn with the live monitor on: verdict causal, zero recorded
+# violations, and the per-frame O(1) delivery condition never fires.
+# CI uploads the summary.
+./target/release/cmi-cli run crates/cli/scenarios/hub_churn.json --monitor \
+    --json "$artifact_dir/hub_churn_run.json" > "$artifact_dir/hub_churn_smoke.txt"
+grep -q 'verdict: causal' "$artifact_dir/hub_churn_smoke.txt" \
+    || { echo "FAIL: monitor not quiet on the m=64 hub churn scenario" >&2; exit 1; }
+grep -q '"monitor.violations": 0' "$artifact_dir/hub_churn_run.json" \
+    || { echo "FAIL: hub churn run reported violations != 0" >&2; exit 1; }
+# Untouched counters are omitted from the artifact, so the key only
+# appears at all if the O(1) delivery condition ever fired.
+if grep -q '"isp.meta_violations"' "$artifact_dir/hub_churn_run.json"; then
+    echo "FAIL: hub churn run tripped the frame delivery condition" >&2; exit 1
+fi
+cp "$artifact_dir/hub_churn_smoke.txt" artifacts/hub_churn_smoke.txt
+
 echo "==> scheduler microbench artifact (heap vs calendar queue)"
 # bench_sched compares the pre-PR-9 binary heap against the calendar
 # queue at depths 10^2..10^6; the JSON dump rides along as an artifact.
@@ -184,4 +213,4 @@ CMI_BENCH_JSON="$PWD/artifacts/bench_sched.json" \
 grep -q 'sched/calendar/1000000' "$artifact_dir/bench_sched.txt" \
     || { echo "FAIL: bench_sched lost its depth-10^6 case" >&2; exit 1; }
 
-echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor, chaos, telemetry and sharded-engine baselines all passed"
+echo "OK: offline build, tests, dependency audit, golden formats, runner determinism, perf, checker, monitor, chaos, telemetry, sharded-engine and scale baselines all passed"
